@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks of the DSP kernels on the pipeline's hot
+//! path: FFT, matched-filter correlation, band-pass filtering, fractional
+//! delay, and sub-sample peak refinement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyperear_dsp::chirp::Chirp;
+use hyperear_dsp::correlate::MatchedFilter;
+use hyperear_dsp::delay::mix_delayed_local;
+use hyperear_dsp::fft::{fft, rfft};
+use hyperear_dsp::filter::FirFilter;
+use hyperear_dsp::interpolate::{parabolic_peak, sinc_peak};
+use hyperear_dsp::window::Window;
+use hyperear_dsp::Complex;
+use std::hint::black_box;
+
+fn deterministic_signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * 0.037).sin() * (i as f64 * 0.0011).cos())
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &size in &[1_024usize, 16_384, 131_072] {
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &n| {
+            let data: Vec<Complex> = deterministic_signal(n)
+                .into_iter()
+                .map(Complex::from_real)
+                .collect();
+            b.iter(|| {
+                let mut buf = data.clone();
+                fft(&mut buf).expect("power-of-two");
+                black_box(buf)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_matched_filter(c: &mut Criterion) {
+    let chirp = Chirp::hyperear_beacon(44_100.0).expect("chirp");
+    let filter = MatchedFilter::new(chirp.samples()).expect("filter");
+    let mut group = c.benchmark_group("matched_filter");
+    // One second of audio is the natural unit the detector scans.
+    for &seconds in &[1usize, 4] {
+        let n = 44_100 * seconds;
+        let signal = deterministic_signal(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("correlate", format!("{seconds}s")),
+            &signal,
+            |b, s| b.iter(|| black_box(filter.correlate_normalized(s).expect("correlate"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_band_pass(c: &mut Criterion) {
+    let bp = FirFilter::band_pass(2_000.0, 6_400.0, 44_100.0, 127, Window::Hamming)
+        .expect("band-pass");
+    let signal = deterministic_signal(44_100);
+    c.bench_function("band_pass_1s_zero_phase", |b| {
+        b.iter(|| black_box(bp.filter_zero_phase(&signal).expect("filter")))
+    });
+}
+
+fn bench_fractional_delay(c: &mut Criterion) {
+    let chirp = Chirp::hyperear_beacon(44_100.0).expect("chirp");
+    c.bench_function("mix_delayed_local_one_beacon", |b| {
+        let mut acc = vec![0.0; 44_100];
+        b.iter(|| {
+            mix_delayed_local(&mut acc, chirp.samples(), 10_000.37, 0.3, 16).expect("mix");
+            black_box(acc[10_000])
+        })
+    });
+}
+
+fn bench_peak_refinement(c: &mut Criterion) {
+    // A realistic correlation main lobe.
+    let chirp = Chirp::hyperear_beacon(44_100.0).expect("chirp");
+    let m = chirp.samples().len();
+    let mut padded = vec![0.0; 3 * m];
+    padded[m..2 * m].copy_from_slice(chirp.samples());
+    let corr = hyperear_dsp::correlate::xcorr(&padded, chirp.samples()).expect("xcorr");
+    let peak = corr
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty")
+        .0;
+    c.bench_function("parabolic_peak", |b| {
+        b.iter(|| black_box(parabolic_peak(&corr, peak).expect("refine")))
+    });
+    c.bench_function("sinc_peak", |b| {
+        b.iter(|| black_box(sinc_peak(&corr, peak, 8).expect("refine")))
+    });
+}
+
+fn bench_rfft_spectrum(c: &mut Criterion) {
+    let signal = deterministic_signal(44_100);
+    c.bench_function("rfft_1s_padded", |b| {
+        b.iter(|| black_box(rfft(&signal, 65_536).expect("rfft")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_matched_filter,
+    bench_band_pass,
+    bench_fractional_delay,
+    bench_peak_refinement,
+    bench_rfft_spectrum
+);
+criterion_main!(benches);

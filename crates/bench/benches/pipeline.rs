@@ -1,0 +1,99 @@
+//! Criterion benchmarks of the HyperEar pipeline stages and the full
+//! session run: what a phone-side implementation would care about.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperear::asp::BeaconDetector;
+use hyperear::config::HyperEarConfig;
+use hyperear::pipeline::{HyperEar, SessionInput};
+use hyperear_geom::triangulate::{solve_joint, solve_slide, SlideGeometry};
+use hyperear_geom::Vec2;
+use hyperear_imu::analyze::{analyze_session, SessionConfig};
+use hyperear_sim::environment::Environment;
+use hyperear_sim::phone::PhoneModel;
+use hyperear_sim::scenario::{Recording, ScenarioBuilder};
+use std::hint::black_box;
+
+fn small_session() -> Recording {
+    ScenarioBuilder::new(PhoneModel::galaxy_s4())
+        .environment(Environment::room_quiet())
+        .speaker_range(5.0)
+        .slides(2)
+        .seed(77)
+        .render()
+        .expect("render")
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let rec = small_session();
+    let detector =
+        BeaconDetector::new(&HyperEarConfig::galaxy_s4(), rec.audio.sample_rate).expect("detector");
+    c.bench_function("beacon_detection_per_channel", |b| {
+        b.iter(|| black_box(detector.detect(&rec.audio.left).expect("detect")))
+    });
+}
+
+fn bench_inertial_analysis(c: &mut Criterion) {
+    let rec = small_session();
+    c.bench_function("inertial_session_analysis", |b| {
+        b.iter(|| {
+            black_box(
+                analyze_session(
+                    &rec.imu.accel,
+                    &rec.imu.gyro,
+                    rec.imu.sample_rate,
+                    &SessionConfig::default(),
+                )
+                .expect("analysis"),
+            )
+        })
+    });
+}
+
+fn bench_triangulation(c: &mut Criterion) {
+    let speaker = Vec2::new(0.07, 7.0);
+    let geometry = SlideGeometry::from_ground_truth(0.55, 0.1366, speaker);
+    c.bench_function("triangulate_single_slide", |b| {
+        b.iter(|| black_box(solve_slide(&geometry).expect("solve")))
+    });
+    let geometries: Vec<SlideGeometry> = (0..5)
+        .map(|i| {
+            SlideGeometry::from_ground_truth(0.55 + 0.01 * i as f64, 0.1366, speaker)
+        })
+        .collect();
+    c.bench_function("triangulate_joint_5_slides", |b| {
+        b.iter(|| black_box(solve_joint(&geometries).expect("solve")))
+    });
+}
+
+fn bench_full_session(c: &mut Criterion) {
+    let rec = small_session();
+    let engine = HyperEar::new(HyperEarConfig::galaxy_s4()).expect("engine");
+    let mut group = c.benchmark_group("full_session");
+    group.sample_size(10);
+    group.bench_function("two_slides_5m", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .run(&SessionInput {
+                        audio_sample_rate: rec.audio.sample_rate,
+                        left: &rec.audio.left,
+                        right: &rec.audio.right,
+                        imu_sample_rate: rec.imu.sample_rate,
+                        accel: &rec.imu.accel,
+                        gyro: &rec.imu.gyro,
+                    })
+                    .expect("session"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_detection,
+    bench_inertial_analysis,
+    bench_triangulation,
+    bench_full_session
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Regenerates the HyperEar paper's figures.
+//!
+//! ```text
+//! repro all                 # every experiment at full scale
+//! repro fig14 fig19         # selected experiments
+//! repro --fast all          # smoke-test scale (seconds, noisier stats)
+//! repro --list              # available experiment ids
+//! ```
+
+use hyperear_bench::experiments::{self, Scale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::full();
+    let mut ids: Vec<String> = Vec::new();
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut expect_csv_dir = false;
+    for arg in &args {
+        if expect_csv_dir {
+            csv_dir = Some(std::path::PathBuf::from(arg));
+            expect_csv_dir = false;
+            continue;
+        }
+        match arg.as_str() {
+            "--fast" => scale = Scale::fast(),
+            "--csv" => expect_csv_dir = true,
+            "--list" => {
+                for id in experiments::all_ids() {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(experiments::all_ids().iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+    ids.dedup();
+    let started = std::time::Instant::now();
+    if expect_csv_dir {
+        eprintln!("--csv requires a directory argument");
+        return ExitCode::FAILURE;
+    }
+    for id in &ids {
+        match experiments::run(id, &scale) {
+            Some(report) => {
+                println!("{}", report.render());
+                if let Some(dir) = &csv_dir {
+                    if let Err(e) = report.write_csv(dir) {
+                        eprintln!("csv export failed for {id}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id `{id}` (try --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!(
+        "completed {} experiment(s) in {:.1}s",
+        ids.len(),
+        started.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}
+
+fn print_usage() {
+    eprintln!("usage: repro [--fast] [--csv <dir>] [--list] <experiment-id>... | all");
+    eprintln!("experiments: {}", experiments::all_ids().join(", "));
+}

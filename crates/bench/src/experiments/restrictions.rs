@@ -1,0 +1,85 @@
+//! §II-C inline claims: the hardware limits of naive TDoA on a phone.
+//!
+//! Paper numbers reproduced here:
+//! - TDoA resolution ≈ 0.023 ms, distance-difference resolution ≈ 7.78 mm;
+//! - N = 35 distinguishable hyperbolas for the Galaxy S4 (Eq. 2);
+//! - naive-scheme localization error "up to 18.6 cm at 1 m and 266.7 cm
+//!   at 5 m".
+
+use crate::report::{fmt_m, Report};
+use hyperear::baseline::{naive_two_position_error, NaiveConfig};
+use hyperear_geom::tdoa_regions::TdoaQuantizer;
+use hyperear_geom::Vec2;
+
+/// Runs the experiment.
+#[must_use]
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "restrictions",
+        "§II-C: hardware limits of naive TDoA localization",
+    );
+    let fs = 44_100.0;
+    let s = 343.0;
+    let d = 0.1366;
+    let quantizer = TdoaQuantizer::new(
+        Vec2::new(-d / 2.0, 0.0),
+        Vec2::new(d / 2.0, 0.0),
+        fs,
+        s,
+    )
+    .expect("valid quantizer");
+
+    report.line(format!(
+        "  TDoA resolution              paper ≈0.023 ms   measured {:.4} ms",
+        1_000.0 / fs
+    ));
+    report.line(format!(
+        "  Δd resolution                paper ≈7.78 mm    measured {:.2} mm",
+        quantizer.resolution() * 1_000.0
+    ));
+    report.line(format!(
+        "  Distinguishable hyperbolas   paper 35 (S4)     measured {} (Eq. 2)",
+        quantizer.distinguishable_hyperbolas()
+    ));
+    report.blank();
+
+    // Naive-scheme worst-case error over a lateral sweep at each range.
+    let config = NaiveConfig::galaxy_s4();
+    for (range, paper) in [(1.0, "18.6cm"), (5.0, "266.7cm")] {
+        let mut worst = 0.0f64;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for i in 0..81 {
+            let dx = -0.4 + i as f64 * 0.01;
+            if let Ok(e) = naive_two_position_error(Vec2::new(dx, range), &config) {
+                worst = worst.max(e);
+                sum += e;
+                n += 1;
+            }
+        }
+        report.line(format!(
+            "  Naive-scheme error @ {range} m     paper up to {paper:<8} measured mean {} / worst {}",
+            fmt_m(sum / n as f64),
+            fmt_m(worst)
+        ));
+    }
+    report.blank();
+    report.line("  Interpretation: error explodes superlinearly with range because the");
+    report.line("  quantized inter-hyperbola difference collapses — the motivation for");
+    report.line("  growing the baseline by sliding (Section III).");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_paper_constants() {
+        let text = run().render();
+        assert!(text.contains("7.78"));
+        assert!(text.contains("35"));
+        assert!(text.contains("@ 1 m"));
+        assert!(text.contains("@ 5 m"));
+    }
+}

@@ -1,0 +1,348 @@
+//! Session runners and parallel trial execution.
+//!
+//! Every figure experiment reduces to: render N seeded sessions through
+//! the simulator, run the HyperEar pipeline on each, and score the
+//! estimates against ground truth. This module owns that loop, including
+//! the ground-truth geometry (expressing the simulator's world-frame
+//! truth in the pipeline's slide frame) and a crossbeam-based parallel
+//! map over seeds.
+
+use crossbeam::channel;
+use hyperear::config::HyperEarConfig;
+use hyperear::pipeline::{HyperEar, SessionInput, SessionResult};
+use hyperear::HyperEarError;
+use hyperear_geom::Vec2;
+use hyperear_sim::environment::Environment;
+use hyperear_sim::motion::MotionProfile;
+use hyperear_sim::phone::PhoneModel;
+use hyperear_sim::scenario::{Recording, ScenarioBuilder};
+use hyperear_sim::speaker::SpeakerModel;
+use hyperear_sim::volunteer::{roster, Volunteer};
+
+/// Hand-motion mode of an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Motion {
+    /// The level slide ruler of §VII-B (near-ideal motion).
+    Ruler,
+    /// In-hand operation by the ten-volunteer roster, cycling by seed.
+    Volunteers,
+}
+
+/// Specification of one experiment condition.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Phone preset.
+    pub phone: PhoneModel,
+    /// Pipeline configuration (usually the matching phone preset).
+    pub config: HyperEarConfig,
+    /// Acoustic environment.
+    pub environment: Environment,
+    /// Motion mode.
+    pub motion: Motion,
+    /// Horizontal ground distance to the speaker, metres.
+    pub range: f64,
+    /// Speaker height above the floor; `None` = same plane as the phone.
+    pub speaker_stature: Option<f64>,
+    /// Slides per stature.
+    pub slides: usize,
+    /// Commanded slide distance, metres.
+    pub slide_distance: f64,
+    /// Whether to run the two-stature 3D protocol.
+    pub three_d: bool,
+    /// Stature drop for 3D sessions, metres.
+    pub stature_drop: f64,
+    /// Beacon source override (`None` = the paper's audible chirp).
+    pub speaker: Option<SpeakerModel>,
+    /// Direct-path attenuation in dB (0 = clear line of sight).
+    pub direct_path_attenuation_db: f64,
+}
+
+impl SessionSpec {
+    /// A ruler-mounted 2D condition on the given phone.
+    #[must_use]
+    pub fn ruler_2d(phone: PhoneModel, config: HyperEarConfig, range: f64) -> Self {
+        SessionSpec {
+            phone,
+            config,
+            environment: Environment::room_quiet(),
+            motion: Motion::Ruler,
+            range,
+            speaker_stature: None,
+            slides: 5,
+            slide_distance: 0.55,
+            three_d: false,
+            stature_drop: 0.4,
+            speaker: None,
+            direct_path_attenuation_db: 0.0,
+        }
+    }
+
+    /// An in-hand 3D condition on the given phone.
+    #[must_use]
+    pub fn hand_3d(phone: PhoneModel, config: HyperEarConfig, range: f64) -> Self {
+        SessionSpec {
+            phone,
+            config,
+            environment: Environment::room_quiet(),
+            motion: Motion::Volunteers,
+            range,
+            speaker_stature: Some(0.5),
+            slides: 5,
+            slide_distance: 0.55,
+            three_d: true,
+            stature_drop: 0.4,
+            speaker: None,
+            direct_path_attenuation_db: 0.0,
+        }
+    }
+
+    fn volunteer_for(&self, seed: u64) -> Option<Volunteer> {
+        match self.motion {
+            Motion::Ruler => None,
+            Motion::Volunteers => {
+                let r = roster();
+                Some(r[(seed as usize) % r.len()].clone())
+            }
+        }
+    }
+
+    /// Renders the session for one seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn render(&self, seed: u64) -> Result<Recording, hyperear_sim::SimError> {
+        let mut builder = ScenarioBuilder::new(self.phone.clone())
+            .environment(self.environment.clone())
+            .speaker_range(self.range)
+            .slides(self.slides)
+            .slide_distance(self.slide_distance)
+            .direct_path_attenuation_db(self.direct_path_attenuation_db)
+            .seed(seed);
+        if let Some(speaker) = &self.speaker {
+            builder = builder.speaker_model(speaker.clone());
+        }
+        if let Some(v) = self.volunteer_for(seed) {
+            builder = builder.volunteer(&v);
+        } else {
+            builder = builder.motion_profile(MotionProfile::ruler());
+        }
+        if let Some(s) = self.speaker_stature {
+            builder = builder.speaker_stature(s);
+        }
+        if self.three_d {
+            builder = builder
+                .slides_low(self.slides)
+                .stature_drop(self.stature_drop);
+        }
+        builder.render()
+    }
+
+    /// Renders and runs the pipeline for one seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and pipeline errors.
+    pub fn run(&self, seed: u64) -> Result<(Recording, SessionResult), HyperEarError> {
+        let rec = self
+            .render(seed)
+            .map_err(|e| HyperEarError::invalid("scenario", e.to_string()))?;
+        let engine = HyperEar::new(self.config.clone())?;
+        let result = engine.run(&SessionInput {
+            audio_sample_rate: rec.audio.sample_rate,
+            left: &rec.audio.left,
+            right: &rec.audio.right,
+            imu_sample_rate: rec.imu.sample_rate,
+            accel: &rec.imu.accel,
+            gyro: &rec.imu.gyro,
+        })?;
+        Ok((rec, result))
+    }
+}
+
+/// Ground-truth speaker position expressed in one slide's frame
+/// (x along the slide axis from the midpoint of Mic1's travel; y the
+/// slant distance from the slide line).
+#[must_use]
+pub fn truth_in_slide_frame(rec: &Recording, slide_index: usize) -> Option<Vec2> {
+    let slide = rec.truth.motion.slides.get(slide_index)?;
+    let a = rec.truth.motion.mic1_position(slide.start_time);
+    let b = rec.truth.motion.mic1_position(slide.end_time());
+    let mid = (a + b) * 0.5;
+    let axis = rec.truth.motion.axis;
+    let speaker = rec.truth.speaker_position;
+    let d = speaker - mid;
+    let along = d.x * axis.x + d.y * axis.y;
+    let horiz_perp = -d.x * axis.y + d.y * axis.x;
+    let slant = (horiz_perp * horiz_perp + d.z * d.z).sqrt();
+    Some(Vec2::new(along, slant))
+}
+
+/// Per-slide 2D localization errors of a finished session: the Euclidean
+/// distance between each accepted slide's fix and the ground truth in
+/// that slide's frame (the scoring of paper Figs. 14–16).
+#[must_use]
+pub fn per_slide_errors(rec: &Recording, result: &SessionResult) -> Vec<f64> {
+    result
+        .slides
+        .iter()
+        .enumerate()
+        .filter_map(|(i, report)| {
+            let fix = report.fix.as_ref()?;
+            let truth = truth_in_slide_frame(rec, i)?;
+            Some((fix.solution.position - truth).norm())
+        })
+        .collect()
+}
+
+/// The session-level floor-map error (the scoring of paper Figs. 17–19):
+/// Euclidean distance between the projected estimate and the true
+/// speaker position on the floor map, in the phone frame.
+#[must_use]
+pub fn floor_error(rec: &Recording, result: &SessionResult) -> Option<f64> {
+    // Truth floor coordinates relative to the upper-phase slide frame.
+    let truth2 = truth_in_slide_frame(rec, 0)?;
+    let truth_floor = Vec2::new(truth2.x, rec.truth.ground_distance);
+    let estimate = match &result.projected {
+        Some(p) => p.floor_position,
+        None => {
+            let upper = result.upper.as_ref()?;
+            upper.position
+        }
+    };
+    Some((estimate - truth_floor).norm())
+}
+
+/// Runs `f(seed)` for each seed across worker threads, preserving input
+/// order in the output. Failed trials yield `None`.
+pub fn parallel_trials<T, F>(seeds: &[u64], f: F) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(u64) -> Option<T> + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(seeds.len().max(1));
+    let (tx_work, rx_work) = channel::unbounded::<(usize, u64)>();
+    for (i, &s) in seeds.iter().enumerate() {
+        tx_work.send((i, s)).expect("channel open");
+    }
+    drop(tx_work);
+    let (tx_out, rx_out) = channel::unbounded::<(usize, Option<T>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let rx_work = rx_work.clone();
+            let tx_out = tx_out.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((i, seed)) = rx_work.recv() {
+                    let _ = tx_out.send((i, f(seed)));
+                }
+            });
+        }
+        drop(tx_out);
+    });
+    let mut out: Vec<Option<T>> = (0..seeds.len()).map(|_| None).collect();
+    for (i, v) in rx_out.iter() {
+        out[i] = v;
+    }
+    out
+}
+
+/// Collects per-slide 2D errors over many seeded sessions in parallel.
+#[must_use]
+pub fn collect_slide_errors(spec: &SessionSpec, seeds: &[u64]) -> Vec<f64> {
+    parallel_trials(seeds, |seed| {
+        let (rec, result) = spec.run(seed).ok()?;
+        Some(per_slide_errors(&rec, &result))
+    })
+    .into_iter()
+    .flatten()
+    .flatten()
+    .collect()
+}
+
+/// Collects session-level floor errors over many seeded sessions.
+#[must_use]
+pub fn collect_floor_errors(spec: &SessionSpec, seeds: &[u64]) -> Vec<f64> {
+    parallel_trials(seeds, |seed| {
+        let (rec, result) = spec.run(seed).ok()?;
+        floor_error(&rec, &result)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Seeds `base..base+n` — experiments use disjoint bases so conditions
+/// never share randomness.
+#[must_use]
+pub fn seed_range(base: u64, n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| base + i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_trials_preserves_order() {
+        let seeds: Vec<u64> = (0..32).collect();
+        let out = parallel_trials(&seeds, |s| Some(s * 2));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, Some(i as u64 * 2));
+        }
+    }
+
+    #[test]
+    fn parallel_trials_records_failures() {
+        let seeds: Vec<u64> = (0..10).collect();
+        let out = parallel_trials(&seeds, |s| if s % 2 == 0 { Some(s) } else { None });
+        assert_eq!(out.iter().filter(|v| v.is_none()).count(), 5);
+    }
+
+    #[test]
+    fn ruler_session_produces_slide_errors() {
+        let spec = SessionSpec {
+            slides: 2,
+            environment: Environment::anechoic(),
+            ..SessionSpec::ruler_2d(
+                PhoneModel::galaxy_s4(),
+                HyperEarConfig::galaxy_s4(),
+                3.0,
+            )
+        };
+        let errors = collect_slide_errors(&spec, &[101]);
+        assert!(!errors.is_empty());
+        for e in &errors {
+            assert!(*e < 1.0, "slide error {e}");
+        }
+    }
+
+    #[test]
+    fn truth_frame_is_consistent_with_recording() {
+        let spec = SessionSpec {
+            slides: 1,
+            environment: Environment::anechoic(),
+            ..SessionSpec::ruler_2d(
+                PhoneModel::galaxy_s4(),
+                HyperEarConfig::galaxy_s4(),
+                4.0,
+            )
+        };
+        let rec = spec.render(7).unwrap();
+        let truth = truth_in_slide_frame(&rec, 0).unwrap();
+        // Same-plane 2D: slant equals the ground range.
+        assert!((truth.y - 4.0).abs() < 0.02, "slant {}", truth.y);
+        // In-direction placement keeps the speaker near the travel mid.
+        assert!(truth.x.abs() < 0.2, "along-axis offset {}", truth.x);
+        assert!(truth_in_slide_frame(&rec, 99).is_none());
+    }
+
+    #[test]
+    fn seed_range_is_disjoint_and_ordered() {
+        let a = seed_range(1000, 5);
+        assert_eq!(a, vec![1000, 1001, 1002, 1003, 1004]);
+    }
+}

@@ -1,0 +1,26 @@
+//! # hyperear-bench
+//!
+//! The experiment harness that regenerates every figure and quantitative
+//! claim of the HyperEar paper's evaluation (Section VII), plus ablation
+//! experiments for the design choices DESIGN.md calls out.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p hyperear-bench --release --bin repro -- all
+//! ```
+//!
+//! or a single experiment (`repro fig14`, `repro restrictions`, ...).
+//! Each experiment prints a paper-vs-measured table; `EXPERIMENTS.md` at
+//! the repository root records one full run.
+//!
+//! Criterion micro-benchmarks of the computational kernels live in
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod io;
+pub mod report;

@@ -1,0 +1,299 @@
+//! Acoustic Signal Preprocessing: band-pass filtering, chirp beacon
+//! detection, and sub-sample arrival interpolation (paper Sections III
+//! and IV-A).
+//!
+//! Detection is the BeepBeep method the paper adopts: correlate each
+//! channel with a reference chirp and accept correlation maxima that
+//! stand well above the background-noise floor. Arrival times are then
+//! refined below the sampling grid — without that refinement the TDoA
+//! resolution would be stuck at 7.78 mm per sample (paper §II-C).
+
+use crate::config::{HyperEarConfig, Interpolation};
+use crate::HyperEarError;
+use hyperear_dsp::chirp::{Chirp, ChirpShape};
+use hyperear_dsp::correlate::MatchedFilter;
+use hyperear_dsp::filter::FirFilter;
+use hyperear_dsp::interpolate::{parabolic_peak, sinc_peak};
+use hyperear_dsp::peak::{find_peaks, noise_floor, PeakConfig};
+use hyperear_dsp::window::Window;
+use serde::{Deserialize, Serialize};
+
+/// One detected beacon arrival on one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BeaconArrival {
+    /// Arrival time in seconds on the recording clock, with sub-sample
+    /// resolution.
+    pub time: f64,
+    /// Matched-filter response at the peak (template-energy normalized).
+    pub strength: f64,
+}
+
+/// A configured beacon detector for one sample rate.
+///
+/// Construction precomputes the reference chirp, matched filter and
+/// band-pass so that per-channel detection does no redundant design work.
+#[derive(Debug, Clone)]
+pub struct BeaconDetector {
+    filter: MatchedFilter,
+    band_pass: Option<FirFilter>,
+    sample_rate: f64,
+    min_spacing: usize,
+    threshold_factor: f64,
+    relative_threshold: f64,
+    interpolation: Interpolation,
+    envelope_detection: bool,
+}
+
+impl BeaconDetector {
+    /// Builds a detector from the pipeline configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] for an invalid config
+    /// or a sample rate that cannot carry the chirp band.
+    pub fn new(config: &HyperEarConfig, sample_rate: f64) -> Result<Self, HyperEarError> {
+        config.validate()?;
+        if sample_rate <= 2.0 * config.beacon.f1 {
+            return Err(HyperEarError::invalid(
+                "sample_rate",
+                format!(
+                    "rate {sample_rate} cannot represent the {} Hz chirp edge",
+                    config.beacon.f1
+                ),
+            ));
+        }
+        let chirp = Chirp::new(
+            config.beacon.f0,
+            config.beacon.f1,
+            config.beacon.duration,
+            sample_rate,
+            ChirpShape::UpDown,
+        )?;
+        let filter = MatchedFilter::new(chirp.samples())?;
+        let band_pass = if config.detection.band_pass {
+            Some(FirFilter::band_pass(
+                config.beacon.f0 * 0.9,
+                config.beacon.f1 * 1.1,
+                sample_rate,
+                config.detection.band_pass_taps,
+                Window::Hamming,
+            )?)
+        } else {
+            None
+        };
+        Ok(BeaconDetector {
+            filter,
+            band_pass,
+            sample_rate,
+            min_spacing: (config.detection.min_spacing_fraction
+                * config.beacon.period
+                * sample_rate) as usize,
+            threshold_factor: config.detection.threshold_factor,
+            relative_threshold: config.detection.relative_threshold,
+            interpolation: config.detection.interpolation,
+            envelope_detection: config.detection.envelope_detection,
+        })
+    }
+
+    /// The sample rate this detector was built for.
+    #[must_use]
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Detects beacon arrivals in one audio channel.
+    ///
+    /// Returns arrivals sorted by time. An empty vector means no beacon
+    /// stood above the noise floor (e.g. the speaker is off).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::Dsp`] for an empty or too-short channel.
+    pub fn detect(&self, channel: &[f64]) -> Result<Vec<BeaconArrival>, HyperEarError> {
+        let filtered_storage;
+        let signal: &[f64] = match &self.band_pass {
+            Some(bp) => {
+                filtered_storage = bp.filter_zero_phase(channel)?;
+                &filtered_storage
+            }
+            None => channel,
+        };
+        let corr = self.filter.correlate_normalized(signal)?;
+        // Envelope detection strips the carrier ripple of high-band
+        // beacons (see `DetectionConfig::envelope_detection`).
+        let corr = if self.envelope_detection {
+            hyperear_dsp::envelope::envelope(&corr)?
+        } else {
+            corr
+        };
+        let floor = noise_floor(&corr)?;
+        let peak_max = corr.iter().fold(0.0f64, |m, &v| m.max(v));
+        // Two-part threshold: beacons must clear the statistical noise
+        // floor AND be within an order of magnitude of the session's
+        // strongest beacon — the latter keeps numerical dust in quiet
+        // recordings from ever counting as a detection.
+        let threshold = (self.threshold_factor * floor).max(self.relative_threshold * peak_max);
+        let peaks = find_peaks(
+            &corr,
+            &PeakConfig::new(threshold, self.min_spacing.max(1))?,
+        )?;
+        let mut arrivals = Vec::with_capacity(peaks.len());
+        for p in peaks {
+            let (pos, value) = match self.interpolation {
+                Interpolation::None => (p.index as f64, p.value),
+                Interpolation::Parabolic => match parabolic_peak(&corr, p.index) {
+                    Ok(refined) => refined,
+                    Err(_) => (p.index as f64, p.value), // boundary peak
+                },
+                Interpolation::Sinc => match sinc_peak(&corr, p.index, 8) {
+                    Ok(refined) => refined,
+                    Err(_) => (p.index as f64, p.value),
+                },
+            };
+            arrivals.push(BeaconArrival {
+                time: pos / self.sample_rate,
+                strength: value,
+            });
+        }
+        Ok(arrivals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperear_dsp::delay::mix_delayed_local;
+
+    const FS: f64 = 44_100.0;
+
+    fn detector(interpolation: Interpolation) -> BeaconDetector {
+        let mut config = HyperEarConfig::galaxy_s4();
+        config.detection.interpolation = interpolation;
+        BeaconDetector::new(&config, FS).unwrap()
+    }
+
+    fn chirp_samples() -> Vec<f64> {
+        Chirp::hyperear_beacon(FS).unwrap().samples().to_vec()
+    }
+
+    /// Renders beacons at the given fractional sample positions.
+    fn render(positions: &[f64], n: usize, gain: f64) -> Vec<f64> {
+        let chirp = chirp_samples();
+        let mut out = vec![0.0; n];
+        for &p in positions {
+            mix_delayed_local(&mut out, &chirp, p, gain, 16).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn detects_clean_beacons_at_period() {
+        let positions: Vec<f64> = (0..5).map(|k| 2_000.0 + k as f64 * 8_820.0).collect();
+        let signal = render(&positions, 50_000, 0.3);
+        let arrivals = detector(Interpolation::Parabolic).detect(&signal).unwrap();
+        assert_eq!(arrivals.len(), 5);
+        for (a, &p) in arrivals.iter().zip(&positions) {
+            assert!(
+                (a.time * FS - p).abs() < 0.1,
+                "arrival {} expected {}",
+                a.time * FS,
+                p
+            );
+        }
+    }
+
+    #[test]
+    fn sub_sample_accuracy_with_parabolic() {
+        let truth = 10_000.37;
+        let signal = render(&[truth], 20_000, 0.3);
+        let arrivals = detector(Interpolation::Parabolic).detect(&signal).unwrap();
+        assert_eq!(arrivals.len(), 1);
+        let err = (arrivals[0].time * FS - truth).abs();
+        assert!(err < 0.05, "sub-sample error {err}");
+    }
+
+    #[test]
+    fn interpolation_none_is_integer_quantized() {
+        let truth = 10_000.43;
+        let signal = render(&[truth], 20_000, 0.3);
+        let arrivals = detector(Interpolation::None).detect(&signal).unwrap();
+        assert_eq!(arrivals.len(), 1);
+        let pos = arrivals[0].time * FS;
+        assert_eq!(pos, pos.round(), "integer-only position");
+    }
+
+    #[test]
+    fn sinc_refinement_also_recovers_fraction() {
+        let truth = 10_000.25;
+        let signal = render(&[truth], 20_000, 0.3);
+        let arrivals = detector(Interpolation::Sinc).detect(&signal).unwrap();
+        assert_eq!(arrivals.len(), 1);
+        let err = (arrivals[0].time * FS - truth).abs();
+        assert!(err < 0.05, "sinc error {err}");
+    }
+
+    #[test]
+    fn silence_produces_no_arrivals() {
+        // Tiny white noise only.
+        let signal: Vec<f64> = (0..30_000)
+            .map(|i| 1e-4 * (((i * 2654435761usize) % 1000) as f64 / 500.0 - 1.0))
+            .collect();
+        let arrivals = detector(Interpolation::Parabolic).detect(&signal).unwrap();
+        assert!(arrivals.is_empty(), "got {arrivals:?}");
+    }
+
+    #[test]
+    fn detects_beacons_in_noise() {
+        let positions: Vec<f64> = (0..4).map(|k| 3_000.0 + k as f64 * 8_820.0).collect();
+        let mut signal = render(&positions, 44_100, 0.3);
+        // Add noise at roughly 6 dB SNR vs the chirp envelope.
+        let mut state = 1234u64;
+        for s in &mut signal {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *s += 0.05 * (2.0 * ((state >> 11) as f64 / (1u64 << 53) as f64) - 1.0);
+        }
+        let arrivals = detector(Interpolation::Parabolic).detect(&signal).unwrap();
+        assert_eq!(arrivals.len(), 4, "arrivals {arrivals:?}");
+    }
+
+    #[test]
+    fn band_pass_rejects_out_of_band_interference() {
+        // A loud 500 Hz tone (voice band) on top of one beacon.
+        let truth = 12_000.0;
+        let mut signal = render(&[truth], 30_000, 0.2);
+        for (i, s) in signal.iter_mut().enumerate() {
+            *s += 0.5 * (2.0 * std::f64::consts::PI * 500.0 * i as f64 / FS).sin();
+        }
+        let arrivals = detector(Interpolation::Parabolic).detect(&signal).unwrap();
+        assert_eq!(arrivals.len(), 1);
+        assert!((arrivals[0].time * FS - truth).abs() < 1.0);
+    }
+
+    #[test]
+    fn min_spacing_suppresses_echo_doubles() {
+        // A strong echo 100 samples after the direct path must not count
+        // as a second beacon.
+        let chirp = chirp_samples();
+        let mut signal = vec![0.0; 30_000];
+        mix_delayed_local(&mut signal, &chirp, 10_000.0, 0.3, 16).unwrap();
+        mix_delayed_local(&mut signal, &chirp, 10_100.0, 0.15, 16).unwrap();
+        let arrivals = detector(Interpolation::Parabolic).detect(&signal).unwrap();
+        assert_eq!(arrivals.len(), 1);
+        assert!((arrivals[0].time * FS - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn rejects_low_sample_rate() {
+        let config = HyperEarConfig::galaxy_s4();
+        assert!(BeaconDetector::new(&config, 8_000.0).is_err());
+    }
+
+    #[test]
+    fn empty_channel_is_error() {
+        let d = detector(Interpolation::Parabolic);
+        assert!(d.detect(&[]).is_err());
+        assert_eq!(d.sample_rate(), FS);
+    }
+}

@@ -1,0 +1,144 @@
+use hyperear_dsp::DspError;
+use hyperear_geom::GeomError;
+use hyperear_imu::ImuError;
+use std::fmt;
+
+/// Errors produced by the HyperEar pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HyperEarError {
+    /// A configuration or input parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: String,
+    },
+    /// Not enough beacons were detected to proceed.
+    InsufficientBeacons {
+        /// The processing stage that ran short.
+        stage: &'static str,
+        /// Beacons found.
+        found: usize,
+        /// Beacons required.
+        required: usize,
+    },
+    /// No slide passed the quality gate (or none was detected at all).
+    NoUsableSlides {
+        /// Slides detected by the inertial chain.
+        detected: usize,
+        /// Slides rejected by the quality gate.
+        rejected: usize,
+    },
+    /// A DSP primitive failed.
+    Dsp(DspError),
+    /// A geometric solver failed.
+    Geom(GeomError),
+    /// The inertial chain failed.
+    Imu(ImuError),
+}
+
+impl fmt::Display for HyperEarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HyperEarError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            HyperEarError::InsufficientBeacons {
+                stage,
+                found,
+                required,
+            } => write!(
+                f,
+                "insufficient beacons during {stage}: found {found}, need {required}"
+            ),
+            HyperEarError::NoUsableSlides { detected, rejected } => write!(
+                f,
+                "no usable slides: {detected} detected, {rejected} rejected by the quality gate"
+            ),
+            HyperEarError::Dsp(e) => write!(f, "dsp error: {e}"),
+            HyperEarError::Geom(e) => write!(f, "geometry error: {e}"),
+            HyperEarError::Imu(e) => write!(f, "inertial error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HyperEarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HyperEarError::Dsp(e) => Some(e),
+            HyperEarError::Geom(e) => Some(e),
+            HyperEarError::Imu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DspError> for HyperEarError {
+    fn from(e: DspError) -> Self {
+        HyperEarError::Dsp(e)
+    }
+}
+
+impl From<GeomError> for HyperEarError {
+    fn from(e: GeomError) -> Self {
+        HyperEarError::Geom(e)
+    }
+}
+
+impl From<ImuError> for HyperEarError {
+    fn from(e: ImuError) -> Self {
+        HyperEarError::Imu(e)
+    }
+}
+
+impl HyperEarError {
+    /// Convenience constructor for [`HyperEarError::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        HyperEarError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn displays_carry_context() {
+        assert!(HyperEarError::invalid("period", "must be positive")
+            .to_string()
+            .contains("period"));
+        let e = HyperEarError::InsufficientBeacons {
+            stage: "sfo",
+            found: 1,
+            required: 3,
+        };
+        assert!(e.to_string().contains("sfo"));
+        let e = HyperEarError::NoUsableSlides {
+            detected: 5,
+            rejected: 5,
+        };
+        assert!(e.to_string().contains("5 detected"));
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        let e = HyperEarError::from(DspError::EmptyInput { what: "x" });
+        assert!(e.source().is_some());
+        let e = HyperEarError::from(GeomError::invalid("d", "bad"));
+        assert!(e.source().is_some());
+        let e = HyperEarError::from(ImuError::invalid("fs", "bad"));
+        assert!(e.source().is_some());
+        assert!(HyperEarError::invalid("x", "y").source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HyperEarError>();
+    }
+}

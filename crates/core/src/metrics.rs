@@ -1,0 +1,193 @@
+//! Localization-error metrics.
+//!
+//! The paper reports error CDFs (Figs. 14–19) and summary statistics
+//! (mean and "90%-precision" accuracy). This module computes those in the
+//! same format so the benchmark harness can print paper-comparable rows.
+
+use crate::HyperEarError;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a set of localization errors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorStats {
+    /// Number of trials.
+    pub count: usize,
+    /// Mean error, metres.
+    pub mean: f64,
+    /// Median error, metres.
+    pub median: f64,
+    /// 90th-percentile error — the paper's "90%-precision accuracy".
+    pub p90: f64,
+    /// Maximum error, metres.
+    pub max: f64,
+}
+
+/// An empirical cumulative distribution over errors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] for an empty input or
+    /// non-finite values.
+    pub fn new(errors: &[f64]) -> Result<Self, HyperEarError> {
+        if errors.is_empty() {
+            return Err(HyperEarError::invalid("errors", "need at least one error"));
+        }
+        if errors.iter().any(|e| !e.is_finite()) {
+            return Err(HyperEarError::invalid("errors", "errors must be finite"));
+        }
+        let mut sorted = errors.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Ok(Cdf { sorted })
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF is empty (never true for a constructed value).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The fraction of errors ≤ `x`.
+    #[must_use]
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `p`-th percentile (0–100), linearly interpolated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = p / 100.0 * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// Samples `points` evenly spaced CDF points as `(error, fraction)`
+    /// pairs — the series a Fig. 14-style plot draws.
+    #[must_use]
+    pub fn points(&self, points: usize) -> Vec<(f64, f64)> {
+        let points = points.max(2);
+        let max = *self.sorted.last().expect("non-empty");
+        (0..=points)
+            .map(|i| {
+                let x = max * i as f64 / points as f64;
+                (x, self.fraction_below(x))
+            })
+            .collect()
+    }
+
+    /// Summary statistics of the underlying errors.
+    #[must_use]
+    pub fn stats(&self) -> ErrorStats {
+        let n = self.sorted.len();
+        ErrorStats {
+            count: n,
+            mean: self.sorted.iter().sum::<f64>() / n as f64,
+            median: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            max: *self.sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Convenience: summary statistics straight from raw errors.
+///
+/// # Errors
+///
+/// Same conditions as [`Cdf::new`].
+pub fn stats(errors: &[f64]) -> Result<ErrorStats, HyperEarError> {
+    Ok(Cdf::new(errors)?.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_distribution() {
+        let errors: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+        let s = stats(&errors).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 0.505).abs() < 1e-12);
+        assert!((s.median - 0.505).abs() < 0.01);
+        assert!((s.p90 - 0.901).abs() < 0.01);
+        assert_eq!(s.max, 1.0);
+    }
+
+    #[test]
+    fn fraction_below_boundaries() {
+        let cdf = Cdf::new(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert_eq!(cdf.fraction_below(0.0), 0.0);
+        assert_eq!(cdf.fraction_below(0.2), 0.5);
+        assert_eq!(cdf.fraction_below(1.0), 1.0);
+        assert_eq!(cdf.len(), 4);
+        assert!(!cdf.is_empty());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let cdf = Cdf::new(&[0.0, 1.0]).unwrap();
+        assert_eq!(cdf.percentile(0.0), 0.0);
+        assert_eq!(cdf.percentile(50.0), 0.5);
+        assert_eq!(cdf.percentile(100.0), 1.0);
+        let single = Cdf::new(&[0.7]).unwrap();
+        assert_eq!(single.percentile(90.0), 0.7);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let errors: Vec<f64> = (0..50).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+        let cdf = Cdf::new(&errors).unwrap();
+        let pts = cdf.points(20);
+        assert_eq!(pts.len(), 21);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let cdf = Cdf::new(&[0.5, 0.1, 0.9, 0.3]).unwrap();
+        assert_eq!(cdf.percentile(0.0), 0.1);
+        assert_eq!(cdf.stats().max, 0.9);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(Cdf::new(&[]).is_err());
+        assert!(Cdf::new(&[0.1, f64::NAN]).is_err());
+        assert!(Cdf::new(&[f64::INFINITY]).is_err());
+        assert!(stats(&[]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_out_of_range_panics() {
+        let _ = Cdf::new(&[0.1]).unwrap().percentile(150.0);
+    }
+}

@@ -1,0 +1,647 @@
+//! The end-to-end HyperEar session pipeline.
+//!
+//! Wires the paper's six components (Fig. 5) together: beacon detection
+//! on both channels → inertial slide/stature analysis → SFO period
+//! estimation from stationary beacons → per-slide augmented TDoA →
+//! two-hyperbola triangulation → multi-slide aggregation → projected
+//! location estimation when the session used two statures.
+
+use crate::asp::BeaconDetector;
+use crate::config::HyperEarConfig;
+use crate::localize::{localize, slide_geometry, Estimate2d, SlideFix};
+use crate::ple::{project, ProjectedEstimate};
+use crate::sfo::{estimate_period, PeriodEstimate};
+use crate::tdoa::{augmented_tdoa, AugmentedTdoa};
+use crate::HyperEarError;
+use hyperear_geom::rotation::Side;
+use hyperear_geom::Vec3;
+use hyperear_imu::analyze::{analyze_session, SlideEstimate};
+use hyperear_imu::quality::Rejection;
+use hyperear_imu::rotation::yaw_trace;
+use serde::{Deserialize, Serialize};
+
+/// Guard margin around inertially-detected movement windows when
+/// classifying beacons as stationary, seconds.
+const STATIONARY_MARGIN: f64 = 0.05;
+
+/// Borrowed views of everything one session recorded.
+///
+/// This is deliberately decoupled from any simulator type: on a real
+/// phone these slices come straight from `AudioRecord` (de-interleaved)
+/// and the sensor service.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionInput<'a> {
+    /// Audio sample rate the OS reports, hertz.
+    pub audio_sample_rate: f64,
+    /// Mic1 channel.
+    pub left: &'a [f64],
+    /// Mic2 channel (the microphone `mic_separation` metres along +y).
+    pub right: &'a [f64],
+    /// IMU sample rate, hertz.
+    pub imu_sample_rate: f64,
+    /// Raw accelerometer samples (gravity included), m/s².
+    pub accel: &'a [Vec3],
+    /// Raw gyroscope samples, rad/s.
+    pub gyro: &'a [Vec3],
+}
+
+/// Which stature phase a slide belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StaturePhase {
+    /// Before the (first) stature change.
+    Upper,
+    /// After the stature change.
+    Lower,
+}
+
+/// Everything the pipeline concluded about one detected slide.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlideReport {
+    /// The inertial estimate (window, distance, rotation).
+    pub inertial: SlideEstimate,
+    /// Stature phase.
+    pub phase: StaturePhase,
+    /// Whether the slide passed the quality gate.
+    pub accepted: bool,
+    /// Rejection reason when not accepted.
+    pub rejection: Option<Rejection>,
+    /// The augmented TDoA, when beacons bracketed the slide.
+    pub tdoa: Option<AugmentedTdoa>,
+    /// The triangulation fix, when the solve succeeded.
+    pub fix: Option<SlideFix>,
+}
+
+/// The outcome of one full session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionResult {
+    /// Beacons detected on the left (Mic1) channel.
+    pub beacons_left: usize,
+    /// Beacons detected on the right (Mic2) channel.
+    pub beacons_right: usize,
+    /// Mean matched-filter strength of the detected beacons (template-
+    /// energy normalized; ~1.0 for a clean, loud beacon). A sudden drop
+    /// relative to earlier sessions indicates an obstructed (NLoS) path —
+    /// the signal an app uses to tell the user to move.
+    pub mean_beacon_strength: f64,
+    /// The SFO-corrected beacon period (or the nominal period echoed
+    /// back when correction is disabled).
+    pub period: PeriodEstimate,
+    /// Per-slide diagnostics in time order.
+    pub slides: Vec<SlideReport>,
+    /// Aggregated 2D estimate at the upper stature.
+    pub upper: Option<Estimate2d>,
+    /// Aggregated 2D estimate at the lower stature (two-stature sessions).
+    pub lower: Option<Estimate2d>,
+    /// Measured stature change `H`, metres (two-stature sessions).
+    pub stature_drop: Option<f64>,
+    /// The projected (floor-map) estimate (two-stature sessions).
+    pub projected: Option<ProjectedEstimate>,
+}
+
+impl SessionResult {
+    /// The best available floor-map range estimate: the projected `L*`
+    /// for 3D sessions, otherwise the upper 2D range.
+    #[must_use]
+    pub fn best_range(&self) -> Option<f64> {
+        self.projected
+            .as_ref()
+            .map(|p| p.l_star)
+            .or_else(|| self.upper.as_ref().map(|e| e.range))
+    }
+}
+
+/// The HyperEar engine: a validated configuration ready to process
+/// sessions.
+#[derive(Debug, Clone)]
+pub struct HyperEar {
+    config: HyperEarConfig,
+}
+
+impl HyperEar {
+    /// Creates an engine from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] for an invalid config.
+    pub fn new(config: HyperEarConfig) -> Result<Self, HyperEarError> {
+        config.validate()?;
+        Ok(HyperEar { config })
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &HyperEarConfig {
+        &self.config
+    }
+
+    /// Processes one session.
+    ///
+    /// # Errors
+    ///
+    /// - [`HyperEarError::InvalidParameter`] for inconsistent inputs,
+    /// - [`HyperEarError::InsufficientBeacons`] when detection or SFO
+    ///   estimation runs short,
+    /// - [`HyperEarError::NoUsableSlides`] when every detected slide was
+    ///   rejected or unlocalizable,
+    /// - plus propagated component errors.
+    pub fn run(&self, input: &SessionInput<'_>) -> Result<SessionResult, HyperEarError> {
+        if input.left.len() != input.right.len() {
+            return Err(HyperEarError::invalid(
+                "left/right",
+                format!(
+                    "channel length mismatch: {} vs {}",
+                    input.left.len(),
+                    input.right.len()
+                ),
+            ));
+        }
+        if input.audio_sample_rate <= 0.0 || input.imu_sample_rate <= 0.0 {
+            return Err(HyperEarError::invalid(
+                "sample rates",
+                "audio and IMU sample rates must be positive",
+            ));
+        }
+
+        // ---- Beacon detection (ASP). ------------------------------------
+        let detector = BeaconDetector::new(&self.config, input.audio_sample_rate)?;
+        let left = detector.detect(input.left)?;
+        let right = detector.detect(input.right)?;
+        if left.len() < 2 || right.len() < 2 {
+            return Err(HyperEarError::InsufficientBeacons {
+                stage: "beacon detection",
+                found: left.len().min(right.len()),
+                required: 2,
+            });
+        }
+
+        // ---- Inertial analysis (MSP + PDE). -------------------------------
+        let analysis = analyze_session(
+            input.accel,
+            input.gyro,
+            input.imu_sample_rate,
+            &self.config.inertial,
+        )?;
+
+        // ---- Movement timeline and stationary windows. --------------------
+        let audio_duration = input.left.len() as f64 / input.audio_sample_rate;
+        let mut movements: Vec<(f64, f64)> = analysis
+            .slides
+            .iter()
+            .map(|s| (s.start_time, s.end_time))
+            .chain(
+                analysis
+                    .stature_changes
+                    .iter()
+                    .map(|c| {
+                        (
+                            c.segment.start as f64 / input.imu_sample_rate,
+                            c.segment.end as f64 / input.imu_sample_rate,
+                        )
+                    }),
+            )
+            .collect();
+        movements.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let stationary = stationary_windows(
+            &movements,
+            audio_duration,
+            STATIONARY_MARGIN,
+            self.config.beacon.duration,
+        );
+
+        // ---- Rotation error correction (paper Fig. 5). -------------------
+        // Yaw wobble swings Mic2 toward/away from the speaker by
+        // D·sin(yaw), shifting its beacon arrivals by D·sin(yaw)/S. Undo
+        // it per beacon using the gyro-integrated instantaneous yaw; the
+        // sign follows the speaker's side from Speaker Direction Finding.
+        let right = if self.config.rotation_correction {
+            let gyro_z: Vec<f64> = input.gyro.iter().map(|g| g.z).collect();
+            // The LS-detrended yaw trace: constant offsets cancel in the
+            // pre/post arrival differences, and detrending keeps residual
+            // bias drift far below the correction's own scale.
+            let yaw = yaw_trace(&gyro_z, input.imu_sample_rate)?;
+            let yaw_at = |t: f64| -> f64 {
+                let pos = t * input.imu_sample_rate;
+                let i = (pos.floor() as usize).min(yaw.len().saturating_sub(1));
+                let j = (i + 1).min(yaw.len() - 1);
+                let frac = (pos - i as f64).clamp(0.0, 1.0);
+                yaw[i] * (1.0 - frac) + yaw[j] * frac
+            };
+            let sign = match self.config.speaker_side {
+                Side::Right => 1.0,
+                Side::Left => -1.0,
+            };
+            right
+                .into_iter()
+                .map(|mut a| {
+                    a.time += sign * self.config.mic_separation * yaw_at(a.time).sin()
+                        / self.config.speed_of_sound;
+                    a
+                })
+                .collect()
+        } else {
+            right
+        };
+
+
+        // ---- SFO period estimation. -----------------------------------------
+        let period = if self.config.sfo_correction {
+            // Pool both channels' arrivals per window by estimating from
+            // the left channel (both share the ADC clock) and averaging
+            // with the right.
+            let pl = estimate_period(&left, &stationary, self.config.beacon.period)?;
+            let pr = estimate_period(&right, &stationary, self.config.beacon.period)?;
+            let w_l = pl.beacons_used as f64;
+            let w_r = pr.beacons_used as f64;
+            let combined = (pl.period * w_l + pr.period * w_r) / (w_l + w_r);
+            PeriodEstimate {
+                period: combined,
+                offset_ppm: (combined / self.config.beacon.period - 1.0) * 1e6,
+                beacons_used: pl.beacons_used + pr.beacons_used,
+                windows_used: pl.windows_used.max(pr.windows_used),
+            }
+        } else {
+            PeriodEstimate {
+                period: self.config.beacon.period,
+                offset_ppm: 0.0,
+                beacons_used: 0,
+                windows_used: 0,
+            }
+        };
+
+        // ---- Stature phases. ---------------------------------------------------
+        let first_stature_time = analysis
+            .stature_changes
+            .first()
+            .map(|c| c.segment.start as f64 / input.imu_sample_rate);
+        let stature_drop = analysis
+            .stature_changes
+            .first()
+            .map(|c| c.height_change.abs());
+
+        // ---- Per-slide TDoA + triangulation. -----------------------------------
+        let mut reports = Vec::with_capacity(analysis.slides.len());
+        let mut rejected = 0usize;
+        for slide in &analysis.slides {
+            let phase = match first_stature_time {
+                Some(t) if slide.start_time > t => StaturePhase::Lower,
+                _ => StaturePhase::Upper,
+            };
+            let (accepted, rejection) = if self.config.quality_gate_enabled {
+                match self
+                    .config
+                    .quality_gate
+                    .check(slide.distance, slide.rotation_deg)
+                {
+                    Ok(()) => (true, None),
+                    Err(r) => {
+                        rejected += 1;
+                        (false, Some(r))
+                    }
+                }
+            } else {
+                (true, None)
+            };
+            let mut report = SlideReport {
+                inertial: *slide,
+                phase,
+                accepted,
+                rejection,
+                tdoa: None,
+                fix: None,
+            };
+            if accepted {
+                let pre = window_before(&movements, slide.start_time, self.config.beacon.duration);
+                let post = window_after(&movements, slide.end_time, audio_duration, self.config.beacon.duration);
+                match augmented_tdoa(
+                    &left,
+                    &right,
+                    pre,
+                    post,
+                    period.period,
+                    self.config.speed_of_sound,
+                    self.config.beacons_per_side,
+                ) {
+                    Ok(tdoa) => {
+                        report.tdoa = Some(tdoa);
+                        if let Ok(geometry) =
+                            slide_geometry(slide.distance, self.config.mic_separation, &tdoa)
+                        {
+                            if let Ok((fixes, _)) =
+                                localize(&[geometry], self.config.aggregation)
+                            {
+                                // Plausibility gate: an estimate past any
+                                // indoor range means the measurement pair
+                                // carried no usable curvature — drop it.
+                                report.fix = fixes
+                                    .into_iter()
+                                    .next()
+                                    .filter(|f| {
+                                        f.solution.position.y
+                                            <= self.config.max_plausible_range
+                                    });
+                            }
+                        }
+                    }
+                    Err(HyperEarError::InsufficientBeacons { .. }) => {
+                        // Slide unusable (beacons masked); keep the report.
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            reports.push(report);
+        }
+
+        // ---- Aggregation per phase. -----------------------------------------------
+        let aggregate = |phase: StaturePhase| -> Option<Estimate2d> {
+            let geoms: Vec<_> = reports
+                .iter()
+                .filter(|r| r.phase == phase && r.fix.is_some())
+                .map(|r| r.fix.as_ref().expect("filtered Some").geometry)
+                .collect();
+            if geoms.is_empty() {
+                return None;
+            }
+            localize(&geoms, self.config.aggregation)
+                .ok()
+                .map(|(_, est)| est)
+        };
+        let upper = aggregate(StaturePhase::Upper);
+        let lower = aggregate(StaturePhase::Lower);
+
+        if upper.is_none() && lower.is_none() {
+            return Err(HyperEarError::NoUsableSlides {
+                detected: analysis.slides.len(),
+                rejected,
+            });
+        }
+
+        // ---- Projection (3D sessions). -----------------------------------------------
+        let projected = match (&upper, &lower, stature_drop) {
+            (Some(u), Some(l), Some(h)) if h > 0.01 => {
+                Some(project(u, l, h, self.config.max_speaker_depth)?)
+            }
+            _ => None,
+        };
+
+        let strength_sum: f64 = left
+            .iter()
+            .chain(right.iter())
+            .map(|a| a.strength)
+            .sum();
+        let mean_beacon_strength = strength_sum / (left.len() + right.len()) as f64;
+        Ok(SessionResult {
+            beacons_left: left.len(),
+            beacons_right: right.len(),
+            mean_beacon_strength,
+            period,
+            slides: reports,
+            upper,
+            lower,
+            stature_drop,
+            projected,
+        })
+    }
+}
+
+/// Complements the movement windows over `[0, duration]`, shrinking each
+/// stationary window by the margin on both sides and by the chirp
+/// duration at the end (a beacon must *finish* before motion starts).
+fn stationary_windows(
+    movements: &[(f64, f64)],
+    duration: f64,
+    margin: f64,
+    chirp_duration: f64,
+) -> Vec<(f64, f64)> {
+    let mut windows = Vec::with_capacity(movements.len() + 1);
+    let mut cursor = 0.0;
+    for &(start, end) in movements {
+        let w_end = start - margin - chirp_duration;
+        if w_end > cursor {
+            windows.push((cursor, w_end));
+        }
+        cursor = cursor.max(end + margin);
+    }
+    let final_end = duration - chirp_duration;
+    if final_end > cursor {
+        windows.push((cursor, final_end));
+    }
+    windows
+}
+
+/// The stationary window immediately before a slide, for its pre-slide
+/// beacons.
+fn window_before(movements: &[(f64, f64)], slide_start: f64, chirp_duration: f64) -> (f64, f64) {
+    let prev_end = movements
+        .iter()
+        .filter(|&&(_, end)| end < slide_start - 1e-9)
+        .map(|&(_, end)| end)
+        .fold(0.0f64, f64::max);
+    (
+        prev_end + STATIONARY_MARGIN,
+        slide_start - STATIONARY_MARGIN - chirp_duration,
+    )
+}
+
+/// The stationary window immediately after a slide, for its post-slide
+/// beacons.
+fn window_after(
+    movements: &[(f64, f64)],
+    slide_end: f64,
+    duration: f64,
+    chirp_duration: f64,
+) -> (f64, f64) {
+    let next_start = movements
+        .iter()
+        .filter(|&&(start, _)| start > slide_end + 1e-9)
+        .map(|&(start, _)| start)
+        .fold(duration, f64::min);
+    (
+        slide_end + STATIONARY_MARGIN,
+        next_start - STATIONARY_MARGIN - chirp_duration,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HyperEarConfig;
+    use hyperear_sim::environment::Environment;
+    use hyperear_sim::phone::PhoneModel;
+    use hyperear_sim::scenario::{Recording, ScenarioBuilder};
+
+    fn input(rec: &Recording) -> SessionInput<'_> {
+        SessionInput {
+            audio_sample_rate: rec.audio.sample_rate,
+            left: &rec.audio.left,
+            right: &rec.audio.right,
+            imu_sample_rate: rec.imu.sample_rate,
+            accel: &rec.imu.accel,
+            gyro: &rec.imu.gyro,
+        }
+    }
+
+    #[test]
+    fn two_d_session_localizes_at_3m() {
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(3.0)
+            .slides(2)
+            .seed(11)
+            .render()
+            .unwrap();
+        let engine = HyperEar::new(HyperEarConfig::galaxy_s4()).unwrap();
+        let result = engine.run(&input(&rec)).unwrap();
+        assert!(result.beacons_left >= 10);
+        assert_eq!(result.slides.len(), 2);
+        let est = result.upper.expect("upper estimate");
+        assert!(
+            (est.range - 3.0).abs() < 0.3,
+            "range {} truth 3.0",
+            est.range
+        );
+        assert!(result.projected.is_none());
+        assert_eq!(result.best_range(), Some(est.range));
+    }
+
+    #[test]
+    fn sfo_estimate_recovers_combined_clock_offset() {
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(2.0)
+            .slides(1)
+            .seed(12)
+            .render()
+            .unwrap();
+        let engine = HyperEar::new(HyperEarConfig::galaxy_s4()).unwrap();
+        let result = engine.run(&input(&rec)).unwrap();
+        // Speaker +23 ppm, phone ADC +12 ppm: recorded period offset is
+        // (1+23e-6)/(1+12e-6) − 1 ≈ +11 ppm... measured on the *nominal*
+        // phone clock the arrivals stretch by both offsets:
+        // T_recorded = T·(1+23e-6)·(1+12e-6) ≈ T·(1+35e-6).
+        let ppm = result.period.offset_ppm;
+        assert!((ppm - 35.0).abs() < 6.0, "offset {ppm} ppm");
+    }
+
+    #[test]
+    fn three_d_session_projects_to_floor() {
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(3.0)
+            .speaker_stature(0.5)
+            .phone_stature(1.3)
+            .slides(3)
+            .slides_low(3)
+            .stature_drop(0.4)
+            .seed(13)
+            .render()
+            .unwrap();
+        let engine = HyperEar::new(HyperEarConfig::galaxy_s4()).unwrap();
+        let result = engine.run(&input(&rec)).unwrap();
+        assert!(result.upper.is_some());
+        assert!(result.lower.is_some());
+        let drop = result.stature_drop.expect("stature drop measured");
+        assert!((drop - 0.4).abs() < 0.05, "drop {drop}");
+        let proj = result.projected.expect("projected estimate");
+        assert!(
+            (proj.l_star - 3.0).abs() < 0.35,
+            "projected {} truth 3.0",
+            proj.l_star
+        );
+    }
+
+    #[test]
+    fn mismatched_channels_rejected() {
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(2.0)
+            .slides(1)
+            .seed(14)
+            .render()
+            .unwrap();
+        let engine = HyperEar::new(HyperEarConfig::galaxy_s4()).unwrap();
+        let mut bad = input(&rec);
+        bad.left = &rec.audio.left[..100];
+        assert!(engine.run(&bad).is_err());
+    }
+
+    #[test]
+    fn silence_reports_insufficient_beacons() {
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(2.0)
+            .slides(1)
+            .seed(15)
+            .render()
+            .unwrap();
+        let engine = HyperEar::new(HyperEarConfig::galaxy_s4()).unwrap();
+        let silent_left = vec![0.0; rec.audio.left.len()];
+        let silent_right = vec![0.0; rec.audio.right.len()];
+        let mut silent = input(&rec);
+        silent.left = &silent_left;
+        silent.right = &silent_right;
+        assert!(matches!(
+            engine.run(&silent),
+            Err(HyperEarError::InsufficientBeacons { .. })
+        ));
+    }
+
+    #[test]
+    fn stationary_window_computation() {
+        let movements = vec![(1.0, 1.8), (2.5, 3.3)];
+        let windows = stationary_windows(&movements, 5.0, 0.05, 0.04);
+        assert_eq!(windows.len(), 3);
+        assert!((windows[0].0 - 0.0).abs() < 1e-12);
+        assert!((windows[0].1 - 0.91).abs() < 1e-9);
+        assert!((windows[1].0 - 1.85).abs() < 1e-9);
+        assert!((windows[1].1 - 2.41).abs() < 1e-9);
+        assert!((windows[2].0 - 3.35).abs() < 1e-9);
+        assert!((windows[2].1 - 4.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_helpers_bracket_a_slide() {
+        let movements = vec![(1.0, 1.8), (2.5, 3.3)];
+        let pre = window_before(&movements, 2.5, 0.04);
+        assert!((pre.0 - 1.85).abs() < 1e-9);
+        assert!((pre.1 - 2.41).abs() < 1e-9);
+        let post = window_after(&movements, 1.8, 5.0, 0.04);
+        assert!((post.0 - 1.85).abs() < 1e-9);
+        assert!((post.1 - 2.41).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_gate_can_reject_everything() {
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(2.0)
+            .slide_distance(0.3) // below the 50 cm gate
+            .slides(2)
+            .seed(16)
+            .render()
+            .unwrap();
+        let engine = HyperEar::new(HyperEarConfig::galaxy_s4()).unwrap();
+        match engine.run(&input(&rec)) {
+            Err(HyperEarError::NoUsableSlides { detected, rejected }) => {
+                assert_eq!(detected, 2);
+                assert_eq!(rejected, 2);
+            }
+            other => panic!("expected NoUsableSlides, got {other:?}"),
+        }
+        // Disabling the gate accepts the short slides (accuracy suffers,
+        // but the session completes).
+        let mut cfg = HyperEarConfig::galaxy_s4();
+        cfg.quality_gate_enabled = false;
+        let engine = HyperEar::new(cfg).unwrap();
+        let result = engine.run(&input(&rec)).unwrap();
+        assert!(result.upper.is_some());
+    }
+
+    #[test]
+    fn engine_construction_validates() {
+        let mut cfg = HyperEarConfig::galaxy_s4();
+        cfg.mic_separation = 0.0;
+        assert!(HyperEar::new(cfg).is_err());
+        let engine = HyperEar::new(HyperEarConfig::galaxy_s4()).unwrap();
+        assert_eq!(engine.config().mic_separation, 0.1366);
+    }
+}

@@ -1,0 +1,176 @@
+//! Projected Location Estimation (paper Section VI-B).
+//!
+//! The 3D protocol: slide at one stature to measure the slant distance
+//! `L1`, lower the phone by `H` (measured by the same displacement
+//! machinery on the z-axis), slide again for `L2`, then project onto the
+//! floor map via Eq. 7. The phone never needs to know its own or the
+//! speaker's absolute height.
+
+use crate::localize::Estimate2d;
+use crate::HyperEarError;
+use hyperear_geom::project::{ProjectedLocation, ProjectionMeasurement};
+use hyperear_geom::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// The result of projected-location estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProjectedEstimate {
+    /// Elevation angle β at the upper plane, radians.
+    pub beta: f64,
+    /// Projected (floor-map) distance to the speaker, metres.
+    pub l_star: f64,
+    /// Estimated floor-map position of the speaker in the phone frame
+    /// (x along the slide axis, y the projected perpendicular distance).
+    pub floor_position: Vec2,
+    /// Whether the Eq. 7 triangle solve succeeded; `false` means the
+    /// far-field fallback `L* ≈ L1` was used because the measurements
+    /// violated the triangle inequality (tiny `H` or noisy `L`s).
+    pub triangle_solved: bool,
+}
+
+/// Projects the two-stature estimates onto the floor map.
+///
+/// `upper`/`lower` are the aggregated 2D estimates at the two statures
+/// (their `range` fields are the slant distances `L1`, `L2`);
+/// `stature_drop` is the measured height change `H` (sign-insensitive);
+/// `max_depth` bounds the plausible vertical offset between the speaker
+/// and the phone's slide plane, metres.
+///
+/// # Depth clamping
+///
+/// Eq. 7 infers the elevation angle from `L1² − L2²`, a difference of a
+/// few centimetres for a far speaker — smaller than realistic per-stature
+/// estimation noise. Unclamped, that noise can swing β wildly and destroy
+/// an otherwise-accurate estimate. Indoors, however, the speaker's depth
+/// below (or height above) the slide plane is physically bounded, so the
+/// implied depth `L1·cos β` is clamped to `±max_depth`, which bounds the
+/// projection error to second order. When the triangle `(L1, L2, H)` is
+/// infeasible outright the estimate falls back to `L* = L1` with β = 90°.
+///
+/// # Errors
+///
+/// Returns [`HyperEarError::InvalidParameter`] for non-positive ranges,
+/// a zero stature drop, or a non-positive `max_depth`.
+pub fn project(
+    upper: &Estimate2d,
+    lower: &Estimate2d,
+    stature_drop: f64,
+    max_depth: f64,
+) -> Result<ProjectedEstimate, HyperEarError> {
+    let h = stature_drop.abs();
+    if h == 0.0 || !h.is_finite() {
+        return Err(HyperEarError::invalid(
+            "stature_drop",
+            format!("must be non-zero and finite, got {stature_drop}"),
+        ));
+    }
+    if !(max_depth > 0.0 && max_depth.is_finite()) {
+        return Err(HyperEarError::invalid(
+            "max_depth",
+            format!("must be positive and finite, got {max_depth}"),
+        ));
+    }
+    if upper.range <= 0.0 || lower.range <= 0.0 {
+        return Err(HyperEarError::invalid(
+            "upper/lower",
+            format!(
+                "slant ranges must be positive, got {} / {}",
+                upper.range, lower.range
+            ),
+        ));
+    }
+    let x = 0.5 * (upper.position.x + lower.position.x);
+    match ProjectionMeasurement::new(upper.range, lower.range, h)
+        .and_then(|m| m.solve())
+    {
+        Ok(ProjectedLocation { beta, .. }) => {
+            // Clamp the implied depth to the plausible indoor bound.
+            let depth_limit = (max_depth / upper.range).min(1.0);
+            let cos_beta = beta.cos().clamp(-depth_limit, depth_limit);
+            let beta = cos_beta.acos();
+            let l_star = upper.range * beta.sin();
+            Ok(ProjectedEstimate {
+                beta,
+                l_star,
+                floor_position: Vec2::new(x, l_star),
+                triangle_solved: true,
+            })
+        }
+        Err(_) => Ok(ProjectedEstimate {
+            beta: std::f64::consts::FRAC_PI_2,
+            l_star: upper.range,
+            floor_position: Vec2::new(x, upper.range),
+            triangle_solved: false,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperear_geom::project::forward_model;
+
+    fn estimate(x: f64, range: f64) -> Estimate2d {
+        Estimate2d {
+            position: Vec2::new(x, range),
+            range,
+            slides_used: 5,
+        }
+    }
+
+    #[test]
+    fn recovers_ground_distance() {
+        // Speaker 7 m away on the floor, 0.8 m below the upper plane,
+        // stature change 0.4 m.
+        let m = forward_model(7.0, 0.8, 0.4).unwrap();
+        let est = project(&estimate(0.05, m.l1), &estimate(0.07, m.l2), 0.4, 2.0).unwrap();
+        assert!(est.triangle_solved);
+        assert!((est.l_star - 7.0).abs() < 1e-9);
+        assert!((est.floor_position.y - 7.0).abs() < 1e-9);
+        assert!((est.floor_position.x - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sign_of_stature_drop_is_ignored() {
+        let m = forward_model(5.0, 0.6, 0.4).unwrap();
+        let a = project(&estimate(0.0, m.l1), &estimate(0.0, m.l2), 0.4, 2.0).unwrap();
+        let b = project(&estimate(0.0, m.l1), &estimate(0.0, m.l2), -0.4, 2.0).unwrap();
+        assert_eq!(a.l_star, b.l_star);
+    }
+
+    #[test]
+    fn infeasible_triangle_falls_back_to_l1() {
+        // L2 > L1 + H: impossible geometry from noisy measurements.
+        let est = project(&estimate(0.0, 3.0), &estimate(0.0, 4.0), 0.2, 2.0).unwrap();
+        assert!(!est.triangle_solved);
+        assert_eq!(est.l_star, 3.0);
+        assert_eq!(est.beta, std::f64::consts::FRAC_PI_2);
+    }
+
+    #[test]
+    fn fallback_error_is_small_for_far_speakers() {
+        // Even when the triangle solves, L1 vs L* differ by < 1% at 7 m
+        // with sub-metre depth — quantifying why the fallback is safe.
+        let m = forward_model(7.0, 0.8, 0.4).unwrap();
+        assert!((m.l1 - 7.0) / 7.0 < 0.01);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(project(&estimate(0.0, 5.0), &estimate(0.0, 5.0), 0.0, 2.0).is_err());
+        assert!(project(&estimate(0.0, -1.0), &estimate(0.0, 5.0), 0.4, 2.0).is_err());
+        assert!(project(&estimate(0.0, 5.0), &estimate(0.0, 0.0), 0.4, 2.0).is_err());
+        assert!(project(&estimate(0.0, 5.0), &estimate(0.0, 5.0), f64::NAN, 2.0).is_err());
+        assert!(project(&estimate(0.0, 5.0), &estimate(0.0, 4.9), 0.4, 0.0).is_err());
+    }
+
+    #[test]
+    fn speaker_above_plane_still_projects() {
+        // Speaker above the upper plane (negative depth).
+        let m = forward_model(4.0, -0.5, 0.4).unwrap();
+        let est = project(&estimate(0.0, m.l1), &estimate(0.0, m.l2), 0.4, 2.0).unwrap();
+        assert!(est.triangle_solved);
+        assert!((est.l_star - 4.0).abs() < 1e-9);
+        assert!(est.beta > std::f64::consts::FRAC_PI_2);
+    }
+}

@@ -1,0 +1,263 @@
+//! Speaker Direction Finding (paper Section IV).
+//!
+//! Before any slide, the user rolls the phone around its z-axis while
+//! watching the inter-microphone TDoA. When the TDoA crosses zero the
+//! speaker lies on the phone's x-axis — an *in-direction position* — and
+//! the speaker additionally sits in the densest hyperbola region
+//! (Fig. 4a). This module turns a sequence of (roll angle, TDoA)
+//! observations into crossings and live guidance.
+
+use crate::HyperEarError;
+use hyperear_geom::rotation::{wrap_degrees, Side};
+use serde::{Deserialize, Serialize};
+
+/// One observation of the rolling phone: accumulated roll angle (from
+/// gyro integration) and the TDoA measured there.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RollObservation {
+    /// Accumulated roll angle, degrees (need not be wrapped).
+    pub roll_degrees: f64,
+    /// Measured TDoA `t_mic1 − t_mic2`, seconds.
+    pub tdoa: f64,
+}
+
+/// An in-direction position found during the roll.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InDirection {
+    /// The roll angle (degrees, wrapped to `[0, 360)`) at which the TDoA
+    /// crossed zero, linearly interpolated between observations.
+    pub roll_degrees: f64,
+    /// Which side of the phone the speaker is on at this crossing:
+    /// `Right` means the speaker lies along the phone's +x axis
+    /// (α = 90°), `Left` along −x (α = 270°).
+    pub side: Side,
+}
+
+/// Live guidance for the rolling user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Guidance {
+    /// Keep rolling; the TDoA has not crossed zero yet.
+    KeepRolling,
+    /// Stop: the phone is in-direction within tolerance.
+    Stop,
+}
+
+/// Finds all zero crossings of the TDoA across a recorded roll sweep.
+///
+/// The crossing where the TDoA goes from negative to positive is α = 90°
+/// (speaker to the phone's right / +x); positive-to-negative is α = 270°.
+/// This follows from the far-field relation `TDoA ∝ −D·cos α` (paper
+/// Figs. 6–7).
+///
+/// # Errors
+///
+/// Returns [`HyperEarError::InvalidParameter`] for fewer than 2
+/// observations.
+pub fn find_crossings(observations: &[RollObservation]) -> Result<Vec<InDirection>, HyperEarError> {
+    if observations.len() < 2 {
+        return Err(HyperEarError::invalid(
+            "observations",
+            format!("need at least 2 observations, got {}", observations.len()),
+        ));
+    }
+    let mut crossings = Vec::new();
+    for pair in observations.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if a.tdoa == 0.0 {
+            // Exact zero at a sample: classify by the following trend.
+            let side = if b.tdoa > 0.0 { Side::Right } else { Side::Left };
+            crossings.push(InDirection {
+                roll_degrees: wrap_degrees(a.roll_degrees),
+                side,
+            });
+            continue;
+        }
+        if a.tdoa.signum() != b.tdoa.signum() && b.tdoa != 0.0 {
+            // Linear interpolation of the crossing angle.
+            let frac = a.tdoa / (a.tdoa - b.tdoa);
+            let angle = a.roll_degrees + frac * (b.roll_degrees - a.roll_degrees);
+            let side = if a.tdoa < 0.0 { Side::Right } else { Side::Left };
+            crossings.push(InDirection {
+                roll_degrees: wrap_degrees(angle),
+                side,
+            });
+        }
+    }
+    Ok(crossings)
+}
+
+/// Streaming guidance: given the most recent TDoA and the phone's
+/// mic separation, tell the user whether to keep rolling.
+///
+/// The stop tolerance is expressed as a fraction of the maximum possible
+/// TDoA `D/S`; 0.05 stops within ~3° of in-direction.
+///
+/// # Errors
+///
+/// Returns [`HyperEarError::InvalidParameter`] for non-positive
+/// separation, speed, or tolerance.
+pub fn guidance(
+    current_tdoa: f64,
+    mic_separation: f64,
+    speed_of_sound: f64,
+    tolerance_fraction: f64,
+) -> Result<Guidance, HyperEarError> {
+    if mic_separation <= 0.0 {
+        return Err(HyperEarError::invalid("mic_separation", "must be positive"));
+    }
+    if speed_of_sound <= 0.0 {
+        return Err(HyperEarError::invalid("speed_of_sound", "must be positive"));
+    }
+    if !(tolerance_fraction > 0.0 && tolerance_fraction < 1.0) {
+        return Err(HyperEarError::invalid(
+            "tolerance_fraction",
+            "must be in (0, 1)",
+        ));
+    }
+    let max_tdoa = mic_separation / speed_of_sound;
+    Ok(if current_tdoa.abs() <= tolerance_fraction * max_tdoa {
+        Guidance::Stop
+    } else {
+        Guidance::KeepRolling
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Far-field TDoA model: −(D/S)·cos(roll), speaker due +x at roll 90°.
+    fn sweep(step_deg: f64) -> Vec<RollObservation> {
+        let d_over_s = 0.1366 / 343.0;
+        let steps = (360.0 / step_deg) as usize;
+        (0..steps)
+            .map(|k| {
+                let roll = k as f64 * step_deg;
+                RollObservation {
+                    roll_degrees: roll,
+                    tdoa: -d_over_s * roll.to_radians().cos(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_both_crossings_of_a_full_roll() {
+        let crossings = find_crossings(&sweep(5.0)).unwrap();
+        assert_eq!(crossings.len(), 2);
+        assert!((crossings[0].roll_degrees - 90.0).abs() < 0.5);
+        assert_eq!(crossings[0].side, Side::Right);
+        assert!((crossings[1].roll_degrees - 270.0).abs() < 0.5);
+        assert_eq!(crossings[1].side, Side::Left);
+    }
+
+    #[test]
+    fn interpolates_between_coarse_samples() {
+        // 30° steps straddle the crossing; interpolation must still land
+        // within a couple of degrees of 90°.
+        let crossings = find_crossings(&sweep(30.0)).unwrap();
+        assert!(!crossings.is_empty());
+        assert!((crossings[0].roll_degrees - 90.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn exact_zero_sample_is_classified() {
+        let obs = vec![
+            RollObservation {
+                roll_degrees: 89.0,
+                tdoa: 0.0,
+            },
+            RollObservation {
+                roll_degrees: 91.0,
+                tdoa: 1e-5,
+            },
+        ];
+        let crossings = find_crossings(&obs).unwrap();
+        assert_eq!(crossings.len(), 1);
+        assert_eq!(crossings[0].side, Side::Right);
+        assert_eq!(crossings[0].roll_degrees, 89.0);
+    }
+
+    #[test]
+    fn no_crossing_in_monotone_segment() {
+        let obs = vec![
+            RollObservation {
+                roll_degrees: 0.0,
+                tdoa: -1e-4,
+            },
+            RollObservation {
+                roll_degrees: 20.0,
+                tdoa: -5e-5,
+            },
+        ];
+        assert!(find_crossings(&obs).unwrap().is_empty());
+    }
+
+    #[test]
+    fn noisy_sweep_still_finds_in_direction() {
+        let mut obs = sweep(2.0);
+        // Deterministic jitter at 5% of max TDoA.
+        for (i, o) in obs.iter_mut().enumerate() {
+            let j = ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0;
+            o.tdoa += 0.05 * (0.1366 / 343.0) * j;
+        }
+        let crossings = find_crossings(&obs).unwrap();
+        // Jitter may add spurious crossings near the true ones; every
+        // crossing must still be near 90° or 270°.
+        assert!(!crossings.is_empty());
+        for c in &crossings {
+            let near_90 = (c.roll_degrees - 90.0).abs() < 10.0;
+            let near_270 = (c.roll_degrees - 270.0).abs() < 10.0;
+            assert!(near_90 || near_270, "crossing at {}", c.roll_degrees);
+        }
+    }
+
+    #[test]
+    fn guidance_thresholds() {
+        let d = 0.1366;
+        let s = 343.0;
+        let max = d / s;
+        assert_eq!(guidance(0.0, d, s, 0.05).unwrap(), Guidance::Stop);
+        assert_eq!(guidance(0.04 * max, d, s, 0.05).unwrap(), Guidance::Stop);
+        assert_eq!(
+            guidance(0.5 * max, d, s, 0.05).unwrap(),
+            Guidance::KeepRolling
+        );
+        assert_eq!(
+            guidance(-0.5 * max, d, s, 0.05).unwrap(),
+            Guidance::KeepRolling
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(find_crossings(&[]).is_err());
+        assert!(find_crossings(&sweep(5.0)[..1]).is_err());
+        assert!(guidance(0.0, 0.0, 343.0, 0.05).is_err());
+        assert!(guidance(0.0, 0.14, 0.0, 0.05).is_err());
+        assert!(guidance(0.0, 0.14, 343.0, 0.0).is_err());
+        assert!(guidance(0.0, 0.14, 343.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn works_on_simulated_rotation_sweep() {
+        // End-to-end with the simulator's quantized sweep (Fig. 7 data).
+        use hyperear_sim::phone::PhoneModel;
+        use hyperear_sim::scenario::rotation_sweep;
+        let samples = rotation_sweep(&PhoneModel::galaxy_s4(), 5.0, 360, 0.2, 9).unwrap();
+        let obs: Vec<RollObservation> = samples
+            .iter()
+            .map(|s| RollObservation {
+                roll_degrees: s.alpha_degrees,
+                tdoa: s.tdoa_ms / 1_000.0,
+            })
+            .collect();
+        let crossings = find_crossings(&obs).unwrap();
+        assert!(!crossings.is_empty());
+        for c in &crossings {
+            let near_90 = (c.roll_degrees - 90.0).abs() < 8.0;
+            let near_270 = (c.roll_degrees - 270.0).abs() < 8.0;
+            assert!(near_90 || near_270, "crossing at {}", c.roll_degrees);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Sampling-frequency-offset correction (paper Section III, "SFO
+//! Correction" stage of Acoustic Signal Preprocessing).
+//!
+//! The speaker's playback clock and the phone's ADC clock each run a few
+//! tens of ppm off nominal, so the *recorded* beacon period differs from
+//! the nominal 200 ms. The augmented TDoA `Δt′ = t2 − t1 − n·T` spans
+//! `n ≈ 8` periods; an uncorrected 20 ppm error contributes
+//! `8 × 0.2 s × 20e-6 = 32 µs ≈ 11 mm` of fake distance difference — more
+//! than the entire signal for a 7 m speaker. The fix is to *measure* the
+//! recorded period: while the phone is stationary, consecutive beacons
+//! arrive exactly one period apart, so a least-squares line through
+//! (beacon index, arrival time) pairs recovers `T̂` to sub-microsecond
+//! precision.
+
+use crate::asp::BeaconArrival;
+use crate::HyperEarError;
+use serde::{Deserialize, Serialize};
+
+/// The recovered beacon period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodEstimate {
+    /// Estimated period on the recording clock, seconds.
+    pub period: f64,
+    /// Implied clock offset versus nominal, parts per million.
+    pub offset_ppm: f64,
+    /// Total beacons that entered the fit.
+    pub beacons_used: usize,
+    /// Stationary windows that contributed.
+    pub windows_used: usize,
+}
+
+/// Estimates the recorded beacon period from arrivals inside stationary
+/// windows.
+///
+/// Each window contributes an independent least-squares slope of arrival
+/// time versus beacon index (indices recovered by rounding against the
+/// nominal period); windows are combined with information weights
+/// `Σ(k − k̄)²`. Windows with fewer than two arrivals are skipped.
+///
+/// # Errors
+///
+/// Returns [`HyperEarError::InsufficientBeacons`] when no window has two
+/// or more arrivals, and [`HyperEarError::InvalidParameter`] when the
+/// estimate deviates from nominal by more than 1000 ppm (the beacon
+/// source is not what the configuration claims).
+pub fn estimate_period(
+    arrivals: &[BeaconArrival],
+    stationary_windows: &[(f64, f64)],
+    nominal_period: f64,
+) -> Result<PeriodEstimate, HyperEarError> {
+    if nominal_period <= 0.0 {
+        return Err(HyperEarError::invalid(
+            "nominal_period",
+            "must be positive",
+        ));
+    }
+    let mut total_weight = 0.0;
+    let mut weighted_slope = 0.0;
+    let mut beacons_used = 0;
+    let mut windows_used = 0;
+    for &(start, end) in stationary_windows {
+        let times: Vec<f64> = arrivals
+            .iter()
+            .map(|a| a.time)
+            .filter(|&t| t >= start && t <= end)
+            .collect();
+        if times.len() < 2 {
+            continue;
+        }
+        // Beacon indices relative to the window's first arrival.
+        let t0 = times[0];
+        let ks: Vec<f64> = times
+            .iter()
+            .map(|&t| ((t - t0) / nominal_period).round())
+            .collect();
+        // Guard against duplicate indices (double-detections).
+        let mut sorted = ks.clone();
+        sorted.sort_by(f64::total_cmp);
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            continue;
+        }
+        let n = times.len() as f64;
+        let k_mean = ks.iter().sum::<f64>() / n;
+        let t_mean = times.iter().sum::<f64>() / n;
+        let sxx: f64 = ks.iter().map(|k| (k - k_mean) * (k - k_mean)).sum();
+        if sxx <= 0.0 {
+            continue;
+        }
+        let sxy: f64 = ks
+            .iter()
+            .zip(&times)
+            .map(|(k, t)| (k - k_mean) * (t - t_mean))
+            .sum();
+        let slope = sxy / sxx;
+        weighted_slope += slope * sxx;
+        total_weight += sxx;
+        beacons_used += times.len();
+        windows_used += 1;
+    }
+    if windows_used == 0 {
+        return Err(HyperEarError::InsufficientBeacons {
+            stage: "SFO period estimation",
+            found: arrivals.len().min(1),
+            required: 2,
+        });
+    }
+    let period = weighted_slope / total_weight;
+    let offset_ppm = (period / nominal_period - 1.0) * 1e6;
+    if offset_ppm.abs() > 1_000.0 {
+        return Err(HyperEarError::invalid(
+            "arrivals",
+            format!(
+                "estimated beacon period {period:.6}s deviates {offset_ppm:.0} ppm from nominal {nominal_period}s"
+            ),
+        ));
+    }
+    Ok(PeriodEstimate {
+        period,
+        offset_ppm,
+        beacons_used,
+        windows_used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrivals_with_period(t0: f64, period: f64, count: usize) -> Vec<BeaconArrival> {
+        (0..count)
+            .map(|k| BeaconArrival {
+                time: t0 + k as f64 * period,
+                strength: 1.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_period_from_clean_arrivals() {
+        let true_period = 0.2 * (1.0 + 35e-6);
+        let arrivals = arrivals_with_period(0.05, true_period, 6);
+        let est = estimate_period(&arrivals, &[(0.0, 1.2)], 0.2).unwrap();
+        assert!((est.period - true_period).abs() < 1e-12);
+        assert!((est.offset_ppm - 35.0).abs() < 1e-6);
+        assert_eq!(est.beacons_used, 6);
+        assert_eq!(est.windows_used, 1);
+    }
+
+    #[test]
+    fn jittered_arrivals_average_out() {
+        let true_period = 0.2 * (1.0 - 20e-6);
+        let jitter = [1e-6, -2e-6, 1.5e-6, -0.5e-6, 0.8e-6, -1.2e-6];
+        let arrivals: Vec<BeaconArrival> = (0..6)
+            .map(|k| BeaconArrival {
+                time: 0.02 + k as f64 * true_period + jitter[k],
+                strength: 1.0,
+            })
+            .collect();
+        let est = estimate_period(&arrivals, &[(0.0, 1.2)], 0.2).unwrap();
+        assert!(
+            (est.period - true_period).abs() < 1e-6,
+            "estimated {} vs {true_period}",
+            est.period
+        );
+    }
+
+    #[test]
+    fn multiple_windows_are_combined() {
+        let true_period = 0.2 * (1.0 + 50e-6);
+        let mut arrivals = arrivals_with_period(0.05, true_period, 4);
+        // Second stationary window after a movement gap; different phase.
+        arrivals.extend(arrivals_with_period(2.0, true_period, 4));
+        let est =
+            estimate_period(&arrivals, &[(0.0, 0.9), (1.9, 2.9)], 0.2).unwrap();
+        assert_eq!(est.windows_used, 2);
+        assert_eq!(est.beacons_used, 8);
+        assert!((est.period - true_period).abs() < 1e-10);
+    }
+
+    #[test]
+    fn arrivals_during_movement_are_excluded() {
+        let true_period = 0.2;
+        let mut arrivals = arrivals_with_period(0.05, true_period, 4);
+        // A badly-shifted arrival inside the movement gap must not matter.
+        arrivals.push(BeaconArrival {
+            time: 1.37,
+            strength: 1.0,
+        });
+        arrivals.extend(arrivals_with_period(2.0, true_period, 4));
+        let est =
+            estimate_period(&arrivals, &[(0.0, 0.9), (1.9, 2.9)], 0.2).unwrap();
+        assert!((est.period - 0.2).abs() < 1e-12);
+        assert_eq!(est.beacons_used, 8);
+    }
+
+    #[test]
+    fn missed_beacons_are_bridged_by_index_rounding() {
+        // Arrivals at k = 0, 1, 3, 4 (beacon 2 was masked by noise).
+        let true_period = 0.2 * (1.0 + 10e-6);
+        let mut arrivals = arrivals_with_period(0.05, true_period, 5);
+        arrivals.remove(2);
+        let est = estimate_period(&arrivals, &[(0.0, 1.2)], 0.2).unwrap();
+        assert!((est.period - true_period).abs() < 1e-10);
+        assert_eq!(est.beacons_used, 4);
+    }
+
+    #[test]
+    fn no_stationary_beacons_is_an_error() {
+        let arrivals = arrivals_with_period(5.0, 0.2, 4);
+        let result = estimate_period(&arrivals, &[(0.0, 1.0)], 0.2);
+        assert!(matches!(
+            result,
+            Err(HyperEarError::InsufficientBeacons { .. })
+        ));
+        let result = estimate_period(&[], &[(0.0, 1.0)], 0.2);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn wildly_wrong_period_is_rejected() {
+        // Arrivals every 0.3 s against a nominal of 0.2 s: not this beacon.
+        let arrivals = arrivals_with_period(0.05, 0.3, 5);
+        // Index rounding maps 0.3 to k = 2, 3... producing a slope far off.
+        let result = estimate_period(&arrivals, &[(0.0, 2.0)], 0.2);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn invalid_nominal_rejected() {
+        assert!(estimate_period(&[], &[(0.0, 1.0)], 0.0).is_err());
+    }
+
+    #[test]
+    fn single_arrival_windows_are_skipped() {
+        let true_period = 0.2;
+        let mut arrivals = arrivals_with_period(0.05, true_period, 3);
+        arrivals.push(BeaconArrival {
+            time: 5.0,
+            strength: 1.0,
+        });
+        let est =
+            estimate_period(&arrivals, &[(0.0, 0.7), (4.9, 5.1)], 0.2).unwrap();
+        assert_eq!(est.windows_used, 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! Cross-correlation and matched filtering.
+//!
+//! HyperEar detects chirp beacons the BeepBeep way: "the recorded audio
+//! signal at each microphone is correlated with a reference chirp signal.
+//! The maximum peak of correlation is concluded as the location of a
+//! signal" (Section IV-A). Correlation is computed in the frequency domain
+//! so a full one-second stereo recording is cheap to scan.
+
+use crate::fft::{self, next_pow2};
+use crate::{Complex, DspError};
+
+/// Full cross-correlation of `signal` with `template` at all lags where the
+/// template overlaps the signal start, computed via FFT.
+///
+/// `output[k] = Σ_n signal[n + k] · template[n]`, for `k` in
+/// `0..signal.len()`. The value at `k` is large when the template occurs at
+/// position `k` in the signal, making the output directly indexable by
+/// arrival sample.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if either input is empty, and
+/// [`DspError::InvalidParameter`] if the template is longer than the signal.
+pub fn xcorr(signal: &[f64], template: &[f64]) -> Result<Vec<f64>, DspError> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput { what: "xcorr signal" });
+    }
+    if template.is_empty() {
+        return Err(DspError::EmptyInput {
+            what: "xcorr template",
+        });
+    }
+    if template.len() > signal.len() {
+        return Err(DspError::invalid(
+            "template",
+            format!(
+                "template ({}) longer than signal ({})",
+                template.len(),
+                signal.len()
+            ),
+        ));
+    }
+    let n = next_pow2(signal.len() + template.len());
+    let sig_spec = fft::rfft(signal, n)?;
+    let tpl_spec = fft::rfft(template, n)?;
+    let mut prod: Vec<Complex> = sig_spec
+        .iter()
+        .zip(&tpl_spec)
+        .map(|(&s, &t)| s * t.conj())
+        .collect();
+    fft::ifft(&mut prod)?;
+    Ok(prod[..signal.len()].iter().map(|c| c.re).collect())
+}
+
+/// Normalized cross-correlation: [`xcorr`] scaled so a perfect match of the
+/// template at a lag yields 1.0.
+///
+/// Normalization divides by `‖template‖ · ‖signal window‖` at each lag,
+/// making the output comparable across recordings with different gains.
+///
+/// # Errors
+///
+/// Same conditions as [`xcorr`].
+pub fn normalized_xcorr(signal: &[f64], template: &[f64]) -> Result<Vec<f64>, DspError> {
+    let raw = xcorr(signal, template)?;
+    let tpl_energy: f64 = template.iter().map(|x| x * x).sum();
+    let tpl_norm = tpl_energy.sqrt();
+    if tpl_norm == 0.0 {
+        return Err(DspError::invalid("template", "template has zero energy"));
+    }
+    // Sliding window energy of the signal via prefix sums.
+    let mut prefix = vec![0.0; signal.len() + 1];
+    for (i, &s) in signal.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + s * s;
+    }
+    let m = template.len();
+    let out = raw
+        .iter()
+        .enumerate()
+        .map(|(k, &r)| {
+            let end = (k + m).min(signal.len());
+            let win_energy = prefix[end] - prefix[k];
+            if win_energy <= 0.0 {
+                0.0
+            } else {
+                r / (tpl_norm * win_energy.sqrt())
+            }
+        })
+        .collect();
+    Ok(out)
+}
+
+/// A reusable matched filter with a precomputed template spectrum.
+///
+/// When the same reference chirp is correlated against many recordings
+/// (every slide, every microphone), caching the conjugated template spectrum
+/// per FFT size avoids redundant transforms.
+#[derive(Debug, Clone)]
+pub struct MatchedFilter {
+    template: Vec<f64>,
+    template_energy: f64,
+}
+
+impl MatchedFilter {
+    /// Creates a matched filter for `template`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty template and
+    /// [`DspError::InvalidParameter`] for an all-zero template.
+    pub fn new(template: &[f64]) -> Result<Self, DspError> {
+        if template.is_empty() {
+            return Err(DspError::EmptyInput {
+                what: "matched filter template",
+            });
+        }
+        let energy: f64 = template.iter().map(|x| x * x).sum();
+        if energy == 0.0 {
+            return Err(DspError::invalid("template", "template has zero energy"));
+        }
+        Ok(MatchedFilter {
+            template: template.to_vec(),
+            template_energy: energy,
+        })
+    }
+
+    /// The template length in samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.template.len()
+    }
+
+    /// Whether the template is empty (never true for a constructed filter).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.template.is_empty()
+    }
+
+    /// The template energy `Σ x²`.
+    #[must_use]
+    pub fn template_energy(&self) -> f64 {
+        self.template_energy
+    }
+
+    /// Raw correlation of the filter template against `signal`.
+    ///
+    /// See [`xcorr`] for the output convention.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`xcorr`].
+    pub fn correlate(&self, signal: &[f64]) -> Result<Vec<f64>, DspError> {
+        xcorr(signal, &self.template)
+    }
+
+    /// Normalized correlation (template-energy normalized only).
+    ///
+    /// Output of 1.0 means the signal window equals the template exactly;
+    /// unlike [`normalized_xcorr`] the signal window energy is not divided
+    /// out, so absolute amplitude still matters. This matches the
+    /// matched-filter SNR detection used for beacon finding: we want loud,
+    /// template-shaped events.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`xcorr`].
+    pub fn correlate_normalized(&self, signal: &[f64]) -> Result<Vec<f64>, DspError> {
+        let mut out = self.correlate(signal)?;
+        let k = 1.0 / self.template_energy;
+        for v in &mut out {
+            *v *= k;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argmax(x: &[f64]) -> usize {
+        x.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn finds_template_at_known_offset() {
+        let template = [1.0, -2.0, 3.0, -1.0];
+        let mut signal = vec![0.0; 64];
+        signal[20..24].copy_from_slice(&template);
+        let out = xcorr(&signal, &template).unwrap();
+        assert_eq!(argmax(&out), 20);
+        let peak = out[20];
+        let energy: f64 = template.iter().map(|x| x * x).sum();
+        assert!((peak - energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_direct_computation() {
+        let signal: Vec<f64> = (0..50).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let template: Vec<f64> = (0..8).map(|i| ((i * 3 % 5) as f64) - 2.0).collect();
+        let fast = xcorr(&signal, &template).unwrap();
+        for k in 0..signal.len() {
+            let direct: f64 = template
+                .iter()
+                .enumerate()
+                .filter(|(n, _)| k + n < signal.len())
+                .map(|(n, &t)| signal[k + n] * t)
+                .sum();
+            assert!((fast[k] - direct).abs() < 1e-8, "lag {k}");
+        }
+    }
+
+    #[test]
+    fn normalized_peak_is_one_for_exact_match() {
+        let template = [0.5, -1.5, 2.5, 0.25, -0.75];
+        let mut signal = vec![0.0; 32];
+        signal[10..15].copy_from_slice(&template);
+        let out = normalized_xcorr(&signal, &template).unwrap();
+        assert!((out[10] - 1.0).abs() < 1e-9);
+        assert_eq!(argmax(&out), 10);
+    }
+
+    #[test]
+    fn normalized_is_gain_invariant() {
+        let template = [1.0, -1.0, 2.0];
+        let mut quiet = vec![0.0; 32];
+        quiet[5..8].copy_from_slice(&[0.01, -0.01, 0.02]);
+        let out = normalized_xcorr(&quiet, &template).unwrap();
+        assert!((out[5] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matched_filter_normalization() {
+        let template = [2.0, 0.0, -2.0];
+        let filter = MatchedFilter::new(&template).unwrap();
+        let mut signal = vec![0.0; 16];
+        signal[4..7].copy_from_slice(&template);
+        let out = filter.correlate_normalized(&signal).unwrap();
+        assert!((out[4] - 1.0).abs() < 1e-9);
+        assert_eq!(filter.len(), 3);
+        assert!(!filter.is_empty());
+        assert!((filter.template_energy() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(xcorr(&[], &[1.0]).is_err());
+        assert!(xcorr(&[1.0], &[]).is_err());
+        assert!(xcorr(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(MatchedFilter::new(&[]).is_err());
+        assert!(MatchedFilter::new(&[0.0, 0.0]).is_err());
+        assert!(normalized_xcorr(&[1.0, 2.0], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn detects_template_in_noise() {
+        // Deterministic pseudo-noise plus a strong template.
+        let template: Vec<f64> = (0..32)
+            .map(|i| (i as f64 * 0.7).sin() * (i as f64 * 0.13).cos())
+            .collect();
+        let mut signal: Vec<f64> = (0..512)
+            .map(|i| 0.05 * ((i * 2654435761_usize % 1000) as f64 / 500.0 - 1.0))
+            .collect();
+        for (i, &t) in template.iter().enumerate() {
+            signal[200 + i] += t;
+        }
+        let out = xcorr(&signal, &template).unwrap();
+        assert_eq!(argmax(&out), 200);
+    }
+
+    #[test]
+    fn two_occurrences_produce_two_peaks() {
+        let template = [1.0, 2.0, 1.0];
+        let mut signal = vec![0.0; 64];
+        signal[10..13].copy_from_slice(&template);
+        signal[40..43].copy_from_slice(&template);
+        let out = xcorr(&signal, &template).unwrap();
+        let energy: f64 = template.iter().map(|x| x * x).sum();
+        assert!((out[10] - energy).abs() < 1e-9);
+        assert!((out[40] - energy).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,290 @@
+//! Second-order (biquad) IIR filter sections.
+//!
+//! Coefficients follow the Audio-EQ-Cookbook (RBJ) formulas. The simulator
+//! uses cascaded biquads to shape microphone frequency responses and to
+//! colour noise (voice-band hum, mall broadband noise).
+
+use crate::DspError;
+use serde::{Deserialize, Serialize};
+
+/// The biquad response families supported by [`Biquad::design`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BiquadKind {
+    /// Low-pass with -12 dB/octave rolloff above the corner.
+    LowPass,
+    /// High-pass with -12 dB/octave rolloff below the corner.
+    HighPass,
+    /// Band-pass with 0 dB peak gain at the centre frequency.
+    BandPass,
+    /// Band-reject (notch) at the centre frequency.
+    Notch,
+}
+
+/// A single direct-form-I biquad section with persistent state.
+///
+/// # Example
+///
+/// ```
+/// use hyperear_dsp::filter::{Biquad, BiquadKind};
+///
+/// # fn main() -> Result<(), hyperear_dsp::DspError> {
+/// let mut lp = Biquad::design(BiquadKind::LowPass, 1_000.0, 44_100.0, 0.707)?;
+/// let out = lp.process_block(&[1.0, 0.0, 0.0, 0.0]);
+/// assert_eq!(out.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Biquad {
+    // Normalized coefficients (a0 == 1).
+    b0: f64,
+    b1: f64,
+    b2: f64,
+    a1: f64,
+    a2: f64,
+    // State: previous inputs and outputs.
+    x1: f64,
+    x2: f64,
+    y1: f64,
+    y2: f64,
+}
+
+impl Biquad {
+    /// Designs a biquad of the given `kind`.
+    ///
+    /// `freq_hz` is the corner/centre frequency, `q` the resonance quality
+    /// factor (0.707 for a Butterworth-like response).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `freq_hz` is not in
+    /// `(0, fs/2)` or `q` is not positive.
+    pub fn design(
+        kind: BiquadKind,
+        freq_hz: f64,
+        sample_rate: f64,
+        q: f64,
+    ) -> Result<Self, DspError> {
+        if sample_rate <= 0.0 {
+            return Err(DspError::invalid("sample_rate", "must be positive"));
+        }
+        if !(freq_hz > 0.0 && freq_hz < sample_rate / 2.0) {
+            return Err(DspError::invalid(
+                "freq_hz",
+                format!("must be in (0, {}), got {freq_hz}", sample_rate / 2.0),
+            ));
+        }
+        if q <= 0.0 {
+            return Err(DspError::invalid("q", "must be positive"));
+        }
+        let omega = 2.0 * std::f64::consts::PI * freq_hz / sample_rate;
+        let (sin_w, cos_w) = omega.sin_cos();
+        let alpha = sin_w / (2.0 * q);
+        let a0 = 1.0 + alpha;
+
+        let (b0, b1, b2, a1, a2) = match kind {
+            BiquadKind::LowPass => {
+                let b1 = 1.0 - cos_w;
+                (b1 / 2.0, b1, b1 / 2.0, -2.0 * cos_w, 1.0 - alpha)
+            }
+            BiquadKind::HighPass => {
+                let b1 = -(1.0 + cos_w);
+                ((1.0 + cos_w) / 2.0, b1, (1.0 + cos_w) / 2.0, -2.0 * cos_w, 1.0 - alpha)
+            }
+            BiquadKind::BandPass => (alpha, 0.0, -alpha, -2.0 * cos_w, 1.0 - alpha),
+            BiquadKind::Notch => (1.0, -2.0 * cos_w, 1.0, -2.0 * cos_w, 1.0 - alpha),
+        };
+        Ok(Biquad {
+            b0: b0 / a0,
+            b1: b1 / a0,
+            b2: b2 / a0,
+            a1: a1 / a0,
+            a2: a2 / a0,
+            x1: 0.0,
+            x2: 0.0,
+            y1: 0.0,
+            y2: 0.0,
+        })
+    }
+
+    /// Processes one sample, updating the filter state.
+    #[inline]
+    pub fn process(&mut self, x: f64) -> f64 {
+        let y = self.b0 * x + self.b1 * self.x1 + self.b2 * self.x2
+            - self.a1 * self.y1
+            - self.a2 * self.y2;
+        self.x2 = self.x1;
+        self.x1 = x;
+        self.y2 = self.y1;
+        self.y1 = y;
+        y
+    }
+
+    /// Processes a block of samples, returning a new vector.
+    pub fn process_block(&mut self, signal: &[f64]) -> Vec<f64> {
+        signal.iter().map(|&x| self.process(x)).collect()
+    }
+
+    /// Resets the filter state to zero without changing coefficients.
+    pub fn reset(&mut self) {
+        self.x1 = 0.0;
+        self.x2 = 0.0;
+        self.y1 = 0.0;
+        self.y2 = 0.0;
+    }
+
+    /// Magnitude response at `freq_hz`.
+    #[must_use]
+    pub fn response_at(&self, freq_hz: f64, sample_rate: f64) -> f64 {
+        use crate::Complex;
+        let omega = 2.0 * std::f64::consts::PI * freq_hz / sample_rate;
+        let z1 = Complex::from_angle(-omega);
+        let z2 = z1 * z1;
+        let num = Complex::from_real(self.b0) + z1 * self.b1 + z2 * self.b2;
+        let den = Complex::ONE + z1 * self.a1 + z2 * self.a2;
+        (num / den).abs()
+    }
+}
+
+/// A cascade of biquad sections applied in sequence.
+///
+/// Cascading second-order sections is the numerically robust way to build
+/// higher-order IIR responses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BiquadCascade {
+    sections: Vec<Biquad>,
+}
+
+impl BiquadCascade {
+    /// Creates a cascade from individual sections.
+    #[must_use]
+    pub fn new(sections: Vec<Biquad>) -> Self {
+        BiquadCascade { sections }
+    }
+
+    /// Processes one sample through every section in order.
+    pub fn process(&mut self, x: f64) -> f64 {
+        self.sections.iter_mut().fold(x, |acc, s| s.process(acc))
+    }
+
+    /// Processes a block of samples.
+    pub fn process_block(&mut self, signal: &[f64]) -> Vec<f64> {
+        signal.iter().map(|&x| self.process(x)).collect()
+    }
+
+    /// Resets all section states.
+    pub fn reset(&mut self) {
+        for s in &mut self.sections {
+            s.reset();
+        }
+    }
+
+    /// Magnitude response of the whole cascade at `freq_hz`.
+    #[must_use]
+    pub fn response_at(&self, freq_hz: f64, sample_rate: f64) -> f64 {
+        self.sections
+            .iter()
+            .map(|s| s.response_at(freq_hz, sample_rate))
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    fn rms(x: &[f64]) -> f64 {
+        (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn low_pass_attenuates_high_frequencies() {
+        let fs = 44_100.0;
+        let mut lp = Biquad::design(BiquadKind::LowPass, 1_000.0, fs, 0.707).unwrap();
+        let low = lp.process_block(&tone(100.0, fs, 8192));
+        lp.reset();
+        let high = lp.process_block(&tone(10_000.0, fs, 8192));
+        assert!(rms(&low[2000..]) > 0.6);
+        assert!(rms(&high[2000..]) < 0.05);
+    }
+
+    #[test]
+    fn high_pass_attenuates_low_frequencies() {
+        let fs = 44_100.0;
+        let mut hp = Biquad::design(BiquadKind::HighPass, 2_000.0, fs, 0.707).unwrap();
+        let low = hp.process_block(&tone(100.0, fs, 8192));
+        hp.reset();
+        let high = hp.process_block(&tone(10_000.0, fs, 8192));
+        assert!(rms(&low[2000..]) < 0.05);
+        assert!(rms(&high[2000..]) > 0.6);
+    }
+
+    #[test]
+    fn band_pass_peaks_at_center() {
+        let fs = 44_100.0;
+        let bp = Biquad::design(BiquadKind::BandPass, 4_000.0, fs, 1.0).unwrap();
+        let center = bp.response_at(4_000.0, fs);
+        assert!((center - 1.0).abs() < 1e-9);
+        assert!(bp.response_at(500.0, fs) < 0.3);
+        assert!(bp.response_at(16_000.0, fs) < 0.3);
+    }
+
+    #[test]
+    fn notch_nulls_center_frequency() {
+        let fs = 44_100.0;
+        let notch = Biquad::design(BiquadKind::Notch, 4_000.0, fs, 5.0).unwrap();
+        assert!(notch.response_at(4_000.0, fs) < 1e-9);
+        assert!(notch.response_at(400.0, fs) > 0.9);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let fs = 44_100.0;
+        let mut lp = Biquad::design(BiquadKind::LowPass, 1_000.0, fs, 0.707).unwrap();
+        let first = lp.process_block(&tone(500.0, fs, 64));
+        lp.reset();
+        let second = lp.process_block(&tone(500.0, fs, 64));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn cascade_multiplies_responses() {
+        let fs = 44_100.0;
+        let s1 = Biquad::design(BiquadKind::LowPass, 3_000.0, fs, 0.707).unwrap();
+        let s2 = Biquad::design(BiquadKind::HighPass, 300.0, fs, 0.707).unwrap();
+        let expected = s1.response_at(1_000.0, fs) * s2.response_at(1_000.0, fs);
+        let cascade = BiquadCascade::new(vec![s1, s2]);
+        assert!((cascade.response_at(1_000.0, fs) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cascade_processes_in_order() {
+        let fs = 44_100.0;
+        let lp = Biquad::design(BiquadKind::LowPass, 2_000.0, fs, 0.707).unwrap();
+        let mut cascade = BiquadCascade::new(vec![lp.clone(), lp]);
+        let out = cascade.process_block(&tone(8_000.0, fs, 8192));
+        // Double low-pass should attenuate more than a single one.
+        assert!(rms(&out[2000..]) < 0.02);
+        cascade.reset();
+    }
+
+    #[test]
+    fn invalid_designs_are_rejected() {
+        assert!(Biquad::design(BiquadKind::LowPass, 0.0, 44_100.0, 0.7).is_err());
+        assert!(Biquad::design(BiquadKind::LowPass, 30_000.0, 44_100.0, 0.7).is_err());
+        assert!(Biquad::design(BiquadKind::LowPass, 100.0, 44_100.0, 0.0).is_err());
+        assert!(Biquad::design(BiquadKind::LowPass, 100.0, 0.0, 0.7).is_err());
+    }
+
+    #[test]
+    fn default_cascade_is_passthrough() {
+        let mut c = BiquadCascade::default();
+        assert_eq!(c.process(1.25), 1.25);
+    }
+}

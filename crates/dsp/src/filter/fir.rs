@@ -1,0 +1,369 @@
+//! Windowed-sinc FIR filter design and application.
+//!
+//! The band-pass used by HyperEar's Acoustic Signal Preprocessing is a
+//! linear-phase windowed-sinc design. Linear phase matters: the matched
+//! filter's peak position must not be skewed by the front-end filter, and a
+//! symmetric FIR delays every frequency by exactly `(taps-1)/2` samples,
+//! which [`FirFilter::filter_zero_phase`] compensates.
+
+use crate::window::Window;
+use crate::DspError;
+
+/// A finite-impulse-response filter with precomputed taps.
+///
+/// # Example
+///
+/// ```
+/// use hyperear_dsp::filter::FirFilter;
+/// use hyperear_dsp::window::Window;
+///
+/// # fn main() -> Result<(), hyperear_dsp::DspError> {
+/// // 2–6.4 kHz band-pass at 44.1 kHz — the HyperEar chirp band.
+/// let bp = FirFilter::band_pass(2_000.0, 6_400.0, 44_100.0, 101, Window::Hamming)?;
+/// let signal = vec![0.0; 512];
+/// let filtered = bp.filter_zero_phase(&signal)?;
+/// assert_eq!(filtered.len(), signal.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirFilter {
+    taps: Vec<f64>,
+}
+
+impl FirFilter {
+    /// Creates a filter from explicit taps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if `taps` is empty.
+    pub fn from_taps(taps: Vec<f64>) -> Result<Self, DspError> {
+        if taps.is_empty() {
+            return Err(DspError::EmptyInput { what: "FIR taps" });
+        }
+        Ok(FirFilter { taps })
+    }
+
+    /// Designs a low-pass filter with the given cut-off frequency.
+    ///
+    /// `num_taps` should be odd for an exactly linear-phase type-I design;
+    /// even values are bumped up by one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `cutoff_hz` is not in
+    /// `(0, fs/2)` or `num_taps == 0`.
+    pub fn low_pass(
+        cutoff_hz: f64,
+        sample_rate: f64,
+        num_taps: usize,
+        window: Window,
+    ) -> Result<Self, DspError> {
+        validate_freq("cutoff_hz", cutoff_hz, sample_rate)?;
+        let n = odd_taps(num_taps)?;
+        let fc = cutoff_hz / sample_rate;
+        let mid = (n - 1) as f64 / 2.0;
+        let mut taps: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = i as f64 - mid;
+                2.0 * fc * sinc(2.0 * fc * x) * window.value(i, n)
+            })
+            .collect();
+        // Normalize DC gain to exactly 1.
+        let sum: f64 = taps.iter().sum();
+        for t in &mut taps {
+            *t /= sum;
+        }
+        Ok(FirFilter { taps })
+    }
+
+    /// Designs a high-pass filter via spectral inversion of a low-pass.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FirFilter::low_pass`].
+    pub fn high_pass(
+        cutoff_hz: f64,
+        sample_rate: f64,
+        num_taps: usize,
+        window: Window,
+    ) -> Result<Self, DspError> {
+        let lp = FirFilter::low_pass(cutoff_hz, sample_rate, num_taps, window)?;
+        let n = lp.taps.len();
+        let mid = (n - 1) / 2;
+        let mut taps: Vec<f64> = lp.taps.iter().map(|t| -t).collect();
+        taps[mid] += 1.0;
+        Ok(FirFilter { taps })
+    }
+
+    /// Designs a band-pass filter passing `[low_hz, high_hz]`.
+    ///
+    /// Built as the difference of two low-pass designs, yielding a
+    /// linear-phase filter with unity gain at the band centre.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if the band edges are not
+    /// ordered or lie outside `(0, fs/2)`.
+    pub fn band_pass(
+        low_hz: f64,
+        high_hz: f64,
+        sample_rate: f64,
+        num_taps: usize,
+        window: Window,
+    ) -> Result<Self, DspError> {
+        validate_freq("low_hz", low_hz, sample_rate)?;
+        validate_freq("high_hz", high_hz, sample_rate)?;
+        if low_hz >= high_hz {
+            return Err(DspError::invalid(
+                "low_hz/high_hz",
+                format!("band edges must satisfy low < high, got {low_hz} >= {high_hz}"),
+            ));
+        }
+        let n = odd_taps(num_taps)?;
+        let f1 = low_hz / sample_rate;
+        let f2 = high_hz / sample_rate;
+        let mid = (n - 1) as f64 / 2.0;
+        let taps: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = i as f64 - mid;
+                (2.0 * f2 * sinc(2.0 * f2 * x) - 2.0 * f1 * sinc(2.0 * f1 * x))
+                    * window.value(i, n)
+            })
+            .collect();
+        FirFilter::from_taps(taps)
+    }
+
+    /// The filter taps.
+    #[must_use]
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// The group delay of this (symmetric) filter, in samples.
+    #[must_use]
+    pub fn group_delay(&self) -> f64 {
+        (self.taps.len() - 1) as f64 / 2.0
+    }
+
+    /// Causal convolution of `signal` with the filter, same-length output.
+    ///
+    /// The output is delayed by [`FirFilter::group_delay`] samples relative
+    /// to the input; use [`FirFilter::filter_zero_phase`] when timing must
+    /// be preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if `signal` is empty.
+    pub fn filter(&self, signal: &[f64]) -> Result<Vec<f64>, DspError> {
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput { what: "FIR input" });
+        }
+        let mut out = vec![0.0; signal.len()];
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (k, &t) in self.taps.iter().enumerate() {
+                if let Some(j) = i.checked_sub(k) {
+                    acc += t * signal[j];
+                }
+            }
+            *o = acc;
+        }
+        Ok(out)
+    }
+
+    /// Zero-phase filtering: convolves and shifts back by the group delay.
+    ///
+    /// For a symmetric (linear-phase) filter this leaves event timing
+    /// unchanged, which is what the matched-filter front end requires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if `signal` is empty.
+    pub fn filter_zero_phase(&self, signal: &[f64]) -> Result<Vec<f64>, DspError> {
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput { what: "FIR input" });
+        }
+        let delay = (self.taps.len() - 1) / 2;
+        let n = signal.len();
+        let mut out = vec![0.0; n];
+        // out[i] = sum_k taps[k] * signal[i + delay - k]
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (k, &t) in self.taps.iter().enumerate() {
+                let idx = i as isize + delay as isize - k as isize;
+                if idx >= 0 && (idx as usize) < n {
+                    acc += t * signal[idx as usize];
+                }
+            }
+            *o = acc;
+        }
+        Ok(out)
+    }
+
+    /// Magnitude of the filter's frequency response at `freq_hz`.
+    ///
+    /// Evaluated directly from the taps; useful for verifying designs.
+    #[must_use]
+    pub fn response_at(&self, freq_hz: f64, sample_rate: f64) -> f64 {
+        let omega = 2.0 * std::f64::consts::PI * freq_hz / sample_rate;
+        let (mut re, mut im) = (0.0, 0.0);
+        for (k, &t) in self.taps.iter().enumerate() {
+            re += t * (omega * k as f64).cos();
+            im -= t * (omega * k as f64).sin();
+        }
+        re.hypot(im)
+    }
+}
+
+fn sinc(x: f64) -> f64 {
+    if x.abs() < 1e-12 {
+        1.0
+    } else {
+        let px = std::f64::consts::PI * x;
+        px.sin() / px
+    }
+}
+
+fn odd_taps(num_taps: usize) -> Result<usize, DspError> {
+    if num_taps == 0 {
+        return Err(DspError::invalid("num_taps", "must be positive"));
+    }
+    Ok(if num_taps.is_multiple_of(2) {
+        num_taps + 1
+    } else {
+        num_taps
+    })
+}
+
+fn validate_freq(name: &'static str, f: f64, fs: f64) -> Result<(), DspError> {
+    if fs <= 0.0 {
+        return Err(DspError::invalid("sample_rate", "must be positive"));
+    }
+    if !(f > 0.0 && f < fs / 2.0) {
+        return Err(DspError::invalid(
+            name,
+            format!("must be in (0, {}), got {f}", fs / 2.0),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    fn rms(x: &[f64]) -> f64 {
+        (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn low_pass_passes_low_and_rejects_high() {
+        let fs = 44_100.0;
+        let lp = FirFilter::low_pass(2_000.0, fs, 101, Window::Hamming).unwrap();
+        let low = lp.filter_zero_phase(&tone(500.0, fs, 4096)).unwrap();
+        let high = lp.filter_zero_phase(&tone(10_000.0, fs, 4096)).unwrap();
+        // Compare interior RMS to avoid edge effects.
+        assert!(rms(&low[500..3500]) > 0.6);
+        assert!(rms(&high[500..3500]) < 0.02);
+    }
+
+    #[test]
+    fn band_pass_isolates_chirp_band() {
+        let fs = 44_100.0;
+        let bp = FirFilter::band_pass(2_000.0, 6_400.0, fs, 127, Window::Hamming).unwrap();
+        let inband = bp.filter_zero_phase(&tone(4_000.0, fs, 4096)).unwrap();
+        let voice = bp.filter_zero_phase(&tone(800.0, fs, 4096)).unwrap();
+        let hiss = bp.filter_zero_phase(&tone(12_000.0, fs, 4096)).unwrap();
+        assert!(rms(&inband[500..3500]) > 0.6, "in-band should pass");
+        assert!(rms(&voice[500..3500]) < 0.03, "voice band should be rejected");
+        assert!(rms(&hiss[500..3500]) < 0.03, "high band should be rejected");
+    }
+
+    #[test]
+    fn high_pass_complements_low_pass() {
+        let fs = 44_100.0;
+        let hp = FirFilter::high_pass(2_000.0, fs, 101, Window::Hamming).unwrap();
+        let low = hp.filter_zero_phase(&tone(300.0, fs, 4096)).unwrap();
+        let high = hp.filter_zero_phase(&tone(8_000.0, fs, 4096)).unwrap();
+        assert!(rms(&low[500..3500]) < 0.03);
+        assert!(rms(&high[500..3500]) > 0.6);
+    }
+
+    #[test]
+    fn zero_phase_preserves_pulse_position() {
+        let fs = 44_100.0;
+        let lp = FirFilter::low_pass(5_000.0, fs, 61, Window::Hamming).unwrap();
+        let mut signal = vec![0.0; 1024];
+        signal[400] = 1.0;
+        let out = lp.filter_zero_phase(&signal).unwrap();
+        let peak = out
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(peak, 400);
+    }
+
+    #[test]
+    fn causal_filter_delays_by_group_delay() {
+        let fs = 44_100.0;
+        let lp = FirFilter::low_pass(5_000.0, fs, 61, Window::Hamming).unwrap();
+        let mut signal = vec![0.0; 1024];
+        signal[400] = 1.0;
+        let out = lp.filter(&signal).unwrap();
+        let peak = out
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(peak, 400 + 30);
+        assert_eq!(lp.group_delay(), 30.0);
+    }
+
+    #[test]
+    fn dc_gain_of_low_pass_is_unity() {
+        let lp = FirFilter::low_pass(1_000.0, 44_100.0, 81, Window::Hamming).unwrap();
+        let sum: f64 = lp.taps().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((lp.response_at(0.0, 44_100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_at_band_center_is_near_unity() {
+        let bp = FirFilter::band_pass(2_000.0, 6_400.0, 44_100.0, 127, Window::Hamming).unwrap();
+        let g = bp.response_at(4_200.0, 44_100.0);
+        assert!((g - 1.0).abs() < 0.05, "band-center gain was {g}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(FirFilter::low_pass(0.0, 44_100.0, 11, Window::Hann).is_err());
+        assert!(FirFilter::low_pass(30_000.0, 44_100.0, 11, Window::Hann).is_err());
+        assert!(FirFilter::low_pass(100.0, 44_100.0, 0, Window::Hann).is_err());
+        assert!(FirFilter::band_pass(5_000.0, 2_000.0, 44_100.0, 11, Window::Hann).is_err());
+        assert!(FirFilter::low_pass(100.0, -1.0, 11, Window::Hann).is_err());
+        assert!(FirFilter::from_taps(vec![]).is_err());
+    }
+
+    #[test]
+    fn even_tap_requests_are_bumped_to_odd() {
+        let lp = FirFilter::low_pass(1_000.0, 44_100.0, 10, Window::Hann).unwrap();
+        assert_eq!(lp.taps().len() % 2, 1);
+    }
+
+    #[test]
+    fn empty_signal_is_rejected() {
+        let lp = FirFilter::low_pass(1_000.0, 44_100.0, 11, Window::Hann).unwrap();
+        assert!(lp.filter(&[]).is_err());
+        assert!(lp.filter_zero_phase(&[]).is_err());
+    }
+}

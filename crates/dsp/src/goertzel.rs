@@ -1,0 +1,138 @@
+//! Goertzel single-bin DFT.
+//!
+//! Cheaper than an FFT when only one frequency matters — e.g. probing
+//! whether a recording window contains beacon energy at all before paying
+//! for a full matched-filter pass.
+
+use crate::DspError;
+
+/// Power of `signal` at the single frequency `freq_hz`, computed with the
+/// Goertzel recurrence.
+///
+/// Returns the squared magnitude of the DFT bin nearest `freq_hz`,
+/// normalized by the signal length so values are comparable across window
+/// sizes.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal and
+/// [`DspError::InvalidParameter`] if `freq_hz` is outside `[0, fs/2]`.
+///
+/// # Example
+///
+/// ```
+/// let fs = 8_000.0;
+/// let tone: Vec<f64> = (0..800)
+///     .map(|i| (2.0 * std::f64::consts::PI * 1_000.0 * i as f64 / fs).sin())
+///     .collect();
+/// let p = hyperear_dsp::goertzel::goertzel_power(&tone, 1_000.0, fs).unwrap();
+/// let q = hyperear_dsp::goertzel::goertzel_power(&tone, 3_000.0, fs).unwrap();
+/// assert!(p > 100.0 * q);
+/// ```
+pub fn goertzel_power(signal: &[f64], freq_hz: f64, sample_rate: f64) -> Result<f64, DspError> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput {
+            what: "goertzel input",
+        });
+    }
+    if sample_rate <= 0.0 {
+        return Err(DspError::invalid("sample_rate", "must be positive"));
+    }
+    if !(0.0..=sample_rate / 2.0).contains(&freq_hz) {
+        return Err(DspError::invalid(
+            "freq_hz",
+            format!("must be in [0, {}], got {freq_hz}", sample_rate / 2.0),
+        ));
+    }
+    let n = signal.len();
+    let k = (0.5 + n as f64 * freq_hz / sample_rate).floor();
+    let omega = 2.0 * std::f64::consts::PI * k / n as f64;
+    let coeff = 2.0 * omega.cos();
+    let (mut s1, mut s2) = (0.0, 0.0);
+    for &x in signal {
+        let s0 = x + coeff * s1 - s2;
+        s2 = s1;
+        s1 = s0;
+    }
+    let power = s1 * s1 + s2 * s2 - coeff * s1 * s2;
+    Ok(power / (n as f64 * n as f64 / 4.0))
+}
+
+/// Scans a set of probe frequencies and returns the per-frequency powers.
+///
+/// # Errors
+///
+/// Same conditions as [`goertzel_power`]; fails on the first invalid probe.
+pub fn goertzel_scan(
+    signal: &[f64],
+    freqs_hz: &[f64],
+    sample_rate: f64,
+) -> Result<Vec<f64>, DspError> {
+    freqs_hz
+        .iter()
+        .map(|&f| goertzel_power(signal, f, sample_rate))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn detects_matching_tone() {
+        let fs = 44_100.0;
+        let signal = tone(4_000.0, fs, 4410);
+        let on = goertzel_power(&signal, 4_000.0, fs).unwrap();
+        let off = goertzel_power(&signal, 9_000.0, fs).unwrap();
+        assert!(on > 1000.0 * off, "on {on} off {off}");
+    }
+
+    #[test]
+    fn amplitude_scaling_is_quadratic() {
+        let fs = 8_000.0;
+        let s1 = tone(1_000.0, fs, 1600);
+        let s2: Vec<f64> = s1.iter().map(|x| 2.0 * x).collect();
+        let p1 = goertzel_power(&s1, 1_000.0, fs).unwrap();
+        let p2 = goertzel_power(&s2, 1_000.0, fs).unwrap();
+        assert!((p2 / p1 - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn unit_tone_power_is_about_one() {
+        // With the n²/4 normalization a unit-amplitude on-bin tone yields ~1.
+        let fs = 8_000.0;
+        let signal = tone(1_000.0, fs, 1600);
+        let p = goertzel_power(&signal, 1_000.0, fs).unwrap();
+        assert!((p - 1.0).abs() < 0.05, "power {p}");
+    }
+
+    #[test]
+    fn scan_orders_results_by_probe() {
+        let fs = 8_000.0;
+        let signal = tone(1_000.0, fs, 1600);
+        let powers = goertzel_scan(&signal, &[500.0, 1_000.0, 2_000.0], fs).unwrap();
+        assert_eq!(powers.len(), 3);
+        assert!(powers[1] > powers[0]);
+        assert!(powers[1] > powers[2]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(goertzel_power(&[], 100.0, 8_000.0).is_err());
+        assert!(goertzel_power(&[1.0], -5.0, 8_000.0).is_err());
+        assert!(goertzel_power(&[1.0], 5_000.0, 8_000.0).is_err());
+        assert!(goertzel_power(&[1.0], 100.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn silence_has_zero_power() {
+        let p = goertzel_power(&[0.0; 256], 1_000.0, 8_000.0).unwrap();
+        assert_eq!(p, 0.0);
+    }
+}

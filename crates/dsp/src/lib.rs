@@ -1,0 +1,94 @@
+//! # hyperear-dsp
+//!
+//! Acoustic digital-signal-processing primitives for the [HyperEar]
+//! reproduction. The Rust acoustic-DSP ecosystem is thin, so everything the
+//! HyperEar pipeline needs is implemented here from scratch:
+//!
+//! - [`fft`] — iterative radix-2 complex FFT/IFFT and real-signal helpers.
+//! - [`window`] — Hann/Hamming/Blackman/rectangular analysis windows.
+//! - [`filter`] — windowed-sinc FIR design, RBJ biquads, zero-phase
+//!   filtering, and the simple-moving-average filter the paper uses on
+//!   inertial signals.
+//! - [`correlate`] — FFT-accelerated cross-correlation and the matched
+//!   filter used for chirp beacon detection (BeepBeep-style).
+//! - [`chirp`] — linear and up-down chirp synthesis (the HyperEar beacon).
+//! - [`interpolate`] — parabolic and windowed-sinc sub-sample interpolation
+//!   for pushing TDoA resolution below the 44.1 kHz sampling grid.
+//! - [`delay`] — integer and fractional signal delays (propagation
+//!   rendering in the simulator).
+//! - [`envelope`] — analytic-signal (Hilbert) envelopes for carrier-free
+//!   peak detection of high-band beacons.
+//! - [`resample`] — arbitrary-ratio resampling used to model and to correct
+//!   sampling-frequency offset (SFO).
+//! - [`peak`] — threshold-based peak picking over correlation magnitudes.
+//! - [`spectrum`] — periodograms and band-energy measurements.
+//! - [`level`] — RMS / dB / SNR utilities.
+//! - [`goertzel`] — single-bin DFT for cheap tone probing.
+//! - [`quantize`] — 16-bit ADC quantization and PCM byte codecs.
+//! - [`stft`] — short-time Fourier transform / spectrograms.
+//! - [`wav`] — minimal RIFF PCM16 file reading and writing.
+//!
+//! # Example
+//!
+//! Detecting a chirp embedded in noise with a matched filter:
+//!
+//! ```
+//! use hyperear_dsp::chirp::{Chirp, ChirpShape};
+//! use hyperear_dsp::correlate::MatchedFilter;
+//!
+//! # fn main() -> Result<(), hyperear_dsp::DspError> {
+//! let fs = 44_100.0;
+//! let chirp = Chirp::new(2_000.0, 6_400.0, 0.04, fs, ChirpShape::UpDown)?;
+//! let reference = chirp.samples();
+//!
+//! // A recording with the chirp placed at sample 1000.
+//! let mut recording = vec![0.0f64; 8192];
+//! recording[1000..1000 + reference.len()].copy_from_slice(reference);
+//!
+//! let filter = MatchedFilter::new(reference)?;
+//! let output = filter.correlate(&recording)?;
+//! let peak = output
+//!     .iter()
+//!     .enumerate()
+//!     .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+//!     .map(|(i, _)| i)
+//!     .unwrap();
+//! assert_eq!(peak, 1000);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [HyperEar]: https://doi.org/10.1109/ICDCS.2019.00073
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chirp;
+pub mod complex;
+pub mod correlate;
+pub mod delay;
+pub mod envelope;
+mod error;
+pub mod fft;
+pub mod filter;
+pub mod goertzel;
+pub mod interpolate;
+pub mod level;
+pub mod peak;
+pub mod quantize;
+pub mod resample;
+pub mod spectrum;
+pub mod stft;
+pub mod wav;
+pub mod window;
+
+pub use complex::Complex;
+pub use error::DspError;
+
+/// Speed of sound in air at room temperature, in metres per second.
+///
+/// The HyperEar paper uses 343 m/s throughout (Section II).
+pub const SPEED_OF_SOUND: f64 = 343.0;
+
+/// The audio sampling rate Android exposes on the paper's phones, in hertz.
+pub const PHONE_SAMPLE_RATE: f64 = 44_100.0;

@@ -1,0 +1,219 @@
+//! Peak picking over correlation outputs.
+//!
+//! Beacon detection reduces to finding correlation peaks that stand
+//! "significantly larger than ... background noise" (Section IV-A), spaced
+//! roughly one beacon period apart.
+
+use crate::DspError;
+use serde::{Deserialize, Serialize};
+
+/// A detected peak.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Peak {
+    /// Sample index of the local maximum.
+    pub index: usize,
+    /// Value at the maximum.
+    pub value: f64,
+}
+
+/// Configuration for [`find_peaks`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeakConfig {
+    /// Absolute threshold a sample must exceed to be a candidate.
+    pub threshold: f64,
+    /// Minimum distance between accepted peaks, in samples. Among
+    /// candidates closer than this, only the largest survives.
+    pub min_distance: usize,
+}
+
+impl PeakConfig {
+    /// Creates a config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `threshold` is not finite.
+    pub fn new(threshold: f64, min_distance: usize) -> Result<Self, DspError> {
+        if !threshold.is_finite() {
+            return Err(DspError::invalid("threshold", "must be finite"));
+        }
+        Ok(PeakConfig {
+            threshold,
+            min_distance,
+        })
+    }
+}
+
+/// Finds local maxima of `signal` above the threshold, enforcing the
+/// minimum spacing by greedily keeping the largest peaks first.
+///
+/// Returns peaks sorted by index.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal.
+pub fn find_peaks(signal: &[f64], config: &PeakConfig) -> Result<Vec<Peak>, DspError> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput {
+            what: "find_peaks input",
+        });
+    }
+    // Collect strict local maxima (plateau-tolerant: first sample of a
+    // plateau wins).
+    let mut candidates: Vec<Peak> = Vec::new();
+    for i in 0..signal.len() {
+        let v = signal[i];
+        if v < config.threshold {
+            continue;
+        }
+        let left_ok = i == 0 || signal[i - 1] < v;
+        let right_ok = i + 1 == signal.len() || signal[i + 1] <= v;
+        if left_ok && right_ok {
+            candidates.push(Peak { index: i, value: v });
+        }
+    }
+    if config.min_distance <= 1 || candidates.len() <= 1 {
+        return Ok(candidates);
+    }
+    // Greedy non-maximum suppression: biggest first.
+    let mut by_value = candidates.clone();
+    by_value.sort_by(|a, b| b.value.total_cmp(&a.value));
+    let mut taken: Vec<Peak> = Vec::new();
+    for cand in by_value {
+        if taken
+            .iter()
+            .all(|t| cand.index.abs_diff(t.index) >= config.min_distance)
+        {
+            taken.push(cand);
+        }
+    }
+    taken.sort_by_key(|p| p.index);
+    Ok(taken)
+}
+
+/// Estimates the noise floor of a correlation output as
+/// `k · median(|signal|)`.
+///
+/// For Gaussian noise, `median(|x|) ≈ 0.6745·σ`, so `k = 1/0.6745` recovers
+/// σ; detection thresholds are then set at a multiple of the floor.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal.
+pub fn noise_floor(signal: &[f64]) -> Result<f64, DspError> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput {
+            what: "noise_floor input",
+        });
+    }
+    let mut mags: Vec<f64> = signal.iter().map(|x| x.abs()).collect();
+    let mid = mags.len() / 2;
+    mags.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+    Ok(mags[mid] / 0.6745)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_isolated_peaks() {
+        let mut signal = vec![0.0; 100];
+        signal[10] = 5.0;
+        signal[50] = 3.0;
+        signal[90] = 4.0;
+        let cfg = PeakConfig::new(1.0, 5).unwrap();
+        let peaks = find_peaks(&signal, &cfg).unwrap();
+        let idx: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+        assert_eq!(idx, vec![10, 50, 90]);
+    }
+
+    #[test]
+    fn threshold_filters_small_peaks() {
+        let mut signal = vec![0.0; 50];
+        signal[10] = 5.0;
+        signal[30] = 0.5;
+        let cfg = PeakConfig::new(1.0, 1).unwrap();
+        let peaks = find_peaks(&signal, &cfg).unwrap();
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 10);
+        assert_eq!(peaks[0].value, 5.0);
+    }
+
+    #[test]
+    fn min_distance_keeps_largest() {
+        let mut signal = vec![0.0; 50];
+        signal[10] = 3.0;
+        signal[12] = 5.0; // bigger neighbour within min_distance
+        signal[40] = 2.0;
+        let cfg = PeakConfig::new(1.0, 8).unwrap();
+        let peaks = find_peaks(&signal, &cfg).unwrap();
+        let idx: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+        assert_eq!(idx, vec![12, 40]);
+    }
+
+    #[test]
+    fn plateau_counts_once() {
+        let mut signal = vec![0.0; 20];
+        signal[5] = 2.0;
+        signal[6] = 2.0;
+        let cfg = PeakConfig::new(1.0, 1).unwrap();
+        let peaks = find_peaks(&signal, &cfg).unwrap();
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 5);
+    }
+
+    #[test]
+    fn boundary_peaks_are_found() {
+        let signal = vec![5.0, 1.0, 0.0, 1.0, 6.0];
+        let cfg = PeakConfig::new(2.0, 1).unwrap();
+        let peaks = find_peaks(&signal, &cfg).unwrap();
+        let idx: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+        assert_eq!(idx, vec![0, 4]);
+    }
+
+    #[test]
+    fn periodic_peaks_are_all_found() {
+        // Simulates beacon correlation: peaks every 50 samples.
+        let mut signal = vec![0.0; 500];
+        for k in 0..10 {
+            signal[k * 50 + 5] = 10.0 + k as f64;
+        }
+        let cfg = PeakConfig::new(5.0, 30).unwrap();
+        let peaks = find_peaks(&signal, &cfg).unwrap();
+        assert_eq!(peaks.len(), 10);
+        for (k, p) in peaks.iter().enumerate() {
+            assert_eq!(p.index, k * 50 + 5);
+        }
+    }
+
+    #[test]
+    fn noise_floor_estimates_sigma() {
+        // Deterministic approximately-Gaussian noise via CLT of a LCG.
+        let mut state = 123456789u64;
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            2.0 * ((state >> 11) as f64 / (1u64 << 53) as f64) - 1.0
+        };
+        let noise: Vec<f64> = (0..10_000)
+            .map(|_| (0..12).map(|_| rand()).sum::<f64>() / 2.0) // σ ≈ 1
+            .collect();
+        let floor = noise_floor(&noise).unwrap();
+        assert!((0.8..1.2).contains(&floor), "floor {floor}");
+    }
+
+    #[test]
+    fn noise_floor_is_robust_to_outliers() {
+        let mut signal = vec![0.1; 1000];
+        signal[500] = 100.0; // a beacon spike should barely move the median
+        let floor = noise_floor(&signal).unwrap();
+        assert!(floor < 0.2);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let cfg = PeakConfig::new(1.0, 1).unwrap();
+        assert!(find_peaks(&[], &cfg).is_err());
+        assert!(noise_floor(&[]).is_err());
+        assert!(PeakConfig::new(f64::NAN, 1).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! ADC quantization and PCM byte codecs.
+//!
+//! The paper's phones record "16-bit 44.1kHz ... stereo" (Section VII-A).
+//! The simulator pushes every rendered waveform through 16-bit quantization
+//! so the pipeline faces genuine quantization noise, and the PCM codecs let
+//! recordings round-trip through the byte representation `AudioRecord`
+//! would hand an app.
+
+use crate::DspError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Quantizes a float signal (nominal range ±1.0) to 16-bit integers.
+///
+/// Values outside ±1.0 clip, exactly like a saturating ADC.
+///
+/// # Example
+///
+/// ```
+/// let q = hyperear_dsp::quantize::quantize_i16(&[0.0, 1.0, -1.0, 2.0]);
+/// assert_eq!(q, vec![0, 32767, -32767, 32767]);
+/// ```
+#[must_use]
+pub fn quantize_i16(signal: &[f64]) -> Vec<i16> {
+    signal
+        .iter()
+        .map(|&x| (x.clamp(-1.0, 1.0) * 32_767.0).round() as i16)
+        .collect()
+}
+
+/// Converts 16-bit samples back to floats in ±1.0.
+#[must_use]
+pub fn dequantize_i16(samples: &[i16]) -> Vec<f64> {
+    samples.iter().map(|&s| s as f64 / 32_767.0).collect()
+}
+
+/// Round-trips a float signal through 16-bit quantization.
+///
+/// This is what the simulator applies to every microphone channel: the
+/// output equals the input plus quantization error bounded by half an LSB
+/// (~3.05e-5).
+#[must_use]
+pub fn requantize(signal: &[f64]) -> Vec<f64> {
+    dequantize_i16(&quantize_i16(signal))
+}
+
+/// Encodes samples as interleaved little-endian 16-bit PCM.
+#[must_use]
+pub fn encode_pcm16(samples: &[i16]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(samples.len() * 2);
+    for &s in samples {
+        buf.put_i16_le(s);
+    }
+    buf.freeze()
+}
+
+/// Decodes interleaved little-endian 16-bit PCM bytes.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if the byte length is odd.
+pub fn decode_pcm16(mut bytes: Bytes) -> Result<Vec<i16>, DspError> {
+    if !bytes.len().is_multiple_of(2) {
+        return Err(DspError::invalid(
+            "bytes",
+            format!("PCM16 byte stream must have even length, got {}", bytes.len()),
+        ));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    while bytes.remaining() >= 2 {
+        out.push(bytes.get_i16_le());
+    }
+    Ok(out)
+}
+
+/// Interleaves two channels into a single stereo stream (L, R, L, R, ...).
+///
+/// # Errors
+///
+/// Returns [`DspError::LengthMismatch`] if the channels differ in length.
+pub fn interleave_stereo(left: &[i16], right: &[i16]) -> Result<Vec<i16>, DspError> {
+    if left.len() != right.len() {
+        return Err(DspError::LengthMismatch {
+            left: left.len(),
+            right: right.len(),
+            what: "stereo interleave",
+        });
+    }
+    let mut out = Vec::with_capacity(left.len() * 2);
+    for (&l, &r) in left.iter().zip(right) {
+        out.push(l);
+        out.push(r);
+    }
+    Ok(out)
+}
+
+/// Splits an interleaved stereo stream into left and right channels.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if the sample count is odd.
+pub fn deinterleave_stereo(stereo: &[i16]) -> Result<(Vec<i16>, Vec<i16>), DspError> {
+    if !stereo.len().is_multiple_of(2) {
+        return Err(DspError::invalid(
+            "stereo",
+            format!("interleaved stereo must have even length, got {}", stereo.len()),
+        ));
+    }
+    let mut left = Vec::with_capacity(stereo.len() / 2);
+    let mut right = Vec::with_capacity(stereo.len() / 2);
+    for pair in stereo.chunks_exact(2) {
+        left.push(pair[0]);
+        right.push(pair[1]);
+    }
+    Ok((left, right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_error_is_bounded_by_half_lsb() {
+        let signal: Vec<f64> = (0..1000).map(|i| ((i as f64) * 0.0137).sin()).collect();
+        let rq = requantize(&signal);
+        let lsb = 1.0 / 32_767.0;
+        for (a, b) in signal.iter().zip(&rq) {
+            assert!((a - b).abs() <= 0.5 * lsb + 1e-12);
+        }
+    }
+
+    #[test]
+    fn clipping_saturates() {
+        let q = quantize_i16(&[1.5, -2.0]);
+        assert_eq!(q, vec![32_767, -32_767]);
+    }
+
+    #[test]
+    fn pcm_round_trip() {
+        let samples: Vec<i16> = vec![0, 1, -1, 32_767, -32_768, 12_345, -12_345];
+        let bytes = encode_pcm16(&samples);
+        assert_eq!(bytes.len(), samples.len() * 2);
+        let back = decode_pcm16(bytes).unwrap();
+        assert_eq!(back, samples);
+    }
+
+    #[test]
+    fn pcm_rejects_odd_length() {
+        let bytes = Bytes::from_static(&[1, 2, 3]);
+        assert!(decode_pcm16(bytes).is_err());
+    }
+
+    #[test]
+    fn stereo_round_trip() {
+        let left = vec![1i16, 2, 3];
+        let right = vec![-1i16, -2, -3];
+        let inter = interleave_stereo(&left, &right).unwrap();
+        assert_eq!(inter, vec![1, -1, 2, -2, 3, -3]);
+        let (l, r) = deinterleave_stereo(&inter).unwrap();
+        assert_eq!(l, left);
+        assert_eq!(r, right);
+    }
+
+    #[test]
+    fn stereo_length_checks() {
+        assert!(interleave_stereo(&[1], &[1, 2]).is_err());
+        assert!(deinterleave_stereo(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn full_audio_round_trip_through_bytes() {
+        let signal: Vec<f64> = (0..441).map(|i| (i as f64 * 0.1).sin() * 0.8).collect();
+        let q = quantize_i16(&signal);
+        let bytes = encode_pcm16(&q);
+        let back = dequantize_i16(&decode_pcm16(bytes).unwrap());
+        for (a, b) in signal.iter().zip(&back) {
+            assert!((a - b).abs() < 1.0 / 32_767.0);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Arbitrary-ratio resampling.
+//!
+//! Two jobs in the reproduction:
+//!
+//! 1. **Modelling SFO.** The speaker's DAC clock and the phone's ADC clock
+//!    disagree by tens of ppm. The simulator renders the beacon stream at
+//!    the speaker's true rate, then resamples by `1 + ε` to express what a
+//!    slightly-off microphone clock records.
+//! 2. **Correcting SFO.** Acoustic Signal Preprocessing estimates ε and
+//!    resamples (or equivalently rescales timestamps) to undo it.
+//!
+//! A windowed-sinc polyphase-style resampler keeps interpolation error far
+//! below the 16-bit noise floor for ratios within ±1000 ppm of unity.
+
+use crate::DspError;
+
+/// Resamples `signal` by `ratio` using windowed-sinc interpolation.
+///
+/// `ratio` is the output-rate / input-rate ratio: `ratio > 1` produces more
+/// output samples (the signal plays slower at the original rate). Output
+/// sample `i` is the band-limited evaluation of the input at position
+/// `i / ratio`.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal and
+/// [`DspError::InvalidParameter`] for a non-positive or non-finite ratio or
+/// zero kernel width.
+///
+/// # Example
+///
+/// ```
+/// // A 30 ppm-fast clock recording one second of audio.
+/// let signal = vec![0.0f64; 44_100];
+/// let skewed = hyperear_dsp::resample::resample(&signal, 1.0 + 30e-6, 8).unwrap();
+/// assert_eq!(skewed.len(), 44_101);
+/// ```
+pub fn resample(signal: &[f64], ratio: f64, kernel_half_width: usize) -> Result<Vec<f64>, DspError> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput {
+            what: "resample input",
+        });
+    }
+    if !ratio.is_finite() || ratio <= 0.0 {
+        return Err(DspError::invalid(
+            "ratio",
+            format!("must be positive and finite, got {ratio}"),
+        ));
+    }
+    if kernel_half_width == 0 {
+        return Err(DspError::invalid("kernel_half_width", "must be positive"));
+    }
+    let n = signal.len();
+    let out_len = ((n as f64) * ratio).round() as usize;
+    let hw = kernel_half_width as isize;
+    let mut out = Vec::with_capacity(out_len);
+    for i in 0..out_len {
+        let t = i as f64 / ratio;
+        let center = t.round() as isize;
+        let mut acc = 0.0;
+        for k in -hw..=hw {
+            let idx = center + k;
+            if idx < 0 || idx as usize >= n {
+                continue;
+            }
+            let x = t - idx as f64;
+            let w = 0.5 + 0.5 * (std::f64::consts::PI * x / (hw as f64 + 1.0)).cos();
+            acc += signal[idx as usize] * sinc(x) * w;
+        }
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+/// Applies a clock skew of `ppm` parts-per-million to a signal.
+///
+/// Positive `ppm` means the *recording* clock runs fast relative to
+/// nominal, so a fixed-duration event occupies more recorded samples.
+///
+/// # Errors
+///
+/// Same conditions as [`resample`]; `|ppm|` above 10 000 is rejected as a
+/// parameter error (real oscillators are within ±100 ppm).
+pub fn apply_clock_skew_ppm(signal: &[f64], ppm: f64, kernel_half_width: usize) -> Result<Vec<f64>, DspError> {
+    if !ppm.is_finite() || ppm.abs() > 10_000.0 {
+        return Err(DspError::invalid(
+            "ppm",
+            format!("clock skew must be within ±10000 ppm, got {ppm}"),
+        ));
+    }
+    resample(signal, 1.0 + ppm * 1e-6, kernel_half_width)
+}
+
+fn sinc(x: f64) -> f64 {
+    if x.abs() < 1e-12 {
+        1.0
+    } else {
+        let px = std::f64::consts::PI * x;
+        px.sin() / px
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_ratio_is_near_identity() {
+        let signal: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin()).collect();
+        let out = resample(&signal, 1.0, 16).unwrap();
+        assert_eq!(out.len(), signal.len());
+        for i in 20..236 {
+            assert!((out[i] - signal[i]).abs() < 1e-9, "at {i}");
+        }
+    }
+
+    #[test]
+    fn output_length_scales_with_ratio() {
+        let signal = vec![0.0; 1000];
+        assert_eq!(resample(&signal, 2.0, 8).unwrap().len(), 2000);
+        assert_eq!(resample(&signal, 0.5, 8).unwrap().len(), 500);
+        assert_eq!(resample(&signal, 1.0 + 50e-6, 8).unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn upsampled_tone_keeps_frequency() {
+        // A tone resampled by 2 should complete the same cycles over twice
+        // the samples.
+        let fs = 8_000.0;
+        let f = 500.0;
+        let signal: Vec<f64> = (0..800)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
+            .collect();
+        let out = resample(&signal, 2.0, 16).unwrap();
+        for i in 64..out.len() - 64 {
+            let t = i as f64 / 2.0; // position in input samples
+            let truth = (2.0 * std::f64::consts::PI * f * t / fs).sin();
+            assert!((out[i] - truth).abs() < 1e-3, "at {i}: {} vs {truth}", out[i]);
+        }
+    }
+
+    #[test]
+    fn small_skew_shifts_late_events() {
+        // With a +100 ppm fast clock, an event at input sample 40000 is
+        // recorded ~4 samples later.
+        let mut signal = vec![0.0; 44_100];
+        signal[40_000] = 1.0;
+        let out = apply_clock_skew_ppm(&signal, 100.0, 16).unwrap();
+        let peak = out
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(peak, 40_004);
+    }
+
+    #[test]
+    fn skew_round_trip_recovers_timing() {
+        let mut signal = vec![0.0; 10_000];
+        signal[9_000] = 1.0;
+        let skewed = apply_clock_skew_ppm(&signal, 200.0, 16).unwrap();
+        let back = apply_clock_skew_ppm(&skewed, -200.0, 16).unwrap();
+        let peak = back
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert!(peak.abs_diff(9_000) <= 1, "peak at {peak}");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(resample(&[], 1.0, 8).is_err());
+        assert!(resample(&[1.0], 0.0, 8).is_err());
+        assert!(resample(&[1.0], -1.0, 8).is_err());
+        assert!(resample(&[1.0], f64::NAN, 8).is_err());
+        assert!(resample(&[1.0], 1.0, 0).is_err());
+        assert!(apply_clock_skew_ppm(&[1.0], 20_000.0, 8).is_err());
+        assert!(apply_clock_skew_ppm(&[1.0], f64::INFINITY, 8).is_err());
+    }
+}

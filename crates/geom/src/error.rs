@@ -1,0 +1,104 @@
+use std::fmt;
+
+/// Errors produced by geometric constructions and solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: String,
+    },
+    /// A measured distance difference exceeded the baseline, so no
+    /// hyperbola exists (`|Δd| > |f1 − f2|`).
+    InfeasibleMeasurement {
+        /// The distance difference that was requested.
+        delta_d: f64,
+        /// The baseline length between the foci.
+        baseline: f64,
+    },
+    /// An iterative solver failed to converge.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm at the final iterate.
+        residual: f64,
+    },
+    /// The measurement set does not determine a solution (e.g. degenerate
+    /// triangle in projected-location estimation).
+    Degenerate {
+        /// Description of the degeneracy.
+        what: String,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            GeomError::InfeasibleMeasurement { delta_d, baseline } => write!(
+                f,
+                "distance difference {delta_d} exceeds baseline {baseline}; no hyperbola exists"
+            ),
+            GeomError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            GeomError::Degenerate { what } => write!(f, "degenerate configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+impl GeomError {
+    /// Convenience constructor for [`GeomError::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        GeomError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        assert!(GeomError::invalid("d", "must be positive")
+            .to_string()
+            .contains("must be positive"));
+        assert!(GeomError::InfeasibleMeasurement {
+            delta_d: 2.0,
+            baseline: 1.0
+        }
+        .to_string()
+        .contains("exceeds baseline"));
+        assert!(GeomError::NoConvergence {
+            iterations: 50,
+            residual: 1e-3
+        }
+        .to_string()
+        .contains("50"));
+        assert!(GeomError::Degenerate {
+            what: "collinear".into()
+        }
+        .to_string()
+        .contains("collinear"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeomError>();
+    }
+}

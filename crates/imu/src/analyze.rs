@@ -1,0 +1,323 @@
+//! Session-level inertial analysis.
+//!
+//! Chains the whole of paper Section V: gravity removal → SMA smoothing →
+//! power segmentation (y-axis for slides, z-axis for stature changes) →
+//! drift-corrected velocity → displacement → z-rotation measurement.
+//! The output is everything the localization stage needs from the IMU:
+//! per-slide windows, signed distances `D′`, rotation for the quality
+//! gate, and the stature change `H` of the 3D protocol.
+
+use crate::displacement::segment_displacement_with;
+use crate::preprocess::preprocess;
+use crate::rotation::max_rotation_deg;
+use crate::segment::{segment_movements, Segment, SegmentConfig};
+use crate::ImuError;
+use hyperear_geom::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`analyze_session`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Samples of the initial stationary window used to estimate gravity.
+    pub gravity_window: usize,
+    /// SMA smoothing window (paper: 4 samples at 100 Hz).
+    pub sma_window: usize,
+    /// Movement segmentation parameters.
+    pub segmenter: SegmentConfig,
+    /// Whether to apply the Eq. 4 linear drift correction (true in the
+    /// paper; false only for the ablation experiment).
+    pub drift_correction: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            gravity_window: 60,
+            sma_window: 4,
+            segmenter: SegmentConfig::default(),
+            drift_correction: true,
+        }
+    }
+}
+
+/// One detected and measured slide.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlideEstimate {
+    /// The slide's sample window.
+    pub segment: Segment,
+    /// Start time, seconds.
+    pub start_time: f64,
+    /// End time, seconds.
+    pub end_time: f64,
+    /// Signed displacement along the phone's y (slide) axis, metres.
+    pub distance: f64,
+    /// Maximum z-rotation over the slide, degrees.
+    pub rotation_deg: f64,
+}
+
+/// One detected vertical stature change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StatureChange {
+    /// The movement's sample window.
+    pub segment: Segment,
+    /// Signed vertical displacement, metres (negative = lowered).
+    pub height_change: f64,
+}
+
+/// The full inertial summary of one session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionAnalysis {
+    /// Gravity vector estimated from the calibration window, m/s².
+    pub gravity: Vec3,
+    /// Detected slides in time order.
+    pub slides: Vec<SlideEstimate>,
+    /// Detected stature changes in time order.
+    pub stature_changes: Vec<StatureChange>,
+}
+
+/// Analyzes raw accelerometer and gyroscope traces into slides and
+/// stature changes.
+///
+/// Movements are classified by dominant axis: a segment found on the
+/// y-axis whose y-displacement dominates is a slide; a z-axis segment
+/// whose vertical displacement dominates is a stature change. Segments
+/// detected on both axes (a sloppy diagonal movement) are assigned to the
+/// axis with the larger displacement.
+///
+/// # Errors
+///
+/// Returns [`ImuError::TraceTooShort`] for traces shorter than the
+/// gravity window and propagates component errors.
+pub fn analyze_session(
+    accel: &[Vec3],
+    gyro: &[Vec3],
+    sample_rate: f64,
+    config: &SessionConfig,
+) -> Result<SessionAnalysis, ImuError> {
+    if sample_rate <= 0.0 {
+        return Err(ImuError::invalid("sample_rate", "must be positive"));
+    }
+    if accel.len() != gyro.len() {
+        return Err(ImuError::invalid(
+            "accel/gyro",
+            format!("length mismatch: {} vs {}", accel.len(), gyro.len()),
+        ));
+    }
+    let (linear, gravity) = preprocess(accel, config.gravity_window, config.sma_window)?;
+    let y: Vec<f64> = linear.iter().map(|v| v.y).collect();
+    let z: Vec<f64> = linear.iter().map(|v| v.z).collect();
+    let gyro_z: Vec<f64> = gyro.iter().map(|v| v.z).collect();
+
+    let y_segments = segment_movements(&y, &config.segmenter)?;
+    let z_segments = segment_movements(&z, &config.segmenter)?;
+
+    let mut slides = Vec::new();
+    let mut statures = Vec::new();
+
+    for seg in y_segments {
+        let dy = segment_displacement_with(&y[seg.start..seg.end], sample_rate, config.drift_correction)?;
+        let dz = segment_displacement_with(&z[seg.start..seg.end], sample_rate, config.drift_correction)?;
+        if dy.abs() < dz.abs() {
+            continue; // dominated by vertical motion; the z pass owns it
+        }
+        let rotation = max_rotation_deg(&gyro_z[seg.start..seg.end], sample_rate)?;
+        slides.push(SlideEstimate {
+            segment: seg,
+            start_time: seg.start as f64 / sample_rate,
+            end_time: seg.end as f64 / sample_rate,
+            distance: dy,
+            rotation_deg: rotation,
+        });
+    }
+    for seg in z_segments {
+        let dz = segment_displacement_with(&z[seg.start..seg.end], sample_rate, config.drift_correction)?;
+        let dy = segment_displacement_with(&y[seg.start..seg.end], sample_rate, config.drift_correction)?;
+        if dz.abs() <= dy.abs() {
+            continue; // this is a slide, already handled above
+        }
+        statures.push(StatureChange {
+            segment: seg,
+            height_change: dz,
+        });
+    }
+    Ok(SessionAnalysis {
+        gravity,
+        slides,
+        stature_changes: statures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G: f64 = 9.806_65;
+    const FS: f64 = 100.0;
+
+    fn min_jerk_accel(dist: f64, n: usize) -> Vec<f64> {
+        let duration = (n - 1) as f64 / FS;
+        (0..n)
+            .map(|i| {
+                let tau = i as f64 / (n - 1) as f64;
+                let a = 60.0 * tau - 180.0 * tau * tau + 120.0 * tau * tau * tau;
+                a * dist / (duration * duration)
+            })
+            .collect()
+    }
+
+    /// Builds a raw trace: hold, slide(s) on y, optional z drop.
+    fn build_trace(slide_dists: &[f64], drop: Option<f64>) -> (Vec<Vec3>, Vec<Vec3>) {
+        let mut accel = vec![Vec3::new(0.0, 0.0, -G); 150];
+        for &d in slide_dists {
+            let profile = min_jerk_accel(d, 81);
+            for &a in &profile {
+                accel.push(Vec3::new(0.0, a, -G));
+            }
+            accel.extend(std::iter::repeat(Vec3::new(0.0, 0.0, -G)).take(70));
+        }
+        if let Some(h) = drop {
+            let profile = min_jerk_accel(-h, 101);
+            for &a in &profile {
+                accel.push(Vec3::new(0.0, 0.0, a - G));
+            }
+            accel.extend(std::iter::repeat(Vec3::new(0.0, 0.0, -G)).take(70));
+        }
+        let gyro = vec![Vec3::ZERO; accel.len()];
+        (accel, gyro)
+    }
+
+    #[test]
+    fn single_slide_measured_accurately() {
+        let (accel, gyro) = build_trace(&[0.55], None);
+        let session = analyze_session(&accel, &gyro, FS, &SessionConfig::default()).unwrap();
+        assert_eq!(session.slides.len(), 1);
+        let s = &session.slides[0];
+        assert!((s.distance - 0.55).abs() < 0.01, "distance {}", s.distance);
+        assert!(s.rotation_deg < 0.1);
+        assert!(session.stature_changes.is_empty());
+        assert!((session.gravity.z + G).abs() < 1e-9);
+    }
+
+    #[test]
+    fn back_and_forth_slides_have_signs() {
+        let (accel, gyro) = build_trace(&[0.5, -0.5, 0.5], None);
+        let session = analyze_session(&accel, &gyro, FS, &SessionConfig::default()).unwrap();
+        assert_eq!(session.slides.len(), 3);
+        assert!(session.slides[0].distance > 0.4);
+        assert!(session.slides[1].distance < -0.4);
+        assert!(session.slides[2].distance > 0.4);
+        // Time ordering.
+        assert!(session.slides[0].end_time <= session.slides[1].start_time);
+    }
+
+    #[test]
+    fn stature_change_detected_on_z() {
+        let (accel, gyro) = build_trace(&[0.55], Some(0.4));
+        let session = analyze_session(&accel, &gyro, FS, &SessionConfig::default()).unwrap();
+        assert_eq!(session.slides.len(), 1);
+        assert_eq!(session.stature_changes.len(), 1);
+        let h = session.stature_changes[0].height_change;
+        assert!((h + 0.4).abs() < 0.01, "height change {h}");
+    }
+
+    #[test]
+    fn rotation_is_reported_per_slide() {
+        let (accel, mut gyro) = build_trace(&[0.55], None);
+        // Inject a yaw wobble during the slide (samples 150..231).
+        let amp = 25f64.to_radians();
+        let w = std::f64::consts::TAU * 1.0;
+        for i in 150..231 {
+            let t = (i - 150) as f64 / FS;
+            gyro[i].z = amp * w * (w * t).cos();
+        }
+        let session = analyze_session(&accel, &gyro, FS, &SessionConfig::default()).unwrap();
+        assert_eq!(session.slides.len(), 1);
+        assert!(
+            session.slides[0].rotation_deg > 15.0,
+            "rotation {}",
+            session.slides[0].rotation_deg
+        );
+    }
+
+    #[test]
+    fn mismatched_traces_rejected() {
+        let (accel, _) = build_trace(&[0.5], None);
+        let gyro = vec![Vec3::ZERO; 10];
+        assert!(analyze_session(&accel, &gyro, FS, &SessionConfig::default()).is_err());
+        assert!(analyze_session(&accel, &vec![Vec3::ZERO; accel.len()], 0.0, &SessionConfig::default()).is_err());
+    }
+
+    #[test]
+    fn short_trace_rejected() {
+        let accel = vec![Vec3::new(0.0, 0.0, -G); 10];
+        let gyro = vec![Vec3::ZERO; 10];
+        assert!(analyze_session(&accel, &gyro, FS, &SessionConfig::default()).is_err());
+    }
+
+    #[test]
+    fn quiet_session_has_no_movements() {
+        let accel = vec![Vec3::new(0.0, 0.0, -G); 400];
+        let gyro = vec![Vec3::ZERO; 400];
+        let session = analyze_session(&accel, &gyro, FS, &SessionConfig::default()).unwrap();
+        assert!(session.slides.is_empty());
+        assert!(session.stature_changes.is_empty());
+    }
+
+    #[test]
+    fn works_on_simulated_recording() {
+        // End-to-end against the full simulator with ruler motion.
+        use hyperear_sim::phone::PhoneModel;
+        use hyperear_sim::scenario::ScenarioBuilder;
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(hyperear_sim::environment::Environment::anechoic())
+            .speaker_range(3.0)
+            .slides(2)
+            .seed(5)
+            .render()
+            .unwrap();
+        let session = analyze_session(
+            &rec.imu.accel,
+            &rec.imu.gyro,
+            rec.imu.sample_rate,
+            &SessionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(session.slides.len(), 2, "slides: {:?}", session.slides);
+        for (est, truth) in session.slides.iter().zip(&rec.truth.motion.slides) {
+            let err = (est.distance - truth.distance).abs();
+            assert!(
+                err < 0.02,
+                "estimated {} true {} (err {err})",
+                est.distance,
+                truth.distance
+            );
+        }
+    }
+
+    #[test]
+    fn simulated_two_stature_protocol() {
+        use hyperear_sim::phone::PhoneModel;
+        use hyperear_sim::scenario::ScenarioBuilder;
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(hyperear_sim::environment::Environment::anechoic())
+            .speaker_range(3.0)
+            .speaker_stature(0.5)
+            .slides(2)
+            .slides_low(2)
+            .stature_drop(0.4)
+            .seed(6)
+            .render()
+            .unwrap();
+        let session = analyze_session(
+            &rec.imu.accel,
+            &rec.imu.gyro,
+            rec.imu.sample_rate,
+            &SessionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(session.slides.len(), 4);
+        assert_eq!(session.stature_changes.len(), 1);
+        let h = session.stature_changes[0].height_change;
+        assert!((h + 0.4).abs() < 0.03, "stature change {h}");
+    }
+}

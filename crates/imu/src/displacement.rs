@@ -1,0 +1,139 @@
+//! Displacement derivation (paper Section V-B, final step).
+//!
+//! "Given the corrected sliding velocity v*(t), the displacement between
+//! any two time instants during a slide can be derived by taking the
+//! integral of v*(t) over time."
+
+use crate::velocity::estimate_velocity;
+use crate::ImuError;
+
+/// Integrates a velocity trace (trapezoidal) into a displacement trace.
+///
+/// # Errors
+///
+/// Returns [`ImuError::TraceTooShort`] for fewer than 2 samples and
+/// [`ImuError::InvalidParameter`] for a non-positive sample rate.
+pub fn integrate_velocity(velocity: &[f64], sample_rate: f64) -> Result<Vec<f64>, ImuError> {
+    if velocity.len() < 2 {
+        return Err(ImuError::TraceTooShort {
+            have: velocity.len(),
+            need: 2,
+        });
+    }
+    if sample_rate <= 0.0 {
+        return Err(ImuError::invalid("sample_rate", "must be positive"));
+    }
+    let dt = 1.0 / sample_rate;
+    let mut d = Vec::with_capacity(velocity.len());
+    d.push(0.0);
+    for i in 1..velocity.len() {
+        d.push(d[i - 1] + 0.5 * (velocity[i - 1] + velocity[i]) * dt);
+    }
+    Ok(d)
+}
+
+/// The signed net displacement of one movement segment: acceleration →
+/// drift-corrected velocity → displacement, end minus start.
+///
+/// This is the `D′` (for horizontal slides) or `H` contribution (for
+/// stature changes) of the paper's geometry.
+///
+/// # Errors
+///
+/// Combines the conditions of [`estimate_velocity`] and
+/// [`integrate_velocity`].
+pub fn segment_displacement(accel: &[f64], sample_rate: f64) -> Result<f64, ImuError> {
+    segment_displacement_with(accel, sample_rate, true)
+}
+
+/// Like [`segment_displacement`] but with the Eq. 4 drift correction
+/// switchable — the ablation the paper's Fig. 9 motivates.
+///
+/// # Errors
+///
+/// Same conditions as [`segment_displacement`].
+pub fn segment_displacement_with(
+    accel: &[f64],
+    sample_rate: f64,
+    drift_correction: bool,
+) -> Result<f64, ImuError> {
+    let v = estimate_velocity(accel, sample_rate)?;
+    let trace = if drift_correction { &v.corrected } else { &v.raw };
+    let d = integrate_velocity(trace, sample_rate)?;
+    Ok(*d.last().expect("displacement trace is non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn min_jerk_accel(dist: f64, n: usize, fs: f64) -> Vec<f64> {
+        let duration = (n - 1) as f64 / fs;
+        (0..n)
+            .map(|i| {
+                let tau = i as f64 / (n - 1) as f64;
+                let a = 60.0 * tau - 180.0 * tau * tau + 120.0 * tau * tau * tau;
+                a * dist / (duration * duration)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_slide_recovers_distance() {
+        for dist in [0.15, 0.35, 0.55, -0.55] {
+            let accel = min_jerk_accel(dist, 81, 100.0);
+            let d = segment_displacement(&accel, 100.0).unwrap();
+            assert!(
+                (d - dist).abs() < 0.002,
+                "dist {dist}: estimated {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn biased_slide_still_recovers_distance() {
+        // A constant bias produces linear velocity drift; after Eq. 4 the
+        // displacement error collapses. (A 0.2 m/s² bias uncorrected would
+        // add ½·0.2·0.8² = 6.4 cm.)
+        let mut accel = min_jerk_accel(0.55, 81, 100.0);
+        for a in &mut accel {
+            *a += 0.2;
+        }
+        let d = segment_displacement(&accel, 100.0).unwrap();
+        assert!((d - 0.55).abs() < 0.005, "estimated {d}");
+    }
+
+    #[test]
+    fn integrate_velocity_of_constant() {
+        let v = vec![2.0; 101];
+        let d = integrate_velocity(&v, 100.0).unwrap();
+        assert!((d[100] - 2.0).abs() < 1e-12);
+        assert_eq!(d[0], 0.0);
+    }
+
+    #[test]
+    fn displacement_is_monotonic_for_positive_velocity() {
+        let v: Vec<f64> = (0..100).map(|i| (i as f64 / 50.0).min(1.0)).collect();
+        let d = integrate_velocity(&v, 100.0).unwrap();
+        for w in d.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(integrate_velocity(&[], 100.0).is_err());
+        assert!(integrate_velocity(&[1.0], 100.0).is_err());
+        assert!(integrate_velocity(&[1.0, 2.0], 0.0).is_err());
+        assert!(segment_displacement(&[1.0], 100.0).is_err());
+    }
+
+    #[test]
+    fn half_segment_displacement_partial() {
+        // Displacement at mid-slide of a min-jerk is half the total.
+        let accel = min_jerk_accel(0.5, 81, 100.0);
+        let v = estimate_velocity(&accel, 100.0).unwrap();
+        let d = integrate_velocity(&v.corrected, 100.0).unwrap();
+        assert!((d[40] - 0.25).abs() < 0.005, "mid displacement {}", d[40]);
+    }
+}

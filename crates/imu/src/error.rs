@@ -1,0 +1,88 @@
+use hyperear_dsp::DspError;
+use std::fmt;
+
+/// Errors produced by the inertial-processing chain.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ImuError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: String,
+    },
+    /// The trace is too short for the requested operation.
+    TraceTooShort {
+        /// Samples available.
+        have: usize,
+        /// Samples required.
+        need: usize,
+    },
+    /// A DSP primitive failed.
+    Dsp(DspError),
+}
+
+impl fmt::Display for ImuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImuError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            ImuError::TraceTooShort { have, need } => {
+                write!(f, "inertial trace too short: have {have} samples, need {need}")
+            }
+            ImuError::Dsp(e) => write!(f, "dsp error in inertial chain: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImuError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DspError> for ImuError {
+    fn from(e: DspError) -> Self {
+        ImuError::Dsp(e)
+    }
+}
+
+impl ImuError {
+    /// Convenience constructor for [`ImuError::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        ImuError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_contextual() {
+        assert!(ImuError::invalid("fs", "must be positive")
+            .to_string()
+            .contains("fs"));
+        assert!(ImuError::TraceTooShort { have: 3, need: 10 }
+            .to_string()
+            .contains("3"));
+        let e = ImuError::from(DspError::EmptyInput { what: "sma" });
+        assert!(e.to_string().contains("dsp error"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ImuError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! # hyperear-imu
+//!
+//! Phone Displacement Estimation (paper Section V): the signal chain that
+//! turns raw, error-prone 100 Hz inertial readings into slide distances
+//! accurate enough to serve as the synthetic TDoA baseline `D′`.
+//!
+//! The chain, exactly as the paper orders it:
+//!
+//! 1. [`preprocess`] — gravity cancellation, then SMA low-pass smoothing
+//!    (n = 4 at 100 Hz ⇒ ≈15 Hz cut-off).
+//! 2. [`segment`] — power-based movement segmentation (Eq. 3, threshold
+//!    0.2, hangover m = 8).
+//! 3. [`velocity`] — acceleration integration with the linear
+//!    accumulated-error correction of Eq. 4, anchored on the
+//!    zero-velocity endpoints of each slide.
+//! 4. [`displacement`] — integration of the corrected velocity into a
+//!    signed slide distance (and stature changes on the z-axis).
+//! 5. [`rotation`] — gyroscope integration for the z-rotation quality
+//!    gate ("slides with ... z-axis rotation angle less than 20° are
+//!    automatically selected").
+//! 6. [`quality`] — the slide-acceptance gate itself.
+//!
+//! The top-level entry point is [`analyze::analyze_session`], which
+//! produces per-slide estimates from raw accelerometer/gyroscope traces.
+//!
+//! # Example
+//!
+//! ```
+//! use hyperear_geom::Vec3;
+//! use hyperear_imu::analyze::{analyze_session, SessionConfig};
+//!
+//! # fn main() -> Result<(), hyperear_imu::ImuError> {
+//! // A toy trace: stationary, then a crude 1-second push-pull on y.
+//! let fs = 100.0;
+//! let mut accel = vec![Vec3::new(0.0, 0.0, -9.81); 600];
+//! for i in 0..50 {
+//!     accel[200 + i].y += 2.0; // accelerate
+//!     accel[250 + i].y -= 2.0; // decelerate
+//! }
+//! let gyro = vec![Vec3::ZERO; 600];
+//! let session = analyze_session(&accel, &gyro, fs, &SessionConfig::default())?;
+//! assert_eq!(session.slides.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+mod error;
+pub mod displacement;
+pub mod preprocess;
+pub mod quality;
+pub mod rotation;
+pub mod segment;
+pub mod velocity;
+
+pub use error::ImuError;

@@ -1,0 +1,186 @@
+//! Motion Signal Preprocessing (paper Section V-A-1).
+//!
+//! "We first use gravimeter to cancel the gravity to get linear
+//! acceleration data. ... We remove such high frequency noise by passing
+//! each signal through a low pass filter ... a moving average (SMA)
+//! filter ... n ... 4 to achieve -3dB cut-off frequency at 15Hz with the
+//! sampling rate ... 100Hz."
+
+use crate::ImuError;
+use hyperear_dsp::filter::MovingAverage;
+use hyperear_geom::Vec3;
+
+/// Estimates the gravity vector from an initial stationary window of raw
+/// accelerometer samples (the "gravimeter" of the paper: on Android this
+/// is `TYPE_GRAVITY`, a long-horizon low-pass of the accelerometer).
+///
+/// # Errors
+///
+/// Returns [`ImuError::TraceTooShort`] if fewer than `window` samples are
+/// available, [`ImuError::InvalidParameter`] for a zero window, and an
+/// error if the estimated vector is implausibly far from 9.8 m/s²
+/// (the window was not actually stationary).
+pub fn estimate_gravity(accel: &[Vec3], window: usize) -> Result<Vec3, ImuError> {
+    if window == 0 {
+        return Err(ImuError::invalid("window", "must be positive"));
+    }
+    if accel.len() < window {
+        return Err(ImuError::TraceTooShort {
+            have: accel.len(),
+            need: window,
+        });
+    }
+    let mut sum = Vec3::ZERO;
+    for a in &accel[..window] {
+        sum += *a;
+    }
+    let g = sum / window as f64;
+    let mag = g.norm();
+    if !(8.0..=11.5).contains(&mag) {
+        return Err(ImuError::invalid(
+            "accel",
+            format!(
+                "gravity estimate has magnitude {mag:.2} m/s²; the calibration window does not look stationary"
+            ),
+        ));
+    }
+    Ok(g)
+}
+
+/// Subtracts a constant gravity estimate from every sample, yielding
+/// linear acceleration.
+#[must_use]
+pub fn remove_gravity(accel: &[Vec3], gravity: Vec3) -> Vec<Vec3> {
+    accel.iter().map(|a| *a - gravity).collect()
+}
+
+/// Applies the paper's SMA low-pass to each axis of a 3-axis trace.
+///
+/// # Errors
+///
+/// Returns [`ImuError::InvalidParameter`] for a zero window and
+/// propagates DSP errors for an empty trace.
+pub fn smooth(trace: &[Vec3], window: usize) -> Result<Vec<Vec3>, ImuError> {
+    let sma = MovingAverage::new(window).map_err(ImuError::from)?;
+    let x: Vec<f64> = trace.iter().map(|v| v.x).collect();
+    let y: Vec<f64> = trace.iter().map(|v| v.y).collect();
+    let z: Vec<f64> = trace.iter().map(|v| v.z).collect();
+    let (sx, sy, sz) = (sma.filter(&x)?, sma.filter(&y)?, sma.filter(&z)?);
+    Ok(sx
+        .into_iter()
+        .zip(sy)
+        .zip(sz)
+        .map(|((a, b), c)| Vec3::new(a, b, c))
+        .collect())
+}
+
+/// Convenience: gravity estimation, removal, and smoothing in one call.
+///
+/// Returns `(linear_acceleration, gravity_estimate)`.
+///
+/// # Errors
+///
+/// Combines the error conditions of [`estimate_gravity`] and [`smooth`].
+pub fn preprocess(
+    accel: &[Vec3],
+    gravity_window: usize,
+    sma_window: usize,
+) -> Result<(Vec<Vec3>, Vec3), ImuError> {
+    let gravity = estimate_gravity(accel, gravity_window)?;
+    let linear = remove_gravity(accel, gravity);
+    let smoothed = smooth(&linear, sma_window)?;
+    Ok((smoothed, gravity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G: f64 = 9.806_65;
+
+    fn stationary(n: usize) -> Vec<Vec3> {
+        vec![Vec3::new(0.0, 0.0, -G); n]
+    }
+
+    #[test]
+    fn gravity_estimate_from_clean_stationary() {
+        let g = estimate_gravity(&stationary(100), 50).unwrap();
+        assert!((g - Vec3::new(0.0, 0.0, -G)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn gravity_estimate_averages_noise() {
+        let mut accel = stationary(200);
+        for (i, a) in accel.iter_mut().enumerate() {
+            let e = if i % 2 == 0 { 0.1 } else { -0.1 };
+            a.x += e;
+            a.y -= e;
+        }
+        let g = estimate_gravity(&accel, 200).unwrap();
+        assert!(g.x.abs() < 1e-9);
+        assert!(g.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn moving_window_is_rejected() {
+        // A window full of large motion does not look like gravity.
+        let accel = vec![Vec3::new(5.0, 5.0, -15.0); 100];
+        assert!(estimate_gravity(&accel, 100).is_err());
+        let accel = vec![Vec3::new(0.0, 0.0, -3.0); 100];
+        assert!(estimate_gravity(&accel, 100).is_err());
+    }
+
+    #[test]
+    fn short_or_empty_traces_are_errors() {
+        assert!(estimate_gravity(&stationary(10), 50).is_err());
+        assert!(estimate_gravity(&stationary(10), 0).is_err());
+        assert!(smooth(&[], 4).is_err());
+        assert!(smooth(&stationary(10), 0).is_err());
+    }
+
+    #[test]
+    fn remove_gravity_zeroes_stationary_trace() {
+        let accel = stationary(50);
+        let g = estimate_gravity(&accel, 50).unwrap();
+        let linear = remove_gravity(&accel, g);
+        assert!(linear.iter().all(|v| v.norm() < 1e-12));
+    }
+
+    #[test]
+    fn smoothing_averages_alternating_noise() {
+        let trace: Vec<Vec3> = (0..100)
+            .map(|i| {
+                let e = if i % 2 == 0 { 0.5 } else { -0.5 };
+                Vec3::new(1.0 + e, 2.0 - e, e)
+            })
+            .collect();
+        let out = smooth(&trace, 4).unwrap();
+        for v in &out[4..] {
+            assert!((v.x - 1.0).abs() < 1e-9);
+            assert!((v.y - 2.0).abs() < 1e-9);
+            assert!(v.z.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn preprocess_pipeline_end_to_end() {
+        let mut accel = stationary(300);
+        // A motion burst after the calibration window.
+        for a in accel.iter_mut().skip(150).take(20) {
+            a.y += 3.0;
+        }
+        let (linear, gravity) = preprocess(&accel, 100, 4).unwrap();
+        assert!((gravity.z + G).abs() < 1e-9);
+        // Stationary part is near zero, burst part is visible.
+        assert!(linear[50].norm() < 1e-9);
+        let burst_peak = linear[150..175].iter().map(|v| v.y).fold(0.0, f64::max);
+        assert!(burst_peak > 2.0);
+    }
+
+    #[test]
+    fn preprocess_preserves_length() {
+        let accel = stationary(120);
+        let (linear, _) = preprocess(&accel, 60, 4).unwrap();
+        assert_eq!(linear.len(), 120);
+    }
+}

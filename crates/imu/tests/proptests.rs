@@ -1,0 +1,167 @@
+//! Property-based tests of the inertial-chain invariants.
+
+use hyperear_imu::displacement::{integrate_velocity, segment_displacement};
+use hyperear_imu::rotation::{max_rotation_deg, yaw_trace};
+use hyperear_imu::segment::{power_levels, segment_movements, SegmentConfig};
+use hyperear_imu::velocity::{correct_linear_drift, estimate_velocity, integrate_acceleration};
+use proptest::prelude::*;
+
+fn min_jerk_accel(dist: f64, n: usize, fs: f64) -> Vec<f64> {
+    let duration = (n - 1) as f64 / fs;
+    (0..n)
+        .map(|i| {
+            let tau = i as f64 / (n - 1) as f64;
+            let a = 60.0 * tau - 180.0 * tau * tau + 120.0 * tau * tau * tau;
+            a * dist / (duration * duration)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn drift_correction_is_exact_for_linear_drift(
+        dist in -1.0f64..1.0,
+        bias in -0.5f64..0.5,
+        n in 41usize..200,
+    ) {
+        prop_assume!(dist.abs() > 0.05);
+        let mut accel = min_jerk_accel(dist, n, 100.0);
+        for a in &mut accel {
+            *a += bias;
+        }
+        let est = estimate_velocity(&accel, 100.0).unwrap();
+        // The corrected end velocity is exactly zero, and the recovered
+        // drift slope equals the injected bias.
+        prop_assert!(est.corrected.last().unwrap().abs() < 1e-9);
+        prop_assert!((est.drift_slope - bias).abs() < 1e-9);
+    }
+
+    #[test]
+    fn displacement_recovers_distance_under_bias(
+        dist in -1.0f64..1.0,
+        bias in -0.3f64..0.3,
+        n in 61usize..160,
+    ) {
+        prop_assume!(dist.abs() > 0.05);
+        let mut accel = min_jerk_accel(dist, n, 100.0);
+        for a in &mut accel {
+            *a += bias;
+        }
+        let d = segment_displacement(&accel, 100.0).unwrap();
+        prop_assert!(
+            (d - dist).abs() < 0.01 * (1.0 + dist.abs()),
+            "dist {} est {}",
+            dist,
+            d
+        );
+    }
+
+    #[test]
+    fn integration_is_linear(scale in 0.1f64..5.0, n in 10usize..100) {
+        let accel: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.17).sin()).collect();
+        let scaled: Vec<f64> = accel.iter().map(|a| a * scale).collect();
+        let v1 = integrate_acceleration(&accel, 100.0).unwrap();
+        let v2 = integrate_acceleration(&scaled, 100.0).unwrap();
+        for (a, b) in v1.iter().zip(&v2) {
+            prop_assert!((a * scale - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn corrected_velocity_endpoints_are_zero(
+        raw in prop::collection::vec(-2.0f64..2.0, 8..64),
+    ) {
+        let mut raw = raw;
+        raw[0] = 0.0; // integration always starts at rest
+        let (corrected, _) = correct_linear_drift(&raw, 100.0).unwrap();
+        prop_assert!(corrected[0].abs() < 1e-12);
+        prop_assert!(corrected.last().unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_levels_are_nonnegative_and_bounded(
+        signal in prop::collection::vec(-3.0f64..3.0, 8..128),
+    ) {
+        let p = power_levels(&signal, 4).unwrap();
+        prop_assert_eq!(p.len(), signal.len());
+        let max_sq = signal.iter().map(|x| x * x).fold(0.0f64, f64::max);
+        for v in p {
+            prop_assert!(v >= 0.0);
+            prop_assert!(v <= max_sq + 1e-12);
+        }
+    }
+
+    #[test]
+    fn segments_are_sorted_and_disjoint(
+        bursts in prop::collection::vec((0usize..8, 20usize..60), 1..4),
+    ) {
+        // Build a trace with bursts at deterministic, spread positions.
+        let mut signal = vec![0.0; 1000];
+        for (k, &(slot, len)) in bursts.iter().enumerate() {
+            let start = 100 + (slot + k * 3) % 8 * 110;
+            for i in 0..len.min(90) {
+                signal[start + i] = 2.0;
+            }
+        }
+        let segments = segment_movements(&signal, &SegmentConfig::default()).unwrap();
+        for pair in segments.windows(2) {
+            prop_assert!(pair[0].end <= pair[1].start);
+        }
+        for s in &segments {
+            prop_assert!(s.start < s.end);
+            prop_assert!(s.end <= signal.len());
+        }
+    }
+
+    #[test]
+    fn yaw_trace_differences_track_wobble(
+        amp in 0.01f64..0.3,
+        freq in 0.2f64..0.8,
+        bias in -0.05f64..0.05,
+    ) {
+        let fs = 100.0;
+        let w = std::f64::consts::TAU * freq;
+        let gyro: Vec<f64> = (0..1800)
+            .map(|i| bias + amp * w * (w * i as f64 / fs).cos())
+            .collect();
+        let yaw = yaw_trace(&gyro, fs).unwrap();
+        let (i, j) = (700usize, 860usize);
+        let est = yaw[j] - yaw[i];
+        let truth = amp * ((w * j as f64 / fs).sin() - (w * i as f64 / fs).sin());
+        prop_assert!(
+            (est - truth).abs() < 0.01 + 0.05 * amp,
+            "est {} truth {}",
+            est,
+            truth
+        );
+    }
+
+    #[test]
+    fn rotation_gate_measures_constant_wobble(amp_deg in 1.0f64..30.0) {
+        let fs = 100.0;
+        let amp = amp_deg.to_radians();
+        let w = std::f64::consts::TAU * 0.5;
+        let rate: Vec<f64> = (0..=200)
+            .map(|i| amp * w * (w * i as f64 / fs).cos())
+            .collect();
+        let measured = max_rotation_deg(&rate, fs).unwrap();
+        prop_assert!((measured - amp_deg).abs() < 0.1 * amp_deg + 0.5);
+    }
+
+    #[test]
+    fn velocity_then_displacement_is_consistent(
+        dist in 0.1f64..1.0,
+        n in 81usize..160,
+    ) {
+        let accel = min_jerk_accel(dist, n, 100.0);
+        let est = estimate_velocity(&accel, 100.0).unwrap();
+        let d = integrate_velocity(&est.corrected, 100.0).unwrap();
+        // Monotonic displacement for a one-way slide.
+        for pair in d.windows(2) {
+            prop_assert!(pair[1] >= pair[0] - 1e-9);
+        }
+        prop_assert!((d.last().unwrap() - dist).abs() < 0.01);
+    }
+}

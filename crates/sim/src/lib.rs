@@ -1,0 +1,62 @@
+//! # hyperear-sim
+//!
+//! The hardware the HyperEar paper evaluates on — two Android phones, a
+//! desktop speaker, a meeting room, a shopping mall, and ten volunteers —
+//! is replaced here by sample-level simulators that exercise the same code
+//! paths the real hardware would:
+//!
+//! - [`phone`] — microphone-pair and IMU specifications (Galaxy S4/Note3
+//!   presets with the paper's 13.66 cm / 15.12 cm separations).
+//! - [`speaker`] — the chirp beacon source with its own, slightly wrong,
+//!   clock.
+//! - [`room`] — shoebox image-source reverberation.
+//! - [`noise`] — white / voice-band / mall-music / busy-mall noise
+//!   generators calibrated by target SNR.
+//! - [`mic`] — the capture chain: propagation, attenuation, multipath,
+//!   sampling-frequency offset, additive noise, 16-bit quantization.
+//! - [`imu`] — accelerometer/gyroscope error models (noise, bias, gravity
+//!   leakage under orientation jitter).
+//! - [`motion`] — minimum-jerk slide trajectories with per-volunteer
+//!   perturbations, plus the level slide-ruler mode of Section VII-B.
+//! - [`volunteer`] — hand-stability profiles.
+//! - [`environment`] — the four Fig. 19 environments (quiet room, chatting
+//!   room, off-peak mall, busy mall).
+//! - [`scenario`] — the orchestrator: builds a full HyperEar session
+//!   (calibration window + slides at one or two statures) and renders a
+//!   [`scenario::Recording`] with stereo audio, IMU traces, and ground
+//!   truth.
+//!
+//! # Example
+//!
+//! ```
+//! use hyperear_sim::scenario::ScenarioBuilder;
+//! use hyperear_sim::phone::PhoneModel;
+//!
+//! # fn main() -> Result<(), hyperear_sim::SimError> {
+//! let recording = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+//!     .speaker_range(3.0)
+//!     .slides(1)
+//!     .seed(7)
+//!     .render()?;
+//! assert!(recording.audio.left.len() > 44_100);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod environment;
+mod error;
+pub mod imu;
+pub mod mic;
+pub mod motion;
+pub mod noise;
+pub mod phone;
+pub mod rng;
+pub mod room;
+pub mod scenario;
+pub mod speaker;
+pub mod volunteer;
+
+pub use error::SimError;

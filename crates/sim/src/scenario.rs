@@ -1,0 +1,671 @@
+//! Scenario building and rendering.
+//!
+//! A *scenario* is one HyperEar session: a phone held in-direction near a
+//! speaker, an initial stationary hold (the SFO calibration window),
+//! several slides at the first stature and — for the 3D protocol — a
+//! stature change followed by more slides. [`ScenarioBuilder::render`]
+//! produces a [`Recording`] containing exactly what the phone would hand
+//! an app: stereo 16-bit-quantized audio and raw IMU traces, plus the
+//! ground truth needed to score the pipeline.
+
+use crate::environment::Environment;
+use crate::imu::{sample_imu, ImuModel, ImuTrace};
+use crate::mic::{add_noise_and_quantize, render_clean_channel};
+use crate::motion::{MotionBuilder, MotionProfile, PhoneMotion};
+use crate::phone::PhoneModel;
+use crate::rng::SimRng;
+use crate::room::{free_field, PropagationPath};
+use crate::speaker::SpeakerModel;
+use crate::volunteer::Volunteer;
+use crate::SimError;
+use hyperear_dsp::SPEED_OF_SOUND;
+use hyperear_geom::{Vec2, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A two-channel audio recording at a nominal sample rate.
+///
+/// Channel 0 ("left") is Mic1, channel 1 ("right") is Mic2; Mic2 sits
+/// `mic_separation` metres further along the phone's y-axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StereoRecording {
+    /// Nominal sample rate, hertz (the rate the app *believes* it gets;
+    /// the actual ADC clock may be offset by the phone's ppm error).
+    pub sample_rate: f64,
+    /// Mic1 samples.
+    pub left: Vec<f64>,
+    /// Mic2 samples.
+    pub right: Vec<f64>,
+}
+
+/// Everything the simulator knows that the pipeline must *estimate*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Speaker position, world frame.
+    pub speaker_position: Vec3,
+    /// The full true phone motion (slide windows, true distances, sway).
+    pub motion: PhoneMotion,
+    /// Horizontal (floor-map) perpendicular distance from the slide line
+    /// to the speaker — the quantity Figs. 14–19 score against.
+    pub ground_distance: f64,
+    /// Slant distance from the upper slide line to the speaker (the `L1`
+    /// of Section VI-B).
+    pub slant_distance_upper: f64,
+    /// Slant distance from the lower slide line to the speaker (`L2`),
+    /// equal to `slant_distance_upper` for single-stature scenarios.
+    pub slant_distance_lower: f64,
+    /// True stature change between slide planes (0 for 2D scenarios).
+    pub stature_drop: f64,
+}
+
+/// A rendered HyperEar session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recording {
+    /// The phone that recorded the session.
+    pub phone: PhoneModel,
+    /// The beacon source configuration.
+    pub speaker: SpeakerModel,
+    /// The acoustic environment.
+    pub environment: Environment,
+    /// Stereo audio as captured (noise + quantization included).
+    pub audio: StereoRecording,
+    /// Raw IMU traces.
+    pub imu: ImuTrace,
+    /// Ground truth for scoring.
+    pub truth: GroundTruth,
+}
+
+/// Builds and renders HyperEar sessions.
+///
+/// # Example
+///
+/// ```
+/// use hyperear_sim::scenario::ScenarioBuilder;
+/// use hyperear_sim::phone::PhoneModel;
+///
+/// # fn main() -> Result<(), hyperear_sim::SimError> {
+/// let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+///     .speaker_range(5.0)
+///     .slides(2)
+///     .seed(42)
+///     .render()?;
+/// assert_eq!(rec.audio.left.len(), rec.audio.right.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    phone: PhoneModel,
+    speaker: SpeakerModel,
+    environment: Environment,
+    profile: MotionProfile,
+    tremor_accel_std: f64,
+    phone_stature: f64,
+    speaker_stature: Option<f64>,
+    speaker_range: f64,
+    slides: usize,
+    slides_low: usize,
+    stature_drop: f64,
+    slide_distance: f64,
+    slide_duration: f64,
+    hold_duration: f64,
+    direct_path_attenuation_db: f64,
+    seed: u64,
+}
+
+impl ScenarioBuilder {
+    /// Creates a builder with the paper's defaults: anechoic-quiet
+    /// environment, ruler motion, 55 cm / 0.8 s slides, 5 m range, phone
+    /// and speaker on the same plane (2D setup).
+    #[must_use]
+    pub fn new(phone: PhoneModel) -> Self {
+        ScenarioBuilder {
+            phone,
+            speaker: SpeakerModel::new(),
+            environment: Environment::room_quiet(),
+            profile: MotionProfile::ruler(),
+            tremor_accel_std: 0.0,
+            phone_stature: 1.3,
+            speaker_stature: None,
+            speaker_range: 5.0,
+            slides: 1,
+            slides_low: 0,
+            stature_drop: 0.4,
+            slide_distance: 0.55,
+            slide_duration: 0.8,
+            hold_duration: 1.2,
+            direct_path_attenuation_db: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the beacon source model.
+    #[must_use]
+    pub fn speaker_model(mut self, speaker: SpeakerModel) -> Self {
+        self.speaker = speaker;
+        self
+    }
+
+    /// Sets the acoustic environment.
+    #[must_use]
+    pub fn environment(mut self, environment: Environment) -> Self {
+        self.environment = environment;
+        self
+    }
+
+    /// Sets the motion perturbation profile (ruler or hand).
+    #[must_use]
+    pub fn motion_profile(mut self, profile: MotionProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Configures motion and tremor from a volunteer, holding the phone at
+    /// that volunteer's natural height.
+    #[must_use]
+    pub fn volunteer(mut self, v: &Volunteer) -> Self {
+        self.profile = v.profile;
+        self.tremor_accel_std = v.tremor_accel_std;
+        self.phone_stature = v.upper_slide_height();
+        self
+    }
+
+    /// Sets the horizontal (floor-map) distance from the slide line to the
+    /// speaker.
+    #[must_use]
+    pub fn speaker_range(mut self, metres: f64) -> Self {
+        self.speaker_range = metres;
+        self
+    }
+
+    /// Sets the speaker's height above the floor. Defaults to the phone
+    /// stature (same-plane 2D setup).
+    #[must_use]
+    pub fn speaker_stature(mut self, metres: f64) -> Self {
+        self.speaker_stature = Some(metres);
+        self
+    }
+
+    /// Sets the phone's (upper) slide-plane height.
+    #[must_use]
+    pub fn phone_stature(mut self, metres: f64) -> Self {
+        self.phone_stature = metres;
+        self
+    }
+
+    /// Number of slides at the upper stature.
+    #[must_use]
+    pub fn slides(mut self, n: usize) -> Self {
+        self.slides = n;
+        self
+    }
+
+    /// Number of slides at the lower stature (0 = single-stature 2D
+    /// session).
+    #[must_use]
+    pub fn slides_low(mut self, n: usize) -> Self {
+        self.slides_low = n;
+        self
+    }
+
+    /// Stature change between the two slide planes, metres.
+    #[must_use]
+    pub fn stature_drop(mut self, metres: f64) -> Self {
+        self.stature_drop = metres;
+        self
+    }
+
+    /// Commanded slide distance, metres.
+    #[must_use]
+    pub fn slide_distance(mut self, metres: f64) -> Self {
+        self.slide_distance = metres;
+        self
+    }
+
+    /// Commanded slide duration, seconds.
+    #[must_use]
+    pub fn slide_duration(mut self, seconds: f64) -> Self {
+        self.slide_duration = seconds;
+        self
+    }
+
+    /// Initial stationary hold (SFO calibration window), seconds.
+    #[must_use]
+    pub fn hold_duration(mut self, seconds: f64) -> Self {
+        self.hold_duration = seconds;
+        self
+    }
+
+    /// Attenuates the direct (line-of-sight) path by the given amount in
+    /// dB while leaving reflections untouched — an obstruction between
+    /// user and speaker (a shelf, a person, a wall edge). 0 dB = clear
+    /// LoS; ≥20 dB approaches full NLoS, where the matched filter locks
+    /// onto a reflection. The paper assumes LoS and defers NLoS to future
+    /// work; this knob enables that study.
+    #[must_use]
+    pub fn direct_path_attenuation_db(mut self, db: f64) -> Self {
+        self.direct_path_attenuation_db = db;
+        self
+    }
+
+    /// Seed for every stochastic element of the render.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Renders the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for inconsistent
+    /// configuration (e.g. speaker outside the room, zero slides) and
+    /// propagates rendering errors.
+    pub fn render(&self) -> Result<Recording, SimError> {
+        self.phone.validate()?;
+        self.speaker.validate(self.phone.audio_sample_rate)?;
+        self.environment.validate()?;
+        if !(0.2..=30.0).contains(&self.speaker_range) {
+            return Err(SimError::invalid(
+                "speaker_range",
+                format!("must be within [0.2, 30] m, got {}", self.speaker_range),
+            ));
+        }
+        let mut rng = SimRng::seed_from(self.seed);
+        let mut motion_rng = rng.fork("motion");
+        let mut imu_rng = rng.fork("imu");
+        let mut noise_rng_l = rng.fork("noise-left");
+        let mut noise_rng_r = rng.fork("noise-right");
+        let mut phase_rng = rng.fork("phase");
+
+        // ---- Geometry: place the slide line and the speaker. -----------
+        // The slide axis is world +x. Place the assembly so everything
+        // fits inside the room (or near the origin in free field).
+        let (line_start, speaker_y_origin) = match &self.environment.room {
+            Some(room) => {
+                let x0 = (room.size.x / 2.0 - 2.0).max(0.5);
+                (Vec3::new(x0, 2.0, self.phone_stature), 2.0)
+            }
+            None => (Vec3::new(0.0, 0.0, self.phone_stature), 0.0),
+        };
+        let speaker_stature = self.speaker_stature.unwrap_or(self.phone_stature);
+        // In-direction placement: speaker broadside of the mic pair at the
+        // slide's midpoint.
+        let speaker_position = Vec3::new(
+            line_start.x + self.slide_distance / 2.0 + self.phone.mic_separation / 2.0,
+            speaker_y_origin + self.speaker_range,
+            speaker_stature,
+        );
+        if let Some(room) = &self.environment.room {
+            room.validate_point(speaker_position, "speaker_position")?;
+            room.validate_point(line_start, "phone start")?;
+        }
+
+        // ---- Motion. ----------------------------------------------------
+        let motion = MotionBuilder::new(line_start, Vec2::new(1.0, 0.0), self.phone.mic_separation)?
+            .profile(self.profile)
+            .hold_duration(self.hold_duration)
+            .slide_distance(self.slide_distance)
+            .slide_duration(self.slide_duration)
+            .build(self.slides, self.stature_drop, self.slides_low, &mut motion_rng)?;
+
+        // ---- Acoustics. --------------------------------------------------
+        if !(self.direct_path_attenuation_db >= 0.0
+            && self.direct_path_attenuation_db.is_finite())
+        {
+            return Err(SimError::invalid(
+                "direct_path_attenuation_db",
+                format!("must be non-negative, got {}", self.direct_path_attenuation_db),
+            ));
+        }
+        let mut paths: Vec<PropagationPath> = match &self.environment.room {
+            Some(room) => room.image_sources(speaker_position)?,
+            None => free_field(speaker_position),
+        };
+        if self.direct_path_attenuation_db > 0.0 {
+            let k = 10f64.powf(-self.direct_path_attenuation_db / 20.0);
+            for p in &mut paths {
+                if p.order == 0 {
+                    p.gain *= k;
+                }
+            }
+        }
+        let chirp = self.speaker.reference_chirp(self.phone.audio_sample_rate)?;
+        // Pre-distort the beacon by the microphone's frequency response
+        // (flat for the audible beacon; droops for near-ultrasonic ones).
+        let chirp_samples = crate::mic::apply_mic_response(
+            chirp.samples(),
+            &|f| self.phone.mic_gain_at(f),
+            self.phone.audio_sample_rate,
+        )?;
+        let phase = phase_rng.uniform_in(0.0, self.speaker.period);
+        let n_beacons = self.speaker.beacons_within(motion.total_duration) + 1;
+        let emissions: Vec<f64> = (0..n_beacons)
+            .map(|k| phase + self.speaker.emission_time(k))
+            .filter(|&t| t + self.speaker.chirp_duration < motion.total_duration)
+            .collect();
+        if emissions.is_empty() {
+            return Err(SimError::invalid(
+                "duration",
+                "session too short to contain a single beacon",
+            ));
+        }
+        let fs_nominal = self.phone.audio_sample_rate;
+        let fs_effective = self.phone.effective_sample_rate();
+        let out_len = (motion.total_duration * fs_nominal).ceil() as usize;
+        let m1 = |t: f64| motion.mic1_position(t);
+        let m2 = |t: f64| motion.mic2_position(t);
+        let clean_left = render_clean_channel(
+            &chirp_samples,
+            &emissions,
+            &paths,
+            &m1,
+            fs_effective,
+            SPEED_OF_SOUND,
+            self.speaker.amplitude_at_1m,
+            out_len,
+        )?;
+        let clean_right = render_clean_channel(
+            &chirp_samples,
+            &emissions,
+            &paths,
+            &m2,
+            fs_effective,
+            SPEED_OF_SOUND,
+            self.speaker.amplitude_at_1m,
+            out_len,
+        )?;
+        let left = add_noise_and_quantize(
+            &clean_left,
+            self.environment.noise,
+            self.environment.snr_db,
+            fs_nominal,
+            &mut noise_rng_l,
+        )?;
+        let right = add_noise_and_quantize(
+            &clean_right,
+            self.environment.noise,
+            self.environment.snr_db,
+            fs_nominal,
+            &mut noise_rng_r,
+        )?;
+
+        // ---- Inertial. ----------------------------------------------------
+        let imu_model = ImuModel::phone_grade().with_tremor(self.tremor_accel_std);
+        let imu = sample_imu(&motion, &imu_model, self.phone.imu_sample_rate, &mut imu_rng)?;
+
+        // ---- Ground truth. -------------------------------------------------
+        let dz_upper = speaker_position.z - self.phone_stature;
+        let dz_lower = speaker_position.z - (self.phone_stature - self.stature_drop);
+        let ground = self.speaker_range;
+        let truth = GroundTruth {
+            speaker_position,
+            motion,
+            ground_distance: ground,
+            slant_distance_upper: (ground * ground + dz_upper * dz_upper).sqrt(),
+            slant_distance_lower: if self.slides_low > 0 {
+                (ground * ground + dz_lower * dz_lower).sqrt()
+            } else {
+                (ground * ground + dz_upper * dz_upper).sqrt()
+            },
+            stature_drop: if self.slides_low > 0 {
+                self.stature_drop
+            } else {
+                0.0
+            },
+        };
+        Ok(Recording {
+            phone: self.phone.clone(),
+            speaker: self.speaker.clone(),
+            environment: self.environment.clone(),
+            audio: StereoRecording {
+                sample_rate: fs_nominal,
+                left,
+                right,
+            },
+            imu,
+            truth,
+        })
+    }
+}
+
+/// One point of a Fig. 7 rotation sweep: the phone's roll angle α and the
+/// TDoA its microphone pair would measure there.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RotationSample {
+    /// The roll angle α between the speaker direction and the phone's +y
+    /// axis, degrees.
+    pub alpha_degrees: f64,
+    /// The measured TDoA in milliseconds, quantized to the ADC grid with
+    /// detection jitter.
+    pub tdoa_ms: f64,
+}
+
+/// Simulates rolling the phone through `steps` evenly spaced α angles with
+/// the speaker `range` metres away (paper Figs. 6–7).
+///
+/// TDoAs come from exact near-field geometry, quantized to the sampling
+/// grid with sub-sample detection jitter of `jitter_samples` (0.1–0.3 is
+/// realistic at the paper's SNRs; 0 gives the clean staircase).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] for non-positive range/steps or
+/// negative jitter.
+pub fn rotation_sweep(
+    phone: &PhoneModel,
+    range: f64,
+    steps: usize,
+    jitter_samples: f64,
+    seed: u64,
+) -> Result<Vec<RotationSample>, SimError> {
+    phone.validate()?;
+    if range <= 0.0 {
+        return Err(SimError::invalid("range", "must be positive"));
+    }
+    if steps < 4 {
+        return Err(SimError::invalid("steps", "need at least 4 steps"));
+    }
+    if !(jitter_samples >= 0.0 && jitter_samples.is_finite()) {
+        return Err(SimError::invalid("jitter_samples", "must be non-negative"));
+    }
+    let mut rng = SimRng::seed_from(seed);
+    let speaker = Vec2::new(0.0, range); // fixed in world frame
+    let half = phone.mic_separation / 2.0;
+    let fs = phone.audio_sample_rate;
+    let mut out = Vec::with_capacity(steps);
+    for k in 0..steps {
+        let alpha = 360.0 * k as f64 / steps as f64;
+        // α is the angle between the speaker direction (world +y) and the
+        // phone's +y axis: rotate the phone by −α to express its y axis.
+        let phone_y = Vec2::new(0.0, 1.0).rotated(-alpha.to_radians());
+        let mic1 = phone_y * half;
+        let mic2 = phone_y * (-half);
+        let dd = speaker.distance(mic1) - speaker.distance(mic2);
+        let tdoa_samples = dd / SPEED_OF_SOUND * fs;
+        let quantized = (tdoa_samples + rng.gaussian(0.0, jitter_samples)).round();
+        out.push(RotationSample {
+            alpha_degrees: alpha,
+            tdoa_ms: quantized / fs * 1_000.0,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_builder() -> ScenarioBuilder {
+        ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(3.0)
+            .slides(1)
+            .hold_duration(0.8)
+            .seed(1)
+    }
+
+    #[test]
+    fn render_produces_consistent_shapes() {
+        let rec = quick_builder().render().unwrap();
+        assert_eq!(rec.audio.left.len(), rec.audio.right.len());
+        let expected_len =
+            (rec.truth.motion.total_duration * rec.audio.sample_rate).ceil() as usize;
+        assert_eq!(rec.audio.left.len(), expected_len);
+        let imu_expected = (rec.truth.motion.total_duration * 100.0).ceil() as usize;
+        assert_eq!(rec.imu.len(), imu_expected);
+    }
+
+    #[test]
+    fn ground_truth_geometry() {
+        let rec = quick_builder().render().unwrap();
+        assert_eq!(rec.truth.ground_distance, 3.0);
+        // Same-plane 2D setup: slant equals ground distance.
+        assert!((rec.truth.slant_distance_upper - 3.0).abs() < 1e-12);
+        assert_eq!(rec.truth.stature_drop, 0.0);
+    }
+
+    #[test]
+    fn three_d_setup_has_different_slants() {
+        let rec = quick_builder()
+            .speaker_stature(0.5)
+            .phone_stature(1.3)
+            .slides(1)
+            .slides_low(1)
+            .stature_drop(0.4)
+            .render()
+            .unwrap();
+        assert!(rec.truth.slant_distance_upper > rec.truth.ground_distance);
+        assert!(rec.truth.slant_distance_lower < rec.truth.slant_distance_upper);
+        assert_eq!(rec.truth.stature_drop, 0.4);
+        assert_eq!(rec.truth.motion.stature_changes.len(), 1);
+    }
+
+    #[test]
+    fn audio_contains_beacons() {
+        let rec = quick_builder().render().unwrap();
+        let peak = rec.audio.left.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!(peak > 0.01, "peak {peak}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = quick_builder().render().unwrap();
+        let b = quick_builder().render().unwrap();
+        assert_eq!(a.audio.left, b.audio.left);
+        assert_eq!(a.imu.accel, b.imu.accel);
+        let c = quick_builder().seed(2).render().unwrap();
+        assert_ne!(a.audio.left, c.audio.left);
+    }
+
+    #[test]
+    fn room_containment_is_checked() {
+        // 29 m range inside the 13 m-deep meeting room must fail.
+        let result = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::room_quiet())
+            .speaker_range(29.9)
+            .render();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn range_bounds_are_checked() {
+        assert!(quick_builder().speaker_range(0.0).render().is_err());
+        assert!(quick_builder().speaker_range(100.0).render().is_err());
+    }
+
+    #[test]
+    fn rotation_sweep_crosses_zero_at_90_and_270() {
+        let sweep =
+            rotation_sweep(&PhoneModel::galaxy_s4(), 5.0, 360, 0.0, 1).unwrap();
+        assert_eq!(sweep.len(), 360);
+        let at = |deg: usize| sweep[deg].tdoa_ms;
+        assert!(at(90).abs() < 0.03, "tdoa at 90° = {}", at(90));
+        assert!(at(270).abs() < 0.03, "tdoa at 270° = {}", at(270));
+        // Extremes at 0° and 180°, approx ±D/S.
+        let extreme = 0.1366 / SPEED_OF_SOUND * 1_000.0;
+        assert!((at(0).abs() - extreme).abs() < 0.05, "at 0°: {}", at(0));
+        assert!((at(180).abs() - extreme).abs() < 0.05);
+        assert!(at(0) * at(180) < 0.0, "opposite signs at 0° and 180°");
+    }
+
+    #[test]
+    fn rotation_sweep_rejects_bad_parameters() {
+        let phone = PhoneModel::galaxy_s4();
+        assert!(rotation_sweep(&phone, 0.0, 360, 0.0, 1).is_err());
+        assert!(rotation_sweep(&phone, 5.0, 2, 0.0, 1).is_err());
+        assert!(rotation_sweep(&phone, 5.0, 360, -1.0, 1).is_err());
+    }
+
+    #[test]
+    fn obstruction_attenuates_only_the_direct_path() {
+        // Render the same room scenario with and without a deep
+        // obstruction; the obstructed peak must be far weaker even though
+        // reflections are untouched.
+        let clear = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::room_quiet())
+            .speaker_range(3.0)
+            .slides(1)
+            .seed(61)
+            .render()
+            .unwrap();
+        let blocked = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::room_quiet())
+            .speaker_range(3.0)
+            .slides(1)
+            .direct_path_attenuation_db(30.0)
+            .seed(61)
+            .render()
+            .unwrap();
+        let peak = |x: &[f64]| x.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let p_clear = peak(&clear.audio.left);
+        let p_blocked = peak(&blocked.audio.left);
+        // Reflections keep the blocked level well above -30 dB of clear.
+        assert!(p_blocked < 0.7 * p_clear, "{p_blocked} vs {p_clear}");
+        assert!(p_blocked > 0.02 * p_clear, "{p_blocked} vs {p_clear}");
+        // Negative attenuation is rejected.
+        assert!(ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .direct_path_attenuation_db(-3.0)
+            .slides(1)
+            .render()
+            .is_err());
+    }
+
+    #[test]
+    fn inaudible_beacon_renders_in_high_band() {
+        use crate::speaker::SpeakerModel;
+        use hyperear_dsp::spectrum::band_energy_fraction;
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_model(SpeakerModel::inaudible())
+            .speaker_range(2.0)
+            .slides(1)
+            .seed(62)
+            .render()
+            .unwrap();
+        // Find an active window and check its band.
+        let fs = rec.audio.sample_rate;
+        let win = (0.06 * fs) as usize;
+        let (mut best, mut best_e) = (0usize, 0.0f64);
+        let mut i = 0;
+        while i + win < rec.audio.left.len() {
+            let e: f64 = rec.audio.left[i..i + win].iter().map(|x| x * x).sum();
+            if e > best_e {
+                best_e = e;
+                best = i;
+            }
+            i += win / 2;
+        }
+        let frac =
+            band_energy_fraction(&rec.audio.left[best..best + win], fs, 15_000.0, 20_500.0)
+                .unwrap();
+        assert!(frac > 0.6, "high-band fraction {frac}");
+    }
+
+    #[test]
+    fn volunteer_configures_stature_and_profile() {
+        let v = crate::volunteer::roster()[0].clone();
+        let rec = quick_builder().volunteer(&v).render().unwrap();
+        assert!((rec.truth.motion.origin.z - v.upper_slide_height()).abs() < 1e-12);
+    }
+}

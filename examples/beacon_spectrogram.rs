@@ -1,0 +1,83 @@
+//! Beacon spectrogram: render a session, export it as a WAV file, and
+//! print an ASCII spectrogram of one beacon — the up-down chirp shape of
+//! paper Fig. 5's input signal, as the phone actually records it.
+//!
+//! ```text
+//! cargo run --release --example beacon_spectrogram
+//! ```
+
+use hyperear_dsp::stft::stft;
+use hyperear_dsp::wav::WavFile;
+use hyperear_sim::environment::Environment;
+use hyperear_sim::phone::PhoneModel;
+use hyperear_sim::scenario::ScenarioBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+        .environment(Environment::room_chatting())
+        .speaker_range(3.0)
+        .slides(1)
+        .seed(314)
+        .render()?;
+
+    // Export what the phone recorded.
+    let path = std::env::temp_dir().join("hyperear_session.wav");
+    WavFile::stereo(
+        rec.audio.left.clone(),
+        rec.audio.right.clone(),
+        rec.audio.sample_rate as u32,
+    )?
+    .save(&path)?;
+    println!("Exported the stereo session to {}", path.display());
+
+    // Find the loudest 60 ms window (a beacon) and draw its spectrogram.
+    let fs = rec.audio.sample_rate;
+    let win = (0.06 * fs) as usize;
+    let (mut best_start, mut best_energy) = (0usize, 0.0f64);
+    let mut start = 0;
+    while start + win < rec.audio.left.len() {
+        let e: f64 = rec.audio.left[start..start + win].iter().map(|x| x * x).sum();
+        if e > best_energy {
+            best_energy = e;
+            best_start = start;
+        }
+        start += win / 2;
+    }
+    let beacon = &rec.audio.left[best_start..best_start + win];
+    let spec = stft(beacon, 256, 64, fs)?;
+
+    println!(
+        "\nSpectrogram of the loudest beacon (t = {:.2} s), 0-8 kHz:",
+        best_start as f64 / fs
+    );
+    let max_bin = spec.bin_of(8_000.0);
+    let peak = spec
+        .frames
+        .iter()
+        .flat_map(|f| f.iter().take(max_bin))
+        .cloned()
+        .fold(0.0f64, f64::max);
+    // Rows = frequency (top = high), columns = time.
+    let rows = 24;
+    for row in (0..rows).rev() {
+        let k_lo = row * max_bin / rows;
+        let k_hi = ((row + 1) * max_bin / rows).max(k_lo + 1);
+        let freq = spec.freq_of(k_hi);
+        let mut line = format!("{:>6.1} kHz |", freq / 1_000.0);
+        for frame in &spec.frames {
+            let level = frame[k_lo..k_hi].iter().cloned().fold(0.0f64, f64::max) / peak;
+            line.push(match level {
+                l if l > 0.5 => '#',
+                l if l > 0.2 => '+',
+                l if l > 0.05 => '.',
+                _ => ' ',
+            });
+        }
+        println!("{line}");
+    }
+    println!("           +{}", "-".repeat(spec.frames.len()));
+    println!("            0 ms {:>28} 60 ms", "time ->");
+    println!("\nThe '^' shape is the up-down chirp: 2 kHz -> 6.4 kHz -> 2 kHz.");
+    let _ = std::fs::remove_file(&path);
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Shared helpers for the HyperEar workspace integration tests and examples.
+pub use hyperear as core_api;

@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks of the DSP kernels on the pipeline's hot
-//! path: FFT, matched-filter correlation, band-pass filtering, fractional
-//! delay, and sub-sample peak refinement.
+//! Micro-benchmarks of the DSP kernels on the pipeline's hot path: FFT,
+//! matched-filter correlation, band-pass filtering, fractional delay,
+//! and sub-sample peak refinement. Runs on the workspace's own std-only
+//! harness (`hyperear_util::bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hyperear_dsp::chirp::Chirp;
 use hyperear_dsp::correlate::MatchedFilter;
 use hyperear_dsp::delay::mix_delayed_local;
@@ -11,6 +11,7 @@ use hyperear_dsp::filter::FirFilter;
 use hyperear_dsp::interpolate::{parabolic_peak, sinc_peak};
 use hyperear_dsp::window::Window;
 use hyperear_dsp::Complex;
+use hyperear_util::bench::Suite;
 use std::hint::black_box;
 
 fn deterministic_signal(n: usize) -> Vec<f64> {
@@ -19,64 +20,54 @@ fn deterministic_signal(n: usize) -> Vec<f64> {
         .collect()
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft");
+fn bench_fft(suite: &mut Suite) {
     for &size in &[1_024usize, 16_384, 131_072] {
-        group.throughput(Throughput::Elements(size as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &n| {
-            let data: Vec<Complex> = deterministic_signal(n)
-                .into_iter()
-                .map(Complex::from_real)
-                .collect();
-            b.iter(|| {
-                let mut buf = data.clone();
-                fft(&mut buf).expect("power-of-two");
-                black_box(buf)
-            });
+        let data: Vec<Complex> = deterministic_signal(size)
+            .into_iter()
+            .map(Complex::from_real)
+            .collect();
+        suite.bench_with_elements(&format!("fft/{size}"), size as u64, || {
+            let mut buf = data.clone();
+            fft(&mut buf).expect("power-of-two");
+            black_box(buf)
         });
     }
-    group.finish();
 }
 
-fn bench_matched_filter(c: &mut Criterion) {
+fn bench_matched_filter(suite: &mut Suite) {
     let chirp = Chirp::hyperear_beacon(44_100.0).expect("chirp");
     let filter = MatchedFilter::new(chirp.samples()).expect("filter");
-    let mut group = c.benchmark_group("matched_filter");
     // One second of audio is the natural unit the detector scans.
     for &seconds in &[1usize, 4] {
         let n = 44_100 * seconds;
         let signal = deterministic_signal(n);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(
-            BenchmarkId::new("correlate", format!("{seconds}s")),
-            &signal,
-            |b, s| b.iter(|| black_box(filter.correlate_normalized(s).expect("correlate"))),
+        suite.bench_with_elements(
+            &format!("matched_filter/correlate/{seconds}s"),
+            n as u64,
+            || black_box(filter.correlate_normalized(&signal).expect("correlate")),
         );
     }
-    group.finish();
 }
 
-fn bench_band_pass(c: &mut Criterion) {
-    let bp = FirFilter::band_pass(2_000.0, 6_400.0, 44_100.0, 127, Window::Hamming)
-        .expect("band-pass");
+fn bench_band_pass(suite: &mut Suite) {
+    let bp =
+        FirFilter::band_pass(2_000.0, 6_400.0, 44_100.0, 127, Window::Hamming).expect("band-pass");
     let signal = deterministic_signal(44_100);
-    c.bench_function("band_pass_1s_zero_phase", |b| {
-        b.iter(|| black_box(bp.filter_zero_phase(&signal).expect("filter")))
+    suite.bench("band_pass_1s_zero_phase", || {
+        black_box(bp.filter_zero_phase(&signal).expect("filter"))
     });
 }
 
-fn bench_fractional_delay(c: &mut Criterion) {
+fn bench_fractional_delay(suite: &mut Suite) {
     let chirp = Chirp::hyperear_beacon(44_100.0).expect("chirp");
-    c.bench_function("mix_delayed_local_one_beacon", |b| {
-        let mut acc = vec![0.0; 44_100];
-        b.iter(|| {
-            mix_delayed_local(&mut acc, chirp.samples(), 10_000.37, 0.3, 16).expect("mix");
-            black_box(acc[10_000])
-        })
+    let mut acc = vec![0.0; 44_100];
+    suite.bench("mix_delayed_local_one_beacon", || {
+        mix_delayed_local(&mut acc, chirp.samples(), 10_000.37, 0.3, 16).expect("mix");
+        black_box(acc[10_000])
     });
 }
 
-fn bench_peak_refinement(c: &mut Criterion) {
+fn bench_peak_refinement(suite: &mut Suite) {
     // A realistic correlation main lobe.
     let chirp = Chirp::hyperear_beacon(44_100.0).expect("chirp");
     let m = chirp.samples().len();
@@ -89,28 +80,28 @@ fn bench_peak_refinement(c: &mut Criterion) {
         .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("non-empty")
         .0;
-    c.bench_function("parabolic_peak", |b| {
-        b.iter(|| black_box(parabolic_peak(&corr, peak).expect("refine")))
+    suite.bench("parabolic_peak", || {
+        black_box(parabolic_peak(&corr, peak).expect("refine"))
     });
-    c.bench_function("sinc_peak", |b| {
-        b.iter(|| black_box(sinc_peak(&corr, peak, 8).expect("refine")))
+    suite.bench("sinc_peak", || {
+        black_box(sinc_peak(&corr, peak, 8).expect("refine"))
     });
 }
 
-fn bench_rfft_spectrum(c: &mut Criterion) {
+fn bench_rfft_spectrum(suite: &mut Suite) {
     let signal = deterministic_signal(44_100);
-    c.bench_function("rfft_1s_padded", |b| {
-        b.iter(|| black_box(rfft(&signal, 65_536).expect("rfft")))
+    suite.bench("rfft_1s_padded", || {
+        black_box(rfft(&signal, 65_536).expect("rfft"))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_fft,
-    bench_matched_filter,
-    bench_band_pass,
-    bench_fractional_delay,
-    bench_peak_refinement,
-    bench_rfft_spectrum
-);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("dsp_kernels");
+    bench_fft(&mut suite);
+    bench_matched_filter(&mut suite);
+    bench_band_pass(&mut suite);
+    bench_fractional_delay(&mut suite);
+    bench_peak_refinement(&mut suite);
+    bench_rfft_spectrum(&mut suite);
+    suite.finish();
+}

@@ -1,7 +1,7 @@
-//! Criterion benchmarks of the HyperEar pipeline stages and the full
-//! session run: what a phone-side implementation would care about.
+//! Benchmarks of the HyperEar pipeline stages and the full session run:
+//! what a phone-side implementation would care about. Runs on the
+//! workspace's own std-only harness (`hyperear_util::bench`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hyperear::asp::BeaconDetector;
 use hyperear::config::HyperEarConfig;
 use hyperear::pipeline::{HyperEar, SessionInput};
@@ -11,6 +11,7 @@ use hyperear_imu::analyze::{analyze_session, SessionConfig};
 use hyperear_sim::environment::Environment;
 use hyperear_sim::phone::PhoneModel;
 use hyperear_sim::scenario::{Recording, ScenarioBuilder};
+use hyperear_util::bench::Suite;
 use std::hint::black_box;
 
 fn small_session() -> Recording {
@@ -23,77 +24,66 @@ fn small_session() -> Recording {
         .expect("render")
 }
 
-fn bench_detection(c: &mut Criterion) {
-    let rec = small_session();
+fn bench_detection(suite: &mut Suite, rec: &Recording) {
     let detector =
         BeaconDetector::new(&HyperEarConfig::galaxy_s4(), rec.audio.sample_rate).expect("detector");
-    c.bench_function("beacon_detection_per_channel", |b| {
-        b.iter(|| black_box(detector.detect(&rec.audio.left).expect("detect")))
+    suite.bench("beacon_detection_per_channel", || {
+        black_box(detector.detect(&rec.audio.left).expect("detect"))
     });
 }
 
-fn bench_inertial_analysis(c: &mut Criterion) {
-    let rec = small_session();
-    c.bench_function("inertial_session_analysis", |b| {
-        b.iter(|| {
-            black_box(
-                analyze_session(
-                    &rec.imu.accel,
-                    &rec.imu.gyro,
-                    rec.imu.sample_rate,
-                    &SessionConfig::default(),
-                )
-                .expect("analysis"),
+fn bench_inertial_analysis(suite: &mut Suite, rec: &Recording) {
+    suite.bench("inertial_session_analysis", || {
+        black_box(
+            analyze_session(
+                &rec.imu.accel,
+                &rec.imu.gyro,
+                rec.imu.sample_rate,
+                &SessionConfig::default(),
             )
-        })
+            .expect("analysis"),
+        )
     });
 }
 
-fn bench_triangulation(c: &mut Criterion) {
+fn bench_triangulation(suite: &mut Suite) {
     let speaker = Vec2::new(0.07, 7.0);
     let geometry = SlideGeometry::from_ground_truth(0.55, 0.1366, speaker);
-    c.bench_function("triangulate_single_slide", |b| {
-        b.iter(|| black_box(solve_slide(&geometry).expect("solve")))
+    suite.bench("triangulate_single_slide", || {
+        black_box(solve_slide(&geometry).expect("solve"))
     });
     let geometries: Vec<SlideGeometry> = (0..5)
-        .map(|i| {
-            SlideGeometry::from_ground_truth(0.55 + 0.01 * i as f64, 0.1366, speaker)
-        })
+        .map(|i| SlideGeometry::from_ground_truth(0.55 + 0.01 * i as f64, 0.1366, speaker))
         .collect();
-    c.bench_function("triangulate_joint_5_slides", |b| {
-        b.iter(|| black_box(solve_joint(&geometries).expect("solve")))
+    suite.bench("triangulate_joint_5_slides", || {
+        black_box(solve_joint(&geometries).expect("solve"))
     });
 }
 
-fn bench_full_session(c: &mut Criterion) {
-    let rec = small_session();
+fn bench_full_session(suite: &mut Suite, rec: &Recording) {
     let engine = HyperEar::new(HyperEarConfig::galaxy_s4()).expect("engine");
-    let mut group = c.benchmark_group("full_session");
-    group.sample_size(10);
-    group.bench_function("two_slides_5m", |b| {
-        b.iter(|| {
-            black_box(
-                engine
-                    .run(&SessionInput {
-                        audio_sample_rate: rec.audio.sample_rate,
-                        left: &rec.audio.left,
-                        right: &rec.audio.right,
-                        imu_sample_rate: rec.imu.sample_rate,
-                        accel: &rec.imu.accel,
-                        gyro: &rec.imu.gyro,
-                    })
-                    .expect("session"),
-            )
-        })
+    suite.bench("full_session/two_slides_5m", || {
+        black_box(
+            engine
+                .run(&SessionInput {
+                    audio_sample_rate: rec.audio.sample_rate,
+                    left: &rec.audio.left,
+                    right: &rec.audio.right,
+                    imu_sample_rate: rec.imu.sample_rate,
+                    accel: &rec.imu.accel,
+                    gyro: &rec.imu.gyro,
+                })
+                .expect("session"),
+        )
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_detection,
-    bench_inertial_analysis,
-    bench_triangulation,
-    bench_full_session
-);
-criterion_main!(benches);
+fn main() {
+    let rec = small_session();
+    let mut suite = Suite::new("pipeline");
+    bench_detection(&mut suite, &rec);
+    bench_inertial_analysis(&mut suite, &rec);
+    bench_triangulation(&mut suite);
+    bench_full_session(&mut suite, &rec);
+    suite.finish();
+}

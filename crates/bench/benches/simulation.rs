@@ -1,79 +1,71 @@
-//! Criterion benchmarks of the simulation substrate: how fast can the
-//! harness mint sessions? This bounds the experiment turnaround of the
-//! `repro` binary.
+//! Benchmarks of the simulation substrate: how fast can the harness
+//! mint sessions? This bounds the experiment turnaround of the `repro`
+//! binary. Runs on the workspace's own std-only harness
+//! (`hyperear_util::bench`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hyperear_geom::Vec3;
 use hyperear_sim::environment::Environment;
 use hyperear_sim::noise::{generate, NoiseKind};
 use hyperear_sim::phone::PhoneModel;
 use hyperear_sim::rng::SimRng;
 use hyperear_sim::room::Room;
 use hyperear_sim::scenario::ScenarioBuilder;
-use hyperear_geom::Vec3;
+use hyperear_util::bench::Suite;
 use std::hint::black_box;
 
-fn bench_image_sources(c: &mut Criterion) {
+fn bench_image_sources(suite: &mut Suite) {
     let room = Room::meeting_room();
-    c.bench_function("image_sources_order2", |b| {
-        b.iter(|| black_box(room.image_sources(Vec3::new(8.0, 6.0, 1.3)).expect("images")))
+    suite.bench("image_sources_order2", || {
+        black_box(
+            room.image_sources(Vec3::new(8.0, 6.0, 1.3))
+                .expect("images"),
+        )
     });
 }
 
-fn bench_noise_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("noise_1s");
-    group.sample_size(20);
+fn bench_noise_generation(suite: &mut Suite) {
     for kind in [
         NoiseKind::White,
         NoiseKind::Voice,
         NoiseKind::Music,
         NoiseKind::MallBusy,
     ] {
-        group.bench_function(format!("{kind:?}"), |b| {
-            b.iter(|| {
-                let mut rng = SimRng::seed_from(1);
-                black_box(generate(kind, 44_100, 44_100.0, &mut rng).expect("noise"))
-            })
+        suite.bench(&format!("noise_1s/{kind:?}"), || {
+            let mut rng = SimRng::seed_from(1);
+            black_box(generate(kind, 44_100, 44_100.0, &mut rng).expect("noise"))
         });
     }
-    group.finish();
 }
 
-fn bench_session_render(c: &mut Criterion) {
-    let mut group = c.benchmark_group("session_render");
-    group.sample_size(10);
-    group.bench_function("two_slides_room", |b| {
-        b.iter(|| {
-            black_box(
-                ScenarioBuilder::new(PhoneModel::galaxy_s4())
-                    .environment(Environment::room_quiet())
-                    .speaker_range(5.0)
-                    .slides(2)
-                    .seed(3)
-                    .render()
-                    .expect("render"),
-            )
-        })
+fn bench_session_render(suite: &mut Suite) {
+    suite.bench("session_render/two_slides_room", || {
+        black_box(
+            ScenarioBuilder::new(PhoneModel::galaxy_s4())
+                .environment(Environment::room_quiet())
+                .speaker_range(5.0)
+                .slides(2)
+                .seed(3)
+                .render()
+                .expect("render"),
+        )
     });
-    group.bench_function("two_slides_anechoic", |b| {
-        b.iter(|| {
-            black_box(
-                ScenarioBuilder::new(PhoneModel::galaxy_s4())
-                    .environment(Environment::anechoic())
-                    .speaker_range(5.0)
-                    .slides(2)
-                    .seed(3)
-                    .render()
-                    .expect("render"),
-            )
-        })
+    suite.bench("session_render/two_slides_anechoic", || {
+        black_box(
+            ScenarioBuilder::new(PhoneModel::galaxy_s4())
+                .environment(Environment::anechoic())
+                .speaker_range(5.0)
+                .slides(2)
+                .seed(3)
+                .render()
+                .expect("render"),
+        )
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_image_sources,
-    bench_noise_generation,
-    bench_session_render
-);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("simulation");
+    bench_image_sources(&mut suite);
+    bench_noise_generation(&mut suite);
+    bench_session_render(&mut suite);
+    suite.finish();
+}

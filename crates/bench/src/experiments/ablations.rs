@@ -10,7 +10,7 @@
 //! - aggregation policy (median → joint least squares),
 //! - quality gate (in-hand condition, gate on → off).
 
-use crate::harness::{collect_slide_errors, collect_floor_errors, seed_range, SessionSpec};
+use crate::harness::{collect_floor_errors, collect_slide_errors, seed_range, SessionSpec};
 use crate::report::Report;
 use hyperear::config::{Aggregation, HyperEarConfig, Interpolation};
 use hyperear::metrics::Cdf;
@@ -83,13 +83,21 @@ pub fn run(scale: &Scale) -> Report {
     report.blank();
     report.line(format!(
         "  SFO correction matters:          {} (mean {:.3} m -> {:.3} m without)",
-        if no_sfo > 1.5 * base_mean { "CONFIRMED" } else { "not confirmed at this scale" },
+        if no_sfo > 1.5 * base_mean {
+            "CONFIRMED"
+        } else {
+            "not confirmed at this scale"
+        },
         base_mean,
         no_sfo
     ));
     report.line(format!(
         "  Sub-sample interpolation matters: {} (mean {:.3} m -> {:.3} m without)",
-        if no_interp > base_mean { "CONFIRMED" } else { "not confirmed at this scale" },
+        if no_interp > base_mean {
+            "CONFIRMED"
+        } else {
+            "not confirmed at this scale"
+        },
         base_mean,
         no_interp
     ));

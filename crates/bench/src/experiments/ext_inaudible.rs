@@ -59,9 +59,15 @@ pub fn run(scale: &Scale) -> Report {
     report.cdf_row("inaudible, envelope detection", &enveloped);
 
     report.blank();
-    let a_mean = Cdf::new(&audible).map(|c| c.stats().mean).unwrap_or(f64::NAN);
-    let i_mean = Cdf::new(&inaudible).map(|c| c.stats().mean).unwrap_or(f64::NAN);
-    let e_mean = Cdf::new(&enveloped).map(|c| c.stats().mean).unwrap_or(f64::NAN);
+    let a_mean = Cdf::new(&audible)
+        .map(|c| c.stats().mean)
+        .unwrap_or(f64::NAN);
+    let i_mean = Cdf::new(&inaudible)
+        .map(|c| c.stats().mean)
+        .unwrap_or(f64::NAN);
+    let e_mean = Cdf::new(&enveloped)
+        .map(|c| c.stats().mean)
+        .unwrap_or(f64::NAN);
     report.line(format!(
         "  Raw peak-picking degrades ~{:.0}x at 16-19.5 kHz ({:.1} cm vs {:.1} cm):",
         i_mean / a_mean,

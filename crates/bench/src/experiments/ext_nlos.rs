@@ -29,18 +29,18 @@ pub fn run(scale: &Scale) -> Report {
     for (i, &attenuation) in [0.0f64, 6.0, 12.0, 20.0, 30.0].iter().enumerate() {
         let spec = SessionSpec {
             direct_path_attenuation_db: attenuation,
-            ..SessionSpec::ruler_2d(
-                PhoneModel::galaxy_s4(),
-                HyperEarConfig::galaxy_s4(),
-                5.0,
-            )
+            ..SessionSpec::ruler_2d(PhoneModel::galaxy_s4(), HyperEarConfig::galaxy_s4(), 5.0)
         };
         let errors = collect_slide_errors(
             &spec,
             &seed_range(71_000 + 100 * i as u64, scale.sessions_2d),
         );
         report.cdf_row(&format!("direct path -{attenuation} dB"), &errors);
-        means.push(Cdf::new(&errors).map(|c| c.stats().mean).unwrap_or(f64::NAN));
+        means.push(
+            Cdf::new(&errors)
+                .map(|c| c.stats().mean)
+                .unwrap_or(f64::NAN),
+        );
     }
     // NLoS detectability: compare the matched-filter beacon strength of
     // clear versus blocked sessions — the cue an app uses to ask the user
@@ -48,11 +48,7 @@ pub fn run(scale: &Scale) -> Report {
     let strength_of = |attenuation: f64, base: u64| -> Option<f64> {
         let spec = SessionSpec {
             direct_path_attenuation_db: attenuation,
-            ..SessionSpec::ruler_2d(
-                PhoneModel::galaxy_s4(),
-                HyperEarConfig::galaxy_s4(),
-                5.0,
-            )
+            ..SessionSpec::ruler_2d(PhoneModel::galaxy_s4(), HyperEarConfig::galaxy_s4(), 5.0)
         };
         let vals: Vec<f64> = parallel_trials(&seed_range(base, 3), |seed| {
             spec.run(seed).ok().map(|(_, r)| r.mean_beacon_strength)
@@ -67,7 +63,8 @@ pub fn run(scale: &Scale) -> Report {
         }
     };
     report.blank();
-    if let (Some(s_clear), Some(s_blocked)) = (strength_of(0.0, 72_000), strength_of(30.0, 72_100)) {
+    if let (Some(s_clear), Some(s_blocked)) = (strength_of(0.0, 72_000), strength_of(30.0, 72_100))
+    {
         report.line(format!(
             "  NLoS detectability: mean beacon strength {:.3} (clear) vs {:.3} (blocked),",
             s_clear, s_blocked
@@ -78,7 +75,12 @@ pub fn run(scale: &Scale) -> Report {
         ));
     }
     let clear = means[0];
-    let worst = means.iter().rev().find(|m| m.is_finite()).copied().unwrap_or(f64::NAN);
+    let worst = means
+        .iter()
+        .rev()
+        .find(|m| m.is_finite())
+        .copied()
+        .unwrap_or(f64::NAN);
     report.line(format!(
         "  Degradation: {:.1} cm (clear LoS) -> {:.1} cm (deep obstruction).",
         clear * 100.0,

@@ -51,11 +51,19 @@ pub fn run() -> Report {
     let denser_wide = wide.boundary_crossings() > narrow.boundary_crossings();
     report.line(format!(
         "  Paper claim (a) centre denser than sides: {}",
-        if denser_centre { "REPRODUCED" } else { "NOT reproduced" }
+        if denser_centre {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     ));
     report.line(format!(
         "  Paper claim (b) wider separation denser:  {}",
-        if denser_wide { "REPRODUCED" } else { "NOT reproduced" }
+        if denser_wide {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     ));
     report
 }

@@ -37,9 +37,9 @@ pub fn run() -> Report {
             .collect::<Vec<_>>()
             .join(", ")
     ));
-    let near_in_direction = crossings.iter().all(|c| {
-        (c.roll_degrees - 90.0).abs() < 8.0 || (c.roll_degrees - 270.0).abs() < 8.0
-    });
+    let near_in_direction = crossings
+        .iter()
+        .all(|c| (c.roll_degrees - 90.0).abs() < 8.0 || (c.roll_degrees - 270.0).abs() < 8.0);
     report.line(format!(
         "  Paper claim (crossings at 90°/270°): {}",
         if near_in_direction && !crossings.is_empty() {

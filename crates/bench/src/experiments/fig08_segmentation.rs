@@ -46,9 +46,8 @@ pub fn run() -> Report {
     }
     report.blank();
 
-    let session =
-        analyze_session(&rec.imu.accel, &rec.imu.gyro, fs, &SessionConfig::default())
-            .expect("analysis");
+    let session = analyze_session(&rec.imu.accel, &rec.imu.gyro, fs, &SessionConfig::default())
+        .expect("analysis");
     report.line(format!(
         "  Detected slides: {}   (ground truth: {})",
         session.slides.len(),
@@ -68,7 +67,11 @@ pub fn run() -> Report {
     let matched = session.slides.len() == rec.truth.motion.slides.len();
     report.line(format!(
         "  Paper claim (threshold 0.2, m = 8 cleanly segments slides): {}",
-        if matched { "REPRODUCED" } else { "NOT reproduced" }
+        if matched {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     ));
     report
 }

@@ -53,7 +53,10 @@ pub fn run() -> Report {
         est.raw[n - 1],
         est.corrected[n - 1]
     ));
-    report.line(format!("  Fitted drift slope err_a = {:.4} m/s²", est.drift_slope));
+    report.line(format!(
+        "  Fitted drift slope err_a = {:.4} m/s²",
+        est.drift_slope
+    ));
     report.line(format!(
         "  Paper claim (drift visible, corrected speed returns to zero): {}",
         if end_drift > 5.0 * end_corrected.max(1e-9) || end_corrected < 1e-9 {

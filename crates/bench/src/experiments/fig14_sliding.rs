@@ -46,10 +46,17 @@ pub fn run(scale: &Scale) -> Report {
     }
     report.blank();
     report.line("  Paper anchors: mean ≈ 142 cm (10-20 cm) → ≈ 18 cm (50-60 cm).");
-    let improves = means.first().zip(means.last()).is_some_and(|(a, b)| *a > 2.0 * *b);
+    let improves = means
+        .first()
+        .zip(means.last())
+        .is_some_and(|(a, b)| *a > 2.0 * *b);
     report.line(format!(
         "  Paper claim (longer slides greatly reduce error): {}",
-        if improves { "REPRODUCED" } else { "NOT reproduced" }
+        if improves {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     ));
     report
 }

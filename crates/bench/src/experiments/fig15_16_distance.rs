@@ -31,14 +31,25 @@ fn run_phone(
             &seed_range(seed_base + 100 * i as u64, scale.sessions_2d),
         );
         report.cdf_row(&format!("{range} m"), &errors);
-        means.push(Cdf::new(&errors).map(|c| c.stats().mean).unwrap_or(f64::NAN));
+        means.push(
+            Cdf::new(&errors)
+                .map(|c| c.stats().mean)
+                .unwrap_or(f64::NAN),
+        );
     }
     report.blank();
     report.line("  Paper anchors (S4): mean 2.0cm/p90 3.5cm @1m; 14.4cm/22.3cm @7m.");
-    let grows = means.first().zip(means.last()).is_some_and(|(a, b)| *b > *a);
+    let grows = means
+        .first()
+        .zip(means.last())
+        .is_some_and(|(a, b)| *b > *a);
     report.line(format!(
         "  Paper claim (accuracy gradually decreases with range): {}",
-        if grows { "REPRODUCED" } else { "NOT reproduced" }
+        if grows {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     ));
     report
 }

@@ -32,14 +32,25 @@ fn run_phone(
             &seed_range(seed_base + 100 * i as u64, scale.sessions_3d),
         );
         report.cdf_row(&format!("{range} m"), &errors);
-        means.push(Cdf::new(&errors).map(|c| c.stats().mean).unwrap_or(f64::NAN));
+        means.push(
+            Cdf::new(&errors)
+                .map(|c| c.stats().mean)
+                .unwrap_or(f64::NAN),
+        );
     }
     report.blank();
     report.line("  Paper anchors @7m: S4 15.8cm/25.2cm, Note3 19.4cm/37.5cm (mean/p90).");
-    let ordered = means.first().zip(means.last()).is_some_and(|(a, b)| *b >= *a);
+    let ordered = means
+        .first()
+        .zip(means.last())
+        .is_some_and(|(a, b)| *b >= *a);
     report.line(format!(
         "  Paper claim (accurate 3D localization, degrading with range): {}",
-        if ordered { "REPRODUCED" } else { "NOT reproduced" }
+        if ordered {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     ));
     report
 }

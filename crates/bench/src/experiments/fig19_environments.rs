@@ -26,11 +26,7 @@ pub fn run(scale: &Scale) -> Report {
     for (i, env) in Environment::fig19_set().into_iter().enumerate() {
         let spec = SessionSpec {
             environment: env.clone(),
-            ..SessionSpec::hand_3d(
-                PhoneModel::galaxy_s4(),
-                HyperEarConfig::galaxy_s4(),
-                7.0,
-            )
+            ..SessionSpec::hand_3d(PhoneModel::galaxy_s4(), HyperEarConfig::galaxy_s4(), 7.0)
         };
         let errors = collect_floor_errors(
             &spec,
@@ -38,7 +34,11 @@ pub fn run(scale: &Scale) -> Report {
         );
         report.cdf_row(&env.name, &errors);
         report.cdf_curve(&env.name, &errors, &[0.15, 0.3, 0.6, 1.2]);
-        means.push(Cdf::new(&errors).map(|c| c.stats().mean).unwrap_or(f64::NAN));
+        means.push(
+            Cdf::new(&errors)
+                .map(|c| c.stats().mean)
+                .unwrap_or(f64::NAN),
+        );
     }
     report.blank();
     report.line("  Paper anchors: stable in the room (voice < 2 kHz is filtered out);");

@@ -21,13 +21,8 @@ pub fn run() -> Report {
     let fs = 44_100.0;
     let s = 343.0;
     let d = 0.1366;
-    let quantizer = TdoaQuantizer::new(
-        Vec2::new(-d / 2.0, 0.0),
-        Vec2::new(d / 2.0, 0.0),
-        fs,
-        s,
-    )
-    .expect("valid quantizer");
+    let quantizer = TdoaQuantizer::new(Vec2::new(-d / 2.0, 0.0), Vec2::new(d / 2.0, 0.0), fs, s)
+        .expect("valid quantizer");
 
     report.line(format!(
         "  TDoA resolution              paper ≈0.023 ms   measured {:.4} ms",

@@ -4,10 +4,10 @@
 //! the simulator, run the HyperEar pipeline on each, and score the
 //! estimates against ground truth. This module owns that loop, including
 //! the ground-truth geometry (expressing the simulator's world-frame
-//! truth in the pipeline's slide frame) and a crossbeam-based parallel
-//! map over seeds.
+//! truth in the pipeline's slide frame) and a std-only parallel map
+//! over seeds (`std::thread::scope` workers pulling from a shared
+//! atomic cursor, results funnelled back over `std::sync::mpsc`).
 
-use crossbeam::channel;
 use hyperear::config::HyperEarConfig;
 use hyperear::pipeline::{HyperEar, SessionInput, SessionResult};
 use hyperear::HyperEarError;
@@ -220,25 +220,26 @@ where
     T: Send,
     F: Fn(u64) -> Option<T> + Sync,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
         .min(seeds.len().max(1));
-    let (tx_work, rx_work) = channel::unbounded::<(usize, u64)>();
-    for (i, &s) in seeds.iter().enumerate() {
-        tx_work.send((i, s)).expect("channel open");
-    }
-    drop(tx_work);
-    let (tx_out, rx_out) = channel::unbounded::<(usize, Option<T>)>();
+    // Work distribution: a shared cursor into the seed slice replaces a
+    // multi-consumer channel (std's mpsc receiver cannot be cloned).
+    let next = AtomicUsize::new(0);
+    let (tx_out, rx_out) = mpsc::channel::<(usize, Option<T>)>();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            let rx_work = rx_work.clone();
             let tx_out = tx_out.clone();
+            let next = &next;
             let f = &f;
-            scope.spawn(move || {
-                while let Ok((i, seed)) = rx_work.recv() {
-                    let _ = tx_out.send((i, f(seed)));
-                }
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&seed) = seeds.get(i) else { break };
+                let _ = tx_out.send((i, f(seed)));
             });
         }
         drop(tx_out);
@@ -307,11 +308,7 @@ mod tests {
         let spec = SessionSpec {
             slides: 2,
             environment: Environment::anechoic(),
-            ..SessionSpec::ruler_2d(
-                PhoneModel::galaxy_s4(),
-                HyperEarConfig::galaxy_s4(),
-                3.0,
-            )
+            ..SessionSpec::ruler_2d(PhoneModel::galaxy_s4(), HyperEarConfig::galaxy_s4(), 3.0)
         };
         let errors = collect_slide_errors(&spec, &[101]);
         assert!(!errors.is_empty());
@@ -325,11 +322,7 @@ mod tests {
         let spec = SessionSpec {
             slides: 1,
             environment: Environment::anechoic(),
-            ..SessionSpec::ruler_2d(
-                PhoneModel::galaxy_s4(),
-                HyperEarConfig::galaxy_s4(),
-                4.0,
-            )
+            ..SessionSpec::ruler_2d(PhoneModel::galaxy_s4(), HyperEarConfig::galaxy_s4(), 4.0)
         };
         let rec = spec.render(7).unwrap();
         let truth = truth_in_slide_frame(&rec, 0).unwrap();

@@ -2,6 +2,7 @@
 //! binary prints and EXPERIMENTS.md records.
 
 use hyperear::metrics::Cdf;
+use hyperear_util::{FromJson, Json, JsonError, ToJson};
 use std::fmt::Write as _;
 
 /// One experiment's rendered report.
@@ -66,11 +67,8 @@ impl Report {
             Ok(cdf) => {
                 let mut row = format!("  {label:<34}");
                 for &g in grid_m {
-                    let cell = format!(
-                        " P(e≤{})={:>3.0}%",
-                        fmt_m(g),
-                        100.0 * cdf.fraction_below(g)
-                    );
+                    let cell =
+                        format!(" P(e≤{})={:>3.0}%", fmt_m(g), 100.0 * cdf.fraction_below(g));
                     row.push_str(&cell);
                 }
                 self.line(row);
@@ -114,6 +112,66 @@ impl Report {
         }
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join(format!("{}.csv", self.id)), out)
+    }
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::String(self.id.clone())),
+            ("title", Json::String(self.title.clone())),
+            ("lines", self.lines.to_json()),
+            (
+                "series",
+                Json::Array(
+                    self.series
+                        .iter()
+                        .map(|(label, errors)| {
+                            Json::obj(vec![
+                                ("label", Json::String(label.clone())),
+                                ("errors", errors.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Report {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let raw_series: Vec<Json> = json
+            .get("series")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError::schema("series must be an array"))?
+            .to_vec();
+        let mut series = Vec::with_capacity(raw_series.len());
+        for entry in &raw_series {
+            series.push((entry.field("label")?, entry.field("errors")?));
+        }
+        Ok(Report {
+            id: json.field("id")?,
+            title: json.field("title")?,
+            lines: json.field("lines")?,
+            series,
+        })
+    }
+}
+
+impl Report {
+    /// Writes the report as JSON into `dir/<id>.json` (alongside the CSV
+    /// export), so downstream tooling can reload exact error series.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error as `std::io::Error`.
+    pub fn write_json(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(
+            dir.join(format!("{}.json", self.id)),
+            self.to_json().render(),
+        )
     }
 }
 
@@ -178,6 +236,31 @@ mod tests {
         let empty = Report::new("none", "t");
         empty.write_csv(&dir).unwrap();
         assert!(!dir.join("none.csv").exists());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_series() {
+        let mut r = Report::new("fig14", "Ranging accuracy");
+        r.line("header line");
+        r.cdf_row("baseline", &[0.12, 0.34, 0.56]);
+        r.cdf_row("with \"quotes\"", &[1.5]);
+        let back = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.id, r.id);
+        assert_eq!(back.title, r.title);
+        assert_eq!(back.lines, r.lines);
+        assert_eq!(back.series, r.series);
+    }
+
+    #[test]
+    fn json_export_writes_file() {
+        let mut r = Report::new("jsontest", "t");
+        r.cdf_row("cond", &[0.1, 0.2]);
+        let dir = std::env::temp_dir().join("hyperear_report_json_test");
+        r.write_json(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("jsontest.json")).unwrap();
+        let back = Report::from_json(&hyperear_util::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.series, r.series);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

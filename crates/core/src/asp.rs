@@ -16,10 +16,9 @@ use hyperear_dsp::filter::FirFilter;
 use hyperear_dsp::interpolate::{parabolic_peak, sinc_peak};
 use hyperear_dsp::peak::{find_peaks, noise_floor, PeakConfig};
 use hyperear_dsp::window::Window;
-use serde::{Deserialize, Serialize};
 
 /// One detected beacon arrival on one channel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BeaconArrival {
     /// Arrival time in seconds on the recording clock, with sub-sample
     /// resolution.
@@ -133,10 +132,7 @@ impl BeaconDetector {
         // strongest beacon — the latter keeps numerical dust in quiet
         // recordings from ever counting as a detection.
         let threshold = (self.threshold_factor * floor).max(self.relative_threshold * peak_max);
-        let peaks = find_peaks(
-            &corr,
-            &PeakConfig::new(threshold, self.min_spacing.max(1))?,
-        )?;
+        let peaks = find_peaks(&corr, &PeakConfig::new(threshold, self.min_spacing.max(1))?)?;
         let mut arrivals = Vec::with_capacity(peaks.len());
         for p in peaks {
             let (pos, value) = match self.interpolation {

@@ -15,10 +15,9 @@
 use crate::HyperEarError;
 use hyperear_geom::triangulate::{solve_slide, SlideGeometry};
 use hyperear_geom::Vec2;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the naive two-position scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NaiveConfig {
     /// Microphone separation on the phone, metres.
     pub mic_separation: f64,
@@ -153,9 +152,7 @@ mod tests {
             let offsets = [-0.35, -0.21, -0.07, 0.07, 0.21, 0.35];
             let errs: Vec<f64> = offsets
                 .iter()
-                .map(|&dx| {
-                    naive_two_position_error(Vec2::new(dx, range), &config).unwrap()
-                })
+                .map(|&dx| naive_two_position_error(Vec2::new(dx, range), &config).unwrap())
                 .collect();
             errs.iter().sum::<f64>() / errs.len() as f64
         };

@@ -10,10 +10,10 @@ use hyperear_dsp::chirp::Chirp;
 use hyperear_geom::rotation::Side;
 use hyperear_imu::analyze::SessionConfig;
 use hyperear_imu::quality::QualityGate;
-use serde::{Deserialize, Serialize};
+use hyperear_util::{FromJson, Json, JsonError, ToJson};
 
 /// Sub-sample peak refinement method for TDoA interpolation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Interpolation {
     /// No refinement: integer-sample peaks (the §II-C strawman).
     None,
@@ -25,8 +25,34 @@ pub enum Interpolation {
     Sinc,
 }
 
+impl ToJson for Interpolation {
+    fn to_json(&self) -> Json {
+        Json::String(
+            match self {
+                Interpolation::None => "none",
+                Interpolation::Parabolic => "parabolic",
+                Interpolation::Sinc => "sinc",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Interpolation {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.as_str() {
+            Some("none") => Ok(Interpolation::None),
+            Some("parabolic") => Ok(Interpolation::Parabolic),
+            Some("sinc") => Ok(Interpolation::Sinc),
+            other => Err(JsonError::schema(format!(
+                "interpolation must be \"none\", \"parabolic\" or \"sinc\", got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// How per-slide solutions are combined into one estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Aggregation {
     /// Component-wise median of per-slide positions (robust, the
     /// default — matches the paper's "5-slide aggregation").
@@ -36,8 +62,32 @@ pub enum Aggregation {
     Joint,
 }
 
+impl ToJson for Aggregation {
+    fn to_json(&self) -> Json {
+        Json::String(
+            match self {
+                Aggregation::Median => "median",
+                Aggregation::Joint => "joint",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Aggregation {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.as_str() {
+            Some("median") => Ok(Aggregation::Median),
+            Some("joint") => Ok(Aggregation::Joint),
+            other => Err(JsonError::schema(format!(
+                "aggregation must be \"median\" or \"joint\", got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// Beacon (chirp) parameters the pipeline assumes about the speaker.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BeaconConfig {
     /// Lower chirp band edge, hertz.
     pub f0: f64,
@@ -61,8 +111,30 @@ impl Default for BeaconConfig {
     }
 }
 
+impl ToJson for BeaconConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("f0", Json::Number(self.f0)),
+            ("f1", Json::Number(self.f1)),
+            ("duration", Json::Number(self.duration)),
+            ("period", Json::Number(self.period)),
+        ])
+    }
+}
+
+impl FromJson for BeaconConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(BeaconConfig {
+            f0: json.field("f0")?,
+            f1: json.field("f1")?,
+            duration: json.field("duration")?,
+            period: json.field("period")?,
+        })
+    }
+}
+
 /// Chirp detection parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectionConfig {
     /// Peaks must exceed `threshold_factor × noise floor` of the
     /// correlation magnitude.
@@ -102,8 +174,39 @@ impl Default for DetectionConfig {
     }
 }
 
+impl ToJson for DetectionConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("threshold_factor", Json::Number(self.threshold_factor)),
+            ("relative_threshold", Json::Number(self.relative_threshold)),
+            (
+                "min_spacing_fraction",
+                Json::Number(self.min_spacing_fraction),
+            ),
+            ("band_pass", Json::Bool(self.band_pass)),
+            ("band_pass_taps", Json::Number(self.band_pass_taps as f64)),
+            ("interpolation", self.interpolation.to_json()),
+            ("envelope_detection", Json::Bool(self.envelope_detection)),
+        ])
+    }
+}
+
+impl FromJson for DetectionConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(DetectionConfig {
+            threshold_factor: json.field("threshold_factor")?,
+            relative_threshold: json.field("relative_threshold")?,
+            min_spacing_fraction: json.field("min_spacing_fraction")?,
+            band_pass: json.field("band_pass")?,
+            band_pass_taps: json.field("band_pass_taps")?,
+            interpolation: json.field("interpolation")?,
+            envelope_detection: json.field("envelope_detection")?,
+        })
+    }
+}
+
 /// The complete pipeline configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HyperEarConfig {
     /// Distance between the phone's two microphones, metres.
     pub mic_separation: f64,
@@ -196,7 +299,10 @@ impl HyperEarConfig {
         if !(self.beacon.f0 > 0.0 && self.beacon.f1 > self.beacon.f0) {
             return Err(HyperEarError::invalid(
                 "beacon.f0/f1",
-                format!("need 0 < f0 < f1, got {} / {}", self.beacon.f0, self.beacon.f1),
+                format!(
+                    "need 0 < f0 < f1, got {} / {}",
+                    self.beacon.f0, self.beacon.f1
+                ),
             ));
         }
         if !(self.beacon.duration > 0.0 && self.beacon.duration < self.beacon.period) {
@@ -244,13 +350,19 @@ impl HyperEarConfig {
         if !(self.max_plausible_range > 0.0 && self.max_plausible_range.is_finite()) {
             return Err(HyperEarError::invalid(
                 "max_plausible_range",
-                format!("must be positive and finite, got {}", self.max_plausible_range),
+                format!(
+                    "must be positive and finite, got {}",
+                    self.max_plausible_range
+                ),
             ));
         }
         if !(self.max_speaker_depth > 0.0 && self.max_speaker_depth.is_finite()) {
             return Err(HyperEarError::invalid(
                 "max_speaker_depth",
-                format!("must be positive and finite, got {}", self.max_speaker_depth),
+                format!(
+                    "must be positive and finite, got {}",
+                    self.max_speaker_depth
+                ),
             ));
         }
         if self.beacons_per_side == 0 {
@@ -259,10 +371,78 @@ impl HyperEarConfig {
                 "must average at least one beacon per side",
             ));
         }
-        self.quality_gate
-            .validate()
-            .map_err(HyperEarError::from)?;
+        self.quality_gate.validate().map_err(HyperEarError::from)?;
         Ok(())
+    }
+}
+
+impl ToJson for HyperEarConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mic_separation", Json::Number(self.mic_separation)),
+            ("beacon", self.beacon.to_json()),
+            ("detection", self.detection.to_json()),
+            ("sfo_correction", Json::Bool(self.sfo_correction)),
+            ("inertial", self.inertial.to_json()),
+            ("quality_gate", self.quality_gate.to_json()),
+            (
+                "quality_gate_enabled",
+                Json::Bool(self.quality_gate_enabled),
+            ),
+            ("aggregation", self.aggregation.to_json()),
+            ("speed_of_sound", Json::Number(self.speed_of_sound)),
+            (
+                "beacons_per_side",
+                Json::Number(self.beacons_per_side as f64),
+            ),
+            ("rotation_correction", Json::Bool(self.rotation_correction)),
+            ("speaker_side", self.speaker_side.to_json()),
+            (
+                "max_plausible_range",
+                Json::Number(self.max_plausible_range),
+            ),
+            ("max_speaker_depth", Json::Number(self.max_speaker_depth)),
+        ])
+    }
+}
+
+impl FromJson for HyperEarConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(HyperEarConfig {
+            mic_separation: json.field("mic_separation")?,
+            beacon: json.field("beacon")?,
+            detection: json.field("detection")?,
+            sfo_correction: json.field("sfo_correction")?,
+            inertial: json.field("inertial")?,
+            quality_gate: json.field("quality_gate")?,
+            quality_gate_enabled: json.field("quality_gate_enabled")?,
+            aggregation: json.field("aggregation")?,
+            speed_of_sound: json.field("speed_of_sound")?,
+            beacons_per_side: json.field("beacons_per_side")?,
+            rotation_correction: json.field("rotation_correction")?,
+            speaker_side: json.field("speaker_side")?,
+            max_plausible_range: json.field("max_plausible_range")?,
+            max_speaker_depth: json.field("max_speaker_depth")?,
+        })
+    }
+}
+
+impl HyperEarConfig {
+    /// Renders the configuration as a JSON document.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parses a configuration from a JSON document produced by
+    /// [`HyperEarConfig::to_json_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hyperear_util::JsonError`] on malformed JSON or a
+    /// missing / mistyped field.
+    pub fn from_json_str(text: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(text)?)
     }
 }
 
@@ -329,15 +509,47 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        let c = HyperEarConfig::galaxy_note3();
-        let json = serde_json_like(&c);
-        assert!(json.contains("0.1512"));
+    fn json_round_trip_preserves_every_field() {
+        let mut c = HyperEarConfig::galaxy_note3();
+        // Flip every ablation switch away from its default so the round
+        // trip cannot pass by accidentally re-materializing defaults.
+        c.sfo_correction = false;
+        c.quality_gate_enabled = false;
+        c.rotation_correction = false;
+        c.aggregation = Aggregation::Joint;
+        c.detection.interpolation = Interpolation::Sinc;
+        c.detection.envelope_detection = true;
+        c.speaker_side = Side::Left;
+        c.inertial.drift_correction = false;
+        c.inertial.segmenter.threshold = 0.35;
+        c.quality_gate.max_rotation_deg = 15.5;
+        let text = c.to_json_string();
+        assert!(text.contains("0.1512"), "{text}");
+        let back = HyperEarConfig::from_json_str(&text).unwrap();
+        assert_eq!(back, c);
     }
 
-    // Minimal serde smoke test without pulling serde_json: use the
-    // Debug representation as a stand-in for structural stability.
-    fn serde_json_like(c: &HyperEarConfig) -> String {
-        format!("{c:?}")
+    #[test]
+    fn json_round_trip_of_disabled_quality_gate() {
+        let mut c = HyperEarConfig::galaxy_s4();
+        c.quality_gate = QualityGate::disabled();
+        let back = HyperEarConfig::from_json_str(&c.to_json_string()).unwrap();
+        assert_eq!(back, c);
+        assert!(back.quality_gate.max_rotation_deg.is_infinite());
+    }
+
+    #[test]
+    fn json_missing_field_names_the_field() {
+        let c = HyperEarConfig::galaxy_s4();
+        let text = c.to_json_string().replace("\"speed_of_sound\"", "\"sos\"");
+        let err = HyperEarConfig::from_json_str(&text).unwrap_err();
+        assert!(err.to_string().contains("speed_of_sound"), "{err}");
+    }
+
+    #[test]
+    fn json_rejects_bad_enum_variant() {
+        let c = HyperEarConfig::galaxy_s4();
+        let text = c.to_json_string().replace("\"median\"", "\"average\"");
+        assert!(HyperEarConfig::from_json_str(&text).is_err());
     }
 }

@@ -12,10 +12,9 @@ use crate::sdf::{guidance, Guidance};
 use crate::HyperEarError;
 use hyperear_imu::analyze::SlideEstimate;
 use hyperear_imu::quality::{QualityGate, Rejection};
-use serde::{Deserialize, Serialize};
 
 /// What the app should tell the user to do next.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Instruction {
     /// Roll the phone around its z-axis and watch the TDoA.
     RollPhone,
@@ -45,7 +44,7 @@ pub enum Instruction {
 }
 
 /// Protocol phases.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     Direction,
     Calibration,
@@ -192,12 +191,7 @@ impl SessionGuide {
                 "TDoA observations only apply during direction finding",
             ));
         }
-        if guidance(
-            tdoa_seconds,
-            self.mic_separation,
-            self.speed_of_sound,
-            0.05,
-        )? == Guidance::Stop
+        if guidance(tdoa_seconds, self.mic_separation, self.speed_of_sound, 0.05)? == Guidance::Stop
         {
             self.in_direction = true;
         }
@@ -330,10 +324,7 @@ mod tests {
             panic!("expected HoldStill");
         }
         guide.observe_stillness(0.8).unwrap();
-        assert_eq!(
-            guide.current(),
-            Instruction::Slide { done: 0, target: 2 }
-        );
+        assert_eq!(guide.current(), Instruction::Slide { done: 0, target: 2 });
         guide.observe_slide(&slide(0.55, 2.0)).unwrap();
         guide.observe_slide(&slide(-0.54, 1.0)).unwrap();
         assert_eq!(guide.current(), Instruction::LowerPhone);

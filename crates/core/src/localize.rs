@@ -16,7 +16,6 @@ use crate::tdoa::AugmentedTdoa;
 use crate::HyperEarError;
 use hyperear_geom::triangulate::{solve_joint, solve_slide, SlideGeometry, SlideSolution};
 use hyperear_geom::Vec2;
-use serde::{Deserialize, Serialize};
 
 /// Builds the phone-frame [`SlideGeometry`] for one slide.
 ///
@@ -62,7 +61,7 @@ pub fn slide_geometry(
 }
 
 /// One slide's localization outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlideFix {
     /// The geometry that was solved.
     pub geometry: SlideGeometry,
@@ -71,7 +70,7 @@ pub struct SlideFix {
 }
 
 /// An aggregated 2D estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate2d {
     /// Speaker position in the phone frame, metres.
     pub position: Vec2,

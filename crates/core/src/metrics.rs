@@ -5,10 +5,9 @@
 //! same format so the benchmark harness can print paper-comparable rows.
 
 use crate::HyperEarError;
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics over a set of localization errors.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorStats {
     /// Number of trials.
     pub count: usize,
@@ -23,7 +22,7 @@ pub struct ErrorStats {
 }
 
 /// An empirical cumulative distribution over errors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cdf {
     sorted: Vec<f64>,
 }

@@ -18,7 +18,6 @@ use hyperear_geom::Vec3;
 use hyperear_imu::analyze::{analyze_session, SlideEstimate};
 use hyperear_imu::quality::Rejection;
 use hyperear_imu::rotation::yaw_trace;
-use serde::{Deserialize, Serialize};
 
 /// Guard margin around inertially-detected movement windows when
 /// classifying beacons as stationary, seconds.
@@ -46,7 +45,7 @@ pub struct SessionInput<'a> {
 }
 
 /// Which stature phase a slide belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StaturePhase {
     /// Before the (first) stature change.
     Upper,
@@ -55,7 +54,7 @@ pub enum StaturePhase {
 }
 
 /// Everything the pipeline concluded about one detected slide.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlideReport {
     /// The inertial estimate (window, distance, rotation).
     pub inertial: SlideEstimate,
@@ -72,7 +71,7 @@ pub struct SlideReport {
 }
 
 /// The outcome of one full session.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionResult {
     /// Beacons detected on the left (Mic1) channel.
     pub beacons_left: usize,
@@ -188,17 +187,12 @@ impl HyperEar {
             .slides
             .iter()
             .map(|s| (s.start_time, s.end_time))
-            .chain(
-                analysis
-                    .stature_changes
-                    .iter()
-                    .map(|c| {
-                        (
-                            c.segment.start as f64 / input.imu_sample_rate,
-                            c.segment.end as f64 / input.imu_sample_rate,
-                        )
-                    }),
-            )
+            .chain(analysis.stature_changes.iter().map(|c| {
+                (
+                    c.segment.start as f64 / input.imu_sample_rate,
+                    c.segment.end as f64 / input.imu_sample_rate,
+                )
+            }))
             .collect();
         movements.sort_by(|a, b| a.0.total_cmp(&b.0));
         let stationary = stationary_windows(
@@ -241,7 +235,6 @@ impl HyperEar {
         } else {
             right
         };
-
 
         // ---- SFO period estimation. -----------------------------------------
         let period = if self.config.sfo_correction {
@@ -311,7 +304,12 @@ impl HyperEar {
             };
             if accepted {
                 let pre = window_before(&movements, slide.start_time, self.config.beacon.duration);
-                let post = window_after(&movements, slide.end_time, audio_duration, self.config.beacon.duration);
+                let post = window_after(
+                    &movements,
+                    slide.end_time,
+                    audio_duration,
+                    self.config.beacon.duration,
+                );
                 match augmented_tdoa(
                     &left,
                     &right,
@@ -326,19 +324,13 @@ impl HyperEar {
                         if let Ok(geometry) =
                             slide_geometry(slide.distance, self.config.mic_separation, &tdoa)
                         {
-                            if let Ok((fixes, _)) =
-                                localize(&[geometry], self.config.aggregation)
-                            {
+                            if let Ok((fixes, _)) = localize(&[geometry], self.config.aggregation) {
                                 // Plausibility gate: an estimate past any
                                 // indoor range means the measurement pair
                                 // carried no usable curvature — drop it.
-                                report.fix = fixes
-                                    .into_iter()
-                                    .next()
-                                    .filter(|f| {
-                                        f.solution.position.y
-                                            <= self.config.max_plausible_range
-                                    });
+                                report.fix = fixes.into_iter().next().filter(|f| {
+                                    f.solution.position.y <= self.config.max_plausible_range
+                                });
                             }
                         }
                     }
@@ -383,11 +375,7 @@ impl HyperEar {
             _ => None,
         };
 
-        let strength_sum: f64 = left
-            .iter()
-            .chain(right.iter())
-            .map(|a| a.strength)
-            .sum();
+        let strength_sum: f64 = left.iter().chain(right.iter()).map(|a| a.strength).sum();
         let mean_beacon_strength = strength_sum / (left.len() + right.len()) as f64;
         Ok(SessionResult {
             beacons_left: left.len(),

@@ -10,10 +10,9 @@ use crate::localize::Estimate2d;
 use crate::HyperEarError;
 use hyperear_geom::project::{ProjectedLocation, ProjectionMeasurement};
 use hyperear_geom::Vec2;
-use serde::{Deserialize, Serialize};
 
 /// The result of projected-location estimation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProjectedEstimate {
     /// Elevation angle β at the upper plane, radians.
     pub beta: f64,
@@ -80,9 +79,7 @@ pub fn project(
         ));
     }
     let x = 0.5 * (upper.position.x + lower.position.x);
-    match ProjectionMeasurement::new(upper.range, lower.range, h)
-        .and_then(|m| m.solve())
-    {
+    match ProjectionMeasurement::new(upper.range, lower.range, h).and_then(|m| m.solve()) {
         Ok(ProjectedLocation { beta, .. }) => {
             // Clamp the implied depth to the plausible indoor bound.
             let depth_limit = (max_depth / upper.range).min(1.0);

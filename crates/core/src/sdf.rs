@@ -9,11 +9,10 @@
 
 use crate::HyperEarError;
 use hyperear_geom::rotation::{wrap_degrees, Side};
-use serde::{Deserialize, Serialize};
 
 /// One observation of the rolling phone: accumulated roll angle (from
 /// gyro integration) and the TDoA measured there.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RollObservation {
     /// Accumulated roll angle, degrees (need not be wrapped).
     pub roll_degrees: f64,
@@ -22,7 +21,7 @@ pub struct RollObservation {
 }
 
 /// An in-direction position found during the roll.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InDirection {
     /// The roll angle (degrees, wrapped to `[0, 360)`) at which the TDoA
     /// crossed zero, linearly interpolated between observations.
@@ -34,7 +33,7 @@ pub struct InDirection {
 }
 
 /// Live guidance for the rolling user.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Guidance {
     /// Keep rolling; the TDoA has not crossed zero yet.
     KeepRolling,
@@ -65,7 +64,11 @@ pub fn find_crossings(observations: &[RollObservation]) -> Result<Vec<InDirectio
         let (a, b) = (pair[0], pair[1]);
         if a.tdoa == 0.0 {
             // Exact zero at a sample: classify by the following trend.
-            let side = if b.tdoa > 0.0 { Side::Right } else { Side::Left };
+            let side = if b.tdoa > 0.0 {
+                Side::Right
+            } else {
+                Side::Left
+            };
             crossings.push(InDirection {
                 roll_degrees: wrap_degrees(a.roll_degrees),
                 side,
@@ -76,7 +79,11 @@ pub fn find_crossings(observations: &[RollObservation]) -> Result<Vec<InDirectio
             // Linear interpolation of the crossing angle.
             let frac = a.tdoa / (a.tdoa - b.tdoa);
             let angle = a.roll_degrees + frac * (b.roll_degrees - a.roll_degrees);
-            let side = if a.tdoa < 0.0 { Side::Right } else { Side::Left };
+            let side = if a.tdoa < 0.0 {
+                Side::Right
+            } else {
+                Side::Left
+            };
             crossings.push(InDirection {
                 roll_degrees: wrap_degrees(angle),
                 side,

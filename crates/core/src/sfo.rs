@@ -14,10 +14,9 @@
 
 use crate::asp::BeaconArrival;
 use crate::HyperEarError;
-use serde::{Deserialize, Serialize};
 
 /// The recovered beacon period.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PeriodEstimate {
     /// Estimated period on the recording clock, seconds.
     pub period: f64,
@@ -49,10 +48,7 @@ pub fn estimate_period(
     nominal_period: f64,
 ) -> Result<PeriodEstimate, HyperEarError> {
     if nominal_period <= 0.0 {
-        return Err(HyperEarError::invalid(
-            "nominal_period",
-            "must be positive",
-        ));
+        return Err(HyperEarError::invalid("nominal_period", "must be positive"));
     }
     let mut total_weight = 0.0;
     let mut weighted_slope = 0.0;
@@ -170,8 +166,7 @@ mod tests {
         let mut arrivals = arrivals_with_period(0.05, true_period, 4);
         // Second stationary window after a movement gap; different phase.
         arrivals.extend(arrivals_with_period(2.0, true_period, 4));
-        let est =
-            estimate_period(&arrivals, &[(0.0, 0.9), (1.9, 2.9)], 0.2).unwrap();
+        let est = estimate_period(&arrivals, &[(0.0, 0.9), (1.9, 2.9)], 0.2).unwrap();
         assert_eq!(est.windows_used, 2);
         assert_eq!(est.beacons_used, 8);
         assert!((est.period - true_period).abs() < 1e-10);
@@ -187,8 +182,7 @@ mod tests {
             strength: 1.0,
         });
         arrivals.extend(arrivals_with_period(2.0, true_period, 4));
-        let est =
-            estimate_period(&arrivals, &[(0.0, 0.9), (1.9, 2.9)], 0.2).unwrap();
+        let est = estimate_period(&arrivals, &[(0.0, 0.9), (1.9, 2.9)], 0.2).unwrap();
         assert!((est.period - 0.2).abs() < 1e-12);
         assert_eq!(est.beacons_used, 8);
     }
@@ -238,8 +232,7 @@ mod tests {
             time: 5.0,
             strength: 1.0,
         });
-        let est =
-            estimate_period(&arrivals, &[(0.0, 0.7), (4.9, 5.1)], 0.2).unwrap();
+        let est = estimate_period(&arrivals, &[(0.0, 0.7), (4.9, 5.1)], 0.2).unwrap();
         assert_eq!(est.windows_used, 1);
     }
 }

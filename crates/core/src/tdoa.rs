@@ -11,13 +11,12 @@
 
 use crate::asp::BeaconArrival;
 use crate::HyperEarError;
-use serde::{Deserialize, Serialize};
 
 /// A time window `[start, end]` in seconds.
 pub type TimeWindow = (f64, f64);
 
 /// The augmented TDoA measurements of one slide.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AugmentedTdoa {
     /// Distance difference `d(p2) − d(p1)` at Mic1, metres.
     pub delta_d1: f64,
@@ -47,7 +46,10 @@ pub fn channel_delta_t(
         return Err(HyperEarError::invalid("period", "must be positive"));
     }
     if beacons_per_side == 0 {
-        return Err(HyperEarError::invalid("beacons_per_side", "must be positive"));
+        return Err(HyperEarError::invalid(
+            "beacons_per_side",
+            "must be positive",
+        ));
     }
     let pre: Vec<f64> = arrivals
         .iter()
@@ -112,10 +114,8 @@ pub fn augmented_tdoa(
     if speed_of_sound <= 0.0 {
         return Err(HyperEarError::invalid("speed_of_sound", "must be positive"));
     }
-    let (dt1, pairs1) =
-        channel_delta_t(left, pre_window, post_window, period, beacons_per_side)?;
-    let (dt2, pairs2) =
-        channel_delta_t(right, pre_window, post_window, period, beacons_per_side)?;
+    let (dt1, pairs1) = channel_delta_t(left, pre_window, post_window, period, beacons_per_side)?;
+    let (dt2, pairs2) = channel_delta_t(right, pre_window, post_window, period, beacons_per_side)?;
     Ok(AugmentedTdoa {
         delta_d1: dt1 * speed_of_sound,
         delta_d2: dt2 * speed_of_sound,
@@ -132,7 +132,13 @@ mod tests {
 
     /// Arrivals at `t0 + k·period + extra_delay(k)` where `extra_delay`
     /// jumps by `delta_t` for beacons after the slide.
-    fn arrivals(t0: f64, period: f64, count: usize, slide_after: usize, delta_t: f64) -> Vec<BeaconArrival> {
+    fn arrivals(
+        t0: f64,
+        period: f64,
+        count: usize,
+        slide_after: usize,
+        delta_t: f64,
+    ) -> Vec<BeaconArrival> {
         (0..count)
             .map(|k| BeaconArrival {
                 time: t0 + k as f64 * period + if k >= slide_after { delta_t } else { 0.0 },
@@ -206,16 +212,7 @@ mod tests {
         let dt2 = 0.0015 / S;
         let left = arrivals(0.05, period, 13, 8, dt1);
         let right = arrivals(0.051, period, 13, 8, dt2);
-        let result = augmented_tdoa(
-            &left,
-            &right,
-            (0.0, 0.9),
-            (1.65, 10.0),
-            period,
-            S,
-            3,
-        )
-        .unwrap();
+        let result = augmented_tdoa(&left, &right, (0.0, 0.9), (1.65, 10.0), period, S, 3).unwrap();
         assert!((result.delta_d1 - 0.0020).abs() < 1e-9);
         assert!((result.delta_d2 - 0.0015).abs() < 1e-9);
         assert_eq!(result.pairs_mic1, 9);

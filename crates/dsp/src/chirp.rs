@@ -7,10 +7,9 @@
 
 use crate::window::Window;
 use crate::DspError;
-use serde::{Deserialize, Serialize};
 
 /// The frequency trajectory of a chirp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChirpShape {
     /// Frequency sweeps linearly from `f0` to `f1` over the full duration.
     Up,
@@ -240,8 +239,7 @@ mod tests {
     #[test]
     fn energy_is_confined_to_band() {
         let c = Chirp::hyperear_beacon(44_100.0).unwrap();
-        let frac =
-            band_energy_fraction(c.samples(), 44_100.0, 1_800.0, 6_600.0).unwrap();
+        let frac = band_energy_fraction(c.samples(), 44_100.0, 1_800.0, 6_600.0).unwrap();
         assert!(frac > 0.97, "in-band energy fraction was {frac}");
     }
 

@@ -23,7 +23,9 @@ use crate::{Complex, DspError};
 /// [`DspError::InvalidParameter`] if the template is longer than the signal.
 pub fn xcorr(signal: &[f64], template: &[f64]) -> Result<Vec<f64>, DspError> {
     if signal.is_empty() {
-        return Err(DspError::EmptyInput { what: "xcorr signal" });
+        return Err(DspError::EmptyInput {
+            what: "xcorr signal",
+        });
     }
     if template.is_empty() {
         return Err(DspError::EmptyInput {

@@ -80,7 +80,8 @@ pub fn mix_delayed(
             what: "mix accumulator",
         });
     }
-    let delayed = delay_fractional_into_len(addend, delay_samples, kernel_half_width, accumulator.len())?;
+    let delayed =
+        delay_fractional_into_len(addend, delay_samples, kernel_half_width, accumulator.len())?;
     for (a, d) in accumulator.iter_mut().zip(delayed.iter()) {
         *a += gain * d;
     }
@@ -271,13 +272,9 @@ mod tests {
             .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
             .collect();
         let delayed = delay_fractional(&tone, 2.5, 16).unwrap();
-        for i in 64..n - 64 {
+        for (i, &d) in delayed.iter().enumerate().take(n - 64).skip(64) {
             let truth = (2.0 * std::f64::consts::PI * f * (i as f64 - 2.5) / fs).sin();
-            assert!(
-                (delayed[i] - truth).abs() < 1e-4,
-                "at {i}: {} vs {truth}",
-                delayed[i]
-            );
+            assert!((d - truth).abs() < 1e-4, "at {i}: {d} vs {truth}");
         }
     }
 
@@ -288,8 +285,7 @@ mod tests {
         let chirp = crate::chirp::Chirp::hyperear_beacon(44_100.0).unwrap();
         let m = chirp.samples().len();
         let true_delay = 100.37;
-        let rendered =
-            delay_fractional_into_len(chirp.samples(), true_delay, 16, m + 256).unwrap();
+        let rendered = delay_fractional_into_len(chirp.samples(), true_delay, 16, m + 256).unwrap();
         let corr = xcorr(&rendered, chirp.samples()).unwrap();
         let peak = corr
             .iter()

@@ -102,7 +102,11 @@ mod tests {
         for i in (100..1900).step_by(150) {
             let t = i as f64 / fs;
             let truth = 0.6 + 0.4 * (2.0 * std::f64::consts::PI * 20.0 * t).sin();
-            assert!((env[i] - truth).abs() < 0.05, "at {i}: {} vs {truth}", env[i]);
+            assert!(
+                (env[i] - truth).abs() < 0.05,
+                "at {i}: {} vs {truth}",
+                env[i]
+            );
         }
     }
 

@@ -5,10 +5,9 @@
 //! colour noise (voice-band hum, mall broadband noise).
 
 use crate::DspError;
-use serde::{Deserialize, Serialize};
 
 /// The biquad response families supported by [`Biquad::design`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BiquadKind {
     /// Low-pass with -12 dB/octave rolloff above the corner.
     LowPass,
@@ -89,7 +88,13 @@ impl Biquad {
             }
             BiquadKind::HighPass => {
                 let b1 = -(1.0 + cos_w);
-                ((1.0 + cos_w) / 2.0, b1, (1.0 + cos_w) / 2.0, -2.0 * cos_w, 1.0 - alpha)
+                (
+                    (1.0 + cos_w) / 2.0,
+                    b1,
+                    (1.0 + cos_w) / 2.0,
+                    -2.0 * cos_w,
+                    1.0 - alpha,
+                )
             }
             BiquadKind::BandPass => (alpha, 0.0, -alpha, -2.0 * cos_w, 1.0 - alpha),
             BiquadKind::Notch => (1.0, -2.0 * cos_w, 1.0, -2.0 * cos_w, 1.0 - alpha),

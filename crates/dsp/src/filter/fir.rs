@@ -127,8 +127,7 @@ impl FirFilter {
         let taps: Vec<f64> = (0..n)
             .map(|i| {
                 let x = i as f64 - mid;
-                (2.0 * f2 * sinc(2.0 * f2 * x) - 2.0 * f1 * sinc(2.0 * f1 * x))
-                    * window.value(i, n)
+                (2.0 * f2 * sinc(2.0 * f2 * x) - 2.0 * f1 * sinc(2.0 * f1 * x)) * window.value(i, n)
             })
             .collect();
         FirFilter::from_taps(taps)
@@ -282,7 +281,10 @@ mod tests {
         let voice = bp.filter_zero_phase(&tone(800.0, fs, 4096)).unwrap();
         let hiss = bp.filter_zero_phase(&tone(12_000.0, fs, 4096)).unwrap();
         assert!(rms(&inband[500..3500]) > 0.6, "in-band should pass");
-        assert!(rms(&voice[500..3500]) < 0.03, "voice band should be rejected");
+        assert!(
+            rms(&voice[500..3500]) < 0.03,
+            "voice band should be rejected"
+        );
         assert!(rms(&hiss[500..3500]) < 0.03, "high band should be rejected");
     }
 

@@ -33,7 +33,9 @@ pub fn rms(signal: &[f64]) -> Result<f64, DspError> {
 /// Returns [`DspError::EmptyInput`] for an empty signal.
 pub fn power(signal: &[f64]) -> Result<f64, DspError> {
     if signal.is_empty() {
-        return Err(DspError::EmptyInput { what: "power input" });
+        return Err(DspError::EmptyInput {
+            what: "power input",
+        });
     }
     Ok(signal.iter().map(|x| x * x).sum::<f64>() / signal.len() as f64)
 }
@@ -83,7 +85,11 @@ pub fn snr_db(signal: &[f64], noise: &[f64]) -> Result<f64, DspError> {
 /// # Errors
 ///
 /// Same conditions as [`snr_db`].
-pub fn noise_gain_for_snr(signal: &[f64], noise: &[f64], target_snr_db: f64) -> Result<f64, DspError> {
+pub fn noise_gain_for_snr(
+    signal: &[f64],
+    noise: &[f64],
+    target_snr_db: f64,
+) -> Result<f64, DspError> {
     let ps = power(signal)?;
     let pn = power(noise)?;
     if pn == 0.0 {
@@ -138,12 +144,17 @@ mod tests {
     #[test]
     fn noise_gain_achieves_target_snr() {
         let signal: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.3).sin()).collect();
-        let noise: Vec<f64> = (0..4096).map(|i| ((i * 7919) as f64 * 0.11).sin()).collect();
+        let noise: Vec<f64> = (0..4096)
+            .map(|i| ((i * 7919) as f64 * 0.11).sin())
+            .collect();
         for target in [3.0, 6.0, 9.0, 15.0] {
             let g = noise_gain_for_snr(&signal, &noise, target).unwrap();
             let scaled: Vec<f64> = noise.iter().map(|x| g * x).collect();
             let achieved = snr_db(&signal, &scaled).unwrap();
-            assert!((achieved - target).abs() < 1e-9, "target {target} got {achieved}");
+            assert!(
+                (achieved - target).abs() < 1e-9,
+                "target {target} got {achieved}"
+            );
         }
     }
 

@@ -5,10 +5,9 @@
 //! roughly one beacon period apart.
 
 use crate::DspError;
-use serde::{Deserialize, Serialize};
 
 /// A detected peak.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Peak {
     /// Sample index of the local maximum.
     pub index: usize,
@@ -17,7 +16,7 @@ pub struct Peak {
 }
 
 /// Configuration for [`find_peaks`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PeakConfig {
     /// Absolute threshold a sample must exceed to be a candidate.
     pub threshold: f64,
@@ -191,7 +190,9 @@ mod tests {
         // Deterministic approximately-Gaussian noise via CLT of a LCG.
         let mut state = 123456789u64;
         let mut rand = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             2.0 * ((state >> 11) as f64 / (1u64 << 53) as f64) - 1.0
         };
         let noise: Vec<f64> = (0..10_000)

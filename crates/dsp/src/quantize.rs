@@ -7,7 +7,6 @@
 //! would hand an app.
 
 use crate::DspError;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Quantizes a float signal (nominal range ±1.0) to 16-bit integers.
 ///
@@ -45,12 +44,12 @@ pub fn requantize(signal: &[f64]) -> Vec<f64> {
 
 /// Encodes samples as interleaved little-endian 16-bit PCM.
 #[must_use]
-pub fn encode_pcm16(samples: &[i16]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(samples.len() * 2);
+pub fn encode_pcm16(samples: &[i16]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(samples.len() * 2);
     for &s in samples {
-        buf.put_i16_le(s);
+        buf.extend_from_slice(&s.to_le_bytes());
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes interleaved little-endian 16-bit PCM bytes.
@@ -58,18 +57,20 @@ pub fn encode_pcm16(samples: &[i16]) -> Bytes {
 /// # Errors
 ///
 /// Returns [`DspError::InvalidParameter`] if the byte length is odd.
-pub fn decode_pcm16(mut bytes: Bytes) -> Result<Vec<i16>, DspError> {
+pub fn decode_pcm16(bytes: &[u8]) -> Result<Vec<i16>, DspError> {
     if !bytes.len().is_multiple_of(2) {
         return Err(DspError::invalid(
             "bytes",
-            format!("PCM16 byte stream must have even length, got {}", bytes.len()),
+            format!(
+                "PCM16 byte stream must have even length, got {}",
+                bytes.len()
+            ),
         ));
     }
-    let mut out = Vec::with_capacity(bytes.len() / 2);
-    while bytes.remaining() >= 2 {
-        out.push(bytes.get_i16_le());
-    }
-    Ok(out)
+    Ok(bytes
+        .chunks_exact(2)
+        .map(|pair| i16::from_le_bytes([pair[0], pair[1]]))
+        .collect())
 }
 
 /// Interleaves two channels into a single stereo stream (L, R, L, R, ...).
@@ -102,7 +103,10 @@ pub fn deinterleave_stereo(stereo: &[i16]) -> Result<(Vec<i16>, Vec<i16>), DspEr
     if !stereo.len().is_multiple_of(2) {
         return Err(DspError::invalid(
             "stereo",
-            format!("interleaved stereo must have even length, got {}", stereo.len()),
+            format!(
+                "interleaved stereo must have even length, got {}",
+                stereo.len()
+            ),
         ));
     }
     let mut left = Vec::with_capacity(stereo.len() / 2);
@@ -139,14 +143,13 @@ mod tests {
         let samples: Vec<i16> = vec![0, 1, -1, 32_767, -32_768, 12_345, -12_345];
         let bytes = encode_pcm16(&samples);
         assert_eq!(bytes.len(), samples.len() * 2);
-        let back = decode_pcm16(bytes).unwrap();
+        let back = decode_pcm16(&bytes).unwrap();
         assert_eq!(back, samples);
     }
 
     #[test]
     fn pcm_rejects_odd_length() {
-        let bytes = Bytes::from_static(&[1, 2, 3]);
-        assert!(decode_pcm16(bytes).is_err());
+        assert!(decode_pcm16(&[1, 2, 3]).is_err());
     }
 
     #[test]
@@ -171,7 +174,7 @@ mod tests {
         let signal: Vec<f64> = (0..441).map(|i| (i as f64 * 0.1).sin() * 0.8).collect();
         let q = quantize_i16(&signal);
         let bytes = encode_pcm16(&q);
-        let back = dequantize_i16(&decode_pcm16(bytes).unwrap());
+        let back = dequantize_i16(&decode_pcm16(&bytes).unwrap());
         for (a, b) in signal.iter().zip(&back) {
             assert!((a - b).abs() < 1.0 / 32_767.0);
         }

@@ -35,7 +35,11 @@ use crate::DspError;
 /// let skewed = hyperear_dsp::resample::resample(&signal, 1.0 + 30e-6, 8).unwrap();
 /// assert_eq!(skewed.len(), 44_101);
 /// ```
-pub fn resample(signal: &[f64], ratio: f64, kernel_half_width: usize) -> Result<Vec<f64>, DspError> {
+pub fn resample(
+    signal: &[f64],
+    ratio: f64,
+    kernel_half_width: usize,
+) -> Result<Vec<f64>, DspError> {
     if signal.is_empty() {
         return Err(DspError::EmptyInput {
             what: "resample input",
@@ -81,7 +85,11 @@ pub fn resample(signal: &[f64], ratio: f64, kernel_half_width: usize) -> Result<
 ///
 /// Same conditions as [`resample`]; `|ppm|` above 10 000 is rejected as a
 /// parameter error (real oscillators are within ±100 ppm).
-pub fn apply_clock_skew_ppm(signal: &[f64], ppm: f64, kernel_half_width: usize) -> Result<Vec<f64>, DspError> {
+pub fn apply_clock_skew_ppm(
+    signal: &[f64],
+    ppm: f64,
+    kernel_half_width: usize,
+) -> Result<Vec<f64>, DspError> {
     if !ppm.is_finite() || ppm.abs() > 10_000.0 {
         return Err(DspError::invalid(
             "ppm",
@@ -132,10 +140,11 @@ mod tests {
             .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
             .collect();
         let out = resample(&signal, 2.0, 16).unwrap();
-        for i in 64..out.len() - 64 {
+        let end = out.len() - 64;
+        for (i, &v) in out.iter().enumerate().take(end).skip(64) {
             let t = i as f64 / 2.0; // position in input samples
             let truth = (2.0 * std::f64::consts::PI * f * t / fs).sin();
-            assert!((out[i] - truth).abs() < 1e-3, "at {i}: {} vs {truth}", out[i]);
+            assert!((v - truth).abs() < 1e-3, "at {i}: {v} vs {truth}");
         }
     }
 

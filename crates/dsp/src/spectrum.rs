@@ -70,7 +70,10 @@ pub fn band_energy_fraction(
     if low_hz < 0.0 || high_hz > sample_rate / 2.0 {
         return Err(DspError::invalid(
             "band",
-            format!("band [{low_hz}, {high_hz}] outside [0, {}]", sample_rate / 2.0),
+            format!(
+                "band [{low_hz}, {high_hz}] outside [0, {}]",
+                sample_rate / 2.0
+            ),
         ));
     }
     let (freqs, power) = power_spectrum(signal, sample_rate, Window::Hann)?;
@@ -158,7 +161,10 @@ mod tests {
     #[test]
     fn zero_signal_band_fraction_is_zero() {
         let z = vec![0.0; 1024];
-        assert_eq!(band_energy_fraction(&z, 44_100.0, 100.0, 200.0).unwrap(), 0.0);
+        assert_eq!(
+            band_energy_fraction(&z, 44_100.0, 100.0, 200.0).unwrap(),
+            0.0
+        );
     }
 
     #[test]

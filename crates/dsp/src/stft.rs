@@ -47,10 +47,7 @@ impl Spectrogram {
     #[must_use]
     pub fn peak_frequency(&self, t: usize) -> Option<f64> {
         let frame = self.frames.get(t)?;
-        let (k, _) = frame
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        let (k, _) = frame.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
         Some(self.freq_of(k))
     }
 }

@@ -3,11 +3,11 @@
 //! Lets simulated recordings round-trip through the exact file format a
 //! phone app would log, and lets real captured WAVs be fed into the
 //! pipeline. Only the variant that matters here is supported: linear PCM,
-//! 16-bit, 1 or 2 channels.
+//! 16-bit, 1 or 2 channels. Byte handling is std-only — a small cursor
+//! over `&[u8]` for reading and a `Vec<u8>` for writing.
 
 use crate::quantize::{dequantize_i16, quantize_i16};
 use crate::DspError;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// An in-memory PCM16 WAV file.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,6 +16,42 @@ pub struct WavFile {
     pub sample_rate: u32,
     /// Channels, each the same length (1 = mono, 2 = stereo, ...).
     pub channels: Vec<Vec<f64>>,
+}
+
+/// A bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn tag(&mut self) -> Option<[u8; 4]> {
+        self.take(4).map(|s| [s[0], s[1], s[2], s[3]])
+    }
+
+    fn u16_le(&mut self) -> Option<u16> {
+        self.take(2).map(|s| u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    fn u32_le(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
 }
 
 impl WavFile {
@@ -59,7 +95,9 @@ impl WavFile {
             return Err(DspError::invalid("sample_rate", "must be positive"));
         }
         if channels.iter().any(|c| c.is_empty()) {
-            return Err(DspError::EmptyInput { what: "wav samples" });
+            return Err(DspError::EmptyInput {
+                what: "wav samples",
+            });
         }
         Ok(())
     }
@@ -78,31 +116,32 @@ impl WavFile {
 
     /// Serializes to RIFF PCM16 bytes.
     #[must_use]
-    pub fn to_bytes(&self) -> Bytes {
+    pub fn to_bytes(&self) -> Vec<u8> {
         let num_channels = self.channels.len() as u16;
         let frames = self.len();
         let quantized: Vec<Vec<i16>> = self.channels.iter().map(|c| quantize_i16(c)).collect();
         let data_len = (frames * self.channels.len() * 2) as u32;
-        let mut buf = BytesMut::with_capacity(44 + data_len as usize);
-        buf.put_slice(b"RIFF");
-        buf.put_u32_le(36 + data_len);
-        buf.put_slice(b"WAVE");
-        buf.put_slice(b"fmt ");
-        buf.put_u32_le(16); // PCM fmt chunk size
-        buf.put_u16_le(1); // PCM
-        buf.put_u16_le(num_channels);
-        buf.put_u32_le(self.sample_rate);
-        buf.put_u32_le(self.sample_rate * u32::from(num_channels) * 2); // byte rate
-        buf.put_u16_le(num_channels * 2); // block align
-        buf.put_u16_le(16); // bits per sample
-        buf.put_slice(b"data");
-        buf.put_u32_le(data_len);
+        let mut buf = Vec::with_capacity(44 + data_len as usize);
+        buf.extend_from_slice(b"RIFF");
+        buf.extend_from_slice(&(36 + data_len).to_le_bytes());
+        buf.extend_from_slice(b"WAVE");
+        buf.extend_from_slice(b"fmt ");
+        buf.extend_from_slice(&16u32.to_le_bytes()); // PCM fmt chunk size
+        buf.extend_from_slice(&1u16.to_le_bytes()); // PCM
+        buf.extend_from_slice(&num_channels.to_le_bytes());
+        buf.extend_from_slice(&self.sample_rate.to_le_bytes());
+        // Byte rate, block align, bits per sample.
+        buf.extend_from_slice(&(self.sample_rate * u32::from(num_channels) * 2).to_le_bytes());
+        buf.extend_from_slice(&(num_channels * 2).to_le_bytes());
+        buf.extend_from_slice(&16u16.to_le_bytes());
+        buf.extend_from_slice(b"data");
+        buf.extend_from_slice(&data_len.to_le_bytes());
         for frame in 0..frames {
             for channel in &quantized {
-                buf.put_i16_le(channel[frame]);
+                buf.extend_from_slice(&channel[frame].to_le_bytes());
             }
         }
-        buf.freeze()
+        buf
     }
 
     /// Parses RIFF PCM16 bytes.
@@ -111,55 +150,51 @@ impl WavFile {
     ///
     /// Returns [`DspError::InvalidParameter`] for malformed headers,
     /// non-PCM16 content, or unsupported channel counts.
-    pub fn from_bytes(mut bytes: Bytes) -> Result<Self, DspError> {
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DspError> {
         let bad = |reason: &str| DspError::invalid("wav", reason.to_string());
-        if bytes.remaining() < 12 {
+        let mut cur = Cursor::new(bytes);
+        if cur.remaining() < 12 {
             return Err(bad("file shorter than a RIFF header"));
         }
-        let mut tag = [0u8; 4];
-        bytes.copy_to_slice(&mut tag);
-        if &tag != b"RIFF" {
+        if cur.tag().as_ref() != Some(b"RIFF") {
             return Err(bad("missing RIFF magic"));
         }
-        let _riff_len = bytes.get_u32_le();
-        bytes.copy_to_slice(&mut tag);
-        if &tag != b"WAVE" {
+        let _riff_len = cur.u32_le();
+        if cur.tag().as_ref() != Some(b"WAVE") {
             return Err(bad("missing WAVE magic"));
         }
         let mut sample_rate = 0u32;
         let mut num_channels = 0u16;
-        let mut data: Option<Bytes> = None;
-        while bytes.remaining() >= 8 {
-            bytes.copy_to_slice(&mut tag);
-            let chunk_len = bytes.get_u32_le() as usize;
-            if bytes.remaining() < chunk_len {
-                return Err(bad("truncated chunk"));
-            }
-            let mut chunk = bytes.split_to(chunk_len);
+        let mut data: Option<&[u8]> = None;
+        while cur.remaining() >= 8 {
+            let tag = cur.tag().ok_or_else(|| bad("truncated chunk header"))?;
+            let chunk_len = cur.u32_le().ok_or_else(|| bad("truncated chunk header"))? as usize;
+            let chunk_bytes = cur.take(chunk_len).ok_or_else(|| bad("truncated chunk"))?;
             match &tag {
                 b"fmt " => {
-                    if chunk.remaining() < 16 {
+                    let mut fmt = Cursor::new(chunk_bytes);
+                    if fmt.remaining() < 16 {
                         return Err(bad("fmt chunk too short"));
                     }
-                    let format = chunk.get_u16_le();
-                    num_channels = chunk.get_u16_le();
-                    sample_rate = chunk.get_u32_le();
-                    let _byte_rate = chunk.get_u32_le();
-                    let _block_align = chunk.get_u16_le();
-                    let bits = chunk.get_u16_le();
+                    let format = fmt.u16_le().unwrap_or(0);
+                    num_channels = fmt.u16_le().unwrap_or(0);
+                    sample_rate = fmt.u32_le().unwrap_or(0);
+                    let _byte_rate = fmt.u32_le();
+                    let _block_align = fmt.u16_le();
+                    let bits = fmt.u16_le().unwrap_or(0);
                     if format != 1 || bits != 16 {
                         return Err(bad("only 16-bit linear PCM is supported"));
                     }
                 }
-                b"data" => data = Some(chunk),
+                b"data" => data = Some(chunk_bytes),
                 _ => {} // skip ancillary chunks (LIST, fact, ...)
             }
             // Chunks are word-aligned.
-            if chunk_len % 2 == 1 && bytes.remaining() > 0 {
-                bytes.advance(1);
+            if chunk_len % 2 == 1 && cur.remaining() > 0 {
+                let _ = cur.take(1);
             }
         }
-        let mut data = data.ok_or_else(|| bad("missing data chunk"))?;
+        let data = data.ok_or_else(|| bad("missing data chunk"))?;
         if sample_rate == 0 || num_channels == 0 {
             return Err(bad("missing fmt chunk"));
         }
@@ -167,15 +202,20 @@ impl WavFile {
             return Err(bad("more than 8 channels"));
         }
         let frame_bytes = usize::from(num_channels) * 2;
-        let frames = data.remaining() / frame_bytes;
+        let frames = data.len() / frame_bytes;
         if frames == 0 {
             return Err(bad("empty data chunk"));
         }
-        let mut channels: Vec<Vec<i16>> =
-            (0..num_channels).map(|_| Vec::with_capacity(frames)).collect();
+        let mut channels: Vec<Vec<i16>> = (0..num_channels)
+            .map(|_| Vec::with_capacity(frames))
+            .collect();
+        let mut samples = Cursor::new(data);
         for _ in 0..frames {
             for channel in &mut channels {
-                channel.push(data.get_i16_le());
+                let v = samples
+                    .u16_le()
+                    .ok_or_else(|| bad("truncated data chunk"))?;
+                channel.push(v as i16);
             }
         }
         Ok(WavFile {
@@ -204,7 +244,7 @@ impl WavFile {
     pub fn load(path: &std::path::Path) -> Result<Self, DspError> {
         let bytes = std::fs::read(path)
             .map_err(|e| DspError::invalid("path", format!("cannot read wav: {e}")))?;
-        Self::from_bytes(Bytes::from(bytes))
+        Self::from_bytes(&bytes)
     }
 }
 
@@ -219,7 +259,7 @@ mod tests {
     #[test]
     fn mono_round_trip() {
         let wav = WavFile::mono(tone(500), 44_100).unwrap();
-        let back = WavFile::from_bytes(wav.to_bytes()).unwrap();
+        let back = WavFile::from_bytes(&wav.to_bytes()).unwrap();
         assert_eq!(back.sample_rate, 44_100);
         assert_eq!(back.channels.len(), 1);
         assert_eq!(back.len(), 500);
@@ -233,7 +273,7 @@ mod tests {
         let left = tone(300);
         let right: Vec<f64> = tone(300).iter().map(|x| -x).collect();
         let wav = WavFile::stereo(left.clone(), right.clone(), 48_000).unwrap();
-        let back = WavFile::from_bytes(wav.to_bytes()).unwrap();
+        let back = WavFile::from_bytes(&wav.to_bytes()).unwrap();
         assert_eq!(back.channels.len(), 2);
         for (a, b) in left.iter().zip(&back.channels[0]) {
             assert!((a - b).abs() < 1.0 / 32_767.0);
@@ -256,14 +296,19 @@ mod tests {
 
     #[test]
     fn rejects_malformed_files() {
-        assert!(WavFile::from_bytes(Bytes::from_static(b"")).is_err());
-        assert!(WavFile::from_bytes(Bytes::from_static(b"RIFFxxxxWAVE")).is_err());
-        assert!(WavFile::from_bytes(Bytes::from_static(b"JUNKxxxxJUNKJUNK")).is_err());
+        assert!(WavFile::from_bytes(b"").is_err());
+        assert!(WavFile::from_bytes(b"RIFFxxxxWAVE").is_err());
+        assert!(WavFile::from_bytes(b"JUNKxxxxJUNKJUNK").is_err());
         // Valid header but 8-bit format field.
         let wav = WavFile::mono(vec![0.1; 4], 8_000).unwrap();
-        let mut bytes = wav.to_bytes().to_vec();
+        let mut bytes = wav.to_bytes();
         bytes[34] = 8; // bits per sample
-        assert!(WavFile::from_bytes(Bytes::from(bytes)).is_err());
+        assert!(WavFile::from_bytes(&bytes).is_err());
+        // Chunk length pointing past the end of the file.
+        let mut truncated = wav.to_bytes();
+        let n = truncated.len();
+        truncated.truncate(n - 4);
+        assert!(WavFile::from_bytes(&truncated).is_err());
     }
 
     #[test]
@@ -299,10 +344,10 @@ mod tests {
         patched.extend_from_slice(&4u32.to_le_bytes());
         patched.extend_from_slice(b"INFO");
         patched.extend_from_slice(&canonical[36..]); // data chunk
-        // Fix the RIFF length.
+                                                     // Fix the RIFF length.
         let riff_len = (patched.len() - 8) as u32;
         patched[4..8].copy_from_slice(&riff_len.to_le_bytes());
-        let back = WavFile::from_bytes(Bytes::from(patched)).unwrap();
+        let back = WavFile::from_bytes(&patched).unwrap();
         assert_eq!(back.len(), 8);
     }
 }

@@ -5,7 +5,6 @@
 //! spectra ([`crate::spectrum`]).
 
 use crate::DspError;
-use serde::{Deserialize, Serialize};
 
 /// The supported window shapes.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(w.len(), 8);
 /// assert!(w[0] < 1e-12); // Hann tapers to zero at the edges
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Window {
     /// All-ones window (no tapering).
     Rectangular,
@@ -48,9 +47,7 @@ impl Window {
             Window::Rectangular => 1.0,
             Window::Hann => 0.5 - 0.5 * (tau * x).cos(),
             Window::Hamming => 0.54 - 0.46 * (tau * x).cos(),
-            Window::Blackman => {
-                0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos()
-            }
+            Window::Blackman => 0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos(),
         }
     }
 

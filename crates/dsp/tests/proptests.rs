@@ -1,4 +1,7 @@
-//! Property-based tests of the DSP invariants.
+//! Property-based tests of the DSP invariants, on the workspace's own
+//! harness (`hyperear_util::prop`). Each property runs
+//! `HYPEREAR_PROP_CASES` seeded cases (default 64) and reports the
+//! failing seed on a counterexample.
 
 use hyperear_dsp::correlate::xcorr;
 use hyperear_dsp::delay::delay_fractional_into_len;
@@ -10,132 +13,192 @@ use hyperear_dsp::quantize::{dequantize_i16, quantize_i16};
 use hyperear_dsp::resample::resample;
 use hyperear_dsp::window::Window;
 use hyperear_dsp::Complex;
-use proptest::prelude::*;
+use hyperear_util::prop::{self, f64_range, usize_range, vec_f64};
+use hyperear_util::{prop_assert, prop_assert_eq, prop_assume};
 
-fn signal_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1.0f64..1.0, 8..max_len)
+fn signal_strategy(max_len: usize) -> prop::VecOf<prop::F64Range> {
+    vec_f64(-1.0, 1.0, 8, max_len)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn fft_round_trip_recovers_signal() {
+    prop::check(
+        "fft_round_trip_recovers_signal",
+        signal_strategy(256),
+        |signal| {
+            let n = next_pow2(signal.len());
+            let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+            data.resize(n, Complex::ZERO);
+            let original = data.clone();
+            fft(&mut data).unwrap();
+            ifft(&mut data).unwrap();
+            for (a, b) in data.iter().zip(&original) {
+                prop_assert!((a.re - b.re).abs() < 1e-9);
+                prop_assert!((a.im - b.im).abs() < 1e-9);
+            }
+            prop::pass()
+        },
+    );
+}
 
-    #[test]
-    fn fft_round_trip_recovers_signal(signal in signal_strategy(256)) {
+#[test]
+fn parseval_holds() {
+    prop::check("parseval_holds", signal_strategy(256), |signal| {
         let n = next_pow2(signal.len());
-        let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
-        data.resize(n, Complex::ZERO);
-        let original = data.clone();
-        fft(&mut data).unwrap();
-        ifft(&mut data).unwrap();
-        for (a, b) in data.iter().zip(&original) {
-            prop_assert!((a.re - b.re).abs() < 1e-9);
-            prop_assert!((a.im - b.im).abs() < 1e-9);
-        }
-    }
-
-    #[test]
-    fn parseval_holds(signal in signal_strategy(256)) {
-        let n = next_pow2(signal.len());
-        let spec = rfft(&signal, n).unwrap();
+        let spec = rfft(signal, n).unwrap();
         let time_energy: f64 = signal.iter().map(|x| x * x).sum();
         let freq_energy: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
         prop_assert!((time_energy - freq_energy).abs() < 1e-6 * (1.0 + time_energy));
-    }
+        prop::pass()
+    });
+}
 
-    #[test]
-    fn xcorr_finds_planted_template(
-        template in prop::collection::vec(-1.0f64..1.0, 8..32),
-        offset in 0usize..64,
-    ) {
-        // Reject templates with almost no energy (nothing to find).
-        let energy: f64 = template.iter().map(|x| x * x).sum();
-        prop_assume!(energy > 0.5);
-        let mut signal = vec![0.0; 128];
-        for (i, &t) in template.iter().enumerate() {
-            signal[offset + i] = t;
-        }
-        let corr = xcorr(&signal, &template).unwrap();
-        let peak = corr
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0;
-        prop_assert_eq!(peak, offset);
-    }
+#[test]
+fn xcorr_finds_planted_template() {
+    let strat = (vec_f64(-1.0, 1.0, 8, 32), usize_range(0, 64));
+    prop::check(
+        "xcorr_finds_planted_template",
+        strat,
+        |(template, offset)| {
+            // Reject templates with almost no energy (nothing to find).
+            let energy: f64 = template.iter().map(|x| x * x).sum();
+            prop_assume!(energy > 0.5);
+            let mut signal = vec![0.0; 128];
+            for (i, &t) in template.iter().enumerate() {
+                signal[offset + i] = t;
+            }
+            let corr = xcorr(&signal, template).unwrap();
+            let peak = corr
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            prop_assert_eq!(peak, *offset);
+            prop::pass()
+        },
+    );
+}
 
-    #[test]
-    fn quantization_error_is_bounded(signal in signal_strategy(256)) {
-        let q = dequantize_i16(&quantize_i16(&signal));
-        let lsb = 1.0 / 32_767.0;
-        for (a, b) in signal.iter().zip(&q) {
-            prop_assert!((a - b).abs() <= 0.5 * lsb + 1e-12);
-        }
-    }
+#[test]
+fn quantization_error_is_bounded() {
+    prop::check(
+        "quantization_error_is_bounded",
+        signal_strategy(256),
+        |signal| {
+            let q = dequantize_i16(&quantize_i16(signal));
+            let lsb = 1.0 / 32_767.0;
+            for (a, b) in signal.iter().zip(&q) {
+                prop_assert!((a - b).abs() <= 0.5 * lsb + 1e-12);
+            }
+            prop::pass()
+        },
+    );
+}
 
-    #[test]
-    fn sma_output_within_input_hull(signal in signal_strategy(128), window in 1usize..12) {
-        let sma = MovingAverage::new(window).unwrap();
-        let out = sma.filter(&signal).unwrap();
-        let lo = signal.iter().cloned().fold(f64::MAX, f64::min);
-        let hi = signal.iter().cloned().fold(f64::MIN, f64::max);
+#[test]
+fn sma_output_within_input_hull() {
+    let strat = (vec_f64(-1.0, 1.0, 8, 128), usize_range(1, 12));
+    prop::check("sma_output_within_input_hull", strat, |(signal, window)| {
+        let sma = MovingAverage::new(*window).unwrap();
+        let out = sma.filter(signal).unwrap();
+        let lo = signal.iter().copied().fold(f64::MAX, f64::min);
+        let hi = signal.iter().copied().fold(f64::MIN, f64::max);
         for v in out {
             prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
         }
-    }
+        prop::pass()
+    });
+}
 
-    #[test]
-    fn window_coefficients_bounded(n in 1usize..512) {
-        for w in [Window::Rectangular, Window::Hann, Window::Hamming, Window::Blackman] {
+#[test]
+fn window_coefficients_bounded() {
+    prop::check("window_coefficients_bounded", usize_range(1, 512), |&n| {
+        for w in [
+            Window::Rectangular,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+        ] {
             let c = w.coefficients(n).unwrap();
             prop_assert_eq!(c.len(), n);
             for v in c {
                 prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
             }
         }
-    }
+        prop::pass()
+    });
+}
 
-    #[test]
-    fn db_round_trip(db in -60.0f64..60.0) {
+#[test]
+fn db_round_trip() {
+    prop::check("db_round_trip", f64_range(-60.0, 60.0), |&db| {
         let back = power_ratio_to_db(db_to_power_ratio(db));
         prop_assert!((back - db).abs() < 1e-9);
-    }
+        prop::pass()
+    });
+}
 
-    #[test]
-    fn noise_gain_hits_any_target(target in -10.0f64..30.0) {
-        let signal: Vec<f64> = (0..512).map(|i| (i as f64 * 0.3).sin()).collect();
-        let noise: Vec<f64> = (0..512).map(|i| (i as f64 * 0.71).cos()).collect();
-        let g = noise_gain_for_snr(&signal, &noise, target).unwrap();
-        let scaled: Vec<f64> = noise.iter().map(|x| g * x).collect();
-        let achieved = snr_db(&signal, &scaled).unwrap();
-        prop_assert!((achieved - target).abs() < 1e-6);
-    }
+#[test]
+fn noise_gain_hits_any_target() {
+    prop::check(
+        "noise_gain_hits_any_target",
+        f64_range(-10.0, 30.0),
+        |&target| {
+            let signal: Vec<f64> = (0..512).map(|i| (i as f64 * 0.3).sin()).collect();
+            let noise: Vec<f64> = (0..512).map(|i| (i as f64 * 0.71).cos()).collect();
+            let g = noise_gain_for_snr(&signal, &noise, target).unwrap();
+            let scaled: Vec<f64> = noise.iter().map(|x| g * x).collect();
+            let achieved = snr_db(&signal, &scaled).unwrap();
+            prop_assert!((achieved - target).abs() < 1e-6);
+            prop::pass()
+        },
+    );
+}
 
-    #[test]
-    fn resample_output_length(ratio in 0.5f64..2.0, len in 16usize..256) {
-        let signal = vec![0.25; len];
-        let out = resample(&signal, ratio, 8).unwrap();
-        prop_assert_eq!(out.len(), (len as f64 * ratio).round() as usize);
-    }
+#[test]
+fn resample_output_length() {
+    let strat = (f64_range(0.5, 2.0), usize_range(16, 256));
+    prop::check("resample_output_length", strat, |(ratio, len)| {
+        let signal = vec![0.25; *len];
+        let out = resample(&signal, *ratio, 8).unwrap();
+        prop_assert_eq!(out.len(), (*len as f64 * ratio).round() as usize);
+        prop::pass()
+    });
+}
 
-    #[test]
-    fn fractional_delay_places_pulse(delay in 0.0f64..200.0) {
-        let mut pulse = vec![0.0; 8];
-        pulse[4] = 1.0;
-        let out = delay_fractional_into_len(&pulse, delay, 16, 300).unwrap();
-        let peak = out
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0;
-        let expected = 4.0 + delay;
-        prop_assert!((peak as f64 - expected).abs() <= 1.0, "peak {} expected {}", peak, expected);
-    }
+#[test]
+fn fractional_delay_places_pulse() {
+    prop::check(
+        "fractional_delay_places_pulse",
+        f64_range(0.0, 200.0),
+        |&delay| {
+            let mut pulse = vec![0.0; 8];
+            pulse[4] = 1.0;
+            let out = delay_fractional_into_len(&pulse, delay, 16, 300).unwrap();
+            let peak = out
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            let expected = 4.0 + delay;
+            prop_assert!(
+                (peak as f64 - expected).abs() <= 1.0,
+                "peak {peak} expected {expected}"
+            );
+            prop::pass()
+        },
+    );
+}
 
-    #[test]
-    fn parabolic_vertex_recovery(vertex in 1.2f64..18.8, scale in 0.1f64..10.0) {
-        let y: Vec<f64> = (0..20).map(|i| -scale * (i as f64 - vertex).powi(2) + 3.0).collect();
+#[test]
+fn parabolic_vertex_recovery() {
+    let strat = (f64_range(1.2, 18.8), f64_range(0.1, 10.0));
+    prop::check("parabolic_vertex_recovery", strat, |(vertex, scale)| {
+        let y: Vec<f64> = (0..20)
+            .map(|i| -scale * (i as f64 - vertex).powi(2) + 3.0)
+            .collect();
         let peak = y
             .iter()
             .enumerate()
@@ -145,5 +208,6 @@ proptest! {
         prop_assume!(peak > 0 && peak + 1 < y.len());
         let (pos, _) = parabolic_peak(&y, peak).unwrap();
         prop_assert!((pos - vertex).abs() < 1e-6);
-    }
+        prop::pass()
+    });
 }

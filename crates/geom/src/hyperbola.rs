@@ -6,7 +6,6 @@
 //! canonicalization, the solvers work on the residual directly).
 
 use crate::{GeomError, Vec2};
-use serde::{Deserialize, Serialize};
 
 /// The locus of points whose distance difference to two foci is constant:
 /// `|p − f1| − |p − f2| = Δd`.
@@ -30,7 +29,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HalfHyperbola {
     focus1: Vec2,
     focus2: Vec2,
@@ -55,10 +54,7 @@ impl HalfHyperbola {
             });
         }
         if delta_d.abs() > baseline {
-            return Err(GeomError::InfeasibleMeasurement {
-                delta_d,
-                baseline,
-            });
+            return Err(GeomError::InfeasibleMeasurement { delta_d, baseline });
         }
         Ok(HalfHyperbola {
             focus1,

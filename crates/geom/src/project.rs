@@ -8,10 +8,9 @@
 //! `L* = L1·sin β`, with `β = arccos((H² + L1² − L2²) / (2·H·L1))`.
 
 use crate::{GeomError, Vec2};
-use serde::{Deserialize, Serialize};
 
 /// The two-stature slant-range measurements of the 3D protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProjectionMeasurement {
     /// Slant distance from the upper slide plane to the speaker, metres.
     pub l1: f64,
@@ -24,7 +23,7 @@ pub struct ProjectionMeasurement {
 }
 
 /// The result of projected-location estimation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProjectedLocation {
     /// Elevation angle β at the upper plane, radians.
     pub beta: f64,
@@ -62,8 +61,8 @@ impl ProjectionMeasurement {
     /// triangle inequality beyond numeric tolerance — physically impossible
     /// measurements, usually meaning the stature change estimate collapsed.
     pub fn solve(&self) -> Result<ProjectedLocation, GeomError> {
-        let cos_beta = (self.h * self.h + self.l1 * self.l1 - self.l2 * self.l2)
-            / (2.0 * self.h * self.l1);
+        let cos_beta =
+            (self.h * self.h + self.l1 * self.l1 - self.l2 * self.l2) / (2.0 * self.h * self.l1);
         // Allow slight numeric overshoot; reject genuinely impossible sets.
         if cos_beta.abs() > 1.0 + 1e-6 {
             return Err(GeomError::Degenerate {

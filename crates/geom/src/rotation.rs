@@ -7,7 +7,6 @@
 //! and far-field TDoA prediction for a rolling phone.
 
 use crate::{GeomError, Vec2};
-use serde::{Deserialize, Serialize};
 
 /// Wraps an angle in degrees to `[0, 360)`.
 ///
@@ -44,7 +43,7 @@ pub fn wrap_radians(angle: f64) -> f64 {
 /// Which side of the phone the speaker is on, per the paper's convention:
 /// "the speaker is considered on the right-side of the phone when
 /// α ∈ [0°, 180°) and on the left-side when α ∈ [180°, 360°)".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Side {
     /// α ∈ [0°, 180°): speaker toward the phone's +x axis.
     Right,
@@ -64,11 +63,35 @@ impl Side {
     }
 }
 
+impl hyperear_util::ToJson for Side {
+    fn to_json(&self) -> hyperear_util::Json {
+        hyperear_util::Json::String(
+            match self {
+                Side::Right => "right",
+                Side::Left => "left",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl hyperear_util::FromJson for Side {
+    fn from_json(json: &hyperear_util::Json) -> Result<Self, hyperear_util::JsonError> {
+        match json.as_str() {
+            Some("right") => Ok(Side::Right),
+            Some("left") => Ok(Side::Left),
+            other => Err(hyperear_util::JsonError::schema(format!(
+                "side must be \"right\" or \"left\", got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// The phone's roll orientation around its z-axis.
 ///
 /// `alpha_degrees` is the angle between the direction of the speaker and
 /// the positive y-axis of the phone (the paper's α).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RollFrame {
     alpha_degrees: f64,
 }

@@ -10,10 +10,9 @@
 //! region indices, widths, and the density maps of Fig. 4.
 
 use crate::{GeomError, Vec2};
-use serde::{Deserialize, Serialize};
 
 /// Quantized-TDoA geometry for a pair of receivers.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TdoaQuantizer {
     mic1: Vec2,
     mic2: Vec2,
@@ -145,7 +144,7 @@ impl TdoaQuantizer {
 
 /// A rasterized map of quantized-TDoA region indices over a rectangle —
 /// the data behind paper Fig. 4.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DensityMap {
     /// Lower-left corner of the mapped area.
     pub origin: Vec2,
@@ -338,9 +337,7 @@ mod tests {
         let q = s4_quantizer();
         let broadside = q.region_width(Vec2::new(0.0, 2.0)).unwrap();
         // 60° off broadside.
-        let off = q
-            .region_width(Vec2::new(2.0 * 0.866, 2.0 * 0.5))
-            .unwrap();
+        let off = q.region_width(Vec2::new(2.0 * 0.866, 2.0 * 0.5)).unwrap();
         assert!(off > broadside);
     }
 

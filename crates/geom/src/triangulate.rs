@@ -18,10 +18,9 @@
 
 use crate::hyperbola::HalfHyperbola;
 use crate::{GeomError, Vec2};
-use serde::{Deserialize, Serialize};
 
 /// The measurements of one slide, expressed in the slide frame.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlideGeometry {
     /// Sliding distance `D′` between positions p1 and p2, in metres.
     pub d_prime: f64,
@@ -156,7 +155,7 @@ impl SlideGeometry {
 }
 
 /// The result of a triangulation solve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlideSolution {
     /// Estimated speaker position in the slide frame. `position.y` is the
     /// paper's `L`, the perpendicular distance to the slide line.

@@ -3,7 +3,6 @@
 //! Deliberately minimal: just the operations the localization math and the
 //! simulators need, with `f64` components throughout.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
 /// A 2D vector / point.
@@ -16,7 +15,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 /// let a = Vec2::new(3.0, 4.0);
 /// assert_eq!(a.norm(), 5.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec2 {
     /// X component.
     pub x: f64,
@@ -161,7 +160,7 @@ impl Neg for Vec2 {
 /// A 3D vector / point.
 ///
 /// Used for room coordinates, speaker/phone placement, and IMU axes.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
     /// X component.
     pub x: f64,
@@ -390,7 +389,10 @@ mod tests {
         assert_eq!(v.norm(), 7.0);
         assert_eq!(v.norm_sqr(), 49.0);
         assert_eq!(v.xy(), Vec2::new(2.0, 3.0));
-        assert_eq!(Vec3::from_xy(Vec2::new(1.0, 2.0), 5.0), Vec3::new(1.0, 2.0, 5.0));
+        assert_eq!(
+            Vec3::from_xy(Vec2::new(1.0, 2.0), 5.0),
+            Vec3::new(1.0, 2.0, 5.0)
+        );
         assert_eq!(Vec3::new(0.0, 0.0, 0.0).distance(v), 7.0);
     }
 

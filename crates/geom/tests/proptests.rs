@@ -1,4 +1,5 @@
-//! Property-based tests of the geometric invariants.
+//! Property-based tests of the geometric invariants, on the workspace's
+//! own harness (`hyperear_util::prop`).
 
 use hyperear_geom::hyperbola::HalfHyperbola;
 use hyperear_geom::project::forward_model;
@@ -6,93 +7,138 @@ use hyperear_geom::rotation::{wrap_degrees, wrap_radians, RollFrame};
 use hyperear_geom::tdoa_regions::TdoaQuantizer;
 use hyperear_geom::triangulate::{solve_slide, SlideGeometry};
 use hyperear_geom::Vec2;
-use proptest::prelude::*;
+use hyperear_util::prop::{self, f64_range};
+use hyperear_util::{prop_assert, prop_assert_eq, prop_assume};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn hyperbola_contains_its_generator() {
+    let strat = (
+        f64_range(-5.0, 5.0),
+        f64_range(0.2, 8.0),
+        f64_range(0.05, 0.5),
+    );
+    prop::check(
+        "hyperbola_contains_its_generator",
+        strat,
+        |&(sx, sy, half_base)| {
+            let f1 = Vec2::new(-half_base, 0.0);
+            let f2 = Vec2::new(half_base, 0.0);
+            let speaker = Vec2::new(sx, sy);
+            let dd = speaker.distance(f1) - speaker.distance(f2);
+            let h = HalfHyperbola::new(f1, f2, dd).unwrap();
+            prop_assert!(h.residual(speaker).abs() < 1e-10);
+            prop::pass()
+        },
+    );
+}
 
-    #[test]
-    fn hyperbola_contains_its_generator(
-        sx in -5.0f64..5.0,
-        sy in 0.2f64..8.0,
-        half_base in 0.05f64..0.5,
-    ) {
-        let f1 = Vec2::new(-half_base, 0.0);
-        let f2 = Vec2::new(half_base, 0.0);
-        let speaker = Vec2::new(sx, sy);
-        let dd = speaker.distance(f1) - speaker.distance(f2);
-        let h = HalfHyperbola::new(f1, f2, dd).unwrap();
-        prop_assert!(h.residual(speaker).abs() < 1e-10);
-    }
+#[test]
+fn triangulation_recovers_random_speakers() {
+    let strat = (
+        f64_range(-1.5, 1.5),
+        f64_range(0.5, 9.0),
+        f64_range(0.2, 0.7),
+        f64_range(0.08, 0.2),
+    );
+    prop::check(
+        "triangulation_recovers_random_speakers",
+        strat,
+        |&(sx, sy, d_prime, mic_offset)| {
+            let speaker = Vec2::new(sx, sy);
+            let geometry = SlideGeometry::from_ground_truth(d_prime, mic_offset, speaker);
+            let solution = solve_slide(&geometry).unwrap();
+            prop_assert!(
+                (solution.position - speaker).norm() < 1e-4,
+                "speaker {speaker:?} got {:?}",
+                solution.position
+            );
+            prop::pass()
+        },
+    );
+}
 
-    #[test]
-    fn triangulation_recovers_random_speakers(
-        sx in -1.5f64..1.5,
-        sy in 0.5f64..9.0,
-        d_prime in 0.2f64..0.7,
-        mic_offset in 0.08f64..0.2,
-    ) {
-        let speaker = Vec2::new(sx, sy);
-        let geometry = SlideGeometry::from_ground_truth(d_prime, mic_offset, speaker);
-        let solution = solve_slide(&geometry).unwrap();
-        prop_assert!(
-            (solution.position - speaker).norm() < 1e-4,
-            "speaker {:?} got {:?}",
-            speaker,
-            solution.position
-        );
-    }
+#[test]
+fn backward_slides_recover_too() {
+    let strat = (
+        f64_range(-1.0, 1.0),
+        f64_range(0.5, 8.0),
+        f64_range(0.2, 0.7),
+    );
+    prop::check(
+        "backward_slides_recover_too",
+        strat,
+        |&(sx, sy, d_prime)| {
+            let speaker = Vec2::new(sx, sy);
+            let geometry = SlideGeometry::from_ground_truth(d_prime, -0.1366, speaker);
+            let solution = solve_slide(&geometry).unwrap();
+            prop_assert!((solution.position - speaker).norm() < 1e-4);
+            prop::pass()
+        },
+    );
+}
 
-    #[test]
-    fn backward_slides_recover_too(
-        sx in -1.0f64..1.0,
-        sy in 0.5f64..8.0,
-        d_prime in 0.2f64..0.7,
-    ) {
-        let speaker = Vec2::new(sx, sy);
-        let geometry = SlideGeometry::from_ground_truth(d_prime, -0.1366, speaker);
-        let solution = solve_slide(&geometry).unwrap();
-        prop_assert!((solution.position - speaker).norm() < 1e-4);
-    }
-
-    #[test]
-    fn projection_round_trips(
-        ground in 0.5f64..9.0,
-        depth in -1.0f64..1.5,
-        h in 0.2f64..0.8,
-    ) {
+#[test]
+fn projection_round_trips() {
+    let strat = (
+        f64_range(0.5, 9.0),
+        f64_range(-1.0, 1.5),
+        f64_range(0.2, 0.8),
+    );
+    prop::check("projection_round_trips", strat, |&(ground, depth, h)| {
         prop_assume!(depth.abs() > 1e-3);
         let m = forward_model(ground, depth, h).unwrap();
         let sol = m.solve().unwrap();
         prop_assert!((sol.l_star - ground).abs() < 1e-6);
         prop_assert!((sol.depth - depth).abs() < 1e-6);
-    }
+        prop::pass()
+    });
+}
 
-    #[test]
-    fn wrap_degrees_is_idempotent_and_in_range(angle in -1000.0f64..1000.0) {
-        let w = wrap_degrees(angle);
-        prop_assert!((0.0..360.0).contains(&w));
-        prop_assert!((wrap_degrees(w) - w).abs() < 1e-12);
-        // Wrapping preserves the angle modulo 360.
-        prop_assert!(((angle - w) / 360.0).fract().abs() < 1e-9);
-    }
+#[test]
+fn wrap_degrees_is_idempotent_and_in_range() {
+    prop::check(
+        "wrap_degrees_is_idempotent_and_in_range",
+        f64_range(-1000.0, 1000.0),
+        |&angle| {
+            let w = wrap_degrees(angle);
+            prop_assert!((0.0..360.0).contains(&w));
+            prop_assert!((wrap_degrees(w) - w).abs() < 1e-12);
+            // Wrapping preserves the angle modulo 360.
+            prop_assert!(((angle - w) / 360.0).fract().abs() < 1e-9);
+            prop::pass()
+        },
+    );
+}
 
-    #[test]
-    fn wrap_radians_in_range(angle in -50.0f64..50.0) {
+#[test]
+fn wrap_radians_in_range() {
+    prop::check("wrap_radians_in_range", f64_range(-50.0, 50.0), |&angle| {
         let w = wrap_radians(angle);
         prop_assert!(w > -std::f64::consts::PI - 1e-12);
         prop_assert!(w <= std::f64::consts::PI + 1e-12);
-    }
+        prop::pass()
+    });
+}
 
-    #[test]
-    fn far_field_tdoa_is_bounded_by_separation(alpha in 0.0f64..360.0, d in 0.05f64..0.3) {
-        let frame = RollFrame::from_alpha_degrees(alpha);
-        let dd = frame.far_field_distance_difference(d).unwrap();
-        prop_assert!(dd.abs() <= d + 1e-12);
-    }
+#[test]
+fn far_field_tdoa_is_bounded_by_separation() {
+    let strat = (f64_range(0.0, 360.0), f64_range(0.05, 0.3));
+    prop::check(
+        "far_field_tdoa_is_bounded_by_separation",
+        strat,
+        |&(alpha, d)| {
+            let frame = RollFrame::from_alpha_degrees(alpha);
+            let dd = frame.far_field_distance_difference(d).unwrap();
+            prop_assert!(dd.abs() <= d + 1e-12);
+            prop::pass()
+        },
+    );
+}
 
-    #[test]
-    fn region_index_is_antisymmetric(x in 0.05f64..4.0, y in 0.2f64..6.0) {
+#[test]
+fn region_index_is_antisymmetric() {
+    let strat = (f64_range(0.05, 4.0), f64_range(0.2, 6.0));
+    prop::check("region_index_is_antisymmetric", strat, |&(x, y)| {
         let q = TdoaQuantizer::new(
             Vec2::new(-0.0683, 0.0),
             Vec2::new(0.0683, 0.0),
@@ -103,37 +149,54 @@ proptest! {
         let left = q.region_index(Vec2::new(-x, y));
         let right = q.region_index(Vec2::new(x, y));
         prop_assert_eq!(left, -right);
-    }
+        prop::pass()
+    });
+}
 
-    #[test]
-    fn region_width_never_below_resolution_over_two(x in -2.0f64..2.0, y in 0.3f64..6.0) {
-        let q = TdoaQuantizer::new(
-            Vec2::new(-0.0683, 0.0),
-            Vec2::new(0.0683, 0.0),
-            44_100.0,
-            343.0,
-        )
-        .unwrap();
-        if let Some(w) = q.region_width(Vec2::new(x, y)) {
-            // |∇Δd| ≤ 2, so the width is at least resolution/2.
-            prop_assert!(w >= q.resolution() / 2.0 - 1e-12);
-        }
-    }
+#[test]
+fn region_width_never_below_resolution_over_two() {
+    let strat = (f64_range(-2.0, 2.0), f64_range(0.3, 6.0));
+    prop::check(
+        "region_width_never_below_resolution_over_two",
+        strat,
+        |&(x, y)| {
+            let q = TdoaQuantizer::new(
+                Vec2::new(-0.0683, 0.0),
+                Vec2::new(0.0683, 0.0),
+                44_100.0,
+                343.0,
+            )
+            .unwrap();
+            if let Some(w) = q.region_width(Vec2::new(x, y)) {
+                // |∇Δd| ≤ 2, so the width is at least resolution/2.
+                prop_assert!(w >= q.resolution() / 2.0 - 1e-12);
+            }
+            prop::pass()
+        },
+    );
+}
 
-    #[test]
-    fn solve_handles_noisy_measurements(
-        sx in -0.5f64..0.5,
-        sy in 1.0f64..8.0,
-        noise1 in -2e-4f64..2e-4,
-        noise2 in -2e-4f64..2e-4,
-    ) {
-        let speaker = Vec2::new(sx, sy);
-        let mut g = SlideGeometry::from_ground_truth(0.55, 0.1366, speaker);
-        g.delta_d1 += noise1;
-        g.delta_d2 += noise2;
-        // Must converge (possibly far from truth — that is physics, not a bug).
-        let solution = solve_slide(&g).unwrap();
-        prop_assert!(solution.position.y > 0.0);
-        prop_assert!(solution.residual.is_finite());
-    }
+#[test]
+fn solve_handles_noisy_measurements() {
+    let strat = (
+        f64_range(-0.5, 0.5),
+        f64_range(1.0, 8.0),
+        f64_range(-2e-4, 2e-4),
+        f64_range(-2e-4, 2e-4),
+    );
+    prop::check(
+        "solve_handles_noisy_measurements",
+        strat,
+        |&(sx, sy, noise1, noise2)| {
+            let speaker = Vec2::new(sx, sy);
+            let mut g = SlideGeometry::from_ground_truth(0.55, 0.1366, speaker);
+            g.delta_d1 += noise1;
+            g.delta_d2 += noise2;
+            // Must converge (possibly far from truth — that is physics, not a bug).
+            let solution = solve_slide(&g).unwrap();
+            prop_assert!(solution.position.y > 0.0);
+            prop_assert!(solution.residual.is_finite());
+            prop::pass()
+        },
+    );
 }

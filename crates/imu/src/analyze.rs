@@ -13,10 +13,9 @@ use crate::rotation::max_rotation_deg;
 use crate::segment::{segment_movements, Segment, SegmentConfig};
 use crate::ImuError;
 use hyperear_geom::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// Configuration for [`analyze_session`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionConfig {
     /// Samples of the initial stationary window used to estimate gravity.
     pub gravity_window: usize,
@@ -40,8 +39,31 @@ impl Default for SessionConfig {
     }
 }
 
+impl hyperear_util::ToJson for SessionConfig {
+    fn to_json(&self) -> hyperear_util::Json {
+        use hyperear_util::Json;
+        Json::obj(vec![
+            ("gravity_window", Json::Number(self.gravity_window as f64)),
+            ("sma_window", Json::Number(self.sma_window as f64)),
+            ("segmenter", self.segmenter.to_json()),
+            ("drift_correction", Json::Bool(self.drift_correction)),
+        ])
+    }
+}
+
+impl hyperear_util::FromJson for SessionConfig {
+    fn from_json(json: &hyperear_util::Json) -> Result<Self, hyperear_util::JsonError> {
+        Ok(SessionConfig {
+            gravity_window: json.field("gravity_window")?,
+            sma_window: json.field("sma_window")?,
+            segmenter: json.field("segmenter")?,
+            drift_correction: json.field("drift_correction")?,
+        })
+    }
+}
+
 /// One detected and measured slide.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlideEstimate {
     /// The slide's sample window.
     pub segment: Segment,
@@ -56,7 +78,7 @@ pub struct SlideEstimate {
 }
 
 /// One detected vertical stature change.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StatureChange {
     /// The movement's sample window.
     pub segment: Segment,
@@ -65,7 +87,7 @@ pub struct StatureChange {
 }
 
 /// The full inertial summary of one session.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionAnalysis {
     /// Gravity vector estimated from the calibration window, m/s².
     pub gravity: Vec3,
@@ -115,8 +137,16 @@ pub fn analyze_session(
     let mut statures = Vec::new();
 
     for seg in y_segments {
-        let dy = segment_displacement_with(&y[seg.start..seg.end], sample_rate, config.drift_correction)?;
-        let dz = segment_displacement_with(&z[seg.start..seg.end], sample_rate, config.drift_correction)?;
+        let dy = segment_displacement_with(
+            &y[seg.start..seg.end],
+            sample_rate,
+            config.drift_correction,
+        )?;
+        let dz = segment_displacement_with(
+            &z[seg.start..seg.end],
+            sample_rate,
+            config.drift_correction,
+        )?;
         if dy.abs() < dz.abs() {
             continue; // dominated by vertical motion; the z pass owns it
         }
@@ -130,8 +160,16 @@ pub fn analyze_session(
         });
     }
     for seg in z_segments {
-        let dz = segment_displacement_with(&z[seg.start..seg.end], sample_rate, config.drift_correction)?;
-        let dy = segment_displacement_with(&y[seg.start..seg.end], sample_rate, config.drift_correction)?;
+        let dz = segment_displacement_with(
+            &z[seg.start..seg.end],
+            sample_rate,
+            config.drift_correction,
+        )?;
+        let dy = segment_displacement_with(
+            &y[seg.start..seg.end],
+            sample_rate,
+            config.drift_correction,
+        )?;
         if dz.abs() <= dy.abs() {
             continue; // this is a slide, already handled above
         }
@@ -173,14 +211,14 @@ mod tests {
             for &a in &profile {
                 accel.push(Vec3::new(0.0, a, -G));
             }
-            accel.extend(std::iter::repeat(Vec3::new(0.0, 0.0, -G)).take(70));
+            accel.extend(std::iter::repeat_n(Vec3::new(0.0, 0.0, -G), 70));
         }
         if let Some(h) = drop {
             let profile = min_jerk_accel(-h, 101);
             for &a in &profile {
                 accel.push(Vec3::new(0.0, 0.0, a - G));
             }
-            accel.extend(std::iter::repeat(Vec3::new(0.0, 0.0, -G)).take(70));
+            accel.extend(std::iter::repeat_n(Vec3::new(0.0, 0.0, -G), 70));
         }
         let gyro = vec![Vec3::ZERO; accel.len()];
         (accel, gyro)
@@ -226,9 +264,9 @@ mod tests {
         // Inject a yaw wobble during the slide (samples 150..231).
         let amp = 25f64.to_radians();
         let w = std::f64::consts::TAU * 1.0;
-        for i in 150..231 {
+        for (i, g) in gyro.iter_mut().enumerate().take(231).skip(150) {
             let t = (i - 150) as f64 / FS;
-            gyro[i].z = amp * w * (w * t).cos();
+            g.z = amp * w * (w * t).cos();
         }
         let session = analyze_session(&accel, &gyro, FS, &SessionConfig::default()).unwrap();
         assert_eq!(session.slides.len(), 1);
@@ -244,7 +282,13 @@ mod tests {
         let (accel, _) = build_trace(&[0.5], None);
         let gyro = vec![Vec3::ZERO; 10];
         assert!(analyze_session(&accel, &gyro, FS, &SessionConfig::default()).is_err());
-        assert!(analyze_session(&accel, &vec![Vec3::ZERO; accel.len()], 0.0, &SessionConfig::default()).is_err());
+        assert!(analyze_session(
+            &accel,
+            &vec![Vec3::ZERO; accel.len()],
+            0.0,
+            &SessionConfig::default()
+        )
+        .is_err());
     }
 
     #[test]

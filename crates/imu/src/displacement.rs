@@ -58,7 +58,11 @@ pub fn segment_displacement_with(
     drift_correction: bool,
 ) -> Result<f64, ImuError> {
     let v = estimate_velocity(accel, sample_rate)?;
-    let trace = if drift_correction { &v.corrected } else { &v.raw };
+    let trace = if drift_correction {
+        &v.corrected
+    } else {
+        &v.raw
+    };
     let d = integrate_velocity(trace, sample_rate)?;
     Ok(*d.last().expect("displacement trace is non-empty"))
 }
@@ -83,10 +87,7 @@ mod tests {
         for dist in [0.15, 0.35, 0.55, -0.55] {
             let accel = min_jerk_accel(dist, 81, 100.0);
             let d = segment_displacement(&accel, 100.0).unwrap();
-            assert!(
-                (d - dist).abs() < 0.002,
-                "dist {dist}: estimated {d}"
-            );
+            assert!((d - dist).abs() < 0.002, "dist {dist}: estimated {d}");
         }
     }
 

@@ -30,7 +30,10 @@ impl fmt::Display for ImuError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             ImuError::TraceTooShort { have, need } => {
-                write!(f, "inertial trace too short: have {have} samples, need {need}")
+                write!(
+                    f,
+                    "inertial trace too short: have {have} samples, need {need}"
+                )
             }
             ImuError::Dsp(e) => write!(f, "dsp error in inertial chain: {e}"),
         }

@@ -48,8 +48,8 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
-mod error;
 pub mod displacement;
+mod error;
 pub mod preprocess;
 pub mod quality;
 pub mod rotation;

@@ -4,10 +4,9 @@
 //! rotation angle less than 20° are automatically selected for use."
 
 use crate::ImuError;
-use serde::{Deserialize, Serialize};
 
 /// Acceptance thresholds for a slide.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QualityGate {
     /// Minimum absolute slide distance, metres.
     pub min_distance: f64,
@@ -24,8 +23,42 @@ impl Default for QualityGate {
     }
 }
 
+impl hyperear_util::ToJson for QualityGate {
+    fn to_json(&self) -> hyperear_util::Json {
+        use hyperear_util::Json;
+        // A disabled gate has an infinite rotation bound; JSON has no
+        // infinity, so that case is encoded as null.
+        let rotation = if self.max_rotation_deg.is_finite() {
+            Json::Number(self.max_rotation_deg)
+        } else {
+            Json::Null
+        };
+        Json::obj(vec![
+            ("min_distance", Json::Number(self.min_distance)),
+            ("max_rotation_deg", rotation),
+        ])
+    }
+}
+
+impl hyperear_util::FromJson for QualityGate {
+    fn from_json(json: &hyperear_util::Json) -> Result<Self, hyperear_util::JsonError> {
+        use hyperear_util::{Json, JsonError};
+        let max_rotation_deg = match json.get("max_rotation_deg") {
+            Some(Json::Null) => f64::INFINITY,
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| JsonError::schema("max_rotation_deg must be a number or null"))?,
+            None => return Err(JsonError::schema("missing field max_rotation_deg")),
+        };
+        Ok(QualityGate {
+            min_distance: json.field("min_distance")?,
+            max_rotation_deg,
+        })
+    }
+}
+
 /// Why a slide was rejected.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Rejection {
     /// The estimated distance was below the gate's minimum.
     TooShort {

@@ -187,10 +187,7 @@ mod tests {
         for (i, j) in [(100usize, 260usize), (600, 760), (1200, 1360)] {
             let est = yaw[j] - yaw[i];
             let truth = amp * ((w * j as f64 / fs).sin() - (w * i as f64 / fs).sin());
-            assert!(
-                (est - truth).abs() < 0.005,
-                "({i},{j}): {est} vs {truth}"
-            );
+            assert!((est - truth).abs() < 0.005, "({i},{j}): {est} vs {truth}");
         }
     }
 

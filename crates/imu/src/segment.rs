@@ -8,10 +8,9 @@
 //! empirical threshold of 0.2 and m = 8 are used."
 
 use crate::ImuError;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the power-based segmenter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SegmentConfig {
     /// Sliding power window length `W`, samples.
     pub window: usize,
@@ -66,8 +65,33 @@ impl SegmentConfig {
     }
 }
 
+impl hyperear_util::ToJson for SegmentConfig {
+    fn to_json(&self) -> hyperear_util::Json {
+        use hyperear_util::Json;
+        Json::obj(vec![
+            ("window", Json::Number(self.window as f64)),
+            ("threshold", Json::Number(self.threshold)),
+            ("hangover", Json::Number(self.hangover as f64)),
+            ("padding", Json::Number(self.padding as f64)),
+            ("min_length", Json::Number(self.min_length as f64)),
+        ])
+    }
+}
+
+impl hyperear_util::FromJson for SegmentConfig {
+    fn from_json(json: &hyperear_util::Json) -> Result<Self, hyperear_util::JsonError> {
+        Ok(SegmentConfig {
+            window: json.field("window")?,
+            threshold: json.field("threshold")?,
+            hangover: json.field("hangover")?,
+            padding: json.field("padding")?,
+            min_length: json.field("min_length")?,
+        })
+    }
+}
+
 /// A detected movement window `[start, end)` in sample indices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Segment {
     /// First sample of the movement (inclusive, after padding).
     pub start: usize,
@@ -126,10 +150,7 @@ pub fn power_levels(signal: &[f64], window: usize) -> Result<Vec<f64>, ImuError>
 /// # Errors
 ///
 /// Same conditions as [`power_levels`] plus config validation.
-pub fn segment_movements(
-    signal: &[f64],
-    config: &SegmentConfig,
-) -> Result<Vec<Segment>, ImuError> {
+pub fn segment_movements(signal: &[f64], config: &SegmentConfig) -> Result<Vec<Segment>, ImuError> {
     config.validate()?;
     let power = power_levels(signal, config.window)?;
     let mut segments = Vec::new();
@@ -308,14 +329,20 @@ mod tests {
         assert!(power_levels(&[], 4).is_err());
         assert!(power_levels(&[1.0; 2], 4).is_err());
         assert!(power_levels(&[1.0; 10], 0).is_err());
-        let mut cfg = SegmentConfig::default();
-        cfg.threshold = 0.0;
+        let cfg = SegmentConfig {
+            threshold: 0.0,
+            ..SegmentConfig::default()
+        };
         assert!(segment_movements(&[0.0; 100], &cfg).is_err());
-        let mut cfg = SegmentConfig::default();
-        cfg.window = 0;
+        let cfg = SegmentConfig {
+            window: 0,
+            ..SegmentConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = SegmentConfig::default();
-        cfg.hangover = 0;
+        let cfg = SegmentConfig {
+            hangover: 0,
+            ..SegmentConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 }

@@ -9,10 +9,9 @@
 //! `err_a = v(t2)/(t2 − t1)`, and subtract it.
 
 use crate::ImuError;
-use serde::{Deserialize, Serialize};
 
 /// A velocity trace over one movement segment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VelocityEstimate {
     /// Raw integral velocity (drifts).
     pub raw: Vec<f64>,
@@ -134,7 +133,11 @@ mod tests {
         let est = estimate_velocity(&accel, 100.0).unwrap();
         assert!(est.raw[80].abs() > 0.1, "raw drift should be visible");
         assert!(est.corrected[80].abs() < 1e-12, "corrected end not zero");
-        assert!((est.drift_slope - 0.2).abs() < 1e-9, "slope {}", est.drift_slope);
+        assert!(
+            (est.drift_slope - 0.2).abs() < 1e-9,
+            "slope {}",
+            est.drift_slope
+        );
         // The corrected curve matches the clean integral everywhere.
         let clean = integrate_acceleration(&min_jerk_accel(0.5, 81, 100.0), 100.0).unwrap();
         for (c, t) in est.corrected.iter().zip(&clean) {

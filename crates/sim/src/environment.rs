@@ -8,10 +8,9 @@
 use crate::noise::NoiseKind;
 use crate::room::Room;
 use crate::SimError;
-use serde::{Deserialize, Serialize};
 
 /// A complete acoustic environment: geometry plus ambient noise.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Environment {
     /// Display name ("Room, quiet (SNR > 15dB)" etc.).
     pub name: String,

@@ -10,13 +10,12 @@ use crate::motion::PhoneMotion;
 use crate::rng::SimRng;
 use crate::SimError;
 use hyperear_geom::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// Standard gravity, m/s².
 pub const GRAVITY: f64 = 9.806_65;
 
 /// Error magnitudes of a phone-grade MEMS IMU.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ImuModel {
     /// White noise std of each accelerometer axis per sample, m/s².
     pub accel_noise_std: f64,
@@ -81,7 +80,7 @@ impl ImuModel {
 /// Axes: x = lateral, y = slide axis (the phone's long axis), z = up.
 /// Accelerometer samples include gravity, bias and noise — exactly what
 /// Android's raw `TYPE_ACCELEROMETER` would deliver.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImuTrace {
     /// Sampling rate, hertz.
     pub sample_rate: f64,
@@ -291,7 +290,10 @@ mod tests {
         let dt = 1.0 / 100.0;
         let integrated: f64 = trace.gyro.iter().map(|g| g.z * dt).sum();
         let expected = m.yaw_angle(trace.len() as f64 * dt) - m.yaw_angle(0.0);
-        assert!((integrated - expected).abs() < 0.02, "{integrated} vs {expected}");
+        assert!(
+            (integrated - expected).abs() < 0.02,
+            "{integrated} vs {expected}"
+        );
     }
 
     #[test]

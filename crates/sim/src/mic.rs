@@ -56,7 +56,10 @@ pub fn render_clean_channel(
         return Err(SimError::invalid("chirp", "beacon waveform is empty"));
     }
     if effective_sample_rate <= 0.0 {
-        return Err(SimError::invalid("effective_sample_rate", "must be positive"));
+        return Err(SimError::invalid(
+            "effective_sample_rate",
+            "must be positive",
+        ));
     }
     if speed_of_sound <= 0.0 {
         return Err(SimError::invalid("speed_of_sound", "must be positive"));
@@ -65,7 +68,10 @@ pub fn render_clean_channel(
         return Err(SimError::invalid("amplitude_at_1m", "must be positive"));
     }
     if out_len == 0 {
-        return Err(SimError::invalid("out_len", "output length must be positive"));
+        return Err(SimError::invalid(
+            "out_len",
+            "output length must be positive",
+        ));
     }
     let mut out = vec![0.0; out_len];
     for &t_emit in emission_times {
@@ -82,7 +88,13 @@ pub fn render_clean_channel(
             if delay_samples >= out_len as f64 {
                 continue;
             }
-            mix_delayed_local(&mut out, chirp, delay_samples, gain, DELAY_KERNEL_HALF_WIDTH)?;
+            mix_delayed_local(
+                &mut out,
+                chirp,
+                delay_samples,
+                gain,
+                DELAY_KERNEL_HALF_WIDTH,
+            )?;
         }
     }
     Ok(out)
@@ -208,7 +220,10 @@ pub fn measure_snr_db(clean: &[f64], noisy: &[f64]) -> Result<f64, SimError> {
         }
     }
     if n_sig == 0 || n_noise == 0 || p_noise == 0.0 {
-        return Err(SimError::invalid("clean/noisy", "cannot partition signal and noise"));
+        return Err(SimError::invalid(
+            "clean/noisy",
+            "cannot partition signal and noise",
+        ));
     }
     Ok(level::power_ratio_to_db(
         (p_sig / n_sig as f64) / (p_noise / n_noise as f64),
@@ -257,7 +272,10 @@ mod tests {
             .0;
         let (pos, _) = parabolic_peak(&corr, peak).unwrap();
         let expected = (0.1 + 5.0 / SPEED_OF_SOUND) * PHONE_SAMPLE_RATE;
-        assert!((pos - expected).abs() < 0.05, "pos {pos} expected {expected}");
+        assert!(
+            (pos - expected).abs() < 0.05,
+            "pos {pos} expected {expected}"
+        );
     }
 
     #[test]
@@ -312,7 +330,10 @@ mod tests {
         let skewed = arrival_at(PHONE_SAMPLE_RATE * (1.0 + 100e-6));
         let shift = skewed - nominal;
         let expected = (2.0 + 1.0 / SPEED_OF_SOUND) * PHONE_SAMPLE_RATE * 100e-6;
-        assert!((shift - expected).abs() < 0.1, "shift {shift} expected {expected}");
+        assert!(
+            (shift - expected).abs() < 0.1,
+            "shift {shift} expected {expected}"
+        );
     }
 
     #[test]
@@ -366,9 +387,14 @@ mod tests {
         .unwrap();
         for target in [3.0, 9.0, 15.0] {
             let mut rng = SimRng::seed_from(7);
-            let noisy =
-                add_noise_and_quantize(&clean, NoiseKind::White, target, PHONE_SAMPLE_RATE, &mut rng)
-                    .unwrap();
+            let noisy = add_noise_and_quantize(
+                &clean,
+                NoiseKind::White,
+                target,
+                PHONE_SAMPLE_RATE,
+                &mut rng,
+            )
+            .unwrap();
             let achieved = measure_snr_db(&clean, &noisy).unwrap();
             assert!(
                 (achieved - target).abs() < 1.0,
@@ -406,7 +432,9 @@ mod tests {
     fn silent_channel_is_rejected() {
         let mut rng = SimRng::seed_from(2);
         let silent = vec![0.0; 1000];
-        assert!(add_noise_and_quantize(&silent, NoiseKind::White, 10.0, 44_100.0, &mut rng).is_err());
+        assert!(
+            add_noise_and_quantize(&silent, NoiseKind::White, 10.0, 44_100.0, &mut rng).is_err()
+        );
         assert!(measure_snr_db(&silent, &silent).is_err());
         assert!(measure_snr_db(&[1.0], &[1.0, 2.0]).is_err());
     }
@@ -419,7 +447,9 @@ mod tests {
         assert!(render_clean_channel(&[], &[0.0], &paths, &f, 44_100.0, 343.0, 0.5, 100).is_err());
         assert!(render_clean_channel(&chirp, &[0.0], &paths, &f, 0.0, 343.0, 0.5, 100).is_err());
         assert!(render_clean_channel(&chirp, &[0.0], &paths, &f, 44_100.0, 0.0, 0.5, 100).is_err());
-        assert!(render_clean_channel(&chirp, &[0.0], &paths, &f, 44_100.0, 343.0, 0.0, 100).is_err());
+        assert!(
+            render_clean_channel(&chirp, &[0.0], &paths, &f, 44_100.0, 343.0, 0.0, 100).is_err()
+        );
         assert!(render_clean_channel(&chirp, &[0.0], &paths, &f, 44_100.0, 343.0, 0.5, 0).is_err());
     }
 

@@ -21,7 +21,6 @@
 use crate::rng::SimRng;
 use crate::SimError;
 use hyperear_geom::{Vec2, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// Normalized minimum-jerk progress at normalized time `tau ∈ [0, 1]`.
 ///
@@ -50,7 +49,7 @@ pub fn min_jerk_progress(tau: f64) -> (f64, f64, f64) {
 }
 
 /// One planned slide (or vertical stature change) along an axis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlidePlan {
     /// Start time within the session, seconds.
     pub start_time: f64,
@@ -88,7 +87,7 @@ impl SlidePlan {
 }
 
 /// Smooth pseudo-random perturbation built from a few sinusoids.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Wobble {
     components: Vec<(f64, f64, f64)>, // (amplitude, freq_hz, phase)
 }
@@ -141,7 +140,7 @@ impl Wobble {
 }
 
 /// Per-volunteer motion perturbation magnitudes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MotionProfile {
     /// RMS amplitude of lateral path sway, metres.
     pub sway_m: f64,
@@ -237,7 +236,7 @@ impl MotionProfile {
 /// Positions refer to the phone's **Mic1**; Mic2 sits `mic_offset` metres
 /// further along the slide axis (the phone's y-axis is aligned with the
 /// slide direction after direction finding).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhoneMotion {
     /// Mic1 position at `t = 0`, world frame, metres.
     pub origin: Vec3,
@@ -279,12 +278,10 @@ impl PhoneMotion {
     /// time `t` (negative = lowered).
     #[must_use]
     pub fn vertical_kinematics(&self, t: f64) -> (f64, f64, f64) {
-        self.stature_changes
-            .iter()
-            .fold((0.0, 0.0, 0.0), |acc, s| {
-                let k = s.kinematics(t);
-                (acc.0 - k.0, acc.1 - k.1, acc.2 - k.2)
-            })
+        self.stature_changes.iter().fold((0.0, 0.0, 0.0), |acc, s| {
+            let k = s.kinematics(t);
+            (acc.0 - k.0, acc.1 - k.1, acc.2 - k.2)
+        })
     }
 
     /// Mic1 world position at time `t`, including sway.
@@ -322,7 +319,11 @@ impl PhoneMotion {
     pub fn linear_acceleration_phone(&self, t: f64) -> Vec3 {
         let (_, _, a_axis) = self.axis_kinematics(t);
         let (_, _, a_vert) = self.vertical_kinematics(t);
-        Vec3::new(self.sway_perp.accel(t), a_axis, a_vert + self.sway_vert.accel(t))
+        Vec3::new(
+            self.sway_perp.accel(t),
+            a_axis,
+            a_vert + self.sway_vert.accel(t),
+        )
     }
 
     /// Roll and pitch tilt at time `t`, radians.
@@ -452,7 +453,10 @@ impl MotionBuilder {
     ) -> Result<PhoneMotion, SimError> {
         self.profile.validate()?;
         if slides == 0 && slides_low == 0 {
-            return Err(SimError::invalid("slides", "plan must contain at least one slide"));
+            return Err(SimError::invalid(
+                "slides",
+                "plan must contain at least one slide",
+            ));
         }
         if self.slide_distance <= 0.0 || self.slide_duration <= 0.0 || self.hold < 0.2 {
             return Err(SimError::invalid(
@@ -474,11 +478,10 @@ impl MotionBuilder {
         let mut direction = 1.0;
         let mut make_slides = |count: usize, t: &mut f64, rng: &mut SimRng| {
             for _ in 0..count {
-                let dist = self.slide_distance
-                    * (1.0 + rng.gaussian(0.0, p.distance_jitter))
-                    * direction;
-                let dur = (self.slide_duration * (1.0 + rng.gaussian(0.0, p.duration_jitter)))
-                    .max(0.3);
+                let dist =
+                    self.slide_distance * (1.0 + rng.gaussian(0.0, p.distance_jitter)) * direction;
+                let dur =
+                    (self.slide_duration * (1.0 + rng.gaussian(0.0, p.duration_jitter))).max(0.3);
                 slide_plans.push(SlidePlan {
                     start_time: *t,
                     duration: dur,
@@ -640,7 +643,11 @@ mod tests {
             v += motion.linear_acceleration_phone(t).y * dt;
             d += v * dt;
         }
-        assert!((d - s.distance).abs() < 2e-3, "distance {d} vs {}", s.distance);
+        assert!(
+            (d - s.distance).abs() < 2e-3,
+            "distance {d} vs {}",
+            s.distance
+        );
     }
 
     #[test]

@@ -18,10 +18,9 @@
 use crate::rng::SimRng;
 use crate::SimError;
 use hyperear_dsp::filter::{Biquad, BiquadKind};
-use serde::{Deserialize, Serialize};
 
 /// The noise families of the paper's environments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NoiseKind {
     /// Flat-spectrum background noise.
     White,
@@ -127,8 +126,12 @@ fn music(n: usize, fs: f64, rng: &mut SimRng) -> Result<Vec<f64>, SimError> {
     // Match the tonal layer's scale before combining (band-passed noise is
     // much quieter than its white input).
     let tonal_rms = (out.iter().map(|v| v * v).sum::<f64>() / n as f64).sqrt();
-    let hiss_rms = (hiss.iter().map(|v| v * v).sum::<f64>() / n as f64).sqrt().max(1e-12);
-    let mix_rms = (mix.iter().map(|v| v * v).sum::<f64>() / n as f64).sqrt().max(1e-12);
+    let hiss_rms = (hiss.iter().map(|v| v * v).sum::<f64>() / n as f64)
+        .sqrt()
+        .max(1e-12);
+    let mix_rms = (mix.iter().map(|v| v * v).sum::<f64>() / n as f64)
+        .sqrt()
+        .max(1e-12);
     let k_hiss = tonal_rms / hiss_rms;
     let k_mix = tonal_rms / mix_rms;
     for (i, o) in out.iter_mut().enumerate() {

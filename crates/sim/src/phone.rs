@@ -6,10 +6,9 @@
 //! exactly the hardware constants the algorithms care about.
 
 use crate::SimError;
-use serde::{Deserialize, Serialize};
 
 /// Static description of a phone's sensing hardware.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhoneModel {
     /// Human-readable model name.
     pub name: String,
@@ -89,7 +88,10 @@ impl PhoneModel {
         if !(8_000.0..=192_000.0).contains(&self.audio_sample_rate) {
             return Err(SimError::invalid(
                 "audio_sample_rate",
-                format!("must be within [8k, 192k] Hz, got {}", self.audio_sample_rate),
+                format!(
+                    "must be within [8k, 192k] Hz, got {}",
+                    self.audio_sample_rate
+                ),
             ));
         }
         if self.audio_bits == 0 || self.audio_bits > 32 {

@@ -10,10 +10,9 @@
 
 use crate::SimError;
 use hyperear_geom::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// One propagation path from (an image of) the speaker to a receiver.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PropagationPath {
     /// Position of the (image) source in world coordinates.
     pub source: Vec3,
@@ -28,7 +27,7 @@ pub struct PropagationPath {
 /// An axis-aligned shoebox room with uniform wall reflectivity.
 ///
 /// The room spans `[0, size.x] × [0, size.y] × [0, size.z]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Room {
     /// Interior dimensions, metres.
     pub size: Vec3,
@@ -105,7 +104,10 @@ impl Room {
         if self.max_order > 4 {
             return Err(SimError::invalid(
                 "max_order",
-                format!("orders above 4 are prohibitively many images, got {}", self.max_order),
+                format!(
+                    "orders above 4 are prohibitively many images, got {}",
+                    self.max_order
+                ),
             ));
         }
         Ok(())
@@ -125,8 +127,7 @@ impl Room {
         for nx in -order..=order {
             for ny in -order..=order {
                 for nz in -order..=order {
-                    let reflections =
-                        nx.unsigned_abs() + ny.unsigned_abs() + nz.unsigned_abs();
+                    let reflections = nx.unsigned_abs() + ny.unsigned_abs() + nz.unsigned_abs();
                     if reflections as isize > order {
                         continue;
                     }

@@ -20,13 +20,12 @@ use crate::volunteer::Volunteer;
 use crate::SimError;
 use hyperear_dsp::SPEED_OF_SOUND;
 use hyperear_geom::{Vec2, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// A two-channel audio recording at a nominal sample rate.
 ///
 /// Channel 0 ("left") is Mic1, channel 1 ("right") is Mic2; Mic2 sits
 /// `mic_separation` metres further along the phone's y-axis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StereoRecording {
     /// Nominal sample rate, hertz (the rate the app *believes* it gets;
     /// the actual ADC clock may be offset by the phone's ppm error).
@@ -38,7 +37,7 @@ pub struct StereoRecording {
 }
 
 /// Everything the simulator knows that the pipeline must *estimate*.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroundTruth {
     /// Speaker position, world frame.
     pub speaker_position: Vec3,
@@ -58,7 +57,7 @@ pub struct GroundTruth {
 }
 
 /// A rendered HyperEar session.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Recording {
     /// The phone that recorded the session.
     pub phone: PhoneModel,
@@ -302,20 +301,28 @@ impl ScenarioBuilder {
         }
 
         // ---- Motion. ----------------------------------------------------
-        let motion = MotionBuilder::new(line_start, Vec2::new(1.0, 0.0), self.phone.mic_separation)?
-            .profile(self.profile)
-            .hold_duration(self.hold_duration)
-            .slide_distance(self.slide_distance)
-            .slide_duration(self.slide_duration)
-            .build(self.slides, self.stature_drop, self.slides_low, &mut motion_rng)?;
+        let motion =
+            MotionBuilder::new(line_start, Vec2::new(1.0, 0.0), self.phone.mic_separation)?
+                .profile(self.profile)
+                .hold_duration(self.hold_duration)
+                .slide_distance(self.slide_distance)
+                .slide_duration(self.slide_duration)
+                .build(
+                    self.slides,
+                    self.stature_drop,
+                    self.slides_low,
+                    &mut motion_rng,
+                )?;
 
         // ---- Acoustics. --------------------------------------------------
-        if !(self.direct_path_attenuation_db >= 0.0
-            && self.direct_path_attenuation_db.is_finite())
+        if !(self.direct_path_attenuation_db >= 0.0 && self.direct_path_attenuation_db.is_finite())
         {
             return Err(SimError::invalid(
                 "direct_path_attenuation_db",
-                format!("must be non-negative, got {}", self.direct_path_attenuation_db),
+                format!(
+                    "must be non-negative, got {}",
+                    self.direct_path_attenuation_db
+                ),
             ));
         }
         let mut paths: Vec<PropagationPath> = match &self.environment.room {
@@ -392,7 +399,12 @@ impl ScenarioBuilder {
 
         // ---- Inertial. ----------------------------------------------------
         let imu_model = ImuModel::phone_grade().with_tremor(self.tremor_accel_std);
-        let imu = sample_imu(&motion, &imu_model, self.phone.imu_sample_rate, &mut imu_rng)?;
+        let imu = sample_imu(
+            &motion,
+            &imu_model,
+            self.phone.imu_sample_rate,
+            &mut imu_rng,
+        )?;
 
         // ---- Ground truth. -------------------------------------------------
         let dz_upper = speaker_position.z - self.phone_stature;
@@ -431,7 +443,7 @@ impl ScenarioBuilder {
 
 /// One point of a Fig. 7 rotation sweep: the phone's roll angle α and the
 /// TDoA its microphone pair would measure there.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RotationSample {
     /// The roll angle α between the speaker direction and the phone's +y
     /// axis, degrees.
@@ -576,8 +588,7 @@ mod tests {
 
     #[test]
     fn rotation_sweep_crosses_zero_at_90_and_270() {
-        let sweep =
-            rotation_sweep(&PhoneModel::galaxy_s4(), 5.0, 360, 0.0, 1).unwrap();
+        let sweep = rotation_sweep(&PhoneModel::galaxy_s4(), 5.0, 360, 0.0, 1).unwrap();
         assert_eq!(sweep.len(), 360);
         let at = |deg: usize| sweep[deg].tdoa_ms;
         assert!(at(90).abs() < 0.03, "tdoa at 90° = {}", at(90));
@@ -656,9 +667,8 @@ mod tests {
             }
             i += win / 2;
         }
-        let frac =
-            band_energy_fraction(&rec.audio.left[best..best + win], fs, 15_000.0, 20_500.0)
-                .unwrap();
+        let frac = band_energy_fraction(&rec.audio.left[best..best + win], fs, 15_000.0, 20_500.0)
+            .unwrap();
         assert!(frac > 0.6, "high-band fraction {frac}");
     }
 

@@ -9,10 +9,9 @@
 
 use crate::SimError;
 use hyperear_dsp::chirp::{Chirp, ChirpShape};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the beacon source.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpeakerModel {
     /// Lower chirp band edge, hertz.
     pub chirp_f0: f64,
@@ -75,7 +74,10 @@ impl SpeakerModel {
         if self.chirp_f0 <= 0.0 || self.chirp_f1 <= self.chirp_f0 {
             return Err(SimError::invalid(
                 "chirp_f0/chirp_f1",
-                format!("need 0 < f0 < f1, got {} / {}", self.chirp_f0, self.chirp_f1),
+                format!(
+                    "need 0 < f0 < f1, got {} / {}",
+                    self.chirp_f0, self.chirp_f1
+                ),
             ));
         }
         if self.chirp_f1 >= audio_sample_rate / 2.0 {

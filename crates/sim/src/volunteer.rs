@@ -7,10 +7,9 @@
 //! perturbations and IMU tremor).
 
 use crate::motion::MotionProfile;
-use serde::{Deserialize, Serialize};
 
 /// One experimental volunteer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Volunteer {
     /// Identifier, e.g. "V3".
     pub name: String,

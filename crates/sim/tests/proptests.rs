@@ -1,0 +1,145 @@
+//! Property-based tests of the simulation substrate, on the workspace's
+//! own harness (`hyperear_util::prop`).
+
+use hyperear_geom::Vec3;
+use hyperear_sim::motion::{min_jerk_progress, SlidePlan};
+use hyperear_sim::noise::{generate, NoiseKind};
+use hyperear_sim::rng::SimRng;
+use hyperear_sim::room::Room;
+use hyperear_util::prop::{self, f64_range, usize_range};
+use hyperear_util::{prop_assert, prop_assume};
+
+#[test]
+fn rng_streams_are_seed_deterministic() {
+    let strat = (usize_range(0, 1 << 20), usize_range(1, 64));
+    prop::check("rng_streams_are_seed_deterministic", strat, |&(seed, n)| {
+        let mut a = SimRng::seed_from(seed as u64);
+        let mut b = SimRng::seed_from(seed as u64);
+        let va = a.gaussian_vec(n, 0.0, 1.0);
+        let vb = b.gaussian_vec(n, 0.0, 1.0);
+        prop_assert!(va == vb, "seed {seed} diverged");
+        prop::pass()
+    });
+}
+
+#[test]
+fn rng_forks_differ_from_parent_stream() {
+    let strat = usize_range(0, 1 << 20);
+    prop::check("rng_forks_differ_from_parent_stream", strat, |&seed| {
+        let mut parent = SimRng::seed_from(seed as u64);
+        let mut fork = parent.fork("child");
+        let p = parent.gaussian_vec(8, 0.0, 1.0);
+        let f = fork.gaussian_vec(8, 0.0, 1.0);
+        prop_assert!(p != f, "fork reproduced the parent stream");
+        prop::pass()
+    });
+}
+
+#[test]
+fn noise_has_requested_length_and_unit_rms() {
+    let strat = (usize_range(0, 3), usize_range(256, 4_096));
+    prop::check(
+        "noise_has_requested_length_and_unit_rms",
+        strat,
+        |&(k, n)| {
+            let kind = [
+                NoiseKind::White,
+                NoiseKind::Voice,
+                NoiseKind::Music,
+                NoiseKind::MallBusy,
+            ][k];
+            let mut rng = SimRng::seed_from(n as u64);
+            let x = generate(kind, n, 44_100.0, &mut rng).unwrap();
+            prop_assert!(x.len() == n);
+            prop_assert!(x.iter().all(|v| v.is_finite()));
+            let rms = (x.iter().map(|v| v * v).sum::<f64>() / n as f64).sqrt();
+            prop_assert!((rms - 1.0).abs() < 1e-9, "{kind:?} rms {rms}");
+            prop::pass()
+        },
+    );
+}
+
+#[test]
+fn image_sources_contain_direct_path_with_bounded_gains() {
+    let strat = (
+        f64_range(0.5, 16.5),
+        f64_range(0.5, 12.5),
+        f64_range(0.3, 2.7),
+    );
+    prop::check(
+        "image_sources_contain_direct_path_with_bounded_gains",
+        strat,
+        |&(x, y, z)| {
+            let room = Room::meeting_room();
+            let source = Vec3::new(x, y, z);
+            let paths = room.image_sources(source).unwrap();
+            let direct: Vec<_> = paths.iter().filter(|p| p.order == 0).collect();
+            prop_assert!(direct.len() == 1, "{} direct paths", direct.len());
+            prop_assert!((direct[0].source - source).norm() < 1e-12);
+            prop_assert!((direct[0].gain - 1.0).abs() < 1e-12);
+            for p in &paths {
+                prop_assert!(p.order <= room.max_order);
+                prop_assert!(p.gain > 0.0 && p.gain <= 1.0, "gain {}", p.gain);
+            }
+            prop::pass()
+        },
+    );
+}
+
+#[test]
+fn min_jerk_is_monotone_from_rest_to_rest() {
+    let strat = (f64_range(0.0, 1.0), f64_range(0.0, 1.0));
+    prop::check(
+        "min_jerk_is_monotone_from_rest_to_rest",
+        strat,
+        |&(t0, t1)| {
+            let (lo, hi) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+            let (s_lo, v_lo, _) = min_jerk_progress(lo);
+            let (s_hi, _, _) = min_jerk_progress(hi);
+            prop_assert!((0.0..=1.0).contains(&s_lo));
+            prop_assert!(s_lo <= s_hi + 1e-12, "progress not monotone");
+            prop_assert!(v_lo >= -1e-12, "negative velocity {v_lo}");
+            let (s0, v0, a0) = min_jerk_progress(0.0);
+            let (s1, v1, a1) = min_jerk_progress(1.0);
+            prop_assert!(s0.abs() < 1e-12 && v0.abs() < 1e-12 && a0.abs() < 1e-12);
+            prop_assert!((s1 - 1.0).abs() < 1e-12 && v1.abs() < 1e-12 && a1.abs() < 1e-12);
+            prop::pass()
+        },
+    );
+}
+
+#[test]
+fn slide_plan_reaches_its_commanded_distance() {
+    let strat = (
+        f64_range(-0.8, 0.8),
+        f64_range(0.2, 2.0),
+        f64_range(0.0, 3.0),
+    );
+    prop::check(
+        "slide_plan_reaches_its_commanded_distance",
+        strat,
+        |&(distance, duration, t)| {
+            prop_assume!(distance.abs() > 1e-6);
+            let plan = SlidePlan {
+                start_time: 0.5,
+                duration,
+                distance,
+            };
+            let (s, _, _) = plan.kinematics(t);
+            // Displacement is bracketed by rest and the commanded distance.
+            let (lo, hi) = if distance < 0.0 {
+                (distance, 0.0)
+            } else {
+                (0.0, distance)
+            };
+            prop_assert!(
+                s >= lo - 1e-12 && s <= hi + 1e-12,
+                "s {s} outside [{lo}, {hi}]"
+            );
+            let (s_end, v_end, _) = plan.kinematics(plan.end_time() + 1.0);
+            prop_assert!((s_end - distance).abs() < 1e-12);
+            prop_assert!(v_end.abs() < 1e-12);
+            prop::pass()
+        },
+    );
+}

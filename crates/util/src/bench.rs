@@ -1,0 +1,354 @@
+//! A std-only micro-benchmark harness.
+//!
+//! Replaces the external benchmark framework the bench targets were
+//! written against: each benchmark is warmed up, then timed over a
+//! fixed number of samples (each a batch of iterations sized so the
+//! clock resolution is irrelevant), and summarized as median / p95 /
+//! min per-iteration time, printed to stdout and optionally written as
+//! JSON for machine consumption.
+//!
+//! Environment variables:
+//!
+//! - `HYPEREAR_BENCH_WARMUP_MS` — warmup per benchmark (default 100).
+//! - `HYPEREAR_BENCH_SAMPLES` — timed samples per benchmark (default 30).
+//! - `HYPEREAR_BENCH_SAMPLE_MS` — target duration of one sample (default 10).
+//! - `HYPEREAR_BENCH_JSON_DIR` — when set, `finish()` writes
+//!   `<dir>/<suite>.json`.
+//!
+//! ```no_run
+//! use hyperear_util::bench::Suite;
+//! use std::hint::black_box;
+//!
+//! let mut suite = Suite::new("example");
+//! suite.bench("sum_1k", || black_box((0..1_000u64).sum::<u64>()));
+//! suite.finish();
+//! ```
+
+use crate::json::{Json, ToJson};
+use std::time::{Duration, Instant};
+
+/// Harness configuration; read from the environment by [`Suite::new`].
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Warmup time per benchmark.
+    pub warmup: Duration,
+    /// Timed samples per benchmark.
+    pub samples: usize,
+    /// Target wall time of a single sample (sets the batch size).
+    pub sample_target: Duration,
+    /// Directory for JSON reports (`None` = stdout only).
+    pub json_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            warmup: Duration::from_millis(100),
+            samples: 30,
+            sample_target: Duration::from_millis(10),
+            json_dir: None,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Reads the `HYPEREAR_BENCH_*` environment variables.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut c = BenchConfig::default();
+        let ms = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+        };
+        if let Some(v) = ms("HYPEREAR_BENCH_WARMUP_MS") {
+            c.warmup = Duration::from_millis(v);
+        }
+        if let Some(v) = ms("HYPEREAR_BENCH_SAMPLES") {
+            c.samples = (v as usize).max(1);
+        }
+        if let Some(v) = ms("HYPEREAR_BENCH_SAMPLE_MS") {
+            c.sample_target = Duration::from_millis(v.max(1));
+        }
+        if let Ok(dir) = std::env::var("HYPEREAR_BENCH_JSON_DIR") {
+            if !dir.trim().is_empty() {
+                c.json_dir = Some(std::path::PathBuf::from(dir.trim()));
+            }
+        }
+        c
+    }
+}
+
+/// One benchmark's measured timing summary (per-iteration nanoseconds).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// 95th-percentile sample.
+    pub p95_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+    /// Elements processed per iteration (for throughput), if declared.
+    pub elements: Option<u64>,
+}
+
+impl BenchResult {
+    /// Throughput in million elements per second at the median time.
+    #[must_use]
+    pub fn melem_per_s(&self) -> Option<f64> {
+        let e = self.elements?;
+        if self.median_ns > 0.0 {
+            Some(e as f64 * 1e3 / self.median_ns)
+        } else {
+            None
+        }
+    }
+}
+
+impl ToJson for BenchResult {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name", Json::String(self.name.clone())),
+            (
+                "iters_per_sample",
+                Json::Number(self.iters_per_sample as f64),
+            ),
+            ("samples", Json::Number(self.samples as f64)),
+            ("min_ns", Json::Number(self.min_ns)),
+            ("median_ns", Json::Number(self.median_ns)),
+            ("p95_ns", Json::Number(self.p95_ns)),
+            ("mean_ns", Json::Number(self.mean_ns)),
+        ];
+        if let Some(e) = self.elements {
+            fields.push(("elements", Json::Number(e as f64)));
+            if let Some(t) = self.melem_per_s() {
+                fields.push(("melem_per_s", Json::Number(t)));
+            }
+        }
+        Json::obj(fields)
+    }
+}
+
+/// Interpolated percentile of an unsorted sample set, `p` in `[0, 100]`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+#[must_use]
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty sample set");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// A named collection of benchmarks run sequentially.
+#[derive(Debug)]
+pub struct Suite {
+    name: String,
+    config: BenchConfig,
+    results: Vec<BenchResult>,
+}
+
+impl Suite {
+    /// A suite configured from the environment.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self::with_config(name, BenchConfig::from_env())
+    }
+
+    /// A suite with an explicit configuration.
+    #[must_use]
+    pub fn with_config(name: &str, config: BenchConfig) -> Self {
+        println!("== bench suite `{name}` ==");
+        Suite {
+            name: name.to_string(),
+            config,
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmarks `f`, printing and retaining the summary.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, f: F) {
+        self.run_one(name, None, f);
+    }
+
+    /// Benchmarks `f`, additionally reporting throughput over
+    /// `elements` items per iteration.
+    pub fn bench_with_elements<R, F: FnMut() -> R>(&mut self, name: &str, elements: u64, f: F) {
+        self.run_one(name, Some(elements), f);
+    }
+
+    fn run_one<R, F: FnMut() -> R>(&mut self, name: &str, elements: Option<u64>, mut f: F) {
+        // Warmup, counting iterations to estimate the batch size.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.config.warmup || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch =
+            ((self.config.sample_target.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64).max(1);
+        // Timed samples.
+        let mut sample_ns = Vec::with_capacity(self.config.samples);
+        for _ in 0..self.config.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            sample_ns.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        let result = BenchResult {
+            name: name.to_string(),
+            iters_per_sample: batch,
+            samples: sample_ns.len(),
+            min_ns: sample_ns.iter().copied().fold(f64::INFINITY, f64::min),
+            median_ns: percentile(&sample_ns, 50.0),
+            p95_ns: percentile(&sample_ns, 95.0),
+            mean_ns: sample_ns.iter().sum::<f64>() / sample_ns.len() as f64,
+            elements,
+        };
+        println!("{}", render_row(&result));
+        self.results.push(result);
+    }
+
+    /// The results measured so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the closing line and writes the JSON report when
+    /// `HYPEREAR_BENCH_JSON_DIR` is set.
+    pub fn finish(self) {
+        if let Some(dir) = &self.config.json_dir {
+            let report = Json::obj(vec![
+                ("suite", Json::String(self.name.clone())),
+                ("results", self.results.to_json()),
+            ]);
+            let path = dir.join(format!("{}.json", self.name));
+            match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, report.render()))
+            {
+                Ok(()) => println!("json report: {}", path.display()),
+                Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+            }
+        }
+        println!(
+            "== suite `{}` complete: {} benchmarks ==",
+            self.name,
+            self.results.len()
+        );
+    }
+}
+
+/// Formats nanoseconds adaptively (ns / µs / ms / s).
+#[must_use]
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.3}s", ns / 1e9)
+    }
+}
+
+fn render_row(r: &BenchResult) -> String {
+    use std::fmt::Write;
+    let mut row = format!(
+        "{:<38} median {:>9}  p95 {:>9}  min {:>9}  ({} samples × {} iters)",
+        r.name,
+        fmt_ns(r.median_ns),
+        fmt_ns(r.p95_ns),
+        fmt_ns(r.min_ns),
+        r.samples,
+        r.iters_per_sample,
+    );
+    if let Some(t) = r.melem_per_s() {
+        let _ = write!(row, "  {t:.1} Melem/s");
+    }
+    row
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact, analytically-derived values
+mod tests {
+    use super::*;
+
+    fn fast_config() -> BenchConfig {
+        BenchConfig {
+            warmup: Duration::from_millis(1),
+            samples: 5,
+            sample_target: Duration::from_micros(200),
+            json_dir: None,
+        }
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&v, 50.0), 2.5);
+        assert!((percentile(&v, 95.0) - 3.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bench_produces_ordered_stats() {
+        let mut suite = Suite::with_config("selftest", fast_config());
+        let mut acc = 0u64;
+        suite.bench("trivial", || {
+            acc = acc.wrapping_add(1);
+            std::hint::black_box(acc)
+        });
+        let r = &suite.results()[0];
+        assert!(r.min_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.median_ns <= r.p95_ns + 1e-9);
+        assert_eq!(r.samples, 5);
+        suite.finish();
+    }
+
+    #[test]
+    fn throughput_reported_when_elements_known() {
+        let mut suite = Suite::with_config("selftest2", fast_config());
+        suite.bench_with_elements("sum", 1_000, || {
+            std::hint::black_box((0..1_000u64).sum::<u64>())
+        });
+        let r = &suite.results()[0];
+        assert!(r.melem_per_s().unwrap() > 0.0);
+        let json = r.to_json();
+        assert!(json.get("melem_per_s").is_some());
+        assert_eq!(json.field::<String>("name").unwrap(), "sum");
+    }
+
+    #[test]
+    fn json_report_written_to_dir() {
+        let dir = std::env::temp_dir().join("hyperear_bench_selftest");
+        let mut config = fast_config();
+        config.json_dir = Some(dir.clone());
+        let mut suite = Suite::with_config("jsontest", config);
+        suite.bench("noop", || std::hint::black_box(1u64));
+        suite.finish();
+        let text = std::fs::read_to_string(dir.join("jsontest.json")).unwrap();
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v.field::<String>("suite").unwrap(), "jsontest");
+        assert_eq!(v.get("results").unwrap().as_array().unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

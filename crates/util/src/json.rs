@@ -1,0 +1,744 @@
+//! Minimal JSON — a std-only replacement for the serde derive sites the
+//! workspace used for config and report I/O.
+//!
+//! Scope: the JSON the workspace actually reads and writes — finite
+//! numbers, strings, booleans, nulls, arrays, objects. Object key order
+//! is preserved (round-trips are diff-stable). Non-finite numbers have
+//! no JSON representation and serialize as `null`, matching the common
+//! convention.
+//!
+//! ```
+//! use hyperear_util::json::Json;
+//!
+//! let v = Json::parse(r#"{"range": 4.5, "slides": [1, 2]}"#).unwrap();
+//! assert_eq!(v.get("range").unwrap().as_f64(), Some(4.5));
+//! assert_eq!(Json::parse(&v.render()).unwrap(), v);
+//! ```
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers are exact to 2^53).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+/// Errors from parsing or schema-checking JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// The text is not valid JSON.
+    Parse {
+        /// Byte offset of the problem.
+        offset: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The JSON is valid but does not match the expected shape.
+    Schema {
+        /// What was expected and where.
+        reason: String,
+    },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Parse { offset, reason } => {
+                write!(f, "JSON parse error at byte {offset}: {reason}")
+            }
+            JsonError::Schema { reason } => write!(f, "JSON schema error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonError {
+    /// A schema error with the given description.
+    #[must_use]
+    pub fn schema(reason: impl Into<String>) -> Self {
+        JsonError::Schema {
+            reason: reason.into(),
+        }
+    }
+}
+
+/// Serializes a value to JSON.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Deserializes a value from JSON.
+pub trait FromJson: Sized {
+    /// Reconstructs `Self`, rejecting shape mismatches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError::Schema`] when the value has the wrong shape.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    #[must_use]
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// The value of `key` if this is an object containing it.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Typed access to an object field; the error names the key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError::Schema`] if the key is missing or the field
+    /// has the wrong type.
+    pub fn field<T: FromJson>(&self, key: &str) -> Result<T, JsonError> {
+        let v = self
+            .get(key)
+            .ok_or_else(|| JsonError::schema(format!("missing field `{key}`")))?;
+        T::from_json(v).map_err(|e| match e {
+            JsonError::Schema { reason } => JsonError::schema(format!("field `{key}`: {reason}")),
+            parse @ JsonError::Parse { .. } => parse,
+        })
+    }
+
+    /// The number, if this is one.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders compact JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Number(x) => write_number(*x, out),
+            Json::String(s) => write_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError::Parse`] with a byte offset for malformed
+    /// input, including trailing garbage after the top-level value.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+}
+
+/// Writes `x` in round-trippable shortest form (`{}` on `f64` is the
+/// shortest representation that parses back exactly).
+fn write_number(x: f64, out: &mut String) {
+    use std::fmt::Write;
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, reason: impl Into<String>) -> JsonError {
+        JsonError::Parse {
+            offset: self.pos,
+            reason: reason.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                }
+                _ => {
+                    // Consume the full UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b).ok_or_else(|| self.err("invalid UTF-8"))?;
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8 sequence"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let d = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        token
+            .parse::<f64>()
+            .ok()
+            .filter(|x| x.is_finite())
+            .map(Json::Number)
+            .ok_or_else(|| self.err(format!("invalid number `{token}`")))
+    }
+}
+
+/// The byte length of a UTF-8 sequence starting with `b`, if `b` is a
+/// valid leading byte.
+fn utf8_len(b: u8) -> Option<usize> {
+    match b {
+        0x00..=0x7f => Some(1),
+        0xc2..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf4 => Some(4),
+        _ => None,
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Number(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64()
+            .ok_or_else(|| JsonError::schema(format!("expected number, got {v:?}")))
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_bool()
+            .ok_or_else(|| JsonError::schema(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        // Exact for every value the workspace serializes (< 2^53).
+        Json::Number(*self as f64)
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let x = f64::from_json(v)?;
+        if x >= 0.0 && x.fract() == 0.0 && x <= 2f64.powi(53) {
+            Ok(x as usize)
+        } else {
+            Err(JsonError::schema(format!(
+                "expected non-negative integer, got {x}"
+            )))
+        }
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::Number(*self as f64)
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        usize::from_json(v).map(|x| x as u64)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::String(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::schema(format!("expected string, got {v:?}")))
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::String((*self).to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_array()
+            .ok_or_else(|| JsonError::schema(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(x) => x.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact round-trip values
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("3.25").unwrap(), Json::Number(3.25));
+        assert_eq!(Json::parse("-1e3").unwrap(), Json::Number(-1000.0));
+        assert_eq!(
+            Json::parse("\"hi\"").unwrap(),
+            Json::String("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = Json::parse(r#" { "a": [1, 2, {"b": null}], "c": "x" } "#).unwrap();
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x"));
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[2].get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "{\"a\":1} extra",
+            "[1 2]",
+            "{'a':1}",
+            "nul",
+            "+1",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "line\nbreak \"quote\" back\\slash tab\t ünïcode 🎯 \u{1}";
+        let rendered = Json::String(original.to_string()).render();
+        let back = Json::parse(&rendered).unwrap();
+        assert_eq!(back.as_str(), Some(original));
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(Json::parse(r#""Aé""#).unwrap().as_str(), Some("Aé"));
+        // Escaped surrogate pair for 🎯 (U+1F3AF).
+        assert_eq!(
+            Json::parse(r#""\ud83c\udfaf""#).unwrap().as_str(),
+            Some("🎯")
+        );
+        assert!(Json::parse(r#""\ud83c""#).is_err());
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            0.1366,
+            343.0,
+            1e-300,
+            -2.5e17,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+        ] {
+            let back = Json::parse(&Json::Number(x).render()).unwrap();
+            assert_eq!(back.as_f64().unwrap().to_bits(), x.to_bits(), "{x}");
+        }
+    }
+
+    #[test]
+    fn non_finite_serializes_as_null() {
+        assert_eq!(Json::Number(f64::NAN).render(), "null");
+        assert_eq!(Json::Number(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn object_round_trip_preserves_order() {
+        let v = Json::obj(vec![
+            ("zebra", Json::Number(1.0)),
+            ("alpha", Json::Bool(true)),
+            ("mid", Json::Array(vec![Json::Null])),
+        ]);
+        let text = v.render();
+        assert!(text.find("zebra").unwrap() < text.find("alpha").unwrap());
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_field_access_and_errors() {
+        let v = Json::parse(r#"{"n": 3, "flag": true, "name": "x"}"#).unwrap();
+        assert_eq!(v.field::<usize>("n").unwrap(), 3);
+        assert_eq!(v.field::<f64>("n").unwrap(), 3.0);
+        assert!(v.field::<bool>("flag").unwrap());
+        assert_eq!(v.field::<String>("name").unwrap(), "x");
+        let missing = v.field::<f64>("absent").unwrap_err();
+        assert!(missing.to_string().contains("absent"));
+        let wrong = v.field::<bool>("n").unwrap_err();
+        assert!(wrong.to_string().contains("`n`"));
+    }
+
+    #[test]
+    fn vec_and_option_conversions() {
+        let xs = vec![1.0, 2.5, -3.0];
+        assert_eq!(Vec::<f64>::from_json(&xs.to_json()).unwrap(), xs);
+        let none: Option<f64> = None;
+        assert_eq!(none.to_json(), Json::Null);
+        assert_eq!(Option::<f64>::from_json(&Json::Null).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::from_json(&Json::Number(2.0)).unwrap(),
+            Some(2.0)
+        );
+        assert!(usize::from_json(&Json::Number(1.5)).is_err());
+        assert!(usize::from_json(&Json::Number(-1.0)).is_err());
+    }
+}

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (mut best_start, mut best_energy) = (0usize, 0.0f64);
     let mut start = 0;
     while start + win < rec.audio.left.len() {
-        let e: f64 = rec.audio.left[start..start + win].iter().map(|x| x * x).sum();
+        let e: f64 = rec.audio.left[start..start + win]
+            .iter()
+            .map(|x| x * x)
+            .sum();
         if e > best_energy {
             best_energy = e;
             best_start = start;

@@ -20,14 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  roll   TDoA        bar                                guidance");
     let max_tdoa_ms = phone.mic_separation / 343.0 * 1_000.0;
     for sample in sweep.iter().step_by(3) {
-        let g = guidance(
-            sample.tdoa_ms / 1_000.0,
-            phone.mic_separation,
-            343.0,
-            0.05,
-        )?;
+        let g = guidance(sample.tdoa_ms / 1_000.0, phone.mic_separation, 343.0, 0.05)?;
         let bar_pos = ((sample.tdoa_ms / max_tdoa_ms + 1.0) * 16.0) as usize;
-        let mut bar = vec![' '; 33];
+        let mut bar = [' '; 33];
         bar[16] = '|';
         bar[bar_pos.min(32)] = '*';
         println!(
@@ -52,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let crossings = find_crossings(&observations)?;
     println!("\nIn-direction positions found:");
     for c in &crossings {
-        println!("  roll {:.1}° — speaker on the {:?} side", c.roll_degrees, c.side);
+        println!(
+            "  roll {:.1}° — speaker on the {:?} side",
+            c.roll_degrees, c.side
+        );
     }
     Ok(())
 }

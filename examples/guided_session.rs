@@ -30,7 +30,9 @@ fn show(step: &mut usize, instruction: Instruction) {
         Instruction::Slide { done, target } => {
             format!("Slide the phone ({}/{} done).", done, target)
         }
-        Instruction::SlideAgain { reason } => format!("That slide was no good ({reason:?}) — again."),
+        Instruction::SlideAgain { reason } => {
+            format!("That slide was no good ({reason:?}) — again.")
+        }
         Instruction::LowerPhone => "Lower the phone ~40 cm.".to_string(),
         Instruction::Done => "Done! Computing the location...".to_string(),
     };

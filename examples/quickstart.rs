@@ -44,10 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Report.
     println!(
         "Detected {} + {} beacons; recovered beacon period {:.6} s ({:+.1} ppm vs nominal).",
-        result.beacons_left,
-        result.beacons_right,
-        result.period.period,
-        result.period.offset_ppm
+        result.beacons_left, result.beacons_right, result.period.period, result.period.offset_ppm
     );
     for (i, slide) in result.slides.iter().enumerate() {
         println!(
@@ -55,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             i + 1,
             slide.inertial.distance,
             slide.inertial.rotation_deg,
-            if slide.fix.is_some() { "localized" } else { "no fix" }
+            if slide.fix.is_some() {
+                "localized"
+            } else {
+                "no fix"
+            }
         );
     }
     let estimate = result.upper.ok_or("no aggregated estimate")?;

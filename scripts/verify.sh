@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: hermetic build + full test suite, plus lint
+# and formatting when the components are installed. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q (root package) =="
+cargo test -q
+
+echo "== cargo test --workspace -q =="
+cargo test --workspace -q
+
+# Clippy and rustfmt are optional toolchain components; gate on their
+# availability so the script still passes on a minimal offline toolchain.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy --workspace --all-targets =="
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "== clippy unavailable; skipping lint =="
+fi
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== cargo fmt --check =="
+    cargo fmt --all -- --check
+else
+    echo "== rustfmt unavailable; skipping format check =="
+fi
+
+echo "== verify OK =="

@@ -136,7 +136,7 @@ fn stereo_recording_round_trips_through_pcm() {
     let left = quantize_i16(&rec.audio.left);
     let right = quantize_i16(&rec.audio.right);
     let bytes = encode_pcm16(&interleave_stereo(&left, &right).expect("interleave"));
-    let (l2, r2) = deinterleave_stereo(&decode_pcm16(bytes).expect("decode")).expect("split");
+    let (l2, r2) = deinterleave_stereo(&decode_pcm16(&bytes).expect("decode")).expect("split");
     let left_back = dequantize_i16(&l2);
     let right_back = dequantize_i16(&r2);
     // Recording samples are already on the 16-bit grid, so the round

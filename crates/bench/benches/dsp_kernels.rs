@@ -9,6 +9,7 @@ use hyperear_dsp::delay::mix_delayed_local;
 use hyperear_dsp::fft::{fft, rfft};
 use hyperear_dsp::filter::FirFilter;
 use hyperear_dsp::interpolate::{parabolic_peak, sinc_peak};
+use hyperear_dsp::plan::{DspScratch, FftPlan, PlanCache};
 use hyperear_dsp::window::Window;
 use hyperear_dsp::Complex;
 use hyperear_util::bench::Suite;
@@ -31,12 +32,24 @@ fn bench_fft(suite: &mut Suite) {
             fft(&mut buf).expect("power-of-two");
             black_box(buf)
         });
+        // The planned path: setup hoisted out, butterflies only.
+        let plan = FftPlan::new(size).expect("plan");
+        let mut buf = data.clone();
+        suite.bench_with_elements(&format!("fft_planned/{size}"), size as u64, move || {
+            buf.copy_from_slice(&data);
+            plan.fft(&mut buf).expect("power-of-two");
+            black_box(buf[0])
+        });
     }
 }
 
 fn bench_matched_filter(suite: &mut Suite) {
     let chirp = Chirp::hyperear_beacon(44_100.0).expect("chirp");
-    let filter = MatchedFilter::new(chirp.samples()).expect("filter");
+    // The detector's hot path: a warm filter with cached template
+    // spectrum, reused scratch and output buffer.
+    let mut filter = MatchedFilter::new(chirp.samples()).expect("filter");
+    let mut scratch = DspScratch::new();
+    let mut out = Vec::new();
     // One second of audio is the natural unit the detector scans.
     for &seconds in &[1usize, 4] {
         let n = 44_100 * seconds;
@@ -44,7 +57,12 @@ fn bench_matched_filter(suite: &mut Suite) {
         suite.bench_with_elements(
             &format!("matched_filter/correlate/{seconds}s"),
             n as u64,
-            || black_box(filter.correlate_normalized(&signal).expect("correlate")),
+            || {
+                filter
+                    .correlate_normalized_into(&signal, &mut scratch, &mut out)
+                    .expect("correlate");
+                black_box(out[0])
+            },
         );
     }
 }
@@ -92,6 +110,13 @@ fn bench_rfft_spectrum(suite: &mut Suite) {
     let signal = deterministic_signal(44_100);
     suite.bench("rfft_1s_padded", || {
         black_box(rfft(&signal, 65_536).expect("rfft"))
+    });
+    let mut plans = PlanCache::new();
+    let mut buf = Vec::new();
+    suite.bench("rfft_planned_1s_padded", move || {
+        let plan = plans.plan(65_536).expect("plan");
+        plan.rfft_into(&signal, &mut buf).expect("rfft");
+        black_box(buf[0])
     });
 }
 

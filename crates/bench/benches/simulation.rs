@@ -9,7 +9,7 @@ use hyperear_sim::noise::{generate, NoiseKind};
 use hyperear_sim::phone::PhoneModel;
 use hyperear_sim::rng::SimRng;
 use hyperear_sim::room::Room;
-use hyperear_sim::scenario::ScenarioBuilder;
+use hyperear_sim::scenario::{RenderContext, ScenarioBuilder};
 use hyperear_util::bench::Suite;
 use std::hint::black_box;
 
@@ -38,6 +38,8 @@ fn bench_noise_generation(suite: &mut Suite) {
 }
 
 fn bench_session_render(suite: &mut Suite) {
+    // Renders reuse one context, as the figure harness workers do.
+    let mut ctx = RenderContext::new();
     suite.bench("session_render/two_slides_room", || {
         black_box(
             ScenarioBuilder::new(PhoneModel::galaxy_s4())
@@ -45,10 +47,11 @@ fn bench_session_render(suite: &mut Suite) {
                 .speaker_range(5.0)
                 .slides(2)
                 .seed(3)
-                .render()
+                .render_with(&mut ctx)
                 .expect("render"),
         )
     });
+    let mut ctx = RenderContext::new();
     suite.bench("session_render/two_slides_anechoic", || {
         black_box(
             ScenarioBuilder::new(PhoneModel::galaxy_s4())
@@ -56,7 +59,7 @@ fn bench_session_render(suite: &mut Suite) {
                 .speaker_range(5.0)
                 .slides(2)
                 .seed(3)
-                .render()
+                .render_with(&mut ctx)
                 .expect("render"),
         )
     });

@@ -43,7 +43,10 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::FAILURE;
     }
-    ids.dedup();
+    // First-occurrence dedup: `Vec::dedup` only merges adjacent repeats,
+    // so `repro fig03 fig05 fig03` would run fig03 twice.
+    let mut seen = std::collections::HashSet::new();
+    ids.retain(|id| seen.insert(id.clone()));
     let started = std::time::Instant::now();
     if expect_csv_dir {
         eprintln!("--csv requires a directory argument");

@@ -9,15 +9,36 @@
 //! atomic cursor, results funnelled back over `std::sync::mpsc`).
 
 use hyperear::config::HyperEarConfig;
-use hyperear::pipeline::{HyperEar, SessionInput, SessionResult};
+use hyperear::pipeline::{SessionEngine, SessionInput, SessionResult};
 use hyperear::HyperEarError;
 use hyperear_geom::Vec2;
 use hyperear_sim::environment::Environment;
 use hyperear_sim::motion::MotionProfile;
 use hyperear_sim::phone::PhoneModel;
-use hyperear_sim::scenario::{Recording, ScenarioBuilder};
+use hyperear_sim::scenario::{Recording, RenderContext, ScenarioBuilder};
 use hyperear_sim::speaker::SpeakerModel;
 use hyperear_sim::volunteer::{roster, Volunteer};
+
+/// Per-worker reusable state for trial execution: the pipeline's
+/// [`SessionEngine`] (cached matched filter, FFT plans, scratch) and the
+/// simulator's [`RenderContext`].
+///
+/// A worker is implicitly tied to one [`SessionSpec`]: the engine is
+/// built from the first spec it runs and reused afterwards, so do not
+/// share one worker across specs with different pipeline configurations.
+#[derive(Debug, Default)]
+pub struct TrialWorker {
+    engine: Option<SessionEngine>,
+    render_ctx: RenderContext,
+}
+
+impl TrialWorker {
+    /// A fresh worker; engine and plans materialize on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        TrialWorker::default()
+    }
+}
 
 /// Hand-motion mode of an experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +133,19 @@ impl SessionSpec {
     ///
     /// Propagates simulator errors.
     pub fn render(&self, seed: u64) -> Result<Recording, hyperear_sim::SimError> {
+        self.render_with(seed, &mut RenderContext::new())
+    }
+
+    /// Renders the session for one seed, reusing the FFT state in `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn render_with(
+        &self,
+        seed: u64,
+        ctx: &mut RenderContext,
+    ) -> Result<Recording, hyperear_sim::SimError> {
         let mut builder = ScenarioBuilder::new(self.phone.clone())
             .environment(self.environment.clone())
             .speaker_range(self.range)
@@ -135,7 +169,7 @@ impl SessionSpec {
                 .slides_low(self.slides)
                 .stature_drop(self.stature_drop);
         }
-        builder.render()
+        builder.render_with(ctx)
     }
 
     /// Renders and runs the pipeline for one seed.
@@ -144,10 +178,28 @@ impl SessionSpec {
     ///
     /// Propagates simulator and pipeline errors.
     pub fn run(&self, seed: u64) -> Result<(Recording, SessionResult), HyperEarError> {
+        self.run_with(seed, &mut TrialWorker::new())
+    }
+
+    /// Renders and runs the pipeline for one seed, reusing the worker's
+    /// session engine and render context across calls. Identical results
+    /// to [`SessionSpec::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and pipeline errors.
+    pub fn run_with(
+        &self,
+        seed: u64,
+        worker: &mut TrialWorker,
+    ) -> Result<(Recording, SessionResult), HyperEarError> {
         let rec = self
-            .render(seed)
+            .render_with(seed, &mut worker.render_ctx)
             .map_err(|e| HyperEarError::invalid("scenario", e.to_string()))?;
-        let engine = HyperEar::new(self.config.clone())?;
+        if worker.engine.is_none() {
+            worker.engine = Some(SessionEngine::new(self.config.clone())?);
+        }
+        let engine = worker.engine.as_mut().expect("engine just ensured");
         let result = engine.run(&SessionInput {
             audio_sample_rate: rec.audio.sample_rate,
             left: &rec.audio.left,
@@ -220,6 +272,20 @@ where
     T: Send,
     F: Fn(u64) -> Option<T> + Sync,
 {
+    parallel_trials_with_state(seeds, || (), |(), seed| f(seed))
+}
+
+/// Runs `f(&mut state, seed)` for each seed across worker threads, where
+/// each worker owns one `state` built by `init` — the hook that lets a
+/// trial loop keep a warm [`TrialWorker`] (session engine, FFT plans,
+/// scratch buffers) per thread instead of rebuilding it per seed.
+/// Preserves input order in the output; failed trials yield `None`.
+pub fn parallel_trials_with_state<S, T, I, F>(seeds: &[u64], init: I, f: F) -> Vec<Option<T>>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, u64) -> Option<T> + Sync,
+{
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
 
@@ -235,11 +301,15 @@ where
         for _ in 0..workers {
             let tx_out = tx_out.clone();
             let next = &next;
+            let init = &init;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&seed) = seeds.get(i) else { break };
-                let _ = tx_out.send((i, f(seed)));
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&seed) = seeds.get(i) else { break };
+                    let _ = tx_out.send((i, f(&mut state, seed)));
+                }
             });
         }
         drop(tx_out);
@@ -254,8 +324,8 @@ where
 /// Collects per-slide 2D errors over many seeded sessions in parallel.
 #[must_use]
 pub fn collect_slide_errors(spec: &SessionSpec, seeds: &[u64]) -> Vec<f64> {
-    parallel_trials(seeds, |seed| {
-        let (rec, result) = spec.run(seed).ok()?;
+    parallel_trials_with_state(seeds, TrialWorker::new, |worker, seed| {
+        let (rec, result) = spec.run_with(seed, worker).ok()?;
         Some(per_slide_errors(&rec, &result))
     })
     .into_iter()
@@ -267,8 +337,8 @@ pub fn collect_slide_errors(spec: &SessionSpec, seeds: &[u64]) -> Vec<f64> {
 /// Collects session-level floor errors over many seeded sessions.
 #[must_use]
 pub fn collect_floor_errors(spec: &SessionSpec, seeds: &[u64]) -> Vec<f64> {
-    parallel_trials(seeds, |seed| {
-        let (rec, result) = spec.run(seed).ok()?;
+    parallel_trials_with_state(seeds, TrialWorker::new, |worker, seed| {
+        let (rec, result) = spec.run_with(seed, worker).ok()?;
         floor_error(&rec, &result)
     })
     .into_iter()
@@ -331,6 +401,45 @@ mod tests {
         // In-direction placement keeps the speaker near the travel mid.
         assert!(truth.x.abs() < 0.2, "along-axis offset {}", truth.x);
         assert!(truth_in_slide_frame(&rec, 99).is_none());
+    }
+
+    #[test]
+    fn reused_worker_matches_fresh_runs() {
+        let spec = SessionSpec {
+            slides: 2,
+            environment: Environment::anechoic(),
+            ..SessionSpec::ruler_2d(PhoneModel::galaxy_s4(), HyperEarConfig::galaxy_s4(), 3.0)
+        };
+        let mut worker = TrialWorker::new();
+        for seed in [101u64, 102] {
+            let (rec_w, res_w) = spec.run_with(seed, &mut worker).unwrap();
+            let (rec_f, res_f) = spec.run(seed).unwrap();
+            assert_eq!(rec_w, rec_f, "seed {seed}");
+            assert_eq!(res_w, res_f, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_trials_with_state_reuses_per_worker_state() {
+        let seeds: Vec<u64> = (0..16).collect();
+        let out = parallel_trials_with_state(
+            &seeds,
+            || 0u64,
+            |calls, seed| {
+                *calls += 1;
+                Some((seed, *calls))
+            },
+        );
+        let mut total_calls = 0;
+        for (i, v) in out.iter().enumerate() {
+            let (seed, calls) = v.expect("all trials succeed");
+            assert_eq!(seed, i as u64);
+            assert!(calls >= 1);
+            total_calls = total_calls.max(calls);
+        }
+        // At least one worker ran more than one trial unless every seed
+        // got its own thread.
+        assert!(total_calls >= 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use hyperear_dsp::correlate::MatchedFilter;
 use hyperear_dsp::filter::FirFilter;
 use hyperear_dsp::interpolate::{parabolic_peak, sinc_peak};
 use hyperear_dsp::peak::{find_peaks, noise_floor, PeakConfig};
+use hyperear_dsp::plan::DspScratch;
 use hyperear_dsp::window::Window;
 
 /// One detected beacon arrival on one channel.
@@ -31,6 +32,10 @@ pub struct BeaconArrival {
 ///
 /// Construction precomputes the reference chirp, matched filter and
 /// band-pass so that per-channel detection does no redundant design work.
+/// The detector also owns the FFT scratch arena and correlation buffer,
+/// so [`BeaconDetector::detect`] takes `&mut self` and, once warm,
+/// correlates without allocating (the matched filter caches its template
+/// spectrum per padded length).
 #[derive(Debug, Clone)]
 pub struct BeaconDetector {
     filter: MatchedFilter,
@@ -41,6 +46,8 @@ pub struct BeaconDetector {
     relative_threshold: f64,
     interpolation: Interpolation,
     envelope_detection: bool,
+    scratch: DspScratch,
+    corr: Vec<f64>,
 }
 
 impl BeaconDetector {
@@ -91,6 +98,8 @@ impl BeaconDetector {
             relative_threshold: config.detection.relative_threshold,
             interpolation: config.detection.interpolation,
             envelope_detection: config.detection.envelope_detection,
+            scratch: DspScratch::new(),
+            corr: Vec::new(),
         })
     }
 
@@ -108,7 +117,7 @@ impl BeaconDetector {
     /// # Errors
     ///
     /// Returns [`HyperEarError::Dsp`] for an empty or too-short channel.
-    pub fn detect(&self, channel: &[f64]) -> Result<Vec<BeaconArrival>, HyperEarError> {
+    pub fn detect(&mut self, channel: &[f64]) -> Result<Vec<BeaconArrival>, HyperEarError> {
         let filtered_storage;
         let signal: &[f64] = match &self.band_pass {
             Some(bp) => {
@@ -117,31 +126,34 @@ impl BeaconDetector {
             }
             None => channel,
         };
-        let corr = self.filter.correlate_normalized(signal)?;
+        self.filter
+            .correlate_normalized_into(signal, &mut self.scratch, &mut self.corr)?;
         // Envelope detection strips the carrier ripple of high-band
         // beacons (see `DetectionConfig::envelope_detection`).
-        let corr = if self.envelope_detection {
-            hyperear_dsp::envelope::envelope(&corr)?
+        let env_storage;
+        let corr: &[f64] = if self.envelope_detection {
+            env_storage = hyperear_dsp::envelope::envelope(&self.corr)?;
+            &env_storage
         } else {
-            corr
+            &self.corr
         };
-        let floor = noise_floor(&corr)?;
+        let floor = noise_floor(corr)?;
         let peak_max = corr.iter().fold(0.0f64, |m, &v| m.max(v));
         // Two-part threshold: beacons must clear the statistical noise
         // floor AND be within an order of magnitude of the session's
         // strongest beacon — the latter keeps numerical dust in quiet
         // recordings from ever counting as a detection.
         let threshold = (self.threshold_factor * floor).max(self.relative_threshold * peak_max);
-        let peaks = find_peaks(&corr, &PeakConfig::new(threshold, self.min_spacing.max(1))?)?;
+        let peaks = find_peaks(corr, &PeakConfig::new(threshold, self.min_spacing.max(1))?)?;
         let mut arrivals = Vec::with_capacity(peaks.len());
         for p in peaks {
             let (pos, value) = match self.interpolation {
                 Interpolation::None => (p.index as f64, p.value),
-                Interpolation::Parabolic => match parabolic_peak(&corr, p.index) {
+                Interpolation::Parabolic => match parabolic_peak(corr, p.index) {
                     Ok(refined) => refined,
                     Err(_) => (p.index as f64, p.value), // boundary peak
                 },
-                Interpolation::Sinc => match sinc_peak(&corr, p.index, 8) {
+                Interpolation::Sinc => match sinc_peak(corr, p.index, 8) {
                     Ok(refined) => refined,
                     Err(_) => (p.index as f64, p.value),
                 },
@@ -288,7 +300,7 @@ mod tests {
 
     #[test]
     fn empty_channel_is_error() {
-        let d = detector(Interpolation::Parabolic);
+        let mut d = detector(Interpolation::Parabolic);
         assert!(d.detect(&[]).is_err());
         assert_eq!(d.sample_rate(), FS);
     }

@@ -11,7 +11,7 @@ use crate::config::HyperEarConfig;
 use crate::localize::{localize, slide_geometry, Estimate2d, SlideFix};
 use crate::ple::{project, ProjectedEstimate};
 use crate::sfo::{estimate_period, PeriodEstimate};
-use crate::tdoa::{augmented_tdoa, AugmentedTdoa};
+use crate::tdoa::{augmented_tdoa_with, AugmentedTdoa, TdoaScratch};
 use crate::HyperEarError;
 use hyperear_geom::rotation::Side;
 use hyperear_geom::Vec3;
@@ -133,7 +133,73 @@ impl HyperEar {
         &self.config
     }
 
+    /// A reusable session engine for this configuration.
+    ///
+    /// The engine caches the beacon detector (matched filter, FFT plans,
+    /// scratch buffers) across sessions; callers processing many sessions
+    /// should hold one engine and call [`SessionEngine::run`] repeatedly
+    /// instead of [`HyperEar::run`], which builds a fresh engine per call.
+    #[must_use]
+    pub fn engine(&self) -> SessionEngine {
+        SessionEngine {
+            config: self.config.clone(),
+            detector: None,
+            tdoa_scratch: TdoaScratch::new(),
+        }
+    }
+
     /// Processes one session.
+    ///
+    /// Convenience wrapper that builds a throwaway [`SessionEngine`];
+    /// results are identical to running the same input through a reused
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SessionEngine::run`].
+    pub fn run(&self, input: &SessionInput<'_>) -> Result<SessionResult, HyperEarError> {
+        self.engine().run(input)
+    }
+}
+
+/// A reusable session-processing engine.
+///
+/// Owns everything the pipeline needs between sessions: the validated
+/// configuration, the beacon detector (which in turn owns the matched
+/// filter's cached template spectra, the FFT plan cache and the DSP
+/// scratch arena), and the TDoA working buffers. Once an engine has
+/// processed one session, later sessions at the same sample rate reuse
+/// all of that state and the acoustic hot path performs no per-call
+/// setup or steady-state allocation.
+#[derive(Debug, Clone)]
+pub struct SessionEngine {
+    config: HyperEarConfig,
+    detector: Option<BeaconDetector>,
+    tdoa_scratch: TdoaScratch,
+}
+
+impl SessionEngine {
+    /// Creates an engine from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] for an invalid config.
+    pub fn new(config: HyperEarConfig) -> Result<Self, HyperEarError> {
+        config.validate()?;
+        Ok(SessionEngine {
+            config,
+            detector: None,
+            tdoa_scratch: TdoaScratch::new(),
+        })
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &HyperEarConfig {
+        &self.config
+    }
+
+    /// Processes one session, reusing cached detector state.
     ///
     /// # Errors
     ///
@@ -143,7 +209,7 @@ impl HyperEar {
     /// - [`HyperEarError::NoUsableSlides`] when every detected slide was
     ///   rejected or unlocalizable,
     /// - plus propagated component errors.
-    pub fn run(&self, input: &SessionInput<'_>) -> Result<SessionResult, HyperEarError> {
+    pub fn run(&mut self, input: &SessionInput<'_>) -> Result<SessionResult, HyperEarError> {
         if input.left.len() != input.right.len() {
             return Err(HyperEarError::invalid(
                 "left/right",
@@ -162,7 +228,16 @@ impl HyperEar {
         }
 
         // ---- Beacon detection (ASP). ------------------------------------
-        let detector = BeaconDetector::new(&self.config, input.audio_sample_rate)?;
+        // The detector is cached across sessions; only a sample-rate
+        // change forces a rebuild (new chirp template and band-pass).
+        let rebuild = self
+            .detector
+            .as_ref()
+            .is_none_or(|d| d.sample_rate() != input.audio_sample_rate);
+        if rebuild {
+            self.detector = Some(BeaconDetector::new(&self.config, input.audio_sample_rate)?);
+        }
+        let detector = self.detector.as_mut().expect("detector just ensured");
         let left = detector.detect(input.left)?;
         let right = detector.detect(input.right)?;
         if left.len() < 2 || right.len() < 2 {
@@ -310,7 +385,7 @@ impl HyperEar {
                     audio_duration,
                     self.config.beacon.duration,
                 );
-                match augmented_tdoa(
+                match augmented_tdoa_with(
                     &left,
                     &right,
                     pre,
@@ -318,6 +393,7 @@ impl HyperEar {
                     period.period,
                     self.config.speed_of_sound,
                     self.config.beacons_per_side,
+                    &mut self.tdoa_scratch,
                 ) {
                     Ok(tdoa) => {
                         report.tdoa = Some(tdoa);
@@ -622,6 +698,38 @@ mod tests {
         let engine = HyperEar::new(cfg).unwrap();
         let result = engine.run(&input(&rec)).unwrap();
         assert!(result.upper.is_some());
+    }
+
+    #[test]
+    fn reused_engine_matches_one_shot_runs() {
+        let engine = HyperEar::new(HyperEarConfig::galaxy_s4()).unwrap();
+        let mut session = engine.engine();
+        assert_eq!(session.config().mic_separation, 0.1366);
+        for seed in [21, 22] {
+            let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+                .environment(Environment::anechoic())
+                .speaker_range(2.5)
+                .slides(2)
+                .seed(seed)
+                .render()
+                .unwrap();
+            let reused = session.run(&input(&rec)).unwrap();
+            let fresh = engine.run(&input(&rec)).unwrap();
+            assert_eq!(reused, fresh, "seed {seed}");
+        }
+        // A standalone engine built from the same config behaves the same.
+        let mut standalone = SessionEngine::new(HyperEarConfig::galaxy_s4()).unwrap();
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(2.5)
+            .slides(2)
+            .seed(21)
+            .render()
+            .unwrap();
+        assert_eq!(
+            standalone.run(&input(&rec)).unwrap(),
+            engine.run(&input(&rec)).unwrap()
+        );
     }
 
     #[test]

@@ -28,6 +28,27 @@ pub struct AugmentedTdoa {
     pub pairs_mic2: usize,
 }
 
+/// Reusable working storage for the TDoA computation.
+///
+/// The per-slide arrival filtering and pair deltas live here so the
+/// session loop ([`crate::pipeline::SessionEngine`]) reuses one set of
+/// buffers across all slides instead of allocating three vectors per
+/// channel per slide.
+#[derive(Debug, Clone, Default)]
+pub struct TdoaScratch {
+    pre: Vec<f64>,
+    post: Vec<f64>,
+    deltas: Vec<f64>,
+}
+
+impl TdoaScratch {
+    /// An empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        TdoaScratch::default()
+    }
+}
+
 /// Computes one channel's augmented time difference, averaged over up to
 /// `beacons_per_side` pre-slide and post-slide beacons.
 ///
@@ -42,6 +63,29 @@ pub fn channel_delta_t(
     period: f64,
     beacons_per_side: usize,
 ) -> Result<(f64, usize), HyperEarError> {
+    channel_delta_t_with(
+        arrivals,
+        pre_window,
+        post_window,
+        period,
+        beacons_per_side,
+        &mut TdoaScratch::new(),
+    )
+}
+
+/// [`channel_delta_t`] with caller-provided working storage.
+///
+/// # Errors
+///
+/// Same conditions as [`channel_delta_t`].
+pub fn channel_delta_t_with(
+    arrivals: &[BeaconArrival],
+    pre_window: TimeWindow,
+    post_window: TimeWindow,
+    period: f64,
+    beacons_per_side: usize,
+    scratch: &mut TdoaScratch,
+) -> Result<(f64, usize), HyperEarError> {
     if period <= 0.0 {
         return Err(HyperEarError::invalid("period", "must be positive"));
     }
@@ -51,16 +95,21 @@ pub fn channel_delta_t(
             "must be positive",
         ));
     }
-    let pre: Vec<f64> = arrivals
-        .iter()
-        .map(|a| a.time)
-        .filter(|&t| t >= pre_window.0 && t <= pre_window.1)
-        .collect();
-    let post: Vec<f64> = arrivals
-        .iter()
-        .map(|a| a.time)
-        .filter(|&t| t >= post_window.0 && t <= post_window.1)
-        .collect();
+    scratch.pre.clear();
+    scratch.pre.extend(
+        arrivals
+            .iter()
+            .map(|a| a.time)
+            .filter(|&t| t >= pre_window.0 && t <= pre_window.1),
+    );
+    scratch.post.clear();
+    scratch.post.extend(
+        arrivals
+            .iter()
+            .map(|a| a.time)
+            .filter(|&t| t >= post_window.0 && t <= post_window.1),
+    );
+    let (pre, post) = (&scratch.pre, &scratch.post);
     if pre.is_empty() || post.is_empty() {
         return Err(HyperEarError::InsufficientBeacons {
             stage: "augmented TDoA",
@@ -71,15 +120,16 @@ pub fn channel_delta_t(
     // Use the beacons closest to the slide: the last pre, the first post.
     let pre_used = &pre[pre.len().saturating_sub(beacons_per_side)..];
     let post_used = &post[..beacons_per_side.min(post.len())];
-    let mut deltas = Vec::with_capacity(pre_used.len() * post_used.len());
+    scratch.deltas.clear();
     for &t1 in pre_used {
         for &t2 in post_used {
             let n = ((t2 - t1) / period).round();
-            deltas.push(t2 - t1 - n * period);
+            scratch.deltas.push(t2 - t1 - n * period);
         }
     }
     // Median over pairs: robust against a single echo-captured or
     // noise-shifted beacon, which would drag a mean.
+    let deltas = &mut scratch.deltas;
     deltas.sort_by(f64::total_cmp);
     let count = deltas.len();
     let median = if count % 2 == 1 {
@@ -111,11 +161,53 @@ pub fn augmented_tdoa(
     speed_of_sound: f64,
     beacons_per_side: usize,
 ) -> Result<AugmentedTdoa, HyperEarError> {
+    augmented_tdoa_with(
+        left,
+        right,
+        pre_window,
+        post_window,
+        period,
+        speed_of_sound,
+        beacons_per_side,
+        &mut TdoaScratch::new(),
+    )
+}
+
+/// [`augmented_tdoa`] with caller-provided working storage.
+///
+/// # Errors
+///
+/// Same conditions as [`augmented_tdoa`].
+#[allow(clippy::too_many_arguments)]
+pub fn augmented_tdoa_with(
+    left: &[BeaconArrival],
+    right: &[BeaconArrival],
+    pre_window: TimeWindow,
+    post_window: TimeWindow,
+    period: f64,
+    speed_of_sound: f64,
+    beacons_per_side: usize,
+    scratch: &mut TdoaScratch,
+) -> Result<AugmentedTdoa, HyperEarError> {
     if speed_of_sound <= 0.0 {
         return Err(HyperEarError::invalid("speed_of_sound", "must be positive"));
     }
-    let (dt1, pairs1) = channel_delta_t(left, pre_window, post_window, period, beacons_per_side)?;
-    let (dt2, pairs2) = channel_delta_t(right, pre_window, post_window, period, beacons_per_side)?;
+    let (dt1, pairs1) = channel_delta_t_with(
+        left,
+        pre_window,
+        post_window,
+        period,
+        beacons_per_side,
+        scratch,
+    )?;
+    let (dt2, pairs2) = channel_delta_t_with(
+        right,
+        pre_window,
+        post_window,
+        period,
+        beacons_per_side,
+        scratch,
+    )?;
     Ok(AugmentedTdoa {
         delta_d1: dt1 * speed_of_sound,
         delta_d2: dt2 * speed_of_sound,

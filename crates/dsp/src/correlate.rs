@@ -6,22 +6,11 @@
 //! signal" (Section IV-A). Correlation is computed in the frequency domain
 //! so a full one-second stereo recording is cheap to scan.
 
-use crate::fft::{self, next_pow2};
+use crate::fft::next_pow2;
+use crate::plan::{DspScratch, PlanCache};
 use crate::{Complex, DspError};
 
-/// Full cross-correlation of `signal` with `template` at all lags where the
-/// template overlaps the signal start, computed via FFT.
-///
-/// `output[k] = Σ_n signal[n + k] · template[n]`, for `k` in
-/// `0..signal.len()`. The value at `k` is large when the template occurs at
-/// position `k` in the signal, making the output directly indexable by
-/// arrival sample.
-///
-/// # Errors
-///
-/// Returns [`DspError::EmptyInput`] if either input is empty, and
-/// [`DspError::InvalidParameter`] if the template is longer than the signal.
-pub fn xcorr(signal: &[f64], template: &[f64]) -> Result<Vec<f64>, DspError> {
+fn validate_xcorr_inputs(signal: &[f64], template: &[f64]) -> Result<(), DspError> {
     if signal.is_empty() {
         return Err(DspError::EmptyInput {
             what: "xcorr signal",
@@ -42,16 +31,61 @@ pub fn xcorr(signal: &[f64], template: &[f64]) -> Result<Vec<f64>, DspError> {
             ),
         ));
     }
+    Ok(())
+}
+
+/// Full cross-correlation of `signal` with `template` at all lags where the
+/// template overlaps the signal start, computed via FFT.
+///
+/// `output[k] = Σ_n signal[n + k] · template[n]`, for `k` in
+/// `0..signal.len()`. The value at `k` is large when the template occurs at
+/// position `k` in the signal, making the output directly indexable by
+/// arrival sample.
+///
+/// This is the one-shot convenience; repeated correlation should go
+/// through [`xcorr_into`] (reusable plans/scratch) or a [`MatchedFilter`]
+/// (which additionally caches the template spectrum).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if either input is empty, and
+/// [`DspError::InvalidParameter`] if the template is longer than the signal.
+pub fn xcorr(signal: &[f64], template: &[f64]) -> Result<Vec<f64>, DspError> {
+    let mut out = Vec::new();
+    crate::plan::with_thread_ctx(|plans, scratch| {
+        xcorr_into(signal, template, plans, scratch, &mut out)
+    })?;
+    Ok(out)
+}
+
+/// Planned cross-correlation: identical output to [`xcorr`], but all FFT
+/// setup comes from `plans` and all working storage from `scratch`/`out`,
+/// so steady-state calls at warm sizes do not allocate.
+///
+/// `out` is cleared and refilled (its capacity is reused).
+///
+/// # Errors
+///
+/// Same conditions as [`xcorr`].
+pub fn xcorr_into(
+    signal: &[f64],
+    template: &[f64],
+    plans: &mut PlanCache,
+    scratch: &mut DspScratch,
+    out: &mut Vec<f64>,
+) -> Result<(), DspError> {
+    validate_xcorr_inputs(signal, template)?;
     let n = next_pow2(signal.len() + template.len());
-    let sig_spec = fft::rfft(signal, n)?;
-    let tpl_spec = fft::rfft(template, n)?;
-    let mut prod: Vec<Complex> = sig_spec
-        .iter()
-        .zip(&tpl_spec)
-        .map(|(&s, &t)| s * t.conj())
-        .collect();
-    fft::ifft(&mut prod)?;
-    Ok(prod[..signal.len()].iter().map(|c| c.re).collect())
+    let plan = plans.plan(n)?;
+    plan.rfft_into(signal, &mut scratch.c1)?;
+    plan.rfft_into(template, &mut scratch.c2)?;
+    for (s, &t) in scratch.c1.iter_mut().zip(&scratch.c2) {
+        *s *= t.conj();
+    }
+    plan.ifft(&mut scratch.c1)?;
+    out.clear();
+    out.extend(scratch.c1[..signal.len()].iter().map(|c| c.re));
+    Ok(())
 }
 
 /// Normalized cross-correlation: [`xcorr`] scaled so a perfect match of the
@@ -92,15 +126,24 @@ pub fn normalized_xcorr(signal: &[f64], template: &[f64]) -> Result<Vec<f64>, Ds
     Ok(out)
 }
 
-/// A reusable matched filter with a precomputed template spectrum.
+/// A reusable matched filter with per-size cached template spectra.
 ///
 /// When the same reference chirp is correlated against many recordings
-/// (every slide, every microphone), caching the conjugated template spectrum
-/// per FFT size avoids redundant transforms.
+/// (every slide, every microphone, every session), the template's FFT is
+/// the same work each time. The filter owns a [`PlanCache`] and memoizes
+/// the template spectrum per padded FFT length, so over a filter's
+/// lifetime **at most one template FFT runs per padded length** — the
+/// [`MatchedFilter::template_fft_count`] counter makes that observable.
+/// The `*_into` methods are the planned hot path (allocation-free once
+/// warm); `correlate`/`correlate_normalized` remain as one-shot wrappers.
 #[derive(Debug, Clone)]
 pub struct MatchedFilter {
     template: Vec<f64>,
     template_energy: f64,
+    plans: PlanCache,
+    /// Cached template spectra, keyed by padded FFT length.
+    spectra: Vec<(usize, Vec<Complex>)>,
+    template_ffts: usize,
 }
 
 impl MatchedFilter {
@@ -123,6 +166,9 @@ impl MatchedFilter {
         Ok(MatchedFilter {
             template: template.to_vec(),
             template_energy: energy,
+            plans: PlanCache::new(),
+            spectra: Vec::new(),
+            template_ffts: 0,
         })
     }
 
@@ -142,6 +188,83 @@ impl MatchedFilter {
     #[must_use]
     pub fn template_energy(&self) -> f64 {
         self.template_energy
+    }
+
+    /// How many template FFTs have run over this filter's lifetime.
+    ///
+    /// Stays at the number of distinct padded lengths seen — the
+    /// "at most one template FFT per (template, padded length) pair"
+    /// guarantee of the spectrum cache.
+    #[must_use]
+    pub fn template_fft_count(&self) -> usize {
+        self.template_ffts
+    }
+
+    /// The cached template spectrum for padded length `n`, computing and
+    /// memoizing it on first use.
+    fn template_spectrum(&mut self, n: usize) -> Result<usize, DspError> {
+        if let Some(i) = self.spectra.iter().position(|(len, _)| *len == n) {
+            return Ok(i);
+        }
+        let plan = self.plans.plan(n)?;
+        let mut spec = Vec::with_capacity(n);
+        plan.rfft_into(&self.template, &mut spec)?;
+        self.template_ffts += 1;
+        self.spectra.push((n, spec));
+        Ok(self.spectra.len() - 1)
+    }
+
+    /// Planned raw correlation: identical output to
+    /// [`MatchedFilter::correlate`], with the template spectrum served
+    /// from the per-length cache, FFT setup from the internal plan cache,
+    /// and working storage borrowed from `scratch`/`out`. Steady-state
+    /// calls at warm sizes do not allocate.
+    ///
+    /// `out` is cleared and refilled (its capacity is reused).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`xcorr`].
+    pub fn correlate_into(
+        &mut self,
+        signal: &[f64],
+        scratch: &mut DspScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
+        validate_xcorr_inputs(signal, &self.template)?;
+        let n = next_pow2(signal.len() + self.template.len());
+        let plan = self.plans.plan(n)?;
+        let idx = self.template_spectrum(n)?;
+        let tpl_spec = &self.spectra[idx].1;
+        plan.rfft_into(signal, &mut scratch.c1)?;
+        for (s, &t) in scratch.c1.iter_mut().zip(tpl_spec) {
+            *s *= t.conj();
+        }
+        plan.ifft(&mut scratch.c1)?;
+        out.clear();
+        out.extend(scratch.c1[..signal.len()].iter().map(|c| c.re));
+        Ok(())
+    }
+
+    /// Planned normalized correlation: identical output to
+    /// [`MatchedFilter::correlate_normalized`], on the allocation-free
+    /// path of [`MatchedFilter::correlate_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`xcorr`].
+    pub fn correlate_normalized_into(
+        &mut self,
+        signal: &[f64],
+        scratch: &mut DspScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
+        self.correlate_into(signal, scratch, out)?;
+        let k = 1.0 / self.template_energy;
+        for v in out.iter_mut() {
+            *v *= k;
+        }
+        Ok(())
     }
 
     /// Raw correlation of the filter template against `signal`.

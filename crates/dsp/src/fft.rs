@@ -4,6 +4,13 @@
 //! filtering of chirp beacons) and [`crate::spectrum`]. Sizes must be powers
 //! of two; [`next_pow2`] helps choose a padded length.
 //!
+//! The functions here are one-shot conveniences: each call borrows the
+//! thread-local plan cache ([`crate::plan::with_thread_ctx`]), so repeated
+//! calls at one size reuse twiddle tables. Hot paths that transform
+//! repeatedly at the same size should still hold their own
+//! [`crate::plan::PlanCache`] and call its allocation-free methods
+//! directly — results are bit-identical either way.
+//!
 //! # Example
 //!
 //! ```
@@ -22,6 +29,7 @@
 //! # }
 //! ```
 
+use crate::plan::with_thread_ctx;
 use crate::{Complex, DspError};
 
 /// Returns the smallest power of two greater than or equal to `n`.
@@ -48,7 +56,7 @@ pub fn next_pow2(n: usize) -> usize {
 /// Returns [`DspError::InvalidParameter`] if the length is not a power of
 /// two, and [`DspError::EmptyInput`] for an empty slice.
 pub fn fft(data: &mut [Complex]) -> Result<(), DspError> {
-    transform(data, false)
+    with_thread_ctx(|plans, _| plans.plan(data.len())?.fft(data))
 }
 
 /// In-place inverse FFT, normalized by `1/N`.
@@ -59,58 +67,7 @@ pub fn fft(data: &mut [Complex]) -> Result<(), DspError> {
 ///
 /// Same conditions as [`fft`].
 pub fn ifft(data: &mut [Complex]) -> Result<(), DspError> {
-    transform(data, true)?;
-    let n = data.len() as f64;
-    for v in data.iter_mut() {
-        *v = *v / n;
-    }
-    Ok(())
-}
-
-fn transform(data: &mut [Complex], inverse: bool) -> Result<(), DspError> {
-    let n = data.len();
-    if n == 0 {
-        return Err(DspError::EmptyInput { what: "fft input" });
-    }
-    if !n.is_power_of_two() {
-        return Err(DspError::invalid(
-            "data.len()",
-            format!("FFT length must be a power of two, got {n}"),
-        ));
-    }
-    if n == 1 {
-        return Ok(());
-    }
-
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = i.reverse_bits() >> (usize::BITS - bits);
-        if j > i {
-            data.swap(i, j);
-        }
-    }
-
-    // Danielson-Lanczos butterflies.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex::from_angle(ang);
-        let half = len / 2;
-        for start in (0..n).step_by(len) {
-            let mut w = Complex::ONE;
-            for k in 0..half {
-                let u = data[start + k];
-                let v = data[start + k + half] * w;
-                data[start + k] = u + v;
-                data[start + k + half] = u - v;
-                w *= wlen;
-            }
-        }
-        len <<= 1;
-    }
-    Ok(())
+    with_thread_ctx(|plans, _| plans.plan(data.len())?.ifft(data))
 }
 
 /// Forward FFT of a real signal, zero-padded to `padded_len`.
@@ -137,9 +94,7 @@ pub fn rfft(signal: &[f64], padded_len: usize) -> Result<Vec<Complex>, DspError>
         ));
     }
     let mut buf: Vec<Complex> = Vec::with_capacity(padded_len);
-    buf.extend(signal.iter().map(|&x| Complex::from_real(x)));
-    buf.resize(padded_len, Complex::ZERO);
-    fft(&mut buf)?;
+    with_thread_ctx(|plans, _| plans.plan(padded_len)?.rfft_into(signal, &mut buf))?;
     Ok(buf)
 }
 

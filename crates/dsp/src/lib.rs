@@ -5,6 +5,10 @@
 //! HyperEar pipeline needs is implemented here from scratch:
 //!
 //! - [`fft`] — iterative radix-2 complex FFT/IFFT and real-signal helpers.
+//! - [`plan`] — planned FFT execution: precomputed twiddle/bit-reversal
+//!   tables ([`plan::FftPlan`], [`plan::PlanCache`]) and the
+//!   [`plan::DspScratch`] buffer arena behind the allocation-free hot
+//!   path.
 //! - [`window`] — Hann/Hamming/Blackman/rectangular analysis windows.
 //! - [`filter`] — windowed-sinc FIR design, RBJ biquads, zero-phase
 //!   filtering, and the simple-moving-average filter the paper uses on
@@ -75,6 +79,7 @@ pub mod goertzel;
 pub mod interpolate;
 pub mod level;
 pub mod peak;
+pub mod plan;
 pub mod quantize;
 pub mod resample;
 pub mod spectrum;

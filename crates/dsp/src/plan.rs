@@ -1,0 +1,419 @@
+//! Planned FFT execution: precomputed twiddle/bit-reversal tables and a
+//! reusable scratch arena for the session hot path.
+//!
+//! Every figure reproduction runs hundreds of simulated sessions, and each
+//! session's matched filtering re-derives the same FFT setup (twiddle
+//! factors, bit-reversal permutation) and re-allocates the same working
+//! buffers on every call. A [`FftPlan`] hoists the per-size setup out of
+//! the transform, a [`PlanCache`] memoizes plans across sizes, and a
+//! [`DspScratch`] arena lends out reusable buffers so the planned variants
+//! of `fft`/`rfft`/`xcorr`/`stft`/`power_spectrum` never allocate once
+//! warm. The one-shot functions elsewhere in the crate remain as thin
+//! wrappers over this module.
+//!
+//! The planned transforms are **bit-identical** to the historical one-shot
+//! implementations: the twiddle tables are generated with the exact
+//! recurrence (`w *= wlen`) the former inline loop used, so cached and
+//! fresh executions produce the same floating-point results to the last
+//! ulp. The equivalence property tests in `tests/proptests.rs` pin this.
+//!
+//! # Example
+//!
+//! ```
+//! use hyperear_dsp::plan::{DspScratch, FftPlan};
+//! use hyperear_dsp::Complex;
+//!
+//! # fn main() -> Result<(), hyperear_dsp::DspError> {
+//! let plan = FftPlan::new(8)?;
+//! let mut data: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64, 0.0)).collect();
+//! let original = data.clone();
+//! plan.fft(&mut data)?;
+//! plan.ifft(&mut data)?;
+//! for (a, b) in data.iter().zip(&original) {
+//!     assert!((a.re - b.re).abs() < 1e-12);
+//! }
+//! # let _ = DspScratch::new();
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{Complex, DspError};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+thread_local! {
+    /// The execution context behind the crate's one-shot wrappers.
+    static THREAD_CTX: RefCell<(PlanCache, DspScratch)> =
+        RefCell::new((PlanCache::new(), DspScratch::new()));
+}
+
+/// Runs `f` against the thread-local plan cache and scratch arena.
+///
+/// This is the context the crate's one-shot conveniences (`fft`, `rfft`,
+/// `xcorr`, `stft`, `power_spectrum`) execute in, so repeated one-shot
+/// calls on a thread reuse plans and buffers much like FFTW's "wisdom".
+/// Hot paths should still hold their own [`PlanCache`]/[`DspScratch`] —
+/// explicit state is faster to reach and testable — but callers with a
+/// transform off the hot path can borrow this one.
+///
+/// # Panics
+///
+/// Panics if `f` re-enters `with_thread_ctx` (directly or by calling a
+/// one-shot wrapper): the context is a `RefCell`, not a reentrant lock.
+pub fn with_thread_ctx<T>(f: impl FnOnce(&mut PlanCache, &mut DspScratch) -> T) -> T {
+    THREAD_CTX.with(|ctx| {
+        let mut ctx = ctx.borrow_mut();
+        let (plans, scratch) = &mut *ctx;
+        f(plans, scratch)
+    })
+}
+
+/// A precomputed execution plan for one FFT size.
+///
+/// Holds the bit-reversal permutation and the per-stage twiddle factors
+/// for both transform directions, so [`FftPlan::fft`] and
+/// [`FftPlan::ifft`] run the pure butterfly passes with no trigonometry
+/// and no allocation.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversed index of each position (identity entries included).
+    bit_rev: Vec<usize>,
+    /// Forward twiddles, stages flattened: stage `len` contributes
+    /// `len/2` entries, for `len = 2, 4, …, n` — `n − 1` entries total.
+    fwd: Vec<Complex>,
+    /// Inverse twiddles, same layout.
+    inv: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for `n == 0` and
+    /// [`DspError::InvalidParameter`] when `n` is not a power of two.
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        if n == 0 {
+            return Err(DspError::EmptyInput { what: "fft input" });
+        }
+        if !n.is_power_of_two() {
+            return Err(DspError::invalid(
+                "data.len()",
+                format!("FFT length must be a power of two, got {n}"),
+            ));
+        }
+        let bits = n.trailing_zeros();
+        let bit_rev = if n == 1 {
+            vec![0]
+        } else {
+            (0..n)
+                .map(|i| i.reverse_bits() >> (usize::BITS - bits))
+                .collect()
+        };
+        Ok(FftPlan {
+            n,
+            bit_rev,
+            fwd: twiddle_table(n, -1.0),
+            inv: twiddle_table(n, 1.0),
+        })
+    }
+
+    /// The transform length this plan was built for.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan length is zero (never true for a constructed plan).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward FFT. Allocation-free.
+    ///
+    /// Identical results to [`crate::fft::fft`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `data.len()` does not
+    /// match the plan length.
+    pub fn fft(&self, data: &mut [Complex]) -> Result<(), DspError> {
+        self.check_len(data.len())?;
+        self.run(data, &self.fwd);
+        Ok(())
+    }
+
+    /// In-place inverse FFT, normalized by `1/N`. Allocation-free.
+    ///
+    /// Identical results to [`crate::fft::ifft`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FftPlan::fft`].
+    pub fn ifft(&self, data: &mut [Complex]) -> Result<(), DspError> {
+        self.check_len(data.len())?;
+        self.run(data, &self.inv);
+        let n = data.len() as f64;
+        for v in data.iter_mut() {
+            *v = *v / n;
+        }
+        Ok(())
+    }
+
+    /// Forward FFT of a real signal zero-padded to the plan length,
+    /// written into `out` (cleared and resized; its capacity is reused).
+    ///
+    /// Identical results to [`crate::fft::rfft`] at `padded_len == n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty signal and
+    /// [`DspError::InvalidParameter`] when the signal exceeds the plan
+    /// length.
+    pub fn rfft_into(&self, signal: &[f64], out: &mut Vec<Complex>) -> Result<(), DspError> {
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput { what: "rfft input" });
+        }
+        if self.n < signal.len() {
+            return Err(DspError::invalid(
+                "padded_len",
+                format!(
+                    "padded length {} is smaller than the signal ({})",
+                    self.n,
+                    signal.len()
+                ),
+            ));
+        }
+        out.clear();
+        out.extend(signal.iter().map(|&x| Complex::from_real(x)));
+        out.resize(self.n, Complex::ZERO);
+        self.run(out, &self.fwd);
+        Ok(())
+    }
+
+    fn check_len(&self, len: usize) -> Result<(), DspError> {
+        if len == self.n {
+            Ok(())
+        } else {
+            Err(DspError::invalid(
+                "data.len()",
+                format!("plan built for length {}, got {len}", self.n),
+            ))
+        }
+    }
+
+    /// The butterfly passes shared by both directions.
+    fn run(&self, data: &mut [Complex], twiddles: &[Complex]) {
+        let n = self.n;
+        if n == 1 {
+            return;
+        }
+        for i in 0..n {
+            let j = self.bit_rev[i];
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+        let mut offset = 0;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stage = &twiddles[offset..offset + half];
+            for start in (0..n).step_by(len) {
+                for (k, &w) in stage.iter().enumerate() {
+                    let u = data[start + k];
+                    let v = data[start + k + half] * w;
+                    data[start + k] = u + v;
+                    data[start + k + half] = u - v;
+                }
+            }
+            offset += half;
+            len <<= 1;
+        }
+    }
+}
+
+/// Generates the flattened per-stage twiddle table.
+///
+/// Uses the exact recurrence of the historical inline transform
+/// (`w = ONE; w *= wlen` per butterfly) so planned output is bit-identical
+/// to the one-shot path.
+fn twiddle_table(n: usize, sign: f64) -> Vec<Complex> {
+    let mut table = Vec::with_capacity(n.saturating_sub(1));
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        let mut w = Complex::ONE;
+        for _ in 0..len / 2 {
+            table.push(w);
+            w *= wlen;
+        }
+        len <<= 1;
+    }
+    table
+}
+
+/// A memo of [`FftPlan`]s keyed by transform length.
+///
+/// Sessions touch only a handful of distinct sizes (the padded
+/// correlation length, the STFT frame, the spectrum pad), so a linear
+/// scan over an ordered small vector beats hashing.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    plans: Vec<Arc<FftPlan>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// The plan for length `n`, building and memoizing it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FftPlan::new`].
+    pub fn plan(&mut self, n: usize) -> Result<Arc<FftPlan>, DspError> {
+        if let Some(p) = self.plans.iter().find(|p| p.len() == n) {
+            return Ok(Arc::clone(p));
+        }
+        let plan = Arc::new(FftPlan::new(n)?);
+        self.plans.push(Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// The number of distinct sizes planned so far.
+    #[must_use]
+    pub fn size_count(&self) -> usize {
+        self.plans.len()
+    }
+}
+
+/// A reusable buffer arena for the planned DSP paths.
+///
+/// The planned variants of `xcorr`, `stft` and `power_spectrum` borrow
+/// their working storage from here instead of allocating. Buffers grow to
+/// the high-water mark of the sizes seen and are then reused, so a warm
+/// scratch makes the steady-state hot path allocation-free (pinned by the
+/// `alloc_steady_state` test).
+#[derive(Debug, Clone, Default)]
+pub struct DspScratch {
+    /// Primary complex workspace (signal spectra, in-place transforms).
+    pub c1: Vec<Complex>,
+    /// Secondary complex workspace (template spectra, products).
+    pub c2: Vec<Complex>,
+    /// Real workspace (windowed frames, intermediate magnitudes).
+    pub r1: Vec<f64>,
+}
+
+impl DspScratch {
+    /// An empty scratch arena.
+    #[must_use]
+    pub fn new() -> Self {
+        DspScratch::default()
+    }
+
+    /// Total capacity currently held, in bytes (diagnostic).
+    #[must_use]
+    pub fn capacity_bytes(&self) -> usize {
+        self.c1.capacity() * std::mem::size_of::<Complex>()
+            + self.c2.capacity() * std::mem::size_of::<Complex>()
+            + self.r1.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_rejects_invalid_sizes() {
+        assert!(matches!(FftPlan::new(0), Err(DspError::EmptyInput { .. })));
+        assert!(matches!(
+            FftPlan::new(12),
+            Err(DspError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_matches_one_shot_fft_bitwise() {
+        for &n in &[1usize, 2, 8, 64, 256] {
+            let data: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect();
+            let mut planned = data.clone();
+            let mut oneshot = data.clone();
+            let plan = FftPlan::new(n).unwrap();
+            plan.fft(&mut planned).unwrap();
+            crate::fft::fft(&mut oneshot).unwrap();
+            assert_eq!(planned, oneshot, "forward n={n}");
+            plan.ifft(&mut planned).unwrap();
+            crate::fft::ifft(&mut oneshot).unwrap();
+            assert_eq!(planned, oneshot, "inverse n={n}");
+        }
+    }
+
+    #[test]
+    fn plan_length_is_enforced() {
+        let plan = FftPlan::new(8).unwrap();
+        let mut wrong = vec![Complex::ZERO; 4];
+        assert!(plan.fft(&mut wrong).is_err());
+        assert!(plan.ifft(&mut wrong).is_err());
+        assert_eq!(plan.len(), 8);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn rfft_into_matches_one_shot_and_reuses_capacity() {
+        let signal: Vec<f64> = (0..100).map(|i| (i as f64 * 0.21).sin()).collect();
+        let plan = FftPlan::new(128).unwrap();
+        let mut out = Vec::new();
+        plan.rfft_into(&signal, &mut out).unwrap();
+        let reference = crate::fft::rfft(&signal, 128).unwrap();
+        assert_eq!(out, reference);
+        let ptr = out.as_ptr();
+        plan.rfft_into(&signal, &mut out).unwrap();
+        assert_eq!(ptr, out.as_ptr(), "capacity must be reused");
+        assert!(plan.rfft_into(&[], &mut out).is_err());
+        assert!(plan.rfft_into(&vec![0.0; 200], &mut out).is_err());
+    }
+
+    #[test]
+    fn cache_memoizes_per_size() {
+        let mut cache = PlanCache::new();
+        let a = cache.plan(64).unwrap();
+        let b = cache.plan(64).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let _ = cache.plan(128).unwrap();
+        assert_eq!(cache.size_count(), 2);
+        assert!(cache.plan(10).is_err());
+    }
+
+    #[test]
+    fn thread_ctx_memoizes_across_calls() {
+        // Two separate borrows of the thread context see the same cache:
+        // the second call must not grow the size count.
+        let count0 = with_thread_ctx(|plans, _| {
+            plans.plan(32).unwrap();
+            plans.size_count()
+        });
+        let count1 = with_thread_ctx(|plans, _| {
+            plans.plan(32).unwrap();
+            plans.size_count()
+        });
+        assert_eq!(count0, count1);
+    }
+
+    #[test]
+    fn scratch_reports_capacity() {
+        let mut scratch = DspScratch::new();
+        assert_eq!(scratch.capacity_bytes(), 0);
+        scratch.c1.reserve(16);
+        assert!(scratch.capacity_bytes() >= 16 * std::mem::size_of::<Complex>());
+    }
+}

@@ -4,7 +4,8 @@
 //! to calibrate simulated noise spectra against the paper's SNR points, and
 //! by tests that check filter behaviour.
 
-use crate::fft::{next_pow2, rfft};
+use crate::fft::next_pow2;
+use crate::plan::{DspScratch, PlanCache};
 use crate::window::Window;
 use crate::DspError;
 
@@ -23,6 +24,24 @@ pub fn power_spectrum(
     sample_rate: f64,
     window: Window,
 ) -> Result<(Vec<f64>, Vec<f64>), DspError> {
+    crate::plan::with_thread_ctx(|plans, scratch| {
+        power_spectrum_with(signal, sample_rate, window, plans, scratch)
+    })
+}
+
+/// Planned periodogram: identical output to [`power_spectrum`], with the
+/// FFT plan and working buffers taken from `plans`/`scratch`.
+///
+/// # Errors
+///
+/// Same conditions as [`power_spectrum`].
+pub fn power_spectrum_with(
+    signal: &[f64],
+    sample_rate: f64,
+    window: Window,
+    plans: &mut PlanCache,
+    scratch: &mut DspScratch,
+) -> Result<(Vec<f64>, Vec<f64>), DspError> {
     if signal.is_empty() {
         return Err(DspError::EmptyInput {
             what: "power_spectrum input",
@@ -31,16 +50,17 @@ pub fn power_spectrum(
     if sample_rate <= 0.0 {
         return Err(DspError::invalid("sample_rate", "must be positive"));
     }
-    let mut windowed = signal.to_vec();
-    window.apply(&mut windowed)?;
-    let n = next_pow2(windowed.len());
-    let spec = rfft(&windowed, n)?;
+    scratch.r1.clear();
+    scratch.r1.extend_from_slice(signal);
+    window.apply(&mut scratch.r1)?;
+    let n = next_pow2(signal.len());
+    plans.plan(n)?.rfft_into(&scratch.r1, &mut scratch.c1)?;
     let half = n / 2 + 1;
     let gain = window.coherent_gain(signal.len());
     let norm = 1.0 / (n as f64 * signal.len() as f64 * gain * gain);
     let mut freqs = Vec::with_capacity(half);
     let mut power = Vec::with_capacity(half);
-    for (k, c) in spec.iter().take(half).enumerate() {
+    for (k, c) in scratch.c1.iter().take(half).enumerate() {
         freqs.push(k as f64 * sample_rate / n as f64);
         // One-sided: double interior bins.
         let scale = if k == 0 || k == half - 1 { 1.0 } else { 2.0 };

@@ -4,7 +4,7 @@
 //! `spectrogram` example), to verify noise-model spectra over time, and
 //! generally useful to anyone adopting the DSP crate.
 
-use crate::fft::rfft;
+use crate::plan::{DspScratch, PlanCache};
 use crate::window::Window;
 use crate::DspError;
 
@@ -68,6 +68,26 @@ pub fn stft(
     hop: usize,
     sample_rate: f64,
 ) -> Result<Spectrogram, DspError> {
+    crate::plan::with_thread_ctx(|plans, scratch| {
+        stft_with(signal, frame_len, hop, sample_rate, plans, scratch)
+    })
+}
+
+/// Planned spectrogram: identical output to [`stft`], with the per-frame
+/// FFT plan and working buffers taken from `plans`/`scratch` — one plan
+/// lookup for the whole call and no per-frame transform setup.
+///
+/// # Errors
+///
+/// Same conditions as [`stft`].
+pub fn stft_with(
+    signal: &[f64],
+    frame_len: usize,
+    hop: usize,
+    sample_rate: f64,
+    plans: &mut PlanCache,
+    scratch: &mut DspScratch,
+) -> Result<Spectrogram, DspError> {
     if signal.is_empty() {
         return Err(DspError::EmptyInput { what: "stft input" });
     }
@@ -84,18 +104,26 @@ pub fn stft(
         return Err(DspError::invalid("sample_rate", "must be positive"));
     }
     let fft_size = crate::fft::next_pow2(frame_len);
+    let plan = plans.plan(fft_size)?;
     let window = Window::Hann.coefficients(frame_len)?;
     let mut frames = Vec::new();
     let mut start = 0;
     while start + frame_len <= signal.len() {
-        let mut frame: Vec<f64> = signal[start..start + frame_len]
-            .iter()
-            .zip(&window)
-            .map(|(s, w)| s * w)
-            .collect();
-        frame.resize(fft_size, 0.0);
-        let spec = rfft(&frame, fft_size)?;
-        frames.push(spec[..=fft_size / 2].iter().map(|c| c.abs()).collect());
+        scratch.r1.clear();
+        scratch.r1.extend(
+            signal[start..start + frame_len]
+                .iter()
+                .zip(&window)
+                .map(|(s, w)| s * w),
+        );
+        scratch.r1.resize(fft_size, 0.0);
+        plan.rfft_into(&scratch.r1, &mut scratch.c1)?;
+        frames.push(
+            scratch.c1[..=fft_size / 2]
+                .iter()
+                .map(|c| c.abs())
+                .collect(),
+        );
         start += hop;
     }
     Ok(Spectrogram {

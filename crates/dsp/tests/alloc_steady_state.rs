@@ -1,0 +1,67 @@
+//! Pins the plan/scratch architecture's central promise: once the plan
+//! cache, scratch arena, template spectrum and output buffer are warm,
+//! the matched-filter correlation path performs **zero** heap
+//! allocations per call.
+//!
+//! The whole file is one `#[test]` on purpose — the counting allocator is
+//! process-global, and concurrent tests in the same binary would pollute
+//! the counter between the snapshot and the assertion.
+
+use hyperear_dsp::correlate::{xcorr_into, MatchedFilter};
+use hyperear_dsp::plan::{DspScratch, PlanCache};
+use hyperear_util::alloc_counter::CountingAllocator;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+#[test]
+fn warm_xcorr_path_does_not_allocate() {
+    let template: Vec<f64> = (0..1_764).map(|i| (i as f64 * 0.21).sin()).collect();
+    let signal: Vec<f64> = (0..44_100)
+        .map(|i| (i as f64 * 0.037).sin() * (i as f64 * 0.0011).cos())
+        .collect();
+
+    // --- Free-function planned path: xcorr_into. ----------------------
+    let mut plans = PlanCache::new();
+    let mut scratch = DspScratch::new();
+    let mut out = Vec::new();
+    // Warm-up: plans built, buffers grown to their high-water mark.
+    xcorr_into(&signal, &template, &mut plans, &mut scratch, &mut out).unwrap();
+    let expected = out.clone();
+
+    let before = ALLOC.allocations();
+    for _ in 0..3 {
+        xcorr_into(&signal, &template, &mut plans, &mut scratch, &mut out).unwrap();
+    }
+    let after = ALLOC.allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state xcorr_into must not allocate"
+    );
+    assert_eq!(out, expected, "warm path must stay bit-identical");
+
+    // --- Matched filter with cached template spectrum. ----------------
+    let mut filter = MatchedFilter::new(&template).unwrap();
+    let mut out = Vec::new();
+    // Warm-up computes the template spectrum for this padded length.
+    filter
+        .correlate_normalized_into(&signal, &mut scratch, &mut out)
+        .unwrap();
+    assert_eq!(filter.template_fft_count(), 1);
+
+    let before = ALLOC.allocations();
+    for _ in 0..3 {
+        filter
+            .correlate_normalized_into(&signal, &mut scratch, &mut out)
+            .unwrap();
+    }
+    let after = ALLOC.allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state matched filtering must not allocate"
+    );
+    // Still exactly one template FFT for this (template, padded-length).
+    assert_eq!(filter.template_fft_count(), 1);
+}

@@ -3,12 +3,13 @@
 //! `HYPEREAR_PROP_CASES` seeded cases (default 64) and reports the
 //! failing seed on a counterexample.
 
-use hyperear_dsp::correlate::xcorr;
+use hyperear_dsp::correlate::{xcorr, xcorr_into, MatchedFilter};
 use hyperear_dsp::delay::delay_fractional_into_len;
 use hyperear_dsp::fft::{fft, ifft, next_pow2, rfft};
 use hyperear_dsp::filter::MovingAverage;
 use hyperear_dsp::interpolate::parabolic_peak;
 use hyperear_dsp::level::{db_to_power_ratio, noise_gain_for_snr, power_ratio_to_db, snr_db};
+use hyperear_dsp::plan::{DspScratch, FftPlan, PlanCache};
 use hyperear_dsp::quantize::{dequantize_i16, quantize_i16};
 use hyperear_dsp::resample::resample;
 use hyperear_dsp::window::Window;
@@ -187,6 +188,148 @@ fn fractional_delay_places_pulse() {
                 (peak as f64 - expected).abs() <= 1.0,
                 "peak {peak} expected {expected}"
             );
+            prop::pass()
+        },
+    );
+}
+
+// ---- Planned-vs-one-shot equivalence (the PR-2 refactor contract):
+// the planned, allocation-free variants must be *bit-identical* to the
+// historical one-shot functions, for any signal at any size.
+
+#[test]
+fn planned_fft_bit_identical_to_one_shot() {
+    let strat = (signal_strategy(256), usize_range(0, 4));
+    prop::check(
+        "planned_fft_bit_identical_to_one_shot",
+        strat,
+        |(signal, extra_pow)| {
+            let n = next_pow2(signal.len()) << extra_pow;
+            let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+            data.resize(n, Complex::ZERO);
+            let mut planned = data.clone();
+            let plan = FftPlan::new(n).unwrap();
+            plan.fft(&mut planned).unwrap();
+            fft(&mut data).unwrap();
+            prop_assert_eq!(&planned, &data);
+            plan.ifft(&mut planned).unwrap();
+            ifft(&mut data).unwrap();
+            prop_assert_eq!(&planned, &data);
+            prop::pass()
+        },
+    );
+}
+
+#[test]
+fn planned_rfft_bit_identical_to_one_shot() {
+    let strat = (signal_strategy(256), usize_range(0, 3));
+    prop::check(
+        "planned_rfft_bit_identical_to_one_shot",
+        strat,
+        |(signal, extra_pow)| {
+            let n = next_pow2(signal.len()) << extra_pow;
+            let mut plans = PlanCache::new();
+            let mut out = Vec::new();
+            plans.plan(n).unwrap().rfft_into(signal, &mut out).unwrap();
+            let reference = rfft(signal, n).unwrap();
+            prop_assert_eq!(&out, &reference);
+            // A second pass through the warm plan and buffer must not
+            // change anything.
+            plans.plan(n).unwrap().rfft_into(signal, &mut out).unwrap();
+            prop_assert_eq!(&out, &reference);
+            prop::pass()
+        },
+    );
+}
+
+#[test]
+fn planned_xcorr_bit_identical_to_one_shot() {
+    let strat = (signal_strategy(128), vec_f64(-1.0, 1.0, 8, 32));
+    prop::check(
+        "planned_xcorr_bit_identical_to_one_shot",
+        strat,
+        |(signal, template)| {
+            prop_assume!(template.len() <= signal.len());
+            let reference = xcorr(signal, template).unwrap();
+            let mut plans = PlanCache::new();
+            let mut scratch = DspScratch::new();
+            let mut out = Vec::new();
+            // Two passes: cold (buffers grow) and warm (buffers reused)
+            // must both match the one-shot result exactly.
+            for _ in 0..2 {
+                xcorr_into(signal, template, &mut plans, &mut scratch, &mut out).unwrap();
+                prop_assert_eq!(&out, &reference);
+            }
+            prop::pass()
+        },
+    );
+}
+
+#[test]
+fn cached_matched_filter_bit_identical_to_one_shot() {
+    let strat = (signal_strategy(192), vec_f64(-1.0, 1.0, 8, 24));
+    prop::check(
+        "cached_matched_filter_bit_identical_to_one_shot",
+        strat,
+        |(signal, template)| {
+            prop_assume!(template.len() <= signal.len());
+            let energy: f64 = template.iter().map(|x| x * x).sum();
+            prop_assume!(energy > 1e-6);
+            let mut filter = MatchedFilter::new(template).unwrap();
+            let plain = filter.correlate(signal).unwrap();
+            let normalized = filter.correlate_normalized(signal).unwrap();
+            let mut scratch = DspScratch::new();
+            let mut out = Vec::new();
+            for _ in 0..2 {
+                filter
+                    .correlate_into(signal, &mut scratch, &mut out)
+                    .unwrap();
+                prop_assert_eq!(&out, &plain);
+                filter
+                    .correlate_normalized_into(signal, &mut scratch, &mut out)
+                    .unwrap();
+                prop_assert_eq!(&out, &normalized);
+            }
+            // All four calls share one padded length: one template FFT.
+            prop_assert_eq!(filter.template_fft_count(), 1);
+            prop::pass()
+        },
+    );
+}
+
+#[test]
+fn planned_stft_and_spectrum_match_one_shot() {
+    let strat = (vec_f64(-1.0, 1.0, 64, 512), usize_range(16, 64));
+    prop::check(
+        "planned_stft_and_spectrum_match_one_shot",
+        strat,
+        |(signal, frame)| {
+            prop_assume!(*frame <= signal.len());
+            let mut plans = PlanCache::new();
+            let mut scratch = DspScratch::new();
+            let hop = (frame / 2).max(1);
+            let planned = hyperear_dsp::stft::stft_with(
+                signal,
+                *frame,
+                hop,
+                8_000.0,
+                &mut plans,
+                &mut scratch,
+            )
+            .unwrap();
+            let reference = hyperear_dsp::stft::stft(signal, *frame, hop, 8_000.0).unwrap();
+            prop_assert_eq!(&planned, &reference);
+            let planned_ps = hyperear_dsp::spectrum::power_spectrum_with(
+                signal,
+                8_000.0,
+                Window::Hann,
+                &mut plans,
+                &mut scratch,
+            )
+            .unwrap();
+            let reference_ps =
+                hyperear_dsp::spectrum::power_spectrum(signal, 8_000.0, Window::Hann).unwrap();
+            prop_assert_eq!(&planned_ps, &reference_ps);
             prop::pass()
         },
     );

@@ -13,6 +13,7 @@ use crate::room::PropagationPath;
 use crate::SimError;
 use hyperear_dsp::delay::mix_delayed_local;
 use hyperear_dsp::level;
+use hyperear_dsp::plan::{DspScratch, PlanCache};
 use hyperear_dsp::quantize::requantize;
 use hyperear_geom::Vec3;
 
@@ -165,7 +166,27 @@ pub fn apply_mic_response(
     gain_at: &dyn Fn(f64) -> f64,
     sample_rate: f64,
 ) -> Result<Vec<f64>, SimError> {
-    use hyperear_dsp::fft::{irfft, next_pow2, rfft};
+    hyperear_dsp::plan::with_thread_ctx(|plans, scratch| {
+        apply_mic_response_with(waveform, gain_at, sample_rate, plans, scratch)
+    })
+}
+
+/// [`apply_mic_response`] on the planned FFT path: identical output, with
+/// the transforms running through a caller-held [`PlanCache`] and
+/// [`DspScratch`] so repeated shaping (e.g. once per rendered channel)
+/// reuses plans and buffers.
+///
+/// # Errors
+///
+/// Same conditions as [`apply_mic_response`].
+pub fn apply_mic_response_with(
+    waveform: &[f64],
+    gain_at: &dyn Fn(f64) -> f64,
+    sample_rate: f64,
+    plans: &mut PlanCache,
+    scratch: &mut DspScratch,
+) -> Result<Vec<f64>, SimError> {
+    use hyperear_dsp::fft::next_pow2;
     if waveform.is_empty() {
         return Err(SimError::invalid("waveform", "must be non-empty"));
     }
@@ -173,17 +194,18 @@ pub fn apply_mic_response(
         return Err(SimError::invalid("sample_rate", "must be positive"));
     }
     let n = next_pow2(waveform.len());
-    let mut spec = rfft(waveform, n)?;
+    let plan = plans.plan(n)?;
+    plan.rfft_into(waveform, &mut scratch.c1)?;
     let half = n / 2;
-    for (k, c) in spec.iter_mut().enumerate() {
+    for (k, c) in scratch.c1.iter_mut().enumerate() {
         // Conjugate-symmetric gain: bin k and bin n-k share a frequency.
         let bin = k.min(n - k).min(half);
         let freq = bin as f64 * sample_rate / n as f64;
         let g = gain_at(freq).max(0.0);
         *c = *c * g;
     }
-    let time = irfft(&spec)?;
-    Ok(time[..waveform.len()].to_vec())
+    plan.ifft(&mut scratch.c1)?;
+    Ok(scratch.c1[..waveform.len()].iter().map(|c| c.re).collect())
 }
 
 /// Measures the achieved active-sample SNR of a noisy channel given its

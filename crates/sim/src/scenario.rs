@@ -10,7 +10,7 @@
 
 use crate::environment::Environment;
 use crate::imu::{sample_imu, ImuModel, ImuTrace};
-use crate::mic::{add_noise_and_quantize, render_clean_channel};
+use crate::mic::{add_noise_and_quantize, apply_mic_response_with, render_clean_channel};
 use crate::motion::{MotionBuilder, MotionProfile, PhoneMotion};
 use crate::phone::PhoneModel;
 use crate::rng::SimRng;
@@ -18,8 +18,30 @@ use crate::room::{free_field, PropagationPath};
 use crate::speaker::SpeakerModel;
 use crate::volunteer::Volunteer;
 use crate::SimError;
+use hyperear_dsp::plan::{DspScratch, PlanCache};
 use hyperear_dsp::SPEED_OF_SOUND;
 use hyperear_geom::{Vec2, Vec3};
+
+/// Reusable FFT state for repeated rendering.
+///
+/// Holds the plan cache and scratch arena the renderer's spectral steps
+/// (currently microphone-response shaping) execute against. Harnesses
+/// that render many scenarios (figure reproductions, benchmarks) should
+/// hold one context per worker and call [`ScenarioBuilder::render_with`]
+/// so FFT setup work is paid once.
+#[derive(Debug, Clone, Default)]
+pub struct RenderContext {
+    plans: PlanCache,
+    scratch: DspScratch,
+}
+
+impl RenderContext {
+    /// An empty context; state accumulates across renders.
+    #[must_use]
+    pub fn new() -> Self {
+        RenderContext::default()
+    }
+}
 
 /// A two-channel audio recording at a nominal sample rate.
 ///
@@ -261,6 +283,16 @@ impl ScenarioBuilder {
     /// configuration (e.g. speaker outside the room, zero slides) and
     /// propagates rendering errors.
     pub fn render(&self) -> Result<Recording, SimError> {
+        self.render_with(&mut RenderContext::new())
+    }
+
+    /// Renders the session, reusing the FFT plans and scratch buffers in
+    /// `ctx`. Identical output to [`ScenarioBuilder::render`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ScenarioBuilder::render`].
+    pub fn render_with(&self, ctx: &mut RenderContext) -> Result<Recording, SimError> {
         self.phone.validate()?;
         self.speaker.validate(self.phone.audio_sample_rate)?;
         self.environment.validate()?;
@@ -340,10 +372,12 @@ impl ScenarioBuilder {
         let chirp = self.speaker.reference_chirp(self.phone.audio_sample_rate)?;
         // Pre-distort the beacon by the microphone's frequency response
         // (flat for the audible beacon; droops for near-ultrasonic ones).
-        let chirp_samples = crate::mic::apply_mic_response(
+        let chirp_samples = apply_mic_response_with(
             chirp.samples(),
             &|f| self.phone.mic_gain_at(f),
             self.phone.audio_sample_rate,
+            &mut ctx.plans,
+            &mut ctx.scratch,
         )?;
         let phase = phase_rng.uniform_in(0.0, self.speaker.period);
         let n_beacons = self.speaker.beacons_within(motion.total_duration) + 1;

@@ -8,6 +8,8 @@
 //! - [`json`]: minimal JSON parse/serialize for config and report I/O.
 //! - [`prop`]: a seeded, shrinking property-test harness.
 //! - [`bench`]: a warmup + median/p95 micro-benchmark harness.
+//! - [`alloc_counter`]: an allocation-counting global allocator for
+//!   zero-allocation hot-path tests.
 //!
 //! Everything here is deliberately small: each module implements only
 //! what the simulation, pipeline, and experiment crates actually use,
@@ -22,6 +24,7 @@
     clippy::module_name_repetitions
 )]
 
+pub mod alloc_counter;
 pub mod bench;
 pub mod json;
 pub mod prop;

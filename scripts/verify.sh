@@ -13,6 +13,13 @@ cargo test -q
 echo "== cargo test --workspace -q =="
 cargo test --workspace -q
 
+# Experiment smoke: the cheapest analytic reproduction plus one figure
+# sweep, in --fast mode, so a pipeline regression that unit tests miss
+# (e.g. a planned-FFT path diverging from the one-shot results) still
+# fails the gate.
+echo "== repro smoke (--fast restrictions fig03) =="
+cargo run --release -p hyperear-bench --bin repro -- --fast restrictions fig03
+
 # Clippy and rustfmt are optional toolchain components; gate on their
 # availability so the script still passes on a minimal offline toolchain.
 if cargo clippy --version >/dev/null 2>&1; then

@@ -6,6 +6,7 @@
 pub mod ablations;
 pub mod ext_inaudible;
 pub mod ext_nlos;
+pub mod faults;
 pub mod fig03_ambiguity;
 pub mod fig04_density;
 pub mod fig07_rotation;
@@ -71,6 +72,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "ablations",
         "ext-inaudible",
         "ext-nlos",
+        "faults",
     ]
 }
 
@@ -96,6 +98,7 @@ pub fn run(id: &str, scale: &Scale) -> Option<Report> {
         "ablations" => ablations::run(scale),
         "ext-inaudible" => ext_inaudible::run(scale),
         "ext-nlos" => ext_nlos::run(scale),
+        "faults" => faults::run(scale),
         _ => return None,
     })
 }
@@ -118,6 +121,6 @@ mod tests {
 
     #[test]
     fn id_list_is_complete() {
-        assert_eq!(all_ids().len(), 16);
+        assert_eq!(all_ids().len(), 17);
     }
 }

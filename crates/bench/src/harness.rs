@@ -9,10 +9,11 @@
 //! atomic cursor, results funnelled back over `std::sync::mpsc`).
 
 use hyperear::config::HyperEarConfig;
-use hyperear::pipeline::{SessionEngine, SessionInput, SessionResult};
+use hyperear::pipeline::{SessionEngine, SessionInput, SessionOutcome, SessionResult};
 use hyperear::HyperEarError;
 use hyperear_geom::Vec2;
 use hyperear_sim::environment::Environment;
+use hyperear_sim::fault::{FaultLog, FaultPlan};
 use hyperear_sim::motion::MotionProfile;
 use hyperear_sim::phone::PhoneModel;
 use hyperear_sim::scenario::{Recording, RenderContext, ScenarioBuilder};
@@ -209,6 +210,45 @@ impl SessionSpec {
             gyro: &rec.imu.gyro,
         })?;
         Ok((rec, result))
+    }
+
+    /// Renders one seeded session, applies an optional fault plan to the
+    /// recording, and runs the *monitored* pipeline — the entry point of
+    /// the fault-matrix experiment. Never fails on pipeline conditions
+    /// (those surface as [`SessionOutcome::Failed`]); only simulator or
+    /// fault-plan parameter errors are returned as `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates render and fault-injection parameter errors.
+    pub fn run_monitored_with(
+        &self,
+        seed: u64,
+        fault_plan: Option<&FaultPlan>,
+        worker: &mut TrialWorker,
+    ) -> Result<(Recording, FaultLog, SessionOutcome), HyperEarError> {
+        let mut rec = self
+            .render_with(seed, &mut worker.render_ctx)
+            .map_err(|e| HyperEarError::invalid("scenario", e.to_string()))?;
+        let log = match fault_plan {
+            Some(plan) => plan
+                .apply(&mut rec)
+                .map_err(|e| HyperEarError::invalid("fault plan", e.to_string()))?,
+            None => FaultLog::default(),
+        };
+        if worker.engine.is_none() {
+            worker.engine = Some(SessionEngine::new(self.config.clone())?);
+        }
+        let engine = worker.engine.as_mut().expect("engine just ensured");
+        let outcome = engine.run_monitored(&SessionInput {
+            audio_sample_rate: rec.audio.sample_rate,
+            left: &rec.audio.left,
+            right: &rec.audio.right,
+            imu_sample_rate: rec.imu.sample_rate,
+            accel: &rec.imu.accel,
+            gyro: &rec.imu.gyro,
+        });
+        Ok((rec, log, outcome))
     }
 }
 

@@ -14,7 +14,7 @@ use hyperear_dsp::chirp::{Chirp, ChirpShape};
 use hyperear_dsp::correlate::MatchedFilter;
 use hyperear_dsp::filter::FirFilter;
 use hyperear_dsp::interpolate::{parabolic_peak, sinc_peak};
-use hyperear_dsp::peak::{find_peaks, noise_floor, PeakConfig};
+use hyperear_dsp::peak::{find_peaks_into, noise_floor_with, Peak, PeakConfig};
 use hyperear_dsp::plan::DspScratch;
 use hyperear_dsp::window::Window;
 
@@ -48,6 +48,10 @@ pub struct BeaconDetector {
     envelope_detection: bool,
     scratch: DspScratch,
     corr: Vec<f64>,
+    filtered: Vec<f64>,
+    peaks: Vec<Peak>,
+    peaks_scratch: Vec<Peak>,
+    mags: Vec<f64>,
 }
 
 impl BeaconDetector {
@@ -100,6 +104,10 @@ impl BeaconDetector {
             envelope_detection: config.detection.envelope_detection,
             scratch: DspScratch::new(),
             corr: Vec::new(),
+            filtered: Vec::new(),
+            peaks: Vec::new(),
+            peaks_scratch: Vec::new(),
+            mags: Vec::new(),
         })
     }
 
@@ -118,11 +126,32 @@ impl BeaconDetector {
     ///
     /// Returns [`HyperEarError::Dsp`] for an empty or too-short channel.
     pub fn detect(&mut self, channel: &[f64]) -> Result<Vec<BeaconArrival>, HyperEarError> {
-        let filtered_storage;
+        let mut arrivals = Vec::new();
+        self.detect_into(channel, &mut arrivals)?;
+        Ok(arrivals)
+    }
+
+    /// Allocation-free form of [`BeaconDetector::detect`]: arrivals land
+    /// in a caller-owned buffer that is cleared and reused, and every
+    /// intermediate (band-passed signal, correlation, peak list, noise
+    /// statistics) lives in detector-owned scratch. Once warm, a detection
+    /// pass does not allocate — except in the non-default
+    /// `envelope_detection` branch, whose Hilbert transform still builds
+    /// its own buffers.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BeaconDetector::detect`].
+    pub fn detect_into(
+        &mut self,
+        channel: &[f64],
+        out: &mut Vec<BeaconArrival>,
+    ) -> Result<(), HyperEarError> {
+        out.clear();
         let signal: &[f64] = match &self.band_pass {
             Some(bp) => {
-                filtered_storage = bp.filter_zero_phase(channel)?;
-                &filtered_storage
+                bp.filter_zero_phase_into(channel, &mut self.filtered)?;
+                &self.filtered
             }
             None => channel,
         };
@@ -137,16 +166,21 @@ impl BeaconDetector {
         } else {
             &self.corr
         };
-        let floor = noise_floor(corr)?;
+        let floor = noise_floor_with(corr, &mut self.mags)?;
         let peak_max = corr.iter().fold(0.0f64, |m, &v| m.max(v));
         // Two-part threshold: beacons must clear the statistical noise
         // floor AND be within an order of magnitude of the session's
         // strongest beacon — the latter keeps numerical dust in quiet
         // recordings from ever counting as a detection.
         let threshold = (self.threshold_factor * floor).max(self.relative_threshold * peak_max);
-        let peaks = find_peaks(corr, &PeakConfig::new(threshold, self.min_spacing.max(1))?)?;
-        let mut arrivals = Vec::with_capacity(peaks.len());
-        for p in peaks {
+        find_peaks_into(
+            corr,
+            &PeakConfig::new(threshold, self.min_spacing.max(1))?,
+            &mut self.peaks_scratch,
+            &mut self.peaks,
+        )?;
+        out.reserve(self.peaks.len());
+        for p in &self.peaks {
             let (pos, value) = match self.interpolation {
                 Interpolation::None => (p.index as f64, p.value),
                 Interpolation::Parabolic => match parabolic_peak(corr, p.index) {
@@ -158,12 +192,12 @@ impl BeaconDetector {
                     Err(_) => (p.index as f64, p.value),
                 },
             };
-            arrivals.push(BeaconArrival {
+            out.push(BeaconArrival {
                 time: pos / self.sample_rate,
                 strength: value,
             });
         }
-        Ok(arrivals)
+        Ok(())
     }
 }
 
@@ -296,6 +330,26 @@ mod tests {
     fn rejects_low_sample_rate() {
         let config = HyperEarConfig::galaxy_s4();
         assert!(BeaconDetector::new(&config, 8_000.0).is_err());
+    }
+
+    #[test]
+    fn detect_into_matches_detect() {
+        let positions: Vec<f64> = (0..5).map(|k| 2_000.0 + k as f64 * 8_820.0).collect();
+        let signal = render(&positions, 50_000, 0.3);
+        let mut d = detector(Interpolation::Parabolic);
+        let reference = d.detect(&signal).unwrap();
+        let mut out = vec![
+            BeaconArrival {
+                time: 9.0,
+                strength: 9.0,
+            };
+            3
+        ]; // stale contents
+        for _ in 0..2 {
+            d.detect_into(&signal, &mut out).unwrap();
+            assert_eq!(out, reference);
+        }
+        assert!(d.detect_into(&[], &mut out).is_err());
     }
 
     #[test]

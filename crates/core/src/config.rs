@@ -205,6 +205,114 @@ impl FromJson for DetectionConfig {
     }
 }
 
+/// Graceful-degradation policy: how the session engine scores per-slide
+/// confidence and spends its re-slide budget before giving up.
+///
+/// The monitored entry point ([`crate::pipeline::SessionEngine::run_monitored`])
+/// never returns a bare error for a recoverable condition: low-confidence
+/// slides are dropped (up to `retry_budget` of them) and the session is
+/// re-aggregated from the survivors, downgrading the outcome to
+/// `Degraded` instead of failing it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPolicy {
+    /// Whether the policy is applied at all. When `false`,
+    /// `run_monitored` still classifies the outcome but never drops a
+    /// slide.
+    pub enabled: bool,
+    /// Slides scoring below this composite confidence are candidates for
+    /// dropping.
+    pub min_confidence: f64,
+    /// At most this many low-confidence slides are dropped (re-slid)
+    /// per session.
+    pub retry_budget: usize,
+    /// A phase must keep at least this many slides after drops.
+    pub min_slides: usize,
+    /// SFO residual RMS (seconds) at which the SFO confidence factor
+    /// falls to 0.5.
+    pub sfo_residual_tol: f64,
+    /// Zero-velocity residual (m/s) at which the drift confidence factor
+    /// falls to 0.5.
+    pub drift_residual_tol: f64,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy {
+            enabled: true,
+            min_confidence: 0.25,
+            retry_budget: 2,
+            min_slides: 1,
+            sfo_residual_tol: 1e-4,
+            drift_residual_tol: 0.08,
+        }
+    }
+}
+
+impl DegradationPolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] for any out-of-domain
+    /// field.
+    pub fn validate(&self) -> Result<(), HyperEarError> {
+        if !(0.0..=1.0).contains(&self.min_confidence) {
+            return Err(HyperEarError::invalid(
+                "degradation.min_confidence",
+                format!("must be within [0, 1], got {}", self.min_confidence),
+            ));
+        }
+        if self.min_slides == 0 {
+            return Err(HyperEarError::invalid(
+                "degradation.min_slides",
+                "must keep at least one slide",
+            ));
+        }
+        if !(self.sfo_residual_tol > 0.0 && self.sfo_residual_tol.is_finite()) {
+            return Err(HyperEarError::invalid(
+                "degradation.sfo_residual_tol",
+                format!("must be positive and finite, got {}", self.sfo_residual_tol),
+            ));
+        }
+        if !(self.drift_residual_tol > 0.0 && self.drift_residual_tol.is_finite()) {
+            return Err(HyperEarError::invalid(
+                "degradation.drift_residual_tol",
+                format!(
+                    "must be positive and finite, got {}",
+                    self.drift_residual_tol
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for DegradationPolicy {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("enabled", Json::Bool(self.enabled)),
+            ("min_confidence", Json::Number(self.min_confidence)),
+            ("retry_budget", Json::Number(self.retry_budget as f64)),
+            ("min_slides", Json::Number(self.min_slides as f64)),
+            ("sfo_residual_tol", Json::Number(self.sfo_residual_tol)),
+            ("drift_residual_tol", Json::Number(self.drift_residual_tol)),
+        ])
+    }
+}
+
+impl FromJson for DegradationPolicy {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(DegradationPolicy {
+            enabled: json.field("enabled")?,
+            min_confidence: json.field("min_confidence")?,
+            retry_budget: json.field("retry_budget")?,
+            min_slides: json.field("min_slides")?,
+            sfo_residual_tol: json.field("sfo_residual_tol")?,
+            drift_residual_tol: json.field("drift_residual_tol")?,
+        })
+    }
+}
+
 /// The complete pipeline configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HyperEarConfig {
@@ -247,6 +355,8 @@ pub struct HyperEarConfig {
     /// plane, metres; regularizes the Eq. 7 projection (see
     /// [`crate::ple::project`]).
     pub max_speaker_depth: f64,
+    /// Graceful-degradation policy for the monitored session entry point.
+    pub degradation: DegradationPolicy,
 }
 
 impl HyperEarConfig {
@@ -280,6 +390,7 @@ impl HyperEarConfig {
             speaker_side: Side::Right,
             max_plausible_range: 30.0,
             max_speaker_depth: 2.0,
+            degradation: DegradationPolicy::default(),
         }
     }
 
@@ -372,6 +483,7 @@ impl HyperEarConfig {
             ));
         }
         self.quality_gate.validate().map_err(HyperEarError::from)?;
+        self.degradation.validate()?;
         Ok(())
     }
 }
@@ -402,6 +514,7 @@ impl ToJson for HyperEarConfig {
                 Json::Number(self.max_plausible_range),
             ),
             ("max_speaker_depth", Json::Number(self.max_speaker_depth)),
+            ("degradation", self.degradation.to_json()),
         ])
     }
 }
@@ -423,6 +536,7 @@ impl FromJson for HyperEarConfig {
             speaker_side: json.field("speaker_side")?,
             max_plausible_range: json.field("max_plausible_range")?,
             max_speaker_depth: json.field("max_speaker_depth")?,
+            degradation: json.field("degradation")?,
         })
     }
 }
@@ -503,8 +617,17 @@ mod tests {
         let mut c = base.clone();
         c.beacons_per_side = 0;
         assert!(c.validate().is_err());
-        let mut c = base;
+        let mut c = base.clone();
         c.quality_gate.min_distance = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.degradation.min_confidence = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.degradation.min_slides = 0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.degradation.drift_residual_tol = 0.0;
         assert!(c.validate().is_err());
     }
 
@@ -523,6 +646,9 @@ mod tests {
         c.inertial.drift_correction = false;
         c.inertial.segmenter.threshold = 0.35;
         c.quality_gate.max_rotation_deg = 15.5;
+        c.degradation.enabled = false;
+        c.degradation.retry_budget = 5;
+        c.degradation.min_confidence = 0.4;
         let text = c.to_json_string();
         assert!(text.contains("0.1512"), "{text}");
         let back = HyperEarConfig::from_json_str(&text).unwrap();

@@ -298,6 +298,7 @@ mod tests {
             end_time: 0.8,
             distance,
             rotation_deg,
+            end_velocity_residual: 0.0,
         }
     }
 

@@ -14,7 +14,8 @@
 use crate::config::Aggregation;
 use crate::tdoa::AugmentedTdoa;
 use crate::HyperEarError;
-use hyperear_geom::triangulate::{solve_joint, solve_slide, SlideGeometry, SlideSolution};
+use hyperear_geom::hyperbola::HalfHyperbola;
+use hyperear_geom::triangulate::{solve_joint_with, SlideGeometry, SlideSolution};
 use hyperear_geom::Vec2;
 
 /// Builds the phone-frame [`SlideGeometry`] for one slide.
@@ -93,26 +94,72 @@ pub fn localize(
     geometries: &[SlideGeometry],
     aggregation: Aggregation,
 ) -> Result<(Vec<SlideFix>, Estimate2d), HyperEarError> {
+    let mut scratch = LocalizeScratch::new();
+    let estimate = localize_with(geometries, aggregation, &mut scratch)?;
+    Ok((std::mem::take(&mut scratch.fixes), estimate))
+}
+
+/// Reusable working storage for [`localize_with`]: the per-slide fixes
+/// and the median coordinate buffers.
+#[derive(Debug, Clone, Default)]
+pub struct LocalizeScratch {
+    fixes: Vec<SlideFix>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    hyperbolas: Vec<(HalfHyperbola, HalfHyperbola)>,
+}
+
+impl LocalizeScratch {
+    /// An empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        LocalizeScratch::default()
+    }
+
+    /// The per-slide fixes from the most recent [`localize_with`] call.
+    #[must_use]
+    pub fn fixes(&self) -> &[SlideFix] {
+        &self.fixes
+    }
+}
+
+/// Allocation-free form of [`localize`]: the per-slide fixes land in
+/// `scratch` (read them back via [`LocalizeScratch::fixes`]) and only the
+/// aggregate estimate is returned.
+///
+/// # Errors
+///
+/// Same conditions as [`localize`].
+pub fn localize_with(
+    geometries: &[SlideGeometry],
+    aggregation: Aggregation,
+    scratch: &mut LocalizeScratch,
+) -> Result<Estimate2d, HyperEarError> {
+    scratch.fixes.clear();
     if geometries.is_empty() {
         return Err(HyperEarError::invalid(
             "geometries",
             "need at least one slide geometry",
         ));
     }
-    let fixes: Vec<SlideFix> = geometries
-        .iter()
-        .map(|g| -> Result<SlideFix, HyperEarError> {
-            Ok(SlideFix {
-                geometry: *g,
-                solution: solve_slide(g)?,
-            })
-        })
-        .collect::<Result<_, _>>()?;
+    for g in geometries {
+        scratch.fixes.push(SlideFix {
+            geometry: *g,
+            solution: solve_joint_with(std::slice::from_ref(g), &mut scratch.hyperbolas)?,
+        });
+    }
+    let fixes = &scratch.fixes;
     let estimate = match aggregation {
         Aggregation::Median => {
-            let xs: Vec<f64> = fixes.iter().map(|f| f.solution.position.x).collect();
-            let ys: Vec<f64> = fixes.iter().map(|f| f.solution.position.y).collect();
-            let position = Vec2::new(median(xs), median(ys));
+            scratch.xs.clear();
+            scratch
+                .xs
+                .extend(fixes.iter().map(|f| f.solution.position.x));
+            scratch.ys.clear();
+            scratch
+                .ys
+                .extend(fixes.iter().map(|f| f.solution.position.y));
+            let position = Vec2::new(median(&mut scratch.xs), median(&mut scratch.ys));
             Estimate2d {
                 position,
                 range: position.y,
@@ -120,7 +167,7 @@ pub fn localize(
             }
         }
         Aggregation::Joint => {
-            let joint = solve_joint(geometries)?;
+            let joint = solve_joint_with(geometries, &mut scratch.hyperbolas)?;
             Estimate2d {
                 position: joint.position,
                 range: joint.position.y,
@@ -128,14 +175,15 @@ pub fn localize(
             }
         }
     };
-    Ok((fixes, estimate))
+    Ok(estimate)
 }
 
-/// Median of a non-empty list (average of the middle two for even
-/// lengths).
-fn median(mut values: Vec<f64>) -> f64 {
+/// Median of a non-empty slice, sorting it in place (average of the
+/// middle two for even lengths). Unstable sort: ties under `total_cmp`
+/// are bit-identical, so the result matches a stable sort exactly.
+fn median(values: &mut [f64]) -> f64 {
     let n = values.len();
-    values.sort_by(f64::total_cmp);
+    values.sort_unstable_by(f64::total_cmp);
     if n % 2 == 1 {
         values[n / 2]
     } else {
@@ -233,9 +281,32 @@ mod tests {
 
     #[test]
     fn median_helper() {
-        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
-        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
-        assert_eq!(median(vec![7.0]), 7.0);
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn with_variant_matches_allocating_form() {
+        let speaker = Vec2::new(0.0, 4.0);
+        let slides: Vec<SlideGeometry> = [0.55f64, -0.52, 0.56, -0.54, 0.55]
+            .iter()
+            .map(|&d| {
+                let tdoa = tdoa_for(speaker, d.abs(), d > 0.0);
+                slide_geometry(d, D, &tdoa).unwrap()
+            })
+            .collect();
+        let mut scratch = LocalizeScratch::new();
+        for agg in [Aggregation::Median, Aggregation::Joint] {
+            let (fixes_ref, est_ref) = localize(&slides, agg).unwrap();
+            for _ in 0..2 {
+                let est = localize_with(&slides, agg, &mut scratch).unwrap();
+                assert_eq!(est, est_ref);
+                assert_eq!(scratch.fixes(), fixes_ref.as_slice());
+            }
+        }
+        assert!(localize_with(&[], Aggregation::Median, &mut scratch).is_err());
+        assert!(scratch.fixes().is_empty());
     }
 
     #[test]

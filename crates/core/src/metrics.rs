@@ -4,6 +4,7 @@
 //! (mean and "90%-precision" accuracy). This module computes those in the
 //! same format so the benchmark harness can print paper-comparable rows.
 
+use crate::pipeline::SessionOutcome;
 use crate::HyperEarError;
 
 /// Summary statistics over a set of localization errors.
@@ -65,11 +66,28 @@ impl Cdf {
         idx as f64 / self.sorted.len() as f64
     }
 
+    /// Checked form of [`Cdf::percentile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] if `p` is outside
+    /// `[0, 100]` or non-finite, instead of panicking.
+    pub fn try_percentile(&self, p: f64) -> Result<f64, HyperEarError> {
+        if !(0.0..=100.0).contains(&p) {
+            return Err(HyperEarError::invalid(
+                "percentile",
+                format!("must be within [0, 100], got {p}"),
+            ));
+        }
+        Ok(self.percentile(p))
+    }
+
     /// The `p`-th percentile (0–100), linearly interpolated.
     ///
     /// # Panics
     ///
-    /// Panics if `p` is outside `[0, 100]`.
+    /// Panics if `p` is outside `[0, 100]`. Use [`Cdf::try_percentile`]
+    /// when `p` is not a compile-time constant.
     #[must_use]
     pub fn percentile(&self, p: f64) -> f64 {
         assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
@@ -119,6 +137,77 @@ impl Cdf {
 /// Same conditions as [`Cdf::new`].
 pub fn stats(errors: &[f64]) -> Result<ErrorStats, HyperEarError> {
     Ok(Cdf::new(errors)?.stats())
+}
+
+/// Aggregated outcome counts over a batch of monitored sessions —
+/// the per-stage diagnostics the fault-matrix experiment reports
+/// ("how many sessions recovered, and what got rejected along the way").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeTally {
+    /// Sessions recorded.
+    pub sessions: usize,
+    /// Sessions that completed cleanly.
+    pub ok: usize,
+    /// Sessions that produced an estimate after dropping or rejecting
+    /// slides.
+    pub degraded: usize,
+    /// Sessions with no usable estimate.
+    pub failed: usize,
+    /// Inertial slides detected, summed over sessions.
+    pub slides_detected: usize,
+    /// Slides rejected by the quality gate.
+    pub slides_rejected: usize,
+    /// Accepted slides that produced no acoustic fix (missing beacons or
+    /// implausible solution).
+    pub slides_without_fix: usize,
+    /// Slides dropped by the degradation policy's re-slide budget.
+    pub slides_dropped: usize,
+}
+
+impl OutcomeTally {
+    /// An empty tally.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one monitored-session outcome into the tally.
+    pub fn record(&mut self, outcome: &SessionOutcome) {
+        self.sessions += 1;
+        let diagnostics = match outcome {
+            SessionOutcome::Ok(_) => {
+                self.ok += 1;
+                None
+            }
+            SessionOutcome::Degraded { diagnostics, .. } => {
+                self.degraded += 1;
+                Some(diagnostics)
+            }
+            SessionOutcome::Failed { diagnostics, .. } => {
+                self.failed += 1;
+                diagnostics.as_ref()
+            }
+        };
+        if let SessionOutcome::Ok(result) = outcome {
+            self.slides_detected += result.slides.len();
+        }
+        if let Some(d) = diagnostics {
+            self.slides_detected += d.slides_detected;
+            self.slides_rejected += d.slides_rejected;
+            self.slides_without_fix += d.slides_without_fix;
+            self.slides_dropped += d.slides_dropped;
+        }
+    }
+
+    /// The fraction of sessions that produced an estimate (`Ok` or
+    /// `Degraded`); 0 for an empty tally.
+    #[must_use]
+    pub fn usable_fraction(&self) -> f64 {
+        if self.sessions == 0 {
+            return 0.0;
+        }
+        (self.ok + self.degraded) as f64 / self.sessions as f64
+    }
 }
 
 #[cfg(test)]

@@ -5,19 +5,30 @@
 //! estimation from stationary beacons → per-slide augmented TDoA →
 //! two-hyperbola triangulation → multi-slide aggregation → projected
 //! location estimation when the session used two statures.
+//!
+//! Two entry points:
+//!
+//! - [`SessionEngine::run`] (and the allocation-free
+//!   [`SessionEngine::run_into`]) — the raw pipeline; any unrecoverable
+//!   condition is a typed error.
+//! - [`SessionEngine::run_monitored`] — the graceful-degradation wrapper:
+//!   it scores every slide's confidence, spends the configured re-slide
+//!   budget dropping the worst offenders, and always returns a
+//!   [`SessionOutcome`] (never panics, never a bare error).
 
-use crate::asp::BeaconDetector;
+use crate::asp::{BeaconArrival, BeaconDetector};
 use crate::config::HyperEarConfig;
-use crate::localize::{localize, slide_geometry, Estimate2d, SlideFix};
+use crate::localize::{localize_with, slide_geometry, Estimate2d, LocalizeScratch, SlideFix};
 use crate::ple::{project, ProjectedEstimate};
-use crate::sfo::{estimate_period, PeriodEstimate};
+use crate::sfo::{estimate_period_with, PeriodEstimate, SfoScratch};
 use crate::tdoa::{augmented_tdoa_with, AugmentedTdoa, TdoaScratch};
 use crate::HyperEarError;
 use hyperear_geom::rotation::Side;
+use hyperear_geom::triangulate::SlideGeometry;
 use hyperear_geom::Vec3;
-use hyperear_imu::analyze::{analyze_session, SlideEstimate};
+use hyperear_imu::analyze::{analyze_session_with, AnalyzeScratch, SessionAnalysis, SlideEstimate};
 use hyperear_imu::quality::Rejection;
-use hyperear_imu::rotation::yaw_trace;
+use hyperear_imu::rotation::yaw_trace_into;
 
 /// Guard margin around inertially-detected movement windows when
 /// classifying beacons as stationary, seconds.
@@ -53,6 +64,41 @@ pub enum StaturePhase {
     Lower,
 }
 
+/// Per-slide confidence factors, each in `[0, 1]`.
+///
+/// The composite `score` is the geometric mean of the three factors, so
+/// any single collapsed factor drags the slide toward zero — a slide is
+/// only trustworthy when its beacons, the session clock fit *and* its
+/// inertial integration all look healthy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlideConfidence {
+    /// Mean matched-filter strength of the beacons bracketing this slide,
+    /// relative to the session mean (0 when no beacon bracketed it).
+    /// Collapses under NLoS obstruction or beacon dropout.
+    pub beacon_factor: f64,
+    /// Session-level SFO fit quality: how well stationary arrivals sit on
+    /// their least-squares period line. Collapses under multipath spikes
+    /// that shift individual arrivals.
+    pub sfo_factor: f64,
+    /// Inertial zero-velocity residual quality: how close the raw
+    /// integrated velocity returned to zero at the slide end. Collapses
+    /// under IMU bias drift or saturation.
+    pub drift_factor: f64,
+    /// Geometric mean of the three factors.
+    pub score: f64,
+}
+
+impl SlideConfidence {
+    fn new(beacon_factor: f64, sfo_factor: f64, drift_factor: f64) -> Self {
+        SlideConfidence {
+            beacon_factor,
+            sfo_factor,
+            drift_factor,
+            score: (beacon_factor * sfo_factor * drift_factor).cbrt(),
+        }
+    }
+}
+
 /// Everything the pipeline concluded about one detected slide.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlideReport {
@@ -64,6 +110,11 @@ pub struct SlideReport {
     pub accepted: bool,
     /// Rejection reason when not accepted.
     pub rejection: Option<Rejection>,
+    /// Confidence factors for the degradation policy.
+    pub confidence: SlideConfidence,
+    /// Whether the degradation policy dropped this slide from the
+    /// aggregate (only ever set by [`SessionEngine::run_monitored`]).
+    pub dropped: bool,
     /// The augmented TDoA, when beacons bracketed the slide.
     pub tdoa: Option<AugmentedTdoa>,
     /// The triangulation fix, when the solve succeeded.
@@ -98,6 +149,30 @@ pub struct SessionResult {
 }
 
 impl SessionResult {
+    /// An empty result, the natural starting slot for
+    /// [`SessionEngine::run_into`] (reuse it across sessions to keep the
+    /// slide-report storage warm).
+    #[must_use]
+    pub fn empty() -> Self {
+        SessionResult {
+            beacons_left: 0,
+            beacons_right: 0,
+            mean_beacon_strength: 0.0,
+            period: PeriodEstimate {
+                period: 0.0,
+                offset_ppm: 0.0,
+                beacons_used: 0,
+                windows_used: 0,
+                residual_rms: 0.0,
+            },
+            slides: Vec::new(),
+            upper: None,
+            lower: None,
+            stature_drop: None,
+            projected: None,
+        }
+    }
+
     /// The best available floor-map range estimate: the projected `L*`
     /// for 3D sessions, otherwise the upper 2D range.
     #[must_use]
@@ -106,6 +181,87 @@ impl SessionResult {
             .as_ref()
             .map(|p| p.l_star)
             .or_else(|| self.upper.as_ref().map(|e| e.range))
+    }
+}
+
+/// Per-stage counters and residuals from one monitored session — what
+/// went in, what each stage rejected, and what the degradation policy
+/// dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionDiagnostics {
+    /// Beacons detected on the left channel.
+    pub beacons_left: usize,
+    /// Beacons detected on the right channel.
+    pub beacons_right: usize,
+    /// Inertial slides detected.
+    pub slides_detected: usize,
+    /// Slides rejected by the quality gate.
+    pub slides_rejected: usize,
+    /// Accepted slides that produced no acoustic fix (beacons masked or
+    /// solution implausible).
+    pub slides_without_fix: usize,
+    /// Slides dropped by the degradation policy's re-slide budget.
+    pub slides_dropped: usize,
+    /// Session SFO fit residual RMS, seconds.
+    pub sfo_residual_rms: f64,
+    /// Mean composite slide confidence.
+    pub mean_confidence: f64,
+    /// Lowest composite slide confidence.
+    pub min_confidence: f64,
+}
+
+/// The graded outcome of a monitored session.
+///
+/// Unlike [`SessionEngine::run`], which reports every unrecoverable
+/// condition as an error, a monitored run always classifies what
+/// happened: a clean estimate, a usable estimate that lost slides along
+/// the way, or a failure with the typed reason and whatever diagnostics
+/// the pipeline gathered before it stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionOutcome {
+    /// Every detected slide contributed; no stage rejected anything.
+    Ok(SessionResult),
+    /// An estimate exists, but slides were rejected, unlocalizable, or
+    /// dropped by the degradation policy along the way.
+    Degraded {
+        /// The (re-aggregated) session result.
+        result: SessionResult,
+        /// What was lost and why.
+        diagnostics: SessionDiagnostics,
+    },
+    /// No usable estimate.
+    Failed {
+        /// The typed failure.
+        reason: HyperEarError,
+        /// Stage counters, when the pipeline got far enough to have any.
+        diagnostics: Option<SessionDiagnostics>,
+    },
+}
+
+impl SessionOutcome {
+    /// The session result, when one exists (`Ok` or `Degraded`).
+    #[must_use]
+    pub fn result(&self) -> Option<&SessionResult> {
+        match self {
+            SessionOutcome::Ok(result) | SessionOutcome::Degraded { result, .. } => Some(result),
+            SessionOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The diagnostics, when the outcome carries any.
+    #[must_use]
+    pub fn diagnostics(&self) -> Option<&SessionDiagnostics> {
+        match self {
+            SessionOutcome::Ok(_) => None,
+            SessionOutcome::Degraded { diagnostics, .. } => Some(diagnostics),
+            SessionOutcome::Failed { diagnostics, .. } => diagnostics.as_ref(),
+        }
+    }
+
+    /// Whether the session produced an estimate at all.
+    #[must_use]
+    pub fn is_usable(&self) -> bool {
+        self.result().is_some()
     }
 }
 
@@ -141,11 +297,7 @@ impl HyperEar {
     /// instead of [`HyperEar::run`], which builds a fresh engine per call.
     #[must_use]
     pub fn engine(&self) -> SessionEngine {
-        SessionEngine {
-            config: self.config.clone(),
-            detector: None,
-            tdoa_scratch: TdoaScratch::new(),
-        }
+        SessionEngine::from_validated_config(self.config.clone())
     }
 
     /// Processes one session.
@@ -167,15 +319,28 @@ impl HyperEar {
 /// Owns everything the pipeline needs between sessions: the validated
 /// configuration, the beacon detector (which in turn owns the matched
 /// filter's cached template spectra, the FFT plan cache and the DSP
-/// scratch arena), and the TDoA working buffers. Once an engine has
-/// processed one session, later sessions at the same sample rate reuse
-/// all of that state and the acoustic hot path performs no per-call
-/// setup or steady-state allocation.
+/// scratch arena), and the working buffers of every stage — arrival
+/// lists, the inertial analysis, movement/stationary timelines, the yaw
+/// trace, SFO and localization scratch. Once an engine has processed one
+/// session, later sessions at the same sample rate reuse all of that
+/// state and [`SessionEngine::run_into`] performs no steady-state
+/// allocation on the default configuration.
 #[derive(Debug, Clone)]
 pub struct SessionEngine {
     config: HyperEarConfig,
     detector: Option<BeaconDetector>,
     tdoa_scratch: TdoaScratch,
+    arr_left: Vec<BeaconArrival>,
+    arr_right: Vec<BeaconArrival>,
+    analysis: SessionAnalysis,
+    analyze_scratch: AnalyzeScratch,
+    movements: Vec<(f64, f64)>,
+    stationary: Vec<(f64, f64)>,
+    gyro_z: Vec<f64>,
+    yaw: Vec<f64>,
+    sfo_scratch: SfoScratch,
+    loc_scratch: LocalizeScratch,
+    geoms: Vec<SlideGeometry>,
 }
 
 impl SessionEngine {
@@ -186,11 +351,30 @@ impl SessionEngine {
     /// Returns [`HyperEarError::InvalidParameter`] for an invalid config.
     pub fn new(config: HyperEarConfig) -> Result<Self, HyperEarError> {
         config.validate()?;
-        Ok(SessionEngine {
+        Ok(SessionEngine::from_validated_config(config))
+    }
+
+    fn from_validated_config(config: HyperEarConfig) -> Self {
+        SessionEngine {
             config,
             detector: None,
             tdoa_scratch: TdoaScratch::new(),
-        })
+            arr_left: Vec::new(),
+            arr_right: Vec::new(),
+            analysis: SessionAnalysis {
+                gravity: Vec3::ZERO,
+                slides: Vec::new(),
+                stature_changes: Vec::new(),
+            },
+            analyze_scratch: AnalyzeScratch::new(),
+            movements: Vec::new(),
+            stationary: Vec::new(),
+            gyro_z: Vec::new(),
+            yaw: Vec::new(),
+            sfo_scratch: SfoScratch::new(),
+            loc_scratch: LocalizeScratch::new(),
+            geoms: Vec::new(),
+        }
     }
 
     /// The configuration in use.
@@ -210,6 +394,174 @@ impl SessionEngine {
     ///   rejected or unlocalizable,
     /// - plus propagated component errors.
     pub fn run(&mut self, input: &SessionInput<'_>) -> Result<SessionResult, HyperEarError> {
+        let mut out = SessionResult::empty();
+        self.run_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Processes one session with the policy-graded, never-panicking
+    /// contract: the outcome is `Ok` for a clean run, `Degraded` when
+    /// slides were rejected, unlocalizable, or dropped by the
+    /// [`crate::config::DegradationPolicy`]'s re-slide budget (the
+    /// estimate is then re-aggregated from the surviving slides), and
+    /// `Failed` with the typed reason otherwise.
+    pub fn run_monitored(&mut self, input: &SessionInput<'_>) -> SessionOutcome {
+        let mut result = SessionResult::empty();
+        match self.run_into(input, &mut result) {
+            Err(reason) => {
+                let diagnostics = match &reason {
+                    HyperEarError::NoUsableSlides { detected, rejected } => {
+                        Some(SessionDiagnostics {
+                            slides_detected: *detected,
+                            slides_rejected: *rejected,
+                            slides_without_fix: detected - rejected,
+                            ..SessionDiagnostics::default()
+                        })
+                    }
+                    _ => None,
+                };
+                SessionOutcome::Failed {
+                    reason,
+                    diagnostics,
+                }
+            }
+            Ok(()) => self.grade(result),
+        }
+    }
+
+    /// Applies the degradation policy to a completed raw result and
+    /// grades the outcome.
+    fn grade(&mut self, mut result: SessionResult) -> SessionOutcome {
+        let policy = self.config.degradation;
+        let mut dropped = 0usize;
+        if policy.enabled {
+            // Spend the re-slide budget on the lowest-confidence fixed
+            // slides below the threshold, never draining a phase below
+            // `min_slides` contributing slides.
+            while dropped < policy.retry_budget {
+                let mut worst: Option<usize> = None;
+                for (i, r) in result.slides.iter().enumerate() {
+                    if r.dropped || r.fix.is_none() || r.confidence.score >= policy.min_confidence {
+                        continue;
+                    }
+                    let phase_remaining = result
+                        .slides
+                        .iter()
+                        .filter(|s| s.phase == r.phase && s.fix.is_some() && !s.dropped)
+                        .count();
+                    if phase_remaining <= policy.min_slides {
+                        continue;
+                    }
+                    if worst.is_none_or(|w| r.confidence.score < result.slides[w].confidence.score)
+                    {
+                        worst = Some(i);
+                    }
+                }
+                match worst {
+                    Some(i) => {
+                        result.slides[i].dropped = true;
+                        dropped += 1;
+                    }
+                    None => break,
+                }
+            }
+            if dropped > 0 {
+                self.reaggregate(&mut result);
+            }
+        }
+        let slides_rejected = result.slides.iter().filter(|r| !r.accepted).count();
+        let slides_without_fix = result
+            .slides
+            .iter()
+            .filter(|r| r.accepted && r.fix.is_none())
+            .count();
+        let n = result.slides.len();
+        let mut sum_confidence = 0.0;
+        let mut min_confidence = f64::INFINITY;
+        for r in &result.slides {
+            sum_confidence += r.confidence.score;
+            min_confidence = min_confidence.min(r.confidence.score);
+        }
+        let diagnostics = SessionDiagnostics {
+            beacons_left: result.beacons_left,
+            beacons_right: result.beacons_right,
+            slides_detected: n,
+            slides_rejected,
+            slides_without_fix,
+            slides_dropped: dropped,
+            sfo_residual_rms: result.period.residual_rms,
+            mean_confidence: if n > 0 {
+                sum_confidence / n as f64
+            } else {
+                0.0
+            },
+            min_confidence: if n > 0 { min_confidence } else { 0.0 },
+        };
+        if dropped > 0 || slides_rejected > 0 || slides_without_fix > 0 {
+            SessionOutcome::Degraded {
+                result,
+                diagnostics,
+            }
+        } else {
+            SessionOutcome::Ok(result)
+        }
+    }
+
+    /// Rebuilds the per-phase aggregates (and the 3D projection) from the
+    /// slides that survived the policy's drops. A phase whose surviving
+    /// set is empty keeps its original estimate — a dropped slide must
+    /// never turn a usable session into a failed one.
+    fn reaggregate(&mut self, result: &mut SessionResult) {
+        for phase in [StaturePhase::Upper, StaturePhase::Lower] {
+            self.geoms.clear();
+            self.geoms.extend(
+                result
+                    .slides
+                    .iter()
+                    .filter(|r| r.phase == phase && !r.dropped && r.fix.is_some())
+                    .map(|r| r.fix.as_ref().expect("filtered Some").geometry),
+            );
+            if self.geoms.is_empty() {
+                continue;
+            }
+            if let Ok(est) =
+                localize_with(&self.geoms, self.config.aggregation, &mut self.loc_scratch)
+            {
+                match phase {
+                    StaturePhase::Upper => result.upper = Some(est),
+                    StaturePhase::Lower => result.lower = Some(est),
+                }
+            }
+        }
+        if let (Some(u), Some(l), Some(h)) = (&result.upper, &result.lower, result.stature_drop) {
+            if h > 0.01 {
+                if let Ok(p) = project(u, l, h, self.config.max_speaker_depth) {
+                    result.projected = Some(p);
+                }
+            }
+        }
+    }
+
+    /// Allocation-free form of [`SessionEngine::run`]: the result lands
+    /// in a caller-owned slot whose storage is cleared and reused, and
+    /// every pipeline intermediate lives in engine-owned scratch. With a
+    /// warm engine and the default configuration the whole session —
+    /// detection, inertial analysis, SFO, per-slide TDoA, triangulation,
+    /// aggregation — performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SessionEngine::run`].
+    pub fn run_into(
+        &mut self,
+        input: &SessionInput<'_>,
+        out: &mut SessionResult,
+    ) -> Result<(), HyperEarError> {
+        out.slides.clear();
+        out.upper = None;
+        out.lower = None;
+        out.stature_drop = None;
+        out.projected = None;
         if input.left.len() != input.right.len() {
             return Err(HyperEarError::invalid(
                 "left/right",
@@ -238,43 +590,50 @@ impl SessionEngine {
             self.detector = Some(BeaconDetector::new(&self.config, input.audio_sample_rate)?);
         }
         let detector = self.detector.as_mut().expect("detector just ensured");
-        let left = detector.detect(input.left)?;
-        let right = detector.detect(input.right)?;
-        if left.len() < 2 || right.len() < 2 {
+        detector.detect_into(input.left, &mut self.arr_left)?;
+        detector.detect_into(input.right, &mut self.arr_right)?;
+        if self.arr_left.len() < 2 || self.arr_right.len() < 2 {
             return Err(HyperEarError::InsufficientBeacons {
                 stage: "beacon detection",
-                found: left.len().min(right.len()),
+                found: self.arr_left.len().min(self.arr_right.len()),
                 required: 2,
             });
         }
 
         // ---- Inertial analysis (MSP + PDE). -------------------------------
-        let analysis = analyze_session(
+        analyze_session_with(
             input.accel,
             input.gyro,
             input.imu_sample_rate,
             &self.config.inertial,
+            &mut self.analyze_scratch,
+            &mut self.analysis,
         )?;
 
         // ---- Movement timeline and stationary windows. --------------------
         let audio_duration = input.left.len() as f64 / input.audio_sample_rate;
-        let mut movements: Vec<(f64, f64)> = analysis
-            .slides
-            .iter()
-            .map(|s| (s.start_time, s.end_time))
-            .chain(analysis.stature_changes.iter().map(|c| {
-                (
-                    c.segment.start as f64 / input.imu_sample_rate,
-                    c.segment.end as f64 / input.imu_sample_rate,
-                )
-            }))
-            .collect();
-        movements.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let stationary = stationary_windows(
-            &movements,
+        self.movements.clear();
+        self.movements.extend(
+            self.analysis
+                .slides
+                .iter()
+                .map(|s| (s.start_time, s.end_time))
+                .chain(self.analysis.stature_changes.iter().map(|c| {
+                    (
+                        c.segment.start as f64 / input.imu_sample_rate,
+                        c.segment.end as f64 / input.imu_sample_rate,
+                    )
+                })),
+        );
+        // Unstable sort: downstream consumers are order-invariant for
+        // tied start times, and the unstable variant does not allocate.
+        self.movements.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        stationary_windows_into(
+            &self.movements,
             audio_duration,
             STATIONARY_MARGIN,
             self.config.beacon.duration,
+            &mut self.stationary,
         );
 
         // ---- Rotation error correction (paper Fig. 5). -------------------
@@ -282,42 +641,41 @@ impl SessionEngine {
         // D·sin(yaw), shifting its beacon arrivals by D·sin(yaw)/S. Undo
         // it per beacon using the gyro-integrated instantaneous yaw; the
         // sign follows the speaker's side from Speaker Direction Finding.
-        let right = if self.config.rotation_correction {
-            let gyro_z: Vec<f64> = input.gyro.iter().map(|g| g.z).collect();
+        if self.config.rotation_correction {
+            self.gyro_z.clear();
+            self.gyro_z.extend(input.gyro.iter().map(|g| g.z));
             // The LS-detrended yaw trace: constant offsets cancel in the
             // pre/post arrival differences, and detrending keeps residual
             // bias drift far below the correction's own scale.
-            let yaw = yaw_trace(&gyro_z, input.imu_sample_rate)?;
-            let yaw_at = |t: f64| -> f64 {
-                let pos = t * input.imu_sample_rate;
-                let i = (pos.floor() as usize).min(yaw.len().saturating_sub(1));
-                let j = (i + 1).min(yaw.len() - 1);
-                let frac = (pos - i as f64).clamp(0.0, 1.0);
-                yaw[i] * (1.0 - frac) + yaw[j] * frac
-            };
+            yaw_trace_into(&self.gyro_z, input.imu_sample_rate, &mut self.yaw)?;
             let sign = match self.config.speaker_side {
                 Side::Right => 1.0,
                 Side::Left => -1.0,
             };
-            right
-                .into_iter()
-                .map(|mut a| {
-                    a.time += sign * self.config.mic_separation * yaw_at(a.time).sin()
-                        / self.config.speed_of_sound;
-                    a
-                })
-                .collect()
-        } else {
-            right
-        };
+            for a in &mut self.arr_right {
+                let yaw = yaw_at(&self.yaw, input.imu_sample_rate, a.time);
+                a.time +=
+                    sign * self.config.mic_separation * yaw.sin() / self.config.speed_of_sound;
+            }
+        }
 
         // ---- SFO period estimation. -----------------------------------------
         let period = if self.config.sfo_correction {
             // Pool both channels' arrivals per window by estimating from
             // the left channel (both share the ADC clock) and averaging
             // with the right.
-            let pl = estimate_period(&left, &stationary, self.config.beacon.period)?;
-            let pr = estimate_period(&right, &stationary, self.config.beacon.period)?;
+            let pl = estimate_period_with(
+                &self.arr_left,
+                &self.stationary,
+                self.config.beacon.period,
+                &mut self.sfo_scratch,
+            )?;
+            let pr = estimate_period_with(
+                &self.arr_right,
+                &self.stationary,
+                self.config.beacon.period,
+                &mut self.sfo_scratch,
+            )?;
             let w_l = pl.beacons_used as f64;
             let w_r = pr.beacons_used as f64;
             let combined = (pl.period * w_l + pr.period * w_r) / (w_l + w_r);
@@ -326,6 +684,10 @@ impl SessionEngine {
                 offset_ppm: (combined / self.config.beacon.period - 1.0) * 1e6,
                 beacons_used: pl.beacons_used + pr.beacons_used,
                 windows_used: pl.windows_used.max(pr.windows_used),
+                residual_rms: ((pl.residual_rms * pl.residual_rms * w_l
+                    + pr.residual_rms * pr.residual_rms * w_r)
+                    / (w_l + w_r))
+                    .sqrt(),
             }
         } else {
             PeriodEstimate {
@@ -333,23 +695,39 @@ impl SessionEngine {
                 offset_ppm: 0.0,
                 beacons_used: 0,
                 windows_used: 0,
+                residual_rms: 0.0,
             }
         };
 
         // ---- Stature phases. ---------------------------------------------------
-        let first_stature_time = analysis
+        let first_stature_time = self
+            .analysis
             .stature_changes
             .first()
             .map(|c| c.segment.start as f64 / input.imu_sample_rate);
-        let stature_drop = analysis
+        let stature_drop = self
+            .analysis
             .stature_changes
             .first()
             .map(|c| c.height_change.abs());
 
-        // ---- Per-slide TDoA + triangulation. -----------------------------------
-        let mut reports = Vec::with_capacity(analysis.slides.len());
+        let strength_sum: f64 = self
+            .arr_left
+            .iter()
+            .chain(self.arr_right.iter())
+            .map(|a| a.strength)
+            .sum();
+        let mean_beacon_strength =
+            strength_sum / (self.arr_left.len() + self.arr_right.len()) as f64;
+
+        // ---- Per-slide confidence, TDoA + triangulation. -----------------------
+        // Session-level SFO confidence: all slides share the clock fit.
+        let sfo_factor = soft_factor(
+            period.residual_rms,
+            self.config.degradation.sfo_residual_tol,
+        );
         let mut rejected = 0usize;
-        for slide in &analysis.slides {
+        for slide in &self.analysis.slides {
             let phase = match first_stature_time {
                 Some(t) if slide.start_time > t => StaturePhase::Lower,
                 _ => StaturePhase::Upper,
@@ -369,25 +747,50 @@ impl SessionEngine {
             } else {
                 (true, None)
             };
+            let pre = window_before(
+                &self.movements,
+                slide.start_time,
+                self.config.beacon.duration,
+            );
+            let post = window_after(
+                &self.movements,
+                slide.end_time,
+                audio_duration,
+                self.config.beacon.duration,
+            );
+            // Beacon confidence: mean strength of the arrivals bracketing
+            // this slide, relative to the session mean.
+            let mut bracketing_sum = 0.0;
+            let mut bracketing_count = 0usize;
+            for a in self.arr_left.iter().chain(self.arr_right.iter()) {
+                if a.time >= pre.0 && a.time <= post.1 {
+                    bracketing_sum += a.strength;
+                    bracketing_count += 1;
+                }
+            }
+            let beacon_factor = if bracketing_count == 0 || mean_beacon_strength <= 0.0 {
+                0.0
+            } else {
+                (bracketing_sum / bracketing_count as f64 / mean_beacon_strength).clamp(0.0, 1.0)
+            };
+            let drift_factor = soft_factor(
+                slide.end_velocity_residual,
+                self.config.degradation.drift_residual_tol,
+            );
             let mut report = SlideReport {
                 inertial: *slide,
                 phase,
                 accepted,
                 rejection,
+                confidence: SlideConfidence::new(beacon_factor, sfo_factor, drift_factor),
+                dropped: false,
                 tdoa: None,
                 fix: None,
             };
             if accepted {
-                let pre = window_before(&movements, slide.start_time, self.config.beacon.duration);
-                let post = window_after(
-                    &movements,
-                    slide.end_time,
-                    audio_duration,
-                    self.config.beacon.duration,
-                );
                 match augmented_tdoa_with(
-                    &left,
-                    &right,
+                    &self.arr_left,
+                    &self.arr_right,
                     pre,
                     post,
                     period.period,
@@ -400,13 +803,20 @@ impl SessionEngine {
                         if let Ok(geometry) =
                             slide_geometry(slide.distance, self.config.mic_separation, &tdoa)
                         {
-                            if let Ok((fixes, _)) = localize(&[geometry], self.config.aggregation) {
+                            if localize_with(
+                                std::slice::from_ref(&geometry),
+                                self.config.aggregation,
+                                &mut self.loc_scratch,
+                            )
+                            .is_ok()
+                            {
                                 // Plausibility gate: an estimate past any
                                 // indoor range means the measurement pair
                                 // carried no usable curvature — drop it.
-                                report.fix = fixes.into_iter().next().filter(|f| {
-                                    f.solution.position.y <= self.config.max_plausible_range
-                                });
+                                report.fix =
+                                    self.loc_scratch.fixes().first().copied().filter(|f| {
+                                        f.solution.position.y <= self.config.max_plausible_range
+                                    });
                             }
                         }
                     }
@@ -416,29 +826,34 @@ impl SessionEngine {
                     Err(e) => return Err(e),
                 }
             }
-            reports.push(report);
+            out.slides.push(report);
         }
 
         // ---- Aggregation per phase. -----------------------------------------------
-        let aggregate = |phase: StaturePhase| -> Option<Estimate2d> {
-            let geoms: Vec<_> = reports
-                .iter()
-                .filter(|r| r.phase == phase && r.fix.is_some())
-                .map(|r| r.fix.as_ref().expect("filtered Some").geometry)
-                .collect();
-            if geoms.is_empty() {
-                return None;
+        let mut upper = None;
+        let mut lower = None;
+        for phase in [StaturePhase::Upper, StaturePhase::Lower] {
+            self.geoms.clear();
+            self.geoms.extend(
+                out.slides
+                    .iter()
+                    .filter(|r| r.phase == phase && r.fix.is_some())
+                    .map(|r| r.fix.as_ref().expect("filtered Some").geometry),
+            );
+            if self.geoms.is_empty() {
+                continue;
             }
-            localize(&geoms, self.config.aggregation)
-                .ok()
-                .map(|(_, est)| est)
-        };
-        let upper = aggregate(StaturePhase::Upper);
-        let lower = aggregate(StaturePhase::Lower);
+            let est =
+                localize_with(&self.geoms, self.config.aggregation, &mut self.loc_scratch).ok();
+            match phase {
+                StaturePhase::Upper => upper = est,
+                StaturePhase::Lower => lower = est,
+            }
+        }
 
         if upper.is_none() && lower.is_none() {
             return Err(HyperEarError::NoUsableSlides {
-                detected: analysis.slides.len(),
+                detected: self.analysis.slides.len(),
                 rejected,
             });
         }
@@ -451,32 +866,46 @@ impl SessionEngine {
             _ => None,
         };
 
-        let strength_sum: f64 = left.iter().chain(right.iter()).map(|a| a.strength).sum();
-        let mean_beacon_strength = strength_sum / (left.len() + right.len()) as f64;
-        Ok(SessionResult {
-            beacons_left: left.len(),
-            beacons_right: right.len(),
-            mean_beacon_strength,
-            period,
-            slides: reports,
-            upper,
-            lower,
-            stature_drop,
-            projected,
-        })
+        out.beacons_left = self.arr_left.len();
+        out.beacons_right = self.arr_right.len();
+        out.mean_beacon_strength = mean_beacon_strength;
+        out.period = period;
+        out.upper = upper;
+        out.lower = lower;
+        out.stature_drop = stature_drop;
+        out.projected = projected;
+        Ok(())
     }
+}
+
+/// A soft confidence factor in `(0, 1]`: 1 at zero residual, 0.5 at the
+/// tolerance, decaying quadratically beyond it.
+fn soft_factor(residual: f64, tolerance: f64) -> f64 {
+    let r = residual / tolerance;
+    1.0 / (1.0 + r * r)
+}
+
+/// Linear interpolation of the yaw trace at time `t` (clamped to the
+/// trace ends).
+fn yaw_at(yaw: &[f64], imu_sample_rate: f64, t: f64) -> f64 {
+    let pos = t * imu_sample_rate;
+    let i = (pos.floor() as usize).min(yaw.len().saturating_sub(1));
+    let j = (i + 1).min(yaw.len() - 1);
+    let frac = (pos - i as f64).clamp(0.0, 1.0);
+    yaw[i] * (1.0 - frac) + yaw[j] * frac
 }
 
 /// Complements the movement windows over `[0, duration]`, shrinking each
 /// stationary window by the margin on both sides and by the chirp
 /// duration at the end (a beacon must *finish* before motion starts).
-fn stationary_windows(
+fn stationary_windows_into(
     movements: &[(f64, f64)],
     duration: f64,
     margin: f64,
     chirp_duration: f64,
-) -> Vec<(f64, f64)> {
-    let mut windows = Vec::with_capacity(movements.len() + 1);
+    windows: &mut Vec<(f64, f64)>,
+) {
+    windows.clear();
     let mut cursor = 0.0;
     for &(start, end) in movements {
         let w_end = start - margin - chirp_duration;
@@ -489,6 +918,17 @@ fn stationary_windows(
     if final_end > cursor {
         windows.push((cursor, final_end));
     }
+}
+
+#[cfg(test)]
+fn stationary_windows(
+    movements: &[(f64, f64)],
+    duration: f64,
+    margin: f64,
+    chirp_duration: f64,
+) -> Vec<(f64, f64)> {
+    let mut windows = Vec::new();
+    stationary_windows_into(movements, duration, margin, chirp_duration, &mut windows);
     windows
 }
 
@@ -529,6 +969,7 @@ fn window_after(
 mod tests {
     use super::*;
     use crate::config::HyperEarConfig;
+    use crate::metrics::OutcomeTally;
     use hyperear_sim::environment::Environment;
     use hyperear_sim::phone::PhoneModel;
     use hyperear_sim::scenario::{Recording, ScenarioBuilder};
@@ -565,6 +1006,11 @@ mod tests {
         );
         assert!(result.projected.is_none());
         assert_eq!(result.best_range(), Some(est.range));
+        // Clean anechoic slides should score confidently.
+        for s in &result.slides {
+            assert!(s.confidence.score > 0.3, "confidence {:?}", s.confidence);
+            assert!(!s.dropped);
+        }
     }
 
     #[test]
@@ -584,6 +1030,7 @@ mod tests {
         // T_recorded = T·(1+23e-6)·(1+12e-6) ≈ T·(1+35e-6).
         let ppm = result.period.offset_ppm;
         assert!((ppm - 35.0).abs() < 6.0, "offset {ppm} ppm");
+        assert!(result.period.residual_rms < 1e-4, "sfo residual");
     }
 
     #[test]
@@ -730,6 +1177,188 @@ mod tests {
             standalone.run(&input(&rec)).unwrap(),
             engine.run(&input(&rec)).unwrap()
         );
+    }
+
+    #[test]
+    fn run_into_reuses_result_storage() {
+        let engine = HyperEar::new(HyperEarConfig::galaxy_s4()).unwrap();
+        let mut session = engine.engine();
+        let mut out = SessionResult::empty();
+        for seed in [21, 22] {
+            let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+                .environment(Environment::anechoic())
+                .speaker_range(2.5)
+                .slides(2)
+                .seed(seed)
+                .render()
+                .unwrap();
+            session.run_into(&input(&rec), &mut out).unwrap();
+            let fresh = engine.run(&input(&rec)).unwrap();
+            assert_eq!(out, fresh, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn monitored_clean_session_is_ok() {
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(3.0)
+            .slides(2)
+            .seed(11)
+            .render()
+            .unwrap();
+        let engine = HyperEar::new(HyperEarConfig::galaxy_s4()).unwrap();
+        let mut session = engine.engine();
+        let outcome = session.run_monitored(&input(&rec));
+        assert!(outcome.is_usable());
+        match &outcome {
+            SessionOutcome::Ok(result) => {
+                assert!(result.upper.is_some());
+            }
+            other => panic!("expected Ok, got {other:?}"),
+        }
+        // A monitored run's result matches the raw pipeline's.
+        let raw = engine.run(&input(&rec)).unwrap();
+        assert_eq!(outcome.result(), Some(&raw));
+    }
+
+    #[test]
+    fn monitored_silence_fails_with_typed_reason() {
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(2.0)
+            .slides(1)
+            .seed(15)
+            .render()
+            .unwrap();
+        let mut session = HyperEar::new(HyperEarConfig::galaxy_s4()).unwrap().engine();
+        let silent_left = vec![0.0; rec.audio.left.len()];
+        let silent_right = vec![0.0; rec.audio.right.len()];
+        let mut silent = input(&rec);
+        silent.left = &silent_left;
+        silent.right = &silent_right;
+        let outcome = session.run_monitored(&silent);
+        assert!(!outcome.is_usable());
+        match outcome {
+            SessionOutcome::Failed { reason, .. } => {
+                assert!(matches!(reason, HyperEarError::InsufficientBeacons { .. }));
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn monitored_all_rejected_fails_with_diagnostics() {
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(2.0)
+            .slide_distance(0.3)
+            .slides(2)
+            .seed(16)
+            .render()
+            .unwrap();
+        let mut session = HyperEar::new(HyperEarConfig::galaxy_s4()).unwrap().engine();
+        match session.run_monitored(&input(&rec)) {
+            SessionOutcome::Failed {
+                reason: HyperEarError::NoUsableSlides { .. },
+                diagnostics: Some(d),
+            } => {
+                assert_eq!(d.slides_detected, 2);
+                assert_eq!(d.slides_rejected, 2);
+            }
+            other => panic!("expected Failed with diagnostics, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_budget_drops_low_confidence_slides() {
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(3.0)
+            .slides(3)
+            .seed(11)
+            .render()
+            .unwrap();
+        // Force every slide below the threshold so the policy must spend
+        // its budget — but min_slides keeps at least one contributing.
+        let mut cfg = HyperEarConfig::galaxy_s4();
+        cfg.degradation.min_confidence = 1.0;
+        cfg.degradation.retry_budget = 2;
+        cfg.degradation.min_slides = 1;
+        let mut session = HyperEar::new(cfg).unwrap().engine();
+        match session.run_monitored(&input(&rec)) {
+            SessionOutcome::Degraded {
+                result,
+                diagnostics,
+            } => {
+                assert_eq!(diagnostics.slides_dropped, 2);
+                assert_eq!(result.slides.iter().filter(|s| s.dropped).count(), 2);
+                // The phase keeps an estimate from the survivor.
+                let est = result.upper.expect("estimate survives drops");
+                assert_eq!(est.slides_used, 1);
+                assert!((est.range - 3.0).abs() < 0.5, "range {}", est.range);
+                // The dropped slides are the lowest-confidence ones.
+                let min_kept = result
+                    .slides
+                    .iter()
+                    .filter(|s| !s.dropped)
+                    .map(|s| s.confidence.score)
+                    .fold(f64::INFINITY, f64::min);
+                let max_dropped = result
+                    .slides
+                    .iter()
+                    .filter(|s| s.dropped)
+                    .map(|s| s.confidence.score)
+                    .fold(0.0f64, f64::max);
+                assert!(max_dropped <= min_kept, "{max_dropped} vs {min_kept}");
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_policy_never_drops() {
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(3.0)
+            .slides(2)
+            .seed(11)
+            .render()
+            .unwrap();
+        let mut cfg = HyperEarConfig::galaxy_s4();
+        cfg.degradation.min_confidence = 1.0;
+        cfg.degradation.enabled = false;
+        let mut session = HyperEar::new(cfg).unwrap().engine();
+        let outcome = session.run_monitored(&input(&rec));
+        let result = outcome.result().expect("usable");
+        assert!(result.slides.iter().all(|s| !s.dropped));
+    }
+
+    #[test]
+    fn outcome_tally_aggregates_batches() {
+        let engine = HyperEar::new(HyperEarConfig::galaxy_s4()).unwrap();
+        let mut session = engine.engine();
+        let mut tally = OutcomeTally::new();
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(3.0)
+            .slides(2)
+            .seed(11)
+            .render()
+            .unwrap();
+        tally.record(&session.run_monitored(&input(&rec)));
+        let silent_left = vec![0.0; rec.audio.left.len()];
+        let silent_right = vec![0.0; rec.audio.right.len()];
+        let mut silent = input(&rec);
+        silent.left = &silent_left;
+        silent.right = &silent_right;
+        tally.record(&session.run_monitored(&silent));
+        assert_eq!(tally.sessions, 2);
+        assert_eq!(tally.ok + tally.degraded, 1);
+        assert_eq!(tally.failed, 1);
+        assert!((tally.usable_fraction() - 0.5).abs() < 1e-12);
+        assert!(tally.slides_detected >= 2);
+        assert_eq!(OutcomeTally::new().usable_fraction(), 0.0);
     }
 
     #[test]

@@ -26,6 +26,29 @@ pub struct PeriodEstimate {
     pub beacons_used: usize,
     /// Stationary windows that contributed.
     pub windows_used: usize,
+    /// RMS of the per-arrival least-squares fit residuals, seconds.
+    ///
+    /// Clean arrivals fit their window's line to sub-microsecond level;
+    /// multipath-shifted or double-detected beacons inflate this. The
+    /// degradation policy reads it as a session-level confidence signal
+    /// (zero when the estimate is the nominal fallback).
+    pub residual_rms: f64,
+}
+
+/// Reusable work buffers for [`estimate_period_with`].
+#[derive(Debug, Clone, Default)]
+pub struct SfoScratch {
+    times: Vec<f64>,
+    ks: Vec<f64>,
+    sorted: Vec<f64>,
+}
+
+impl SfoScratch {
+    /// Creates empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Estimates the recorded beacon period from arrivals inside stationary
@@ -47,6 +70,22 @@ pub fn estimate_period(
     stationary_windows: &[(f64, f64)],
     nominal_period: f64,
 ) -> Result<PeriodEstimate, HyperEarError> {
+    let mut scratch = SfoScratch::new();
+    estimate_period_with(arrivals, stationary_windows, nominal_period, &mut scratch)
+}
+
+/// Allocation-free form of [`estimate_period`]: the per-window index and
+/// time buffers live in caller-owned scratch that is cleared and reused.
+///
+/// # Errors
+///
+/// Same conditions as [`estimate_period`].
+pub fn estimate_period_with(
+    arrivals: &[BeaconArrival],
+    stationary_windows: &[(f64, f64)],
+    nominal_period: f64,
+    scratch: &mut SfoScratch,
+) -> Result<PeriodEstimate, HyperEarError> {
     if nominal_period <= 0.0 {
         return Err(HyperEarError::invalid("nominal_period", "must be positive"));
     }
@@ -54,24 +93,29 @@ pub fn estimate_period(
     let mut weighted_slope = 0.0;
     let mut beacons_used = 0;
     let mut windows_used = 0;
+    let mut residual_sq_sum = 0.0;
     for &(start, end) in stationary_windows {
-        let times: Vec<f64> = arrivals
-            .iter()
-            .map(|a| a.time)
-            .filter(|&t| t >= start && t <= end)
-            .collect();
+        let times = &mut scratch.times;
+        times.clear();
+        times.extend(
+            arrivals
+                .iter()
+                .map(|a| a.time)
+                .filter(|&t| t >= start && t <= end),
+        );
         if times.len() < 2 {
             continue;
         }
         // Beacon indices relative to the window's first arrival.
         let t0 = times[0];
-        let ks: Vec<f64> = times
-            .iter()
-            .map(|&t| ((t - t0) / nominal_period).round())
-            .collect();
+        let ks = &mut scratch.ks;
+        ks.clear();
+        ks.extend(times.iter().map(|&t| ((t - t0) / nominal_period).round()));
         // Guard against duplicate indices (double-detections).
-        let mut sorted = ks.clone();
-        sorted.sort_by(f64::total_cmp);
+        let sorted = &mut scratch.sorted;
+        sorted.clear();
+        sorted.extend_from_slice(ks);
+        sorted.sort_unstable_by(f64::total_cmp);
         if sorted.windows(2).any(|w| w[0] == w[1]) {
             continue;
         }
@@ -84,10 +128,14 @@ pub fn estimate_period(
         }
         let sxy: f64 = ks
             .iter()
-            .zip(&times)
+            .zip(times.iter())
             .map(|(k, t)| (k - k_mean) * (t - t_mean))
             .sum();
         let slope = sxy / sxx;
+        for (k, t) in ks.iter().zip(times.iter()) {
+            let fitted = t_mean + slope * (k - k_mean);
+            residual_sq_sum += (t - fitted) * (t - fitted);
+        }
         weighted_slope += slope * sxx;
         total_weight += sxx;
         beacons_used += times.len();
@@ -115,6 +163,7 @@ pub fn estimate_period(
         offset_ppm,
         beacons_used,
         windows_used,
+        residual_rms: (residual_sq_sum / beacons_used as f64).sqrt(),
     })
 }
 
@@ -222,6 +271,45 @@ mod tests {
     #[test]
     fn invalid_nominal_rejected() {
         assert!(estimate_period(&[], &[(0.0, 1.0)], 0.0).is_err());
+    }
+
+    #[test]
+    fn residual_rms_tracks_arrival_jitter() {
+        let clean = arrivals_with_period(0.05, 0.2, 6);
+        let est = estimate_period(&clean, &[(0.0, 1.2)], 0.2).unwrap();
+        assert!(
+            est.residual_rms < 1e-12,
+            "clean residual {}",
+            est.residual_rms
+        );
+        let jitter = [40e-6, -80e-6, 60e-6, -20e-6, 30e-6, -50e-6];
+        let noisy: Vec<BeaconArrival> = (0..6)
+            .map(|k| BeaconArrival {
+                time: 0.05 + k as f64 * 0.2 + jitter[k],
+                strength: 1.0,
+            })
+            .collect();
+        let est = estimate_period(&noisy, &[(0.0, 1.2)], 0.2).unwrap();
+        assert!(
+            est.residual_rms > 1e-5 && est.residual_rms < 1e-3,
+            "jittered residual {}",
+            est.residual_rms
+        );
+    }
+
+    #[test]
+    fn with_variant_matches_allocating_form() {
+        let true_period = 0.2 * (1.0 + 50e-6);
+        let mut arrivals = arrivals_with_period(0.05, true_period, 4);
+        arrivals.extend(arrivals_with_period(2.0, true_period, 4));
+        let windows = [(0.0, 0.9), (1.9, 2.9)];
+        let reference = estimate_period(&arrivals, &windows, 0.2).unwrap();
+        let mut scratch = SfoScratch::new();
+        for _ in 0..2 {
+            let est = estimate_period_with(&arrivals, &windows, 0.2, &mut scratch).unwrap();
+            assert_eq!(est, reference);
+        }
+        assert!(estimate_period_with(&[], &windows, 0.2, &mut scratch).is_err());
     }
 
     #[test]

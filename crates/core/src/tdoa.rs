@@ -130,7 +130,9 @@ pub fn channel_delta_t_with(
     // Median over pairs: robust against a single echo-captured or
     // noise-shifted beacon, which would drag a mean.
     let deltas = &mut scratch.deltas;
-    deltas.sort_by(f64::total_cmp);
+    // Unstable sort is result-identical here (total_cmp ties are
+    // bit-identical values) and does not allocate.
+    deltas.sort_unstable_by(f64::total_cmp);
     let count = deltas.len();
     let median = if count % 2 == 1 {
         deltas[count / 2]

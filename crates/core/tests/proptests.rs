@@ -155,6 +155,55 @@ fn cdf_percentiles_are_monotone() {
 }
 
 #[test]
+fn cdf_fraction_below_is_monotone_and_bounded() {
+    let strat = (
+        vec_f64(0.0, 5.0, 1, 64),
+        f64_range(-1.0, 6.0),
+        f64_range(0.0, 2.0),
+    );
+    prop::check(
+        "cdf_fraction_below_is_monotone_and_bounded",
+        strat,
+        |(errors, x, dx)| {
+            let cdf = Cdf::new(errors).unwrap();
+            let lo = cdf.fraction_below(*x);
+            let hi = cdf.fraction_below(x + dx);
+            prop_assert!((0.0..=1.0).contains(&lo), "fraction {lo} out of [0, 1]");
+            prop_assert!(hi >= lo, "fraction_below not monotone: {lo} > {hi}");
+            // Every error is ≤ the maximum, none is below the minimum.
+            prop_assert!((cdf.fraction_below(cdf.percentile(100.0)) - 1.0).abs() < 1e-12);
+            prop_assert!(cdf.fraction_below(cdf.percentile(0.0) - 1e-9) == 0.0);
+            prop::pass()
+        },
+    );
+}
+
+#[test]
+fn metrics_reject_degenerate_inputs_with_typed_errors() {
+    let strat = (f64_range(0.1, 1_000.0), vec_f64(0.0, 5.0, 1, 16));
+    prop::check(
+        "metrics_reject_degenerate_inputs_with_typed_errors",
+        strat,
+        |(excess, errors)| {
+            // Empty and non-finite inputs are errors, not panics.
+            prop_assert!(Cdf::new(&[]).is_err());
+            prop_assert!(hyperear::metrics::stats(&[]).is_err());
+            prop_assert!(Cdf::new(&[1.0, f64::NAN]).is_err());
+            prop_assert!(Cdf::new(&[f64::INFINITY]).is_err());
+            // Out-of-range percentiles are typed errors via the checked
+            // form; in-range ones agree with the panicking form.
+            let cdf = Cdf::new(errors).unwrap();
+            prop_assert!(cdf.try_percentile(-excess).is_err());
+            prop_assert!(cdf.try_percentile(100.0 + excess).is_err());
+            prop_assert!(cdf.try_percentile(f64::NAN).is_err());
+            let p = (excess % 100.0).clamp(0.0, 100.0);
+            prop_assert!(cdf.try_percentile(p).unwrap() == cdf.percentile(p));
+            prop::pass()
+        },
+    );
+}
+
+#[test]
 fn naive_error_is_bounded_by_search_region() {
     let strat = (f64_range(-0.4, 0.4), f64_range(0.5, 8.0));
     prop::check(

@@ -180,12 +180,30 @@ impl FirFilter {
     ///
     /// Returns [`DspError::EmptyInput`] if `signal` is empty.
     pub fn filter_zero_phase(&self, signal: &[f64]) -> Result<Vec<f64>, DspError> {
+        let mut out = Vec::new();
+        self.filter_zero_phase_into(signal, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free form of [`FirFilter::filter_zero_phase`]: writes
+    /// the same-length output into a caller-owned buffer that is cleared
+    /// and reused, so a warm filtering loop performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if `signal` is empty.
+    pub fn filter_zero_phase_into(
+        &self,
+        signal: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
         if signal.is_empty() {
             return Err(DspError::EmptyInput { what: "FIR input" });
         }
         let delay = (self.taps.len() - 1) / 2;
         let n = signal.len();
-        let mut out = vec![0.0; n];
+        out.clear();
+        out.resize(n, 0.0);
         // out[i] = sum_k taps[k] * signal[i + delay - k]
         for (i, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
@@ -197,7 +215,7 @@ impl FirFilter {
             }
             *o = acc;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Magnitude of the filter's frequency response at `freq_hz`.
@@ -367,5 +385,19 @@ mod tests {
         let lp = FirFilter::low_pass(1_000.0, 44_100.0, 11, Window::Hann).unwrap();
         assert!(lp.filter(&[]).is_err());
         assert!(lp.filter_zero_phase(&[]).is_err());
+        assert!(lp.filter_zero_phase_into(&[], &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn zero_phase_into_matches_allocating_form() {
+        let fs = 44_100.0;
+        let bp = FirFilter::band_pass(2_000.0, 6_400.0, fs, 127, Window::Hamming).unwrap();
+        let signal = tone(4_000.0, fs, 2048);
+        let reference = bp.filter_zero_phase(&signal).unwrap();
+        let mut out = vec![9.0; 10]; // stale contents must be irrelevant
+        for _ in 0..2 {
+            bp.filter_zero_phase_into(&signal, &mut out).unwrap();
+            assert_eq!(out, reference);
+        }
     }
 }

@@ -51,6 +51,27 @@ impl PeakConfig {
 ///
 /// Returns [`DspError::EmptyInput`] for an empty signal.
 pub fn find_peaks(signal: &[f64], config: &PeakConfig) -> Result<Vec<Peak>, DspError> {
+    let mut scratch = Vec::new();
+    let mut out = Vec::new();
+    find_peaks_into(signal, config, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free form of [`find_peaks`]: candidate storage and the
+/// result live in caller-owned buffers that are cleared and reused, so a
+/// warm detection loop performs no heap allocation. Output in `out` is
+/// identical to [`find_peaks`].
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal.
+pub fn find_peaks_into(
+    signal: &[f64],
+    config: &PeakConfig,
+    scratch: &mut Vec<Peak>,
+    out: &mut Vec<Peak>,
+) -> Result<(), DspError> {
+    out.clear();
     if signal.is_empty() {
         return Err(DspError::EmptyInput {
             what: "find_peaks input",
@@ -58,7 +79,6 @@ pub fn find_peaks(signal: &[f64], config: &PeakConfig) -> Result<Vec<Peak>, DspE
     }
     // Collect strict local maxima (plateau-tolerant: first sample of a
     // plateau wins).
-    let mut candidates: Vec<Peak> = Vec::new();
     for i in 0..signal.len() {
         let v = signal[i];
         if v < config.threshold {
@@ -67,26 +87,31 @@ pub fn find_peaks(signal: &[f64], config: &PeakConfig) -> Result<Vec<Peak>, DspE
         let left_ok = i == 0 || signal[i - 1] < v;
         let right_ok = i + 1 == signal.len() || signal[i + 1] <= v;
         if left_ok && right_ok {
-            candidates.push(Peak { index: i, value: v });
+            out.push(Peak { index: i, value: v });
         }
     }
-    if config.min_distance <= 1 || candidates.len() <= 1 {
-        return Ok(candidates);
+    if config.min_distance <= 1 || out.len() <= 1 {
+        return Ok(());
     }
-    // Greedy non-maximum suppression: biggest first.
-    let mut by_value = candidates.clone();
-    by_value.sort_by(|a, b| b.value.total_cmp(&a.value));
-    let mut taken: Vec<Peak> = Vec::new();
-    for cand in by_value {
-        if taken
+    // Greedy non-maximum suppression: biggest first. The sort key breaks
+    // value ties by ascending index, which is exactly the order a stable
+    // by-value sort of the index-ordered candidates would produce — so
+    // the in-place unstable sort keeps results identical.
+    scratch.clear();
+    scratch.extend_from_slice(out);
+    scratch.sort_unstable_by(|a, b| b.value.total_cmp(&a.value).then(a.index.cmp(&b.index)));
+    out.clear();
+    for cand in scratch.iter() {
+        if out
             .iter()
             .all(|t| cand.index.abs_diff(t.index) >= config.min_distance)
         {
-            taken.push(cand);
+            out.push(*cand);
         }
     }
-    taken.sort_by_key(|p| p.index);
-    Ok(taken)
+    // Indices are unique, so the unstable sort is order-deterministic.
+    out.sort_unstable_by_key(|p| p.index);
+    Ok(())
 }
 
 /// Estimates the noise floor of a correlation output as
@@ -99,12 +124,24 @@ pub fn find_peaks(signal: &[f64], config: &PeakConfig) -> Result<Vec<Peak>, DspE
 ///
 /// Returns [`DspError::EmptyInput`] for an empty signal.
 pub fn noise_floor(signal: &[f64]) -> Result<f64, DspError> {
+    let mut mags = Vec::new();
+    noise_floor_with(signal, &mut mags)
+}
+
+/// Allocation-free form of [`noise_floor`]: the magnitude work array is
+/// a caller-owned buffer that is cleared and reused.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal.
+pub fn noise_floor_with(signal: &[f64], mags: &mut Vec<f64>) -> Result<f64, DspError> {
     if signal.is_empty() {
         return Err(DspError::EmptyInput {
             what: "noise_floor input",
         });
     }
-    let mut mags: Vec<f64> = signal.iter().map(|x| x.abs()).collect();
+    mags.clear();
+    mags.extend(signal.iter().map(|x| x.abs()));
     let mid = mags.len() / 2;
     mags.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
     Ok(mags[mid] / 0.6745)
@@ -216,5 +253,35 @@ mod tests {
         assert!(find_peaks(&[], &cfg).is_err());
         assert!(noise_floor(&[]).is_err());
         assert!(PeakConfig::new(f64::NAN, 1).is_err());
+        let (mut s, mut o) = (Vec::new(), Vec::new());
+        assert!(find_peaks_into(&[], &cfg, &mut s, &mut o).is_err());
+        assert!(noise_floor_with(&[], &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        // A dense signal with value ties so the tie-breaking sort key is
+        // actually exercised against the stable-sort reference order.
+        let mut signal = vec![0.0; 400];
+        for k in 0..8 {
+            signal[k * 50 + 3] = 4.0; // equal-valued peaks
+            signal[k * 50 + 20] = 2.0 + k as f64;
+        }
+        for min_distance in [1usize, 5, 30, 60] {
+            let cfg = PeakConfig::new(1.0, min_distance).unwrap();
+            let reference = find_peaks(&signal, &cfg).unwrap();
+            let (mut scratch, mut out) = (Vec::new(), Vec::new());
+            // Run twice through the same buffers: results must not depend
+            // on stale contents.
+            for _ in 0..2 {
+                find_peaks_into(&signal, &cfg, &mut scratch, &mut out).unwrap();
+                assert_eq!(out, reference, "min_distance {min_distance}");
+            }
+        }
+        let mut mags = Vec::new();
+        assert_eq!(
+            noise_floor(&signal).unwrap(),
+            noise_floor_with(&signal, &mut mags).unwrap()
+        );
     }
 }

@@ -1,14 +1,20 @@
 //! Pins the plan/scratch architecture's central promise: once the plan
 //! cache, scratch arena, template spectrum and output buffer are warm,
-//! the matched-filter correlation path performs **zero** heap
+//! the DSP hot path — up to and including a full pipeline session
+//! through a warm `SessionEngine::run_into` — performs **zero** heap
 //! allocations per call.
 //!
 //! The whole file is one `#[test]` on purpose — the counting allocator is
 //! process-global, and concurrent tests in the same binary would pollute
 //! the counter between the snapshot and the assertion.
 
+use hyperear::config::HyperEarConfig;
+use hyperear::pipeline::{SessionEngine, SessionInput, SessionResult};
 use hyperear_dsp::correlate::{xcorr_into, MatchedFilter};
 use hyperear_dsp::plan::{DspScratch, PlanCache};
+use hyperear_sim::environment::Environment;
+use hyperear_sim::phone::PhoneModel;
+use hyperear_sim::scenario::ScenarioBuilder;
 use hyperear_util::alloc_counter::CountingAllocator;
 
 #[global_allocator]
@@ -64,4 +70,43 @@ fn warm_xcorr_path_does_not_allocate() {
     );
     // Still exactly one template FFT for this (template, padded-length).
     assert_eq!(filter.template_fft_count(), 1);
+
+    // --- Full pipeline session through a warm SessionEngine. ----------
+    // Everything downstream of the matched filter — peak picking,
+    // inertial analysis, SFO fit, per-slide confidence scoring, TDoA,
+    // triangulation, aggregation — runs out of engine-owned scratch and
+    // the reused result slot.
+    let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+        .environment(Environment::anechoic())
+        .speaker_range(3.0)
+        .slides(2)
+        .seed(31)
+        .render()
+        .unwrap();
+    let input = SessionInput {
+        audio_sample_rate: rec.audio.sample_rate,
+        left: &rec.audio.left,
+        right: &rec.audio.right,
+        imu_sample_rate: rec.imu.sample_rate,
+        accel: &rec.imu.accel,
+        gyro: &rec.imu.gyro,
+    };
+    let mut engine = SessionEngine::new(HyperEarConfig::galaxy_s4()).unwrap();
+    let mut result = SessionResult::empty();
+    // Warm-up: detector built, every scratch buffer at its high-water
+    // mark, the result slot's slide storage grown.
+    engine.run_into(&input, &mut result).unwrap();
+    let expected = result.clone();
+
+    let before = ALLOC.allocations();
+    for _ in 0..2 {
+        engine.run_into(&input, &mut result).unwrap();
+    }
+    let after = ALLOC.allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state SessionEngine::run_into must not allocate"
+    );
+    assert_eq!(result, expected, "warm session must stay bit-identical");
 }

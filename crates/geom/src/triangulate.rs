@@ -201,13 +201,27 @@ pub fn solve_slide(geometry: &SlideGeometry) -> Result<SlideSolution, GeomError>
 /// Returns [`GeomError::InvalidParameter`] for an empty slice, otherwise
 /// as [`solve_slide`].
 pub fn solve_joint(geometries: &[SlideGeometry]) -> Result<SlideSolution, GeomError> {
+    solve_joint_with(geometries, &mut Vec::new())
+}
+
+/// Allocation-free form of [`solve_joint`]: the per-slide hyperbola pairs
+/// live in a caller-owned buffer that is cleared and reused. Results are
+/// identical to [`solve_joint`].
+///
+/// # Errors
+///
+/// Same conditions as [`solve_joint`].
+pub fn solve_joint_with(
+    geometries: &[SlideGeometry],
+    hyperbolas: &mut Vec<(HalfHyperbola, HalfHyperbola)>,
+) -> Result<SlideSolution, GeomError> {
     if geometries.is_empty() {
         return Err(GeomError::invalid("geometries", "need at least one slide"));
     }
-    let hyperbolas: Vec<(HalfHyperbola, HalfHyperbola)> = geometries
-        .iter()
-        .map(|g| g.hyperbolas())
-        .collect::<Result<_, _>>()?;
+    hyperbolas.clear();
+    for g in geometries {
+        hyperbolas.push(g.hyperbolas()?);
+    }
 
     // Initial guess: average of per-slide far-field guesses.
     let mut p = geometries
@@ -228,7 +242,7 @@ pub fn solve_joint(geometries: &[SlideGeometry]) -> Result<SlideSolution, GeomEr
         let (mut jtj00, mut jtj01, mut jtj11) = (0.0, 0.0, 0.0);
         let (mut jtr0, mut jtr1) = (0.0, 0.0);
         let mut sum_r2 = 0.0;
-        for (h1, h2) in &hyperbolas {
+        for (h1, h2) in hyperbolas.iter() {
             for h in [h1, h2] {
                 let r = h.residual(p);
                 sum_r2 += r * r;

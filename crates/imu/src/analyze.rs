@@ -7,10 +7,10 @@
 //! per-slide windows, signed distances `D′`, rotation for the quality
 //! gate, and the stature change `H` of the 3D protocol.
 
-use crate::displacement::segment_displacement_with;
-use crate::preprocess::preprocess;
-use crate::rotation::max_rotation_deg;
-use crate::segment::{segment_movements, Segment, SegmentConfig};
+use crate::displacement::{segment_kinematics, DisplacementScratch};
+use crate::preprocess::preprocess_into;
+use crate::rotation::max_rotation_deg_with;
+use crate::segment::{segment_movements_into, Segment, SegmentConfig};
 use crate::ImuError;
 use hyperear_geom::Vec3;
 
@@ -75,6 +75,11 @@ pub struct SlideEstimate {
     pub distance: f64,
     /// Maximum z-rotation over the slide, degrees.
     pub rotation_deg: f64,
+    /// Raw integrated y-velocity at the slide end before the Eq. 4
+    /// correction, m/s. The zero-velocity assumption says this should be
+    /// ~0; a large residual flags a drift-corrupted slide for the
+    /// confidence scoring downstream.
+    pub end_velocity_residual: f64,
 }
 
 /// One detected vertical stature change.
@@ -116,6 +121,56 @@ pub fn analyze_session(
     sample_rate: f64,
     config: &SessionConfig,
 ) -> Result<SessionAnalysis, ImuError> {
+    let mut scratch = AnalyzeScratch::new();
+    let mut out = SessionAnalysis {
+        gravity: Vec3::ZERO,
+        slides: Vec::new(),
+        stature_changes: Vec::new(),
+    };
+    analyze_session_with(accel, gyro, sample_rate, config, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Reusable work buffers for [`analyze_session_with`]: every intermediate
+/// trace of the inertial chain, so a warm session engine re-analyzes
+/// without heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeScratch {
+    linear: Vec<Vec3>,
+    axis_y: Vec<f64>,
+    axis_z: Vec<f64>,
+    gyro_z: Vec<f64>,
+    power: Vec<f64>,
+    segments_y: Vec<Segment>,
+    segments_z: Vec<Segment>,
+    displacement: DisplacementScratch,
+    angle: Vec<f64>,
+}
+
+impl AnalyzeScratch {
+    /// Creates empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Allocation-free form of [`analyze_session`]: intermediates live in
+/// `scratch` and the result is written into `out` (whose `slides` and
+/// `stature_changes` vectors are cleared and reused). Results are
+/// identical to [`analyze_session`].
+///
+/// # Errors
+///
+/// Same conditions as [`analyze_session`].
+pub fn analyze_session_with(
+    accel: &[Vec3],
+    gyro: &[Vec3],
+    sample_rate: f64,
+    config: &SessionConfig,
+    scratch: &mut AnalyzeScratch,
+    out: &mut SessionAnalysis,
+) -> Result<(), ImuError> {
     if sample_rate <= 0.0 {
         return Err(ImuError::invalid("sample_rate", "must be positive"));
     }
@@ -125,64 +180,90 @@ pub fn analyze_session(
             format!("length mismatch: {} vs {}", accel.len(), gyro.len()),
         ));
     }
-    let (linear, gravity) = preprocess(accel, config.gravity_window, config.sma_window)?;
-    let y: Vec<f64> = linear.iter().map(|v| v.y).collect();
-    let z: Vec<f64> = linear.iter().map(|v| v.z).collect();
-    let gyro_z: Vec<f64> = gyro.iter().map(|v| v.z).collect();
+    let gravity = preprocess_into(
+        accel,
+        config.gravity_window,
+        config.sma_window,
+        &mut scratch.linear,
+    )?;
+    scratch.axis_y.clear();
+    scratch.axis_y.extend(scratch.linear.iter().map(|v| v.y));
+    scratch.axis_z.clear();
+    scratch.axis_z.extend(scratch.linear.iter().map(|v| v.z));
+    scratch.gyro_z.clear();
+    scratch.gyro_z.extend(gyro.iter().map(|v| v.z));
 
-    let y_segments = segment_movements(&y, &config.segmenter)?;
-    let z_segments = segment_movements(&z, &config.segmenter)?;
+    segment_movements_into(
+        &scratch.axis_y,
+        &config.segmenter,
+        &mut scratch.power,
+        &mut scratch.segments_y,
+    )?;
+    segment_movements_into(
+        &scratch.axis_z,
+        &config.segmenter,
+        &mut scratch.power,
+        &mut scratch.segments_z,
+    )?;
 
-    let mut slides = Vec::new();
-    let mut statures = Vec::new();
+    out.gravity = gravity;
+    out.slides.clear();
+    out.stature_changes.clear();
 
-    for seg in y_segments {
-        let dy = segment_displacement_with(
-            &y[seg.start..seg.end],
+    for si in 0..scratch.segments_y.len() {
+        let seg = scratch.segments_y[si];
+        let kin_y = segment_kinematics(
+            &scratch.axis_y[seg.start..seg.end],
             sample_rate,
             config.drift_correction,
+            &mut scratch.displacement,
         )?;
-        let dz = segment_displacement_with(
-            &z[seg.start..seg.end],
+        let kin_z = segment_kinematics(
+            &scratch.axis_z[seg.start..seg.end],
             sample_rate,
             config.drift_correction,
+            &mut scratch.displacement,
         )?;
-        if dy.abs() < dz.abs() {
+        if kin_y.distance.abs() < kin_z.distance.abs() {
             continue; // dominated by vertical motion; the z pass owns it
         }
-        let rotation = max_rotation_deg(&gyro_z[seg.start..seg.end], sample_rate)?;
-        slides.push(SlideEstimate {
+        let rotation = max_rotation_deg_with(
+            &scratch.gyro_z[seg.start..seg.end],
+            sample_rate,
+            &mut scratch.angle,
+        )?;
+        out.slides.push(SlideEstimate {
             segment: seg,
             start_time: seg.start as f64 / sample_rate,
             end_time: seg.end as f64 / sample_rate,
-            distance: dy,
+            distance: kin_y.distance,
             rotation_deg: rotation,
+            end_velocity_residual: kin_y.end_velocity_residual,
         });
     }
-    for seg in z_segments {
-        let dz = segment_displacement_with(
-            &z[seg.start..seg.end],
+    for si in 0..scratch.segments_z.len() {
+        let seg = scratch.segments_z[si];
+        let kin_z = segment_kinematics(
+            &scratch.axis_z[seg.start..seg.end],
             sample_rate,
             config.drift_correction,
+            &mut scratch.displacement,
         )?;
-        let dy = segment_displacement_with(
-            &y[seg.start..seg.end],
+        let kin_y = segment_kinematics(
+            &scratch.axis_y[seg.start..seg.end],
             sample_rate,
             config.drift_correction,
+            &mut scratch.displacement,
         )?;
-        if dz.abs() <= dy.abs() {
+        if kin_z.distance.abs() <= kin_y.distance.abs() {
             continue; // this is a slide, already handled above
         }
-        statures.push(StatureChange {
+        out.stature_changes.push(StatureChange {
             segment: seg,
-            height_change: dz,
+            height_change: kin_z.distance,
         });
     }
-    Ok(SessionAnalysis {
-        gravity,
-        slides,
-        stature_changes: statures,
-    })
+    Ok(())
 }
 
 #[cfg(test)]
@@ -305,6 +386,35 @@ mod tests {
         let session = analyze_session(&accel, &gyro, FS, &SessionConfig::default()).unwrap();
         assert!(session.slides.is_empty());
         assert!(session.stature_changes.is_empty());
+    }
+
+    #[test]
+    fn with_variant_matches_allocating_form() {
+        let (mut accel, gyro) = build_trace(&[0.5, -0.5], Some(0.4));
+        // A little accelerometer bias so the residual field is non-zero.
+        for a in accel.iter_mut().skip(150) {
+            a.y += 0.05;
+        }
+        let cfg = SessionConfig::default();
+        let reference = analyze_session(&accel, &gyro, FS, &cfg).unwrap();
+        let mut scratch = AnalyzeScratch::new();
+        let mut out = SessionAnalysis {
+            gravity: Vec3::new(9.0, 9.0, 9.0),
+            slides: Vec::new(),
+            stature_changes: Vec::new(),
+        };
+        for _ in 0..2 {
+            analyze_session_with(&accel, &gyro, FS, &cfg, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, reference); // bit-identical, including residuals
+        }
+        assert!(!reference.slides.is_empty());
+        for s in &reference.slides {
+            assert!(
+                s.end_velocity_residual.abs() > 1e-4,
+                "bias should leave a visible residual, got {}",
+                s.end_velocity_residual
+            );
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! any two time instants during a slide can be derived by taking the
 //! integral of v*(t) over time."
 
-use crate::velocity::estimate_velocity;
+use crate::velocity::{correct_linear_drift_into, integrate_acceleration_into};
 use crate::ImuError;
 
 /// Integrates a velocity trace (trapezoidal) into a displacement trace.
@@ -14,6 +14,22 @@ use crate::ImuError;
 /// Returns [`ImuError::TraceTooShort`] for fewer than 2 samples and
 /// [`ImuError::InvalidParameter`] for a non-positive sample rate.
 pub fn integrate_velocity(velocity: &[f64], sample_rate: f64) -> Result<Vec<f64>, ImuError> {
+    let mut d = Vec::new();
+    integrate_velocity_into(velocity, sample_rate, &mut d)?;
+    Ok(d)
+}
+
+/// Allocation-free form of [`integrate_velocity`] writing into a
+/// caller-owned buffer that is cleared and reused.
+///
+/// # Errors
+///
+/// Same conditions as [`integrate_velocity`].
+pub fn integrate_velocity_into(
+    velocity: &[f64],
+    sample_rate: f64,
+    out: &mut Vec<f64>,
+) -> Result<(), ImuError> {
     if velocity.len() < 2 {
         return Err(ImuError::TraceTooShort {
             have: velocity.len(),
@@ -24,12 +40,78 @@ pub fn integrate_velocity(velocity: &[f64], sample_rate: f64) -> Result<Vec<f64>
         return Err(ImuError::invalid("sample_rate", "must be positive"));
     }
     let dt = 1.0 / sample_rate;
-    let mut d = Vec::with_capacity(velocity.len());
-    d.push(0.0);
+    out.clear();
+    out.reserve(velocity.len());
+    out.push(0.0);
     for i in 1..velocity.len() {
-        d.push(d[i - 1] + 0.5 * (velocity[i - 1] + velocity[i]) * dt);
+        let prev = out[i - 1];
+        out.push(prev + 0.5 * (velocity[i - 1] + velocity[i]) * dt);
     }
-    Ok(d)
+    Ok(())
+}
+
+/// Reusable work buffers for [`segment_kinematics`]: one velocity chain
+/// (raw, drift-corrected, displacement) that a session engine can carry
+/// across slides without reallocating.
+#[derive(Debug, Clone, Default)]
+pub struct DisplacementScratch {
+    velocity: Vec<f64>,
+    corrected: Vec<f64>,
+    displacement: Vec<f64>,
+}
+
+impl DisplacementScratch {
+    /// Creates empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Per-segment kinematic summary produced by [`segment_kinematics`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentKinematics {
+    /// Signed net displacement, metres (end minus start).
+    pub distance: f64,
+    /// Raw integrated velocity at the segment end, m/s — the zero-velocity
+    /// residual the Eq. 4 correction removes. Near zero for a clean slide;
+    /// large values mean the accelerometer drifted badly and the distance
+    /// estimate is suspect.
+    pub end_velocity_residual: f64,
+    /// The fitted Eq. 4 drift slope `err_a`, m/s².
+    pub drift_slope: f64,
+}
+
+/// Allocation-free per-segment kinematics: acceleration → drift-corrected
+/// velocity → displacement, plus the zero-velocity residual diagnostics
+/// used for per-slide confidence scoring. Numerically identical to
+/// [`segment_displacement_with`] for the `distance` field.
+///
+/// # Errors
+///
+/// Same conditions as [`segment_displacement_with`].
+pub fn segment_kinematics(
+    accel: &[f64],
+    sample_rate: f64,
+    drift_correction: bool,
+    scratch: &mut DisplacementScratch,
+) -> Result<SegmentKinematics, ImuError> {
+    integrate_acceleration_into(accel, sample_rate, &mut scratch.velocity)?;
+    let end_velocity_residual = scratch.velocity[scratch.velocity.len() - 1];
+    let drift_slope =
+        correct_linear_drift_into(&scratch.velocity, sample_rate, &mut scratch.corrected)?;
+    let trace = if drift_correction {
+        &scratch.corrected
+    } else {
+        &scratch.velocity
+    };
+    integrate_velocity_into(trace, sample_rate, &mut scratch.displacement)?;
+    let distance = scratch.displacement[scratch.displacement.len() - 1];
+    Ok(SegmentKinematics {
+        distance,
+        end_velocity_residual,
+        drift_slope,
+    })
 }
 
 /// The signed net displacement of one movement segment: acceleration →
@@ -57,19 +139,14 @@ pub fn segment_displacement_with(
     sample_rate: f64,
     drift_correction: bool,
 ) -> Result<f64, ImuError> {
-    let v = estimate_velocity(accel, sample_rate)?;
-    let trace = if drift_correction {
-        &v.corrected
-    } else {
-        &v.raw
-    };
-    let d = integrate_velocity(trace, sample_rate)?;
-    Ok(*d.last().expect("displacement trace is non-empty"))
+    let mut scratch = DisplacementScratch::new();
+    Ok(segment_kinematics(accel, sample_rate, drift_correction, &mut scratch)?.distance)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::velocity::estimate_velocity;
 
     fn min_jerk_accel(dist: f64, n: usize, fs: f64) -> Vec<f64> {
         let duration = (n - 1) as f64 / fs;
@@ -127,6 +204,28 @@ mod tests {
         assert!(integrate_velocity(&[1.0], 100.0).is_err());
         assert!(integrate_velocity(&[1.0, 2.0], 0.0).is_err());
         assert!(segment_displacement(&[1.0], 100.0).is_err());
+    }
+
+    #[test]
+    fn segment_kinematics_matches_staged_pipeline() {
+        let mut accel = min_jerk_accel(0.55, 81, 100.0);
+        for a in &mut accel {
+            *a += 0.2;
+        }
+        let mut scratch = DisplacementScratch::new();
+        for drift_correction in [true, false] {
+            let reference = segment_displacement_with(&accel, 100.0, drift_correction).unwrap();
+            for _ in 0..2 {
+                let kin =
+                    segment_kinematics(&accel, 100.0, drift_correction, &mut scratch).unwrap();
+                assert_eq!(kin.distance, reference);
+                // The residual is the raw end velocity: bias 0.2 over 0.8 s.
+                assert!((kin.end_velocity_residual - 0.16).abs() < 0.01);
+                assert!((kin.drift_slope - 0.2).abs() < 1e-9);
+            }
+        }
+        let mut empty = DisplacementScratch::new();
+        assert!(segment_kinematics(&[1.0], 100.0, true, &mut empty).is_err());
     }
 
     #[test]

@@ -86,10 +86,51 @@ pub fn preprocess(
     gravity_window: usize,
     sma_window: usize,
 ) -> Result<(Vec<Vec3>, Vec3), ImuError> {
+    let mut out = Vec::new();
+    let gravity = preprocess_into(accel, gravity_window, sma_window, &mut out)?;
+    Ok((out, gravity))
+}
+
+/// Allocation-free form of [`preprocess`]: gravity removal and SMA
+/// smoothing are fused into one pass over a caller-owned output buffer.
+///
+/// The fused loop runs the same per-axis accumulator arithmetic as
+/// [`smooth`] over the same gravity-subtracted samples, in the same
+/// order, so the output is bit-identical to [`preprocess`].
+///
+/// Returns the gravity estimate; the smoothed linear acceleration is
+/// written to `out`.
+///
+/// # Errors
+///
+/// Combines the error conditions of [`estimate_gravity`] and [`smooth`].
+pub fn preprocess_into(
+    accel: &[Vec3],
+    gravity_window: usize,
+    sma_window: usize,
+    out: &mut Vec<Vec3>,
+) -> Result<Vec3, ImuError> {
     let gravity = estimate_gravity(accel, gravity_window)?;
-    let linear = remove_gravity(accel, gravity);
-    let smoothed = smooth(&linear, sma_window)?;
-    Ok((smoothed, gravity))
+    let sma = MovingAverage::new(sma_window).map_err(ImuError::from)?;
+    let n = sma.window();
+    out.clear();
+    out.reserve(accel.len());
+    let (mut ax, mut ay, mut az) = (0.0_f64, 0.0_f64, 0.0_f64);
+    for i in 0..accel.len() {
+        let lin = accel[i] - gravity;
+        ax += lin.x;
+        ay += lin.y;
+        az += lin.z;
+        if i >= n {
+            let old = accel[i - n] - gravity;
+            ax -= old.x;
+            ay -= old.y;
+            az -= old.z;
+        }
+        let count = (i + 1).min(n) as f64;
+        out.push(Vec3::new(ax / count, ay / count, az / count));
+    }
+    Ok(gravity)
 }
 
 #[cfg(test)]
@@ -175,6 +216,22 @@ mod tests {
         assert!(linear[50].norm() < 1e-9);
         let burst_peak = linear[150..175].iter().map(|v| v.y).fold(0.0, f64::max);
         assert!(burst_peak > 2.0);
+    }
+
+    #[test]
+    fn preprocess_into_matches_staged_pipeline() {
+        let mut accel = stationary(260);
+        for (i, a) in accel.iter_mut().enumerate().skip(120).take(60) {
+            a.y += 1.5 + 0.03 * (i % 7) as f64;
+            a.z -= 0.4;
+        }
+        let (reference, g_ref) = preprocess(&accel, 100, 4).unwrap();
+        let mut out = vec![Vec3::new(9.0, 9.0, 9.0); 3]; // stale contents
+        for _ in 0..2 {
+            let g = preprocess_into(&accel, 100, 4, &mut out).unwrap();
+            assert_eq!(g, g_ref);
+            assert_eq!(out, reference); // bit-identical, not just close
+        }
     }
 
     #[test]

@@ -15,6 +15,22 @@ use crate::ImuError;
 /// Returns [`ImuError::TraceTooShort`] for fewer than 2 samples and
 /// [`ImuError::InvalidParameter`] for a non-positive sample rate.
 pub fn integrate_rate(rate: &[f64], sample_rate: f64) -> Result<Vec<f64>, ImuError> {
+    let mut angle = Vec::new();
+    integrate_rate_into(rate, sample_rate, &mut angle)?;
+    Ok(angle)
+}
+
+/// Allocation-free form of [`integrate_rate`] writing into a caller-owned
+/// buffer that is cleared and reused.
+///
+/// # Errors
+///
+/// Same conditions as [`integrate_rate`].
+pub fn integrate_rate_into(
+    rate: &[f64],
+    sample_rate: f64,
+    out: &mut Vec<f64>,
+) -> Result<(), ImuError> {
     if rate.len() < 2 {
         return Err(ImuError::TraceTooShort {
             have: rate.len(),
@@ -25,12 +41,14 @@ pub fn integrate_rate(rate: &[f64], sample_rate: f64) -> Result<Vec<f64>, ImuErr
         return Err(ImuError::invalid("sample_rate", "must be positive"));
     }
     let dt = 1.0 / sample_rate;
-    let mut angle = Vec::with_capacity(rate.len());
-    angle.push(0.0);
+    out.clear();
+    out.reserve(rate.len());
+    out.push(0.0);
     for i in 1..rate.len() {
-        angle.push(angle[i - 1] + 0.5 * (rate[i - 1] + rate[i]) * dt);
+        let prev = out[i - 1];
+        out.push(prev + 0.5 * (rate[i - 1] + rate[i]) * dt);
     }
-    Ok(angle)
+    Ok(())
 }
 
 /// Integrates the gyroscope z-axis into a session yaw trace with the
@@ -56,23 +74,38 @@ pub fn integrate_rate(rate: &[f64], sample_rate: f64) -> Result<Vec<f64>, ImuErr
 /// Returns [`ImuError::TraceTooShort`] for fewer than 2 samples and
 /// [`ImuError::InvalidParameter`] for a non-positive sample rate.
 pub fn yaw_trace(gyro_z: &[f64], sample_rate: f64) -> Result<Vec<f64>, ImuError> {
-    let raw = integrate_rate(gyro_z, sample_rate)?;
-    let n = raw.len() as f64;
+    let mut out = Vec::new();
+    yaw_trace_into(gyro_z, sample_rate, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free form of [`yaw_trace`]: the angle is integrated into
+/// the caller-owned buffer and detrended in place.
+///
+/// # Errors
+///
+/// Same conditions as [`yaw_trace`].
+pub fn yaw_trace_into(
+    gyro_z: &[f64],
+    sample_rate: f64,
+    out: &mut Vec<f64>,
+) -> Result<(), ImuError> {
+    integrate_rate_into(gyro_z, sample_rate, out)?;
+    let n = out.len() as f64;
     let t_mean = (n - 1.0) / 2.0;
-    let a_mean = raw.iter().sum::<f64>() / n;
+    let a_mean = out.iter().sum::<f64>() / n;
     let mut sxx = 0.0;
     let mut sxy = 0.0;
-    for (i, &a) in raw.iter().enumerate() {
+    for (i, &a) in out.iter().enumerate() {
         let dt = i as f64 - t_mean;
         sxx += dt * dt;
         sxy += dt * (a - a_mean);
     }
     let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
-    Ok(raw
-        .iter()
-        .enumerate()
-        .map(|(i, &a)| a - a_mean - slope * (i as f64 - t_mean))
-        .collect())
+    for (i, a) in out.iter_mut().enumerate() {
+        *a = *a - a_mean - slope * (i as f64 - t_mean);
+    }
+    Ok(())
 }
 
 /// The maximum absolute rotation (degrees) accumulated over a window of
@@ -87,7 +120,22 @@ pub fn yaw_trace(gyro_z: &[f64], sample_rate: f64) -> Result<Vec<f64>, ImuError>
 ///
 /// Same conditions as [`integrate_rate`].
 pub fn max_rotation_deg(gyro_z: &[f64], sample_rate: f64) -> Result<f64, ImuError> {
-    let angle = integrate_rate(gyro_z, sample_rate)?;
+    let mut angle = Vec::new();
+    max_rotation_deg_with(gyro_z, sample_rate, &mut angle)
+}
+
+/// Allocation-free form of [`max_rotation_deg`]: the intermediate angle
+/// trace lives in a caller-owned buffer that is cleared and reused.
+///
+/// # Errors
+///
+/// Same conditions as [`max_rotation_deg`].
+pub fn max_rotation_deg_with(
+    gyro_z: &[f64],
+    sample_rate: f64,
+    angle: &mut Vec<f64>,
+) -> Result<f64, ImuError> {
+    integrate_rate_into(gyro_z, sample_rate, angle)?;
     let n = angle.len();
     let end = angle[n - 1];
     let max = angle
@@ -161,6 +209,29 @@ mod tests {
         assert!(max_rotation_deg(&[0.1], 100.0).is_err());
         assert!(yaw_trace(&[0.1], 100.0).is_err());
         assert!(yaw_trace(&[0.1, 0.2], 0.0).is_err());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        let fs = 100.0;
+        let w = std::f64::consts::TAU * 0.5;
+        let gyro: Vec<f64> = (0..300)
+            .map(|i| 0.02 + 0.1 * w * (w * i as f64 / fs).cos())
+            .collect();
+        let angle_ref = integrate_rate(&gyro, fs).unwrap();
+        let yaw_ref = yaw_trace(&gyro, fs).unwrap();
+        let deg_ref = max_rotation_deg(&gyro, fs).unwrap();
+        let mut buf = vec![9.0; 7]; // stale contents
+        for _ in 0..2 {
+            integrate_rate_into(&gyro, fs, &mut buf).unwrap();
+            assert_eq!(buf, angle_ref);
+            yaw_trace_into(&gyro, fs, &mut buf).unwrap();
+            assert_eq!(buf, yaw_ref);
+            assert_eq!(max_rotation_deg_with(&gyro, fs, &mut buf).unwrap(), deg_ref);
+        }
+        assert!(integrate_rate_into(&[0.1], fs, &mut buf).is_err());
+        assert!(yaw_trace_into(&[0.1], fs, &mut buf).is_err());
+        assert!(max_rotation_deg_with(&[0.1], fs, &mut buf).is_err());
     }
 
     #[test]

@@ -120,6 +120,22 @@ impl Segment {
 /// Returns [`ImuError::TraceTooShort`] if the signal is shorter than the
 /// window and [`ImuError::InvalidParameter`] for a zero window.
 pub fn power_levels(signal: &[f64], window: usize) -> Result<Vec<f64>, ImuError> {
+    let mut out = Vec::new();
+    power_levels_into(signal, window, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free form of [`power_levels`] writing into a caller-owned
+/// buffer that is cleared and reused.
+///
+/// # Errors
+///
+/// Same conditions as [`power_levels`].
+pub fn power_levels_into(
+    signal: &[f64],
+    window: usize,
+    out: &mut Vec<f64>,
+) -> Result<(), ImuError> {
     if window == 0 {
         return Err(ImuError::invalid("window", "must be positive"));
     }
@@ -129,7 +145,8 @@ pub fn power_levels(signal: &[f64], window: usize) -> Result<Vec<f64>, ImuError>
             need: window,
         });
     }
-    let mut out = Vec::with_capacity(signal.len());
+    out.clear();
+    out.reserve(signal.len());
     let mut acc: f64 = signal[..window].iter().map(|x| x * x).sum();
     out.push(acc / window as f64);
     for t in 1..=signal.len() - window {
@@ -142,7 +159,7 @@ pub fn power_levels(signal: &[f64], window: usize) -> Result<Vec<f64>, ImuError>
         let tail = &signal[t..];
         out.push(tail.iter().map(|x| x * x).sum::<f64>() / tail.len() as f64);
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Segments a linear-acceleration axis into movements.
@@ -151,9 +168,40 @@ pub fn power_levels(signal: &[f64], window: usize) -> Result<Vec<f64>, ImuError>
 ///
 /// Same conditions as [`power_levels`] plus config validation.
 pub fn segment_movements(signal: &[f64], config: &SegmentConfig) -> Result<Vec<Segment>, ImuError> {
+    let mut power = Vec::new();
+    let mut out = Vec::new();
+    segment_movements_into(signal, config, &mut power, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free form of [`segment_movements`]: the power trace and the
+/// segment list live in caller-owned buffers. Output in `out` is
+/// identical to [`segment_movements`].
+///
+/// # Errors
+///
+/// Same conditions as [`segment_movements`].
+pub fn segment_movements_into(
+    signal: &[f64],
+    config: &SegmentConfig,
+    power: &mut Vec<f64>,
+    out: &mut Vec<Segment>,
+) -> Result<(), ImuError> {
     config.validate()?;
-    let power = power_levels(signal, config.window)?;
-    let mut segments = Vec::new();
+    power_levels_into(signal, config.window, power)?;
+    out.clear();
+    // Candidates are emitted in ascending start order, so merging the
+    // padding overlaps against the last accepted segment as we go is
+    // equivalent to the collect-then-merge formulation.
+    let push_merged = |out: &mut Vec<Segment>, s: Segment| {
+        if let Some(last) = out.last_mut() {
+            if s.start <= last.end {
+                last.end = last.end.max(s.end);
+                return;
+            }
+        }
+        out.push(s);
+    };
     let mut state_start: Option<usize> = None;
     let mut below = 0usize;
     for (i, &p) in power.iter().enumerate() {
@@ -172,7 +220,7 @@ pub fn segment_movements(signal: &[f64], config: &SegmentConfig) -> Result<Vec<S
                     if below >= config.hangover {
                         let end = i + 1 - below;
                         if end - start >= config.min_length {
-                            segments.push(pad(start, end, config.padding, signal.len()));
+                            push_merged(out, pad(start, end, config.padding, signal.len()));
                         }
                         state_start = None;
                         below = 0;
@@ -184,21 +232,10 @@ pub fn segment_movements(signal: &[f64], config: &SegmentConfig) -> Result<Vec<S
     if let Some(start) = state_start {
         let end = power.len() - below;
         if end.saturating_sub(start) >= config.min_length {
-            segments.push(pad(start, end, config.padding, signal.len()));
+            push_merged(out, pad(start, end, config.padding, signal.len()));
         }
     }
-    // Merge overlaps introduced by padding.
-    let mut merged: Vec<Segment> = Vec::with_capacity(segments.len());
-    for s in segments {
-        if let Some(last) = merged.last_mut() {
-            if s.start <= last.end {
-                last.end = last.end.max(s.end);
-                continue;
-            }
-        }
-        merged.push(s);
-    }
-    Ok(merged)
+    Ok(())
 }
 
 fn pad(start: usize, end: usize, padding: usize, len: usize) -> Segment {
@@ -322,6 +359,29 @@ mod tests {
         }
         let segments = segment_movements(&s, &SegmentConfig::default()).unwrap();
         assert_eq!(segments.len(), 1);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        // Two bursts whose padded segments merge, plus a tail burst, so
+        // the inline merge and the open-at-end close path are exercised.
+        let mut s = vec![0.0; 500];
+        for i in 0..40 {
+            s[100 + i] = 2.0;
+            s[160 + i] = 2.0;
+        }
+        for v in s.iter_mut().skip(450) {
+            *v = 2.0;
+        }
+        let cfg = SegmentConfig::default();
+        let reference = segment_movements(&s, &cfg).unwrap();
+        let power_ref = power_levels(&s, cfg.window).unwrap();
+        let (mut power, mut out) = (vec![9.0; 3], vec![Segment { start: 7, end: 8 }]);
+        for _ in 0..2 {
+            segment_movements_into(&s, &cfg, &mut power, &mut out).unwrap();
+            assert_eq!(out, reference);
+            assert_eq!(power, power_ref);
+        }
     }
 
     #[test]

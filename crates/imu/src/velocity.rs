@@ -32,6 +32,22 @@ pub struct VelocityEstimate {
 /// Returns [`ImuError::TraceTooShort`] for fewer than 2 samples and
 /// [`ImuError::InvalidParameter`] for a non-positive sample rate.
 pub fn integrate_acceleration(accel: &[f64], sample_rate: f64) -> Result<Vec<f64>, ImuError> {
+    let mut v = Vec::new();
+    integrate_acceleration_into(accel, sample_rate, &mut v)?;
+    Ok(v)
+}
+
+/// Allocation-free form of [`integrate_acceleration`] writing into a
+/// caller-owned buffer that is cleared and reused.
+///
+/// # Errors
+///
+/// Same conditions as [`integrate_acceleration`].
+pub fn integrate_acceleration_into(
+    accel: &[f64],
+    sample_rate: f64,
+    out: &mut Vec<f64>,
+) -> Result<(), ImuError> {
     if accel.len() < 2 {
         return Err(ImuError::TraceTooShort {
             have: accel.len(),
@@ -42,13 +58,15 @@ pub fn integrate_acceleration(accel: &[f64], sample_rate: f64) -> Result<Vec<f64
         return Err(ImuError::invalid("sample_rate", "must be positive"));
     }
     let dt = 1.0 / sample_rate;
-    let mut v = Vec::with_capacity(accel.len());
-    v.push(0.0);
+    out.clear();
+    out.reserve(accel.len());
+    out.push(0.0);
     for i in 1..accel.len() {
         let dv = 0.5 * (accel[i - 1] + accel[i]) * dt;
-        v.push(v[i - 1] + dv);
+        let prev = out[i - 1];
+        out.push(prev + dv);
     }
-    Ok(v)
+    Ok(())
 }
 
 /// Applies the Eq. 4 linear drift correction to a raw velocity trace:
@@ -58,6 +76,22 @@ pub fn integrate_acceleration(accel: &[f64], sample_rate: f64) -> Result<Vec<f64
 ///
 /// Returns [`ImuError::TraceTooShort`] for fewer than 2 samples.
 pub fn correct_linear_drift(raw: &[f64], sample_rate: f64) -> Result<(Vec<f64>, f64), ImuError> {
+    let mut corrected = Vec::new();
+    let err_a = correct_linear_drift_into(raw, sample_rate, &mut corrected)?;
+    Ok((corrected, err_a))
+}
+
+/// Allocation-free form of [`correct_linear_drift`] writing into a
+/// caller-owned buffer; returns the fitted drift slope `err_a`.
+///
+/// # Errors
+///
+/// Same conditions as [`correct_linear_drift`].
+pub fn correct_linear_drift_into(
+    raw: &[f64],
+    sample_rate: f64,
+    out: &mut Vec<f64>,
+) -> Result<f64, ImuError> {
     if raw.len() < 2 {
         return Err(ImuError::TraceTooShort {
             have: raw.len(),
@@ -70,12 +104,13 @@ pub fn correct_linear_drift(raw: &[f64], sample_rate: f64) -> Result<(Vec<f64>, 
     let duration = (raw.len() - 1) as f64 / sample_rate;
     let err_a = raw[raw.len() - 1] / duration;
     let dt = 1.0 / sample_rate;
-    let corrected = raw
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| v - err_a * (i as f64 * dt))
-        .collect();
-    Ok((corrected, err_a))
+    out.clear();
+    out.extend(
+        raw.iter()
+            .enumerate()
+            .map(|(i, &v)| v - err_a * (i as f64 * dt)),
+    );
+    Ok(err_a)
 }
 
 /// Full per-slide velocity estimation: integrate then drift-correct.
@@ -190,5 +225,26 @@ mod tests {
         assert!(integrate_acceleration(&[1.0, 2.0], 0.0).is_err());
         assert!(correct_linear_drift(&[1.0], 100.0).is_err());
         assert!(correct_linear_drift(&[1.0, 2.0], 0.0).is_err());
+        let mut buf = Vec::new();
+        assert!(integrate_acceleration_into(&[1.0], 100.0, &mut buf).is_err());
+        assert!(correct_linear_drift_into(&[1.0], 100.0, &mut buf).is_err());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        let mut accel = min_jerk_accel(0.5, 81, 100.0);
+        for (i, a) in accel.iter_mut().enumerate() {
+            *a += 0.07 + 0.002 * i as f64;
+        }
+        let raw_ref = integrate_acceleration(&accel, 100.0).unwrap();
+        let (corr_ref, slope_ref) = correct_linear_drift(&raw_ref, 100.0).unwrap();
+        let (mut raw, mut corr) = (vec![9.0; 5], vec![9.0; 5]); // stale contents
+        for _ in 0..2 {
+            integrate_acceleration_into(&accel, 100.0, &mut raw).unwrap();
+            let slope = correct_linear_drift_into(&raw, 100.0, &mut corr).unwrap();
+            assert_eq!(raw, raw_ref);
+            assert_eq!(corr, corr_ref);
+            assert_eq!(slope, slope_ref);
+        }
     }
 }

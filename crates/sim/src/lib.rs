@@ -25,6 +25,10 @@
 //!   (calibration window + slides at one or two statures) and renders a
 //!   [`scenario::Recording`] with stereo audio, IMU traces, and ground
 //!   truth.
+//! - [`fault`] — deterministic post-render fault injection (dropped and
+//!   clipped beacons, NLoS multipath, gain imbalance, channel dropout,
+//!   impulsive bursts, IMU drift/saturation/gaps) for exercising the
+//!   pipeline's graceful-degradation policy.
 //!
 //! # Example
 //!
@@ -48,6 +52,7 @@
 
 pub mod environment;
 mod error;
+pub mod fault;
 pub mod imu;
 pub mod mic;
 pub mod motion;

@@ -1,6 +1,7 @@
 //! Property-based tests of the simulation substrate, on the workspace's
 //! own harness (`hyperear_util::prop`).
 
+use hyperear_dsp::spectrum::band_energy_fraction;
 use hyperear_geom::Vec3;
 use hyperear_sim::motion::{min_jerk_progress, SlidePlan};
 use hyperear_sim::noise::{generate, NoiseKind};
@@ -57,6 +58,23 @@ fn noise_has_requested_length_and_unit_rms() {
             prop::pass()
         },
     );
+}
+
+#[test]
+fn voice_noise_energy_sits_below_2khz() {
+    // Fig. 19's premise for the chatting room: "human voice is normally
+    // lower than 2kHz", i.e. mostly outside the 2–6.4 kHz chirp band.
+    let strat = (usize_range(0, 1 << 16), usize_range(2_048, 8_192));
+    prop::check("voice_noise_energy_sits_below_2khz", strat, |&(seed, n)| {
+        let mut rng = SimRng::seed_from(seed as u64);
+        let x = generate(NoiseKind::Voice, n, 44_100.0, &mut rng).unwrap();
+        let below = band_energy_fraction(&x, 44_100.0, 0.0, 2_000.0).unwrap();
+        prop_assert!(below > 0.85, "only {below:.3} of voice energy < 2 kHz");
+        // And in particular it barely touches the chirp band itself.
+        let in_band = band_energy_fraction(&x, 44_100.0, 2_000.0, 6_400.0).unwrap();
+        prop_assert!(in_band < 0.15, "{in_band:.3} of voice energy in-band");
+        prop::pass()
+    });
 }
 
 #[test]

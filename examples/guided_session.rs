@@ -69,6 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         end_time: 0.6,
         distance: 0.31,
         rotation_deg: 4.0,
+        end_velocity_residual: 0.0,
     };
     guide.observe_slide(&sloppy)?;
     show(&mut step, guide.current());

@@ -1,8 +1,24 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate: hermetic build + full test suite, plus lint
 # and formatting when the components are installed. Run from anywhere.
+#
+#   scripts/verify.sh            # tier-1 gate
+#   scripts/verify.sh --faults   # tier-1 gate + seeded fault-matrix sweep
+#
+# The --faults tier drives the full fault-injection matrix through the
+# monitored pipeline (`repro faults --fast`): every corrupted session
+# must come back as a typed Ok/Degraded/Failed outcome — a panic or a
+# sim-layer error fails the gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+RUN_FAULTS=0
+for arg in "$@"; do
+    case "$arg" in
+        --faults) RUN_FAULTS=1 ;;
+        *) echo "unknown option: $arg (supported: --faults)" >&2; exit 2 ;;
+    esac
+done
 
 echo "== cargo build --release =="
 cargo build --release
@@ -19,6 +35,16 @@ cargo test --workspace -q
 # fails the gate.
 echo "== repro smoke (--fast restrictions fig03) =="
 cargo run --release -p hyperear-bench --bin repro -- --fast restrictions fig03
+
+if [ "$RUN_FAULTS" -eq 1 ]; then
+    echo "== repro faults (--fast, seeded fault-matrix sweep) =="
+    OUT="$(cargo run --release -p hyperear-bench --bin repro -- --fast faults)"
+    echo "$OUT"
+    if ! grep -q "typed outcome): HELD" <<<"$OUT"; then
+        echo "FAULTS TIER FAILED: degradation contract not held" >&2
+        exit 1
+    fi
+fi
 
 # Clippy and rustfmt are optional toolchain components; gate on their
 # availability so the script still passes on a minimal offline toolchain.

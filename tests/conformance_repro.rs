@@ -1,0 +1,119 @@
+//! Golden conformance tier: pins the headline numbers that
+//! EXPERIMENTS.md records for `repro restrictions` and `repro fig03`.
+//!
+//! These experiments are analytic (no sampled noise), so the pins are
+//! tight: a drift here means the hardware model, the quantizer, or the
+//! naive baseline changed behaviour — which invalidates the published
+//! comparison tables and must be a conscious, documented decision.
+
+use hyperear::baseline::{naive_two_position_error, NaiveConfig};
+use hyperear_bench::experiments::{self, Scale};
+use hyperear_geom::tdoa_regions::TdoaQuantizer;
+use hyperear_geom::Vec2;
+
+const FS: f64 = 44_100.0;
+const SOUND: f64 = 343.0;
+const D_S4: f64 = 0.1366;
+
+fn s4_quantizer(separation: f64) -> TdoaQuantizer {
+    TdoaQuantizer::new(
+        Vec2::new(-separation / 2.0, 0.0),
+        Vec2::new(separation / 2.0, 0.0),
+        FS,
+        SOUND,
+    )
+    .expect("valid quantizer")
+}
+
+/// §II-C: TDoA resolution 0.0227 ms, Δd resolution 7.78 mm, 35
+/// distinguishable hyperbolas (EXPERIMENTS.md "Restrictions" table).
+#[test]
+fn restrictions_hardware_limits_pinned() {
+    let tdoa_res_ms = 1_000.0 / FS;
+    assert!(
+        (tdoa_res_ms - 0.0227).abs() < 5e-4,
+        "TDoA resolution {tdoa_res_ms} ms"
+    );
+    let q = s4_quantizer(D_S4);
+    let dd_mm = q.resolution() * 1_000.0;
+    assert!((dd_mm - 7.78).abs() < 0.01, "Δd resolution {dd_mm} mm");
+    assert_eq!(q.distinguishable_hyperbolas(), 35);
+}
+
+/// §II-C: the naive-scheme error sweep behind EXPERIMENTS.md's
+/// "mean 15.4 cm / worst 85.5 cm @ 1 m, mean 3.88 m / worst 5.00 m @ 5 m".
+#[test]
+fn restrictions_naive_error_sweep_pinned() {
+    let config = NaiveConfig::galaxy_s4();
+    let sweep = |range: f64| {
+        let mut worst = 0.0f64;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for i in 0..81 {
+            let dx = -0.4 + i as f64 * 0.01;
+            if let Ok(e) = naive_two_position_error(Vec2::new(dx, range), &config) {
+                worst = worst.max(e);
+                sum += e;
+                n += 1;
+            }
+        }
+        assert!(n > 0, "sweep at {range} m produced no solutions");
+        (sum / n as f64, worst)
+    };
+    let (mean_1m, worst_1m) = sweep(1.0);
+    assert!((mean_1m - 0.154).abs() < 0.005, "mean @1m {mean_1m}");
+    assert!((worst_1m - 0.855).abs() < 0.01, "worst @1m {worst_1m}");
+    let (mean_5m, worst_5m) = sweep(5.0);
+    assert!((mean_5m - 3.88).abs() < 0.05, "mean @5m {mean_5m}");
+    assert!((worst_5m - 5.00).abs() < 0.05, "worst @5m {worst_5m}");
+}
+
+/// Fig. 3: ambiguity-region widths 2.8 cm @ 0.5 m → 45.6 cm @ 8 m for
+/// the S4 baseline, shrinking ~4× for the 55 cm slide baseline.
+#[test]
+fn fig03_ambiguity_widths_pinned() {
+    let phone = s4_quantizer(D_S4);
+    let slide = s4_quantizer(0.55);
+    let w_near = phone.broadside_region_width(0.5).expect("positive range");
+    let w_far = phone.broadside_region_width(8.0).expect("positive range");
+    assert!((w_near - 0.028).abs() < 0.001, "width @0.5m {w_near}");
+    assert!((w_far - 0.456).abs() < 0.005, "width @8m {w_far}");
+    // Linear growth with range and ~4x shrink with the longer baseline.
+    assert!((w_far / w_near - 16.0).abs() < 0.5, "linearity in range");
+    let w_far_slide = slide.broadside_region_width(8.0).expect("positive range");
+    let shrink = w_far / w_far_slide;
+    assert!((shrink - 4.0).abs() < 0.3, "baseline shrink {shrink}");
+}
+
+/// The rendered reports themselves carry the pinned figures, exactly as
+/// EXPERIMENTS.md quotes them.
+#[test]
+fn rendered_reports_quote_headline_numbers() {
+    let scale = Scale::fast();
+    let restrictions = experiments::run("restrictions", &scale)
+        .expect("known id")
+        .render();
+    for needle in [
+        "0.0227 ms",
+        "7.78 mm",
+        "35",
+        "15.4cm",
+        "85.5cm",
+        "3.88m",
+        "5.00m",
+    ] {
+        assert!(
+            restrictions.contains(needle),
+            "restrictions report lost {needle:?}:\n{restrictions}"
+        );
+    }
+    let fig03 = experiments::run("fig03", &scale)
+        .expect("known id")
+        .render();
+    for needle in ["2.8cm", "45.6cm", "11.4cm"] {
+        assert!(
+            fig03.contains(needle),
+            "fig03 report lost {needle:?}:\n{fig03}"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Degenerate-input audit tier: every panic-prone site on the session
+//! path must surface as a typed error (`HyperEarError` / `ImuError` /
+//! `SimError`) or a typed `SessionOutcome::Failed` — never a panic.
+//!
+//! These are the regression tests for the unwrap/panic audit: empty
+//! beacon sets, zero-length traces, all-rejected slides, and invalid
+//! fault plans all flow through the public API and come back as values.
+
+use hyperear::asp::BeaconArrival;
+use hyperear::config::{Aggregation, HyperEarConfig};
+use hyperear::localize::{localize, LocalizeScratch};
+use hyperear::metrics::Cdf;
+use hyperear::pipeline::{SessionEngine, SessionInput, SessionOutcome};
+use hyperear::sfo::estimate_period;
+use hyperear::tdoa::augmented_tdoa;
+use hyperear::HyperEarError;
+use hyperear_geom::Vec3;
+use hyperear_imu::analyze::{analyze_session, SessionConfig};
+use hyperear_imu::displacement::segment_displacement;
+use hyperear_imu::rotation::integrate_rate;
+use hyperear_sim::environment::Environment;
+use hyperear_sim::fault::{Fault, FaultPlan};
+use hyperear_sim::phone::PhoneModel;
+use hyperear_sim::scenario::ScenarioBuilder;
+
+const FS_AUDIO: f64 = 44_100.0;
+const FS_IMU: f64 = 100.0;
+
+fn input<'a>(
+    left: &'a [f64],
+    right: &'a [f64],
+    accel: &'a [Vec3],
+    gyro: &'a [Vec3],
+) -> SessionInput<'a> {
+    SessionInput {
+        audio_sample_rate: FS_AUDIO,
+        left,
+        right,
+        imu_sample_rate: FS_IMU,
+        accel,
+        gyro,
+    }
+}
+
+/// A stationary phone's worth of plausible IMU data (gravity only).
+fn resting_imu(n: usize) -> (Vec<Vec3>, Vec<Vec3>) {
+    (vec![Vec3::new(0.0, 0.0, -9.806_65); n], vec![Vec3::ZERO; n])
+}
+
+#[test]
+fn empty_and_mismatched_session_inputs_are_typed_errors() {
+    let mut engine = SessionEngine::new(HyperEarConfig::galaxy_s4()).unwrap();
+    let (accel, gyro) = resting_imu(600);
+    let tone: Vec<f64> = (0..44_100).map(|i| (i as f64 * 0.3).sin()).collect();
+
+    // Empty audio: the DSP chain must reject it, not index into it.
+    let empty: Vec<f64> = Vec::new();
+    assert!(engine.run(&input(&empty, &empty, &accel, &gyro)).is_err());
+
+    // Mismatched channel lengths.
+    let err = engine
+        .run(&input(&tone, &tone[..100], &accel, &gyro))
+        .unwrap_err();
+    assert!(
+        matches!(err, HyperEarError::InvalidParameter { .. }),
+        "{err}"
+    );
+
+    // Zero-length IMU traces alongside valid audio.
+    let no_imu: Vec<Vec3> = Vec::new();
+    assert!(engine.run(&input(&tone, &tone, &no_imu, &no_imu)).is_err());
+
+    // Mismatched accel/gyro lengths.
+    assert!(engine
+        .run(&input(&tone, &tone, &accel, &gyro[..10]))
+        .is_err());
+
+    // Non-positive sample rates.
+    let mut bad = input(&tone, &tone, &accel, &gyro);
+    bad.audio_sample_rate = 0.0;
+    assert!(engine.run(&bad).is_err());
+    let mut bad = input(&tone, &tone, &accel, &gyro);
+    bad.imu_sample_rate = -1.0;
+    assert!(engine.run(&bad).is_err());
+}
+
+#[test]
+fn monitored_pipeline_fails_typed_on_every_degenerate_input() {
+    let mut engine = SessionEngine::new(HyperEarConfig::galaxy_s4()).unwrap();
+    let (accel, gyro) = resting_imu(600);
+    let silence = vec![0.0; 88_200];
+    let tone: Vec<f64> = (0..44_100).map(|i| (i as f64 * 0.3).sin()).collect();
+    let empty_f: Vec<f64> = Vec::new();
+    let empty_v: Vec<Vec3> = Vec::new();
+
+    let cases: Vec<(&str, SessionInput<'_>)> = vec![
+        ("empty audio", input(&empty_f, &empty_f, &accel, &gyro)),
+        (
+            "mismatched channels",
+            input(&tone, &tone[..1_000], &accel, &gyro),
+        ),
+        (
+            "silence (no beacons)",
+            input(&silence, &silence, &accel, &gyro),
+        ),
+        ("tone (no beacons)", input(&tone, &tone, &accel, &gyro)),
+        ("empty imu", input(&tone, &tone, &empty_v, &empty_v)),
+        (
+            "one imu sample",
+            input(&tone, &tone, &accel[..1], &gyro[..1]),
+        ),
+    ];
+    for (label, case) in cases {
+        match engine.run_monitored(&case) {
+            SessionOutcome::Failed { .. } => {}
+            other => panic!("{label}: expected Failed, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn component_apis_reject_empty_inputs() {
+    // Empty beacon sets at every acoustic stage.
+    assert!(estimate_period(&[], &[(0.0, 1.0)], 0.2).is_err());
+    assert!(augmented_tdoa(&[], &[], (0.0, 1.0), (2.0, 3.0), 0.2, 343.0, 3).is_err());
+    let one = [BeaconArrival {
+        time: 0.1,
+        strength: 1.0,
+    }];
+    assert!(augmented_tdoa(&one, &one, (0.0, 1.0), (2.0, 3.0), 0.2, 343.0, 3).is_err());
+
+    // Empty geometry sets at the solver, allocating and scratch forms.
+    assert!(localize(&[], Aggregation::Median).is_err());
+    assert!(hyperear::localize::localize_with(
+        &[],
+        Aggregation::Joint,
+        &mut LocalizeScratch::new()
+    )
+    .is_err());
+
+    // Zero-length and too-short inertial traces.
+    assert!(analyze_session(&[], &[], FS_IMU, &SessionConfig::default()).is_err());
+    assert!(segment_displacement(&[], FS_IMU).is_err());
+    assert!(segment_displacement(&[1.0], FS_IMU).is_err());
+    assert!(integrate_rate(&[], FS_IMU).is_err());
+    assert!(integrate_rate(&[1.0, 2.0], 0.0).is_err());
+
+    // Empty metric inputs.
+    assert!(Cdf::new(&[]).is_err());
+    assert!(hyperear::metrics::stats(&[]).is_err());
+}
+
+#[test]
+fn invalid_fault_plans_are_typed_sim_errors() {
+    let mut rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+        .environment(Environment::anechoic())
+        .speaker_range(2.0)
+        .slides(1)
+        .seed(7)
+        .render()
+        .unwrap();
+    for fault in [
+        Fault::BeaconDropout { probability: 1.5 },
+        Fault::MicGainImbalance {
+            right_gain_db: f64::NAN,
+        },
+        Fault::ImuSampleGaps {
+            probability: 0.01,
+            max_gap: 0,
+        },
+    ] {
+        let plan = FaultPlan::new(1).with(fault);
+        assert!(plan.apply(&mut rec).is_err(), "{fault:?} accepted");
+    }
+}

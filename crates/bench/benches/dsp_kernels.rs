@@ -4,16 +4,24 @@
 //! harness (`hyperear_util::bench`).
 
 use hyperear_dsp::chirp::Chirp;
-use hyperear_dsp::correlate::MatchedFilter;
+use hyperear_dsp::correlate::{MatchedFilter, StreamingMatchedFilter};
 use hyperear_dsp::delay::mix_delayed_local;
 use hyperear_dsp::fft::{fft, rfft};
-use hyperear_dsp::filter::FirFilter;
+use hyperear_dsp::filter::{FirFilter, ZeroPhaseFir};
 use hyperear_dsp::interpolate::{parabolic_peak, sinc_peak};
 use hyperear_dsp::plan::{DspScratch, FftPlan, PlanCache};
 use hyperear_dsp::window::Window;
 use hyperear_dsp::Complex;
+use hyperear_util::alloc_counter::CountingAllocator;
 use hyperear_util::bench::Suite;
 use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+fn allocation_count() -> u64 {
+    ALLOC.allocations()
+}
 
 fn deterministic_signal(n: usize) -> Vec<f64> {
     (0..n)
@@ -35,11 +43,15 @@ fn bench_fft(suite: &mut Suite) {
         // The planned path: setup hoisted out, butterflies only.
         let plan = FftPlan::new(size).expect("plan");
         let mut buf = data.clone();
-        suite.bench_with_elements(&format!("fft_planned/{size}"), size as u64, move || {
-            buf.copy_from_slice(&data);
-            plan.fft(&mut buf).expect("power-of-two");
-            black_box(buf[0])
-        });
+        suite.bench_allocfree_with_elements(
+            &format!("fft_planned/{size}"),
+            size as u64,
+            move || {
+                buf.copy_from_slice(&data);
+                plan.fft(&mut buf).expect("power-of-two");
+                black_box(buf[0])
+            },
+        );
     }
 }
 
@@ -54,11 +66,27 @@ fn bench_matched_filter(suite: &mut Suite) {
     for &seconds in &[1usize, 4] {
         let n = 44_100 * seconds;
         let signal = deterministic_signal(n);
-        suite.bench_with_elements(
+        suite.bench_allocfree_with_elements(
             &format!("matched_filter/correlate/{seconds}s"),
             n as u64,
             || {
                 filter
+                    .correlate_normalized_into(&signal, &mut scratch, &mut out)
+                    .expect("correlate");
+                black_box(out[0])
+            },
+        );
+    }
+    // The overlap-save engine: same correlation, block-sized FFTs.
+    let streaming = StreamingMatchedFilter::new(chirp.samples()).expect("filter");
+    for &seconds in &[1usize, 4] {
+        let n = 44_100 * seconds;
+        let signal = deterministic_signal(n);
+        suite.bench_allocfree_with_elements(
+            &format!("matched_filter/streaming/{seconds}s"),
+            n as u64,
+            || {
+                streaming
                     .correlate_normalized_into(&signal, &mut scratch, &mut out)
                     .expect("correlate");
                 black_box(out[0])
@@ -73,6 +101,17 @@ fn bench_band_pass(suite: &mut Suite) {
     let signal = deterministic_signal(44_100);
     suite.bench("band_pass_1s_zero_phase", || {
         black_box(bp.filter_zero_phase(&signal).expect("filter"))
+    });
+    // The detector's actual front end: the same filter as overlap-save
+    // blocks, with reused scratch.
+    let engine = ZeroPhaseFir::new(&bp).expect("engine");
+    let mut scratch = DspScratch::new();
+    let mut out = Vec::new();
+    suite.bench_allocfree("band_pass_1s_zero_phase_fft", move || {
+        engine
+            .filter_into(&signal, &mut scratch, &mut out)
+            .expect("filter");
+        black_box(out[0])
     });
 }
 
@@ -113,15 +152,28 @@ fn bench_rfft_spectrum(suite: &mut Suite) {
     });
     let mut plans = PlanCache::new();
     let mut buf = Vec::new();
-    suite.bench("rfft_planned_1s_padded", move || {
-        let plan = plans.plan(65_536).expect("plan");
-        plan.rfft_into(&signal, &mut buf).expect("rfft");
-        black_box(buf[0])
+    {
+        let signal = signal.clone();
+        suite.bench_allocfree("rfft_planned_1s_padded", move || {
+            let plan = plans.plan(65_536).expect("plan");
+            plan.rfft_into(&signal, &mut buf).expect("rfft");
+            black_box(buf[0])
+        });
+    }
+    // The real-input fast path: packed half-size transform, half the
+    // butterflies and scratch of the full complex rfft.
+    let mut plans = PlanCache::new();
+    let mut half = Vec::new();
+    suite.bench_allocfree("rfft_half_planned_1s_padded", move || {
+        let plan = plans.real_plan(65_536).expect("plan");
+        plan.rfft_half_into(&signal, &mut half).expect("rfft_half");
+        black_box(half[0])
     });
 }
 
 fn main() {
     let mut suite = Suite::new("dsp_kernels");
+    suite.set_alloc_counter(allocation_count);
     bench_fft(&mut suite);
     bench_matched_filter(&mut suite);
     bench_band_pass(&mut suite);

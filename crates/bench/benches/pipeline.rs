@@ -11,8 +11,16 @@ use hyperear_imu::analyze::{analyze_session, SessionConfig};
 use hyperear_sim::environment::Environment;
 use hyperear_sim::phone::PhoneModel;
 use hyperear_sim::scenario::{Recording, ScenarioBuilder};
+use hyperear_util::alloc_counter::CountingAllocator;
 use hyperear_util::bench::Suite;
 use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+fn allocation_count() -> u64 {
+    ALLOC.allocations()
+}
 
 fn small_session() -> Recording {
     ScenarioBuilder::new(PhoneModel::galaxy_s4())
@@ -31,6 +39,14 @@ fn bench_detection(suite: &mut Suite, rec: &Recording) {
         BeaconDetector::new(&HyperEarConfig::galaxy_s4(), rec.audio.sample_rate).expect("detector");
     suite.bench("beacon_detection_per_channel", || {
         black_box(detector.detect(&rec.audio.left).expect("detect"))
+    });
+    // The engine-internal form: arrivals land in a reused buffer.
+    let mut arrivals = Vec::new();
+    suite.bench_allocfree("beacon_detection_per_channel_warm", || {
+        detector
+            .detect_into(&rec.audio.left, &mut arrivals)
+            .expect("detect");
+        black_box(arrivals.len())
     });
 }
 
@@ -67,25 +83,29 @@ fn bench_full_session(suite: &mut Suite, rec: &Recording) {
     let mut engine = HyperEar::new(HyperEarConfig::galaxy_s4())
         .expect("engine")
         .engine();
+    let input = SessionInput {
+        audio_sample_rate: rec.audio.sample_rate,
+        left: &rec.audio.left,
+        right: &rec.audio.right,
+        imu_sample_rate: rec.imu.sample_rate,
+        accel: &rec.imu.accel,
+        gyro: &rec.imu.gyro,
+    };
     suite.bench("full_session/two_slides_5m", || {
-        black_box(
-            engine
-                .run(&SessionInput {
-                    audio_sample_rate: rec.audio.sample_rate,
-                    left: &rec.audio.left,
-                    right: &rec.audio.right,
-                    imu_sample_rate: rec.imu.sample_rate,
-                    accel: &rec.imu.accel,
-                    gyro: &rec.imu.gyro,
-                })
-                .expect("session"),
-        )
+        black_box(engine.run(&input).expect("session"))
+    });
+    // The zero-allocation steady state a long-running worker sits in.
+    let mut result = hyperear::pipeline::SessionResult::empty();
+    suite.bench_allocfree("full_session/two_slides_5m_warm", || {
+        engine.run_into(&input, &mut result).expect("session");
+        black_box(result.upper.is_some())
     });
 }
 
 fn main() {
     let rec = small_session();
     let mut suite = Suite::new("pipeline");
+    suite.set_alloc_counter(allocation_count);
     bench_detection(&mut suite, &rec);
     bench_inertial_analysis(&mut suite, &rec);
     bench_triangulation(&mut suite);

@@ -11,8 +11,8 @@
 use crate::config::{HyperEarConfig, Interpolation};
 use crate::HyperEarError;
 use hyperear_dsp::chirp::{Chirp, ChirpShape};
-use hyperear_dsp::correlate::MatchedFilter;
-use hyperear_dsp::filter::FirFilter;
+use hyperear_dsp::correlate::StreamingMatchedFilter;
+use hyperear_dsp::filter::{FirFilter, ZeroPhaseFir};
 use hyperear_dsp::interpolate::{parabolic_peak, sinc_peak};
 use hyperear_dsp::peak::{find_peaks_into, noise_floor_with, Peak, PeakConfig};
 use hyperear_dsp::plan::DspScratch;
@@ -32,14 +32,17 @@ pub struct BeaconArrival {
 ///
 /// Construction precomputes the reference chirp, matched filter and
 /// band-pass so that per-channel detection does no redundant design work.
-/// The detector also owns the FFT scratch arena and correlation buffer,
-/// so [`BeaconDetector::detect`] takes `&mut self` and, once warm,
-/// correlates without allocating (the matched filter caches its template
-/// spectrum per padded length).
+/// Both the matched filter and the band-pass run as overlap-save block
+/// engines ([`StreamingMatchedFilter`], [`ZeroPhaseFir`]): the peak FFT
+/// size of a detection pass is [`BeaconDetector::peak_fft_len`] —
+/// a property of the chirp and filter designs, independent of how long
+/// the capture is. The detector also owns the FFT scratch arena and
+/// correlation buffer, so [`BeaconDetector::detect`] takes `&mut self`
+/// and, once warm, correlates without allocating.
 #[derive(Debug, Clone)]
 pub struct BeaconDetector {
-    filter: MatchedFilter,
-    band_pass: Option<FirFilter>,
+    filter: StreamingMatchedFilter,
+    band_pass: Option<ZeroPhaseFir>,
     sample_rate: f64,
     min_spacing: usize,
     threshold_factor: f64,
@@ -79,15 +82,15 @@ impl BeaconDetector {
             sample_rate,
             ChirpShape::UpDown,
         )?;
-        let filter = MatchedFilter::new(chirp.samples())?;
+        let filter = StreamingMatchedFilter::new(chirp.samples())?;
         let band_pass = if config.detection.band_pass {
-            Some(FirFilter::band_pass(
+            Some(ZeroPhaseFir::new(&FirFilter::band_pass(
                 config.beacon.f0 * 0.9,
                 config.beacon.f1 * 1.1,
                 sample_rate,
                 config.detection.band_pass_taps,
                 Window::Hamming,
-            )?)
+            )?)?)
         } else {
             None
         };
@@ -115,6 +118,31 @@ impl BeaconDetector {
     #[must_use]
     pub fn sample_rate(&self) -> f64 {
         self.sample_rate
+    }
+
+    /// The largest FFT the detector ever runs, in samples.
+    ///
+    /// Both detection stages process the capture in overlap-save blocks,
+    /// so this bound depends only on the chirp template and band-pass tap
+    /// count — never on the capture length. It caps the working set of a
+    /// detection pass regardless of how long the session records.
+    #[must_use]
+    pub fn peak_fft_len(&self) -> usize {
+        let bp = self.band_pass.as_ref().map_or(0, ZeroPhaseFir::block_len);
+        self.filter.block_len().max(bp)
+    }
+
+    /// Bytes currently reserved by the detector's working buffers.
+    ///
+    /// The FFT scratch arena is bounded by [`BeaconDetector::peak_fft_len`];
+    /// the correlation/filtered buffers scale with the longest capture seen
+    /// (their contents are per-sample outputs, not transform scratch).
+    #[must_use]
+    pub fn working_set_bytes(&self) -> usize {
+        self.scratch.capacity_bytes()
+            + (self.corr.capacity() + self.filtered.capacity() + self.mags.capacity())
+                * std::mem::size_of::<f64>()
+            + (self.peaks.capacity() + self.peaks_scratch.capacity()) * std::mem::size_of::<Peak>()
     }
 
     /// Detects beacon arrivals in one audio channel.
@@ -150,7 +178,7 @@ impl BeaconDetector {
         out.clear();
         let signal: &[f64] = match &self.band_pass {
             Some(bp) => {
-                bp.filter_zero_phase_into(channel, &mut self.filtered)?;
+                bp.filter_into(channel, &mut self.scratch, &mut self.filtered)?;
                 &self.filtered
             }
             None => channel,
@@ -357,5 +385,23 @@ mod tests {
         let mut d = detector(Interpolation::Parabolic);
         assert!(d.detect(&[]).is_err());
         assert_eq!(d.sample_rate(), FS);
+    }
+
+    #[test]
+    fn peak_fft_len_is_capture_independent() {
+        let mut d = detector(Interpolation::Parabolic);
+        let bound = d.peak_fft_len();
+        // Detection over wildly different capture lengths never grows the
+        // FFT bound — the overlap-save engines block the capture instead
+        // of padding it whole.
+        for &n in &[20_000usize, 50_000, 200_000] {
+            let signal = render(&[10_000.0], n, 0.3);
+            let arrivals = d.detect(&signal).unwrap();
+            assert_eq!(arrivals.len(), 1);
+            assert_eq!(d.peak_fft_len(), bound);
+        }
+        // The bound is a small multiple of the template, nowhere near the
+        // next_pow2(capture + template) a one-shot correlation would need.
+        assert!(bound < 20_000, "peak FFT {bound}");
     }
 }

@@ -383,6 +383,34 @@ impl SessionEngine {
         &self.config
     }
 
+    /// The largest FFT this engine runs per session, in samples, or
+    /// `None` before the first session builds the detector.
+    ///
+    /// Detection runs in overlap-save blocks, so the bound depends only
+    /// on the beacon and band-pass designs — processing longer captures
+    /// never grows it.
+    #[must_use]
+    pub fn peak_fft_len(&self) -> Option<usize> {
+        self.detector.as_ref().map(BeaconDetector::peak_fft_len)
+    }
+
+    /// Bytes currently reserved by the engine's reusable working buffers
+    /// (detector scratch, correlation buffers, TDoA scratch, arrival
+    /// lists).
+    ///
+    /// Useful for serving-scale capacity planning: after a warm-up
+    /// session this figure is the steady-state footprint, since
+    /// [`SessionEngine::run_into`] performs no further allocation.
+    #[must_use]
+    pub fn working_set_bytes(&self) -> usize {
+        self.detector
+            .as_ref()
+            .map_or(0, BeaconDetector::working_set_bytes)
+            + self.tdoa_scratch.capacity_bytes()
+            + (self.arr_left.capacity() + self.arr_right.capacity())
+                * std::mem::size_of::<BeaconArrival>()
+    }
+
     /// Processes one session, reusing cached detector state.
     ///
     /// # Errors
@@ -1368,5 +1396,12 @@ mod tests {
         assert!(HyperEar::new(cfg).is_err());
         let engine = HyperEar::new(HyperEarConfig::galaxy_s4()).unwrap();
         assert_eq!(engine.config().mic_separation, 0.1366);
+    }
+
+    #[test]
+    fn cold_engine_reports_empty_working_set() {
+        let engine = HyperEar::new(HyperEarConfig::galaxy_s4()).unwrap().engine();
+        assert_eq!(engine.peak_fft_len(), None);
+        assert_eq!(engine.working_set_bytes(), 0);
     }
 }

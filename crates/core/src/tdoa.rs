@@ -47,6 +47,17 @@ impl TdoaScratch {
     pub fn new() -> Self {
         TdoaScratch::default()
     }
+
+    /// Bytes currently reserved by the scratch buffers.
+    ///
+    /// Feeds the session-level working-set accounting
+    /// ([`crate::pipeline::SessionEngine::working_set_bytes`]); sized by
+    /// beacons per slide, not capture length.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> usize {
+        (self.pre.capacity() + self.post.capacity() + self.deltas.capacity())
+            * std::mem::size_of::<f64>()
+    }
 }
 
 /// Computes one channel's augmented time difference, averaged over up to

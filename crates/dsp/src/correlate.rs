@@ -6,8 +6,8 @@
 //! signal" (Section IV-A). Correlation is computed in the frequency domain
 //! so a full one-second stereo recording is cheap to scan.
 
-use crate::fft::next_pow2;
-use crate::plan::{DspScratch, PlanCache};
+use crate::fft::try_next_pow2;
+use crate::plan::{DspScratch, PlanCache, RealFftPlan};
 use crate::{Complex, DspError};
 
 fn validate_xcorr_inputs(signal: &[f64], template: &[f64]) -> Result<(), DspError> {
@@ -75,16 +75,17 @@ pub fn xcorr_into(
     out: &mut Vec<f64>,
 ) -> Result<(), DspError> {
     validate_xcorr_inputs(signal, template)?;
-    let n = next_pow2(signal.len() + template.len());
-    let plan = plans.plan(n)?;
-    plan.rfft_into(signal, &mut scratch.c1)?;
-    plan.rfft_into(template, &mut scratch.c2)?;
+    let n = try_next_pow2(signal.len().saturating_add(template.len()))?;
+    let plan = plans.real_plan(n)?;
+    plan.rfft_half_into(signal, &mut scratch.c1)?;
+    plan.rfft_half_into(template, &mut scratch.c2)?;
     for (s, &t) in scratch.c1.iter_mut().zip(&scratch.c2) {
         *s *= t.conj();
     }
-    plan.ifft(&mut scratch.c1)?;
+    let DspScratch { c1, r1, .. } = scratch;
+    plan.irfft_half_into(c1, r1)?;
     out.clear();
-    out.extend(scratch.c1[..signal.len()].iter().map(|c| c.re));
+    out.extend_from_slice(&r1[..signal.len()]);
     Ok(())
 }
 
@@ -141,7 +142,7 @@ pub struct MatchedFilter {
     template: Vec<f64>,
     template_energy: f64,
     plans: PlanCache,
-    /// Cached template spectra, keyed by padded FFT length.
+    /// Cached template half-spectra, keyed by padded FFT length.
     spectra: Vec<(usize, Vec<Complex>)>,
     template_ffts: usize,
 }
@@ -200,15 +201,15 @@ impl MatchedFilter {
         self.template_ffts
     }
 
-    /// The cached template spectrum for padded length `n`, computing and
-    /// memoizing it on first use.
+    /// The cached template half-spectrum for padded length `n`, computing
+    /// and memoizing it on first use.
     fn template_spectrum(&mut self, n: usize) -> Result<usize, DspError> {
         if let Some(i) = self.spectra.iter().position(|(len, _)| *len == n) {
             return Ok(i);
         }
-        let plan = self.plans.plan(n)?;
-        let mut spec = Vec::with_capacity(n);
-        plan.rfft_into(&self.template, &mut spec)?;
+        let plan = self.plans.real_plan(n)?;
+        let mut spec = Vec::with_capacity(plan.num_bins());
+        plan.rfft_half_into(&self.template, &mut spec)?;
         self.template_ffts += 1;
         self.spectra.push((n, spec));
         Ok(self.spectra.len() - 1)
@@ -232,17 +233,18 @@ impl MatchedFilter {
         out: &mut Vec<f64>,
     ) -> Result<(), DspError> {
         validate_xcorr_inputs(signal, &self.template)?;
-        let n = next_pow2(signal.len() + self.template.len());
-        let plan = self.plans.plan(n)?;
+        let n = try_next_pow2(signal.len().saturating_add(self.template.len()))?;
+        let plan = self.plans.real_plan(n)?;
         let idx = self.template_spectrum(n)?;
         let tpl_spec = &self.spectra[idx].1;
-        plan.rfft_into(signal, &mut scratch.c1)?;
+        plan.rfft_half_into(signal, &mut scratch.c1)?;
         for (s, &t) in scratch.c1.iter_mut().zip(tpl_spec) {
             *s *= t.conj();
         }
-        plan.ifft(&mut scratch.c1)?;
+        let DspScratch { c1, r1, .. } = scratch;
+        plan.irfft_half_into(c1, r1)?;
         out.clear();
-        out.extend(scratch.c1[..signal.len()].iter().map(|c| c.re));
+        out.extend_from_slice(&r1[..signal.len()]);
         Ok(())
     }
 
@@ -295,6 +297,255 @@ impl MatchedFilter {
         for v in &mut out {
             *v *= k;
         }
+        Ok(out)
+    }
+}
+
+/// Overlap-save block cross-correlation against a fixed template.
+///
+/// Correlates an arbitrarily long signal one FFT block at a time: each
+/// block gathers `block_len` samples of the (implicitly zero-padded,
+/// optionally `lead`-shifted) signal, multiplies its half-spectrum by the
+/// conjugated template half-spectrum, and keeps the first
+/// `block_len - template_len + 1` inverse-transform outputs — the lags
+/// free of circular wraparound. Blocks advance by that step, overlapping
+/// by `template_len - 1` samples.
+///
+/// This is the shared engine behind [`StreamingMatchedFilter`] (with
+/// `lead = 0`) and the FFT zero-phase FIR path (with `lead` compensating
+/// the filter group delay). Peak FFT size is `block_len`, independent of
+/// how long the signal is.
+#[derive(Debug, Clone)]
+pub(crate) struct OverlapSave {
+    plan: RealFftPlan,
+    /// Template half-spectrum at `block_len` (not conjugated).
+    template_spec: Vec<Complex>,
+    template_len: usize,
+}
+
+impl OverlapSave {
+    /// Builds the engine for `template` with FFT blocks of `block_len`.
+    ///
+    /// `block_len` must be a power of two and at least `template.len()`
+    /// (otherwise no lag is free of circular wraparound).
+    pub(crate) fn new(template: &[f64], block_len: usize) -> Result<Self, DspError> {
+        if template.is_empty() {
+            return Err(DspError::EmptyInput {
+                what: "overlap-save template",
+            });
+        }
+        if block_len < template.len() {
+            return Err(DspError::invalid(
+                "block_len",
+                format!(
+                    "block ({block_len}) shorter than template ({})",
+                    template.len()
+                ),
+            ));
+        }
+        let plan = RealFftPlan::new(block_len)?;
+        let mut template_spec = Vec::with_capacity(plan.num_bins());
+        plan.rfft_half_into(template, &mut template_spec)?;
+        Ok(OverlapSave {
+            plan,
+            template_spec,
+            template_len: template.len(),
+        })
+    }
+
+    pub(crate) fn block_len(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Valid (wraparound-free) output lags per block.
+    pub(crate) fn step(&self) -> usize {
+        self.block_len() - self.template_len + 1
+    }
+
+    /// Writes `out[k] = Σ_n signal[n + k - lead] · template[n]` for
+    /// `k` in `0..out_len`, treating the signal as zero outside its
+    /// bounds. `lead = 0` reproduces the [`xcorr`] convention.
+    pub(crate) fn run(
+        &self,
+        signal: &[f64],
+        lead: usize,
+        out_len: usize,
+        scratch: &mut DspScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
+        out.clear();
+        out.reserve(out_len);
+        let block = self.block_len();
+        let step = self.step();
+        let mut pos = 0;
+        while pos < out_len {
+            scratch.r1.clear();
+            scratch.r1.extend((pos..pos + block).map(|j| {
+                j.checked_sub(lead)
+                    .and_then(|i| signal.get(i))
+                    .copied()
+                    .unwrap_or(0.0)
+            }));
+            self.plan.rfft_half_into(&scratch.r1, &mut scratch.c1)?;
+            for (s, &t) in scratch.c1.iter_mut().zip(&self.template_spec) {
+                *s *= t.conj();
+            }
+            let DspScratch { c1, r1, .. } = scratch;
+            self.plan.irfft_half_into(c1, r1)?;
+            let take = step.min(out_len - pos);
+            out.extend_from_slice(&r1[..take]);
+            pos += step;
+        }
+        Ok(())
+    }
+}
+
+/// A matched filter that correlates in fixed-size overlap-save blocks.
+///
+/// Where [`MatchedFilter`] pads the whole capture to one
+/// `next_pow2(signal + template)` transform — a multi-second capture means
+/// a 2^20-point FFT and megabytes of scratch — this filter processes the
+/// signal through [`OverlapSave`] blocks of `block_len` samples
+/// (default `next_pow2(4 × template)`, so 4–8× the template length).
+/// Cost is O(N log B) time and O(B) working memory: the peak FFT size is
+/// [`StreamingMatchedFilter::block_len`] regardless of capture length,
+/// which is what makes streaming ingestion of unbounded captures possible.
+///
+/// # Accuracy
+///
+/// Output is *bit-close, not bit-identical*, to one-shot [`xcorr`]: both
+/// compute the same exact sum per lag, but block boundaries change the
+/// floating-point summation order. The difference is pinned by tests at
+/// `≤ 1e-9 · (1 + max|xcorr|)` per lag (observed error is ~1e-12
+/// relative for audio-scale inputs).
+///
+/// The hot methods take `&self` — one filter can serve many channels
+/// concurrently, each with its own [`DspScratch`].
+#[derive(Debug, Clone)]
+pub struct StreamingMatchedFilter {
+    core: OverlapSave,
+    template_energy: f64,
+}
+
+impl StreamingMatchedFilter {
+    /// Creates a streaming matched filter with the default block policy:
+    /// `block_len = next_pow2(4 × template.len())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty template and
+    /// [`DspError::InvalidParameter`] for an all-zero template.
+    pub fn new(template: &[f64]) -> Result<Self, DspError> {
+        let block = try_next_pow2(template.len().saturating_mul(4))?;
+        Self::with_block_len(template, block)
+    }
+
+    /// Creates a streaming matched filter with an explicit FFT block
+    /// length (power of two, at least `template.len()`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StreamingMatchedFilter::new`], plus
+    /// [`DspError::InvalidParameter`] for an invalid `block_len`.
+    pub fn with_block_len(template: &[f64], block_len: usize) -> Result<Self, DspError> {
+        let energy: f64 = template.iter().map(|x| x * x).sum();
+        if !template.is_empty() && energy == 0.0 {
+            return Err(DspError::invalid("template", "template has zero energy"));
+        }
+        Ok(StreamingMatchedFilter {
+            core: OverlapSave::new(template, block_len)?,
+            template_energy: energy,
+        })
+    }
+
+    /// The template length in samples.
+    #[must_use]
+    pub fn template_len(&self) -> usize {
+        self.core.template_len
+    }
+
+    /// The FFT block length — the peak transform size of every call,
+    /// independent of signal length.
+    #[must_use]
+    pub fn block_len(&self) -> usize {
+        self.core.block_len()
+    }
+
+    /// Valid correlation lags produced per block
+    /// (`block_len - template_len + 1`).
+    #[must_use]
+    pub fn step(&self) -> usize {
+        self.core.step()
+    }
+
+    /// The template energy `Σ x²`.
+    #[must_use]
+    pub fn template_energy(&self) -> f64 {
+        self.template_energy
+    }
+
+    /// Blocked raw correlation; same output convention as [`xcorr`]
+    /// (see the struct docs for the accuracy contract). Steady-state
+    /// calls at warm sizes do not allocate.
+    ///
+    /// `out` is cleared and refilled (its capacity is reused).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`xcorr`].
+    pub fn correlate_into(
+        &self,
+        signal: &[f64],
+        scratch: &mut DspScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput {
+                what: "xcorr signal",
+            });
+        }
+        if self.template_len() > signal.len() {
+            return Err(DspError::invalid(
+                "template",
+                format!(
+                    "template ({}) longer than signal ({})",
+                    self.template_len(),
+                    signal.len()
+                ),
+            ));
+        }
+        self.core.run(signal, 0, signal.len(), scratch, out)
+    }
+
+    /// Blocked template-energy-normalized correlation; same output
+    /// convention as [`MatchedFilter::correlate_normalized`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`xcorr`].
+    pub fn correlate_normalized_into(
+        &self,
+        signal: &[f64],
+        scratch: &mut DspScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
+        self.correlate_into(signal, scratch, out)?;
+        let k = 1.0 / self.template_energy;
+        for v in out.iter_mut() {
+            *v *= k;
+        }
+        Ok(())
+    }
+
+    /// One-shot convenience over [`StreamingMatchedFilter::correlate_into`]
+    /// using the thread-local scratch.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`xcorr`].
+    pub fn correlate(&self, signal: &[f64]) -> Result<Vec<f64>, DspError> {
+        let mut out = Vec::new();
+        crate::plan::with_thread_ctx(|_, scratch| self.correlate_into(signal, scratch, &mut out))?;
         Ok(out)
     }
 }
@@ -407,5 +658,83 @@ mod tests {
         let energy: f64 = template.iter().map(|x| x * x).sum();
         assert!((out[10] - energy).abs() < 1e-9);
         assert!((out[40] - energy).abs() < 1e-9);
+    }
+
+    fn assert_bit_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        let scale = 1.0 + b.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= 1e-9 * scale, "lag {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_xcorr() {
+        let template: Vec<f64> = (0..37)
+            .map(|i| (i as f64 * 0.4).sin() - 0.3 * (i as f64 * 0.09).cos())
+            .collect();
+        let signal: Vec<f64> = (0..1500)
+            .map(|i| (i as f64 * 0.021).sin() * (i as f64 * 0.0047).cos())
+            .collect();
+        let reference = xcorr(&signal, &template).unwrap();
+        let filter = StreamingMatchedFilter::new(&template).unwrap();
+        assert_eq!(filter.block_len(), 256); // next_pow2(4 * 37)
+        assert_eq!(filter.step(), 256 - 37 + 1);
+        let streamed = filter.correlate(&signal).unwrap();
+        assert_bit_close(&streamed, &reference);
+    }
+
+    #[test]
+    fn streaming_handles_signal_shorter_than_one_block() {
+        let template = [1.0, -2.0, 3.0, -1.0, 0.5];
+        let signal: Vec<f64> = (0..7).map(|i| (i as f64 * 0.9).sin()).collect();
+        let filter = StreamingMatchedFilter::new(&template).unwrap();
+        assert!(filter.block_len() > signal.len());
+        let streamed = filter.correlate(&signal).unwrap();
+        let reference = xcorr(&signal, &template).unwrap();
+        assert_bit_close(&streamed, &reference);
+    }
+
+    #[test]
+    fn streaming_peak_fft_size_is_capture_independent() {
+        let template: Vec<f64> = (0..100).map(|i| (i as f64 * 0.2).sin()).collect();
+        let filter = StreamingMatchedFilter::new(&template).unwrap();
+        let block = filter.block_len();
+        for &len in &[200usize, 1000, 50_000] {
+            let signal: Vec<f64> = (0..len).map(|i| (i as f64 * 0.01).cos()).collect();
+            let reference = xcorr(&signal, &template).unwrap();
+            let streamed = filter.correlate(&signal).unwrap();
+            assert_bit_close(&streamed, &reference);
+            // Block length is a property of the template alone.
+            assert_eq!(filter.block_len(), block);
+        }
+    }
+
+    #[test]
+    fn streaming_normalization_matches_matched_filter() {
+        let template = [2.0, 0.0, -2.0];
+        let mut signal = vec![0.0; 64];
+        signal[4..7].copy_from_slice(&template);
+        let filter = StreamingMatchedFilter::new(&template).unwrap();
+        let mut scratch = DspScratch::new();
+        let mut out = Vec::new();
+        filter
+            .correlate_normalized_into(&signal, &mut scratch, &mut out)
+            .unwrap();
+        assert!((out[4] - 1.0).abs() < 1e-9);
+        assert!((filter.template_energy() - 8.0).abs() < 1e-12);
+        assert_eq!(filter.template_len(), 3);
+    }
+
+    #[test]
+    fn streaming_rejects_degenerate_inputs() {
+        assert!(StreamingMatchedFilter::new(&[]).is_err());
+        assert!(StreamingMatchedFilter::new(&[0.0, 0.0]).is_err());
+        // Block shorter than template, or not a power of two.
+        assert!(StreamingMatchedFilter::with_block_len(&[1.0; 8], 4).is_err());
+        assert!(StreamingMatchedFilter::with_block_len(&[1.0; 8], 12).is_err());
+        let filter = StreamingMatchedFilter::new(&[1.0, 2.0]).unwrap();
+        assert!(filter.correlate(&[]).is_err());
+        assert!(filter.correlate(&[1.0]).is_err());
     }
 }

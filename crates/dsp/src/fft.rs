@@ -29,12 +29,18 @@
 //! # }
 //! ```
 
-use crate::plan::with_thread_ctx;
+use crate::plan::{with_thread_ctx, DspScratch, PlanCache};
 use crate::{Complex, DspError};
 
 /// Returns the smallest power of two greater than or equal to `n`.
 ///
 /// Returns 1 for `n == 0`.
+///
+/// # Panics
+///
+/// Panics if no `usize` power of two can hold `n` (i.e.
+/// `n > usize::MAX/2 + 1`). Fallible call sites — anything deriving a pad
+/// length from caller-controlled input — should use [`try_next_pow2`].
 ///
 /// # Example
 ///
@@ -44,7 +50,34 @@ use crate::{Complex, DspError};
 /// ```
 #[must_use]
 pub fn next_pow2(n: usize) -> usize {
-    n.max(1).next_power_of_two()
+    try_next_pow2(n).expect("next_pow2 overflow")
+}
+
+/// Fallible form of [`next_pow2`]: the padded FFT length for `n`, or
+/// [`DspError::InvalidParameter`] when `n` exceeds the largest `usize`
+/// power of two (`usize::MAX/2 + 1`), where `next_power_of_two` would
+/// panic in debug builds and silently wrap to 0 in release builds.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] on overflow.
+///
+/// # Example
+///
+/// ```
+/// use hyperear_dsp::fft::try_next_pow2;
+/// assert_eq!(try_next_pow2(1000).unwrap(), 1024);
+/// assert!(try_next_pow2(usize::MAX).is_err());
+/// ```
+pub fn try_next_pow2(n: usize) -> Result<usize, DspError> {
+    const MAX_POW2: usize = usize::MAX / 2 + 1;
+    if n > MAX_POW2 {
+        return Err(DspError::invalid(
+            "n",
+            format!("no usize power of two can hold {n} (max {MAX_POW2})"),
+        ));
+    }
+    Ok(n.max(1).next_power_of_two())
 }
 
 /// In-place forward FFT.
@@ -103,13 +136,39 @@ pub fn rfft(signal: &[f64], padded_len: usize) -> Result<Vec<Complex>, DspError>
 /// Intended for spectra known to be conjugate-symmetric (i.e. spectra of
 /// real signals); the discarded imaginary parts are then numerical noise.
 ///
+/// The complex working copy lives in the thread-local scratch, so the
+/// only allocation per call is the returned vector; [`irfft_with`] is the
+/// fully allocation-free form.
+///
 /// # Errors
 ///
 /// Same conditions as [`ifft`].
 pub fn irfft(spectrum: &[Complex]) -> Result<Vec<f64>, DspError> {
-    let mut buf = spectrum.to_vec();
-    ifft(&mut buf)?;
-    Ok(buf.into_iter().map(|c| c.re).collect())
+    let mut out = Vec::with_capacity(spectrum.len());
+    with_thread_ctx(|plans, scratch| irfft_with(spectrum, plans, scratch, &mut out))?;
+    Ok(out)
+}
+
+/// Planned form of [`irfft`]: identical output, with the complex working
+/// copy in `scratch` and the result written into `out` (cleared and
+/// refilled; capacity reused), so steady-state calls at warm sizes do not
+/// allocate.
+///
+/// # Errors
+///
+/// Same conditions as [`ifft`].
+pub fn irfft_with(
+    spectrum: &[Complex],
+    plans: &mut PlanCache,
+    scratch: &mut DspScratch,
+    out: &mut Vec<f64>,
+) -> Result<(), DspError> {
+    scratch.c1.clear();
+    scratch.c1.extend_from_slice(spectrum);
+    plans.plan(spectrum.len())?.ifft(&mut scratch.c1)?;
+    out.clear();
+    out.extend(scratch.c1.iter().map(|c| c.re));
+    Ok(())
 }
 
 #[cfg(test)]
@@ -223,6 +282,19 @@ mod tests {
         assert_eq!(next_pow2(3), 4);
         assert_eq!(next_pow2(4096), 4096);
         assert_eq!(next_pow2(4097), 8192);
+    }
+
+    #[test]
+    fn try_next_pow2_overflow_boundary() {
+        // The largest usize power of two is the last representable
+        // target; one past it must fail, not wrap to zero.
+        const MAX_POW2: usize = usize::MAX / 2 + 1;
+        assert_eq!(try_next_pow2(MAX_POW2).unwrap(), MAX_POW2);
+        assert!(matches!(
+            try_next_pow2(MAX_POW2 + 1),
+            Err(DspError::InvalidParameter { .. })
+        ));
+        assert!(try_next_pow2(usize::MAX).is_err());
     }
 
     #[test]

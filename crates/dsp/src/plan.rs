@@ -235,6 +235,286 @@ impl FftPlan {
     }
 }
 
+/// A read-only view of the `n/2 + 1` non-redundant bins of a real
+/// signal's spectrum.
+///
+/// A real signal's DFT is conjugate-symmetric (`X[n−k] = conj(X[k])`), so
+/// only bins `0..=n/2` carry information. [`RealFftPlan::rfft_half_into`]
+/// produces exactly those bins; this view adds the accessors consumers
+/// need — DC, Nyquist, and symmetric access to the folded upper half —
+/// without materializing the redundant mirror bins.
+#[derive(Debug, Clone, Copy)]
+pub struct HalfSpectrum<'a> {
+    bins: &'a [Complex],
+}
+
+impl<'a> HalfSpectrum<'a> {
+    /// Wraps a half-spectrum slice of `n/2 + 1` bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty slice and
+    /// [`DspError::InvalidParameter`] when the bin count does not
+    /// correspond to a power-of-two FFT length (`len == 1` maps to
+    /// `n == 1`; otherwise `len − 1` must be a power of two).
+    pub fn new(bins: &'a [Complex]) -> Result<Self, DspError> {
+        if bins.is_empty() {
+            return Err(DspError::EmptyInput {
+                what: "half spectrum",
+            });
+        }
+        if bins.len() > 1 && !(bins.len() - 1).is_power_of_two() {
+            return Err(DspError::invalid(
+                "bins.len()",
+                format!(
+                    "{} bins does not match any power-of-two FFT length",
+                    bins.len()
+                ),
+            ));
+        }
+        Ok(HalfSpectrum { bins })
+    }
+
+    /// The number of stored (non-redundant) bins: `n/2 + 1`.
+    #[must_use]
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The full FFT length `n` this half-spectrum folds.
+    #[must_use]
+    pub fn fft_len(&self) -> usize {
+        if self.bins.len() == 1 {
+            1
+        } else {
+            2 * (self.bins.len() - 1)
+        }
+    }
+
+    /// The stored bins `0..=n/2`.
+    #[must_use]
+    pub fn bins(&self) -> &[Complex] {
+        self.bins
+    }
+
+    /// Full-spectrum bin `k` for any `k < n`, reconstructing folded bins
+    /// by conjugate symmetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.fft_len()`.
+    #[must_use]
+    pub fn bin(&self, k: usize) -> Complex {
+        let n = self.fft_len();
+        assert!(k < n, "bin {k} out of range for FFT length {n}");
+        if k < self.bins.len() {
+            self.bins[k]
+        } else {
+            self.bins[n - k].conj()
+        }
+    }
+
+    /// The DC bin (`k = 0`).
+    #[must_use]
+    pub fn dc(&self) -> Complex {
+        self.bins[0]
+    }
+
+    /// The Nyquist bin (`k = n/2`; equals DC for `n == 1`).
+    #[must_use]
+    pub fn nyquist(&self) -> Complex {
+        self.bins[self.bins.len() - 1]
+    }
+}
+
+/// A precomputed plan for real-input transforms of length `n`.
+///
+/// Packs the `n` real samples into an `n/2`-point complex FFT (`z[k] =
+/// x[2k] + i·x[2k+1]`) and recovers the `n/2 + 1` half-spectrum with a
+/// conjugate-symmetric split pass — roughly half the butterflies and half
+/// the complex scratch of the equivalent full transform, which matters
+/// because every hot HyperEar kernel (matched filter, STFT, periodogram,
+/// mic equalization) transforms real audio. See DESIGN.md for the
+/// split/merge algebra.
+///
+/// Unlike [`FftPlan`]'s complex path, the half-spectrum route is **not**
+/// bit-identical to the historical full transform — it evaluates the same
+/// DFT through a different factorization, so results agree to roughly
+/// `1e-12` relative (pinned by the `rfft_half` property test), not to the
+/// last ulp.
+#[derive(Debug, Clone)]
+pub struct RealFftPlan {
+    n: usize,
+    /// The `n/2`-point complex plan (`None` for the trivial `n == 1`).
+    half: Option<FftPlan>,
+    /// Split twiddles `e^{-2πik/n}` for `k` in `0..=n/4`; pairs
+    /// `(k, n/2−k)` share a twiddle up to conjugation.
+    split: Vec<Complex>,
+}
+
+impl RealFftPlan {
+    /// Builds a real-input plan for transforms of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FftPlan::new`].
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        if n == 0 {
+            return Err(DspError::EmptyInput { what: "rfft input" });
+        }
+        if !n.is_power_of_two() {
+            return Err(DspError::invalid(
+                "n",
+                format!("FFT length must be a power of two, got {n}"),
+            ));
+        }
+        let (half, split) = if n == 1 {
+            (None, Vec::new())
+        } else {
+            let angle = -2.0 * std::f64::consts::PI / n as f64;
+            let split = (0..=n / 4)
+                .map(|k| Complex::from_angle(angle * k as f64))
+                .collect();
+            (Some(FftPlan::new(n / 2)?), split)
+        };
+        Ok(RealFftPlan { n, half, split })
+    }
+
+    /// The real transform length this plan was built for.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan length is zero (never true for a constructed plan).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The number of half-spectrum bins produced: `n/2 + 1`.
+    #[must_use]
+    pub fn num_bins(&self) -> usize {
+        if self.n == 1 {
+            1
+        } else {
+            self.n / 2 + 1
+        }
+    }
+
+    /// Forward FFT of a real signal zero-padded to the plan length,
+    /// written as the `n/2 + 1` half-spectrum bins into `out` (cleared
+    /// and refilled; capacity reused). Allocation-free once `out` has
+    /// grown to `num_bins()`.
+    ///
+    /// Runs one `n/2`-point complex FFT on the even/odd-packed samples
+    /// plus an `O(n)` conjugate-symmetric split pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty signal and
+    /// [`DspError::InvalidParameter`] when the signal exceeds the plan
+    /// length.
+    pub fn rfft_half_into(&self, signal: &[f64], out: &mut Vec<Complex>) -> Result<(), DspError> {
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput { what: "rfft input" });
+        }
+        if self.n < signal.len() {
+            return Err(DspError::invalid(
+                "signal.len()",
+                format!(
+                    "plan length {} is smaller than the signal ({})",
+                    self.n,
+                    signal.len()
+                ),
+            ));
+        }
+        out.clear();
+        let Some(half_plan) = &self.half else {
+            out.push(Complex::from_real(signal[0]));
+            return Ok(());
+        };
+        let h = self.n / 2;
+        // Pack even samples into re, odd into im (zero-padded).
+        let at = |j: usize| signal.get(j).copied().unwrap_or(0.0);
+        out.extend((0..h).map(|k| Complex::new(at(2 * k), at(2 * k + 1))));
+        half_plan.fft(out)?;
+        // Split: DC and Nyquist come from Z[0] alone; interior pairs
+        // (k, h−k) combine Z[k] and conj(Z[h−k]) with one twiddle.
+        let z0 = out[0];
+        out.push(Complex::from_real(z0.re - z0.im));
+        out[0] = Complex::from_real(z0.re + z0.im);
+        for k in 1..=h / 2 {
+            let a = out[k];
+            let b = out[h - k];
+            let xe = (a + b.conj()).scale(0.5);
+            let xo = (a - b.conj()) * Complex::new(0.0, -0.5);
+            let t = self.split[k] * xo;
+            out[k] = xe + t;
+            out[h - k] = (xe - t).conj();
+        }
+        Ok(())
+    }
+
+    /// Inverse of [`RealFftPlan::rfft_half_into`]: merges the `n/2 + 1`
+    /// half-spectrum bins back into the packed form **in place** (the
+    /// contents of `half` are consumed as working storage), runs one
+    /// `n/2`-point inverse FFT, and writes the `n` real samples into
+    /// `out` (cleared and refilled; capacity reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `half.len()` is not
+    /// `num_bins()`.
+    pub fn irfft_half_into(
+        &self,
+        half: &mut [Complex],
+        out: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
+        if half.len() != self.num_bins() {
+            return Err(DspError::invalid(
+                "half.len()",
+                format!(
+                    "plan for length {} expects {} bins, got {}",
+                    self.n,
+                    self.num_bins(),
+                    half.len()
+                ),
+            ));
+        }
+        out.clear();
+        let Some(half_plan) = &self.half else {
+            out.push(half[0].re);
+            return Ok(());
+        };
+        let h = self.n / 2;
+        // Merge: fold the Nyquist bin into Z[0], then reverse the split
+        // butterflies pairwise. mul_i(c) = i·c.
+        let mul_i = |c: Complex| Complex::new(-c.im, c.re);
+        let a = half[0];
+        let b = half[h];
+        let xe = (a + b.conj()).scale(0.5);
+        let xo = (a - b.conj()).scale(0.5);
+        half[0] = xe + mul_i(xo);
+        for k in 1..=h / 2 {
+            let a = half[k];
+            let b = half[h - k];
+            let xe = (a + b.conj()).scale(0.5);
+            let t = (a - b.conj()).scale(0.5);
+            let xo = self.split[k].conj() * t;
+            half[k] = xe + mul_i(xo);
+            half[h - k] = xe.conj() + mul_i(xo.conj());
+        }
+        half_plan.ifft(&mut half[..h])?;
+        out.reserve(self.n);
+        for z in &half[..h] {
+            out.push(z.re);
+            out.push(z.im);
+        }
+        Ok(())
+    }
+}
+
 /// Generates the flattened per-stage twiddle table.
 ///
 /// Uses the exact recurrence of the historical inline transform
@@ -264,6 +544,7 @@ fn twiddle_table(n: usize, sign: f64) -> Vec<Complex> {
 #[derive(Debug, Clone, Default)]
 pub struct PlanCache {
     plans: Vec<Arc<FftPlan>>,
+    real_plans: Vec<Arc<RealFftPlan>>,
 }
 
 impl PlanCache {
@@ -287,10 +568,31 @@ impl PlanCache {
         Ok(plan)
     }
 
-    /// The number of distinct sizes planned so far.
+    /// The real-input plan for length `n`, building and memoizing it on
+    /// first use.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RealFftPlan::new`].
+    pub fn real_plan(&mut self, n: usize) -> Result<Arc<RealFftPlan>, DspError> {
+        if let Some(p) = self.real_plans.iter().find(|p| p.len() == n) {
+            return Ok(Arc::clone(p));
+        }
+        let plan = Arc::new(RealFftPlan::new(n)?);
+        self.real_plans.push(Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// The number of distinct complex sizes planned so far.
     #[must_use]
     pub fn size_count(&self) -> usize {
         self.plans.len()
+    }
+
+    /// The number of distinct real-input sizes planned so far.
+    #[must_use]
+    pub fn real_size_count(&self) -> usize {
+        self.real_plans.len()
     }
 }
 
@@ -407,6 +709,87 @@ mod tests {
             plans.size_count()
         });
         assert_eq!(count0, count1);
+    }
+
+    #[test]
+    fn rfft_half_matches_full_transform() {
+        for &n in &[1usize, 2, 4, 8, 64, 256, 1024] {
+            let signal: Vec<f64> = (0..n.min(3 * n / 4 + 1))
+                .map(|i| (i as f64 * 0.37).sin() + 0.3 * (i as f64 * 0.011).cos())
+                .collect();
+            let rplan = RealFftPlan::new(n).unwrap();
+            let mut half = Vec::new();
+            rplan.rfft_half_into(&signal, &mut half).unwrap();
+            assert_eq!(half.len(), rplan.num_bins());
+            let full = crate::fft::rfft(&signal, n).unwrap();
+            for (k, bin) in half.iter().enumerate() {
+                let d = *bin - full[k];
+                assert!(
+                    d.abs() < 1e-9 * (1.0 + full[k].abs()),
+                    "n={n} bin {k}: {bin:?} vs {:?}",
+                    full[k]
+                );
+            }
+            // Round trip back to the padded signal.
+            let mut back = Vec::new();
+            rplan.irfft_half_into(&mut half, &mut back).unwrap();
+            assert_eq!(back.len(), n);
+            for (i, &x) in back.iter().enumerate() {
+                let want = signal.get(i).copied().unwrap_or(0.0);
+                assert!((x - want).abs() < 1e-10, "n={n} sample {i}: {x} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn real_plan_rejects_invalid_sizes_and_inputs() {
+        assert!(matches!(
+            RealFftPlan::new(0),
+            Err(DspError::EmptyInput { .. })
+        ));
+        assert!(matches!(
+            RealFftPlan::new(12),
+            Err(DspError::InvalidParameter { .. })
+        ));
+        let rplan = RealFftPlan::new(8).unwrap();
+        assert_eq!(rplan.len(), 8);
+        assert!(!rplan.is_empty());
+        let mut out = Vec::new();
+        assert!(rplan.rfft_half_into(&[], &mut out).is_err());
+        assert!(rplan.rfft_half_into(&[0.0; 9], &mut out).is_err());
+        let mut wrong = vec![Complex::ZERO; 3];
+        assert!(rplan.irfft_half_into(&mut wrong, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn half_spectrum_view_accessors() {
+        let signal: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).sin()).collect();
+        let rplan = RealFftPlan::new(16).unwrap();
+        let mut half = Vec::new();
+        rplan.rfft_half_into(&signal, &mut half).unwrap();
+        let view = HalfSpectrum::new(&half).unwrap();
+        assert_eq!(view.num_bins(), 9);
+        assert_eq!(view.fft_len(), 16);
+        assert_eq!(view.dc(), half[0]);
+        assert_eq!(view.nyquist(), half[8]);
+        let full = crate::fft::rfft(&signal, 16).unwrap();
+        for (k, &reference) in full.iter().enumerate() {
+            let d = view.bin(k) - reference;
+            assert!(d.abs() < 1e-9, "bin {k}");
+        }
+        assert_eq!(HalfSpectrum::new(&half[..1]).unwrap().fft_len(), 1);
+        assert!(HalfSpectrum::new(&[]).is_err());
+        assert!(HalfSpectrum::new(&half[..4]).is_err()); // 3 not a pow2
+    }
+
+    #[test]
+    fn cache_memoizes_real_plans() {
+        let mut cache = PlanCache::new();
+        let a = cache.real_plan(64).unwrap();
+        let b = cache.real_plan(64).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.real_size_count(), 1);
+        assert!(cache.real_plan(10).is_err());
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! to calibrate simulated noise spectra against the paper's SNR points, and
 //! by tests that check filter behaviour.
 
-use crate::fft::next_pow2;
-use crate::plan::{DspScratch, PlanCache};
+use crate::fft::try_next_pow2;
+use crate::plan::{DspScratch, HalfSpectrum, PlanCache};
 use crate::window::Window;
 use crate::DspError;
 
@@ -53,14 +53,17 @@ pub fn power_spectrum_with(
     scratch.r1.clear();
     scratch.r1.extend_from_slice(signal);
     window.apply(&mut scratch.r1)?;
-    let n = next_pow2(signal.len());
-    plans.plan(n)?.rfft_into(&scratch.r1, &mut scratch.c1)?;
-    let half = n / 2 + 1;
+    let n = try_next_pow2(signal.len())?;
+    plans
+        .real_plan(n)?
+        .rfft_half_into(&scratch.r1, &mut scratch.c1)?;
+    let spec = HalfSpectrum::new(&scratch.c1)?;
+    let half = spec.num_bins();
     let gain = window.coherent_gain(signal.len());
     let norm = 1.0 / (n as f64 * signal.len() as f64 * gain * gain);
     let mut freqs = Vec::with_capacity(half);
     let mut power = Vec::with_capacity(half);
-    for (k, c) in scratch.c1.iter().take(half).enumerate() {
+    for (k, c) in spec.bins().iter().enumerate() {
         freqs.push(k as f64 * sample_rate / n as f64);
         // One-sided: double interior bins.
         let scale = if k == 0 || k == half - 1 { 1.0 } else { 2.0 };

@@ -103,8 +103,8 @@ pub fn stft_with(
     if sample_rate <= 0.0 {
         return Err(DspError::invalid("sample_rate", "must be positive"));
     }
-    let fft_size = crate::fft::next_pow2(frame_len);
-    let plan = plans.plan(fft_size)?;
+    let fft_size = crate::fft::try_next_pow2(frame_len)?;
+    let plan = plans.real_plan(fft_size)?;
     let window = Window::Hann.coefficients(frame_len)?;
     let mut frames = Vec::new();
     let mut start = 0;
@@ -116,14 +116,10 @@ pub fn stft_with(
                 .zip(&window)
                 .map(|(s, w)| s * w),
         );
-        scratch.r1.resize(fft_size, 0.0);
-        plan.rfft_into(&scratch.r1, &mut scratch.c1)?;
-        frames.push(
-            scratch.c1[..=fft_size / 2]
-                .iter()
-                .map(|c| c.abs())
-                .collect(),
-        );
+        // rfft_half_into zero-pads to fft_size and yields exactly the
+        // fft_size/2 + 1 one-sided bins each frame stores.
+        plan.rfft_half_into(&scratch.r1, &mut scratch.c1)?;
+        frames.push(scratch.c1.iter().map(|c| c.abs()).collect());
         start += hop;
     }
     Ok(Spectrogram {

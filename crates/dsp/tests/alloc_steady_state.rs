@@ -10,8 +10,10 @@
 
 use hyperear::config::HyperEarConfig;
 use hyperear::pipeline::{SessionEngine, SessionInput, SessionResult};
-use hyperear_dsp::correlate::{xcorr_into, MatchedFilter};
+use hyperear_dsp::correlate::{xcorr_into, MatchedFilter, StreamingMatchedFilter};
+use hyperear_dsp::filter::{FirFilter, ZeroPhaseFir};
 use hyperear_dsp::plan::{DspScratch, PlanCache};
+use hyperear_dsp::window::Window;
 use hyperear_sim::environment::Environment;
 use hyperear_sim::phone::PhoneModel;
 use hyperear_sim::scenario::ScenarioBuilder;
@@ -71,6 +73,50 @@ fn warm_xcorr_path_does_not_allocate() {
     // Still exactly one template FFT for this (template, padded-length).
     assert_eq!(filter.template_fft_count(), 1);
 
+    // --- Overlap-save streaming matched filter. -----------------------
+    // Block-sized FFTs instead of one capture-sized transform; the same
+    // zero-allocation contract must hold once scratch is at its
+    // high-water mark (one block, not one capture).
+    let streaming = StreamingMatchedFilter::new(&template).unwrap();
+    let mut out = Vec::new();
+    streaming
+        .correlate_normalized_into(&signal, &mut scratch, &mut out)
+        .unwrap();
+    let expected = out.clone();
+
+    let before = ALLOC.allocations();
+    for _ in 0..3 {
+        streaming
+            .correlate_normalized_into(&signal, &mut scratch, &mut out)
+            .unwrap();
+    }
+    let after = ALLOC.allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state streaming matched filtering must not allocate"
+    );
+    assert_eq!(out, expected, "warm streaming path must stay bit-identical");
+
+    // --- Overlap-save zero-phase FIR. ---------------------------------
+    let bp = FirFilter::band_pass(2_000.0, 6_400.0, 44_100.0, 127, Window::Hamming).unwrap();
+    let fir = ZeroPhaseFir::new(&bp).unwrap();
+    let mut out = Vec::new();
+    fir.filter_into(&signal, &mut scratch, &mut out).unwrap();
+    let expected = out.clone();
+
+    let before = ALLOC.allocations();
+    for _ in 0..3 {
+        fir.filter_into(&signal, &mut scratch, &mut out).unwrap();
+    }
+    let after = ALLOC.allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state zero-phase FIR filtering must not allocate"
+    );
+    assert_eq!(out, expected, "warm FIR path must stay bit-identical");
+
     // --- Full pipeline session through a warm SessionEngine. ----------
     // Everything downstream of the matched filter — peak picking,
     // inertial analysis, SFO fit, per-slide confidence scoring, TDoA,
@@ -109,4 +155,12 @@ fn warm_xcorr_path_does_not_allocate() {
         "steady-state SessionEngine::run_into must not allocate"
     );
     assert_eq!(result, expected, "warm session must stay bit-identical");
+    // Overlap-save detection caps the engine's transforms at the block
+    // size, far below the multi-second capture length.
+    let peak = engine.peak_fft_len().expect("warm engine has a detector");
+    assert!(
+        peak < rec.audio.left.len(),
+        "peak FFT length ({peak}) must be independent of capture length ({})",
+        rec.audio.left.len()
+    );
 }

@@ -3,7 +3,7 @@
 //! `HYPEREAR_PROP_CASES` seeded cases (default 64) and reports the
 //! failing seed on a counterexample.
 
-use hyperear_dsp::correlate::{xcorr, xcorr_into, MatchedFilter};
+use hyperear_dsp::correlate::{xcorr, xcorr_into, MatchedFilter, StreamingMatchedFilter};
 use hyperear_dsp::delay::delay_fractional_into_len;
 use hyperear_dsp::fft::{fft, ifft, next_pow2, rfft};
 use hyperear_dsp::filter::MovingAverage;
@@ -292,6 +292,97 @@ fn cached_matched_filter_bit_identical_to_one_shot() {
             }
             // All four calls share one padded length: one template FFT.
             prop_assert_eq!(filter.template_fft_count(), 1);
+            prop::pass()
+        },
+    );
+}
+
+// ---- Real-input fast path (the PR-4 perf contract): the packed
+// half-size transform and the overlap-save streaming engine must be
+// *bit-close* to their full-size references — identical up to the
+// rounding-error reordering inherent in a different FFT factorization.
+
+/// Per-element tolerance for "bit-close": a few ulps of headroom scaled
+/// by the reference magnitude. Observed differences are ~1e-12 relative.
+fn bit_close_tol(reference_max: f64) -> f64 {
+    1e-9 * (1.0 + reference_max)
+}
+
+#[test]
+fn rfft_half_expands_to_full_rfft() {
+    let strat = (signal_strategy(256), usize_range(0, 3));
+    prop::check(
+        "rfft_half_expands_to_full_rfft",
+        strat,
+        |(signal, extra_pow)| {
+            let n = next_pow2(signal.len()) << extra_pow;
+            let reference = rfft(signal, n).unwrap();
+            let mut plans = PlanCache::new();
+            let mut half = Vec::new();
+            plans
+                .real_plan(n)
+                .unwrap()
+                .rfft_half_into(signal, &mut half)
+                .unwrap();
+            prop_assert_eq!(half.len(), n / 2 + 1);
+            // Expand the half spectrum by conjugate symmetry:
+            // X[n-k] = conj(X[k]) for a real input.
+            let max_mag = reference.iter().map(|c| c.abs()).fold(0.0, f64::max);
+            let tol = bit_close_tol(max_mag);
+            for (k, r) in reference.iter().enumerate() {
+                let x = if k <= n / 2 {
+                    half[k]
+                } else {
+                    half[n - k].conj()
+                };
+                prop_assert!(
+                    (x.re - r.re).abs() <= tol && (x.im - r.im).abs() <= tol,
+                    "bin {k}: half-path {x:?} vs full rfft {r:?}"
+                );
+            }
+            prop::pass()
+        },
+    );
+}
+
+#[test]
+fn streaming_matched_filter_matches_one_shot_xcorr() {
+    // Block sizes from the minimum legal (next_pow2(m), where the step
+    // can be as small as 1 and the template dominates the block) up to
+    // 8x the template; signals from shorter than one block to many
+    // blocks long.
+    let strat = (
+        signal_strategy(192),
+        vec_f64(-1.0, 1.0, 8, 24),
+        usize_range(0, 3),
+    );
+    prop::check(
+        "streaming_matched_filter_matches_one_shot_xcorr",
+        strat,
+        |(signal, template, extra_pow)| {
+            prop_assume!(template.len() <= signal.len());
+            let energy: f64 = template.iter().map(|x| x * x).sum();
+            prop_assume!(energy > 1e-6);
+            let block = next_pow2(template.len()) << extra_pow;
+            let filter = StreamingMatchedFilter::with_block_len(template, block).unwrap();
+            let reference = xcorr(signal, template).unwrap();
+            let mut scratch = DspScratch::new();
+            let mut out = Vec::new();
+            // Two passes: cold and warm must both stay bit-close.
+            for _ in 0..2 {
+                filter
+                    .correlate_into(signal, &mut scratch, &mut out)
+                    .unwrap();
+                prop_assert_eq!(out.len(), reference.len());
+                let max_mag = reference.iter().copied().map(f64::abs).fold(0.0, f64::max);
+                let tol = bit_close_tol(max_mag);
+                for (i, (a, r)) in out.iter().zip(&reference).enumerate() {
+                    prop_assert!(
+                        (a - r).abs() <= tol,
+                        "lag {i}: streaming {a} vs one-shot {r} (block {block})"
+                    );
+                }
+            }
             prop::pass()
         },
     );

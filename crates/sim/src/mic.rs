@@ -186,26 +186,27 @@ pub fn apply_mic_response_with(
     plans: &mut PlanCache,
     scratch: &mut DspScratch,
 ) -> Result<Vec<f64>, SimError> {
-    use hyperear_dsp::fft::next_pow2;
+    use hyperear_dsp::fft::try_next_pow2;
     if waveform.is_empty() {
         return Err(SimError::invalid("waveform", "must be non-empty"));
     }
     if sample_rate <= 0.0 {
         return Err(SimError::invalid("sample_rate", "must be positive"));
     }
-    let n = next_pow2(waveform.len());
-    let plan = plans.plan(n)?;
-    plan.rfft_into(waveform, &mut scratch.c1)?;
-    let half = n / 2;
+    let n = try_next_pow2(waveform.len())?;
+    let plan = plans.real_plan(n)?;
+    plan.rfft_half_into(waveform, &mut scratch.c1)?;
+    // The half-spectrum covers bins 0..=n/2 directly; scaling by a real
+    // gain keeps the implied full spectrum conjugate-symmetric, so the
+    // shaping stays zero-phase.
     for (k, c) in scratch.c1.iter_mut().enumerate() {
-        // Conjugate-symmetric gain: bin k and bin n-k share a frequency.
-        let bin = k.min(n - k).min(half);
-        let freq = bin as f64 * sample_rate / n as f64;
+        let freq = k as f64 * sample_rate / n as f64;
         let g = gain_at(freq).max(0.0);
         *c = *c * g;
     }
-    plan.ifft(&mut scratch.c1)?;
-    Ok(scratch.c1[..waveform.len()].iter().map(|c| c.re).collect())
+    let hyperear_dsp::plan::DspScratch { c1, r1, .. } = scratch;
+    plan.irfft_half_into(c1, r1)?;
+    Ok(r1[..waveform.len()].to_vec())
 }
 
 /// Measures the achieved active-sample SNR of a noisy channel given its

@@ -98,6 +98,10 @@ pub struct BenchResult {
     pub mean_ns: f64,
     /// Elements processed per iteration (for throughput), if declared.
     pub elements: Option<u64>,
+    /// Heap allocations per iteration (minimum over samples), when the
+    /// suite has an allocation counter installed
+    /// ([`Suite::set_alloc_counter`]).
+    pub allocs_per_iter: Option<f64>,
 }
 
 impl BenchResult {
@@ -133,6 +137,9 @@ impl ToJson for BenchResult {
                 fields.push(("melem_per_s", Json::Number(t)));
             }
         }
+        if let Some(a) = self.allocs_per_iter {
+            fields.push(("allocs_per_iter", Json::Number(a)));
+        }
         Json::obj(fields)
     }
 }
@@ -160,6 +167,8 @@ pub struct Suite {
     name: String,
     config: BenchConfig,
     results: Vec<BenchResult>,
+    alloc_counter: Option<fn() -> u64>,
+    violations: Vec<String>,
 }
 
 impl Suite {
@@ -177,21 +186,57 @@ impl Suite {
             name: name.to_string(),
             config,
             results: Vec::new(),
+            alloc_counter: None,
+            violations: Vec::new(),
         }
+    }
+
+    /// Installs a cumulative allocation counter (typically the
+    /// `allocations()` reading of a `#[global_allocator]`
+    /// `CountingAllocator` in the bench binary). Once set, every result
+    /// reports allocations per iteration next to its timings, and
+    /// [`Suite::bench_allocfree`] expectations are enforced.
+    pub fn set_alloc_counter(&mut self, counter: fn() -> u64) {
+        self.alloc_counter = Some(counter);
     }
 
     /// Benchmarks `f`, printing and retaining the summary.
     pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, f: F) {
-        self.run_one(name, None, f);
+        self.run_one(name, None, false, f);
     }
 
     /// Benchmarks `f`, additionally reporting throughput over
     /// `elements` items per iteration.
     pub fn bench_with_elements<R, F: FnMut() -> R>(&mut self, name: &str, elements: u64, f: F) {
-        self.run_one(name, Some(elements), f);
+        self.run_one(name, Some(elements), false, f);
     }
 
-    fn run_one<R, F: FnMut() -> R>(&mut self, name: &str, elements: Option<u64>, mut f: F) {
+    /// Benchmarks `f` and records the expectation that its steady state
+    /// performs zero heap allocations. A violation (or a missing
+    /// allocation counter) makes [`Suite::finish`] panic, so a CI smoke
+    /// run fails loudly when a warm path regresses into allocating.
+    pub fn bench_allocfree<R, F: FnMut() -> R>(&mut self, name: &str, f: F) {
+        self.run_one(name, None, true, f);
+    }
+
+    /// [`Suite::bench_allocfree`] with throughput over `elements` items
+    /// per iteration.
+    pub fn bench_allocfree_with_elements<R, F: FnMut() -> R>(
+        &mut self,
+        name: &str,
+        elements: u64,
+        f: F,
+    ) {
+        self.run_one(name, Some(elements), true, f);
+    }
+
+    fn run_one<R, F: FnMut() -> R>(
+        &mut self,
+        name: &str,
+        elements: Option<u64>,
+        expect_alloc_free: bool,
+        mut f: F,
+    ) {
         // Warmup, counting iterations to estimate the batch size.
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
@@ -204,12 +249,33 @@ impl Suite {
             ((self.config.sample_target.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64).max(1);
         // Timed samples.
         let mut sample_ns = Vec::with_capacity(self.config.samples);
+        let mut sample_allocs = Vec::with_capacity(self.config.samples);
         for _ in 0..self.config.samples {
+            let allocs_before = self.alloc_counter.map(|c| c());
             let t0 = Instant::now();
             for _ in 0..batch {
                 std::hint::black_box(f());
             }
-            sample_ns.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+            let elapsed = t0.elapsed();
+            if let (Some(counter), Some(before)) = (self.alloc_counter, allocs_before) {
+                sample_allocs.push((counter() - before) as f64 / batch as f64);
+            }
+            sample_ns.push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+        // Minimum over samples: transient growth (a buffer reaching its
+        // high-water mark mid-run) doesn't mask a truly clean steady state.
+        let allocs_per_iter = sample_allocs.iter().copied().reduce(f64::min);
+        if expect_alloc_free {
+            match allocs_per_iter {
+                None => self.violations.push(format!(
+                    "`{name}` expects zero allocations but no allocation counter is installed \
+                     (call Suite::set_alloc_counter)"
+                )),
+                Some(a) if a > 0.0 => self.violations.push(format!(
+                    "`{name}` expects zero allocations, measured {a}/iter"
+                )),
+                Some(_) => {}
+            }
         }
         let result = BenchResult {
             name: name.to_string(),
@@ -220,6 +286,7 @@ impl Suite {
             p95_ns: percentile(&sample_ns, 95.0),
             mean_ns: sample_ns.iter().sum::<f64>() / sample_ns.len() as f64,
             elements,
+            allocs_per_iter,
         };
         println!("{}", render_row(&result));
         self.results.push(result);
@@ -233,6 +300,12 @@ impl Suite {
 
     /// Prints the closing line and writes the JSON report when
     /// `HYPEREAR_BENCH_JSON_DIR` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any [`Suite::bench_allocfree`] expectation was violated
+    /// (the JSON report is still written first), turning steady-state
+    /// allocation regressions into a nonzero bench exit status.
     pub fn finish(self) {
         if let Some(dir) = &self.config.json_dir {
             let report = Json::obj(vec![
@@ -251,6 +324,16 @@ impl Suite {
             self.name,
             self.results.len()
         );
+        if !self.violations.is_empty() {
+            for v in &self.violations {
+                eprintln!("allocation regression: {v}");
+            }
+            panic!(
+                "suite `{}`: {} allocation expectation(s) violated",
+                self.name,
+                self.violations.len()
+            );
+        }
     }
 }
 
@@ -281,6 +364,9 @@ fn render_row(r: &BenchResult) -> String {
     );
     if let Some(t) = r.melem_per_s() {
         let _ = write!(row, "  {t:.1} Melem/s");
+    }
+    if let Some(a) = r.allocs_per_iter {
+        let _ = write!(row, "  {a:.1} allocs/iter");
     }
     row
 }
@@ -335,6 +421,56 @@ mod tests {
         let json = r.to_json();
         assert!(json.get("melem_per_s").is_some());
         assert_eq!(json.field::<String>("name").unwrap(), "sum");
+    }
+
+    #[test]
+    fn alloc_counter_reports_per_iteration_counts() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static FAKE_ALLOCS: AtomicU64 = AtomicU64::new(0);
+        fn read_fake() -> u64 {
+            FAKE_ALLOCS.load(Ordering::Relaxed)
+        }
+        let mut suite = Suite::with_config("alloctest", fast_config());
+        suite.set_alloc_counter(read_fake);
+        // Simulates exactly 2 allocations per iteration.
+        suite.bench("two_per_iter", || {
+            FAKE_ALLOCS.fetch_add(2, Ordering::Relaxed);
+        });
+        // Touches no allocator at all.
+        suite.bench_allocfree("clean", || std::hint::black_box(3u64 * 7));
+        let results = suite.results();
+        assert_eq!(results[0].allocs_per_iter, Some(2.0));
+        assert_eq!(results[1].allocs_per_iter, Some(0.0));
+        assert!(results[0].to_json().get("allocs_per_iter").is_some());
+        suite.finish(); // no violations: must not panic
+    }
+
+    #[test]
+    fn allocfree_violation_fails_the_suite() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static FAKE_ALLOCS: AtomicU64 = AtomicU64::new(0);
+        fn read_fake() -> u64 {
+            FAKE_ALLOCS.load(Ordering::Relaxed)
+        }
+        let result = std::panic::catch_unwind(|| {
+            let mut suite = Suite::with_config("allocfail", fast_config());
+            suite.set_alloc_counter(read_fake);
+            suite.bench_allocfree("dirty", || {
+                FAKE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+            });
+            suite.finish();
+        });
+        assert!(result.is_err(), "violation must panic in finish()");
+    }
+
+    #[test]
+    fn allocfree_without_counter_fails_the_suite() {
+        let result = std::panic::catch_unwind(|| {
+            let mut suite = Suite::with_config("allocmisconfig", fast_config());
+            suite.bench_allocfree("unverifiable", || std::hint::black_box(1u64));
+            suite.finish();
+        });
+        assert!(result.is_err(), "missing counter must panic in finish()");
     }
 
     #[test]

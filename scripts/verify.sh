@@ -4,19 +4,29 @@
 #
 #   scripts/verify.sh            # tier-1 gate
 #   scripts/verify.sh --faults   # tier-1 gate + seeded fault-matrix sweep
+#   scripts/verify.sh --bench    # tier-1 gate + bench smoke (alloc gate)
 #
 # The --faults tier drives the full fault-injection matrix through the
 # monitored pipeline (`repro faults --fast`): every corrupted session
 # must come back as a typed Ok/Degraded/Failed outcome — a panic or a
 # sim-layer error fails the gate.
+#
+# The --bench tier smoke-runs the DSP kernel bench suite with a minimal
+# sample budget. It is not a performance gate — timings on a shared
+# machine are noise at 3 samples — but the suite's counting allocator
+# makes it a *steady-state allocation* gate: any bench registered as
+# allocation-free that allocates per iteration panics in
+# `Suite::finish`, failing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_FAULTS=0
+RUN_BENCH=0
 for arg in "$@"; do
     case "$arg" in
         --faults) RUN_FAULTS=1 ;;
-        *) echo "unknown option: $arg (supported: --faults)" >&2; exit 2 ;;
+        --bench) RUN_BENCH=1 ;;
+        *) echo "unknown option: $arg (supported: --faults, --bench)" >&2; exit 2 ;;
     esac
 done
 
@@ -35,6 +45,12 @@ cargo test --workspace -q
 # fails the gate.
 echo "== repro smoke (--fast restrictions fig03) =="
 cargo run --release -p hyperear-bench --bin repro -- --fast restrictions fig03
+
+if [ "$RUN_BENCH" -eq 1 ]; then
+    echo "== bench smoke (dsp kernels, 3 samples, allocation gate) =="
+    HYPEREAR_BENCH_SAMPLES=3 HYPEREAR_BENCH_SAMPLE_MS=5 HYPEREAR_BENCH_WARMUP_MS=20 \
+        cargo bench -p hyperear-bench --bench dsp_kernels
+fi
 
 if [ "$RUN_FAULTS" -eq 1 ]; then
     echo "== repro faults (--fast, seeded fault-matrix sweep) =="

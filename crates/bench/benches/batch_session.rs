@@ -1,0 +1,88 @@
+//! Throughput benchmarks for deterministic parallel batch session
+//! processing: the same eight-session batch through a `BatchEngine` at
+//! 1, 2 and N (available-parallelism) threads, plus the warm worker's
+//! zero-allocation steady state. Runs on the workspace's own std-only
+//! harness (`hyperear_util::bench`).
+//!
+//! On a single-core host the 2/N-thread numbers measure scheduling
+//! overhead, not speedup — the JSON report records the host parallelism
+//! so readers can interpret them.
+
+use hyperear::batch::BatchEngine;
+use hyperear::config::HyperEarConfig;
+use hyperear::pipeline::{SessionInput, SessionOutcome};
+use hyperear_sim::environment::Environment;
+use hyperear_sim::phone::PhoneModel;
+use hyperear_sim::scenario::{Recording, ScenarioBuilder};
+use hyperear_util::alloc_counter::CountingAllocator;
+use hyperear_util::bench::Suite;
+use hyperear_util::pool::Pool;
+use std::hint::black_box;
+use std::sync::Arc;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+fn allocation_count() -> u64 {
+    ALLOC.allocations()
+}
+
+const BATCH: u64 = 8;
+
+fn render_batch() -> Vec<Recording> {
+    (0..BATCH)
+        .map(|s| {
+            ScenarioBuilder::new(PhoneModel::galaxy_s4())
+                .environment(Environment::room_quiet())
+                .speaker_range(4.0)
+                .slides(2)
+                .seed(9000 + s)
+                .render()
+                .expect("render")
+        })
+        .collect()
+}
+
+fn input(rec: &Recording) -> SessionInput<'_> {
+    SessionInput {
+        audio_sample_rate: rec.audio.sample_rate,
+        left: &rec.audio.left,
+        right: &rec.audio.right,
+        imu_sample_rate: rec.imu.sample_rate,
+        accel: &rec.imu.accel,
+        gyro: &rec.imu.gyro,
+    }
+}
+
+fn bench_batch_at(suite: &mut Suite, inputs: &[SessionInput<'_>], threads: usize, label: &str) {
+    let pool = Arc::new(Pool::new(threads));
+    let mut batch = BatchEngine::new(HyperEarConfig::galaxy_s4(), pool).expect("batch engine");
+    let mut out: Vec<SessionOutcome> = Vec::new();
+    batch.warm(inputs);
+    batch.run_batch_into(inputs, &mut out);
+    assert!(out.iter().any(SessionOutcome::is_usable));
+    // Warm engines, shared detector cores, reused outcome slots: the
+    // steady state is allocation-free at every thread count.
+    suite.bench_allocfree_with_elements(label, BATCH, || {
+        batch.run_batch_into(inputs, &mut out);
+        black_box(out.len())
+    });
+}
+
+fn main() {
+    let recs = render_batch();
+    let inputs: Vec<SessionInput<'_>> = recs.iter().map(input).collect();
+    let mut suite = Suite::new("batch_session");
+    suite.set_alloc_counter(allocation_count);
+    bench_batch_at(&mut suite, &inputs, 1, "batch_8_sessions/threads_1");
+    bench_batch_at(&mut suite, &inputs, 2, "batch_8_sessions/threads_2");
+    let n = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    bench_batch_at(
+        &mut suite,
+        &inputs,
+        n,
+        &format!("batch_8_sessions/threads_{n}_available"),
+    );
+    println!("host available parallelism: {n}");
+    suite.finish();
+}

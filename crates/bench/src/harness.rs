@@ -4,9 +4,10 @@
 //! the simulator, run the HyperEar pipeline on each, and score the
 //! estimates against ground truth. This module owns that loop, including
 //! the ground-truth geometry (expressing the simulator's world-frame
-//! truth in the pipeline's slide frame) and a std-only parallel map
-//! over seeds (`std::thread::scope` workers pulling from a shared
-//! atomic cursor, results funnelled back over `std::sync::mpsc`).
+//! truth in the pipeline's slide frame) and a parallel map over seeds
+//! that runs on the process-wide work-stealing
+//! [`Pool`](hyperear_util::pool::Pool) — one warm worker state per pool
+//! participant, output slot `i` always holding seed `i`'s result.
 
 use hyperear::config::HyperEarConfig;
 use hyperear::pipeline::{SessionEngine, SessionInput, SessionOutcome, SessionResult};
@@ -315,50 +316,23 @@ where
     parallel_trials_with_state(seeds, || (), |(), seed| f(seed))
 }
 
-/// Runs `f(&mut state, seed)` for each seed across worker threads, where
-/// each worker owns one `state` built by `init` — the hook that lets a
-/// trial loop keep a warm [`TrialWorker`] (session engine, FFT plans,
-/// scratch buffers) per thread instead of rebuilding it per seed.
-/// Preserves input order in the output; failed trials yield `None`.
+/// Runs `f(&mut state, seed)` for each seed across the process-wide
+/// work-stealing pool ([`Pool::global`](hyperear_util::pool::Pool::global),
+/// sized by `HYPEREAR_THREADS`), where each pool participant owns one
+/// `state` built by `init` — the hook that lets a trial loop keep a warm
+/// [`TrialWorker`] (session engine, FFT plans, scratch buffers) per
+/// thread instead of rebuilding it per seed. Output slot `i` always
+/// holds seed `i`'s result regardless of steal order; failed trials
+/// yield `None`.
 pub fn parallel_trials_with_state<S, T, I, F>(seeds: &[u64], init: I, f: F) -> Vec<Option<T>>
 where
+    S: Send,
     T: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, u64) -> Option<T> + Sync,
 {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::mpsc;
-
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(seeds.len().max(1));
-    // Work distribution: a shared cursor into the seed slice replaces a
-    // multi-consumer channel (std's mpsc receiver cannot be cloned).
-    let next = AtomicUsize::new(0);
-    let (tx_out, rx_out) = mpsc::channel::<(usize, Option<T>)>();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx_out = tx_out.clone();
-            let next = &next;
-            let init = &init;
-            let f = &f;
-            scope.spawn(move || {
-                let mut state = init();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&seed) = seeds.get(i) else { break };
-                    let _ = tx_out.send((i, f(&mut state, seed)));
-                }
-            });
-        }
-        drop(tx_out);
-    });
-    let mut out: Vec<Option<T>> = (0..seeds.len()).map(|_| None).collect();
-    for (i, v) in rx_out.iter() {
-        out[i] = v;
-    }
-    out
+    hyperear_util::pool::Pool::global()
+        .parallel_map_with(seeds.len(), init, |state, i| f(state, seeds[i]))
 }
 
 /// Collects per-slide 2D errors over many seeded sessions in parallel.

@@ -28,19 +28,19 @@ pub struct BeaconArrival {
     pub strength: f64,
 }
 
-/// A configured beacon detector for one sample rate.
+/// The immutable, shareable half of a beacon detector: the reference
+/// chirp's matched filter, the band-pass design, and every detection
+/// threshold — everything construction precomputes and detection only
+/// reads.
 ///
-/// Construction precomputes the reference chirp, matched filter and
-/// band-pass so that per-channel detection does no redundant design work.
 /// Both the matched filter and the band-pass run as overlap-save block
-/// engines ([`StreamingMatchedFilter`], [`ZeroPhaseFir`]): the peak FFT
-/// size of a detection pass is [`BeaconDetector::peak_fft_len`] —
-/// a property of the chirp and filter designs, independent of how long
-/// the capture is. The detector also owns the FFT scratch arena and
-/// correlation buffer, so [`BeaconDetector::detect`] takes `&mut self`
-/// and, once warm, correlates without allocating.
+/// engines ([`StreamingMatchedFilter`], [`ZeroPhaseFir`]) whose hot
+/// methods take `&self`, so one core can serve any number of channels
+/// (or batch workers) concurrently — each caller brings its own
+/// [`DetectScratch`]. Template spectra and FFT tables therefore exist
+/// once per sample rate per process instead of once per worker.
 #[derive(Debug, Clone)]
-pub struct BeaconDetector {
+pub struct DetectorCore {
     filter: StreamingMatchedFilter,
     band_pass: Option<ZeroPhaseFir>,
     sample_rate: f64,
@@ -49,6 +49,13 @@ pub struct BeaconDetector {
     relative_threshold: f64,
     interpolation: Interpolation,
     envelope_detection: bool,
+}
+
+/// The mutable, per-channel half of a beacon detector: the FFT scratch
+/// arena and every intermediate buffer a detection pass fills. One
+/// scratch must not be shared between concurrent detections.
+#[derive(Debug, Clone, Default)]
+pub struct DetectScratch {
     scratch: DspScratch,
     corr: Vec<f64>,
     filtered: Vec<f64>,
@@ -57,8 +64,26 @@ pub struct BeaconDetector {
     mags: Vec<f64>,
 }
 
-impl BeaconDetector {
-    /// Builds a detector from the pipeline configuration.
+impl DetectScratch {
+    /// An empty scratch; buffers grow to their high-water mark on first
+    /// use and are then reused allocation-free.
+    #[must_use]
+    pub fn new() -> Self {
+        DetectScratch::default()
+    }
+
+    /// Bytes currently reserved by the scratch buffers.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> usize {
+        self.scratch.capacity_bytes()
+            + (self.corr.capacity() + self.filtered.capacity() + self.mags.capacity())
+                * std::mem::size_of::<f64>()
+            + (self.peaks.capacity() + self.peaks_scratch.capacity()) * std::mem::size_of::<Peak>()
+    }
+}
+
+impl DetectorCore {
+    /// Builds the shared detection core from the pipeline configuration.
     ///
     /// # Errors
     ///
@@ -94,7 +119,7 @@ impl BeaconDetector {
         } else {
             None
         };
-        Ok(BeaconDetector {
+        Ok(DetectorCore {
             filter,
             band_pass,
             sample_rate,
@@ -105,44 +130,165 @@ impl BeaconDetector {
             relative_threshold: config.detection.relative_threshold,
             interpolation: config.detection.interpolation,
             envelope_detection: config.detection.envelope_detection,
-            scratch: DspScratch::new(),
-            corr: Vec::new(),
-            filtered: Vec::new(),
-            peaks: Vec::new(),
-            peaks_scratch: Vec::new(),
-            mags: Vec::new(),
         })
     }
 
-    /// The sample rate this detector was built for.
+    /// The sample rate this core was built for.
     #[must_use]
     pub fn sample_rate(&self) -> f64 {
         self.sample_rate
     }
 
-    /// The largest FFT the detector ever runs, in samples.
+    /// The largest FFT a detection pass ever runs, in samples.
     ///
     /// Both detection stages process the capture in overlap-save blocks,
     /// so this bound depends only on the chirp template and band-pass tap
-    /// count — never on the capture length. It caps the working set of a
-    /// detection pass regardless of how long the session records.
+    /// count — never on the capture length.
     #[must_use]
     pub fn peak_fft_len(&self) -> usize {
         let bp = self.band_pass.as_ref().map_or(0, ZeroPhaseFir::block_len);
         self.filter.block_len().max(bp)
     }
 
-    /// Bytes currently reserved by the detector's working buffers.
+    /// Detects beacon arrivals in one audio channel, using a
+    /// caller-provided scratch — the `&self` form that lets two channels
+    /// run concurrently against one shared core.
     ///
-    /// The FFT scratch arena is bounded by [`BeaconDetector::peak_fft_len`];
-    /// the correlation/filtered buffers scale with the longest capture seen
-    /// (their contents are per-sample outputs, not transform scratch).
+    /// Semantics are identical to [`BeaconDetector::detect_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::Dsp`] for an empty or too-short channel.
+    pub fn detect_with(
+        &self,
+        channel: &[f64],
+        scratch: &mut DetectScratch,
+        out: &mut Vec<BeaconArrival>,
+    ) -> Result<(), HyperEarError> {
+        out.clear();
+        let signal: &[f64] = match &self.band_pass {
+            Some(bp) => {
+                bp.filter_into(channel, &mut scratch.scratch, &mut scratch.filtered)?;
+                &scratch.filtered
+            }
+            None => channel,
+        };
+        self.filter
+            .correlate_normalized_into(signal, &mut scratch.scratch, &mut scratch.corr)?;
+        // Envelope detection strips the carrier ripple of high-band
+        // beacons (see `DetectionConfig::envelope_detection`).
+        let env_storage;
+        let corr: &[f64] = if self.envelope_detection {
+            env_storage = hyperear_dsp::envelope::envelope(&scratch.corr)?;
+            &env_storage
+        } else {
+            &scratch.corr
+        };
+        let floor = noise_floor_with(corr, &mut scratch.mags)?;
+        let peak_max = corr.iter().fold(0.0f64, |m, &v| m.max(v));
+        // Two-part threshold: beacons must clear the statistical noise
+        // floor AND be within an order of magnitude of the session's
+        // strongest beacon — the latter keeps numerical dust in quiet
+        // recordings from ever counting as a detection.
+        let threshold = (self.threshold_factor * floor).max(self.relative_threshold * peak_max);
+        find_peaks_into(
+            corr,
+            &PeakConfig::new(threshold, self.min_spacing.max(1))?,
+            &mut scratch.peaks_scratch,
+            &mut scratch.peaks,
+        )?;
+        out.reserve(scratch.peaks.len());
+        for p in &scratch.peaks {
+            let (pos, value) = match self.interpolation {
+                Interpolation::None => (p.index as f64, p.value),
+                Interpolation::Parabolic => match parabolic_peak(corr, p.index) {
+                    Ok(refined) => refined,
+                    Err(_) => (p.index as f64, p.value), // boundary peak
+                },
+                Interpolation::Sinc => match sinc_peak(corr, p.index, 8) {
+                    Ok(refined) => refined,
+                    Err(_) => (p.index as f64, p.value),
+                },
+            };
+            out.push(BeaconArrival {
+                time: pos / self.sample_rate,
+                strength: value,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A configured beacon detector for one sample rate: a shared
+/// [`DetectorCore`] plus one private [`DetectScratch`].
+///
+/// This is the convenient single-channel handle the pipeline has always
+/// exposed — [`BeaconDetector::detect`] takes `&mut self` and, once
+/// warm, correlates without allocating. Workers that share one core
+/// across threads (batch processing, per-channel parallelism) construct
+/// it via [`BeaconDetector::from_core`] so template spectra and FFT
+/// tables are not duplicated per worker.
+#[derive(Debug, Clone)]
+pub struct BeaconDetector {
+    core: std::sync::Arc<DetectorCore>,
+    scratch: DetectScratch,
+}
+
+impl BeaconDetector {
+    /// Builds a detector from the pipeline configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] for an invalid config
+    /// or a sample rate that cannot carry the chirp band.
+    pub fn new(config: &HyperEarConfig, sample_rate: f64) -> Result<Self, HyperEarError> {
+        Ok(BeaconDetector::from_core(std::sync::Arc::new(
+            DetectorCore::new(config, sample_rate)?,
+        )))
+    }
+
+    /// Wraps an existing shared core with a fresh scratch.
+    #[must_use]
+    pub fn from_core(core: std::sync::Arc<DetectorCore>) -> Self {
+        BeaconDetector {
+            core,
+            scratch: DetectScratch::new(),
+        }
+    }
+
+    /// The shared read-only core (clone the `Arc` to share it with
+    /// another worker or channel).
+    #[must_use]
+    pub fn core(&self) -> &std::sync::Arc<DetectorCore> {
+        &self.core
+    }
+
+    /// Splits the detector into its shared core and its private scratch,
+    /// for callers that drive two channels concurrently.
+    pub fn parts_mut(&mut self) -> (&DetectorCore, &mut DetectScratch) {
+        (&self.core, &mut self.scratch)
+    }
+
+    /// The sample rate this detector was built for.
+    #[must_use]
+    pub fn sample_rate(&self) -> f64 {
+        self.core.sample_rate()
+    }
+
+    /// The largest FFT the detector ever runs, in samples (see
+    /// [`DetectorCore::peak_fft_len`]).
+    #[must_use]
+    pub fn peak_fft_len(&self) -> usize {
+        self.core.peak_fft_len()
+    }
+
+    /// Bytes currently reserved by the detector's private working
+    /// buffers. The shared core's immutable tables (template spectra,
+    /// FFT plans) are not counted: they exist once per process, not once
+    /// per detector.
     #[must_use]
     pub fn working_set_bytes(&self) -> usize {
         self.scratch.capacity_bytes()
-            + (self.corr.capacity() + self.filtered.capacity() + self.mags.capacity())
-                * std::mem::size_of::<f64>()
-            + (self.peaks.capacity() + self.peaks_scratch.capacity()) * std::mem::size_of::<Peak>()
     }
 
     /// Detects beacon arrivals in one audio channel.
@@ -175,57 +321,7 @@ impl BeaconDetector {
         channel: &[f64],
         out: &mut Vec<BeaconArrival>,
     ) -> Result<(), HyperEarError> {
-        out.clear();
-        let signal: &[f64] = match &self.band_pass {
-            Some(bp) => {
-                bp.filter_into(channel, &mut self.scratch, &mut self.filtered)?;
-                &self.filtered
-            }
-            None => channel,
-        };
-        self.filter
-            .correlate_normalized_into(signal, &mut self.scratch, &mut self.corr)?;
-        // Envelope detection strips the carrier ripple of high-band
-        // beacons (see `DetectionConfig::envelope_detection`).
-        let env_storage;
-        let corr: &[f64] = if self.envelope_detection {
-            env_storage = hyperear_dsp::envelope::envelope(&self.corr)?;
-            &env_storage
-        } else {
-            &self.corr
-        };
-        let floor = noise_floor_with(corr, &mut self.mags)?;
-        let peak_max = corr.iter().fold(0.0f64, |m, &v| m.max(v));
-        // Two-part threshold: beacons must clear the statistical noise
-        // floor AND be within an order of magnitude of the session's
-        // strongest beacon — the latter keeps numerical dust in quiet
-        // recordings from ever counting as a detection.
-        let threshold = (self.threshold_factor * floor).max(self.relative_threshold * peak_max);
-        find_peaks_into(
-            corr,
-            &PeakConfig::new(threshold, self.min_spacing.max(1))?,
-            &mut self.peaks_scratch,
-            &mut self.peaks,
-        )?;
-        out.reserve(self.peaks.len());
-        for p in &self.peaks {
-            let (pos, value) = match self.interpolation {
-                Interpolation::None => (p.index as f64, p.value),
-                Interpolation::Parabolic => match parabolic_peak(corr, p.index) {
-                    Ok(refined) => refined,
-                    Err(_) => (p.index as f64, p.value), // boundary peak
-                },
-                Interpolation::Sinc => match sinc_peak(corr, p.index, 8) {
-                    Ok(refined) => refined,
-                    Err(_) => (p.index as f64, p.value),
-                },
-            };
-            out.push(BeaconArrival {
-                time: pos / self.sample_rate,
-                strength: value,
-            });
-        }
-        Ok(())
+        self.core.detect_with(channel, &mut self.scratch, out)
     }
 }
 

@@ -1,0 +1,212 @@
+//! Deterministic parallel batch session processing.
+//!
+//! [`BatchEngine`] processes a slice of [`SessionInput`]s across a
+//! work-stealing [`Pool`], pinning one warm [`SessionEngine`] (with all
+//! of its scratch — detector buffers, TDoA/localization scratch, slide
+//! storage) to each pool participant. Immutable detection state — the
+//! matched-filter template spectra and FFT tables inside a
+//! [`DetectorCore`] — is built once per sample rate and shared across
+//! every worker, so memory scales with *thread count × scratch*, not
+//! *thread count × tables*.
+//!
+//! # Determinism
+//!
+//! Outcomes land in index-addressed slots (`out[i]` is always input
+//! `i`'s outcome) and every session is processed by exactly one engine
+//! whose computation does not depend on which worker ran it or what it
+//! processed before (pinned by the engine-reuse tests in
+//! [`crate::pipeline`]). The batch output is therefore bit-identical to
+//! running [`SessionEngine::run_monitored`] sequentially over the same
+//! inputs, at any thread count and under any steal schedule.
+//!
+//! # Isolation
+//!
+//! Each item gets [`SessionEngine::run_monitored_into`] semantics: a
+//! session that fails records [`SessionOutcome::Failed`] in its own slot
+//! and never poisons the rest of the batch.
+
+use crate::asp::DetectorCore;
+use crate::config::HyperEarConfig;
+use crate::pipeline::{SessionEngine, SessionInput, SessionOutcome};
+use crate::HyperEarError;
+use hyperear_util::pool::{Pool, PoolStats};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One pool participant's processing state: a warm session engine whose
+/// scratch is touched by exactly one thread at a time.
+#[derive(Debug)]
+struct BatchWorker {
+    engine: SessionEngine,
+}
+
+/// A batch session processor: one warm [`SessionEngine`] pinned per pool
+/// participant, shared read-only detector cores, index-addressed
+/// outcomes (see the [module docs](self)).
+#[derive(Debug)]
+pub struct BatchEngine {
+    pool: Arc<Pool>,
+    config: HyperEarConfig,
+    workers: Vec<BatchWorker>,
+    /// Shared detector cores by sample rate: built once on the calling
+    /// thread, installed into every worker engine by `Arc` clone.
+    cores: Mutex<Vec<(f64, Arc<DetectorCore>)>>,
+}
+
+impl BatchEngine {
+    /// Creates a batch engine over a shared pool.
+    ///
+    /// One worker engine is built per pool participant; their detector
+    /// state stays empty until the first batch reveals the sample rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] for an invalid config.
+    pub fn new(config: HyperEarConfig, pool: Arc<Pool>) -> Result<Self, HyperEarError> {
+        config.validate()?;
+        let workers = (0..pool.threads())
+            .map(|_| {
+                Ok(BatchWorker {
+                    engine: SessionEngine::new(config.clone())?,
+                })
+            })
+            .collect::<Result<Vec<_>, HyperEarError>>()?;
+        Ok(BatchEngine {
+            pool,
+            config,
+            workers,
+            cores: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Creates a batch engine over the process-wide [`Pool::global`]
+    /// (sized by `HYPEREAR_THREADS`, default: available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] for an invalid config.
+    pub fn from_env(config: HyperEarConfig) -> Result<Self, HyperEarError> {
+        BatchEngine::new(config, Arc::clone(Pool::global()))
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &HyperEarConfig {
+        &self.config
+    }
+
+    /// Number of pool participants (and warm worker engines).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Cumulative telemetry of the underlying pool (tasks executed,
+    /// steals, per-worker busy time).
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Bytes currently reserved across all worker engines' reusable
+    /// working buffers — the steady-state footprint after a warm-up
+    /// batch.
+    #[must_use]
+    pub fn working_set_bytes(&self) -> usize {
+        self.workers
+            .iter()
+            .map(|w| w.engine.working_set_bytes())
+            .sum()
+    }
+
+    /// The shared detector core for a sample rate, building (and
+    /// memoizing) it on the calling thread the first time that rate is
+    /// seen.
+    fn core_for(&self, sample_rate: f64) -> Result<Arc<DetectorCore>, HyperEarError> {
+        let mut cores = self.cores.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some((_, core)) = cores.iter().find(|(rate, _)| *rate == sample_rate) {
+            return Ok(Arc::clone(core));
+        }
+        let core = Arc::new(DetectorCore::new(&self.config, sample_rate)?);
+        cores.push((sample_rate, Arc::clone(&core)));
+        Ok(core)
+    }
+
+    /// Deterministically warms **every** worker engine by running each
+    /// of `inputs` through each of them on the calling thread.
+    ///
+    /// Under work stealing, which items a given worker claims is
+    /// schedule-dependent, so a worker engine's scratch otherwise grows
+    /// to its high-water mark only when the steal schedule happens to
+    /// hand it the most demanding item — an allocation that can land
+    /// many batches in. Worse, "most demanding" is not one dimension:
+    /// capture-sized correlation buffers, beacon-count arrival lists
+    /// and IMU-sized traces each peak on whichever item maximizes
+    /// *that* buffer. Serving-style deployments that care about
+    /// steady-state latency — and the zero-allocation gate — call this
+    /// once with a representative workload; afterwards batches of
+    /// sessions no more demanding than the warm-up set allocate
+    /// nothing, regardless of steal schedule.
+    pub fn warm(&mut self, inputs: &[SessionInput<'_>]) {
+        let mut slot = SessionOutcome::idle();
+        for w in 0..self.workers.len() {
+            for input in inputs {
+                let core = self.core_for(input.audio_sample_rate).ok();
+                let worker = &mut self.workers[w];
+                if let Some(core) = &core {
+                    worker.engine.install_detector_core(core);
+                }
+                worker.engine.run_monitored_into(input, &mut slot);
+            }
+        }
+    }
+
+    /// Processes a batch, returning one outcome per input in input
+    /// order.
+    ///
+    /// Convenience wrapper over [`BatchEngine::run_batch_into`].
+    pub fn run_batch(&mut self, inputs: &[SessionInput<'_>]) -> Vec<SessionOutcome> {
+        let mut out = Vec::new();
+        self.run_batch_into(inputs, &mut out);
+        out
+    }
+
+    /// Processes a batch into a caller-owned outcome vector
+    /// (`out[i]` is input `i`'s outcome; previous contents' result
+    /// storage is scavenged and reused).
+    ///
+    /// Items are distributed across the pool participants; each runs
+    /// under [`SessionEngine::run_monitored_into`] semantics on its
+    /// worker's warm engine, so a failed session records `Failed` in its
+    /// slot without affecting any other item. After a warm-up batch at a
+    /// given sample rate and capture size, processing allocates nothing
+    /// in steady state.
+    pub fn run_batch_into(&mut self, inputs: &[SessionInput<'_>], out: &mut Vec<SessionOutcome>) {
+        // Build the shared detector cores for every distinct sample rate
+        // up front, on this thread: workers then only `Arc`-clone them.
+        // A rate the config cannot serve is left to fail per item, where
+        // the error lands in that item's own slot.
+        for input in inputs {
+            let _ = self.core_for(input.audio_sample_rate);
+        }
+        // Reuse outcome slots; `idle()` placeholders are heap-free.
+        if out.len() > inputs.len() {
+            out.truncate(inputs.len());
+        }
+        while out.len() < inputs.len() {
+            out.push(SessionOutcome::idle());
+        }
+        let cores = self.cores.lock().unwrap_or_else(PoisonError::into_inner);
+        let workers = &mut self.workers;
+        self.pool
+            .parallel_update(workers, out, |worker, idx, slot| {
+                let input = &inputs[idx];
+                if let Some((_, core)) = cores
+                    .iter()
+                    .find(|(rate, _)| *rate == input.audio_sample_rate)
+                {
+                    worker.engine.install_detector_core(core);
+                }
+                worker.engine.run_monitored_into(input, slot);
+            });
+    }
+}

@@ -21,8 +21,9 @@
 //! | Interactive user guidance (the app-side protocol driver) | [`guide`] |
 //!
 //! Plus [`baseline`] (the naive fixed-baseline schemes of paper §II-C the
-//! evaluation compares against) and [`metrics`] (error CDFs in the format
-//! of paper Figs. 14–19).
+//! evaluation compares against), [`metrics`] (error CDFs in the format
+//! of paper Figs. 14–19), and [`batch`] (deterministic parallel batch
+//! session processing over a work-stealing pool).
 //!
 //! # Quick start
 //!
@@ -62,6 +63,7 @@
 
 pub mod asp;
 pub mod baseline;
+pub mod batch;
 pub mod config;
 mod error;
 pub mod guide;

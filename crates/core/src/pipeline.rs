@@ -16,7 +16,7 @@
 //!   budget dropping the worst offenders, and always returns a
 //!   [`SessionOutcome`] (never panics, never a bare error).
 
-use crate::asp::{BeaconArrival, BeaconDetector};
+use crate::asp::{BeaconArrival, BeaconDetector, DetectScratch, DetectorCore};
 use crate::config::HyperEarConfig;
 use crate::localize::{localize_with, slide_geometry, Estimate2d, LocalizeScratch, SlideFix};
 use crate::ple::{project, ProjectedEstimate};
@@ -29,6 +29,8 @@ use hyperear_geom::Vec3;
 use hyperear_imu::analyze::{analyze_session_with, AnalyzeScratch, SessionAnalysis, SlideEstimate};
 use hyperear_imu::quality::Rejection;
 use hyperear_imu::rotation::yaw_trace_into;
+use hyperear_util::pool::Pool;
+use std::sync::Arc;
 
 /// Guard margin around inertially-detected movement windows when
 /// classifying beacons as stationary, seconds.
@@ -119,6 +121,31 @@ pub struct SlideReport {
     pub tdoa: Option<AugmentedTdoa>,
     /// The triangulation fix, when the solve succeeded.
     pub fix: Option<SlideFix>,
+}
+
+impl SlideReport {
+    /// A zeroed, heap-free report used to pre-size index-addressed
+    /// output slots; every field is overwritten when the slide is
+    /// processed.
+    fn placeholder() -> Self {
+        SlideReport {
+            inertial: SlideEstimate {
+                segment: hyperear_imu::segment::Segment { start: 0, end: 0 },
+                start_time: 0.0,
+                end_time: 0.0,
+                distance: 0.0,
+                rotation_deg: 0.0,
+                end_velocity_residual: 0.0,
+            },
+            phase: StaturePhase::Upper,
+            accepted: false,
+            rejection: None,
+            confidence: SlideConfidence::new(0.0, 0.0, 0.0),
+            dropped: false,
+            tdoa: None,
+            fix: None,
+        }
+    }
 }
 
 /// The outcome of one full session.
@@ -263,6 +290,22 @@ impl SessionOutcome {
     pub fn is_usable(&self) -> bool {
         self.result().is_some()
     }
+
+    /// A non-allocating placeholder outcome — the natural initial value
+    /// for a slot passed to [`SessionEngine::run_monitored_into`] or a
+    /// batch output vector. Reads as a zero-count `Failed`
+    /// ([`HyperEarError::NoUsableSlides`] with nothing detected) until a
+    /// session overwrites it.
+    #[must_use]
+    pub fn idle() -> Self {
+        SessionOutcome::Failed {
+            reason: HyperEarError::NoUsableSlides {
+                detected: 0,
+                rejected: 0,
+            },
+            diagnostics: None,
+        }
+    }
 }
 
 /// The HyperEar engine: a validated configuration ready to process
@@ -329,7 +372,12 @@ impl HyperEar {
 pub struct SessionEngine {
     config: HyperEarConfig,
     detector: Option<BeaconDetector>,
+    /// Second detection scratch: serves the right channel when the two
+    /// per-channel detections run concurrently under an attached pool.
+    scratch_right: DetectScratch,
     tdoa_scratch: TdoaScratch,
+    /// Second TDoA scratch for the concurrent half of the slide loop.
+    tdoa_scratch_b: TdoaScratch,
     arr_left: Vec<BeaconArrival>,
     arr_right: Vec<BeaconArrival>,
     analysis: SessionAnalysis,
@@ -340,7 +388,11 @@ pub struct SessionEngine {
     yaw: Vec<f64>,
     sfo_scratch: SfoScratch,
     loc_scratch: LocalizeScratch,
+    /// Second localization scratch for the concurrent half of the slide
+    /// loop.
+    loc_scratch_b: LocalizeScratch,
     geoms: Vec<SlideGeometry>,
+    pool: Option<Arc<Pool>>,
 }
 
 impl SessionEngine {
@@ -358,7 +410,9 @@ impl SessionEngine {
         SessionEngine {
             config,
             detector: None,
+            scratch_right: DetectScratch::new(),
             tdoa_scratch: TdoaScratch::new(),
+            tdoa_scratch_b: TdoaScratch::new(),
             arr_left: Vec::new(),
             arr_right: Vec::new(),
             analysis: SessionAnalysis {
@@ -373,7 +427,44 @@ impl SessionEngine {
             yaw: Vec::new(),
             sfo_scratch: SfoScratch::new(),
             loc_scratch: LocalizeScratch::new(),
+            loc_scratch_b: LocalizeScratch::new(),
             geoms: Vec::new(),
+            pool: None,
+        }
+    }
+
+    /// Attaches a work-stealing pool: subsequent sessions run the two
+    /// per-channel beacon detections and the two halves of the per-slide
+    /// TDoA/triangulation loop concurrently via [`Pool::join`].
+    ///
+    /// Results are bit-identical to the sequential path at any thread
+    /// count — intra-session parallelism only splits work across
+    /// pre-assigned, independent scratch spaces and index-addressed
+    /// output slots, never changing evaluation order within a slide. A
+    /// pool with a single participant (or no attached pool, the default)
+    /// takes the exact sequential code path.
+    pub fn attach_pool(&mut self, pool: Arc<Pool>) {
+        self.pool = Some(pool);
+    }
+
+    /// Removes any attached pool; subsequent sessions run sequentially.
+    pub fn detach_pool(&mut self) {
+        self.pool = None;
+    }
+
+    /// Installs a pre-built shared detector core (see
+    /// [`DetectorCore`]), replacing any cached detector whose core is a
+    /// different instance. Batch engines use this so every worker's
+    /// engine resolves to the *same* template spectra and FFT tables
+    /// instead of rebuilding them per worker; if the engine already
+    /// wraps this exact core the call is free.
+    pub fn install_detector_core(&mut self, core: &Arc<DetectorCore>) {
+        let same = self
+            .detector
+            .as_ref()
+            .is_some_and(|d| Arc::ptr_eq(d.core(), core));
+        if !same {
+            self.detector = Some(BeaconDetector::from_core(Arc::clone(core)));
         }
     }
 
@@ -406,7 +497,9 @@ impl SessionEngine {
         self.detector
             .as_ref()
             .map_or(0, BeaconDetector::working_set_bytes)
+            + self.scratch_right.capacity_bytes()
             + self.tdoa_scratch.capacity_bytes()
+            + self.tdoa_scratch_b.capacity_bytes()
             + (self.arr_left.capacity() + self.arr_right.capacity())
                 * std::mem::size_of::<BeaconArrival>()
     }
@@ -434,8 +527,25 @@ impl SessionEngine {
     /// estimate is then re-aggregated from the surviving slides), and
     /// `Failed` with the typed reason otherwise.
     pub fn run_monitored(&mut self, input: &SessionInput<'_>) -> SessionOutcome {
-        let mut result = SessionResult::empty();
-        match self.run_into(input, &mut result) {
+        let mut outcome = SessionOutcome::idle();
+        self.run_monitored_into(input, &mut outcome);
+        outcome
+    }
+
+    /// Allocation-free form of [`SessionEngine::run_monitored`]: the
+    /// outcome lands in a caller-owned slot whose previous
+    /// [`SessionResult`] storage (if any) is scavenged and reused, so a
+    /// warm engine processing sessions into the same slot performs no
+    /// steady-state heap allocation. This is the per-item primitive
+    /// batch processing is built on.
+    pub fn run_monitored_into(&mut self, input: &SessionInput<'_>, slot: &mut SessionOutcome) {
+        // Reclaim the previous outcome's result storage (slide reports,
+        // their capacity) rather than allocating a fresh one.
+        let mut result = match std::mem::replace(slot, SessionOutcome::idle()) {
+            SessionOutcome::Ok(result) | SessionOutcome::Degraded { result, .. } => result,
+            SessionOutcome::Failed { .. } => SessionResult::empty(),
+        };
+        *slot = match self.run_into(input, &mut result) {
             Err(reason) => {
                 let diagnostics = match &reason {
                     HyperEarError::NoUsableSlides { detected, rejected } => {
@@ -454,7 +564,7 @@ impl SessionEngine {
                 }
             }
             Ok(()) => self.grade(result),
-        }
+        };
     }
 
     /// Applies the degradation policy to a completed raw result and
@@ -617,9 +727,32 @@ impl SessionEngine {
         if rebuild {
             self.detector = Some(BeaconDetector::new(&self.config, input.audio_sample_rate)?);
         }
+        let pool = self
+            .pool
+            .as_ref()
+            .filter(|p| p.threads() > 1)
+            .map(Arc::clone);
         let detector = self.detector.as_mut().expect("detector just ensured");
-        detector.detect_into(input.left, &mut self.arr_left)?;
-        detector.detect_into(input.right, &mut self.arr_right)?;
+        if let Some(pool) = &pool {
+            // Concurrent per-channel detection: one shared read-only
+            // core, one private scratch per channel. `detect_with` is
+            // `&self` on the core, so the only mutable state each side
+            // touches is its own scratch and arrival list — results are
+            // bit-identical to the sequential calls below.
+            let (core, scratch_left) = detector.parts_mut();
+            let scratch_right = &mut self.scratch_right;
+            let arr_left = &mut self.arr_left;
+            let arr_right = &mut self.arr_right;
+            let (r_left, r_right) = pool.join(
+                || core.detect_with(input.left, scratch_left, arr_left),
+                || core.detect_with(input.right, scratch_right, arr_right),
+            );
+            r_left?;
+            r_right?;
+        } else {
+            detector.detect_into(input.left, &mut self.arr_left)?;
+            detector.detect_into(input.right, &mut self.arr_right)?;
+        }
         if self.arr_left.len() < 2 || self.arr_right.len() < 2 {
             return Err(HyperEarError::InsufficientBeacons {
                 stage: "beacon detection",
@@ -754,108 +887,53 @@ impl SessionEngine {
             period.residual_rms,
             self.config.degradation.sfo_residual_tol,
         );
-        let mut rejected = 0usize;
-        for slide in &self.analysis.slides {
-            let phase = match first_stature_time {
-                Some(t) if slide.start_time > t => StaturePhase::Lower,
-                _ => StaturePhase::Upper,
-            };
-            let (accepted, rejection) = if self.config.quality_gate_enabled {
-                match self
-                    .config
-                    .quality_gate
-                    .check(slide.distance, slide.rotation_deg)
-                {
-                    Ok(()) => (true, None),
-                    Err(r) => {
-                        rejected += 1;
-                        (false, Some(r))
-                    }
-                }
-            } else {
-                (true, None)
-            };
-            let pre = window_before(
-                &self.movements,
-                slide.start_time,
-                self.config.beacon.duration,
+        let ctx = SlideCtx {
+            config: &self.config,
+            arr_left: &self.arr_left,
+            arr_right: &self.arr_right,
+            movements: &self.movements,
+            slides: &self.analysis.slides,
+            period: period.period,
+            sfo_factor,
+            audio_duration,
+            mean_beacon_strength,
+            first_stature_time,
+        };
+        let n = ctx.slides.len();
+        out.slides.clear();
+        if let Some(pool) = pool.as_ref().filter(|_| n >= 2) {
+            // Index-addressed halves with pre-assigned scratch pairs: the
+            // output order and every per-slide computation are identical
+            // to the sequential loop below regardless of which thread
+            // runs which half. An error in the earlier half wins, same
+            // as the sequential first-error-by-index contract.
+            out.slides.resize(n, SlideReport::placeholder());
+            let mid = n / 2;
+            let (lo, hi) = out.slides.split_at_mut(mid);
+            let tdoa_a = &mut self.tdoa_scratch;
+            let loc_a = &mut self.loc_scratch;
+            let tdoa_b = &mut self.tdoa_scratch_b;
+            let loc_b = &mut self.loc_scratch_b;
+            let (r_lo, r_hi) = pool.join(
+                || process_slides(&ctx, 0, lo, tdoa_a, loc_a),
+                || process_slides(&ctx, mid, hi, tdoa_b, loc_b),
             );
-            let post = window_after(
-                &self.movements,
-                slide.end_time,
-                audio_duration,
-                self.config.beacon.duration,
-            );
-            // Beacon confidence: mean strength of the arrivals bracketing
-            // this slide, relative to the session mean.
-            let mut bracketing_sum = 0.0;
-            let mut bracketing_count = 0usize;
-            for a in self.arr_left.iter().chain(self.arr_right.iter()) {
-                if a.time >= pre.0 && a.time <= post.1 {
-                    bracketing_sum += a.strength;
-                    bracketing_count += 1;
-                }
-            }
-            let beacon_factor = if bracketing_count == 0 || mean_beacon_strength <= 0.0 {
-                0.0
-            } else {
-                (bracketing_sum / bracketing_count as f64 / mean_beacon_strength).clamp(0.0, 1.0)
-            };
-            let drift_factor = soft_factor(
-                slide.end_velocity_residual,
-                self.config.degradation.drift_residual_tol,
-            );
-            let mut report = SlideReport {
-                inertial: *slide,
-                phase,
-                accepted,
-                rejection,
-                confidence: SlideConfidence::new(beacon_factor, sfo_factor, drift_factor),
-                dropped: false,
-                tdoa: None,
-                fix: None,
-            };
-            if accepted {
-                match augmented_tdoa_with(
-                    &self.arr_left,
-                    &self.arr_right,
-                    pre,
-                    post,
-                    period.period,
-                    self.config.speed_of_sound,
-                    self.config.beacons_per_side,
+            r_lo?;
+            r_hi?;
+        } else {
+            for idx in 0..n {
+                let mut report = SlideReport::placeholder();
+                process_slide(
+                    &ctx,
+                    idx,
                     &mut self.tdoa_scratch,
-                ) {
-                    Ok(tdoa) => {
-                        report.tdoa = Some(tdoa);
-                        if let Ok(geometry) =
-                            slide_geometry(slide.distance, self.config.mic_separation, &tdoa)
-                        {
-                            if localize_with(
-                                std::slice::from_ref(&geometry),
-                                self.config.aggregation,
-                                &mut self.loc_scratch,
-                            )
-                            .is_ok()
-                            {
-                                // Plausibility gate: an estimate past any
-                                // indoor range means the measurement pair
-                                // carried no usable curvature — drop it.
-                                report.fix =
-                                    self.loc_scratch.fixes().first().copied().filter(|f| {
-                                        f.solution.position.y <= self.config.max_plausible_range
-                                    });
-                            }
-                        }
-                    }
-                    Err(HyperEarError::InsufficientBeacons { .. }) => {
-                        // Slide unusable (beacons masked); keep the report.
-                    }
-                    Err(e) => return Err(e),
-                }
+                    &mut self.loc_scratch,
+                    &mut report,
+                )?;
+                out.slides.push(report);
             }
-            out.slides.push(report);
         }
+        let rejected = out.slides.iter().filter(|r| !r.accepted).count();
 
         // ---- Aggregation per phase. -----------------------------------------------
         let mut upper = None;
@@ -904,6 +982,146 @@ impl SessionEngine {
         out.projected = projected;
         Ok(())
     }
+}
+
+/// The read-only session context the per-slide stage needs: shared by
+/// every slide, borrowed immutably so two halves of the slide loop can
+/// run concurrently against it.
+struct SlideCtx<'a> {
+    config: &'a HyperEarConfig,
+    arr_left: &'a [BeaconArrival],
+    arr_right: &'a [BeaconArrival],
+    movements: &'a [(f64, f64)],
+    slides: &'a [SlideEstimate],
+    /// The SFO-corrected beacon period, seconds.
+    period: f64,
+    sfo_factor: f64,
+    audio_duration: f64,
+    mean_beacon_strength: f64,
+    first_stature_time: Option<f64>,
+}
+
+/// Processes one slide — quality gate, confidence factors, augmented
+/// TDoA, triangulation, plausibility gate — into an index-addressed
+/// output slot. Pure in the session context plus the slide index: the
+/// scratch arguments hold only intermediates, so any thread with any
+/// warm scratch pair produces bit-identical reports.
+fn process_slide(
+    ctx: &SlideCtx<'_>,
+    idx: usize,
+    tdoa_scratch: &mut TdoaScratch,
+    loc_scratch: &mut LocalizeScratch,
+    slot: &mut SlideReport,
+) -> Result<(), HyperEarError> {
+    let slide = &ctx.slides[idx];
+    let phase = match ctx.first_stature_time {
+        Some(t) if slide.start_time > t => StaturePhase::Lower,
+        _ => StaturePhase::Upper,
+    };
+    let (accepted, rejection) = if ctx.config.quality_gate_enabled {
+        match ctx
+            .config
+            .quality_gate
+            .check(slide.distance, slide.rotation_deg)
+        {
+            Ok(()) => (true, None),
+            Err(r) => (false, Some(r)),
+        }
+    } else {
+        (true, None)
+    };
+    let pre = window_before(ctx.movements, slide.start_time, ctx.config.beacon.duration);
+    let post = window_after(
+        ctx.movements,
+        slide.end_time,
+        ctx.audio_duration,
+        ctx.config.beacon.duration,
+    );
+    // Beacon confidence: mean strength of the arrivals bracketing
+    // this slide, relative to the session mean.
+    let mut bracketing_sum = 0.0;
+    let mut bracketing_count = 0usize;
+    for a in ctx.arr_left.iter().chain(ctx.arr_right.iter()) {
+        if a.time >= pre.0 && a.time <= post.1 {
+            bracketing_sum += a.strength;
+            bracketing_count += 1;
+        }
+    }
+    let beacon_factor = if bracketing_count == 0 || ctx.mean_beacon_strength <= 0.0 {
+        0.0
+    } else {
+        (bracketing_sum / bracketing_count as f64 / ctx.mean_beacon_strength).clamp(0.0, 1.0)
+    };
+    let drift_factor = soft_factor(
+        slide.end_velocity_residual,
+        ctx.config.degradation.drift_residual_tol,
+    );
+    *slot = SlideReport {
+        inertial: *slide,
+        phase,
+        accepted,
+        rejection,
+        confidence: SlideConfidence::new(beacon_factor, ctx.sfo_factor, drift_factor),
+        dropped: false,
+        tdoa: None,
+        fix: None,
+    };
+    if accepted {
+        match augmented_tdoa_with(
+            ctx.arr_left,
+            ctx.arr_right,
+            pre,
+            post,
+            ctx.period,
+            ctx.config.speed_of_sound,
+            ctx.config.beacons_per_side,
+            tdoa_scratch,
+        ) {
+            Ok(tdoa) => {
+                slot.tdoa = Some(tdoa);
+                if let Ok(geometry) =
+                    slide_geometry(slide.distance, ctx.config.mic_separation, &tdoa)
+                {
+                    if localize_with(
+                        std::slice::from_ref(&geometry),
+                        ctx.config.aggregation,
+                        loc_scratch,
+                    )
+                    .is_ok()
+                    {
+                        // Plausibility gate: an estimate past any
+                        // indoor range means the measurement pair
+                        // carried no usable curvature — drop it.
+                        slot.fix =
+                            loc_scratch.fixes().first().copied().filter(|f| {
+                                f.solution.position.y <= ctx.config.max_plausible_range
+                            });
+                    }
+                }
+            }
+            Err(HyperEarError::InsufficientBeacons { .. }) => {
+                // Slide unusable (beacons masked); keep the report.
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Processes a contiguous run of slides starting at `first` into the
+/// matching output slots, stopping at the first error (by index) like
+/// the sequential loop.
+fn process_slides(
+    ctx: &SlideCtx<'_>,
+    first: usize,
+    slots: &mut [SlideReport],
+    tdoa_scratch: &mut TdoaScratch,
+    loc_scratch: &mut LocalizeScratch,
+) -> Result<(), HyperEarError> {
+    for (offset, slot) in slots.iter_mut().enumerate() {
+        process_slide(ctx, first + offset, tdoa_scratch, loc_scratch, slot)?;
+    }
+    Ok(())
 }
 
 /// A soft confidence factor in `(0, 1]`: 1 at zero residual, 0.5 at the

@@ -7,8 +7,9 @@
 //! so a full one-second stereo recording is cheap to scan.
 
 use crate::fft::try_next_pow2;
-use crate::plan::{DspScratch, PlanCache, RealFftPlan};
+use crate::plan::{shared_real_plan, DspScratch, PlanCache, RealFftPlan};
 use crate::{Complex, DspError};
+use std::sync::Arc;
 
 fn validate_xcorr_inputs(signal: &[f64], template: &[f64]) -> Result<(), DspError> {
     if signal.is_empty() {
@@ -317,7 +318,9 @@ impl MatchedFilter {
 /// how long the signal is.
 #[derive(Debug, Clone)]
 pub(crate) struct OverlapSave {
-    plan: RealFftPlan,
+    /// Shared, read-only FFT tables for the block size: every engine at
+    /// one block length in the process points at the same plan.
+    plan: Arc<RealFftPlan>,
     /// Template half-spectrum at `block_len` (not conjugated).
     template_spec: Vec<Complex>,
     template_len: usize,
@@ -343,7 +346,7 @@ impl OverlapSave {
                 ),
             ));
         }
-        let plan = RealFftPlan::new(block_len)?;
+        let plan = shared_real_plan(block_len)?;
         let mut template_spec = Vec::with_capacity(plan.num_bins());
         plan.rfft_half_into(template, &mut template_spec)?;
         Ok(OverlapSave {

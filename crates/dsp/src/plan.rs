@@ -39,7 +39,8 @@
 
 use crate::{Complex, DspError};
 use std::cell::RefCell;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 thread_local! {
     /// The execution context behind the crate's one-shot wrappers.
@@ -556,6 +557,11 @@ impl PlanCache {
 
     /// The plan for length `n`, building and memoizing it on first use.
     ///
+    /// The lookup is two-level: the cache's own lock-free vector first,
+    /// then the process-wide [shared registry](shared_plan). A plan
+    /// another thread already built is therefore reused (`Arc`-cloned),
+    /// never rebuilt — twiddle and bit-reversal tables are immutable.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`FftPlan::new`].
@@ -563,13 +569,13 @@ impl PlanCache {
         if let Some(p) = self.plans.iter().find(|p| p.len() == n) {
             return Ok(Arc::clone(p));
         }
-        let plan = Arc::new(FftPlan::new(n)?);
+        let plan = shared_plan(n)?;
         self.plans.push(Arc::clone(&plan));
         Ok(plan)
     }
 
     /// The real-input plan for length `n`, building and memoizing it on
-    /// first use.
+    /// first use (two-level lookup, like [`PlanCache::plan`]).
     ///
     /// # Errors
     ///
@@ -578,7 +584,7 @@ impl PlanCache {
         if let Some(p) = self.real_plans.iter().find(|p| p.len() == n) {
             return Ok(Arc::clone(p));
         }
-        let plan = Arc::new(RealFftPlan::new(n)?);
+        let plan = shared_real_plan(n)?;
         self.real_plans.push(Arc::clone(&plan));
         Ok(plan)
     }
@@ -594,6 +600,91 @@ impl PlanCache {
     pub fn real_size_count(&self) -> usize {
         self.real_plans.len()
     }
+}
+
+/// The process-wide table of immutable plan tables behind every
+/// [`PlanCache`]: twiddle factors, bit-reversal permutations and packed
+/// real-FFT split tables are read-only after construction, so parallel
+/// workers share one `Arc` per size instead of each rebuilding (and
+/// separately storing) identical tables.
+struct SharedPlans {
+    plans: Vec<Arc<FftPlan>>,
+    real_plans: Vec<Arc<RealFftPlan>>,
+}
+
+static SHARED_PLANS: OnceLock<Mutex<SharedPlans>> = OnceLock::new();
+/// Requests served from an already-built shared table (cross-thread or
+/// cross-cache reuse).
+static SHARED_HITS: AtomicU64 = AtomicU64::new(0);
+/// Requests that had to build a fresh table.
+static SHARED_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn shared_tables() -> &'static Mutex<SharedPlans> {
+    SHARED_PLANS.get_or_init(|| {
+        Mutex::new(SharedPlans {
+            plans: Vec::new(),
+            real_plans: Vec::new(),
+        })
+    })
+}
+
+/// The process-shared plan for length `n`, building it on first use.
+///
+/// Construction happens under the registry lock, so concurrent first
+/// requests for one size build its tables exactly once. Plans are built
+/// by [`FftPlan::new`] and therefore bit-identical to privately built
+/// ones — sharing never changes numerics.
+///
+/// # Errors
+///
+/// Same conditions as [`FftPlan::new`].
+pub fn shared_plan(n: usize) -> Result<Arc<FftPlan>, DspError> {
+    let mut tables = shared_tables()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if let Some(p) = tables.plans.iter().find(|p| p.len() == n) {
+        SHARED_HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(Arc::clone(p));
+    }
+    let plan = Arc::new(FftPlan::new(n)?);
+    SHARED_MISSES.fetch_add(1, Ordering::Relaxed);
+    tables.plans.push(Arc::clone(&plan));
+    Ok(plan)
+}
+
+/// The process-shared real-input plan for length `n` (see
+/// [`shared_plan`]).
+///
+/// # Errors
+///
+/// Same conditions as [`RealFftPlan::new`].
+pub fn shared_real_plan(n: usize) -> Result<Arc<RealFftPlan>, DspError> {
+    let mut tables = shared_tables()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if let Some(p) = tables.real_plans.iter().find(|p| p.len() == n) {
+        SHARED_HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(Arc::clone(p));
+    }
+    let plan = Arc::new(RealFftPlan::new(n)?);
+    SHARED_MISSES.fetch_add(1, Ordering::Relaxed);
+    tables.real_plans.push(Arc::clone(&plan));
+    Ok(plan)
+}
+
+/// Cumulative count of plan requests served from the shared registry
+/// without building anything — the observable proof that parallel
+/// workers reuse tables instead of rebuilding them.
+#[must_use]
+pub fn shared_plan_hits() -> u64 {
+    SHARED_HITS.load(Ordering::Relaxed)
+}
+
+/// Cumulative count of plan requests that built a fresh table (one per
+/// distinct size per process, regardless of thread count).
+#[must_use]
+pub fn shared_plan_misses() -> u64 {
+    SHARED_MISSES.load(Ordering::Relaxed)
 }
 
 /// A reusable buffer arena for the planned DSP paths.
@@ -798,5 +889,57 @@ mod tests {
         assert_eq!(scratch.capacity_bytes(), 0);
         scratch.c1.reserve(16);
         assert!(scratch.capacity_bytes() >= 16 * std::mem::size_of::<Complex>());
+    }
+
+    #[test]
+    fn caches_share_immutable_tables_across_threads() {
+        // Deliberately unusual sizes so parallel sibling tests (which
+        // share the process-wide registry) cannot interfere with the
+        // identity assertions.
+        let n = 1 << 13;
+        let from_threads: Vec<(Arc<FftPlan>, Arc<RealFftPlan>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut cache = PlanCache::new();
+                        (cache.plan(n).unwrap(), cache.real_plan(n).unwrap())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (p, rp) in &from_threads[1..] {
+            assert!(
+                Arc::ptr_eq(p, &from_threads[0].0),
+                "complex tables must be one shared allocation"
+            );
+            assert!(
+                Arc::ptr_eq(rp, &from_threads[0].1),
+                "real tables must be one shared allocation"
+            );
+        }
+        // The hit counter observes the reuse: of the 8 requests above at
+        // most 2 built tables, so at least 6 were shared-table hits.
+        let before = shared_plan_hits();
+        let mut cache = PlanCache::new();
+        let again = cache.plan(n).unwrap();
+        assert!(Arc::ptr_eq(&again, &from_threads[0].0));
+        assert!(
+            shared_plan_hits() > before,
+            "a fresh cache's first request for a known size must count as a shared hit"
+        );
+        assert!(
+            shared_plan_misses() >= 2,
+            "both table kinds were built once"
+        );
+        // A second request from the *same* cache is served locally: the
+        // shared counter must not move.
+        let local_before = shared_plan_hits();
+        let _ = cache.plan(n).unwrap();
+        assert_eq!(
+            shared_plan_hits(),
+            local_before,
+            "local fast path must not touch the registry"
+        );
     }
 }

@@ -10,6 +10,8 @@
 //! - [`bench`]: a warmup + median/p95 micro-benchmark harness.
 //! - [`alloc_counter`]: an allocation-counting global allocator for
 //!   zero-allocation hot-path tests.
+//! - [`pool`]: a work-stealing thread pool with deterministic,
+//!   index-addressed parallel primitives.
 //!
 //! Everything here is deliberately small: each module implements only
 //! what the simulation, pipeline, and experiment crates actually use,
@@ -27,6 +29,7 @@
 pub mod alloc_counter;
 pub mod bench;
 pub mod json;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 

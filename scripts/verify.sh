@@ -11,12 +11,13 @@
 # must come back as a typed Ok/Degraded/Failed outcome — a panic or a
 # sim-layer error fails the gate.
 #
-# The --bench tier smoke-runs the DSP kernel bench suite with a minimal
-# sample budget. It is not a performance gate — timings on a shared
-# machine are noise at 3 samples — but the suite's counting allocator
-# makes it a *steady-state allocation* gate: any bench registered as
+# The --bench tier smoke-runs the DSP kernel and batch-session bench
+# suites with a minimal sample budget. Timings on a shared machine are
+# noise at this budget, but the suites' counting allocator makes them a
+# *steady-state allocation* gate: any bench registered as
 # allocation-free that allocates per iteration panics in
-# `Suite::finish`, failing this script.
+# `Suite::finish`, failing this script. On hosts with >= 4 CPUs the
+# batch suite additionally asserts > 1.3x multi-thread speedup.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,8 +37,15 @@ cargo build --release
 echo "== cargo test -q (root package) =="
 cargo test -q
 
-echo "== cargo test --workspace -q =="
-cargo test --workspace -q
+# The workspace suite runs under both a forced-sequential and a forced-
+# parallel pool so the determinism pins (batch output bit-identical to
+# sequential execution) are exercised on both code paths even when the
+# host has one core.
+echo "== cargo test --workspace -q (HYPEREAR_THREADS=1) =="
+HYPEREAR_THREADS=1 cargo test --workspace -q
+
+echo "== cargo test --workspace -q (HYPEREAR_THREADS=4) =="
+HYPEREAR_THREADS=4 cargo test --workspace -q
 
 # Experiment smoke: the cheapest analytic reproduction plus one figure
 # sweep, in --fast mode, so a pipeline regression that unit tests miss
@@ -50,6 +58,33 @@ if [ "$RUN_BENCH" -eq 1 ]; then
     echo "== bench smoke (dsp kernels, 3 samples, allocation gate) =="
     HYPEREAR_BENCH_SAMPLES=3 HYPEREAR_BENCH_SAMPLE_MS=5 HYPEREAR_BENCH_WARMUP_MS=20 \
         cargo bench -p hyperear-bench --bench dsp_kernels
+
+    # Batch smoke: the suite's allocation gate verifies a warm
+    # BatchEngine batch allocates nothing at any thread count; when the
+    # host actually has >= 4 CPUs, additionally assert the N-thread batch
+    # beats the 1-thread batch by > 1.3x (on fewer cores the multi-thread
+    # rows measure scheduling overhead, and a speedup assertion would be
+    # asserting on noise).
+    echo "== bench smoke (batch sessions, allocation gate) =="
+    BATCH_JSON_DIR="$(mktemp -d)"
+    HYPEREAR_BENCH_JSON_DIR="$BATCH_JSON_DIR" \
+    HYPEREAR_BENCH_SAMPLES=5 HYPEREAR_BENCH_SAMPLE_MS=20 HYPEREAR_BENCH_WARMUP_MS=50 \
+        cargo bench -p hyperear-bench --bench batch_session
+    NPROC="$( (command -v nproc >/dev/null 2>&1 && nproc) || echo 1 )"
+    if [ "$NPROC" -ge 4 ]; then
+        # Result order in the report is threads_1, threads_2, threads_N.
+        read -r T1 TN <<<"$(grep -o '"median_ns":[0-9.]*' "$BATCH_JSON_DIR/batch_session.json" \
+            | cut -d: -f2 | awk 'NR==1{a=$1} NR==3{print a, $1}')"
+        SPEEDUP="$(awk -v a="$T1" -v b="$TN" 'BEGIN{printf "%.2f", a/b}')"
+        echo "batch speedup at ${NPROC} threads: ${SPEEDUP}x"
+        if ! awk -v a="$T1" -v b="$TN" 'BEGIN{exit !(a/b > 1.3)}'; then
+            echo "BENCH TIER FAILED: batch speedup ${SPEEDUP}x <= 1.3x at ${NPROC} threads" >&2
+            exit 1
+        fi
+    else
+        echo "host has ${NPROC} CPU(s) < 4; skipping multi-thread speedup assertion"
+    fi
+    rm -rf "$BATCH_JSON_DIR"
 fi
 
 if [ "$RUN_FAULTS" -eq 1 ]; then

@@ -11,7 +11,7 @@
 use crate::config::{HyperEarConfig, Interpolation};
 use crate::HyperEarError;
 use hyperear_dsp::chirp::{Chirp, ChirpShape};
-use hyperear_dsp::correlate::StreamingMatchedFilter;
+use hyperear_dsp::correlate::{ChunkFeed, StreamingMatchedFilter};
 use hyperear_dsp::filter::{FirFilter, ZeroPhaseFir};
 use hyperear_dsp::interpolate::{parabolic_peak, sinc_peak};
 use hyperear_dsp::peak::{find_peaks_into, noise_floor_with, Peak, PeakConfig};
@@ -175,16 +175,40 @@ impl DetectorCore {
         };
         self.filter
             .correlate_normalized_into(signal, &mut scratch.scratch, &mut scratch.corr)?;
+        self.arrivals_from_corr(
+            &scratch.corr,
+            &mut scratch.mags,
+            &mut scratch.peaks_scratch,
+            &mut scratch.peaks,
+            out,
+        )
+    }
+
+    /// The post-correlation half of detection — envelope, noise floor,
+    /// two-part threshold, peak picking, sub-sample interpolation — over
+    /// an already-computed normalized correlation. Shared verbatim by the
+    /// one-shot path ([`DetectorCore::detect_with`]) and the incremental
+    /// path ([`StreamingDetector::finish_into`]), so the two produce
+    /// bit-identical arrivals from bit-identical correlations.
+    fn arrivals_from_corr(
+        &self,
+        corr: &[f64],
+        mags: &mut Vec<f64>,
+        peaks_scratch: &mut Vec<Peak>,
+        peaks: &mut Vec<Peak>,
+        out: &mut Vec<BeaconArrival>,
+    ) -> Result<(), HyperEarError> {
+        out.clear();
         // Envelope detection strips the carrier ripple of high-band
         // beacons (see `DetectionConfig::envelope_detection`).
         let env_storage;
         let corr: &[f64] = if self.envelope_detection {
-            env_storage = hyperear_dsp::envelope::envelope(&scratch.corr)?;
+            env_storage = hyperear_dsp::envelope::envelope(corr)?;
             &env_storage
         } else {
-            &scratch.corr
+            corr
         };
-        let floor = noise_floor_with(corr, &mut scratch.mags)?;
+        let floor = noise_floor_with(corr, mags)?;
         let peak_max = corr.iter().fold(0.0f64, |m, &v| m.max(v));
         // Two-part threshold: beacons must clear the statistical noise
         // floor AND be within an order of magnitude of the session's
@@ -194,11 +218,11 @@ impl DetectorCore {
         find_peaks_into(
             corr,
             &PeakConfig::new(threshold, self.min_spacing.max(1))?,
-            &mut scratch.peaks_scratch,
-            &mut scratch.peaks,
+            peaks_scratch,
+            peaks,
         )?;
-        out.reserve(scratch.peaks.len());
-        for p in &scratch.peaks {
+        out.reserve(peaks.len());
+        for p in peaks.iter() {
             let (pos, value) = match self.interpolation {
                 Interpolation::None => (p.index as f64, p.value),
                 Interpolation::Parabolic => match parabolic_peak(corr, p.index) {
@@ -322,6 +346,249 @@ impl BeaconDetector {
         out: &mut Vec<BeaconArrival>,
     ) -> Result<(), HyperEarError> {
         self.core.detect_with(channel, &mut self.scratch, out)
+    }
+}
+
+/// Incremental beacon detection over chunked audio: the online front end
+/// of a [`DetectorCore`].
+///
+/// Audio arrives in chunks of any size via [`StreamingDetector::push`];
+/// each chunk flows through the band-pass and matched-filter overlap-save
+/// engines *as it arrives* (chunk feeds keep per-block FFT cost amortized
+/// and the transform working set at one block), and the resulting
+/// normalized correlation lags accumulate in a buffer preallocated to a
+/// hard `max_samples` cap. [`StreamingDetector::finish_into`] then runs
+/// the exact threshold/peak stage of the one-shot detector over the
+/// accumulated correlation.
+///
+/// # Equivalence
+///
+/// Because chunk feeds assemble bit-identical FFT blocks regardless of
+/// chunking, the retained correlation — and therefore every emitted
+/// [`BeaconArrival`] — is **bit-identical** to
+/// [`DetectorCore::detect_with`] on the concatenated capture, for any
+/// chunk sizes.
+///
+/// # Bounded memory
+///
+/// Every buffer is preallocated from `max_samples` and the core's block
+/// geometry at construction; pushing more total samples than
+/// `max_samples` is a typed [`HyperEarError::CapacityExceeded`], so the
+/// working set is a function of configuration, never of offered load.
+#[derive(Debug, Clone)]
+pub struct StreamingDetector {
+    core: std::sync::Arc<DetectorCore>,
+    /// Band-pass ingestion state (present iff the core has a band-pass).
+    fir_feed: Option<ChunkFeed>,
+    mf_feed: ChunkFeed,
+    scratch: DspScratch,
+    /// Filtered samples emitted by the band-pass for the current chunk.
+    filtered_burst: Vec<f64>,
+    /// The accumulated normalized correlation (capacity `max_samples`).
+    corr: Vec<f64>,
+    mags: Vec<f64>,
+    peaks: Vec<Peak>,
+    peaks_scratch: Vec<Peak>,
+    max_samples: usize,
+    pushed: usize,
+    finished: bool,
+}
+
+impl StreamingDetector {
+    /// Builds an incremental detector over a shared core, provisioned for
+    /// captures of at most `max_samples` samples per channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] if `max_samples` is
+    /// zero or smaller than the core's chirp template (no capture that
+    /// short can be correlated).
+    pub fn new(
+        core: std::sync::Arc<DetectorCore>,
+        max_samples: usize,
+    ) -> Result<Self, HyperEarError> {
+        if max_samples < core.filter.template_len() {
+            return Err(HyperEarError::invalid(
+                "max_samples",
+                format!(
+                    "capacity {max_samples} cannot hold one chirp template ({})",
+                    core.filter.template_len()
+                ),
+            ));
+        }
+        let fir_feed = core.band_pass.as_ref().map(ZeroPhaseFir::chunk_feed);
+        let mf_feed = core.filter.chunk_feed();
+        Ok(StreamingDetector {
+            fir_feed,
+            mf_feed,
+            scratch: DspScratch::new(),
+            filtered_burst: Vec::new(),
+            corr: Vec::with_capacity(max_samples),
+            mags: Vec::with_capacity(max_samples),
+            peaks: Vec::new(),
+            peaks_scratch: Vec::new(),
+            max_samples,
+            pushed: 0,
+            finished: false,
+            core,
+        })
+    }
+
+    /// The shared read-only core.
+    #[must_use]
+    pub fn core(&self) -> &std::sync::Arc<DetectorCore> {
+        &self.core
+    }
+
+    /// The configured per-capture sample capacity.
+    #[must_use]
+    pub fn max_samples(&self) -> usize {
+        self.max_samples
+    }
+
+    /// Samples ingested since construction or the last reset.
+    #[must_use]
+    pub fn pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Whether [`StreamingDetector::finish_into`] has run for the current
+    /// stream.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Ingests one audio chunk (any length; empty chunks are no-ops).
+    ///
+    /// # Errors
+    ///
+    /// - [`HyperEarError::CapacityExceeded`] when the chunk would push
+    ///   the capture past `max_samples` (nothing is ingested),
+    /// - [`HyperEarError::InvalidParameter`] when the stream was already
+    ///   finished (reset first),
+    /// - propagated DSP errors.
+    pub fn push(&mut self, chunk: &[f64]) -> Result<(), HyperEarError> {
+        if self.finished {
+            return Err(HyperEarError::invalid(
+                "stream",
+                "push after finish; call reset() to start a new capture",
+            ));
+        }
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let needed = self.pushed + chunk.len();
+        if needed > self.max_samples {
+            return Err(HyperEarError::CapacityExceeded {
+                what: "audio samples",
+                needed,
+                capacity: self.max_samples,
+            });
+        }
+        match (&self.core.band_pass, &mut self.fir_feed) {
+            (Some(bp), Some(feed)) => {
+                self.filtered_burst.clear();
+                bp.push_chunk_into(feed, chunk, &mut self.scratch, &mut self.filtered_burst)?;
+                self.core.filter.push_chunk_normalized_into(
+                    &mut self.mf_feed,
+                    &self.filtered_burst,
+                    &mut self.scratch,
+                    &mut self.corr,
+                )?;
+            }
+            _ => {
+                self.core.filter.push_chunk_normalized_into(
+                    &mut self.mf_feed,
+                    chunk,
+                    &mut self.scratch,
+                    &mut self.corr,
+                )?;
+            }
+        }
+        self.pushed = needed;
+        Ok(())
+    }
+
+    /// Ends the capture: flushes both overlap-save feeds and runs the
+    /// one-shot threshold/peak/interpolation stage over the accumulated
+    /// correlation, leaving the arrivals in `out` (cleared and refilled).
+    /// The detector is then finished until [`StreamingDetector::reset`].
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`DetectorCore::detect_with`] on the concatenated capture:
+    /// a typed DSP error for an empty or shorter-than-template capture,
+    /// plus [`HyperEarError::InvalidParameter`] for a double finish.
+    pub fn finish_into(&mut self, out: &mut Vec<BeaconArrival>) -> Result<(), HyperEarError> {
+        if self.finished {
+            return Err(HyperEarError::invalid(
+                "stream",
+                "capture already finished; call reset() to start a new one",
+            ));
+        }
+        if self.pushed == 0 {
+            // Same typed error class the one-shot detector returns for an
+            // empty channel.
+            return Err(hyperear_dsp::DspError::EmptyInput {
+                what: if self.core.band_pass.is_some() {
+                    "FIR input"
+                } else {
+                    "xcorr signal"
+                },
+            }
+            .into());
+        }
+        if let (Some(bp), Some(feed)) = (&self.core.band_pass, &mut self.fir_feed) {
+            self.filtered_burst.clear();
+            bp.finish_chunks_into(feed, &mut self.scratch, &mut self.filtered_burst)?;
+            self.core.filter.push_chunk_normalized_into(
+                &mut self.mf_feed,
+                &self.filtered_burst,
+                &mut self.scratch,
+                &mut self.corr,
+            )?;
+        }
+        self.core.filter.finish_chunks_normalized_into(
+            &mut self.mf_feed,
+            &mut self.scratch,
+            &mut self.corr,
+        )?;
+        debug_assert_eq!(self.corr.len(), self.pushed);
+        self.finished = true;
+        self.core.arrivals_from_corr(
+            &self.corr,
+            &mut self.mags,
+            &mut self.peaks_scratch,
+            &mut self.peaks,
+            out,
+        )
+    }
+
+    /// Returns the detector to its initial state for a new capture,
+    /// keeping every buffer's capacity (no allocation).
+    pub fn reset(&mut self) {
+        if let Some(feed) = &mut self.fir_feed {
+            feed.reset();
+        }
+        self.mf_feed.reset();
+        self.corr.clear();
+        self.pushed = 0;
+        self.finished = false;
+    }
+
+    /// Bytes currently reserved by this detector's private buffers (the
+    /// shared core's immutable tables are not counted). Constant in the
+    /// number of samples ingested: everything is sized by `max_samples`
+    /// and the core's block geometry.
+    #[must_use]
+    pub fn working_set_bytes(&self) -> usize {
+        self.scratch.capacity_bytes()
+            + (self.corr.capacity() + self.mags.capacity() + self.filtered_burst.capacity())
+                * std::mem::size_of::<f64>()
+            + (self.peaks.capacity() + self.peaks_scratch.capacity()) * std::mem::size_of::<Peak>()
+            + self.fir_feed.as_ref().map_or(0, ChunkFeed::capacity_bytes)
+            + self.mf_feed.capacity_bytes()
     }
 }
 
@@ -481,6 +748,89 @@ mod tests {
         let mut d = detector(Interpolation::Parabolic);
         assert!(d.detect(&[]).is_err());
         assert_eq!(d.sample_rate(), FS);
+    }
+
+    #[test]
+    fn streaming_detector_is_bit_identical_to_one_shot() {
+        let positions: Vec<f64> = (0..5).map(|k| 2_000.0 + k as f64 * 8_820.0).collect();
+        let signal = render(&positions, 50_000, 0.3);
+        let mut d = detector(Interpolation::Parabolic);
+        let reference = d.detect(&signal).unwrap();
+        assert_eq!(reference.len(), 5);
+        let core = std::sync::Arc::clone(d.core());
+        let mut stream = StreamingDetector::new(core, signal.len()).unwrap();
+        let mut out = Vec::new();
+        for chunk_len in [1usize, 997, 4_096, signal.len()] {
+            for chunk in signal.chunks(chunk_len) {
+                stream.push(chunk).unwrap();
+            }
+            stream.finish_into(&mut out).unwrap();
+            assert_eq!(out, reference, "chunk_len {chunk_len}");
+            stream.reset();
+        }
+    }
+
+    #[test]
+    fn streaming_detector_enforces_capacity_and_stream_state() {
+        let d = detector(Interpolation::Parabolic);
+        let core = std::sync::Arc::clone(d.core());
+        let mut stream = StreamingDetector::new(std::sync::Arc::clone(&core), 10_000).unwrap();
+        assert_eq!(stream.max_samples(), 10_000);
+        // Over-capacity push is a typed error and ingests nothing.
+        stream.push(&vec![0.0; 6_000]).unwrap();
+        let err = stream.push(&vec![0.0; 6_000]).unwrap_err();
+        assert!(
+            matches!(err, HyperEarError::CapacityExceeded { .. }),
+            "{err}"
+        );
+        assert_eq!(stream.pushed(), 6_000);
+        // Empty chunks are free.
+        stream.push(&[]).unwrap();
+        let mut out = Vec::new();
+        stream.finish_into(&mut out).unwrap();
+        assert!(stream.is_finished());
+        // Double finish and push-after-finish are typed errors.
+        assert!(stream.finish_into(&mut out).is_err());
+        assert!(stream.push(&[1.0]).is_err());
+        // An empty capture mirrors the one-shot empty-channel error.
+        stream.reset();
+        assert!(stream.finish_into(&mut out).is_err());
+        // Capacity too small for even one template is rejected up front.
+        assert!(StreamingDetector::new(core, 3).is_err());
+    }
+
+    #[test]
+    fn streaming_detector_working_set_is_ingestion_independent() {
+        let positions: Vec<f64> = (0..3).map(|k| 2_000.0 + k as f64 * 8_820.0).collect();
+        let signal = render(&positions, 30_000, 0.3);
+        let d = detector(Interpolation::Parabolic);
+        let mut stream = StreamingDetector::new(std::sync::Arc::clone(d.core()), 120_000).unwrap();
+        let mut out = Vec::new();
+        // Warm on the short capture.
+        for chunk in signal.chunks(1_000) {
+            stream.push(chunk).unwrap();
+        }
+        stream.finish_into(&mut out).unwrap();
+        stream.reset();
+        let warm = stream.working_set_bytes();
+        assert!(warm >= 2 * 120_000 * std::mem::size_of::<f64>());
+        // A 4x longer capture (same content plus silence) grows nothing.
+        for round in 0..4 {
+            for chunk in signal.chunks(777) {
+                if round == 0 {
+                    stream.push(chunk).unwrap();
+                } else {
+                    stream.push(&vec![0.0; chunk.len()]).unwrap();
+                }
+            }
+        }
+        stream.finish_into(&mut out).unwrap();
+        assert_eq!(
+            stream.working_set_bytes(),
+            warm,
+            "working set must depend on capacity, not samples ingested"
+        );
+        stream.reset();
     }
 
     #[test]

@@ -30,6 +30,17 @@ pub enum HyperEarError {
         /// Slides rejected by the quality gate.
         rejected: usize,
     },
+    /// A bounded streaming buffer would have exceeded its configured
+    /// capacity — the typed form of "this capture is longer than the
+    /// service was provisioned for".
+    CapacityExceeded {
+        /// The buffer that overflowed (e.g. `"audio samples"`).
+        what: &'static str,
+        /// Total elements the ingestion would have reached.
+        needed: usize,
+        /// The configured hard limit.
+        capacity: usize,
+    },
     /// A DSP primitive failed.
     Dsp(DspError),
     /// A geometric solver failed.
@@ -55,6 +66,14 @@ impl fmt::Display for HyperEarError {
             HyperEarError::NoUsableSlides { detected, rejected } => write!(
                 f,
                 "no usable slides: {detected} detected, {rejected} rejected by the quality gate"
+            ),
+            HyperEarError::CapacityExceeded {
+                what,
+                needed,
+                capacity,
+            } => write!(
+                f,
+                "capacity exceeded for {what}: needed {needed}, capacity {capacity}"
             ),
             HyperEarError::Dsp(e) => write!(f, "dsp error: {e}"),
             HyperEarError::Geom(e) => write!(f, "geometry error: {e}"),

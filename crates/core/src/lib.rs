@@ -73,6 +73,7 @@ pub mod pipeline;
 pub mod ple;
 pub mod sdf;
 pub mod sfo;
+pub mod stream;
 pub mod tdoa;
 
 pub use error::HyperEarError;

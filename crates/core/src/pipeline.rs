@@ -539,13 +539,24 @@ impl SessionEngine {
     /// steady-state heap allocation. This is the per-item primitive
     /// batch processing is built on.
     pub fn run_monitored_into(&mut self, input: &SessionInput<'_>, slot: &mut SessionOutcome) {
+        self.monitored_with(slot, |engine, result| engine.run_into(input, result));
+    }
+
+    /// The monitored-contract core shared by the one-shot and streaming
+    /// front ends: scavenges the slot's previous result storage, runs
+    /// `f` to fill it, and grades the outcome (or converts the typed
+    /// error into `Failed` with diagnostics where available).
+    pub(crate) fn monitored_with<F>(&mut self, slot: &mut SessionOutcome, f: F)
+    where
+        F: FnOnce(&mut Self, &mut SessionResult) -> Result<(), HyperEarError>,
+    {
         // Reclaim the previous outcome's result storage (slide reports,
         // their capacity) rather than allocating a fresh one.
         let mut result = match std::mem::replace(slot, SessionOutcome::idle()) {
             SessionOutcome::Ok(result) | SessionOutcome::Degraded { result, .. } => result,
             SessionOutcome::Failed { .. } => SessionResult::empty(),
         };
-        *slot = match self.run_into(input, &mut result) {
+        *slot = match f(self, &mut result) {
             Err(reason) => {
                 let diagnostics = match &reason {
                     HyperEarError::NoUsableSlides { detected, rejected } => {
@@ -753,6 +764,50 @@ impl SessionEngine {
             detector.detect_into(input.left, &mut self.arr_left)?;
             detector.detect_into(input.right, &mut self.arr_right)?;
         }
+        self.finish_from_arrivals(
+            input.audio_sample_rate,
+            input.left.len(),
+            input.imu_sample_rate,
+            input.accel,
+            input.gyro,
+            out,
+        )
+    }
+
+    /// Mutable access to the per-channel arrival lists, for front ends
+    /// that run detection *outside* the engine (the streaming session
+    /// path fills these from a [`crate::asp::StreamingDetector`] and then
+    /// calls [`SessionEngine::finish_from_arrivals`]).
+    pub(crate) fn arrivals_mut(&mut self) -> (&mut Vec<BeaconArrival>, &mut Vec<BeaconArrival>) {
+        (&mut self.arr_left, &mut self.arr_right)
+    }
+
+    /// Everything downstream of beacon detection: inertial analysis,
+    /// rotation correction, SFO estimation, per-slide TDoA and
+    /// triangulation, aggregation and projection. Reads the arrival lists
+    /// previously left in the engine (by [`SessionEngine::run_into`]'s
+    /// detection stage or via [`SessionEngine::arrivals_mut`]) — it never
+    /// touches the audio samples themselves, which is what lets streaming
+    /// ingestion discard PCM as soon as it has been correlated.
+    pub(crate) fn finish_from_arrivals(
+        &mut self,
+        audio_sample_rate: f64,
+        audio_samples: usize,
+        imu_sample_rate: f64,
+        accel: &[Vec3],
+        gyro: &[Vec3],
+        out: &mut SessionResult,
+    ) -> Result<(), HyperEarError> {
+        out.slides.clear();
+        out.upper = None;
+        out.lower = None;
+        out.stature_drop = None;
+        out.projected = None;
+        let pool = self
+            .pool
+            .as_ref()
+            .filter(|p| p.threads() > 1)
+            .map(Arc::clone);
         if self.arr_left.len() < 2 || self.arr_right.len() < 2 {
             return Err(HyperEarError::InsufficientBeacons {
                 stage: "beacon detection",
@@ -763,16 +818,16 @@ impl SessionEngine {
 
         // ---- Inertial analysis (MSP + PDE). -------------------------------
         analyze_session_with(
-            input.accel,
-            input.gyro,
-            input.imu_sample_rate,
+            accel,
+            gyro,
+            imu_sample_rate,
             &self.config.inertial,
             &mut self.analyze_scratch,
             &mut self.analysis,
         )?;
 
         // ---- Movement timeline and stationary windows. --------------------
-        let audio_duration = input.left.len() as f64 / input.audio_sample_rate;
+        let audio_duration = audio_samples as f64 / audio_sample_rate;
         self.movements.clear();
         self.movements.extend(
             self.analysis
@@ -781,8 +836,8 @@ impl SessionEngine {
                 .map(|s| (s.start_time, s.end_time))
                 .chain(self.analysis.stature_changes.iter().map(|c| {
                     (
-                        c.segment.start as f64 / input.imu_sample_rate,
-                        c.segment.end as f64 / input.imu_sample_rate,
+                        c.segment.start as f64 / imu_sample_rate,
+                        c.segment.end as f64 / imu_sample_rate,
                     )
                 })),
         );
@@ -804,17 +859,17 @@ impl SessionEngine {
         // sign follows the speaker's side from Speaker Direction Finding.
         if self.config.rotation_correction {
             self.gyro_z.clear();
-            self.gyro_z.extend(input.gyro.iter().map(|g| g.z));
+            self.gyro_z.extend(gyro.iter().map(|g| g.z));
             // The LS-detrended yaw trace: constant offsets cancel in the
             // pre/post arrival differences, and detrending keeps residual
             // bias drift far below the correction's own scale.
-            yaw_trace_into(&self.gyro_z, input.imu_sample_rate, &mut self.yaw)?;
+            yaw_trace_into(&self.gyro_z, imu_sample_rate, &mut self.yaw)?;
             let sign = match self.config.speaker_side {
                 Side::Right => 1.0,
                 Side::Left => -1.0,
             };
             for a in &mut self.arr_right {
-                let yaw = yaw_at(&self.yaw, input.imu_sample_rate, a.time);
+                let yaw = yaw_at(&self.yaw, imu_sample_rate, a.time);
                 a.time +=
                     sign * self.config.mic_separation * yaw.sin() / self.config.speed_of_sound;
             }
@@ -865,7 +920,7 @@ impl SessionEngine {
             .analysis
             .stature_changes
             .first()
-            .map(|c| c.segment.start as f64 / input.imu_sample_rate);
+            .map(|c| c.segment.start as f64 / imu_sample_rate);
         let stature_drop = self
             .analysis
             .stature_changes

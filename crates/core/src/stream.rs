@@ -1,0 +1,1088 @@
+//! Real-time streaming session service.
+//!
+//! The one-shot [`crate::pipeline::SessionEngine`] wants the whole
+//! capture up front; a phone records PCM a few milliseconds at a time.
+//! This module closes that gap with an online front end that accepts
+//! audio in arbitrary-size chunks, runs matched-filter beacon detection
+//! incrementally (via [`crate::asp::StreamingDetector`], bit-identical
+//! to the one-shot detector for any chunking), and finishes each
+//! session through the exact same post-detection pipeline
+//! ([`SessionEngine::finish_from_arrivals`]) — so a streamed session's
+//! [`SessionOutcome`] is **equal** to the outcome of handing the whole
+//! capture to [`SessionEngine::run_monitored`].
+//!
+//! # Bounded memory
+//!
+//! Every per-session buffer is sized at [`StreamSession`] construction
+//! from [`StreamConfig`] and never grows afterwards: two fixed-capacity
+//! PCM ring buffers decouple the caller from the worker pool, the
+//! streaming detectors pre-reserve their correlation storage for
+//! `max_samples`, and IMU traces are capped at `max_imu_samples`. The
+//! working set is a function of the *configuration*, not of how many
+//! samples have been ingested — pinned by the allocation-gate test.
+//!
+//! # Backpressure and admission control
+//!
+//! Offered load above capacity is rejected with *typed* errors, never
+//! absorbed into unbounded queues:
+//!
+//! - [`AdmissionError::Busy`] — all session slots are occupied;
+//!   callers retry after an outcome is collected.
+//! - [`StreamError::Shed`] — a PCM chunk does not fit in the session's
+//!   ring; nothing is ingested (all-or-nothing), callers retry after
+//!   [`StreamService::pump`] drains the rings.
+//! - [`HyperEarError::CapacityExceeded`] — a capture exceeds the
+//!   provisioned `max_samples`/`max_imu_samples`; the session fails
+//!   sticky and reports the reason in its `Failed` outcome.
+//!
+//! # Determinism
+//!
+//! Shed and admission decisions happen on the caller's thread from
+//! caller-visible state, and each session's computation lives in
+//! session-owned buffers touched by one worker at a time, so a given
+//! call sequence produces identical outcomes *and identical shedding*
+//! at any pool width.
+//!
+//! ```
+//! use hyperear::config::HyperEarConfig;
+//! use hyperear::stream::{StreamConfig, StreamService};
+//! use hyperear_sim::{phone::PhoneModel, scenario::ScenarioBuilder};
+//! use hyperear_util::pool::Pool;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+//!     .speaker_range(3.0)
+//!     .slides(1)
+//!     .seed(7)
+//!     .render()?;
+//! let pool = Arc::new(Pool::new(2));
+//! let cfg = StreamConfig::for_pool(&pool);
+//! let mut svc = StreamService::new(HyperEarConfig::galaxy_s4(), cfg, pool)?;
+//!
+//! let id = svc.open(rec.audio.sample_rate, rec.imu.sample_rate)?;
+//! svc.push_imu(id, &rec.imu.accel, &rec.imu.gyro)?;
+//! for (l, r) in rec.audio.left.chunks(4096).zip(rec.audio.right.chunks(4096)) {
+//!     svc.push_audio(id, l, r)?;
+//!     svc.pump(); // drain rings into the detectors on the pool
+//! }
+//! let mut outcome = hyperear::pipeline::SessionOutcome::idle();
+//! svc.finish(id, &mut outcome)?;
+//! assert!(outcome.result().is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::asp::{DetectorCore, StreamingDetector};
+use crate::config::HyperEarConfig;
+use crate::pipeline::{SessionEngine, SessionOutcome};
+use crate::HyperEarError;
+use hyperear_geom::Vec3;
+use hyperear_util::pool::Pool;
+use std::fmt;
+use std::sync::Arc;
+
+/// Sizing for a [`StreamService`] and its sessions. Every limit is a
+/// hard bound fixed at construction; see the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Concurrent session slots. Opening beyond this sheds with
+    /// [`AdmissionError::Busy`].
+    pub max_sessions: usize,
+    /// Per-channel PCM ring capacity, samples. A push that does not fit
+    /// sheds with [`StreamError::Shed`].
+    pub ring_capacity: usize,
+    /// Longest accepted capture, samples per channel. Ingesting beyond
+    /// this fails the session with [`HyperEarError::CapacityExceeded`].
+    pub max_samples: usize,
+    /// Longest accepted IMU trace, samples.
+    pub max_imu_samples: usize,
+}
+
+impl StreamConfig {
+    /// A conservative sizing for `pool`: `8 × threads` session slots
+    /// (so offered load beyond that queues at admission, which is the
+    /// backpressure story, not silent memory growth), ~0.7 s of
+    /// 48 kHz audio per ring, 20 s captures, 30 s of 500 Hz IMU.
+    #[must_use]
+    pub fn for_pool(pool: &Pool) -> Self {
+        StreamConfig {
+            max_sessions: 8 * pool.threads(),
+            ring_capacity: 32_768,
+            max_samples: 960_000,
+            max_imu_samples: 15_000,
+        }
+    }
+
+    fn validate(&self) -> Result<(), HyperEarError> {
+        if self.max_sessions == 0 {
+            return Err(HyperEarError::invalid(
+                "max_sessions",
+                "need at least one session slot",
+            ));
+        }
+        if self.ring_capacity == 0 || self.max_samples == 0 || self.max_imu_samples == 0 {
+            return Err(HyperEarError::invalid(
+                "stream capacities",
+                "ring_capacity, max_samples and max_imu_samples must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Why [`StreamService::open`] refused a new session.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AdmissionError {
+    /// Every session slot is occupied; retry after collecting an
+    /// outcome.
+    Busy {
+        /// Sessions currently active.
+        active: usize,
+        /// Configured [`StreamConfig::max_sessions`].
+        capacity: usize,
+    },
+    /// The session parameters were invalid (bad sample rate, or the
+    /// detector for that rate could not be built).
+    Rejected(HyperEarError),
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Busy { active, capacity } => {
+                write!(f, "service busy: {active}/{capacity} sessions active")
+            }
+            AdmissionError::Rejected(e) => write!(f, "session rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdmissionError::Rejected(e) => Some(e),
+            AdmissionError::Busy { .. } => None,
+        }
+    }
+}
+
+impl From<HyperEarError> for AdmissionError {
+    fn from(e: HyperEarError) -> Self {
+        AdmissionError::Rejected(e)
+    }
+}
+
+/// Why a per-session call failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StreamError {
+    /// The chunk does not fit in the session's PCM ring right now;
+    /// nothing was ingested. Retry after [`StreamService::pump`].
+    Shed {
+        /// Samples offered per channel.
+        offered: usize,
+        /// Ring space free per channel.
+        free: usize,
+    },
+    /// The left and right chunks had different lengths.
+    ChannelMismatch {
+        /// Left chunk length.
+        left: usize,
+        /// Right chunk length.
+        right: usize,
+    },
+    /// The accel and gyro chunks had different lengths.
+    ImuMismatch {
+        /// Accelerometer chunk length.
+        accel: usize,
+        /// Gyroscope chunk length.
+        gyro: usize,
+    },
+    /// No session with this id is active (never opened, already
+    /// collected, or its slot was recycled).
+    UnknownSession,
+    /// The session already failed; the reason is sticky and will be the
+    /// `Failed` outcome's reason.
+    SessionFailed(HyperEarError),
+    /// Ingestion after [`StreamService::request_finish`].
+    FinishPending,
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Shed { offered, free } => {
+                write!(
+                    f,
+                    "chunk shed: offered {offered} samples, ring has {free} free"
+                )
+            }
+            StreamError::ChannelMismatch { left, right } => {
+                write!(f, "channel length mismatch: left {left}, right {right}")
+            }
+            StreamError::ImuMismatch { accel, gyro } => {
+                write!(f, "imu length mismatch: accel {accel}, gyro {gyro}")
+            }
+            StreamError::UnknownSession => write!(f, "unknown or already collected session"),
+            StreamError::SessionFailed(e) => write!(f, "session already failed: {e}"),
+            StreamError::FinishPending => write!(f, "session finish already requested"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::SessionFailed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Handle to an open streaming session. Ids are generation-checked:
+/// once the outcome is collected the slot's epoch advances and stale
+/// ids report [`StreamError::UnknownSession`] instead of aliasing a
+/// later session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId {
+    index: u32,
+    epoch: u32,
+}
+
+/// Fixed-capacity PCM ring buffer. Pushes are all-or-nothing (a chunk
+/// that does not fit is refused whole, so shedding never tears a
+/// chunk); draining consumes everything and leaves the head where the
+/// data ended, so sustained streaming continually exercises the wrap.
+#[derive(Debug)]
+struct PcmRing {
+    buf: Box<[f64]>,
+    head: usize,
+    len: usize,
+}
+
+impl PcmRing {
+    fn new(capacity: usize) -> Self {
+        PcmRing {
+            buf: vec![0.0; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn free(&self) -> usize {
+        self.buf.len() - self.len
+    }
+
+    /// Appends `data` if it fits; returns `false` (ingesting nothing)
+    /// otherwise.
+    fn push(&mut self, data: &[f64]) -> bool {
+        if data.len() > self.free() {
+            return false;
+        }
+        let cap = self.buf.len();
+        let tail = (self.head + self.len) % cap;
+        let first = data.len().min(cap - tail);
+        self.buf[tail..tail + first].copy_from_slice(&data[..first]);
+        self.buf[..data.len() - first].copy_from_slice(&data[first..]);
+        self.len += data.len();
+        true
+    }
+
+    /// The buffered samples in push order as up to two slices.
+    fn as_slices(&self) -> (&[f64], &[f64]) {
+        let cap = self.buf.len();
+        let first = self.len.min(cap - self.head);
+        (
+            &self.buf[self.head..self.head + first],
+            &self.buf[..self.len - first],
+        )
+    }
+
+    /// Marks everything consumed; the head advances past the drained
+    /// data (it does *not* reset to zero — see the type docs).
+    fn consume_all(&mut self) {
+        self.head = (self.head + self.len) % self.buf.len();
+        self.len = 0;
+    }
+
+    fn reset(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
+    fn capacity_bytes(&self) -> usize {
+        self.buf.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Where a session is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Accepting audio and IMU chunks.
+    Ingest,
+    /// Finish requested; the next [`StreamService::pump`] finalizes.
+    FinishRequested,
+    /// Outcome ready for [`StreamService::try_take_outcome`].
+    Done,
+}
+
+/// One streaming session's complete state: engine, detectors, rings,
+/// IMU storage, sticky failure and outcome. Owned by exactly one slot
+/// and touched by one worker at a time, which is what makes the
+/// service deterministic under any steal schedule.
+#[derive(Debug)]
+struct StreamSession {
+    engine: SessionEngine,
+    det_left: StreamingDetector,
+    det_right: StreamingDetector,
+    ring_left: PcmRing,
+    ring_right: PcmRing,
+    accel: Vec<Vec3>,
+    gyro: Vec<Vec3>,
+    audio_rate: f64,
+    imu_rate: f64,
+    /// Samples per channel accepted into the rings so far (the
+    /// caller-side capacity gate, so overflow is detected at push time
+    /// on the caller's thread, independent of pump cadence).
+    audio_accepted: usize,
+    failure: Option<HyperEarError>,
+    phase: Phase,
+    outcome: SessionOutcome,
+}
+
+impl StreamSession {
+    fn new(
+        config: &HyperEarConfig,
+        stream: &StreamConfig,
+        core: &Arc<DetectorCore>,
+    ) -> Result<Self, HyperEarError> {
+        Ok(StreamSession {
+            engine: SessionEngine::new(config.clone())?,
+            det_left: StreamingDetector::new(Arc::clone(core), stream.max_samples)?,
+            det_right: StreamingDetector::new(Arc::clone(core), stream.max_samples)?,
+            ring_left: PcmRing::new(stream.ring_capacity),
+            ring_right: PcmRing::new(stream.ring_capacity),
+            accel: Vec::with_capacity(stream.max_imu_samples),
+            gyro: Vec::with_capacity(stream.max_imu_samples),
+            audio_rate: 0.0,
+            imu_rate: 0.0,
+            audio_accepted: 0,
+            failure: None,
+            phase: Phase::Ingest,
+            outcome: SessionOutcome::idle(),
+        })
+    }
+
+    /// Rearms a parked session for a fresh capture, rebuilding the
+    /// detectors only if the sample rate (and thus the shared core)
+    /// changed.
+    fn reopen(
+        &mut self,
+        stream: &StreamConfig,
+        core: &Arc<DetectorCore>,
+        audio_rate: f64,
+        imu_rate: f64,
+    ) -> Result<(), HyperEarError> {
+        if !Arc::ptr_eq(self.det_left.core(), core) {
+            self.det_left = StreamingDetector::new(Arc::clone(core), stream.max_samples)?;
+            self.det_right = StreamingDetector::new(Arc::clone(core), stream.max_samples)?;
+        } else {
+            self.det_left.reset();
+            self.det_right.reset();
+        }
+        self.ring_left.reset();
+        self.ring_right.reset();
+        self.accel.clear();
+        self.gyro.clear();
+        self.audio_rate = audio_rate;
+        self.imu_rate = imu_rate;
+        self.audio_accepted = 0;
+        self.failure = None;
+        self.phase = Phase::Ingest;
+        Ok(())
+    }
+
+    /// Drains the rings into the detectors and, if a finish is pending,
+    /// runs the post-detection pipeline and grades the outcome. Runs on
+    /// a pool worker.
+    fn pump(&mut self) {
+        if self.failure.is_none() {
+            let (l1, l2) = self.ring_left.as_slices();
+            let (r1, r2) = self.ring_right.as_slices();
+            let fed = self
+                .det_left
+                .push(l1)
+                .and_then(|()| self.det_left.push(l2))
+                .and_then(|()| self.det_right.push(r1))
+                .and_then(|()| self.det_right.push(r2));
+            if let Err(e) = fed {
+                self.failure = Some(e);
+            }
+        }
+        self.ring_left.consume_all();
+        self.ring_right.consume_all();
+        if self.phase == Phase::FinishRequested {
+            self.finalize();
+            self.phase = Phase::Done;
+        }
+    }
+
+    /// Completes the session into `self.outcome` with the monitored
+    /// contract: detector flush → arrival lists → the exact one-shot
+    /// post-detection pipeline, or `Failed` with the sticky reason.
+    fn finalize(&mut self) {
+        let StreamSession {
+            engine,
+            det_left,
+            det_right,
+            accel,
+            gyro,
+            audio_rate,
+            imu_rate,
+            audio_accepted,
+            failure,
+            outcome,
+            ..
+        } = self;
+        let (audio_rate, imu_rate, samples) = (*audio_rate, *imu_rate, *audio_accepted);
+        engine.monitored_with(outcome, |e, result| {
+            if let Some(reason) = failure.take() {
+                return Err(reason);
+            }
+            let (arr_left, arr_right) = e.arrivals_mut();
+            det_left.finish_into(arr_left)?;
+            det_right.finish_into(arr_right)?;
+            e.finish_from_arrivals(audio_rate, samples, imu_rate, accel, gyro, result)
+        });
+    }
+
+    /// Bytes reserved across this session's reusable buffers.
+    fn working_set_bytes(&self) -> usize {
+        self.engine.working_set_bytes()
+            + self.det_left.working_set_bytes()
+            + self.det_right.working_set_bytes()
+            + self.ring_left.capacity_bytes()
+            + self.ring_right.capacity_bytes()
+            + self.accel.capacity() * std::mem::size_of::<Vec3>()
+            + self.gyro.capacity() * std::mem::size_of::<Vec3>()
+    }
+}
+
+/// One service slot: a generation counter plus the session occupying
+/// it (if any).
+#[derive(Debug)]
+struct Slot {
+    epoch: u32,
+    session: Option<Box<StreamSession>>,
+}
+
+/// A bounded-memory streaming session service over a work-stealing
+/// pool; see the [module docs](self) for the contract.
+#[derive(Debug)]
+pub struct StreamService {
+    config: HyperEarConfig,
+    stream: StreamConfig,
+    pool: Arc<Pool>,
+    slots: Vec<Slot>,
+    /// Indices of unoccupied slots.
+    free: Vec<u32>,
+    /// Recycled sessions awaiting reuse — their engines, detectors and
+    /// rings stay warm so reopening a session allocates nothing. Kept
+    /// boxed so a session moves between here and a [`Slot`] as one
+    /// pointer, never copying its multi-hundred-byte body.
+    #[allow(clippy::vec_box)]
+    parked: Vec<Box<StreamSession>>,
+    /// Shared detector cores by sample rate (template spectra and FFT
+    /// tables built once, shared by every session at that rate).
+    cores: Vec<(f64, Arc<DetectorCore>)>,
+    /// Per-participant contexts for [`Pool::parallel_update`]; the
+    /// sessions own all their state so the context is empty.
+    unit_ctxs: Vec<()>,
+}
+
+impl StreamService {
+    /// Creates a service with `stream` sizing over a shared pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] for an invalid
+    /// pipeline or stream configuration.
+    pub fn new(
+        config: HyperEarConfig,
+        stream: StreamConfig,
+        pool: Arc<Pool>,
+    ) -> Result<Self, HyperEarError> {
+        config.validate()?;
+        stream.validate()?;
+        let slots = (0..stream.max_sessions)
+            .map(|_| Slot {
+                epoch: 0,
+                session: None,
+            })
+            .collect();
+        let free = (0..stream.max_sessions as u32).rev().collect();
+        let unit_ctxs = vec![(); pool.threads()];
+        Ok(StreamService {
+            config,
+            stream,
+            pool,
+            slots,
+            free,
+            parked: Vec::with_capacity(stream.max_sessions),
+            cores: Vec::new(),
+            unit_ctxs,
+        })
+    }
+
+    /// The pipeline configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &HyperEarConfig {
+        &self.config
+    }
+
+    /// The stream sizing in use.
+    #[must_use]
+    pub fn stream_config(&self) -> &StreamConfig {
+        &self.stream
+    }
+
+    /// Sessions currently active (opened, outcome not yet collected).
+    #[must_use]
+    pub fn active(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Configured session capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Bytes reserved across every live and parked session's reusable
+    /// buffers — the steady-state footprint, independent of how many
+    /// samples have ever been ingested.
+    #[must_use]
+    pub fn working_set_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(|s| s.session.as_deref())
+            .chain(self.parked.iter().map(Box::as_ref))
+            .map(StreamSession::working_set_bytes)
+            .sum()
+    }
+
+    fn core_for(&mut self, sample_rate: f64) -> Result<Arc<DetectorCore>, HyperEarError> {
+        if let Some((_, core)) = self.cores.iter().find(|(rate, _)| *rate == sample_rate) {
+            return Ok(Arc::clone(core));
+        }
+        let core = Arc::new(DetectorCore::new(&self.config, sample_rate)?);
+        self.cores.push((sample_rate, Arc::clone(&core)));
+        Ok(core)
+    }
+
+    /// Opens a streaming session, recycling a parked session's warm
+    /// buffers when one is available.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Busy`] when every slot is occupied;
+    /// [`AdmissionError::Rejected`] for invalid sample rates (or a
+    /// detector build failure at a new rate).
+    pub fn open(&mut self, audio_rate: f64, imu_rate: f64) -> Result<SessionId, AdmissionError> {
+        if self.free.is_empty() {
+            return Err(AdmissionError::Busy {
+                active: self.active(),
+                capacity: self.capacity(),
+            });
+        }
+        // `is_finite && > 0` (not `<= 0`) so NaN rates are rejected too.
+        let positive = |rate: f64| rate.is_finite() && rate > 0.0;
+        if !positive(audio_rate) || !positive(imu_rate) {
+            return Err(AdmissionError::Rejected(HyperEarError::invalid(
+                "sample rates",
+                "audio and IMU sample rates must be positive",
+            )));
+        }
+        let core = self.core_for(audio_rate)?;
+        let session = match self.parked.pop() {
+            Some(mut s) => {
+                s.reopen(&self.stream, &core, audio_rate, imu_rate)?;
+                s
+            }
+            None => {
+                let mut s = Box::new(StreamSession::new(&self.config, &self.stream, &core)?);
+                s.audio_rate = audio_rate;
+                s.imu_rate = imu_rate;
+                s
+            }
+        };
+        let index = self.free.pop().expect("checked non-empty");
+        let slot = &mut self.slots[index as usize];
+        slot.session = Some(session);
+        Ok(SessionId {
+            index,
+            epoch: slot.epoch,
+        })
+    }
+
+    fn session_mut(&mut self, id: SessionId) -> Result<&mut StreamSession, StreamError> {
+        self.slots
+            .get_mut(id.index as usize)
+            .filter(|s| s.epoch == id.epoch)
+            .and_then(|s| s.session.as_deref_mut())
+            .ok_or(StreamError::UnknownSession)
+    }
+
+    /// Offers one stereo PCM chunk (any length, including empty) to the
+    /// session. All-or-nothing: on any error nothing is ingested.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Shed`] when the chunk does not fit the ring
+    /// (retry after [`StreamService::pump`]);
+    /// [`StreamError::ChannelMismatch`] for unequal chunk lengths;
+    /// [`StreamError::FinishPending`] after a finish was requested;
+    /// [`StreamError::SessionFailed`] once the session failed sticky —
+    /// including the push that overruns [`StreamConfig::max_samples`],
+    /// which fails the session with
+    /// [`HyperEarError::CapacityExceeded`].
+    pub fn push_audio(
+        &mut self,
+        id: SessionId,
+        left: &[f64],
+        right: &[f64],
+    ) -> Result<(), StreamError> {
+        let max_samples = self.stream.max_samples;
+        let session = self.session_mut(id)?;
+        if session.phase != Phase::Ingest {
+            return Err(StreamError::FinishPending);
+        }
+        if let Some(reason) = &session.failure {
+            return Err(StreamError::SessionFailed(reason.clone()));
+        }
+        if left.len() != right.len() {
+            return Err(StreamError::ChannelMismatch {
+                left: left.len(),
+                right: right.len(),
+            });
+        }
+        let needed = session.audio_accepted + left.len();
+        if needed > max_samples {
+            let reason = HyperEarError::CapacityExceeded {
+                what: "audio samples",
+                needed,
+                capacity: max_samples,
+            };
+            session.failure = Some(reason.clone());
+            return Err(StreamError::SessionFailed(reason));
+        }
+        let free = session.ring_left.free();
+        if left.len() > free {
+            return Err(StreamError::Shed {
+                offered: left.len(),
+                free,
+            });
+        }
+        let ok = session.ring_left.push(left) && session.ring_right.push(right);
+        debug_assert!(ok, "checked capacity above");
+        session.audio_accepted += left.len();
+        Ok(())
+    }
+
+    /// Appends IMU samples (equal-length accel and gyro chunks).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::ImuMismatch`] for unequal chunk lengths;
+    /// [`StreamError::FinishPending`] after a finish was requested;
+    /// [`StreamError::SessionFailed`] once failed sticky — including
+    /// the push that overruns [`StreamConfig::max_imu_samples`].
+    pub fn push_imu(
+        &mut self,
+        id: SessionId,
+        accel: &[Vec3],
+        gyro: &[Vec3],
+    ) -> Result<(), StreamError> {
+        let max_imu = self.stream.max_imu_samples;
+        let session = self.session_mut(id)?;
+        if session.phase != Phase::Ingest {
+            return Err(StreamError::FinishPending);
+        }
+        if let Some(reason) = &session.failure {
+            return Err(StreamError::SessionFailed(reason.clone()));
+        }
+        if accel.len() != gyro.len() {
+            return Err(StreamError::ImuMismatch {
+                accel: accel.len(),
+                gyro: gyro.len(),
+            });
+        }
+        let needed = session.accel.len() + accel.len();
+        if needed > max_imu {
+            let reason = HyperEarError::CapacityExceeded {
+                what: "imu samples",
+                needed,
+                capacity: max_imu,
+            };
+            session.failure = Some(reason.clone());
+            return Err(StreamError::SessionFailed(reason));
+        }
+        session.accel.extend_from_slice(accel);
+        session.gyro.extend_from_slice(gyro);
+        Ok(())
+    }
+
+    /// Marks the capture complete; the next [`StreamService::pump`]
+    /// flushes the detectors and produces the outcome. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownSession`] for a stale id.
+    pub fn request_finish(&mut self, id: SessionId) -> Result<(), StreamError> {
+        let session = self.session_mut(id)?;
+        if session.phase == Phase::Ingest {
+            session.phase = Phase::FinishRequested;
+        }
+        Ok(())
+    }
+
+    /// Drains every session's rings into its detectors and finalizes
+    /// sessions whose finish is pending, spreading the work across the
+    /// pool (one session is touched by exactly one worker per pump).
+    pub fn pump(&mut self) {
+        self.pool
+            .parallel_update(&mut self.unit_ctxs, &mut self.slots, |(), _, slot| {
+                if let Some(session) = slot.session.as_deref_mut() {
+                    session.pump();
+                }
+            });
+    }
+
+    /// Collects a finished session's outcome into `slot` (whose
+    /// previous storage is recycled into the service). Returns
+    /// `Ok(false)` — leaving `slot` untouched — while the session is
+    /// still running; after `Ok(true)` the id is retired and the
+    /// session's buffers are parked for reuse.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownSession`] for a stale id.
+    pub fn try_take_outcome(
+        &mut self,
+        id: SessionId,
+        slot: &mut SessionOutcome,
+    ) -> Result<bool, StreamError> {
+        let session = self.session_mut(id)?;
+        if session.phase != Phase::Done {
+            return Ok(false);
+        }
+        std::mem::swap(&mut session.outcome, slot);
+        let service_slot = &mut self.slots[id.index as usize];
+        let session = service_slot.session.take().expect("session checked above");
+        self.parked.push(session);
+        service_slot.epoch = service_slot.epoch.wrapping_add(1);
+        self.free.push(id.index);
+        Ok(true)
+    }
+
+    /// Convenience: requests the finish, pumps once, and collects the
+    /// outcome into `slot`.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownSession`] for a stale id.
+    pub fn finish(&mut self, id: SessionId, slot: &mut SessionOutcome) -> Result<(), StreamError> {
+        self.request_finish(id)?;
+        self.pump();
+        let done = self.try_take_outcome(id, slot)?;
+        debug_assert!(done, "pump finalizes every pending finish");
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::SessionInput;
+    use hyperear_sim::phone::PhoneModel;
+    use hyperear_sim::scenario::ScenarioBuilder;
+
+    fn small_config() -> StreamConfig {
+        StreamConfig {
+            max_sessions: 2,
+            ring_capacity: 1024,
+            max_samples: 400_000,
+            max_imu_samples: 8_000,
+        }
+    }
+
+    fn service(stream: StreamConfig) -> StreamService {
+        StreamService::new(HyperEarConfig::galaxy_s4(), stream, Arc::new(Pool::new(1)))
+            .expect("valid config")
+    }
+
+    #[test]
+    fn pcm_ring_wraps_and_refuses_whole_chunks() {
+        let mut ring = PcmRing::new(8);
+        assert!(ring.push(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        ring.consume_all(); // head now 6: subsequent pushes wrap
+        assert!(ring.push(&[7.0, 8.0, 9.0, 10.0]));
+        let (a, b) = ring.as_slices();
+        assert_eq!(a, &[7.0, 8.0]);
+        assert_eq!(b, &[9.0, 10.0]);
+        // All-or-nothing: five more do not fit (4 free), nothing lands.
+        assert!(!ring.push(&[0.0; 5]));
+        assert_eq!(ring.as_slices(), (&[7.0, 8.0][..], &[9.0, 10.0][..]));
+        assert!(ring.push(&[11.0; 4]));
+        assert_eq!(ring.free(), 0);
+        ring.consume_all();
+        assert_eq!(ring.free(), 8);
+    }
+
+    #[test]
+    fn admission_sheds_busy_then_recovers() {
+        let mut svc = service(small_config());
+        let a = svc.open(48_000.0, 500.0).expect("slot free");
+        let b = svc.open(48_000.0, 500.0).expect("slot free");
+        match svc.open(48_000.0, 500.0) {
+            Err(AdmissionError::Busy { active, capacity }) => {
+                assert_eq!((active, capacity), (2, 2));
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        // Collecting an outcome frees the slot; the stale id is retired.
+        let mut out = SessionOutcome::idle();
+        svc.finish(a, &mut out).expect("finish");
+        assert!(matches!(out, SessionOutcome::Failed { .. })); // empty capture
+        assert_eq!(svc.active(), 1);
+        let c = svc.open(48_000.0, 500.0).expect("slot freed");
+        assert_eq!(
+            svc.push_audio(a, &[0.0], &[0.0]),
+            Err(StreamError::UnknownSession)
+        );
+        assert!(svc.push_audio(b, &[0.0], &[0.0]).is_ok());
+        assert!(svc.push_audio(c, &[0.0], &[0.0]).is_ok());
+        assert!(matches!(
+            svc.open(48_000.0, 0.0),
+            Err(AdmissionError::Busy { .. })
+        ));
+    }
+
+    #[test]
+    fn open_rejects_bad_rates() {
+        let mut svc = service(small_config());
+        assert!(matches!(
+            svc.open(0.0, 500.0),
+            Err(AdmissionError::Rejected(
+                HyperEarError::InvalidParameter { .. }
+            ))
+        ));
+        assert!(matches!(
+            svc.open(48_000.0, -1.0),
+            Err(AdmissionError::Rejected(
+                HyperEarError::InvalidParameter { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn shed_is_all_or_nothing_and_retryable() {
+        let mut svc = service(small_config());
+        let id = svc.open(48_000.0, 500.0).expect("open");
+        svc.push_audio(id, &[0.1; 800], &[0.2; 800]).expect("fits");
+        match svc.push_audio(id, &[0.3; 400], &[0.4; 400]) {
+            Err(StreamError::Shed { offered, free }) => {
+                assert_eq!((offered, free), (400, 224));
+            }
+            other => panic!("expected Shed, got {other:?}"),
+        }
+        // Nothing of the shed chunk was ingested; pump drains the ring
+        // and the retry succeeds.
+        svc.pump();
+        svc.push_audio(id, &[0.3; 400], &[0.4; 400])
+            .expect("retry after pump");
+        let mut mismatched = svc.push_audio(id, &[0.0; 3], &[0.0; 2]);
+        assert_eq!(
+            mismatched,
+            Err(StreamError::ChannelMismatch { left: 3, right: 2 })
+        );
+        mismatched = svc.push_imu(id, &[Vec3::ZERO; 2], &[Vec3::ZERO; 3]);
+        assert_eq!(
+            mismatched,
+            Err(StreamError::ImuMismatch { accel: 2, gyro: 3 })
+        );
+    }
+
+    #[test]
+    fn capacity_overrun_fails_sticky_with_typed_reason() {
+        let mut stream = small_config();
+        stream.max_samples = 2_000; // one chirp template is 1920 samples
+        let mut svc = service(stream);
+        let id = svc.open(48_000.0, 500.0).expect("open");
+        svc.push_audio(id, &[0.0; 950], &[0.0; 950]).expect("fits");
+        svc.pump(); // drain the ring so the second chunk fits
+        svc.push_audio(id, &[0.0; 950], &[0.0; 950]).expect("fits");
+        let expected = HyperEarError::CapacityExceeded {
+            what: "audio samples",
+            needed: 2_100,
+            capacity: 2_000,
+        };
+        assert_eq!(
+            svc.push_audio(id, &[0.0; 200], &[0.0; 200]),
+            Err(StreamError::SessionFailed(expected.clone()))
+        );
+        // Sticky: every later ingest reports the same typed reason...
+        assert_eq!(
+            svc.push_audio(id, &[], &[]),
+            Err(StreamError::SessionFailed(expected.clone()))
+        );
+        assert_eq!(
+            svc.push_imu(id, &[Vec3::ZERO], &[Vec3::ZERO]),
+            Err(StreamError::SessionFailed(expected.clone()))
+        );
+        // ...and the outcome carries it too.
+        let mut out = SessionOutcome::idle();
+        svc.finish(id, &mut out).expect("finish");
+        match out {
+            SessionOutcome::Failed { reason, .. } => assert_eq!(reason, expected),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn imu_capacity_overrun_fails_sticky() {
+        let mut stream = small_config();
+        stream.max_imu_samples = 10;
+        let mut svc = service(stream);
+        let id = svc.open(48_000.0, 500.0).expect("open");
+        svc.push_imu(id, &[Vec3::ZERO; 8], &[Vec3::ZERO; 8])
+            .expect("fits");
+        assert_eq!(
+            svc.push_imu(id, &[Vec3::ZERO; 3], &[Vec3::ZERO; 3]),
+            Err(StreamError::SessionFailed(
+                HyperEarError::CapacityExceeded {
+                    what: "imu samples",
+                    needed: 11,
+                    capacity: 10,
+                }
+            ))
+        );
+    }
+
+    #[test]
+    fn streamed_session_equals_one_shot_and_recycles_buffers() {
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .speaker_range(2.5)
+            .slides(2)
+            .seed(11)
+            .render()
+            .expect("render");
+        let mut engine = SessionEngine::new(HyperEarConfig::galaxy_s4()).expect("engine");
+        let reference = engine.run_monitored(&SessionInput {
+            audio_sample_rate: rec.audio.sample_rate,
+            left: &rec.audio.left,
+            right: &rec.audio.right,
+            imu_sample_rate: rec.imu.sample_rate,
+            accel: &rec.imu.accel,
+            gyro: &rec.imu.gyro,
+        });
+
+        let mut stream = small_config();
+        stream.ring_capacity = 8_192;
+        let mut svc = service(stream);
+        let mut out = SessionOutcome::idle();
+        for round in 0..3 {
+            let id = svc
+                .open(rec.audio.sample_rate, rec.imu.sample_rate)
+                .expect("open");
+            svc.push_imu(id, &rec.imu.accel, &rec.imu.gyro)
+                .expect("imu");
+            let chunk = 4_096 - round; // vary chunking across rounds
+            for (l, r) in rec
+                .audio
+                .left
+                .chunks(chunk)
+                .zip(rec.audio.right.chunks(chunk))
+            {
+                svc.push_audio(id, l, r).expect("push");
+                svc.pump();
+            }
+            svc.finish(id, &mut out).expect("finish");
+            assert_eq!(out, reference, "round {round}");
+        }
+        // Round 2 and 3 reused round 1's parked session: the working
+        // set did not grow.
+        let warm = svc.working_set_bytes();
+        let id = svc
+            .open(rec.audio.sample_rate, rec.imu.sample_rate)
+            .expect("open");
+        svc.push_imu(id, &rec.imu.accel, &rec.imu.gyro)
+            .expect("imu");
+        for (l, r) in rec
+            .audio
+            .left
+            .chunks(4_096)
+            .zip(rec.audio.right.chunks(4_096))
+        {
+            svc.push_audio(id, l, r).expect("push");
+            svc.pump();
+        }
+        svc.finish(id, &mut out).expect("finish");
+        assert_eq!(out, reference);
+        assert_eq!(svc.working_set_bytes(), warm);
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_pushes_after_finish_are_typed() {
+        let mut svc = service(small_config());
+        let id = svc.open(48_000.0, 500.0).expect("open");
+        svc.request_finish(id).expect("finish request");
+        svc.request_finish(id).expect("idempotent");
+        assert_eq!(
+            svc.push_audio(id, &[0.0], &[0.0]),
+            Err(StreamError::FinishPending)
+        );
+        assert_eq!(
+            svc.push_imu(id, &[Vec3::ZERO], &[Vec3::ZERO]),
+            Err(StreamError::FinishPending)
+        );
+        let mut out = SessionOutcome::idle();
+        assert_eq!(svc.try_take_outcome(id, &mut out), Ok(false)); // not pumped yet
+        svc.pump();
+        assert_eq!(svc.try_take_outcome(id, &mut out), Ok(true));
+        assert_eq!(
+            svc.try_take_outcome(id, &mut out),
+            Err(StreamError::UnknownSession)
+        );
+        assert_eq!(svc.request_finish(id), Err(StreamError::UnknownSession));
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_capacities() {
+        let pool = Arc::new(Pool::new(1));
+        for stream in [
+            StreamConfig {
+                max_sessions: 0,
+                ..small_config()
+            },
+            StreamConfig {
+                ring_capacity: 0,
+                ..small_config()
+            },
+            StreamConfig {
+                max_samples: 0,
+                ..small_config()
+            },
+            StreamConfig {
+                max_imu_samples: 0,
+                ..small_config()
+            },
+        ] {
+            assert!(
+                StreamService::new(HyperEarConfig::galaxy_s4(), stream, Arc::clone(&pool)).is_err()
+            );
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Determinism pins for the streaming service under load: the same
+//! seed and the same offered-load schedule must produce identical
+//! per-phone outcome sequences *and identical shed/admission
+//! decisions* at every pool width. This is what makes
+//! `HYPEREAR_THREADS` a pure performance knob for the streaming path,
+//! and what makes soak-test failures reproducible from their seed.
+
+use hyperear::config::HyperEarConfig;
+use hyperear::pipeline::SessionOutcome;
+use hyperear::stream::{AdmissionError, StreamConfig, StreamError, StreamService};
+use hyperear_sim::environment::Environment;
+use hyperear_sim::phone::PhoneModel;
+use hyperear_sim::scenario::{Recording, ScenarioBuilder};
+use hyperear_sim::source::PhoneSource;
+use hyperear_util::pool::Pool;
+use std::sync::Arc;
+
+fn render(seed: u64) -> Recording {
+    ScenarioBuilder::new(PhoneModel::galaxy_s4())
+        .environment(Environment::room_quiet())
+        .speaker_range(2.5)
+        .slides(1)
+        .seed(seed)
+        .render()
+        .unwrap()
+}
+
+/// One phone's driver state in the load schedule.
+struct Phone<'a> {
+    source: PhoneSource<'a>,
+    rec: &'a Recording,
+    id: Option<hyperear::stream::SessionId>,
+    finished: bool,
+    outcome: Option<SessionOutcome>,
+}
+
+/// Runs the fixed load schedule — more phones than session slots, more
+/// offered samples per step than ring space — against a service over
+/// `threads` workers. Returns every phone's outcome plus the ordered
+/// log of backpressure events (who got `Busy`, who got `Shed`, when).
+fn run_schedule(threads: usize, recs: &[Recording]) -> (Vec<SessionOutcome>, Vec<String>) {
+    let pool = Arc::new(Pool::new(threads));
+    let stream = StreamConfig {
+        max_sessions: 3,      // fewer slots than phones: forces Busy events
+        ring_capacity: 2_048, // smaller than a step's offered load: forces Sheds
+        max_samples: recs.iter().map(|r| r.audio.left.len()).max().unwrap(),
+        max_imu_samples: recs.iter().map(|r| r.imu.accel.len()).max().unwrap(),
+    };
+    let mut svc = StreamService::new(HyperEarConfig::galaxy_s4(), stream, pool).unwrap();
+    let mut phones: Vec<Phone<'_>> = recs
+        .iter()
+        .enumerate()
+        .map(|(i, rec)| Phone {
+            source: PhoneSource::new(rec, 1_000 + i as u64).chunk_sizes(480, 1_920),
+            rec,
+            id: None,
+            finished: false,
+            outcome: None,
+        })
+        .collect();
+    let mut events = Vec::new();
+
+    for step in 0.. {
+        if phones.iter().all(|p| p.outcome.is_some()) {
+            break;
+        }
+        for (i, phone) in phones.iter_mut().enumerate() {
+            if phone.outcome.is_some() {
+                continue;
+            }
+            let id = match phone.id {
+                Some(id) => id,
+                None => match svc.open(phone.rec.audio.sample_rate, phone.rec.imu.sample_rate) {
+                    Ok(id) => {
+                        phone.id = Some(id);
+                        id
+                    }
+                    Err(AdmissionError::Busy { active, capacity }) => {
+                        events.push(format!("step {step}: phone {i} busy {active}/{capacity}"));
+                        continue;
+                    }
+                    Err(e) => panic!("unexpected admission error: {e}"),
+                },
+            };
+            if phone.finished {
+                let mut out = SessionOutcome::idle();
+                if svc.try_take_outcome(id, &mut out).unwrap() {
+                    phone.outcome = Some(out);
+                }
+                continue;
+            }
+            // Offer up to three ticks per step; on a shed, stop feeding
+            // this phone until the next step's pump has drained rings.
+            for _ in 0..3 {
+                match phone.source.next_chunk() {
+                    Some(tick) => {
+                        svc.push_imu(id, tick.accel, tick.gyro).unwrap();
+                        match svc.push_audio(id, tick.left, tick.right) {
+                            Ok(()) => {}
+                            Err(StreamError::Shed { offered, free }) => {
+                                events
+                                    .push(format!("step {step}: phone {i} shed {offered}/{free}"));
+                                // Nothing was ingested: rewind is not
+                                // possible on a source, so push the
+                                // chunk again after the pump via a
+                                // retry loop.
+                                let (l, r) = (tick.left, tick.right);
+                                loop {
+                                    svc.pump();
+                                    match svc.push_audio(id, l, r) {
+                                        Ok(()) => break,
+                                        Err(StreamError::Shed { .. }) => {}
+                                        Err(e) => panic!("retry failed: {e}"),
+                                    }
+                                }
+                                break; // done with this phone this step
+                            }
+                            Err(e) => panic!("unexpected push error: {e}"),
+                        }
+                    }
+                    None => {
+                        svc.request_finish(id).unwrap();
+                        phone.finished = true;
+                        break;
+                    }
+                }
+            }
+        }
+        svc.pump();
+    }
+    (
+        phones.into_iter().map(|p| p.outcome.unwrap()).collect(),
+        events,
+    )
+}
+
+#[test]
+fn same_schedule_same_outcomes_and_sheds_at_every_thread_count() {
+    let recs: Vec<Recording> = (0..5).map(|s| render(2_000 + s)).collect();
+    let (reference_outcomes, reference_events) = run_schedule(1, &recs);
+    assert!(
+        reference_outcomes.iter().any(SessionOutcome::is_usable),
+        "schedule must localize at least one phone"
+    );
+    assert!(
+        reference_events.iter().any(|e| e.contains("busy")),
+        "schedule must exercise admission control"
+    );
+    assert!(
+        reference_events.iter().any(|e| e.contains("shed")),
+        "schedule must exercise ring backpressure"
+    );
+    for threads in [2, 4] {
+        let (outcomes, events) = run_schedule(threads, &recs);
+        assert_eq!(
+            outcomes, reference_outcomes,
+            "outcomes at {threads} threads"
+        );
+        assert_eq!(events, reference_events, "events at {threads} threads");
+    }
+}
+
+#[test]
+fn repeated_runs_on_one_service_are_identical() {
+    // Re-running the same schedule on a *warm* service (parked
+    // sessions, memoized detector core) must reproduce the cold run.
+    let recs: Vec<Recording> = (0..2).map(|s| render(2_100 + s)).collect();
+    let pool = Arc::new(Pool::new(2));
+    let stream = StreamConfig {
+        max_sessions: 2,
+        ring_capacity: 4_096,
+        max_samples: recs.iter().map(|r| r.audio.left.len()).max().unwrap(),
+        max_imu_samples: recs.iter().map(|r| r.imu.accel.len()).max().unwrap(),
+    };
+    let mut svc = StreamService::new(HyperEarConfig::galaxy_s4(), stream, pool).unwrap();
+    let mut rounds: Vec<Vec<SessionOutcome>> = Vec::new();
+    for _ in 0..3 {
+        let mut outcomes = Vec::new();
+        for rec in &recs {
+            let id = svc
+                .open(rec.audio.sample_rate, rec.imu.sample_rate)
+                .unwrap();
+            svc.push_imu(id, &rec.imu.accel, &rec.imu.gyro).unwrap();
+            let mut source = PhoneSource::new(rec, 7).chunk_sizes(480, 1_920);
+            while let Some(tick) = source.next_chunk() {
+                if svc.push_audio(id, tick.left, tick.right).is_err() {
+                    svc.pump();
+                    svc.push_audio(id, tick.left, tick.right).unwrap();
+                }
+            }
+            let mut out = SessionOutcome::idle();
+            svc.finish(id, &mut out).unwrap();
+            outcomes.push(out);
+        }
+        rounds.push(outcomes);
+    }
+    assert_eq!(rounds[1], rounds[0]);
+    assert_eq!(rounds[2], rounds[0]);
+}

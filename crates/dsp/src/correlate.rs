@@ -403,6 +403,191 @@ impl OverlapSave {
     }
 }
 
+/// Incremental ingestion state for one overlap-save engine: the partial
+/// FFT block under assembly plus push/emit progress counters.
+///
+/// A feed turns a blocked engine ([`StreamingMatchedFilter`],
+/// [`crate::filter::ZeroPhaseFir`]) into an online one: samples arrive in
+/// chunks of any size (single samples to whole captures) and completed
+/// output lags are emitted as soon as their FFT block fills. The engine
+/// itself stays `&self` and immutable — all mutable state lives here, so
+/// one engine can serve many concurrent feeds.
+///
+/// Because a block is transformed exactly when it reaches `block_len`
+/// samples, the block contents — and therefore every emitted value — are
+/// **bit-identical** regardless of how the input was chunked, and
+/// bit-identical to the corresponding one-shot call
+/// ([`StreamingMatchedFilter::correlate_into`] /
+/// [`crate::filter::ZeroPhaseFir::filter_into`]) on the concatenated
+/// input.
+///
+/// The working set is one `block_len` buffer, independent of how many
+/// samples have been pushed.
+#[derive(Debug, Clone)]
+pub struct ChunkFeed {
+    /// The sliding window of the implicitly padded input stream
+    /// (`lead` zeros, then every pushed sample, then flush-time zeros):
+    /// always equal to `padded[blocks_done * step ..]`, capacity
+    /// `block_len`.
+    pub(crate) buf: Vec<f64>,
+    pub(crate) lead: usize,
+    pub(crate) block_len: usize,
+    pub(crate) template_len: usize,
+    pub(crate) pushed: usize,
+    pub(crate) emitted: usize,
+    pub(crate) finished: bool,
+}
+
+impl ChunkFeed {
+    pub(crate) fn new(lead: usize, block_len: usize, template_len: usize) -> Self {
+        let mut buf = Vec::with_capacity(block_len);
+        buf.resize(lead, 0.0);
+        ChunkFeed {
+            buf,
+            lead,
+            block_len,
+            template_len,
+            pushed: 0,
+            emitted: 0,
+            finished: false,
+        }
+    }
+
+    /// Samples pushed since construction or the last reset.
+    #[must_use]
+    pub fn pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Output values emitted so far (always `<=` [`ChunkFeed::pushed`]).
+    #[must_use]
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Whether the stream has been finished; a finished feed rejects
+    /// further pushes until [`ChunkFeed::reset`].
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Returns the feed to its initial state for a fresh stream, keeping
+    /// the block buffer's capacity (no allocation).
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.buf.resize(self.lead, 0.0);
+        self.pushed = 0;
+        self.emitted = 0;
+        self.finished = false;
+    }
+
+    /// Bytes reserved by the feed's block buffer.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> usize {
+        self.buf.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+impl OverlapSave {
+    fn check_feed(&self, feed: &ChunkFeed, expected_lead: usize) -> Result<(), DspError> {
+        if feed.block_len != self.block_len()
+            || feed.template_len != self.template_len
+            || feed.lead != expected_lead
+        {
+            return Err(DspError::invalid(
+                "feed",
+                "chunk feed was created for a different engine",
+            ));
+        }
+        if feed.finished {
+            return Err(DspError::invalid(
+                "feed",
+                "chunk feed already finished; call reset() before reuse",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Transforms the (full) block in `feed.buf`, leaving the block's
+    /// correlation lags in `scratch.r1` and sliding the buffer forward by
+    /// one step so only the `template_len - 1` overlap tail remains.
+    fn feed_transform(
+        &self,
+        feed: &mut ChunkFeed,
+        scratch: &mut DspScratch,
+    ) -> Result<(), DspError> {
+        debug_assert_eq!(feed.buf.len(), self.block_len());
+        scratch.r1.clear();
+        scratch.r1.extend_from_slice(&feed.buf);
+        self.plan.rfft_half_into(&scratch.r1, &mut scratch.c1)?;
+        for (s, &t) in scratch.c1.iter_mut().zip(&self.template_spec) {
+            *s *= t.conj();
+        }
+        let DspScratch { c1, r1, .. } = scratch;
+        self.plan.irfft_half_into(c1, r1)?;
+        let step = self.step();
+        feed.buf.copy_within(step.., 0);
+        feed.buf.truncate(self.block_len() - step);
+        Ok(())
+    }
+
+    /// Appends `chunk` to the feed, emitting (appending to `out`) the
+    /// lags of every FFT block that fills. Emission never runs ahead of
+    /// ingestion: `emitted <= pushed` holds throughout because
+    /// `lead <= template_len - 1`.
+    pub(crate) fn feed_push(
+        &self,
+        feed: &mut ChunkFeed,
+        expected_lead: usize,
+        chunk: &[f64],
+        scratch: &mut DspScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
+        self.check_feed(feed, expected_lead)?;
+        let block = self.block_len();
+        let step = self.step();
+        let mut rest = chunk;
+        while !rest.is_empty() {
+            let take = (block - feed.buf.len()).min(rest.len());
+            feed.buf.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if feed.buf.len() == block {
+                self.feed_transform(feed, scratch)?;
+                out.extend_from_slice(&scratch.r1[..step]);
+                feed.emitted += step;
+            }
+        }
+        feed.pushed += chunk.len();
+        debug_assert!(feed.emitted <= feed.pushed);
+        Ok(())
+    }
+
+    /// Flushes the feed: zero-pads the final blocks and emits (appending
+    /// to `out`) every remaining lag up to the `pushed` total, exactly
+    /// reproducing [`OverlapSave::run`]'s output length and values for
+    /// the concatenated input. Marks the feed finished.
+    pub(crate) fn feed_finish(
+        &self,
+        feed: &mut ChunkFeed,
+        expected_lead: usize,
+        scratch: &mut DspScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
+        self.check_feed(feed, expected_lead)?;
+        let total = feed.pushed;
+        while feed.emitted < total {
+            feed.buf.resize(self.block_len(), 0.0);
+            self.feed_transform(feed, scratch)?;
+            let take = self.step().min(total - feed.emitted);
+            out.extend_from_slice(&scratch.r1[..take]);
+            feed.emitted += take;
+        }
+        feed.finished = true;
+        Ok(())
+    }
+}
+
 /// A matched filter that correlates in fixed-size overlap-save blocks.
 ///
 /// Where [`MatchedFilter`] pads the whole capture to one
@@ -550,6 +735,118 @@ impl StreamingMatchedFilter {
         let mut out = Vec::new();
         crate::plan::with_thread_ctx(|_, scratch| self.correlate_into(signal, scratch, &mut out))?;
         Ok(out)
+    }
+
+    /// Creates an online ingestion feed for this filter (see
+    /// [`ChunkFeed`]). One filter can serve any number of concurrent
+    /// feeds; each feed belongs to exactly one logical stream.
+    #[must_use]
+    pub fn chunk_feed(&self) -> ChunkFeed {
+        ChunkFeed::new(0, self.block_len(), self.template_len())
+    }
+
+    /// Pushes `chunk` (any length, empty included) into `feed`, appending
+    /// every raw correlation lag whose FFT block completed to `out`.
+    ///
+    /// Once the stream is flushed with
+    /// [`StreamingMatchedFilter::finish_chunks_into`], the concatenation
+    /// of everything appended is **bit-identical** to
+    /// [`StreamingMatchedFilter::correlate_into`] over the concatenated
+    /// chunks — independent of the chunking. Steady-state calls at warm
+    /// sizes do not allocate beyond `out`'s growth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `feed` was created by a
+    /// different engine or has already been finished.
+    pub fn push_chunk_into(
+        &self,
+        feed: &mut ChunkFeed,
+        chunk: &[f64],
+        scratch: &mut DspScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
+        self.core.feed_push(feed, 0, chunk, scratch, out)
+    }
+
+    /// [`StreamingMatchedFilter::push_chunk_into`] with the emitted lags
+    /// template-energy normalized, matching
+    /// [`StreamingMatchedFilter::correlate_normalized_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StreamingMatchedFilter::push_chunk_into`].
+    pub fn push_chunk_normalized_into(
+        &self,
+        feed: &mut ChunkFeed,
+        chunk: &[f64],
+        scratch: &mut DspScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
+        let start = out.len();
+        self.push_chunk_into(feed, chunk, scratch, out)?;
+        let k = 1.0 / self.template_energy;
+        for v in &mut out[start..] {
+            *v *= k;
+        }
+        Ok(())
+    }
+
+    /// Flushes `feed`, appending the remaining raw lags to `out` so the
+    /// stream's total output matches the one-shot call exactly (one lag
+    /// per pushed sample). The feed is then finished; call
+    /// [`ChunkFeed::reset`] to reuse it for a new stream.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`StreamingMatchedFilter::correlate_into`] on the
+    /// concatenated input: [`DspError::EmptyInput`] when nothing was
+    /// pushed, [`DspError::InvalidParameter`] when fewer samples than the
+    /// template length were pushed (or the feed belongs to a different
+    /// engine / was already finished).
+    pub fn finish_chunks_into(
+        &self,
+        feed: &mut ChunkFeed,
+        scratch: &mut DspScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
+        if !feed.finished && feed.pushed == 0 {
+            return Err(DspError::EmptyInput {
+                what: "xcorr signal",
+            });
+        }
+        if !feed.finished && feed.pushed < self.template_len() {
+            return Err(DspError::invalid(
+                "template",
+                format!(
+                    "template ({}) longer than signal ({})",
+                    self.template_len(),
+                    feed.pushed
+                ),
+            ));
+        }
+        self.core.feed_finish(feed, 0, scratch, out)
+    }
+
+    /// [`StreamingMatchedFilter::finish_chunks_into`] with the emitted
+    /// lags template-energy normalized.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StreamingMatchedFilter::finish_chunks_into`].
+    pub fn finish_chunks_normalized_into(
+        &self,
+        feed: &mut ChunkFeed,
+        scratch: &mut DspScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
+        let start = out.len();
+        self.finish_chunks_into(feed, scratch, out)?;
+        let k = 1.0 / self.template_energy;
+        for v in &mut out[start..] {
+            *v *= k;
+        }
+        Ok(())
     }
 }
 
@@ -727,6 +1024,142 @@ mod tests {
         assert!((out[4] - 1.0).abs() < 1e-9);
         assert!((filter.template_energy() - 8.0).abs() < 1e-12);
         assert_eq!(filter.template_len(), 3);
+    }
+
+    /// Feeds `signal` through a chunk feed in pieces of the given sizes
+    /// (cycled) and returns the full emitted output.
+    fn run_chunked(filter: &StreamingMatchedFilter, signal: &[f64], sizes: &[usize]) -> Vec<f64> {
+        let mut feed = filter.chunk_feed();
+        let mut scratch = DspScratch::new();
+        let mut out = Vec::new();
+        let mut pos = 0;
+        let mut i = 0;
+        while pos < signal.len() {
+            let n = sizes[i % sizes.len()].min(signal.len() - pos);
+            filter
+                .push_chunk_into(&mut feed, &signal[pos..pos + n], &mut scratch, &mut out)
+                .unwrap();
+            pos += n;
+            i += 1;
+        }
+        filter
+            .finish_chunks_into(&mut feed, &mut scratch, &mut out)
+            .unwrap();
+        assert!(feed.is_finished());
+        assert_eq!(feed.pushed(), signal.len());
+        assert_eq!(feed.emitted(), signal.len());
+        out
+    }
+
+    #[test]
+    fn chunked_feed_is_bit_identical_to_one_shot() {
+        let template: Vec<f64> = (0..37)
+            .map(|i| (i as f64 * 0.4).sin() - 0.3 * (i as f64 * 0.09).cos())
+            .collect();
+        let signal: Vec<f64> = (0..1777)
+            .map(|i| (i as f64 * 0.021).sin() * (i as f64 * 0.0047).cos())
+            .collect();
+        let filter = StreamingMatchedFilter::new(&template).unwrap();
+        let reference = filter.correlate(&signal).unwrap();
+        // Single samples, prime sizes, block-aligned sizes, whole capture.
+        for sizes in [
+            &[1usize][..],
+            &[3, 7, 11][..],
+            &[256][..],
+            &[signal.len()][..],
+            &[255, 1, 513][..],
+        ] {
+            let streamed = run_chunked(&filter, &signal, sizes);
+            assert_eq!(streamed, reference, "chunk sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_feed_normalized_matches_one_shot_normalized() {
+        let template = [2.0, 0.0, -2.0, 1.0];
+        let signal: Vec<f64> = (0..300).map(|i| (i as f64 * 0.17).sin()).collect();
+        let filter = StreamingMatchedFilter::new(&template).unwrap();
+        let mut scratch = DspScratch::new();
+        let mut reference = Vec::new();
+        filter
+            .correlate_normalized_into(&signal, &mut scratch, &mut reference)
+            .unwrap();
+        let mut feed = filter.chunk_feed();
+        let mut out = Vec::new();
+        for chunk in signal.chunks(23) {
+            filter
+                .push_chunk_normalized_into(&mut feed, chunk, &mut scratch, &mut out)
+                .unwrap();
+        }
+        filter
+            .finish_chunks_normalized_into(&mut feed, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn chunk_feed_reset_supports_reuse_and_empty_chunks() {
+        let template = [1.0, -1.0, 0.5];
+        let signal: Vec<f64> = (0..97).map(|i| (i as f64 * 0.3).cos()).collect();
+        let filter = StreamingMatchedFilter::new(&template).unwrap();
+        let reference = filter.correlate(&signal).unwrap();
+        let mut feed = filter.chunk_feed();
+        let mut scratch = DspScratch::new();
+        for round in 0..3 {
+            let mut out = Vec::new();
+            // Zero-length chunks are no-ops anywhere in the stream.
+            filter
+                .push_chunk_into(&mut feed, &[], &mut scratch, &mut out)
+                .unwrap();
+            filter
+                .push_chunk_into(&mut feed, &signal[..40], &mut scratch, &mut out)
+                .unwrap();
+            filter
+                .push_chunk_into(&mut feed, &[], &mut scratch, &mut out)
+                .unwrap();
+            filter
+                .push_chunk_into(&mut feed, &signal[40..], &mut scratch, &mut out)
+                .unwrap();
+            filter
+                .finish_chunks_into(&mut feed, &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(out, reference, "round {round}");
+            // A finished feed rejects further traffic until reset.
+            assert!(filter
+                .push_chunk_into(&mut feed, &signal[..1], &mut scratch, &mut out)
+                .is_err());
+            assert!(filter
+                .finish_chunks_into(&mut feed, &mut scratch, &mut out)
+                .is_err());
+            feed.reset();
+        }
+    }
+
+    #[test]
+    fn chunk_feed_finish_mirrors_one_shot_errors() {
+        let filter = StreamingMatchedFilter::new(&[1.0, 2.0, 3.0]).unwrap();
+        let mut scratch = DspScratch::new();
+        let mut out = Vec::new();
+        // Nothing pushed: same error class as correlate(&[]).
+        let mut feed = filter.chunk_feed();
+        assert!(matches!(
+            filter.finish_chunks_into(&mut feed, &mut scratch, &mut out),
+            Err(DspError::EmptyInput { .. })
+        ));
+        // Fewer samples than the template: same error as the one-shot.
+        feed.reset();
+        filter
+            .push_chunk_into(&mut feed, &[1.0, 2.0], &mut scratch, &mut out)
+            .unwrap();
+        assert!(filter
+            .finish_chunks_into(&mut feed, &mut scratch, &mut out)
+            .is_err());
+        // A feed from a different engine geometry is rejected.
+        let other = StreamingMatchedFilter::new(&[1.0; 64]).unwrap();
+        let mut foreign = other.chunk_feed();
+        assert!(filter
+            .push_chunk_into(&mut foreign, &[1.0], &mut scratch, &mut out)
+            .is_err());
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //!   (calibration window + slides at one or two statures) and renders a
 //!   [`scenario::Recording`] with stereo audio, IMU traces, and ground
 //!   truth.
+//! - [`source`] — deterministic chunked replay of a rendering: the
+//!   OS-buffer-at-a-time arrival pattern streaming front ends consume.
 //! - [`fault`] — deterministic post-render fault injection (dropped and
 //!   clipped beacons, NLoS multipath, gain imbalance, channel dropout,
 //!   impulsive bursts, IMU drift/saturation/gaps) for exercising the
@@ -61,6 +63,7 @@ pub mod phone;
 pub mod rng;
 pub mod room;
 pub mod scenario;
+pub mod source;
 pub mod speaker;
 pub mod volunteer;
 

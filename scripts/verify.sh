@@ -5,6 +5,7 @@
 #   scripts/verify.sh            # tier-1 gate
 #   scripts/verify.sh --faults   # tier-1 gate + seeded fault-matrix sweep
 #   scripts/verify.sh --bench    # tier-1 gate + bench smoke (alloc gate)
+#   scripts/verify.sh --stream   # tier-1 gate + streaming soak smoke
 #
 # The --faults tier drives the full fault-injection matrix through the
 # monitored pipeline (`repro faults --fast`): every corrupted session
@@ -18,16 +19,23 @@
 # allocation-free that allocates per iteration panics in
 # `Suite::finish`, failing this script. On hosts with >= 4 CPUs the
 # batch suite additionally asserts > 1.3x multi-thread speedup.
+#
+# The --stream tier runs a short deterministic soak (a small phone
+# fleet through the StreamService) and greps the `stream-contract:`
+# line: every streamed session must be bit-identical to its one-shot
+# reference and the shed/busy schedule identical across thread counts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_FAULTS=0
 RUN_BENCH=0
+RUN_STREAM=0
 for arg in "$@"; do
     case "$arg" in
         --faults) RUN_FAULTS=1 ;;
         --bench) RUN_BENCH=1 ;;
-        *) echo "unknown option: $arg (supported: --faults, --bench)" >&2; exit 2 ;;
+        --stream) RUN_STREAM=1 ;;
+        *) echo "unknown option: $arg (supported: --faults, --bench, --stream)" >&2; exit 2 ;;
     esac
 done
 
@@ -85,6 +93,40 @@ if [ "$RUN_BENCH" -eq 1 ]; then
         echo "host has ${NPROC} CPU(s) < 4; skipping multi-thread speedup assertion"
     fi
     rm -rf "$BATCH_JSON_DIR"
+
+    # Streaming smoke rides along with --bench: a tiny fleet exercises
+    # the service's allocation gate (the suite panics on a warm cycle
+    # that allocates).
+    echo "== bench smoke (stream soak, allocation gate) =="
+    HYPEREAR_SOAK_PHONES=8 \
+    HYPEREAR_BENCH_SAMPLES=3 HYPEREAR_BENCH_SAMPLE_MS=20 HYPEREAR_BENCH_WARMUP_MS=50 \
+        cargo bench -p hyperear-bench --bench stream_soak
+fi
+
+if [ "$RUN_STREAM" -eq 1 ]; then
+    echo "== stream soak (deterministic load, contract grep) =="
+    OUT="$(HYPEREAR_SOAK_PHONES=24 \
+        HYPEREAR_BENCH_SAMPLES=3 HYPEREAR_BENCH_SAMPLE_MS=20 HYPEREAR_BENCH_WARMUP_MS=50 \
+        cargo bench -p hyperear-bench --bench stream_soak)"
+    echo "$OUT"
+    if ! grep -q "stream-contract:.*HELD" <<<"$OUT"; then
+        echo "STREAM TIER FAILED: streaming contract not held" >&2
+        exit 1
+    fi
+    NPROC="$( (command -v nproc >/dev/null 2>&1 && nproc) || echo 1 )"
+    if [ "$NPROC" -ge 4 ]; then
+        # With real cores the N-thread soak must beat 1 thread on
+        # throughput (nproc-gated: on fewer cores extra threads
+        # time-share one CPU and the comparison would be noise).
+        read -r S1 SN <<<"$(grep -o 'sessions_per_sec=[0-9.]*' <<<"$OUT" \
+            | cut -d= -f2 | awk 'NR==1{a=$1} NR==2{print a, $1}')"
+        if [ -n "${SN:-}" ] && ! awk -v a="$S1" -v b="$SN" 'BEGIN{exit !(b > a)}'; then
+            echo "STREAM TIER FAILED: ${NPROC}-core soak throughput ${SN}/s <= 1-thread ${S1}/s" >&2
+            exit 1
+        fi
+    else
+        echo "host has ${NPROC} CPU(s) < 4; skipping soak throughput comparison"
+    fi
 fi
 
 if [ "$RUN_FAULTS" -eq 1 ]; then

@@ -12,6 +12,7 @@ use hyperear::localize::{localize, LocalizeScratch};
 use hyperear::metrics::Cdf;
 use hyperear::pipeline::{SessionEngine, SessionInput, SessionOutcome};
 use hyperear::sfo::estimate_period;
+use hyperear::stream::{StreamConfig, StreamError, StreamService};
 use hyperear::tdoa::augmented_tdoa;
 use hyperear::HyperEarError;
 use hyperear_geom::Vec3;
@@ -22,6 +23,8 @@ use hyperear_sim::environment::Environment;
 use hyperear_sim::fault::{Fault, FaultPlan};
 use hyperear_sim::phone::PhoneModel;
 use hyperear_sim::scenario::ScenarioBuilder;
+use hyperear_util::pool::Pool;
+use std::sync::Arc;
 
 const FS_AUDIO: f64 = 44_100.0;
 const FS_IMU: f64 = 100.0;
@@ -148,6 +151,178 @@ fn component_apis_reject_empty_inputs() {
     // Empty metric inputs.
     assert!(Cdf::new(&[]).is_err());
     assert!(hyperear::metrics::stats(&[]).is_err());
+}
+
+/// One-shot reference for a (possibly truncated) recording slice.
+fn one_shot_outcome(
+    rec: &hyperear_sim::scenario::Recording,
+    audio_samples: usize,
+) -> SessionOutcome {
+    let mut engine = SessionEngine::new(HyperEarConfig::galaxy_s4()).unwrap();
+    engine.run_monitored(&SessionInput {
+        audio_sample_rate: rec.audio.sample_rate,
+        left: &rec.audio.left[..audio_samples],
+        right: &rec.audio.right[..audio_samples],
+        imu_sample_rate: rec.imu.sample_rate,
+        accel: &rec.imu.accel,
+        gyro: &rec.imu.gyro,
+    })
+}
+
+/// A streaming service sized for `rec` with one session slot.
+fn stream_service(rec: &hyperear_sim::scenario::Recording) -> StreamService {
+    StreamService::new(
+        HyperEarConfig::galaxy_s4(),
+        StreamConfig {
+            max_sessions: 1,
+            ring_capacity: 8_192,
+            max_samples: rec.audio.left.len(),
+            max_imu_samples: rec.imu.accel.len(),
+        },
+        Arc::new(Pool::new(1)),
+    )
+    .unwrap()
+}
+
+#[test]
+fn streaming_degenerate_chunkings_match_one_shot() {
+    let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+        .environment(Environment::room_quiet())
+        .speaker_range(2.5)
+        .slides(2)
+        .seed(31)
+        .render()
+        .unwrap();
+    let mut svc = stream_service(&rec);
+
+    // Zero-length chunks sprinkled through the stream, plus a chunk
+    // straddling a slide boundary (one giant push covering the middle
+    // of the capture, fed around two tiny edge pushes), must not
+    // change the outcome.
+    let reference = one_shot_outcome(&rec, rec.audio.left.len());
+    assert!(reference.is_usable());
+    let id = svc
+        .open(rec.audio.sample_rate, rec.imu.sample_rate)
+        .unwrap();
+    svc.push_imu(id, &rec.imu.accel, &rec.imu.gyro).unwrap();
+    svc.push_imu(id, &[], &[]).unwrap();
+    let n = rec.audio.left.len();
+    let cuts = [0usize, 3, n / 2, n - 5, n]; // windows of wildly uneven size
+    for w in cuts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        svc.push_audio(id, &[], &[]).unwrap(); // zero-length chunk
+        let mut pos = a;
+        while pos < b {
+            let len = (b - pos).min(8_192);
+            match svc.push_audio(
+                id,
+                &rec.audio.left[pos..pos + len],
+                &rec.audio.right[pos..pos + len],
+            ) {
+                Ok(()) => pos += len,
+                Err(StreamError::Shed { .. }) => svc.pump(),
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+    }
+    let mut out = SessionOutcome::idle();
+    svc.finish(id, &mut out).unwrap();
+    assert_eq!(out, reference);
+
+    // A capture that ends mid-beacon (truncated just after the first
+    // beacons) matches the one-shot engine on the same prefix —
+    // typically a typed Failed(InsufficientBeacons), never a panic.
+    let cut = rec.audio.left.len() / 6;
+    let truncated_reference = one_shot_outcome(&rec, cut);
+    let id = svc
+        .open(rec.audio.sample_rate, rec.imu.sample_rate)
+        .unwrap();
+    svc.push_imu(id, &rec.imu.accel, &rec.imu.gyro).unwrap();
+    let mut pos = 0;
+    while pos < cut {
+        let len = (cut - pos).min(1_000);
+        match svc.push_audio(
+            id,
+            &rec.audio.left[pos..pos + len],
+            &rec.audio.right[pos..pos + len],
+        ) {
+            Ok(()) => pos += len,
+            Err(StreamError::Shed { .. }) => svc.pump(),
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    svc.finish(id, &mut out).unwrap();
+    assert_eq!(out, truncated_reference);
+
+    // An empty streamed capture fails typed like the one-shot engine.
+    let id = svc
+        .open(rec.audio.sample_rate, rec.imu.sample_rate)
+        .unwrap();
+    svc.finish(id, &mut out).unwrap();
+    assert!(matches!(out, SessionOutcome::Failed { .. }));
+}
+
+#[test]
+fn streaming_misuse_is_typed_never_a_panic() {
+    let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+        .environment(Environment::anechoic())
+        .speaker_range(2.0)
+        .slides(1)
+        .seed(32)
+        .render()
+        .unwrap();
+    let mut svc = stream_service(&rec);
+    let mut out = SessionOutcome::idle();
+
+    // Ingestion into a session that already failed (capacity overrun)
+    // reports the sticky typed reason on every later call.
+    let id = svc
+        .open(rec.audio.sample_rate, rec.imu.sample_rate)
+        .unwrap();
+    let too_long = vec![0.0; rec.audio.left.len() + 1];
+    match svc.push_audio(id, &too_long, &too_long) {
+        Err(StreamError::SessionFailed(HyperEarError::CapacityExceeded { .. })) => {}
+        other => panic!("expected sticky capacity failure, got {other:?}"),
+    }
+    assert!(matches!(
+        svc.push_audio(id, &[0.0], &[0.0]),
+        Err(StreamError::SessionFailed(_))
+    ));
+    svc.finish(id, &mut out).unwrap();
+    match &out {
+        SessionOutcome::Failed { reason, .. } => {
+            assert!(matches!(reason, HyperEarError::CapacityExceeded { .. }));
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+
+    // The retired id is dead; a second session reuses the slot safely.
+    assert_eq!(
+        svc.push_audio(id, &[0.0], &[0.0]),
+        Err(StreamError::UnknownSession)
+    );
+    assert_eq!(svc.request_finish(id), Err(StreamError::UnknownSession));
+    let id2 = svc
+        .open(rec.audio.sample_rate, rec.imu.sample_rate)
+        .unwrap();
+    assert!(svc
+        .push_audio(id2, &rec.audio.left[..100], &rec.audio.right[..100])
+        .is_ok());
+
+    // Pushes after a finish request are refused typed; the finish
+    // itself is idempotent.
+    svc.request_finish(id2).unwrap();
+    svc.request_finish(id2).unwrap();
+    assert_eq!(
+        svc.push_audio(id2, &[0.0], &[0.0]),
+        Err(StreamError::FinishPending)
+    );
+    svc.pump();
+    assert!(svc.try_take_outcome(id2, &mut out).unwrap());
+    assert_eq!(
+        svc.try_take_outcome(id2, &mut out),
+        Err(StreamError::UnknownSession)
+    );
 }
 
 #[test]

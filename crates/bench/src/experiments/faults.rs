@@ -90,6 +90,82 @@ fn report_cell(report: &mut Report, cell: &Cell) {
     report.cdf_row(&cell.label, &cell.errors);
 }
 
+/// The N>2 cell: a 3-microphone array session with one extra channel
+/// fully dropped (cross-channel dropout). The primary pair is intact,
+/// so the session must stay usable; only the planar bearing prior —
+/// which needs every channel — is allowed to disappear.
+fn array_dropout_cell(report: &mut Report, n: usize) {
+    use hyperear::pipeline::{ArraySessionInput, SessionEngine};
+    use hyperear_geom::devices;
+    use hyperear_sim::environment::Environment;
+    use hyperear_sim::scenario::ScenarioBuilder;
+
+    let preset = devices::TABLET_TRIANGLE;
+    let config = HyperEarConfig::for_device(preset);
+    let Ok(mut engine) = SessionEngine::new(config) else {
+        report.line("  array cell: engine construction failed");
+        return;
+    };
+    let array = preset.array();
+    let mut tally = OutcomeTally::new();
+    let (mut dropped, mut prior_intact, mut prior_dropped) = (0usize, 0usize, 0usize);
+    for k in 0..n.max(2) {
+        let rec = match ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::room_quiet())
+            .speaker_range(3.0)
+            .slides(5)
+            .seed(43_000 + k as u64)
+            .render_array(&array)
+        {
+            Ok(rec) => rec,
+            Err(_) => continue,
+        };
+        let mut channels = rec.audio.channels.clone();
+        let drop_extra = k % 2 == 1;
+        if drop_extra {
+            channels[2].iter_mut().for_each(|s| *s = 0.0);
+            dropped += 1;
+        }
+        let refs: Vec<&[f64]> = channels.iter().map(Vec::as_slice).collect();
+        let outcome = engine.run_array_monitored(&ArraySessionInput {
+            audio_sample_rate: rec.audio.sample_rate,
+            channels: &refs,
+            imu_sample_rate: rec.imu.sample_rate,
+            accel: &rec.imu.accel,
+            gyro: &rec.imu.gyro,
+        });
+        tally.record(&outcome);
+        if outcome.result().is_some_and(|r| r.bearing.is_some()) {
+            if drop_extra {
+                prior_dropped += 1;
+            } else {
+                prior_intact += 1;
+            }
+        }
+    }
+    report.line(format!(
+        "  {:<34} ok={} deg={} fail={} usable={:>3.0}%  ch2-dropped={} prior kept {}->{} ",
+        "array 3-mic ch2 dropout",
+        tally.ok,
+        tally.degraded,
+        tally.failed,
+        100.0 * tally.usable_fraction(),
+        dropped,
+        prior_intact,
+        prior_dropped,
+    ));
+    let typed = tally.ok + tally.degraded + tally.failed;
+    report.line(format!(
+        "  Array degradation contract (every array session returns a typed outcome, \
+         dropout only costs the bearing prior): {}",
+        if typed == tally.sessions && tally.sessions > 0 && prior_dropped == 0 && prior_intact > 0 {
+            "HELD"
+        } else {
+            "VIOLATED"
+        }
+    ));
+}
+
 /// Runs the experiment.
 #[must_use]
 pub fn run(scale: &Scale) -> Report {
@@ -129,6 +205,7 @@ pub fn run(scale: &Scale) -> Report {
     for cell in &cells {
         report_cell(&mut report, cell);
     }
+    array_dropout_cell(&mut report, n.min(8));
 
     report.blank();
     let total_sessions: usize = cells.iter().map(|c| c.tally.sessions).sum();

@@ -7,6 +7,7 @@
 //! baseline — the two fans of the paper's Figs. 3 and 10.
 
 use crate::report::{fmt_m, Report};
+use hyperear_geom::devices;
 use hyperear_geom::tdoa_regions::TdoaQuantizer;
 use hyperear_geom::Vec2;
 
@@ -23,7 +24,7 @@ pub fn run() -> Report {
         TdoaQuantizer::new(Vec2::new(-d / 2.0, 0.0), Vec2::new(d / 2.0, 0.0), fs, s)
             .expect("valid quantizer")
     };
-    let phone = pair(0.1366);
+    let phone = pair(devices::GALAXY_S4.mic_separation);
     let slide = pair(0.55);
     report.line("  range   region width (D = 13.66 cm)   region width (D' = 55 cm slide)");
     for range in [0.5, 1.0, 2.0, 3.0, 5.0, 7.0, 8.0] {

@@ -7,6 +7,7 @@
 //! phone baseline and for a widened one.
 
 use crate::report::Report;
+use hyperear_geom::devices;
 use hyperear_geom::tdoa_regions::{DensityMap, TdoaQuantizer};
 use hyperear_geom::Vec2;
 
@@ -24,7 +25,7 @@ pub fn run() -> Report {
             .expect("valid quantizer");
         DensityMap::compute(&q, Vec2::new(-0.3, 0.05), 0.002, 300, 125).expect("valid grid")
     };
-    let narrow = map_for(0.1366);
+    let narrow = map_for(devices::GALAXY_S4.mic_separation);
     let wide = map_for(0.30);
 
     let profile_n = narrow.crossing_profile(3);

@@ -8,6 +8,7 @@
 
 use crate::report::{fmt_m, Report};
 use hyperear::baseline::{naive_two_position_error, NaiveConfig};
+use hyperear_geom::devices;
 use hyperear_geom::tdoa_regions::TdoaQuantizer;
 use hyperear_geom::Vec2;
 
@@ -20,7 +21,7 @@ pub fn run() -> Report {
     );
     let fs = 44_100.0;
     let s = 343.0;
-    let d = 0.1366;
+    let d = devices::GALAXY_S4.mic_separation;
     let quantizer = TdoaQuantizer::new(Vec2::new(-d / 2.0, 0.0), Vec2::new(d / 2.0, 0.0), fs, s)
         .expect("valid quantizer");
 

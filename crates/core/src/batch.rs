@@ -27,7 +27,7 @@
 
 use crate::asp::DetectorCore;
 use crate::config::HyperEarConfig;
-use crate::pipeline::{SessionEngine, SessionInput, SessionOutcome};
+use crate::pipeline::{ArraySessionInput, SessionEngine, SessionInput, SessionOutcome};
 use crate::HyperEarError;
 use hyperear_util::pool::{Pool, PoolStats};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -158,6 +158,67 @@ impl BatchEngine {
                 worker.engine.run_monitored_into(input, &mut slot);
             }
         }
+    }
+
+    /// The array sibling of [`BatchEngine::warm`]: deterministically
+    /// warms every worker engine on a representative N-microphone
+    /// workload, so later array batches allocate nothing regardless of
+    /// steal schedule.
+    pub fn warm_arrays(&mut self, inputs: &[ArraySessionInput<'_>]) {
+        let mut slot = SessionOutcome::idle();
+        for w in 0..self.workers.len() {
+            for input in inputs {
+                let core = self.core_for(input.audio_sample_rate).ok();
+                let worker = &mut self.workers[w];
+                if let Some(core) = &core {
+                    worker.engine.install_detector_core(core);
+                }
+                worker.engine.run_array_monitored_into(input, &mut slot);
+            }
+        }
+    }
+
+    /// Processes a batch of N-microphone sessions, returning one
+    /// outcome per input in input order.
+    ///
+    /// Convenience wrapper over [`BatchEngine::run_array_batch_into`].
+    pub fn run_array_batch(&mut self, inputs: &[ArraySessionInput<'_>]) -> Vec<SessionOutcome> {
+        let mut out = Vec::new();
+        self.run_array_batch_into(inputs, &mut out);
+        out
+    }
+
+    /// The array sibling of [`BatchEngine::run_batch_into`]: each item
+    /// runs under [`SessionEngine::run_array_monitored_into`] semantics
+    /// on its worker's warm engine, with the same index-addressed,
+    /// bit-identical-at-any-thread-count contract.
+    pub fn run_array_batch_into(
+        &mut self,
+        inputs: &[ArraySessionInput<'_>],
+        out: &mut Vec<SessionOutcome>,
+    ) {
+        for input in inputs {
+            let _ = self.core_for(input.audio_sample_rate);
+        }
+        if out.len() > inputs.len() {
+            out.truncate(inputs.len());
+        }
+        while out.len() < inputs.len() {
+            out.push(SessionOutcome::idle());
+        }
+        let cores = self.cores.lock().unwrap_or_else(PoisonError::into_inner);
+        let workers = &mut self.workers;
+        self.pool
+            .parallel_update(workers, out, |worker, idx, slot| {
+                let input = &inputs[idx];
+                if let Some((_, core)) = cores
+                    .iter()
+                    .find(|(rate, _)| *rate == input.audio_sample_rate)
+                {
+                    worker.engine.install_detector_core(core);
+                }
+                worker.engine.run_array_monitored_into(input, slot);
+            });
     }
 
     /// Processes a batch, returning one outcome per input in input

@@ -7,7 +7,9 @@
 
 use crate::HyperEarError;
 use hyperear_dsp::chirp::Chirp;
+use hyperear_geom::devices;
 use hyperear_geom::rotation::Side;
+use hyperear_geom::MicArray;
 use hyperear_imu::analyze::SessionConfig;
 use hyperear_imu::quality::QualityGate;
 use hyperear_util::{FromJson, Json, JsonError, ToJson};
@@ -313,11 +315,65 @@ impl FromJson for DegradationPolicy {
     }
 }
 
+/// Which direction-finding front-end a session runs ahead of (or instead
+/// of) the roll-the-phone SDF protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DoaFrontEnd {
+    /// No array front-end: direction comes from the paper's rolling SDF
+    /// protocol alone.
+    #[default]
+    None,
+    /// Swadloon-style phase tracking: compare the narrowband carrier
+    /// phase across channels, convert phase differences to pair delays,
+    /// and solve for bearing (Huang et al., PAPERS.md).
+    PhaseTracking,
+    /// Arrival-time planar DOA: per-pair beacon arrival-time differences
+    /// through the far-field least-squares solver (the 3-mic 2D DOA of
+    /// Kovalyov et al., PAPERS.md). Requires a non-collinear array.
+    Planar,
+}
+
+impl ToJson for DoaFrontEnd {
+    fn to_json(&self) -> Json {
+        Json::String(
+            match self {
+                DoaFrontEnd::None => "none",
+                DoaFrontEnd::PhaseTracking => "phase-tracking",
+                DoaFrontEnd::Planar => "planar",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for DoaFrontEnd {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.as_str() {
+            Some("none") => Ok(DoaFrontEnd::None),
+            Some("phase-tracking") => Ok(DoaFrontEnd::PhaseTracking),
+            Some("planar") => Ok(DoaFrontEnd::Planar),
+            other => Err(JsonError::schema(format!(
+                "doa front-end must be \"none\", \"phase-tracking\" or \"planar\", got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// The complete pipeline configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HyperEarConfig {
-    /// Distance between the phone's two microphones, metres.
+    /// Distance between the primary microphone pair (mics 0 and 1),
+    /// metres. Always equals the pair-(0,1) baseline of [`Self::array`];
+    /// kept as a named field because the whole augmented-TDoA chain is
+    /// parameterized on it.
     pub mic_separation: f64,
+    /// The device's microphone array in the device frame. The two-mic
+    /// compatibility preset ([`MicArray::two_mic`]) runs the exact
+    /// pre-array pipeline; larger arrays enable the DOA front-ends and
+    /// per-pair TDoA carrying.
+    pub array: MicArray,
+    /// Which direction-finding front-end array sessions run.
+    pub doa_front_end: DoaFrontEnd,
     /// Beacon parameters.
     pub beacon: BeaconConfig,
     /// Detection parameters.
@@ -363,13 +419,39 @@ impl HyperEarConfig {
     /// Configuration for a Samsung Galaxy S4 (D = 13.66 cm).
     #[must_use]
     pub fn galaxy_s4() -> Self {
-        Self::for_mic_separation(0.1366)
+        Self::for_mic_separation(devices::GALAXY_S4.mic_separation)
     }
 
     /// Configuration for a Samsung Galaxy Note3 (D = 15.12 cm).
     #[must_use]
     pub fn galaxy_note3() -> Self {
-        Self::for_mic_separation(0.1512)
+        Self::for_mic_separation(devices::GALAXY_NOTE3.mic_separation)
+    }
+
+    /// Configuration for a named device preset from the
+    /// [`hyperear_geom::devices`] table — the multi-mic presets get
+    /// their arrays and the planar DOA front-end.
+    #[must_use]
+    pub fn for_device(preset: devices::DevicePreset) -> Self {
+        let mut c = Self::for_array(preset.array());
+        if preset.mic_count > 2 {
+            c.doa_front_end = DoaFrontEnd::Planar;
+        }
+        c
+    }
+
+    /// Configuration for an arbitrary microphone array. The primary
+    /// pair (mics 0 and 1) drives the augmented-TDoA chain, so
+    /// `mic_separation` is derived from its baseline.
+    #[must_use]
+    pub fn for_array(array: MicArray) -> Self {
+        let separation = array
+            .baseline(0, 1)
+            .unwrap_or(devices::GALAXY_S4.mic_separation);
+        HyperEarConfig {
+            array,
+            ..Self::for_mic_separation(separation)
+        }
     }
 
     /// Configuration for an arbitrary two-microphone phone.
@@ -377,6 +459,8 @@ impl HyperEarConfig {
     pub fn for_mic_separation(mic_separation: f64) -> Self {
         HyperEarConfig {
             mic_separation,
+            array: MicArray::two_mic(mic_separation),
+            doa_front_end: DoaFrontEnd::None,
             beacon: BeaconConfig::default(),
             detection: DetectionConfig::default(),
             sfo_correction: true,
@@ -406,6 +490,20 @@ impl HyperEarConfig {
                 "mic_separation",
                 format!("must be within [0.01, 1] m, got {}", self.mic_separation),
             ));
+        }
+        self.array.validate().map_err(HyperEarError::from)?;
+        let primary = self.array.baseline(0, 1).map_err(HyperEarError::from)?;
+        if (primary - self.mic_separation).abs() > 1e-9 {
+            return Err(HyperEarError::invalid(
+                "array",
+                format!(
+                    "primary-pair baseline {primary} m disagrees with mic_separation {} m",
+                    self.mic_separation
+                ),
+            ));
+        }
+        if self.doa_front_end == DoaFrontEnd::Planar {
+            self.array.validate_planar().map_err(HyperEarError::from)?;
         }
         if !(self.beacon.f0 > 0.0 && self.beacon.f1 > self.beacon.f0) {
             return Err(HyperEarError::invalid(
@@ -492,6 +590,8 @@ impl ToJson for HyperEarConfig {
     fn to_json(&self) -> Json {
         Json::obj(vec![
             ("mic_separation", Json::Number(self.mic_separation)),
+            ("array", self.array.to_json()),
+            ("doa_front_end", self.doa_front_end.to_json()),
             ("beacon", self.beacon.to_json()),
             ("detection", self.detection.to_json()),
             ("sfo_correction", Json::Bool(self.sfo_correction)),
@@ -523,6 +623,8 @@ impl FromJson for HyperEarConfig {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
         Ok(HyperEarConfig {
             mic_separation: json.field("mic_separation")?,
+            array: json.field("array")?,
+            doa_front_end: json.field("doa_front_end")?,
             beacon: json.field("beacon")?,
             detection: json.field("detection")?,
             sfo_correction: json.field("sfo_correction")?,
@@ -626,9 +728,42 @@ mod tests {
         let mut c = base.clone();
         c.degradation.min_slides = 0;
         assert!(c.validate().is_err());
-        let mut c = base;
+        let mut c = base.clone();
         c.degradation.drift_residual_tol = 0.0;
         assert!(c.validate().is_err());
+        // Array disagreeing with mic_separation.
+        let mut c = base.clone();
+        c.array = MicArray::two_mic(0.2);
+        assert!(c.validate().is_err());
+        // Coincident mics inside the array.
+        let mut c = base.clone();
+        c.array = MicArray::two_mic(0.0);
+        c.mic_separation = 0.0138; // keep the scalar in-domain
+        assert!(c.validate().is_err());
+        // Planar front-end on a collinear (two-mic) array.
+        let mut c = base;
+        c.doa_front_end = DoaFrontEnd::Planar;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn array_presets_validate_and_derive_separation() {
+        for preset in devices::DEVICE_PRESETS {
+            let c = HyperEarConfig::for_device(preset);
+            c.validate().unwrap();
+            assert_eq!(c.mic_separation, preset.mic_separation);
+            assert_eq!(c.array.len(), preset.mic_count);
+            assert_eq!(
+                c.doa_front_end,
+                if preset.mic_count > 2 {
+                    DoaFrontEnd::Planar
+                } else {
+                    DoaFrontEnd::None
+                }
+            );
+        }
+        // The compatibility preset is structurally the two-mic array.
+        assert_eq!(HyperEarConfig::galaxy_s4().array, MicArray::two_mic(0.1366));
     }
 
     #[test]
@@ -649,6 +784,8 @@ mod tests {
         c.degradation.enabled = false;
         c.degradation.retry_budget = 5;
         c.degradation.min_confidence = 0.4;
+        c.array = MicArray::triangle(0.1512);
+        c.doa_front_end = DoaFrontEnd::PhaseTracking;
         let text = c.to_json_string();
         assert!(text.contains("0.1512"), "{text}");
         let back = HyperEarConfig::from_json_str(&text).unwrap();

@@ -65,6 +65,7 @@ pub mod asp;
 pub mod baseline;
 pub mod batch;
 pub mod config;
+pub mod doa;
 mod error;
 pub mod guide;
 pub mod localize;

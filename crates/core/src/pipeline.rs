@@ -17,7 +17,8 @@
 //!   [`SessionOutcome`] (never panics, never a bare error).
 
 use crate::asp::{BeaconArrival, BeaconDetector, DetectScratch, DetectorCore};
-use crate::config::HyperEarConfig;
+use crate::config::{DoaFrontEnd, HyperEarConfig};
+use crate::doa::BearingPrior;
 use crate::localize::{localize_with, slide_geometry, Estimate2d, LocalizeScratch, SlideFix};
 use crate::ple::{project, ProjectedEstimate};
 use crate::sfo::{estimate_period_with, PeriodEstimate, SfoScratch};
@@ -25,7 +26,7 @@ use crate::tdoa::{augmented_tdoa_with, AugmentedTdoa, TdoaScratch};
 use crate::HyperEarError;
 use hyperear_geom::rotation::Side;
 use hyperear_geom::triangulate::SlideGeometry;
-use hyperear_geom::Vec3;
+use hyperear_geom::{Vec3, MAX_MICS, MAX_PAIRS};
 use hyperear_imu::analyze::{analyze_session_with, AnalyzeScratch, SessionAnalysis, SlideEstimate};
 use hyperear_imu::quality::Rejection;
 use hyperear_imu::rotation::yaw_trace_into;
@@ -49,6 +50,24 @@ pub struct SessionInput<'a> {
     pub left: &'a [f64],
     /// Mic2 channel (the microphone `mic_separation` metres along +y).
     pub right: &'a [f64],
+    /// IMU sample rate, hertz.
+    pub imu_sample_rate: f64,
+    /// Raw accelerometer samples (gravity included), m/s².
+    pub accel: &'a [Vec3],
+    /// Raw gyroscope samples, rad/s.
+    pub gyro: &'a [Vec3],
+}
+
+/// Borrowed views of an N-microphone session recording: one audio slice
+/// per microphone of the configured [`hyperear_geom::MicArray`], in
+/// array index order (channel 0 is the primary Mic1, channel 1 the
+/// Mic2 `mic_separation` metres along device +y).
+#[derive(Debug, Clone, Copy)]
+pub struct ArraySessionInput<'a> {
+    /// Audio sample rate the OS reports, hertz.
+    pub audio_sample_rate: f64,
+    /// One equal-length channel per microphone, array index order.
+    pub channels: &'a [&'a [f64]],
     /// IMU sample rate, hertz.
     pub imu_sample_rate: f64,
     /// Raw accelerometer samples (gravity included), m/s².
@@ -173,6 +192,14 @@ pub struct SessionResult {
     pub stature_drop: Option<f64>,
     /// The projected (floor-map) estimate (two-stature sessions).
     pub projected: Option<ProjectedEstimate>,
+    /// Per-pair session-median delays `t_i − t_j` (seconds) in
+    /// [`hyperear_geom::MicArray::pairs`] order — filled by the array
+    /// entry points ([`SessionEngine::run_array_into`]) when a DOA
+    /// front-end is active; empty on the classic two-channel path.
+    pub pair_delays: Vec<f64>,
+    /// The direction-finding prior from the configured
+    /// [`DoaFrontEnd`], when one was active and its estimate succeeded.
+    pub bearing: Option<BearingPrior>,
 }
 
 impl SessionResult {
@@ -197,6 +224,8 @@ impl SessionResult {
             lower: None,
             stature_drop: None,
             projected: None,
+            pair_delays: Vec::new(),
+            bearing: None,
         }
     }
 
@@ -355,6 +384,15 @@ impl HyperEar {
     pub fn run(&self, input: &SessionInput<'_>) -> Result<SessionResult, HyperEarError> {
         self.engine().run(input)
     }
+
+    /// Processes one N-microphone session with a throwaway engine.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SessionEngine::run_array_into`].
+    pub fn run_array(&self, input: &ArraySessionInput<'_>) -> Result<SessionResult, HyperEarError> {
+        self.engine().run_array(input)
+    }
 }
 
 /// A reusable session-processing engine.
@@ -380,6 +418,10 @@ pub struct SessionEngine {
     tdoa_scratch_b: TdoaScratch,
     arr_left: Vec<BeaconArrival>,
     arr_right: Vec<BeaconArrival>,
+    /// Arrival lists for array channels beyond the primary pair
+    /// (channel `k` lives at index `k − 2`); sized on the first array
+    /// session and reused warm thereafter.
+    arr_extra: Vec<Vec<BeaconArrival>>,
     analysis: SessionAnalysis,
     analyze_scratch: AnalyzeScratch,
     movements: Vec<(f64, f64)>,
@@ -415,6 +457,7 @@ impl SessionEngine {
             tdoa_scratch_b: TdoaScratch::new(),
             arr_left: Vec::new(),
             arr_right: Vec::new(),
+            arr_extra: Vec::new(),
             analysis: SessionAnalysis {
                 gravity: Vec3::ZERO,
                 slides: Vec::new(),
@@ -500,7 +543,9 @@ impl SessionEngine {
             + self.scratch_right.capacity_bytes()
             + self.tdoa_scratch.capacity_bytes()
             + self.tdoa_scratch_b.capacity_bytes()
-            + (self.arr_left.capacity() + self.arr_right.capacity())
+            + (self.arr_left.capacity()
+                + self.arr_right.capacity()
+                + self.arr_extra.iter().map(Vec::capacity).sum::<usize>())
                 * std::mem::size_of::<BeaconArrival>()
     }
 
@@ -711,6 +756,8 @@ impl SessionEngine {
         out.lower = None;
         out.stature_drop = None;
         out.projected = None;
+        out.pair_delays.clear();
+        out.bearing = None;
         if input.left.len() != input.right.len() {
             return Err(HyperEarError::invalid(
                 "left/right",
@@ -774,6 +821,238 @@ impl SessionEngine {
         )
     }
 
+    /// Processes one N-microphone session, allocating the result.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SessionEngine::run_array_into`].
+    pub fn run_array(
+        &mut self,
+        input: &ArraySessionInput<'_>,
+    ) -> Result<SessionResult, HyperEarError> {
+        let mut out = SessionResult::empty();
+        self.run_array_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// The monitored (policy-graded, never-panicking) form of
+    /// [`SessionEngine::run_array`] — the array sibling of
+    /// [`SessionEngine::run_monitored`].
+    pub fn run_array_monitored(&mut self, input: &ArraySessionInput<'_>) -> SessionOutcome {
+        let mut outcome = SessionOutcome::idle();
+        self.run_array_monitored_into(input, &mut outcome);
+        outcome
+    }
+
+    /// Allocation-free form of [`SessionEngine::run_array_monitored`]:
+    /// the outcome lands in a caller-owned slot whose previous result
+    /// storage is scavenged and reused.
+    pub fn run_array_monitored_into(
+        &mut self,
+        input: &ArraySessionInput<'_>,
+        slot: &mut SessionOutcome,
+    ) {
+        self.monitored_with(slot, |engine, result| engine.run_array_into(input, result));
+    }
+
+    /// Allocation-free N-microphone session processing over the
+    /// configured [`hyperear_geom::MicArray`].
+    ///
+    /// Channels 0 and 1 — the primary pair, spanning device +y — drive
+    /// the full slide pipeline exactly as [`SessionEngine::run_into`].
+    /// When the configured array is the two-microphone compatibility
+    /// preset with no DOA front-end, this method delegates to
+    /// `run_into` verbatim, so results are bit-identical to the stereo
+    /// path (pinned by the conformance suite). Additional channels are
+    /// beacon-detected — fanned out over the attached pool two at a
+    /// time against the engine's pre-assigned scratch pair — and feed
+    /// the configured [`DoaFrontEnd`], which attaches the per-pair
+    /// session delays and a [`BearingPrior`] to the result.
+    ///
+    /// Front-end failures that depend on the *data* (an extra channel
+    /// with no beacons, an infeasible pair delay) leave
+    /// `bearing = None` without failing the session — the prior is
+    /// advisory, the primary-pair estimate is not. Configuration-level
+    /// mismatches are typed errors.
+    ///
+    /// # Errors
+    ///
+    /// [`HyperEarError::InvalidParameter`] when the channel count
+    /// disagrees with the configured array or channel lengths mismatch,
+    /// plus the conditions of [`SessionEngine::run_into`].
+    pub fn run_array_into(
+        &mut self,
+        input: &ArraySessionInput<'_>,
+        out: &mut SessionResult,
+    ) -> Result<(), HyperEarError> {
+        let array = self.config.array;
+        crate::doa::validate_channel_count(&array, input.channels.len())?;
+        if array.len() == 2 && self.config.doa_front_end == DoaFrontEnd::None {
+            let two = SessionInput {
+                audio_sample_rate: input.audio_sample_rate,
+                left: input.channels[0],
+                right: input.channels[1],
+                imu_sample_rate: input.imu_sample_rate,
+                accel: input.accel,
+                gyro: input.gyro,
+            };
+            return self.run_into(&two, out);
+        }
+        out.slides.clear();
+        out.upper = None;
+        out.lower = None;
+        out.stature_drop = None;
+        out.projected = None;
+        out.pair_delays.clear();
+        out.bearing = None;
+        let len0 = input.channels[0].len();
+        if let Some((k, ch)) = input
+            .channels
+            .iter()
+            .enumerate()
+            .find(|(_, ch)| ch.len() != len0)
+        {
+            return Err(HyperEarError::invalid(
+                "channels",
+                format!(
+                    "channel length mismatch: channel {k} has {} samples, channel 0 has {len0}",
+                    ch.len()
+                ),
+            ));
+        }
+        if input.audio_sample_rate <= 0.0 || input.imu_sample_rate <= 0.0 {
+            return Err(HyperEarError::invalid(
+                "sample rates",
+                "audio and IMU sample rates must be positive",
+            ));
+        }
+
+        // ---- Beacon detection on every channel. -------------------------
+        let rebuild = self
+            .detector
+            .as_ref()
+            .is_none_or(|d| d.sample_rate() != input.audio_sample_rate);
+        if rebuild {
+            self.detector = Some(BeaconDetector::new(&self.config, input.audio_sample_rate)?);
+        }
+        let pool = self
+            .pool
+            .as_ref()
+            .filter(|p| p.threads() > 1)
+            .map(Arc::clone);
+        self.arr_extra
+            .resize_with(array.len().saturating_sub(2), Vec::new);
+        let detector = self.detector.as_mut().expect("detector just ensured");
+        let (core, scratch_a) = detector.parts_mut();
+        let scratch_b = &mut self.scratch_right;
+        let arr_left = &mut self.arr_left;
+        let arr_right = &mut self.arr_right;
+        let arr_extra = self.arr_extra.as_mut_slice();
+        if let Some(pool) = &pool {
+            // Fan the N detections out two at a time: one shared
+            // read-only core, the engine's two private scratches. Each
+            // channel's arrivals depend only on its samples, never on
+            // scratch history, so the lists are bit-identical to the
+            // sequential loop below at any thread count.
+            let (r_left, r_right) = pool.join(
+                || core.detect_with(input.channels[0], scratch_a, arr_left),
+                || core.detect_with(input.channels[1], scratch_b, arr_right),
+            );
+            r_left?;
+            r_right?;
+            let mut rest = arr_extra;
+            let mut k = 2usize;
+            while rest.len() >= 2 {
+                let (a, tail) = rest.split_at_mut(1);
+                let (b, tail) = tail.split_at_mut(1);
+                let (ra, rb) = pool.join(
+                    || core.detect_with(input.channels[k], scratch_a, &mut a[0]),
+                    || core.detect_with(input.channels[k + 1], scratch_b, &mut b[0]),
+                );
+                ra?;
+                rb?;
+                rest = tail;
+                k += 2;
+            }
+            if let Some(last) = rest.first_mut() {
+                core.detect_with(input.channels[k], scratch_a, last)?;
+            }
+        } else {
+            core.detect_with(input.channels[0], scratch_a, arr_left)?;
+            core.detect_with(input.channels[1], scratch_a, arr_right)?;
+            for (k, slot) in arr_extra.iter_mut().enumerate() {
+                core.detect_with(input.channels[k + 2], scratch_a, slot)?;
+            }
+        }
+        self.finish_from_arrivals(
+            input.audio_sample_rate,
+            len0,
+            input.imu_sample_rate,
+            input.accel,
+            input.gyro,
+            out,
+        )?;
+        self.attach_bearing(input, out);
+        Ok(())
+    }
+
+    /// Runs the configured DOA front-end over the session's arrival
+    /// lists (planar) or the initial stationary hold of the raw
+    /// channels (phase tracking), attaching the per-pair delays and the
+    /// bearing prior to the result. Data-dependent front-end failures
+    /// leave `bearing = None`; the session result stands either way.
+    fn attach_bearing(&self, input: &ArraySessionInput<'_>, out: &mut SessionResult) {
+        let array = self.config.array;
+        let c = self.config.speed_of_sound;
+        let mut delays = [0.0f64; MAX_PAIRS];
+        let n = match self.config.doa_front_end {
+            DoaFrontEnd::None => return,
+            DoaFrontEnd::Planar => {
+                let mut refs: [&[BeaconArrival]; MAX_MICS] = [&[]; MAX_MICS];
+                refs[0] = &self.arr_left;
+                refs[1] = &self.arr_right;
+                for (k, list) in self.arr_extra.iter().enumerate() {
+                    refs[k + 2] = list;
+                }
+                crate::doa::arrival_pair_delays(&array, &refs[..array.len()], &mut delays)
+            }
+            DoaFrontEnd::PhaseTracking => {
+                // Phase is only meaningful while the geometry holds
+                // still: probe the initial stationary hold, before the
+                // first detected movement.
+                let fs = input.audio_sample_rate;
+                let full = input.channels[0].len();
+                let hold_end = self
+                    .movements
+                    .first()
+                    .map_or(f64::INFINITY, |&(start, _)| start - STATIONARY_MARGIN);
+                let mut prefix = if hold_end.is_finite() && hold_end > 0.0 {
+                    (((hold_end * fs) as usize).max(1)).min(full)
+                } else {
+                    full
+                };
+                if prefix < 256 {
+                    prefix = full;
+                }
+                let mut chans: [&[f64]; MAX_MICS] = [&[]; MAX_MICS];
+                for (k, ch) in input.channels.iter().enumerate() {
+                    chans[k] = &ch[..prefix];
+                }
+                crate::doa::phase_pair_delays(
+                    &array,
+                    &chans[..array.len()],
+                    fs,
+                    phase_probe_hz(&self.config),
+                    c,
+                    &mut delays,
+                )
+            }
+        };
+        let Ok(n) = n else { return };
+        out.pair_delays.extend_from_slice(&delays[..n]);
+        out.bearing = crate::doa::bearing_from_pair_delays(&array, &delays[..n], c).ok();
+    }
+
     /// Mutable access to the per-channel arrival lists, for front ends
     /// that run detection *outside* the engine (the streaming session
     /// path fills these from a [`crate::asp::StreamingDetector`] and then
@@ -803,6 +1082,8 @@ impl SessionEngine {
         out.lower = None;
         out.stature_drop = None;
         out.projected = None;
+        out.pair_delays.clear();
+        out.bearing = None;
         let pool = self
             .pool
             .as_ref()
@@ -1179,6 +1460,17 @@ fn process_slides(
     Ok(())
 }
 
+/// The auto-selected phase-tracking probe frequency: the lower of 80%
+/// of the array's unambiguous limit `c/(2·aperture)` and the beacon
+/// band's midpoint (where chirp energy is guaranteed). Compact arrays
+/// probe inside the beacon band; wide arrays fall back toward the
+/// unambiguous limit, which may sit below the band — the regime where
+/// phase tracking needs a pilot tone to be informative.
+fn phase_probe_hz(config: &HyperEarConfig) -> f64 {
+    let limit = config.speed_of_sound / (2.0 * config.array.aperture());
+    (0.8 * limit).min(0.5 * (config.beacon.f0 + config.beacon.f1))
+}
+
 /// A soft confidence factor in `(0, 1]`: 1 at zero residual, 0.5 at the
 /// tolerance, decaying quadratically beyond it.
 fn soft_factor(residual: f64, tolerance: f64) -> f64 {
@@ -1358,6 +1650,142 @@ mod tests {
             (proj.l_star - 3.0).abs() < 0.35,
             "projected {} truth 3.0",
             proj.l_star
+        );
+    }
+
+    #[test]
+    fn array_two_mic_compatibility_is_bit_identical() {
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(3.0)
+            .slides(2)
+            .seed(21)
+            .render()
+            .unwrap();
+        let mut stereo_engine = SessionEngine::new(HyperEarConfig::galaxy_s4()).unwrap();
+        let mut array_engine = SessionEngine::new(HyperEarConfig::galaxy_s4()).unwrap();
+        let stereo = stereo_engine.run_monitored(&input(&rec));
+        let chans: [&[f64]; 2] = [&rec.audio.left, &rec.audio.right];
+        let array = array_engine.run_array_monitored(&ArraySessionInput {
+            audio_sample_rate: rec.audio.sample_rate,
+            channels: &chans,
+            imu_sample_rate: rec.imu.sample_rate,
+            accel: &rec.imu.accel,
+            gyro: &rec.imu.gyro,
+        });
+        assert_eq!(array, stereo);
+    }
+
+    #[test]
+    fn triangle_array_session_attaches_planar_bearing() {
+        use hyperear_geom::devices;
+        use hyperear_geom::MicArray;
+        let array = MicArray::triangle(devices::TABLET_TRIANGLE.mic_separation);
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(3.0)
+            .slides(2)
+            .seed(22)
+            .render_array(&array)
+            .unwrap();
+        let config = HyperEarConfig::for_device(devices::TABLET_TRIANGLE);
+        let mut engine = SessionEngine::new(config).unwrap();
+        let refs: Vec<&[f64]> = rec.audio.channels.iter().map(|c| c.as_slice()).collect();
+        let result = engine
+            .run_array(&ArraySessionInput {
+                audio_sample_rate: rec.audio.sample_rate,
+                channels: &refs,
+                imu_sample_rate: rec.imu.sample_rate,
+                accel: &rec.imu.accel,
+                gyro: &rec.imu.gyro,
+            })
+            .unwrap();
+        let est = result.upper.expect("upper estimate");
+        assert!(
+            (est.range - 3.0).abs() < 0.3,
+            "range {} truth 3.0",
+            est.range
+        );
+        assert_eq!(result.pair_delays.len(), 3);
+        let bearing = result.bearing.expect("planar bearing prior");
+        // Speaker broadside of the slide line: device +x, α ≈ 90°,
+        // smeared a few degrees by the slide displacement.
+        assert!(
+            (bearing.alpha_degrees() - 90.0).abs() < 20.0,
+            "alpha {}",
+            bearing.alpha_degrees()
+        );
+        assert_eq!(bearing.side(), Side::Right);
+        assert!(
+            bearing.confidence > 0.2,
+            "confidence {}",
+            bearing.confidence
+        );
+    }
+
+    #[test]
+    fn compact_array_session_attaches_phase_bearing() {
+        use crate::config::DoaFrontEnd;
+        use hyperear_geom::MicArray;
+        // A compact 3 cm triangle: the unambiguous phase limit
+        // c/(2·aperture) ≈ 5.7 kHz reaches into the beacon band, so the
+        // auto probe lands where the chirp has energy.
+        let mut phone = PhoneModel::galaxy_s4();
+        phone.mic_separation = 0.03;
+        let array = MicArray::triangle(0.03);
+        let rec = ScenarioBuilder::new(phone)
+            .environment(Environment::anechoic())
+            .speaker_range(2.0)
+            .slides(1)
+            .seed(23)
+            .render_array(&array)
+            .unwrap();
+        let mut config = HyperEarConfig::for_array(array);
+        config.doa_front_end = DoaFrontEnd::PhaseTracking;
+        let mut engine = SessionEngine::new(config).unwrap();
+        let refs: Vec<&[f64]> = rec.audio.channels.iter().map(|c| c.as_slice()).collect();
+        let result = engine
+            .run_array(&ArraySessionInput {
+                audio_sample_rate: rec.audio.sample_rate,
+                channels: &refs,
+                imu_sample_rate: rec.imu.sample_rate,
+                accel: &rec.imu.accel,
+                gyro: &rec.imu.gyro,
+            })
+            .unwrap();
+        let bearing = result.bearing.expect("phase bearing prior");
+        // During the initial hold the speaker sits 0.29 m along the
+        // slide axis and 2 m broadside of it.
+        let expected = (0.29f64).atan2(2.0);
+        let err = hyperear_geom::rotation::wrap_radians(bearing.bearing - expected).abs();
+        assert!(err < 0.3, "bearing {} expected {expected}", bearing.bearing);
+        assert_eq!(result.pair_delays.len(), 3);
+    }
+
+    #[test]
+    fn array_channel_count_mismatch_is_typed() {
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(2.0)
+            .slides(1)
+            .seed(24)
+            .render()
+            .unwrap();
+        // Config describes 2 mics; feed 3 channels.
+        let mut engine = SessionEngine::new(HyperEarConfig::galaxy_s4()).unwrap();
+        let chans: [&[f64]; 3] = [&rec.audio.left, &rec.audio.right, &rec.audio.left];
+        let err = engine
+            .run_array(&ArraySessionInput {
+                audio_sample_rate: rec.audio.sample_rate,
+                channels: &chans,
+                imu_sample_rate: rec.imu.sample_rate,
+                accel: &rec.imu.accel,
+                gyro: &rec.imu.gyro,
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, HyperEarError::InvalidParameter { .. }),
+            "{err}"
         );
     }
 

@@ -43,6 +43,18 @@
 //! call sequence produces identical outcomes *and identical shedding*
 //! at any pool width.
 //!
+//! # Microphone arrays
+//!
+//! Streaming ingest is two-channel: it serves the phone's stereo
+//! recording path, which is also the only real-time capture the paper's
+//! hardware offers. N-microphone [`hyperear_geom::MicArray`] sessions
+//! (and the DOA front-ends that ride on them) go through the one-shot
+//! [`SessionEngine::run_array_into`] or the batch
+//! [`crate::batch::BatchEngine::run_array_batch_into`] path instead;
+//! the extra [`crate::pipeline::SessionResult`] fields those populate
+//! (`pair_delays`, `bearing`) simply pass through a streamed outcome
+//! empty/`None`.
+//!
 //! ```
 //! use hyperear::config::HyperEarConfig;
 //! use hyperear::stream::{StreamConfig, StreamService};

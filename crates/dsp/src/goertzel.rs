@@ -58,6 +58,65 @@ pub fn goertzel_power(signal: &[f64], freq_hz: f64, sample_rate: f64) -> Result<
     Ok(power / (n as f64 * n as f64 / 4.0))
 }
 
+/// Complex DFT bin of `signal` at the frequency nearest `freq_hz`:
+/// `(re, im)`, amplitude-normalized by `n/2` so a unit on-bin tone has
+/// magnitude ≈ 1 regardless of window length.
+///
+/// This is the phase-aware sibling of [`goertzel_power`]
+/// (`re² + im²` equals the power it reports): phase-tracking direction
+/// finding compares `atan2(im, re)` across channels, where the
+/// inter-channel phase difference `Δφ = 2π·f·τ` encodes the pair delay
+/// `τ` — the Swadloon construction.
+///
+/// # Errors
+///
+/// Same conditions as [`goertzel_power`].
+pub fn goertzel_bin(
+    signal: &[f64],
+    freq_hz: f64,
+    sample_rate: f64,
+) -> Result<(f64, f64), DspError> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput {
+            what: "goertzel input",
+        });
+    }
+    if sample_rate <= 0.0 {
+        return Err(DspError::invalid("sample_rate", "must be positive"));
+    }
+    if !(0.0..=sample_rate / 2.0).contains(&freq_hz) {
+        return Err(DspError::invalid(
+            "freq_hz",
+            format!("must be in [0, {}], got {freq_hz}", sample_rate / 2.0),
+        ));
+    }
+    let n = signal.len();
+    let k = (0.5 + n as f64 * freq_hz / sample_rate).floor();
+    let omega = 2.0 * std::f64::consts::PI * k / n as f64;
+    let coeff = 2.0 * omega.cos();
+    let (mut s1, mut s2) = (0.0, 0.0);
+    for &x in signal {
+        let s0 = x + coeff * s1 - s2;
+        s2 = s1;
+        s1 = s0;
+    }
+    // Standard Goertzel finalization: X[k] = s1 − s2·e^{−jω}.
+    let re = s1 - s2 * omega.cos();
+    let im = s2 * omega.sin();
+    let half_n = n as f64 / 2.0;
+    Ok((re / half_n, im / half_n))
+}
+
+/// Phase (radians, in `(−π, π]`) of the DFT bin nearest `freq_hz`.
+///
+/// # Errors
+///
+/// Same conditions as [`goertzel_power`].
+pub fn goertzel_phase(signal: &[f64], freq_hz: f64, sample_rate: f64) -> Result<f64, DspError> {
+    let (re, im) = goertzel_bin(signal, freq_hz, sample_rate)?;
+    Ok(im.atan2(re))
+}
+
 /// Scans a set of probe frequencies and returns the per-frequency powers.
 ///
 /// # Errors
@@ -128,6 +187,56 @@ mod tests {
         assert!(goertzel_power(&[1.0], -5.0, 8_000.0).is_err());
         assert!(goertzel_power(&[1.0], 5_000.0, 8_000.0).is_err());
         assert!(goertzel_power(&[1.0], 100.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn bin_magnitude_matches_power() {
+        let fs = 8_000.0;
+        let signal = tone(1_000.0, fs, 1600);
+        let p = goertzel_power(&signal, 1_000.0, fs).unwrap();
+        let (re, im) = goertzel_bin(&signal, 1_000.0, fs).unwrap();
+        assert!(
+            (re * re + im * im - p).abs() < 1e-9,
+            "{} vs {p}",
+            re * re + im * im
+        );
+    }
+
+    #[test]
+    fn phase_difference_encodes_delay() {
+        // Two copies of a tone offset by a known fractional delay: the
+        // bin phase difference must equal 2π·f·τ.
+        let fs = 44_100.0;
+        let f = 4_000.0;
+        let tau = 2.5e-5; // 25 µs ≈ 1.1 samples
+        let n = 4410;
+        let a: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f * (i as f64 / fs)).sin())
+            .collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f * (i as f64 / fs - tau)).sin())
+            .collect();
+        let pa = goertzel_phase(&a, f, fs).unwrap();
+        let pb = goertzel_phase(&b, f, fs).unwrap();
+        let mut dphi = pa - pb;
+        while dphi > std::f64::consts::PI {
+            dphi -= std::f64::consts::TAU;
+        }
+        while dphi <= -std::f64::consts::PI {
+            dphi += std::f64::consts::TAU;
+        }
+        let expected = 2.0 * std::f64::consts::PI * f * tau;
+        assert!(
+            (dphi - expected).abs() < 0.02,
+            "dphi {dphi} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn bin_rejects_bad_inputs() {
+        assert!(goertzel_bin(&[], 100.0, 8_000.0).is_err());
+        assert!(goertzel_bin(&[1.0], 5_000.0, 8_000.0).is_err());
+        assert!(goertzel_phase(&[1.0], 100.0, 0.0).is_err());
     }
 
     #[test]

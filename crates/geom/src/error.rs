@@ -32,6 +32,25 @@ pub enum GeomError {
         /// Description of the degeneracy.
         what: String,
     },
+    /// Two microphones of an array occupy (numerically) the same
+    /// position, so their pair carries no TDoA information.
+    CoincidentMics {
+        /// Index of the first microphone of the offending pair.
+        i: usize,
+        /// Index of the second microphone of the offending pair.
+        j: usize,
+        /// Distance between the two placements, metres.
+        distance: f64,
+    },
+    /// All microphones of an array lie on one line, so the array cannot
+    /// resolve a planar (2D) direction — only a cone angle about the
+    /// line.
+    CollinearMics {
+        /// Number of microphones in the offending array.
+        mics: usize,
+        /// Largest perpendicular deviation from the best line, metres.
+        deviation: f64,
+    },
 }
 
 impl fmt::Display for GeomError {
@@ -52,6 +71,14 @@ impl fmt::Display for GeomError {
                 "solver did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
             GeomError::Degenerate { what } => write!(f, "degenerate configuration: {what}"),
+            GeomError::CoincidentMics { i, j, distance } => write!(
+                f,
+                "microphones {i} and {j} coincide ({distance:.3e} m apart); the pair carries no TDoA information"
+            ),
+            GeomError::CollinearMics { mics, deviation } => write!(
+                f,
+                "all {mics} microphones are collinear (max deviation {deviation:.3e} m); planar direction is unobservable"
+            ),
         }
     }
 }
@@ -91,6 +118,19 @@ mod tests {
         .contains("50"));
         assert!(GeomError::Degenerate {
             what: "collinear".into()
+        }
+        .to_string()
+        .contains("collinear"));
+        assert!(GeomError::CoincidentMics {
+            i: 0,
+            j: 2,
+            distance: 1e-15
+        }
+        .to_string()
+        .contains("microphones 0 and 2 coincide"));
+        assert!(GeomError::CollinearMics {
+            mics: 3,
+            deviation: 1e-9
         }
         .to_string()
         .contains("collinear"));

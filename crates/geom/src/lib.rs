@@ -3,6 +3,12 @@
 //! Geometry for the [HyperEar] reproduction:
 //!
 //! - [`vec`](mod@vec) — 2D/3D vectors.
+//! - [`array`] — the N-microphone array description (device frame,
+//!   derived pairwise baselines) every layer consumes.
+//! - [`devices`] — the named device-preset table (Galaxy S4 / Note 3 /
+//!   synthetic multi-mic arrays); the single home of the mic constants.
+//! - [`doa`] — far-field planar direction-of-arrival from pairwise
+//!   delays (the 3-mic 2D DOA construction).
 //! - [`rotation`] — planar rotations and z-axis (roll) frames, used by the
 //!   Speaker Direction Finding component and by the motion simulator.
 //! - [`hyperbola`] — the locus `|p−f1| − |p−f2| = Δd` a single TDoA
@@ -36,6 +42,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod array;
+pub mod devices;
+pub mod doa;
 mod error;
 pub mod hyperbola;
 pub mod project;
@@ -44,5 +53,6 @@ pub mod tdoa_regions;
 pub mod triangulate;
 pub mod vec;
 
+pub use array::{MicArray, MicPair, MAX_MICS, MAX_PAIRS};
 pub use error::GeomError;
 pub use vec::{Vec2, Vec3};

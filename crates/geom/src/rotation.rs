@@ -171,6 +171,66 @@ pub fn distance_difference(speaker: Vec2, mic1: Vec2, mic2: Vec2) -> f64 {
     speaker.distance(mic1) - speaker.distance(mic2)
 }
 
+/// Checked variant of [`distance_difference`]: rejects coincident
+/// microphone placements (for which every speaker position measures an
+/// identically zero difference, so the pair carries no information).
+///
+/// # Errors
+///
+/// [`GeomError::CoincidentMics`] if `mic1` and `mic2` are closer than
+/// [`crate::array::COINCIDENT_EPS`].
+pub fn checked_distance_difference(
+    speaker: Vec2,
+    mic1: Vec2,
+    mic2: Vec2,
+) -> Result<f64, GeomError> {
+    let d = mic1.distance(mic2);
+    if d < crate::array::COINCIDENT_EPS {
+        return Err(GeomError::CoincidentMics {
+            i: 0,
+            j: 1,
+            distance: d,
+        });
+    }
+    Ok(distance_difference(speaker, mic1, mic2))
+}
+
+/// Exact distance difference `d_i − d_j` for pair `(i, j)` of a
+/// microphone array, with the array geometry validated first — the
+/// array-aware entry point of the roll-frame module.
+///
+/// When `planar` is set the array must additionally span two dimensions
+/// (the requirement of the planar DOA front-end), so collinear layouts
+/// are rejected with a typed error rather than silently producing a
+/// direction-ambiguous measurement.
+///
+/// # Errors
+///
+/// Everything [`crate::array::MicArray::validate`] rejects
+/// ([`GeomError::CoincidentMics`] included); with `planar`,
+/// [`GeomError::CollinearMics`] as well; and
+/// [`GeomError::InvalidParameter`] for out-of-range indices.
+pub fn pair_distance_difference(
+    speaker: Vec2,
+    array: &crate::array::MicArray,
+    i: usize,
+    j: usize,
+    planar: bool,
+) -> Result<f64, GeomError> {
+    if planar {
+        array.validate_planar()?;
+    } else {
+        array.validate()?;
+    }
+    let pair = array.pair(i, j)?;
+    let half = pair.axis * (pair.baseline / 2.0);
+    Ok(distance_difference(
+        speaker,
+        pair.midpoint - half,
+        pair.midpoint + half,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +329,36 @@ mod tests {
         assert!(RollFrame::from_alpha_degrees(0.0)
             .far_field_distance_difference(-1.0)
             .is_err());
+    }
+
+    #[test]
+    fn degenerate_placements_are_typed() {
+        use crate::array::MicArray;
+        let m = Vec2::new(0.0, 0.07);
+        let err = checked_distance_difference(Vec2::new(1.0, 1.0), m, m).unwrap_err();
+        assert!(matches!(err, GeomError::CoincidentMics { .. }), "{err}");
+
+        let line =
+            MicArray::from_positions(&[Vec2::ZERO, Vec2::new(0.07, 0.0), Vec2::new(0.14, 0.0)])
+                .unwrap();
+        // Non-planar use accepts a straight line...
+        // Speaker above mic 0: mic 0 is nearer, so d_0 − d_2 < 0.
+        let dd = pair_distance_difference(Vec2::new(0.0, 5.0), &line, 0, 2, false).unwrap();
+        assert!(dd < 0.0);
+        // ...planar use rejects it typed.
+        let err = pair_distance_difference(Vec2::new(0.0, 5.0), &line, 0, 2, true).unwrap_err();
+        assert!(
+            matches!(err, GeomError::CollinearMics { mics: 3, .. }),
+            "{err}"
+        );
+
+        // Matches the unchecked value when well-formed.
+        let tri = MicArray::triangle(0.14);
+        let speaker = Vec2::new(0.3, 2.0);
+        let via_pair = pair_distance_difference(speaker, &tri, 0, 1, true).unwrap();
+        let direct =
+            distance_difference(speaker, tri.position(0).unwrap(), tri.position(1).unwrap());
+        assert!((via_pair - direct).abs() < 1e-15);
     }
 
     #[test]

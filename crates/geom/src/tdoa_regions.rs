@@ -27,7 +27,8 @@ impl TdoaQuantizer {
     /// # Errors
     ///
     /// Returns [`GeomError::InvalidParameter`] for non-positive rates or
-    /// speeds, and [`GeomError::Degenerate`] for coincident receivers.
+    /// speeds, and [`GeomError::CoincidentMics`] for coincident
+    /// receivers.
     pub fn new(
         mic1: Vec2,
         mic2: Vec2,
@@ -40,9 +41,12 @@ impl TdoaQuantizer {
         if speed_of_sound <= 0.0 {
             return Err(GeomError::invalid("speed_of_sound", "must be positive"));
         }
-        if mic1.distance(mic2) < 1e-12 {
-            return Err(GeomError::Degenerate {
-                what: "microphones coincide".into(),
+        let d = mic1.distance(mic2);
+        if d < crate::array::COINCIDENT_EPS {
+            return Err(GeomError::CoincidentMics {
+                i: 0,
+                j: 1,
+                distance: d,
             });
         }
         Ok(TdoaQuantizer {
@@ -50,6 +54,32 @@ impl TdoaQuantizer {
             mic2,
             resolution: speed_of_sound / sample_rate,
         })
+    }
+
+    /// Creates a quantizer for pair `(i, j)` of a microphone array,
+    /// validating the whole array first — so a coincident pair anywhere
+    /// in the array (not just the requested one) is rejected typed.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`crate::array::MicArray::validate`] rejects, plus the
+    /// conditions of [`TdoaQuantizer::new`] and out-of-range indices.
+    pub fn for_pair(
+        array: &crate::array::MicArray,
+        i: usize,
+        j: usize,
+        sample_rate: f64,
+        speed_of_sound: f64,
+    ) -> Result<Self, GeomError> {
+        array.validate()?;
+        let pair = array.pair(i, j)?;
+        let half = pair.axis * (pair.baseline / 2.0);
+        TdoaQuantizer::new(
+            pair.midpoint - half,
+            pair.midpoint + half,
+            sample_rate,
+            speed_of_sound,
+        )
     }
 
     /// The distance-difference resolution `S/fs` in metres.
@@ -380,6 +410,35 @@ mod tests {
         assert!(q.range_ambiguity(1.0, 0.0).is_err());
         assert!(DensityMap::compute(&q, a, 0.01, 0, 5).is_err());
         assert!(DensityMap::compute(&q, a, 0.0, 5, 5).is_err());
+    }
+
+    #[test]
+    fn coincident_receivers_are_typed() {
+        let a = Vec2::new(0.0, 0.0);
+        let err = TdoaQuantizer::new(a, a, FS, S).unwrap_err();
+        assert!(
+            matches!(err, GeomError::CoincidentMics { i: 0, j: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn for_pair_matches_direct_construction() {
+        let arr = crate::array::MicArray::two_mic(0.1366);
+        let q = TdoaQuantizer::for_pair(&arr, 0, 1, FS, S).unwrap();
+        assert_eq!(q.distinguishable_hyperbolas(), 35);
+        assert!((q.baseline() - 0.1366).abs() < 1e-12);
+        // A coincident pair anywhere in the array is rejected typed.
+        let bad = crate::array::MicArray::from_positions(&[
+            Vec2::ZERO,
+            Vec2::new(0.1, 0.0),
+            Vec2::new(1e-9, 0.0),
+        ])
+        .unwrap();
+        let err = TdoaQuantizer::for_pair(&bad, 0, 1, FS, S).unwrap_err();
+        assert!(matches!(err, GeomError::CoincidentMics { .. }), "{err}");
+        // Out-of-range pair index.
+        assert!(TdoaQuantizer::for_pair(&arr, 0, 5, FS, S).is_err());
     }
 
     #[test]

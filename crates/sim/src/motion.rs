@@ -312,6 +312,29 @@ impl PhoneMotion {
         )
     }
 
+    /// World position at time `t` of a point rigidly mounted at
+    /// device-frame `offset` from Mic1.
+    ///
+    /// Device +y is the slide axis (yaw wobble included — the same
+    /// swinging [`PhoneMotion::mic2_position`] models) and device +x its
+    /// counter-clockwise horizontal perpendicular, which the scenario
+    /// geometry points toward the speaker side. Offsets are treated as
+    /// horizontal (tilt wander moves the IMU, not the mic heights), so
+    /// `device_position(t, (0, 0))` is exactly `mic1_position(t)` and
+    /// `device_position(t, (0, mic_offset))` exactly `mic2_position(t)`.
+    #[must_use]
+    pub fn device_position(&self, t: f64, offset: Vec2) -> Vec3 {
+        let m1 = self.mic1_position(t);
+        let yaw = self.yaw.value(t);
+        let dir = self.axis.rotated(yaw);
+        let perp = dir.perp();
+        Vec3::new(
+            m1.x + dir.x * offset.y + perp.x * offset.x,
+            m1.y + dir.y * offset.y + perp.y * offset.x,
+            m1.z,
+        )
+    }
+
     /// True linear acceleration of the phone in the *phone frame* at time
     /// `t` (x = lateral, y = slide axis, z = vertical), excluding gravity
     /// and sensor error.

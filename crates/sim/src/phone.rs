@@ -6,6 +6,7 @@
 //! exactly the hardware constants the algorithms care about.
 
 use crate::SimError;
+use hyperear_geom::devices;
 
 /// Static description of a phone's sensing hardware.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,7 +45,7 @@ impl PhoneModel {
     pub fn galaxy_s4() -> Self {
         PhoneModel {
             name: "Samsung Galaxy S4".to_string(),
-            mic_separation: 0.1366,
+            mic_separation: devices::GALAXY_S4.mic_separation,
             audio_sample_rate: 44_100.0,
             audio_bits: 16,
             imu_sample_rate: 100.0,
@@ -61,7 +62,7 @@ impl PhoneModel {
     pub fn galaxy_note3() -> Self {
         PhoneModel {
             name: "Samsung Galaxy Note3".to_string(),
-            mic_separation: 0.1512,
+            mic_separation: devices::GALAXY_NOTE3.mic_separation,
             audio_sample_rate: 44_100.0,
             audio_bits: 16,
             imu_sample_rate: 100.0,

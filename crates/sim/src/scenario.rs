@@ -20,7 +20,7 @@ use crate::volunteer::Volunteer;
 use crate::SimError;
 use hyperear_dsp::plan::{DspScratch, PlanCache};
 use hyperear_dsp::SPEED_OF_SOUND;
-use hyperear_geom::{Vec2, Vec3};
+use hyperear_geom::{MicArray, Vec2, Vec3};
 use hyperear_util::pool::Pool;
 
 /// Reusable FFT state for repeated rendering.
@@ -57,6 +57,36 @@ pub struct StereoRecording {
     pub left: Vec<f64>,
     /// Mic2 samples.
     pub right: Vec<f64>,
+}
+
+/// An N-channel audio recording at a nominal sample rate: one channel
+/// per microphone of a [`MicArray`], in array index order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiRecording {
+    /// Nominal sample rate, hertz.
+    pub sample_rate: f64,
+    /// Per-microphone sample streams, array index order.
+    pub channels: Vec<Vec<f64>>,
+}
+
+/// A rendered N-microphone session (see
+/// [`ScenarioBuilder::render_array`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayRecording {
+    /// The phone that recorded the session.
+    pub phone: PhoneModel,
+    /// The microphone array geometry, device frame.
+    pub array: MicArray,
+    /// The beacon source configuration.
+    pub speaker: SpeakerModel,
+    /// The acoustic environment.
+    pub environment: Environment,
+    /// Multi-channel audio as captured (noise + quantization included).
+    pub audio: MultiRecording,
+    /// Raw IMU traces.
+    pub imu: ImuTrace,
+    /// Ground truth for scoring.
+    pub truth: GroundTruth,
 }
 
 /// Everything the simulator knows that the pipeline must *estimate*.
@@ -310,6 +340,172 @@ impl ScenarioBuilder {
     ///
     /// Same conditions as [`ScenarioBuilder::render`].
     pub fn render_with(&self, ctx: &mut RenderContext) -> Result<Recording, SimError> {
+        let mut rng = SimRng::seed_from(self.seed);
+        let mut motion_rng = rng.fork("motion");
+        let mut imu_rng = rng.fork("imu");
+        let mut noise_rng_l = rng.fork("noise-left");
+        let mut noise_rng_r = rng.fork("noise-right");
+        let mut phase_rng = rng.fork("phase");
+        let scene = self.prepare(ctx, &mut motion_rng, &mut phase_rng)?;
+        let fs_nominal = self.phone.audio_sample_rate;
+        let clean_left = scene.clean_channel(&|t| scene.motion.mic1_position(t))?;
+        let clean_right = scene.clean_channel(&|t| scene.motion.mic2_position(t))?;
+        let left = add_noise_and_quantize(
+            &clean_left,
+            self.environment.noise,
+            self.environment.snr_db,
+            fs_nominal,
+            &mut noise_rng_l,
+        )?;
+        let right = add_noise_and_quantize(
+            &clean_right,
+            self.environment.noise,
+            self.environment.snr_db,
+            fs_nominal,
+            &mut noise_rng_r,
+        )?;
+        let imu_model = ImuModel::phone_grade().with_tremor(self.tremor_accel_std);
+        let imu = sample_imu(
+            &scene.motion,
+            &imu_model,
+            self.phone.imu_sample_rate,
+            &mut imu_rng,
+        )?;
+        let truth = self.ground_truth(scene.speaker_position, scene.motion);
+        Ok(Recording {
+            phone: self.phone.clone(),
+            speaker: self.speaker.clone(),
+            environment: self.environment.clone(),
+            audio: StereoRecording {
+                sample_rate: fs_nominal,
+                left,
+                right,
+            },
+            imu,
+            truth,
+        })
+    }
+
+    /// Renders the session captured by an N-microphone [`MicArray`]
+    /// instead of the phone's stereo pair.
+    ///
+    /// The array's primary pair must match the phone: mic 0 at the
+    /// device origin, mic 1 at `(0, mic_separation)` on device +y (the
+    /// slide axis). Channels 0 and 1 are then **bit-identical** to the
+    /// `left`/`right` of [`ScenarioBuilder::render`] at the same seed —
+    /// same mic trajectories, same noise streams — so the two-mic
+    /// compatibility contract extends through the simulator. Extra
+    /// microphones ride rigidly at their device-frame offsets (device
+    /// +x points toward the speaker side) with independent noise.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidParameter`] for an array that fails
+    /// [`MicArray::validate`] or whose primary pair disagrees with the
+    /// phone, plus the conditions of [`ScenarioBuilder::render`].
+    pub fn render_array(&self, array: &MicArray) -> Result<ArrayRecording, SimError> {
+        self.render_array_with(array, &mut RenderContext::new())
+    }
+
+    /// [`ScenarioBuilder::render_array`] against a reusable
+    /// [`RenderContext`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ScenarioBuilder::render_array`].
+    pub fn render_array_with(
+        &self,
+        array: &MicArray,
+        ctx: &mut RenderContext,
+    ) -> Result<ArrayRecording, SimError> {
+        array
+            .validate()
+            .map_err(|e| SimError::invalid("array", e.to_string()))?;
+        let p0 = array.position(0).expect("validated array has mic 0");
+        let p1 = array.position(1).expect("validated array has mic 1");
+        if p0.x != 0.0
+            || p0.y != 0.0
+            || p1.x != 0.0
+            || (p1.y - self.phone.mic_separation).abs() > 1e-9
+        {
+            return Err(SimError::invalid(
+                "array",
+                format!(
+                    "primary pair must sit at (0, 0) and (0, {}) to match the phone's \
+                     mic separation, got ({}, {}) and ({}, {})",
+                    self.phone.mic_separation, p0.x, p0.y, p1.x, p1.y
+                ),
+            ));
+        }
+        let mut rng = SimRng::seed_from(self.seed);
+        let mut motion_rng = rng.fork("motion");
+        let mut imu_rng = rng.fork("imu");
+        let mut noise_rng_l = rng.fork("noise-left");
+        let mut noise_rng_r = rng.fork("noise-right");
+        let mut phase_rng = rng.fork("phase");
+        // Extra-channel noise forks come after the stereo five, so the
+        // first five streams — and with them channels 0/1 — match the
+        // stereo render bit for bit.
+        let mut extra_rngs: Vec<SimRng> = (2..array.len())
+            .map(|k| rng.fork(&format!("noise-ch{k}")))
+            .collect();
+        let scene = self.prepare(ctx, &mut motion_rng, &mut phase_rng)?;
+        let fs_nominal = self.phone.audio_sample_rate;
+        let mut channels = Vec::with_capacity(array.len());
+        for k in 0..array.len() {
+            let clean = match k {
+                0 => scene.clean_channel(&|t| scene.motion.mic1_position(t))?,
+                1 => scene.clean_channel(&|t| scene.motion.mic2_position(t))?,
+                _ => {
+                    let offset = array.position(k).expect("validated index");
+                    scene.clean_channel(&|t| scene.motion.device_position(t, offset))?
+                }
+            };
+            let noise_rng = match k {
+                0 => &mut noise_rng_l,
+                1 => &mut noise_rng_r,
+                _ => &mut extra_rngs[k - 2],
+            };
+            channels.push(add_noise_and_quantize(
+                &clean,
+                self.environment.noise,
+                self.environment.snr_db,
+                fs_nominal,
+                noise_rng,
+            )?);
+        }
+        let imu_model = ImuModel::phone_grade().with_tremor(self.tremor_accel_std);
+        let imu = sample_imu(
+            &scene.motion,
+            &imu_model,
+            self.phone.imu_sample_rate,
+            &mut imu_rng,
+        )?;
+        let truth = self.ground_truth(scene.speaker_position, scene.motion);
+        Ok(ArrayRecording {
+            phone: self.phone.clone(),
+            array: *array,
+            speaker: self.speaker.clone(),
+            environment: self.environment.clone(),
+            audio: MultiRecording {
+                sample_rate: fs_nominal,
+                channels,
+            },
+            imu,
+            truth,
+        })
+    }
+
+    /// Validates the builder and renders everything a channel render
+    /// needs — geometry, motion, propagation paths, the mic-shaped
+    /// beacon and its emission schedule. Shared by the stereo and array
+    /// paths so both produce identical scenes from identical RNG forks.
+    fn prepare(
+        &self,
+        ctx: &mut RenderContext,
+        motion_rng: &mut SimRng,
+        phase_rng: &mut SimRng,
+    ) -> Result<PreparedScene, SimError> {
         self.phone.validate()?;
         self.speaker.validate(self.phone.audio_sample_rate)?;
         self.environment.validate()?;
@@ -319,12 +515,6 @@ impl ScenarioBuilder {
                 format!("must be within [0.2, 30] m, got {}", self.speaker_range),
             ));
         }
-        let mut rng = SimRng::seed_from(self.seed);
-        let mut motion_rng = rng.fork("motion");
-        let mut imu_rng = rng.fork("imu");
-        let mut noise_rng_l = rng.fork("noise-left");
-        let mut noise_rng_r = rng.fork("noise-right");
-        let mut phase_rng = rng.fork("phase");
 
         // ---- Geometry: place the slide line and the speaker. -----------
         // The slide axis is world +x. Place the assembly so everything
@@ -356,12 +546,7 @@ impl ScenarioBuilder {
                 .hold_duration(self.hold_duration)
                 .slide_distance(self.slide_distance)
                 .slide_duration(self.slide_duration)
-                .build(
-                    self.slides,
-                    self.stature_drop,
-                    self.slides_low,
-                    &mut motion_rng,
-                )?;
+                .build(self.slides, self.stature_drop, self.slides_low, motion_rng)?;
 
         // ---- Acoustics. --------------------------------------------------
         if !(self.direct_path_attenuation_db >= 0.0 && self.direct_path_attenuation_db.is_finite())
@@ -408,60 +593,26 @@ impl ScenarioBuilder {
                 "session too short to contain a single beacon",
             ));
         }
-        let fs_nominal = self.phone.audio_sample_rate;
         let fs_effective = self.phone.effective_sample_rate();
-        let out_len = (motion.total_duration * fs_nominal).ceil() as usize;
-        let m1 = |t: f64| motion.mic1_position(t);
-        let m2 = |t: f64| motion.mic2_position(t);
-        let clean_left = render_clean_channel(
-            &chirp_samples,
-            &emissions,
-            &paths,
-            &m1,
+        let out_len = (motion.total_duration * self.phone.audio_sample_rate).ceil() as usize;
+        Ok(PreparedScene {
+            speaker_position,
+            motion,
+            paths,
+            chirp_samples,
+            emissions,
             fs_effective,
-            SPEED_OF_SOUND,
-            self.speaker.amplitude_at_1m,
             out_len,
-        )?;
-        let clean_right = render_clean_channel(
-            &chirp_samples,
-            &emissions,
-            &paths,
-            &m2,
-            fs_effective,
-            SPEED_OF_SOUND,
-            self.speaker.amplitude_at_1m,
-            out_len,
-        )?;
-        let left = add_noise_and_quantize(
-            &clean_left,
-            self.environment.noise,
-            self.environment.snr_db,
-            fs_nominal,
-            &mut noise_rng_l,
-        )?;
-        let right = add_noise_and_quantize(
-            &clean_right,
-            self.environment.noise,
-            self.environment.snr_db,
-            fs_nominal,
-            &mut noise_rng_r,
-        )?;
+            amplitude: self.speaker.amplitude_at_1m,
+        })
+    }
 
-        // ---- Inertial. ----------------------------------------------------
-        let imu_model = ImuModel::phone_grade().with_tremor(self.tremor_accel_std);
-        let imu = sample_imu(
-            &motion,
-            &imu_model,
-            self.phone.imu_sample_rate,
-            &mut imu_rng,
-        )?;
-
-        // ---- Ground truth. -------------------------------------------------
+    /// The ground truth for a prepared scene (consumes the motion).
+    fn ground_truth(&self, speaker_position: Vec3, motion: PhoneMotion) -> GroundTruth {
         let dz_upper = speaker_position.z - self.phone_stature;
         let dz_lower = speaker_position.z - (self.phone_stature - self.stature_drop);
         let ground = self.speaker_range;
-        let truth = GroundTruth {
+        GroundTruth {
             speaker_position,
             motion,
             ground_distance: ground,
@@ -476,19 +627,37 @@ impl ScenarioBuilder {
             } else {
                 0.0
             },
-        };
-        Ok(Recording {
-            phone: self.phone.clone(),
-            speaker: self.speaker.clone(),
-            environment: self.environment.clone(),
-            audio: StereoRecording {
-                sample_rate: fs_nominal,
-                left,
-                right,
-            },
-            imu,
-            truth,
-        })
+        }
+    }
+}
+
+/// Everything a channel render needs, prepared once per scenario and
+/// shared by the stereo and array paths.
+struct PreparedScene {
+    speaker_position: Vec3,
+    motion: PhoneMotion,
+    paths: Vec<PropagationPath>,
+    chirp_samples: Vec<f64>,
+    emissions: Vec<f64>,
+    fs_effective: f64,
+    out_len: usize,
+    amplitude: f64,
+}
+
+impl PreparedScene {
+    /// Renders one clean (noise-free, unquantized) channel for a
+    /// microphone trajectory.
+    fn clean_channel(&self, mic: &dyn Fn(f64) -> Vec3) -> Result<Vec<f64>, SimError> {
+        render_clean_channel(
+            &self.chirp_samples,
+            &self.emissions,
+            &self.paths,
+            mic,
+            self.fs_effective,
+            SPEED_OF_SOUND,
+            self.amplitude,
+            self.out_len,
+        )
     }
 }
 
@@ -740,6 +909,43 @@ mod tests {
         let frac = band_energy_fraction(&rec.audio.left[best..best + win], fs, 15_000.0, 20_500.0)
             .unwrap();
         assert!(frac > 0.6, "high-band fraction {frac}");
+    }
+
+    #[test]
+    fn array_render_first_two_channels_match_stereo_exactly() {
+        let stereo = quick_builder().render().unwrap();
+        let array = MicArray::triangle(PhoneModel::galaxy_s4().mic_separation);
+        let rec = quick_builder().render_array(&array).unwrap();
+        assert_eq!(rec.audio.channels.len(), 3);
+        assert_eq!(rec.audio.channels[0], stereo.audio.left);
+        assert_eq!(rec.audio.channels[1], stereo.audio.right);
+        assert_eq!(rec.imu, stereo.imu);
+        assert_eq!(rec.truth, stereo.truth);
+        // The apex channel is a real third capture, not a copy.
+        assert_eq!(rec.audio.channels[2].len(), stereo.audio.left.len());
+        assert_ne!(rec.audio.channels[2], rec.audio.channels[0]);
+        assert_ne!(rec.audio.channels[2], rec.audio.channels[1]);
+    }
+
+    #[test]
+    fn array_render_rejects_mismatched_primary_pair() {
+        // Triangle sized for the Note3 under an S4 phone: primary
+        // baseline disagrees with the phone's mic separation.
+        let err = quick_builder()
+            .render_array(&MicArray::triangle(0.1512))
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidParameter { .. }), "{err}");
+    }
+
+    #[test]
+    fn two_mic_array_render_is_the_stereo_render() {
+        let stereo = quick_builder().render().unwrap();
+        let rec = quick_builder()
+            .render_array(&MicArray::two_mic(PhoneModel::galaxy_s4().mic_separation))
+            .unwrap();
+        assert_eq!(rec.audio.channels.len(), 2);
+        assert_eq!(rec.audio.channels[0], stereo.audio.left);
+        assert_eq!(rec.audio.channels[1], stereo.audio.right);
     }
 
     #[test]

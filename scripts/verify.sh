@@ -6,6 +6,7 @@
 #   scripts/verify.sh --faults   # tier-1 gate + seeded fault-matrix sweep
 #   scripts/verify.sh --bench    # tier-1 gate + bench smoke (alloc gate)
 #   scripts/verify.sh --stream   # tier-1 gate + streaming soak smoke
+#   scripts/verify.sh --doa      # tier-1 gate + DOA contract property sweep
 #
 # The --faults tier drives the full fault-injection matrix through the
 # monitored pipeline (`repro faults --fast`): every corrupted session
@@ -24,18 +25,25 @@
 # fleet through the StreamService) and greps the `stream-contract:`
 # line: every streamed session must be bit-identical to its one-shot
 # reference and the shed/busy schedule identical across thread counts.
+#
+# The --doa tier runs the direction-finding property sweep (random 3-
+# and 4-microphone geometries through both DOA front-ends) and greps
+# the `doa-contract: ... HELD` lines: both front-ends must recover the
+# bearing within their pinned tolerances on every drawn geometry.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_FAULTS=0
 RUN_BENCH=0
 RUN_STREAM=0
+RUN_DOA=0
 for arg in "$@"; do
     case "$arg" in
         --faults) RUN_FAULTS=1 ;;
         --bench) RUN_BENCH=1 ;;
         --stream) RUN_STREAM=1 ;;
-        *) echo "unknown option: $arg (supported: --faults, --bench, --stream)" >&2; exit 2 ;;
+        --doa) RUN_DOA=1 ;;
+        *) echo "unknown option: $arg (supported: --faults, --bench, --stream, --doa)" >&2; exit 2 ;;
     esac
 done
 
@@ -101,6 +109,12 @@ if [ "$RUN_BENCH" -eq 1 ]; then
     HYPEREAR_SOAK_PHONES=8 \
     HYPEREAR_BENCH_SAMPLES=3 HYPEREAR_BENCH_SAMPLE_MS=20 HYPEREAR_BENCH_WARMUP_MS=50 \
         cargo bench -p hyperear-bench --bench stream_soak
+
+    # The counting-allocator test gates ride along with --bench: warm
+    # stereo batches, warm N-microphone array sessions (both DOA
+    # front-ends), and warm streaming cycles must allocate nothing.
+    echo "== allocation gates (batch, array, stream) =="
+    cargo test -p hyperear --test alloc_batch --test alloc_array --test alloc_stream -q
 fi
 
 if [ "$RUN_STREAM" -eq 1 ]; then
@@ -126,6 +140,16 @@ if [ "$RUN_STREAM" -eq 1 ]; then
         fi
     else
         echo "host has ${NPROC} CPU(s) < 4; skipping soak throughput comparison"
+    fi
+fi
+
+if [ "$RUN_DOA" -eq 1 ]; then
+    echo "== doa property sweep (random arrays, both front-ends, contract grep) =="
+    OUT="$(cargo test --release --test doa_property -- --nocapture)"
+    echo "$OUT"
+    if [ "$(grep -c "doa-contract:.*HELD" <<<"$OUT")" -lt 2 ]; then
+        echo "DOA TIER FAILED: direction-finding contract not held" >&2
+        exit 1
     fi
 fi
 

@@ -348,3 +348,96 @@ fn invalid_fault_plans_are_typed_sim_errors() {
         assert!(plan.apply(&mut rec).is_err(), "{fault:?} accepted");
     }
 }
+
+/// Array sessions: config-level mismatches are typed errors, and
+/// data-dependent DOA failures degrade softly — `bearing: None` on an
+/// otherwise usable outcome, never a panic or a failed session.
+#[test]
+fn degenerate_array_inputs_are_typed_or_soft() {
+    use hyperear::config::DoaFrontEnd;
+    use hyperear::pipeline::ArraySessionInput;
+    use hyperear_geom::{GeomError, MicArray, Vec2};
+
+    // Geometry layer: coincident and collinear placements are typed.
+    let stacked = MicArray::from_positions(&[Vec2::ZERO, Vec2::ZERO, Vec2::new(0.0, 0.1)]).unwrap();
+    assert!(matches!(
+        stacked.validate(),
+        Err(GeomError::CoincidentMics { .. })
+    ));
+    let line = MicArray::from_positions(&[Vec2::ZERO, Vec2::new(0.0, 0.07), Vec2::new(0.0, 0.14)])
+        .unwrap();
+    assert!(matches!(
+        line.validate_planar(),
+        Err(GeomError::CollinearMics { .. })
+    ));
+
+    // Config layer: a planar front-end on a collinear array cannot even
+    // build an engine.
+    let mut collinear_cfg = HyperEarConfig::for_array(line);
+    collinear_cfg.doa_front_end = DoaFrontEnd::Planar;
+    assert!(matches!(
+        SessionEngine::new(collinear_cfg),
+        Err(HyperEarError::Geom(GeomError::CollinearMics { .. }))
+    ));
+
+    // Session layer: channel-count and channel-length mismatches are
+    // typed errors through the array entry point.
+    let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+        .environment(Environment::anechoic())
+        .speaker_range(2.0)
+        .slides(1)
+        .seed(11)
+        .render()
+        .unwrap();
+    let mut engine = SessionEngine::new(HyperEarConfig::galaxy_s4()).unwrap();
+    let three: [&[f64]; 3] = [&rec.audio.left, &rec.audio.right, &rec.audio.left];
+    let base = ArraySessionInput {
+        audio_sample_rate: rec.audio.sample_rate,
+        channels: &three,
+        imu_sample_rate: rec.imu.sample_rate,
+        accel: &rec.imu.accel,
+        gyro: &rec.imu.gyro,
+    };
+    assert!(matches!(
+        engine.run_array(&base),
+        Err(HyperEarError::InvalidParameter { .. })
+    ));
+
+    let array = MicArray::triangle(0.1366);
+    let tri_rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+        .environment(Environment::anechoic())
+        .speaker_range(2.0)
+        .slides(1)
+        .seed(12)
+        .render_array(&array)
+        .unwrap();
+    let mut tri_engine = SessionEngine::new(HyperEarConfig::for_array(array)).unwrap();
+    let short: Vec<f64> = tri_rec.audio.channels[2][..1_000].to_vec();
+    let ragged: [&[f64]; 3] = [
+        &tri_rec.audio.channels[0],
+        &tri_rec.audio.channels[1],
+        &short,
+    ];
+    let mut ragged_input = base;
+    ragged_input.channels = &ragged;
+    assert!(matches!(
+        tri_engine.run_array(&ragged_input),
+        Err(HyperEarError::InvalidParameter { .. })
+    ));
+
+    // Data layer: a silent extra channel starves the planar front-end
+    // of pair delays, but the session itself (which only needs the
+    // primary pair) stays usable — the bearing prior is simply absent.
+    let silent = vec![0.0f64; tri_rec.audio.channels[2].len()];
+    let muted: [&[f64]; 3] = [
+        &tri_rec.audio.channels[0],
+        &tri_rec.audio.channels[1],
+        &silent,
+    ];
+    let mut muted_input = base;
+    muted_input.channels = &muted;
+    let outcome = tri_engine.run_array_monitored(&muted_input);
+    let result = outcome.result().expect("session survives a dead channel");
+    assert!(result.bearing.is_none(), "no prior from starved front-end");
+    assert!(result.pair_delays.is_empty());
+}

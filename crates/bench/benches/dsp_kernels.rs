@@ -145,6 +145,78 @@ fn bench_peak_refinement(suite: &mut Suite) {
     });
 }
 
+fn bench_estimators(suite: &mut Suite) {
+    use hyperear_dsp::estimator::{
+        gcc_phat_with, mcci_fuse_channel_into, mcci_offsets_with, subband_coherence_with,
+        EstimatorScratch,
+    };
+    // A one-second correlation train: five beacon-like main lobes over a
+    // noise floor, the shape the weighting estimators actually reprocess.
+    let n = 44_100usize;
+    let mut corr = deterministic_signal(n);
+    for v in &mut corr {
+        *v *= 0.02;
+    }
+    let chirp = Chirp::hyperear_beacon(44_100.0).expect("chirp");
+    let auto = hyperear_dsp::correlate::xcorr(chirp.samples(), chirp.samples()).expect("auto");
+    for k in 0..5 {
+        let at = 2_000 + k * 8_820;
+        for (i, &a) in auto.iter().enumerate() {
+            if at + i < n {
+                corr[at + i] += a;
+            }
+        }
+    }
+    let mut scratch = EstimatorScratch::new();
+    let mut work = corr.clone();
+    // Warm-up so the shared plan and scratch are at their high-water mark.
+    gcc_phat_with(&mut work, 0.15, &mut scratch).expect("phat");
+    {
+        let corr = corr.clone();
+        let mut work = work.clone();
+        let mut scratch = scratch.clone();
+        suite.bench_allocfree_with_elements("estimator/gcc_phat/1s", n as u64, move || {
+            work.clear();
+            work.extend_from_slice(&corr);
+            gcc_phat_with(&mut work, 0.15, &mut scratch).expect("phat");
+            black_box(work[0])
+        });
+    }
+    {
+        let corr = corr.clone();
+        let mut work = work.clone();
+        let mut scratch = scratch.clone();
+        suite.bench_allocfree_with_elements(
+            "estimator/subband_coherence/1s",
+            n as u64,
+            move || {
+                work.clear();
+                work.extend_from_slice(&corr);
+                subband_coherence_with(&mut work, 44_100.0, 1_000.0, 20_000.0, 16, &mut scratch)
+                    .expect("coherence");
+                black_box(work[0])
+            },
+        );
+    }
+    // MCCI identity solve + two-channel fusion over the same train, the
+    // per-session cost the escalating policy pays for its heaviest rung.
+    let shifted: Vec<f64> = {
+        let mut s = vec![0.0; n];
+        s[9..].copy_from_slice(&corr[..n - 9]);
+        s
+    };
+    let mut offsets = Vec::new();
+    let mut live = Vec::new();
+    let mut fused = Vec::new();
+    mcci_offsets_with(&[&corr, &shifted], 64, &mut offsets, &mut live).expect("offsets");
+    mcci_fuse_channel_into(&[&corr, &shifted], &offsets, &live, 0, &mut fused).expect("fuse");
+    suite.bench_allocfree_with_elements("estimator/mcci_solve_fuse/1s", n as u64, move || {
+        mcci_offsets_with(&[&corr, &shifted], 64, &mut offsets, &mut live).expect("offsets");
+        mcci_fuse_channel_into(&[&corr, &shifted], &offsets, &live, 0, &mut fused).expect("fuse");
+        black_box(fused[0])
+    });
+}
+
 fn bench_rfft_spectrum(suite: &mut Suite) {
     let signal = deterministic_signal(44_100);
     suite.bench("rfft_1s_padded", || {
@@ -179,6 +251,7 @@ fn main() {
     bench_band_pass(&mut suite);
     bench_fractional_delay(&mut suite);
     bench_peak_refinement(&mut suite);
+    bench_estimators(&mut suite);
     bench_rfft_spectrum(&mut suite);
     suite.finish();
 }

@@ -4,6 +4,7 @@
 //! dispatches on experiment ids. The modules are listed in paper order.
 
 pub mod ablations;
+pub mod estimators;
 pub mod ext_inaudible;
 pub mod ext_nlos;
 pub mod faults;
@@ -73,6 +74,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "ext-inaudible",
         "ext-nlos",
         "faults",
+        "estimators",
     ]
 }
 
@@ -99,6 +101,7 @@ pub fn run(id: &str, scale: &Scale) -> Option<Report> {
         "ext-inaudible" => ext_inaudible::run(scale),
         "ext-nlos" => ext_nlos::run(scale),
         "faults" => faults::run(scale),
+        "estimators" => estimators::run(scale),
         _ => return None,
     })
 }
@@ -121,6 +124,6 @@ mod tests {
 
     #[test]
     fn id_list_is_complete() {
-        assert_eq!(all_ids().len(), 17);
+        assert_eq!(all_ids().len(), 18);
     }
 }

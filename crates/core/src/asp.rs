@@ -8,10 +8,11 @@
 //! refined below the sampling grid — without that refinement the TDoA
 //! resolution would be stuck at 7.78 mm per sample (paper §II-C).
 
-use crate::config::{HyperEarConfig, Interpolation};
+use crate::config::{HyperEarConfig, Interpolation, TdoaEstimator};
 use crate::HyperEarError;
 use hyperear_dsp::chirp::{Chirp, ChirpShape};
 use hyperear_dsp::correlate::{ChunkFeed, StreamingMatchedFilter};
+use hyperear_dsp::estimator::{gcc_phat_with, subband_coherence_with, EstimatorScratch};
 use hyperear_dsp::filter::{FirFilter, ZeroPhaseFir};
 use hyperear_dsp::interpolate::{parabolic_peak, sinc_peak};
 use hyperear_dsp::peak::{find_peaks_into, noise_floor_with, Peak, PeakConfig};
@@ -49,7 +50,75 @@ pub struct DetectorCore {
     relative_threshold: f64,
     interpolation: Interpolation,
     envelope_detection: bool,
+    /// The configured initial estimator (see `EstimatorPolicy::initial`);
+    /// engine-driven escalation may override it per detection pass.
+    estimator: TdoaEstimator,
+    phat_floor: f64,
+    coherence_bands: usize,
+    /// Beacon band for coherence weighting, Hz (band-pass margins applied,
+    /// clamped to Nyquist).
+    coherence_band: (f64, f64),
 }
+
+/// How far (samples, each side) guided arrival extraction searches a
+/// channel's own correlation around a *spectrally-weighted* guide peak.
+/// The weighted copy lives on the channel's own time line, so the guide
+/// is already within interpolation distance of the own-correlation peak.
+pub(crate) const MCCI_REFINE: usize = 8;
+
+/// Refine radius (samples, each side) around an *MCCI-fused* guide peak.
+/// Fusion aligns channels with one session-constant offset per channel,
+/// but the instantaneous inter-channel lag walks across ±(mic
+/// separation / c) during a slide — ±17.6 samples at 13.66 cm and
+/// 44.1 kHz — so a fused apex can sit up to ~2× that from the own-channel
+/// peak. 40 samples covers the worst case while staying below the
+/// shortest NLOS echo delay the fault model injects (~53 samples), and
+/// the own-correlation direct peak dominates any echo inside the window
+/// regardless (echoes arrive attenuated on the unweighted correlation).
+pub(crate) const FUSED_REFINE: usize = 40;
+
+/// Which kind of correlation is guiding arrival timing — determines the
+/// refine radius and whether the leading-edge echo rule applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GuideKind {
+    /// Spectrally-weighted copy of the channel's own correlation
+    /// (GCC-PHAT, sub-band coherence): exact time alignment, so a tight
+    /// refine window; whitening can equalize an echo with the direct
+    /// path, so the leading-edge rule is on.
+    Weighted,
+    /// MCCI shift-and-average across channels: the guide carries the
+    /// residual misalignment of session-constant offsets, so a wide
+    /// refine window; averaging never promotes an echo above the direct
+    /// path, and misalignment doublets would false-trigger the
+    /// leading-edge rule, so it is off.
+    Fused,
+}
+
+impl GuideKind {
+    fn refine(self) -> usize {
+        match self {
+            GuideKind::Weighted => MCCI_REFINE,
+            GuideKind::Fused => FUSED_REFINE,
+        }
+    }
+
+    fn leading_edge(self) -> bool {
+        matches!(self, GuideKind::Weighted)
+    }
+}
+
+/// Leading-edge backtrack window for guided arrival extraction, seconds.
+/// NLOS multipath puts an echo *after* the direct path at millisecond
+/// scale; when a detected cluster's apex is actually the echo (spectral
+/// whitening equalizes their amplitudes), the direct path survives as an
+/// earlier near-equal local maximum inside this window.
+const LEADING_EDGE_WINDOW: f64 = 0.004;
+
+/// An earlier local maximum within [`LEADING_EDGE_WINDOW`] replaces the
+/// cluster apex as the timing guide when it reaches this fraction of the
+/// apex value. Matched-filter sidelobes sit far below this ratio, so the
+/// rule is inert on clean correlations.
+const LEADING_EDGE_RATIO: f64 = 0.7;
 
 /// The mutable, per-channel half of a beacon detector: the FFT scratch
 /// arena and every intermediate buffer a detection pass fills. One
@@ -62,6 +131,14 @@ pub struct DetectScratch {
     peaks: Vec<Peak>,
     peaks_scratch: Vec<Peak>,
     mags: Vec<f64>,
+    /// Per-estimator workspace (half spectrum, inverse transform, band
+    /// powers) for the spectral-weighting estimators.
+    est: EstimatorScratch,
+    /// Weighted copy of the correlation used by the spectral-weighting
+    /// estimators for *peak detection*; arrival timing always reads the
+    /// plain matched-filter correlation (see
+    /// [`DetectorCore::detect_with_estimator`]).
+    weighted: Vec<f64>,
 }
 
 impl DetectScratch {
@@ -76,9 +153,19 @@ impl DetectScratch {
     #[must_use]
     pub fn capacity_bytes(&self) -> usize {
         self.scratch.capacity_bytes()
-            + (self.corr.capacity() + self.filtered.capacity() + self.mags.capacity())
+            + (self.corr.capacity()
+                + self.filtered.capacity()
+                + self.mags.capacity()
+                + self.weighted.capacity())
                 * std::mem::size_of::<f64>()
             + (self.peaks.capacity() + self.peaks_scratch.capacity()) * std::mem::size_of::<Peak>()
+            + self.est.capacity_bytes()
+    }
+
+    /// The correlation computed by the last
+    /// [`DetectorCore::correlate_only`] / detection pass.
+    pub(crate) fn corr(&self) -> &[f64] {
+        &self.corr
     }
 }
 
@@ -130,7 +217,20 @@ impl DetectorCore {
             relative_threshold: config.detection.relative_threshold,
             interpolation: config.detection.interpolation,
             envelope_detection: config.detection.envelope_detection,
+            estimator: config.estimator.initial,
+            phat_floor: config.estimator.phat_floor,
+            coherence_bands: config.estimator.coherence_bands,
+            coherence_band: (
+                config.beacon.f0 * 0.9,
+                (config.beacon.f1 * 1.1).min(sample_rate / 2.0),
+            ),
         })
+    }
+
+    /// The configured initial TDoA estimator.
+    #[must_use]
+    pub fn estimator(&self) -> TdoaEstimator {
+        self.estimator
     }
 
     /// The sample rate this core was built for.
@@ -165,7 +265,80 @@ impl DetectorCore {
         scratch: &mut DetectScratch,
         out: &mut Vec<BeaconArrival>,
     ) -> Result<(), HyperEarError> {
+        self.detect_with_estimator(channel, self.estimator, scratch, out)
+    }
+
+    /// [`DetectorCore::detect_with`] under an explicit estimator override
+    /// — the hook estimator escalation uses to re-run a poorly-graded
+    /// session with a heavier estimator without rebuilding the core.
+    ///
+    /// The spectral-weighting estimators (PHAT, sub-band coherence)
+    /// reweight a *copy* of the correlation and use it for peak
+    /// detection only; each arrival is then *timed* on the plain
+    /// matched-filter correlation near the detected peak (the same
+    /// detect-on-weighted / time-on-own split as MCCI fusion). Whitening
+    /// equal-weights the band edges, where the Doppler mismatch of a
+    /// moving phone puts its largest phase error, so timing directly on
+    /// a whitened correlation is biased in proportion to the slide
+    /// velocity — the split keeps the weighting's robustness to masking
+    /// and multipath without inheriting that bias.
+    ///
+    /// [`TdoaEstimator::McciFusion`] is cross-channel and cannot run in a
+    /// per-channel pass; it falls back to the plain correlation here (the
+    /// session engine owns the fusion path).
+    pub(crate) fn detect_with_estimator(
+        &self,
+        channel: &[f64],
+        estimator: TdoaEstimator,
+        scratch: &mut DetectScratch,
+        out: &mut Vec<BeaconArrival>,
+    ) -> Result<(), HyperEarError> {
         out.clear();
+        self.correlate_only(channel, scratch)?;
+        match estimator {
+            TdoaEstimator::PlainXcorr | TdoaEstimator::McciFusion => self.arrivals_from_corr(
+                &scratch.corr,
+                &mut scratch.mags,
+                &mut scratch.peaks_scratch,
+                &mut scratch.peaks,
+                out,
+            ),
+            TdoaEstimator::GccPhat | TdoaEstimator::SubbandCoherence => {
+                scratch.weighted.clear();
+                scratch.weighted.extend_from_slice(&scratch.corr);
+                let DetectScratch {
+                    corr,
+                    weighted,
+                    est,
+                    mags,
+                    peaks_scratch,
+                    peaks,
+                    ..
+                } = scratch;
+                self.apply_estimator(estimator, weighted, est)?;
+                self.arrivals_guided_into(
+                    weighted,
+                    corr,
+                    GuideKind::Weighted,
+                    mags,
+                    peaks_scratch,
+                    peaks,
+                    out,
+                )
+            }
+        }
+    }
+
+    /// The pre-threshold half of detection: band-pass the channel and
+    /// compute the normalized matched-filter correlation into
+    /// `scratch.corr` (readable via [`DetectScratch::corr`]). The MCCI
+    /// engine path uses this to collect every channel's correlation
+    /// before fusing.
+    pub(crate) fn correlate_only(
+        &self,
+        channel: &[f64],
+        scratch: &mut DetectScratch,
+    ) -> Result<(), HyperEarError> {
         let signal: &[f64] = match &self.band_pass {
             Some(bp) => {
                 bp.filter_into(channel, &mut scratch.scratch, &mut scratch.filtered)?;
@@ -175,13 +348,166 @@ impl DetectorCore {
         };
         self.filter
             .correlate_normalized_into(signal, &mut scratch.scratch, &mut scratch.corr)?;
+        Ok(())
+    }
+
+    /// Applies a per-channel estimator transform to a correlation in
+    /// place. Plain xcorr — and the cross-channel MCCI estimator, whose
+    /// fusion happens at the engine level — leave it untouched.
+    pub(crate) fn apply_estimator(
+        &self,
+        estimator: TdoaEstimator,
+        corr: &mut Vec<f64>,
+        scratch: &mut EstimatorScratch,
+    ) -> Result<(), HyperEarError> {
+        match estimator {
+            TdoaEstimator::PlainXcorr | TdoaEstimator::McciFusion => Ok(()),
+            TdoaEstimator::GccPhat => {
+                gcc_phat_with(corr, self.phat_floor, scratch)?;
+                Ok(())
+            }
+            TdoaEstimator::SubbandCoherence => {
+                subband_coherence_with(
+                    corr,
+                    self.sample_rate,
+                    self.coherence_band.0,
+                    self.coherence_band.1,
+                    self.coherence_bands,
+                    scratch,
+                )?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Arrival extraction over an externally-held correlation (the MCCI
+    /// fallback for channels that could not be fused), reusing the
+    /// scratch's peak/noise buffers.
+    pub(crate) fn arrivals_with(
+        &self,
+        corr: &[f64],
+        scratch: &mut DetectScratch,
+        out: &mut Vec<BeaconArrival>,
+    ) -> Result<(), HyperEarError> {
         self.arrivals_from_corr(
-            &scratch.corr,
+            corr,
             &mut scratch.mags,
             &mut scratch.peaks_scratch,
             &mut scratch.peaks,
             out,
         )
+    }
+
+    /// MCCI-guided arrival extraction: peaks are *detected* on the fused
+    /// cross-channel correlation (so a beacon masked on this channel can
+    /// be recovered from the redundant channels), but each arrival is
+    /// *timed* on the channel's own correlation — the local maximum
+    /// within ±[`MCCI_REFINE`] samples of the fused peak, sub-sample
+    /// interpolated as usual. Cross-channel averaging therefore improves
+    /// detection without ever mixing other channels' propagation delays
+    /// into this channel's arrival times, which would cancel the very
+    /// inter-channel TDoA the pipeline measures.
+    pub(crate) fn arrivals_guided(
+        &self,
+        fused: &[f64],
+        own: &[f64],
+        scratch: &mut DetectScratch,
+        out: &mut Vec<BeaconArrival>,
+    ) -> Result<(), HyperEarError> {
+        self.arrivals_guided_into(
+            fused,
+            own,
+            GuideKind::Fused,
+            &mut scratch.mags,
+            &mut scratch.peaks_scratch,
+            &mut scratch.peaks,
+            out,
+        )
+    }
+
+    /// [`DetectorCore::arrivals_guided`] over explicit buffers — the
+    /// form shared with [`StreamingDetector::finish_into`] and the
+    /// weighting branch of [`DetectorCore::detect_with_estimator`],
+    /// whose guide correlation lives inside the scratch itself. `kind`
+    /// selects the refine radius and whether the leading-edge echo rule
+    /// applies (see [`GuideKind`]).
+    #[allow(clippy::too_many_arguments)] // explicit scratch-buffer form shared by three call sites
+    fn arrivals_guided_into(
+        &self,
+        fused: &[f64],
+        own: &[f64],
+        kind: GuideKind,
+        mags: &mut Vec<f64>,
+        peaks_scratch: &mut Vec<Peak>,
+        peaks: &mut Vec<Peak>,
+        out: &mut Vec<BeaconArrival>,
+    ) -> Result<(), HyperEarError> {
+        out.clear();
+        let fused_env;
+        let own_env;
+        let (fused, own): (&[f64], &[f64]) = if self.envelope_detection {
+            fused_env = hyperear_dsp::envelope::envelope(fused)?;
+            own_env = hyperear_dsp::envelope::envelope(own)?;
+            (&fused_env, &own_env)
+        } else {
+            (fused, own)
+        };
+        let floor = noise_floor_with(fused, mags)?;
+        let peak_max = fused.iter().fold(0.0f64, |m, &v| m.max(v));
+        let threshold = (self.threshold_factor * floor).max(self.relative_threshold * peak_max);
+        find_peaks_into(
+            fused,
+            &PeakConfig::new(threshold, self.min_spacing.max(1))?,
+            peaks_scratch,
+            peaks,
+        )?;
+        out.reserve(peaks.len());
+        let refine = kind.refine();
+        let backtrack = if kind.leading_edge() {
+            (LEADING_EDGE_WINDOW * self.sample_rate) as usize
+        } else {
+            0
+        };
+        for p in peaks.iter() {
+            // Leading-edge rule: inside the cluster the apex may be an
+            // echo; guide the timing from the earliest near-equal local
+            // maximum instead (the direct path precedes its echoes).
+            let cutoff = LEADING_EDGE_RATIO * p.value;
+            let mut guide = p.index;
+            for t in p.index.saturating_sub(backtrack)..p.index {
+                if fused[t] >= cutoff
+                    && (t == 0 || fused[t] >= fused[t - 1])
+                    && fused[t] >= fused[t + 1]
+                {
+                    guide = t;
+                    break;
+                }
+            }
+            let lo = guide.saturating_sub(refine);
+            let hi = (guide + refine + 1).min(own.len());
+            let mut best = lo;
+            for t in lo..hi {
+                if own[t] > own[best] {
+                    best = t;
+                }
+            }
+            let (pos, value) = match self.interpolation {
+                Interpolation::None => (best as f64, own[best]),
+                Interpolation::Parabolic => match parabolic_peak(own, best) {
+                    Ok(refined) => refined,
+                    Err(_) => (best as f64, own[best]),
+                },
+                Interpolation::Sinc => match sinc_peak(own, best, 8) {
+                    Ok(refined) => refined,
+                    Err(_) => (best as f64, own[best]),
+                },
+            };
+            out.push(BeaconArrival {
+                time: pos / self.sample_rate,
+                strength: value,
+            });
+        }
+        Ok(())
     }
 
     /// The post-correlation half of detection — envelope, noise floor,
@@ -389,6 +715,10 @@ pub struct StreamingDetector {
     mags: Vec<f64>,
     peaks: Vec<Peak>,
     peaks_scratch: Vec<Peak>,
+    est: EstimatorScratch,
+    /// Weighted copy of the correlation for the spectral-weighting
+    /// estimators (detection only; timing reads `corr`).
+    weighted: Vec<f64>,
     max_samples: usize,
     pushed: usize,
     finished: bool,
@@ -427,6 +757,8 @@ impl StreamingDetector {
             mags: Vec::with_capacity(max_samples),
             peaks: Vec::new(),
             peaks_scratch: Vec::new(),
+            est: EstimatorScratch::new(),
+            weighted: Vec::new(),
             max_samples,
             pushed: 0,
             finished: false,
@@ -556,13 +888,40 @@ impl StreamingDetector {
         )?;
         debug_assert_eq!(self.corr.len(), self.pushed);
         self.finished = true;
-        self.core.arrivals_from_corr(
-            &self.corr,
-            &mut self.mags,
-            &mut self.peaks_scratch,
-            &mut self.peaks,
-            out,
-        )
+        // The accumulated correlation is bit-identical to the one-shot
+        // path's, so applying the configured per-channel estimator here
+        // keeps streaming == one-shot for PHAT / coherence weighting too
+        // (detect on the weighted copy, time on the plain correlation —
+        // see `DetectorCore::detect_with_estimator`). McciFusion needs
+        // every channel at once and the raw PCM is long discarded;
+        // per-channel streaming falls back to plain xcorr.
+        match self.core.estimator {
+            TdoaEstimator::PlainXcorr | TdoaEstimator::McciFusion => self.core.arrivals_from_corr(
+                &self.corr,
+                &mut self.mags,
+                &mut self.peaks_scratch,
+                &mut self.peaks,
+                out,
+            ),
+            TdoaEstimator::GccPhat | TdoaEstimator::SubbandCoherence => {
+                self.weighted.clear();
+                self.weighted.extend_from_slice(&self.corr);
+                self.core.apply_estimator(
+                    self.core.estimator,
+                    &mut self.weighted,
+                    &mut self.est,
+                )?;
+                self.core.arrivals_guided_into(
+                    &self.weighted,
+                    &self.corr,
+                    GuideKind::Weighted,
+                    &mut self.mags,
+                    &mut self.peaks_scratch,
+                    &mut self.peaks,
+                    out,
+                )
+            }
+        }
     }
 
     /// Returns the detector to its initial state for a new capture,
@@ -573,6 +932,7 @@ impl StreamingDetector {
         }
         self.mf_feed.reset();
         self.corr.clear();
+        self.weighted.clear();
         self.pushed = 0;
         self.finished = false;
     }
@@ -584,9 +944,13 @@ impl StreamingDetector {
     #[must_use]
     pub fn working_set_bytes(&self) -> usize {
         self.scratch.capacity_bytes()
-            + (self.corr.capacity() + self.mags.capacity() + self.filtered_burst.capacity())
+            + (self.corr.capacity()
+                + self.mags.capacity()
+                + self.filtered_burst.capacity()
+                + self.weighted.capacity())
                 * std::mem::size_of::<f64>()
             + (self.peaks.capacity() + self.peaks_scratch.capacity()) * std::mem::size_of::<Peak>()
+            + self.est.capacity_bytes()
             + self.fir_feed.as_ref().map_or(0, ChunkFeed::capacity_bytes)
             + self.mf_feed.capacity_bytes()
     }
@@ -831,6 +1195,68 @@ mod tests {
             "working set must depend on capacity, not samples ingested"
         );
         stream.reset();
+    }
+
+    #[test]
+    fn weighting_estimators_preserve_arrival_timing() {
+        let truth = 10_000.37;
+        let signal = render(&[truth], 20_000, 0.3);
+        for est in [
+            TdoaEstimator::GccPhat,
+            TdoaEstimator::SubbandCoherence,
+            // Per-channel MCCI falls back to the plain correlation.
+            TdoaEstimator::McciFusion,
+        ] {
+            let mut config = HyperEarConfig::galaxy_s4();
+            config.estimator.initial = est;
+            let mut d = BeaconDetector::new(&config, FS).unwrap();
+            let arrivals = d.detect(&signal).unwrap();
+            assert_eq!(arrivals.len(), 1, "{est:?}");
+            let err = (arrivals[0].time * FS - truth).abs();
+            assert!(err < 1.0, "{est:?} timing error {err}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_for_weighting_estimators() {
+        let positions: Vec<f64> = (0..5).map(|k| 2_000.0 + k as f64 * 8_820.0).collect();
+        let signal = render(&positions, 50_000, 0.3);
+        for est in [TdoaEstimator::GccPhat, TdoaEstimator::SubbandCoherence] {
+            let mut config = HyperEarConfig::galaxy_s4();
+            config.estimator.initial = est;
+            let mut d = BeaconDetector::new(&config, FS).unwrap();
+            let reference = d.detect(&signal).unwrap();
+            assert_eq!(reference.len(), 5, "{est:?}");
+            let mut stream =
+                StreamingDetector::new(std::sync::Arc::clone(d.core()), signal.len()).unwrap();
+            let mut out = Vec::new();
+            for chunk in signal.chunks(997) {
+                stream.push(chunk).unwrap();
+            }
+            stream.finish_into(&mut out).unwrap();
+            assert_eq!(out, reference, "{est:?} streaming must match one-shot");
+        }
+    }
+
+    #[test]
+    fn guided_arrivals_time_on_own_correlation() {
+        // Fused peaks 4 samples off the own-channel truth must still be
+        // timed at the own-channel peak.
+        let truth = 10_000.0;
+        let own_sig = render(&[truth], 20_000, 0.3);
+        let fused_sig = render(&[truth + 4.0], 20_000, 0.3);
+        let mut d = detector(Interpolation::Parabolic);
+        let (core, scratch) = d.parts_mut();
+        let mut own_scratch = DetectScratch::new();
+        core.correlate_only(&own_sig, &mut own_scratch).unwrap();
+        core.correlate_only(&fused_sig, scratch).unwrap();
+        let fused_corr = scratch.corr.clone();
+        let mut out = Vec::new();
+        core.arrivals_guided(&fused_corr, own_scratch.corr(), scratch, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        let err = (out[0].time * FS - truth).abs();
+        assert!(err < 0.1, "guided timing error {err}");
     }
 
     #[test]

@@ -359,6 +359,202 @@ impl FromJson for DoaFrontEnd {
     }
 }
 
+/// Which TDoA estimator transforms the matched-filter correlation before
+/// arrival extraction.
+///
+/// Ordered by compute cost: [`TdoaEstimator::PlainXcorr`] is the paper's
+/// baseline (no transform at all, bit-identical to the pre-estimator
+/// pipeline); the heavier variants trade a full-capture-length FFT or a
+/// cross-channel lag solve for robustness to multipath, interference and
+/// dropout. [`crate::pipeline::SessionEngine::run_monitored`] can escalate
+/// along this order when a session grades poorly (see
+/// [`EstimatorPolicy::escalation`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TdoaEstimator {
+    /// Plain normalized cross-correlation (the conformance baseline).
+    #[default]
+    PlainXcorr,
+    /// GCC-PHAT spectral whitening with a magnitude floor
+    /// ([`EstimatorPolicy::phat_floor`]); sharpens multipath-smeared
+    /// lobes.
+    GccPhat,
+    /// Per-sub-band coherence (Wiener) weighting inside the beacon band
+    /// ([`EstimatorPolicy::coherence_bands`]); suppresses narrowband
+    /// interference.
+    SubbandCoherence,
+    /// Multiple cross-correlation identity fusion across channels
+    /// ([`EstimatorPolicy::mcci_max_lag`]); recovers detections masked on
+    /// one channel from the redundant channels. Cross-channel by nature,
+    /// so per-channel paths (streaming finish) fall back to plain xcorr.
+    McciFusion,
+}
+
+impl TdoaEstimator {
+    /// All estimators, in escalation (cost) order.
+    pub const ALL: [TdoaEstimator; 4] = [
+        TdoaEstimator::PlainXcorr,
+        TdoaEstimator::GccPhat,
+        TdoaEstimator::SubbandCoherence,
+        TdoaEstimator::McciFusion,
+    ];
+
+    /// The next-heavier estimator in escalation order, or `None` at the
+    /// top of the ladder.
+    #[must_use]
+    pub fn next_heavier(self) -> Option<TdoaEstimator> {
+        match self {
+            TdoaEstimator::PlainXcorr => Some(TdoaEstimator::GccPhat),
+            TdoaEstimator::GccPhat => Some(TdoaEstimator::SubbandCoherence),
+            TdoaEstimator::SubbandCoherence => Some(TdoaEstimator::McciFusion),
+            TdoaEstimator::McciFusion => None,
+        }
+    }
+
+    /// Stable kebab-case name (used in JSON and reports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TdoaEstimator::PlainXcorr => "plain-xcorr",
+            TdoaEstimator::GccPhat => "gcc-phat",
+            TdoaEstimator::SubbandCoherence => "subband-coherence",
+            TdoaEstimator::McciFusion => "mcci-fusion",
+        }
+    }
+}
+
+impl ToJson for TdoaEstimator {
+    fn to_json(&self) -> Json {
+        Json::String(self.name().to_string())
+    }
+}
+
+impl FromJson for TdoaEstimator {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.as_str() {
+            Some("plain-xcorr") => Ok(TdoaEstimator::PlainXcorr),
+            Some("gcc-phat") => Ok(TdoaEstimator::GccPhat),
+            Some("subband-coherence") => Ok(TdoaEstimator::SubbandCoherence),
+            Some("mcci-fusion") => Ok(TdoaEstimator::McciFusion),
+            other => Err(JsonError::schema(format!(
+                "estimator must be \"plain-xcorr\", \"gcc-phat\", \"subband-coherence\" or \
+                 \"mcci-fusion\", got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Policy for the TDoA estimator bank: which estimator a session starts
+/// with and whether poorly-graded sessions escalate to heavier ones.
+///
+/// Escalation is wired into the [`DegradationPolicy`]: a monitored
+/// session whose graded outcome falls below
+/// [`DegradationPolicy::min_confidence`] (or fails outright) is re-run
+/// with the next-heavier estimator, spending one unit of
+/// [`DegradationPolicy::retry_budget`] per step and keeping the better
+/// outcome. Clean sessions grade `Ok` and never escalate, so the happy
+/// path costs exactly what [`TdoaEstimator::PlainXcorr`] costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorPolicy {
+    /// The estimator every session starts with.
+    pub initial: TdoaEstimator,
+    /// Whether poorly-graded monitored sessions escalate to heavier
+    /// estimators. Off by default: the baseline pipeline stays
+    /// bit-identical unless robustness is explicitly requested.
+    pub escalation: bool,
+    /// GCC-PHAT whitening floor as a fraction of the peak spectral
+    /// magnitude, in `(0, 1)`. Bins below `floor · max|R|` get their
+    /// whitening gain capped instead of amplifying noise without bound.
+    pub phat_floor: f64,
+    /// Number of sub-bands for the coherence-weighting estimator.
+    pub coherence_bands: usize,
+    /// MCCI pairwise lag-search radius, samples. Must comfortably exceed
+    /// the largest inter-mic delay (`baseline / c · fs`, ≈ 18 samples for
+    /// the paper's phones).
+    pub mcci_max_lag: usize,
+    /// Escalation trigger: a monitored session escalates when its lowest
+    /// slide confidence score falls below this value, *even if the
+    /// session still graded `Ok`* — the grade cannot see ranging
+    /// accuracy, but a collapsed SFO factor (multipath-shifted arrivals
+    /// off the period line) can. Clean sessions score ≥ 0.99, so the
+    /// default leaves them untouched.
+    pub escalate_below: f64,
+}
+
+impl Default for EstimatorPolicy {
+    fn default() -> Self {
+        EstimatorPolicy {
+            initial: TdoaEstimator::PlainXcorr,
+            escalation: false,
+            phat_floor: 0.15,
+            coherence_bands: 16,
+            mcci_max_lag: 64,
+            escalate_below: 0.9,
+        }
+    }
+}
+
+impl EstimatorPolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] for any out-of-domain
+    /// field.
+    pub fn validate(&self) -> Result<(), HyperEarError> {
+        if !(self.phat_floor > 0.0 && self.phat_floor < 1.0) {
+            return Err(HyperEarError::invalid(
+                "estimator.phat_floor",
+                format!("must be in (0, 1), got {}", self.phat_floor),
+            ));
+        }
+        if self.coherence_bands == 0 || self.coherence_bands > 4_096 {
+            return Err(HyperEarError::invalid(
+                "estimator.coherence_bands",
+                format!("must be in [1, 4096], got {}", self.coherence_bands),
+            ));
+        }
+        if self.mcci_max_lag == 0 || self.mcci_max_lag > 44_100 {
+            return Err(HyperEarError::invalid(
+                "estimator.mcci_max_lag",
+                format!("must be in [1, 44100] samples, got {}", self.mcci_max_lag),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.escalate_below) {
+            return Err(HyperEarError::invalid(
+                "estimator.escalate_below",
+                format!("must be within [0, 1], got {}", self.escalate_below),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for EstimatorPolicy {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("initial", self.initial.to_json()),
+            ("escalation", Json::Bool(self.escalation)),
+            ("phat_floor", Json::Number(self.phat_floor)),
+            ("coherence_bands", Json::Number(self.coherence_bands as f64)),
+            ("mcci_max_lag", Json::Number(self.mcci_max_lag as f64)),
+            ("escalate_below", Json::Number(self.escalate_below)),
+        ])
+    }
+}
+
+impl FromJson for EstimatorPolicy {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(EstimatorPolicy {
+            initial: json.field("initial")?,
+            escalation: json.field("escalation")?,
+            phat_floor: json.field("phat_floor")?,
+            coherence_bands: json.field("coherence_bands")?,
+            mcci_max_lag: json.field("mcci_max_lag")?,
+            escalate_below: json.field("escalate_below")?,
+        })
+    }
+}
+
 /// The complete pipeline configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HyperEarConfig {
@@ -413,6 +609,8 @@ pub struct HyperEarConfig {
     pub max_speaker_depth: f64,
     /// Graceful-degradation policy for the monitored session entry point.
     pub degradation: DegradationPolicy,
+    /// TDoA estimator bank policy: initial estimator and escalation.
+    pub estimator: EstimatorPolicy,
 }
 
 impl HyperEarConfig {
@@ -475,6 +673,7 @@ impl HyperEarConfig {
             max_plausible_range: 30.0,
             max_speaker_depth: 2.0,
             degradation: DegradationPolicy::default(),
+            estimator: EstimatorPolicy::default(),
         }
     }
 
@@ -582,6 +781,7 @@ impl HyperEarConfig {
         }
         self.quality_gate.validate().map_err(HyperEarError::from)?;
         self.degradation.validate()?;
+        self.estimator.validate()?;
         Ok(())
     }
 }
@@ -615,6 +815,7 @@ impl ToJson for HyperEarConfig {
             ),
             ("max_speaker_depth", Json::Number(self.max_speaker_depth)),
             ("degradation", self.degradation.to_json()),
+            ("estimator", self.estimator.to_json()),
         ])
     }
 }
@@ -639,6 +840,7 @@ impl FromJson for HyperEarConfig {
             max_plausible_range: json.field("max_plausible_range")?,
             max_speaker_depth: json.field("max_speaker_depth")?,
             degradation: json.field("degradation")?,
+            estimator: json.field("estimator")?,
         })
     }
 }
@@ -731,6 +933,15 @@ mod tests {
         let mut c = base.clone();
         c.degradation.drift_residual_tol = 0.0;
         assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.estimator.phat_floor = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.estimator.coherence_bands = 0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.estimator.mcci_max_lag = 0;
+        assert!(c.validate().is_err());
         // Array disagreeing with mic_separation.
         let mut c = base.clone();
         c.array = MicArray::two_mic(0.2);
@@ -786,6 +997,11 @@ mod tests {
         c.degradation.min_confidence = 0.4;
         c.array = MicArray::triangle(0.1512);
         c.doa_front_end = DoaFrontEnd::PhaseTracking;
+        c.estimator.initial = TdoaEstimator::GccPhat;
+        c.estimator.escalation = true;
+        c.estimator.phat_floor = 0.3;
+        c.estimator.coherence_bands = 8;
+        c.estimator.mcci_max_lag = 32;
         let text = c.to_json_string();
         assert!(text.contains("0.1512"), "{text}");
         let back = HyperEarConfig::from_json_str(&text).unwrap();
@@ -814,5 +1030,24 @@ mod tests {
         let c = HyperEarConfig::galaxy_s4();
         let text = c.to_json_string().replace("\"median\"", "\"average\"");
         assert!(HyperEarConfig::from_json_str(&text).is_err());
+        let text = c
+            .to_json_string()
+            .replace("\"plain-xcorr\"", "\"fancy-xcorr\"");
+        assert!(HyperEarConfig::from_json_str(&text).is_err());
+    }
+
+    #[test]
+    fn estimator_escalation_ladder_is_total() {
+        let mut walked = vec![TdoaEstimator::PlainXcorr];
+        while let Some(next) = walked.last().unwrap().next_heavier() {
+            walked.push(next);
+        }
+        assert_eq!(walked, TdoaEstimator::ALL.to_vec());
+        assert_eq!(TdoaEstimator::McciFusion.next_heavier(), None);
+        assert_eq!(TdoaEstimator::default(), TdoaEstimator::PlainXcorr);
+        let p = EstimatorPolicy::default();
+        assert!(!p.escalation);
+        assert_eq!(p.initial, TdoaEstimator::PlainXcorr);
+        p.validate().unwrap();
     }
 }

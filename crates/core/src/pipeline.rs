@@ -17,13 +17,14 @@
 //!   [`SessionOutcome`] (never panics, never a bare error).
 
 use crate::asp::{BeaconArrival, BeaconDetector, DetectScratch, DetectorCore};
-use crate::config::{DoaFrontEnd, HyperEarConfig};
+use crate::config::{DoaFrontEnd, HyperEarConfig, TdoaEstimator};
 use crate::doa::BearingPrior;
 use crate::localize::{localize_with, slide_geometry, Estimate2d, LocalizeScratch, SlideFix};
 use crate::ple::{project, ProjectedEstimate};
 use crate::sfo::{estimate_period_with, PeriodEstimate, SfoScratch};
 use crate::tdoa::{augmented_tdoa_with, AugmentedTdoa, TdoaScratch};
 use crate::HyperEarError;
+use hyperear_dsp::estimator::{mcci_fuse_channel_into, mcci_offsets_with};
 use hyperear_geom::rotation::Side;
 use hyperear_geom::triangulate::SlideGeometry;
 use hyperear_geom::{Vec3, MAX_MICS, MAX_PAIRS};
@@ -192,6 +193,10 @@ pub struct SessionResult {
     pub stature_drop: Option<f64>,
     /// The projected (floor-map) estimate (two-stature sessions).
     pub projected: Option<ProjectedEstimate>,
+    /// Which [`TdoaEstimator`] produced this result. Stays at the
+    /// configured [`crate::config::EstimatorPolicy::initial`] unless the
+    /// monitored path escalated to a heavier estimator and its rerun won.
+    pub estimator: TdoaEstimator,
     /// Per-pair session-median delays `t_i − t_j` (seconds) in
     /// [`hyperear_geom::MicArray::pairs`] order — filled by the array
     /// entry points ([`SessionEngine::run_array_into`]) when a DOA
@@ -224,6 +229,7 @@ impl SessionResult {
             lower: None,
             stature_drop: None,
             projected: None,
+            estimator: TdoaEstimator::PlainXcorr,
             pair_delays: Vec::new(),
             bearing: None,
         }
@@ -264,6 +270,9 @@ pub struct SessionDiagnostics {
     pub mean_confidence: f64,
     /// Lowest composite slide confidence.
     pub min_confidence: f64,
+    /// Estimator-escalation retries the monitored path spent on this
+    /// session (0 when escalation is disabled or never triggered).
+    pub escalations: usize,
 }
 
 /// The graded outcome of a monitored session.
@@ -434,6 +443,10 @@ pub struct SessionEngine {
     /// loop.
     loc_scratch_b: LocalizeScratch,
     geoms: Vec<SlideGeometry>,
+    /// Engine-owned slot for estimator-escalation reruns: keeps the
+    /// candidate outcome's result storage warm across sessions so an
+    /// escalating engine stays allocation-free in steady state.
+    retry_slot: SessionOutcome,
     pool: Option<Arc<Pool>>,
 }
 
@@ -472,6 +485,7 @@ impl SessionEngine {
             loc_scratch: LocalizeScratch::new(),
             loc_scratch_b: LocalizeScratch::new(),
             geoms: Vec::new(),
+            retry_slot: SessionOutcome::idle(),
             pool: None,
         }
     }
@@ -583,8 +597,17 @@ impl SessionEngine {
     /// warm engine processing sessions into the same slot performs no
     /// steady-state heap allocation. This is the per-item primitive
     /// batch processing is built on.
+    ///
+    /// When [`crate::config::EstimatorPolicy::escalation`] is enabled and
+    /// the initial run grades `Failed` or `Degraded` with collapsed
+    /// confidence, the session is rerun with progressively heavier
+    /// [`TdoaEstimator`]s (within the degradation policy's retry budget)
+    /// and the best graded outcome wins — see
+    /// [`SessionEngine::run_estimated_into`] for the estimator ladder.
     pub fn run_monitored_into(&mut self, input: &SessionInput<'_>, slot: &mut SessionOutcome) {
-        self.monitored_with(slot, |engine, result| engine.run_into(input, result));
+        self.escalated_monitored(slot, |engine, estimator, result| {
+            engine.run_estimated_into(input, estimator, result)
+        });
     }
 
     /// The monitored-contract core shared by the one-shot and streaming
@@ -690,6 +713,7 @@ impl SessionEngine {
                 0.0
             },
             min_confidence: if n > 0 { min_confidence } else { 0.0 },
+            escalations: 0,
         };
         if dropped > 0 || slides_rejected > 0 || slides_without_fix > 0 {
             SessionOutcome::Degraded {
@@ -751,6 +775,35 @@ impl SessionEngine {
         input: &SessionInput<'_>,
         out: &mut SessionResult,
     ) -> Result<(), HyperEarError> {
+        let estimator = self.config.estimator.initial;
+        self.run_estimated_into(input, estimator, out)
+    }
+
+    /// [`SessionEngine::run_into`] with an explicit [`TdoaEstimator`]
+    /// overriding the configured initial one — the primitive the
+    /// escalation policy reruns sessions through.
+    ///
+    /// `PlainXcorr` is the conformance baseline (bit-identical to the
+    /// pre-estimator-bank pipeline). `GccPhat` and `SubbandCoherence`
+    /// re-weight each channel's correlation spectrum before arrival
+    /// extraction. `McciFusion` correlates both channels, solves the
+    /// cross-channel alignment, and detects peaks on the fused
+    /// correlation while timing each arrival on the channel's own
+    /// correlation (fusing the timing itself would cancel the
+    /// inter-channel TDoA the pipeline measures). The MCCI path runs
+    /// sequentially even under an attached pool — the alignment solve
+    /// needs every channel's correlation — so it is deterministic at any
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SessionEngine::run`].
+    pub fn run_estimated_into(
+        &mut self,
+        input: &SessionInput<'_>,
+        estimator: TdoaEstimator,
+        out: &mut SessionResult,
+    ) -> Result<(), HyperEarError> {
         out.slides.clear();
         out.upper = None;
         out.lower = None;
@@ -791,25 +844,42 @@ impl SessionEngine {
             .filter(|p| p.threads() > 1)
             .map(Arc::clone);
         let detector = self.detector.as_mut().expect("detector just ensured");
-        if let Some(pool) = &pool {
+        if estimator == TdoaEstimator::McciFusion {
+            // Engine-level fusion: the alignment solve needs both
+            // channels' correlations, so this path is sequential by
+            // construction (deterministic at any thread count).
+            let (core, scratch) = detector.parts_mut();
+            let ws = &mut self.tdoa_scratch;
+            let channels = [input.left, input.right];
+            let n_live = mcci_prepare(
+                core,
+                scratch,
+                ws,
+                self.config.estimator.mcci_max_lag,
+                &channels,
+            )?;
+            mcci_extract(core, scratch, ws, n_live, 0, &mut self.arr_left)?;
+            mcci_extract(core, scratch, ws, n_live, 1, &mut self.arr_right)?;
+        } else if let Some(pool) = &pool {
             // Concurrent per-channel detection: one shared read-only
-            // core, one private scratch per channel. `detect_with` is
-            // `&self` on the core, so the only mutable state each side
-            // touches is its own scratch and arrival list — results are
+            // core, one private scratch per channel. Detection is `&self`
+            // on the core, so the only mutable state each side touches is
+            // its own scratch and arrival list — results are
             // bit-identical to the sequential calls below.
             let (core, scratch_left) = detector.parts_mut();
             let scratch_right = &mut self.scratch_right;
             let arr_left = &mut self.arr_left;
             let arr_right = &mut self.arr_right;
             let (r_left, r_right) = pool.join(
-                || core.detect_with(input.left, scratch_left, arr_left),
-                || core.detect_with(input.right, scratch_right, arr_right),
+                || core.detect_with_estimator(input.left, estimator, scratch_left, arr_left),
+                || core.detect_with_estimator(input.right, estimator, scratch_right, arr_right),
             );
             r_left?;
             r_right?;
         } else {
-            detector.detect_into(input.left, &mut self.arr_left)?;
-            detector.detect_into(input.right, &mut self.arr_right)?;
+            let (core, scratch) = detector.parts_mut();
+            core.detect_with_estimator(input.left, estimator, scratch, &mut self.arr_left)?;
+            core.detect_with_estimator(input.right, estimator, scratch, &mut self.arr_right)?;
         }
         self.finish_from_arrivals(
             input.audio_sample_rate,
@@ -818,7 +888,9 @@ impl SessionEngine {
             input.accel,
             input.gyro,
             out,
-        )
+        )?;
+        out.estimator = estimator;
+        Ok(())
     }
 
     /// Processes one N-microphone session, allocating the result.
@@ -846,13 +918,68 @@ impl SessionEngine {
 
     /// Allocation-free form of [`SessionEngine::run_array_monitored`]:
     /// the outcome lands in a caller-owned slot whose previous result
-    /// storage is scavenged and reused.
+    /// storage is scavenged and reused. Applies the same
+    /// estimator-escalation policy as
+    /// [`SessionEngine::run_monitored_into`].
     pub fn run_array_monitored_into(
         &mut self,
         input: &ArraySessionInput<'_>,
         slot: &mut SessionOutcome,
     ) {
-        self.monitored_with(slot, |engine, result| engine.run_array_into(input, result));
+        self.escalated_monitored(slot, |engine, estimator, result| {
+            engine.run_array_estimated_into(input, estimator, result)
+        });
+    }
+
+    /// The estimator-escalation wrapper around the monitored contract:
+    /// runs the session with the configured initial estimator, and — when
+    /// escalation is enabled and the graded outcome shows acoustic
+    /// trouble — reruns it with the next heavier estimator up the
+    /// [`TdoaEstimator::next_heavier`] ladder, spending at most the
+    /// degradation policy's retry budget. After each rerun the better
+    /// graded outcome is kept (ties keep the cheaper, earlier estimator),
+    /// so escalation can never make a session worse. Clean sessions grade
+    /// `Ok` and never trigger a rerun, keeping the clean-path cost
+    /// identical to the non-escalating engine.
+    fn escalated_monitored<F>(&mut self, slot: &mut SessionOutcome, mut run: F)
+    where
+        F: FnMut(&mut Self, TdoaEstimator, &mut SessionResult) -> Result<(), HyperEarError>,
+    {
+        let policy = self.config.estimator;
+        self.monitored_with(slot, |engine, result| run(engine, policy.initial, result));
+        if !policy.escalation {
+            return;
+        }
+        let min_confidence = self.config.degradation.min_confidence;
+        let escalate_below = policy.escalate_below;
+        let budget = self.config.degradation.retry_budget;
+        let mut current = policy.initial;
+        let mut attempts = 0usize;
+        while attempts < budget && needs_escalation(slot, min_confidence, escalate_below) {
+            let Some(next) = current.next_heavier() else {
+                break;
+            };
+            current = next;
+            attempts += 1;
+            let mut retry = std::mem::replace(&mut self.retry_slot, SessionOutcome::idle());
+            self.monitored_with(&mut retry, |engine, result| run(engine, next, result));
+            if retry_improves(&retry, slot) {
+                std::mem::swap(slot, &mut retry);
+            }
+            self.retry_slot = retry;
+        }
+        if attempts > 0 {
+            match slot {
+                SessionOutcome::Degraded { diagnostics, .. } => {
+                    diagnostics.escalations = attempts;
+                }
+                SessionOutcome::Failed {
+                    diagnostics: Some(d),
+                    ..
+                } => d.escalations = attempts,
+                _ => {}
+            }
+        }
     }
 
     /// Allocation-free N-microphone session processing over the
@@ -885,6 +1012,25 @@ impl SessionEngine {
         input: &ArraySessionInput<'_>,
         out: &mut SessionResult,
     ) -> Result<(), HyperEarError> {
+        let estimator = self.config.estimator.initial;
+        self.run_array_estimated_into(input, estimator, out)
+    }
+
+    /// [`SessionEngine::run_array_into`] with an explicit
+    /// [`TdoaEstimator`] — the array sibling of
+    /// [`SessionEngine::run_estimated_into`]. Under `McciFusion` *every*
+    /// configured channel joins the cross-channel alignment solve, so the
+    /// fusion gain grows with the array's redundancy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SessionEngine::run_array_into`].
+    pub fn run_array_estimated_into(
+        &mut self,
+        input: &ArraySessionInput<'_>,
+        estimator: TdoaEstimator,
+        out: &mut SessionResult,
+    ) -> Result<(), HyperEarError> {
         let array = self.config.array;
         crate::doa::validate_channel_count(&array, input.channels.len())?;
         if array.len() == 2 && self.config.doa_front_end == DoaFrontEnd::None {
@@ -896,7 +1042,7 @@ impl SessionEngine {
                 accel: input.accel,
                 gyro: input.gyro,
             };
-            return self.run_into(&two, out);
+            return self.run_estimated_into(&two, estimator, out);
         }
         out.slides.clear();
         out.upper = None;
@@ -943,45 +1089,92 @@ impl SessionEngine {
         self.arr_extra
             .resize_with(array.len().saturating_sub(2), Vec::new);
         let detector = self.detector.as_mut().expect("detector just ensured");
-        let (core, scratch_a) = detector.parts_mut();
-        let scratch_b = &mut self.scratch_right;
-        let arr_left = &mut self.arr_left;
-        let arr_right = &mut self.arr_right;
-        let arr_extra = self.arr_extra.as_mut_slice();
-        if let Some(pool) = &pool {
-            // Fan the N detections out two at a time: one shared
-            // read-only core, the engine's two private scratches. Each
-            // channel's arrivals depend only on its samples, never on
-            // scratch history, so the lists are bit-identical to the
-            // sequential loop below at any thread count.
-            let (r_left, r_right) = pool.join(
-                || core.detect_with(input.channels[0], scratch_a, arr_left),
-                || core.detect_with(input.channels[1], scratch_b, arr_right),
-            );
-            r_left?;
-            r_right?;
-            let mut rest = arr_extra;
-            let mut k = 2usize;
-            while rest.len() >= 2 {
-                let (a, tail) = rest.split_at_mut(1);
-                let (b, tail) = tail.split_at_mut(1);
-                let (ra, rb) = pool.join(
-                    || core.detect_with(input.channels[k], scratch_a, &mut a[0]),
-                    || core.detect_with(input.channels[k + 1], scratch_b, &mut b[0]),
-                );
-                ra?;
-                rb?;
-                rest = tail;
-                k += 2;
-            }
-            if let Some(last) = rest.first_mut() {
-                core.detect_with(input.channels[k], scratch_a, last)?;
+        if estimator == TdoaEstimator::McciFusion {
+            // Engine-level fusion over every channel; sequential by
+            // construction (the alignment solve is joint).
+            let (core, scratch) = detector.parts_mut();
+            let ws = &mut self.tdoa_scratch;
+            let n_live = mcci_prepare(
+                core,
+                scratch,
+                ws,
+                self.config.estimator.mcci_max_lag,
+                input.channels,
+            )?;
+            mcci_extract(core, scratch, ws, n_live, 0, &mut self.arr_left)?;
+            mcci_extract(core, scratch, ws, n_live, 1, &mut self.arr_right)?;
+            for (k, slot) in self.arr_extra.iter_mut().enumerate() {
+                mcci_extract(core, scratch, ws, n_live, k + 2, slot)?;
             }
         } else {
-            core.detect_with(input.channels[0], scratch_a, arr_left)?;
-            core.detect_with(input.channels[1], scratch_a, arr_right)?;
-            for (k, slot) in arr_extra.iter_mut().enumerate() {
-                core.detect_with(input.channels[k + 2], scratch_a, slot)?;
+            let (core, scratch_a) = detector.parts_mut();
+            let scratch_b = &mut self.scratch_right;
+            let arr_left = &mut self.arr_left;
+            let arr_right = &mut self.arr_right;
+            let arr_extra = self.arr_extra.as_mut_slice();
+            if let Some(pool) = &pool {
+                // Fan the N detections out two at a time: one shared
+                // read-only core, the engine's two private scratches. Each
+                // channel's arrivals depend only on its samples, never on
+                // scratch history, so the lists are bit-identical to the
+                // sequential loop below at any thread count.
+                let (r_left, r_right) = pool.join(
+                    || {
+                        core.detect_with_estimator(
+                            input.channels[0],
+                            estimator,
+                            scratch_a,
+                            arr_left,
+                        )
+                    },
+                    || {
+                        core.detect_with_estimator(
+                            input.channels[1],
+                            estimator,
+                            scratch_b,
+                            arr_right,
+                        )
+                    },
+                );
+                r_left?;
+                r_right?;
+                let mut rest = arr_extra;
+                let mut k = 2usize;
+                while rest.len() >= 2 {
+                    let (a, tail) = rest.split_at_mut(1);
+                    let (b, tail) = tail.split_at_mut(1);
+                    let (ra, rb) = pool.join(
+                        || {
+                            core.detect_with_estimator(
+                                input.channels[k],
+                                estimator,
+                                scratch_a,
+                                &mut a[0],
+                            )
+                        },
+                        || {
+                            core.detect_with_estimator(
+                                input.channels[k + 1],
+                                estimator,
+                                scratch_b,
+                                &mut b[0],
+                            )
+                        },
+                    );
+                    ra?;
+                    rb?;
+                    rest = tail;
+                    k += 2;
+                }
+                if let Some(last) = rest.first_mut() {
+                    core.detect_with_estimator(input.channels[k], estimator, scratch_a, last)?;
+                }
+            } else {
+                core.detect_with_estimator(input.channels[0], estimator, scratch_a, arr_left)?;
+                core.detect_with_estimator(input.channels[1], estimator, scratch_a, arr_right)?;
+                for (k, slot) in arr_extra.iter_mut().enumerate() {
+                    core.detect_with_estimator(input.channels[k + 2], estimator, scratch_a, slot)?;
+                }
             }
         }
         self.finish_from_arrivals(
@@ -992,6 +1185,7 @@ impl SessionEngine {
             input.gyro,
             out,
         )?;
+        out.estimator = estimator;
         self.attach_bearing(input, out);
         Ok(())
     }
@@ -1082,6 +1276,10 @@ impl SessionEngine {
         out.lower = None;
         out.stature_drop = None;
         out.projected = None;
+        // The streaming front end finishes sessions through this method
+        // with the detector cores' configured initial estimator; the
+        // one-shot estimated entry points overwrite this afterwards.
+        out.estimator = self.config.estimator.initial;
         out.pair_delays.clear();
         out.bearing = None;
         let pool = self
@@ -1317,6 +1515,153 @@ impl SessionEngine {
         out.stature_drop = stature_drop;
         out.projected = projected;
         Ok(())
+    }
+}
+
+/// Correlates every channel with the matched filter, copies the
+/// per-channel correlations into the MCCI workspace, and solves the
+/// cross-channel alignment offsets. Returns the number of live channels
+/// (fewer than two means fusion is impossible and extraction falls back
+/// to the plain per-channel path). `max_lag` is clamped to the
+/// correlation length so degenerate captures degrade to the fallback
+/// instead of erroring.
+fn mcci_prepare(
+    core: &DetectorCore,
+    scratch: &mut DetectScratch,
+    ws: &mut TdoaScratch,
+    max_lag: usize,
+    channels: &[&[f64]],
+) -> Result<usize, HyperEarError> {
+    ws.mcci.corrs.resize_with(channels.len(), Vec::new);
+    for (k, ch) in channels.iter().enumerate() {
+        core.correlate_only(ch, scratch)?;
+        let dst = &mut ws.mcci.corrs[k];
+        dst.clear();
+        dst.extend_from_slice(scratch.corr());
+    }
+    let n = ws.mcci.corrs[0].len();
+    let lag = max_lag.min(n.saturating_sub(1));
+    if lag == 0 {
+        // Capture too short to align; mark everything for the fallback.
+        ws.mcci.live.clear();
+        ws.mcci.live.resize(channels.len(), false);
+        ws.mcci.offsets.clear();
+        ws.mcci.offsets.resize(channels.len(), 0.0);
+        return Ok(0);
+    }
+    let crate::tdoa::McciWorkspace {
+        corrs,
+        offsets,
+        live,
+        ..
+    } = &mut ws.mcci;
+    let mut refs: [&[f64]; MAX_MICS] = [&[]; MAX_MICS];
+    for (slot, c) in refs.iter_mut().zip(corrs.iter()) {
+        *slot = c;
+    }
+    let n_live = mcci_offsets_with(&refs[..corrs.len()], lag, offsets, live)?;
+    Ok(n_live)
+}
+
+/// Extracts channel `k`'s beacon arrivals under the MCCI estimator:
+/// when fusion is possible (≥ 2 live channels and this channel is live)
+/// the peaks are detected on the shift-and-averaged fused correlation
+/// and each arrival is *timed* on the channel's own correlation — fusing
+/// the timing itself would average away the inter-channel TDoA the
+/// pipeline exists to measure. Dead channels and unfusable sessions fall
+/// back to plain extraction on the channel's own correlation.
+fn mcci_extract(
+    core: &DetectorCore,
+    scratch: &mut DetectScratch,
+    ws: &mut TdoaScratch,
+    n_live: usize,
+    k: usize,
+    out: &mut Vec<BeaconArrival>,
+) -> Result<(), HyperEarError> {
+    let crate::tdoa::McciWorkspace {
+        corrs,
+        fused,
+        offsets,
+        live,
+    } = &mut ws.mcci;
+    if n_live >= 2 && live[k] {
+        let mut refs: [&[f64]; MAX_MICS] = [&[]; MAX_MICS];
+        for (slot, c) in refs.iter_mut().zip(corrs.iter()) {
+            *slot = c;
+        }
+        mcci_fuse_channel_into(&refs[..corrs.len()], offsets, live, k, fused)?;
+        core.arrivals_guided(fused, &corrs[k], scratch, out)
+    } else {
+        core.arrivals_with(&corrs[k], scratch, out)
+    }
+}
+
+/// Whether a graded outcome shows the acoustic trouble a heavier
+/// estimator could plausibly fix: a failure (except configuration
+/// errors, which no estimator changes); a degraded session whose
+/// worst slide confidence collapsed below the policy threshold, lost
+/// slides to the drop budget, or produced slides with no acoustic fix;
+/// or an `Ok` session whose worst slide confidence still fell below
+/// [`EstimatorPolicy::escalate_below`] — the grade cannot see ranging
+/// accuracy, but a collapsed SFO factor (multipath-shifted arrivals off
+/// the period line) can flag an echo-corrupted session that otherwise
+/// looks healthy. Slide rejections alone (inertial quality-gate
+/// failures) do not trigger escalation — no TDoA estimator can fix a
+/// bad slide gesture.
+fn needs_escalation(outcome: &SessionOutcome, min_confidence: f64, escalate_below: f64) -> bool {
+    match outcome {
+        SessionOutcome::Ok(result) => min_slide_score(result) < escalate_below,
+        SessionOutcome::Degraded { diagnostics, .. } => {
+            diagnostics.min_confidence < min_confidence.max(escalate_below)
+                || diagnostics.slides_dropped > 0
+                || diagnostics.slides_without_fix > 0
+        }
+        SessionOutcome::Failed { reason, .. } => {
+            !matches!(reason, HyperEarError::InvalidParameter { .. })
+        }
+    }
+}
+
+/// The lowest slide confidence score of a result, `+inf` when there are
+/// no slides (nothing to distrust).
+fn min_slide_score(result: &SessionResult) -> f64 {
+    result
+        .slides
+        .iter()
+        .fold(f64::INFINITY, |m, r| m.min(r.confidence.score))
+}
+
+/// Whether an escalation rerun strictly beat the incumbent outcome.
+/// Ranks `Ok` > `Degraded` > `Failed`; within `Degraded`, fewer losses
+/// (dropped + fix-less slides) win, then a higher minimum confidence;
+/// within `Ok`, a strictly higher minimum slide confidence wins (the
+/// heavier estimator recovered the arrivals the SFO line distrusted).
+/// Ties keep the incumbent — the cheaper, earlier estimator.
+fn retry_improves(retry: &SessionOutcome, incumbent: &SessionOutcome) -> bool {
+    fn rank(o: &SessionOutcome) -> u8 {
+        match o {
+            SessionOutcome::Ok(_) => 2,
+            SessionOutcome::Degraded { .. } => 1,
+            SessionOutcome::Failed { .. } => 0,
+        }
+    }
+    match rank(retry).cmp(&rank(incumbent)) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => match (retry, incumbent) {
+            (SessionOutcome::Ok(r), SessionOutcome::Ok(i)) => {
+                min_slide_score(r) > min_slide_score(i)
+            }
+            (
+                SessionOutcome::Degraded { diagnostics: r, .. },
+                SessionOutcome::Degraded { diagnostics: i, .. },
+            ) => {
+                let r_loss = r.slides_dropped + r.slides_without_fix;
+                let i_loss = i.slides_dropped + i.slides_without_fix;
+                r_loss < i_loss || (r_loss == i_loss && r.min_confidence > i.min_confidence)
+            }
+            _ => false,
+        },
     }
 }
 
@@ -2088,6 +2433,89 @@ mod tests {
         assert!((tally.usable_fraction() - 0.5).abs() < 1e-12);
         assert!(tally.slides_detected >= 2);
         assert_eq!(OutcomeTally::new().usable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn every_estimator_localizes_clean_sessions() {
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(3.0)
+            .slides(2)
+            .seed(11)
+            .render()
+            .unwrap();
+        let mut engine = SessionEngine::new(HyperEarConfig::galaxy_s4()).unwrap();
+        for est in TdoaEstimator::ALL {
+            let mut out = SessionResult::empty();
+            engine
+                .run_estimated_into(&input(&rec), est, &mut out)
+                .unwrap_or_else(|e| panic!("{est:?}: {e}"));
+            assert_eq!(out.estimator, est);
+            let upper = out.upper.unwrap_or_else(|| panic!("{est:?}: no estimate"));
+            assert!(
+                (upper.range - 3.0).abs() < 0.4,
+                "{est:?} range {} truth 3.0",
+                upper.range
+            );
+        }
+    }
+
+    #[test]
+    fn escalation_leaves_clean_sessions_on_the_initial_estimator() {
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(3.0)
+            .slides(2)
+            .seed(11)
+            .render()
+            .unwrap();
+        let mut base = SessionEngine::new(HyperEarConfig::galaxy_s4()).unwrap();
+        let mut cfg = HyperEarConfig::galaxy_s4();
+        cfg.estimator.escalation = true;
+        let mut escalating = SessionEngine::new(cfg).unwrap();
+        let plain = base.run_monitored(&input(&rec));
+        let guarded = escalating.run_monitored(&input(&rec));
+        // A clean session grades Ok, so escalation never fires and the
+        // outcome is bit-identical to the non-escalating engine's.
+        assert_eq!(plain, guarded);
+        match &guarded {
+            SessionOutcome::Ok(result) => {
+                assert_eq!(result.estimator, TdoaEstimator::PlainXcorr);
+            }
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forced_escalation_spends_budget_deterministically() {
+        let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::anechoic())
+            .speaker_range(3.0)
+            .slides(3)
+            .seed(11)
+            .render()
+            .unwrap();
+        // Confidence threshold at 1.0 marks every slide low-confidence,
+        // so the graded outcome is Degraded and escalation must walk the
+        // ladder until the retry budget runs out.
+        let mut cfg = HyperEarConfig::galaxy_s4();
+        cfg.degradation.min_confidence = 1.0;
+        cfg.degradation.retry_budget = 2;
+        cfg.degradation.min_slides = 1;
+        cfg.estimator.escalation = true;
+        let mut session = SessionEngine::new(cfg.clone()).unwrap();
+        let outcome = session.run_monitored(&input(&rec));
+        match &outcome {
+            SessionOutcome::Degraded { diagnostics, .. } => {
+                assert_eq!(diagnostics.escalations, 2);
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        assert!(outcome.is_usable());
+        // Escalated sessions are exactly repeatable: a fresh engine on
+        // the same input picks the same winner.
+        let mut again = SessionEngine::new(cfg).unwrap();
+        assert_eq!(again.run_monitored(&input(&rec)), outcome);
     }
 
     #[test]

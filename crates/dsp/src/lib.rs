@@ -16,6 +16,9 @@
 //! - [`correlate`] — FFT-accelerated cross-correlation and the matched
 //!   filter used for chirp beacon detection (BeepBeep-style).
 //! - [`chirp`] — linear and up-down chirp synthesis (the HyperEar beacon).
+//! - [`estimator`] — robust TDoA estimator kernels: floored GCC-PHAT
+//!   whitening, sub-band coherence weighting, and MCCI cross-channel
+//!   correlation fusion.
 //! - [`interpolate`] — parabolic and windowed-sinc sub-sample interpolation
 //!   for pushing TDoA resolution below the 44.1 kHz sampling grid.
 //! - [`delay`] — integer and fractional signal delays (propagation
@@ -73,6 +76,7 @@ pub mod correlate;
 pub mod delay;
 pub mod envelope;
 mod error;
+pub mod estimator;
 pub mod fft;
 pub mod filter;
 pub mod goertzel;

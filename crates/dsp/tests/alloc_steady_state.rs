@@ -163,4 +163,60 @@ fn warm_xcorr_path_does_not_allocate() {
         "peak FFT length ({peak}) must be independent of capture length ({})",
         rec.audio.left.len()
     );
+
+    // --- Estimator bank: every variant allocation-free when warm. -----
+    // Each estimator touches its own buffers (weighted correlation copy,
+    // spectral scratch, MCCI workspace); after one warm-up pass per
+    // variant they are all at their high-water marks.
+    use hyperear::config::TdoaEstimator;
+    for est in TdoaEstimator::ALL {
+        engine.run_estimated_into(&input, est, &mut result).unwrap();
+        let expected = result.clone();
+        let before = ALLOC.allocations();
+        for _ in 0..2 {
+            engine.run_estimated_into(&input, est, &mut result).unwrap();
+        }
+        let after = ALLOC.allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state run_estimated_into({est:?}) must not allocate"
+        );
+        assert_eq!(
+            result, expected,
+            "warm {est:?} session must stay bit-identical"
+        );
+    }
+
+    // --- Escalation retries allocation-free when warm. ----------------
+    // An escalate_below of 1.0 forces every monitored session through
+    // the full retry ladder (clean slides score ≈ 0.99 < 1.0), so the
+    // retry slot, ladder engines and diagnostics storage all warm up in
+    // one pass and the steady state is a true escalating cycle.
+    let mut esc_cfg = HyperEarConfig::galaxy_s4();
+    esc_cfg.estimator.escalation = true;
+    esc_cfg.estimator.escalate_below = 1.0;
+    let mut esc_engine = SessionEngine::new(esc_cfg).unwrap();
+    let mut outcome = hyperear::pipeline::SessionOutcome::idle();
+    esc_engine.run_monitored_into(&input, &mut outcome);
+    assert!(
+        outcome.is_usable(),
+        "forced-escalation session stays usable"
+    );
+    let expected = outcome.clone();
+
+    let before = ALLOC.allocations();
+    for _ in 0..2 {
+        esc_engine.run_monitored_into(&input, &mut outcome);
+    }
+    let after = ALLOC.allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state escalating run_monitored_into must not allocate"
+    );
+    assert_eq!(
+        outcome, expected,
+        "warm escalating session must stay bit-identical"
+    );
 }

@@ -2,11 +2,12 @@
 # Tier-1 verification gate: hermetic build + full test suite, plus lint
 # and formatting when the components are installed. Run from anywhere.
 #
-#   scripts/verify.sh            # tier-1 gate
-#   scripts/verify.sh --faults   # tier-1 gate + seeded fault-matrix sweep
-#   scripts/verify.sh --bench    # tier-1 gate + bench smoke (alloc gate)
-#   scripts/verify.sh --stream   # tier-1 gate + streaming soak smoke
-#   scripts/verify.sh --doa      # tier-1 gate + DOA contract property sweep
+#   scripts/verify.sh              # tier-1 gate
+#   scripts/verify.sh --faults     # tier-1 gate + seeded fault-matrix sweep
+#   scripts/verify.sh --bench      # tier-1 gate + bench smoke (alloc gate)
+#   scripts/verify.sh --stream     # tier-1 gate + streaming soak smoke
+#   scripts/verify.sh --doa        # tier-1 gate + DOA contract property sweep
+#   scripts/verify.sh --estimators # tier-1 gate + estimator-bank contract sweep
 #
 # The --faults tier drives the full fault-injection matrix through the
 # monitored pipeline (`repro faults --fast`): every corrupted session
@@ -30,6 +31,12 @@
 # and 4-microphone geometries through both DOA front-ends) and greps
 # the `doa-contract: ... HELD` lines: both front-ends must recover the
 # bearing within their pinned tolerances on every drawn geometry.
+#
+# The --estimators tier runs the TDoA-estimator property sweep (clean
+# recovery within the 7.78 mm resolution floor, weighting estimators no
+# worse than plain xcorr under seeded NLOS/burst faults) plus the fast
+# fault-matrix accuracy-vs-cost sweep (`repro --fast estimators`), and
+# greps the `estimator-contract: ... HELD` lines from both.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,13 +44,15 @@ RUN_FAULTS=0
 RUN_BENCH=0
 RUN_STREAM=0
 RUN_DOA=0
+RUN_ESTIMATORS=0
 for arg in "$@"; do
     case "$arg" in
         --faults) RUN_FAULTS=1 ;;
         --bench) RUN_BENCH=1 ;;
         --stream) RUN_STREAM=1 ;;
         --doa) RUN_DOA=1 ;;
-        *) echo "unknown option: $arg (supported: --faults, --bench, --stream, --doa)" >&2; exit 2 ;;
+        --estimators) RUN_ESTIMATORS=1 ;;
+        *) echo "unknown option: $arg (supported: --faults, --bench, --stream, --doa, --estimators)" >&2; exit 2 ;;
     esac
 done
 
@@ -149,6 +158,24 @@ if [ "$RUN_DOA" -eq 1 ]; then
     echo "$OUT"
     if [ "$(grep -c "doa-contract:.*HELD" <<<"$OUT")" -lt 2 ]; then
         echo "DOA TIER FAILED: direction-finding contract not held" >&2
+        exit 1
+    fi
+fi
+
+if [ "$RUN_ESTIMATORS" -eq 1 ]; then
+    echo "== estimator property sweep (clean floor + faulted no-worse, contract grep) =="
+    OUT="$(cargo test --release --test estimator_property -- --nocapture)"
+    echo "$OUT"
+    if [ "$(grep -c "estimator-contract:.*HELD" <<<"$OUT")" -lt 3 ]; then
+        echo "ESTIMATORS TIER FAILED: estimator property contract not held" >&2
+        exit 1
+    fi
+
+    echo "== repro estimators (--fast, fault-matrix accuracy-vs-cost sweep) =="
+    OUT="$(cargo run --release -p hyperear-bench --bin repro -- --fast estimators)"
+    echo "$OUT"
+    if ! grep -q "estimator-contract:.*HELD" <<<"$OUT"; then
+        echo "ESTIMATORS TIER FAILED: estimator bank contract not held" >&2
         exit 1
     fi
 fi

@@ -1,0 +1,171 @@
+//! Estimator conformance tier: `PlainXcorr` pins today's pipeline.
+//!
+//! The estimator bank is only allowed to *add* behaviour. The default
+//! policy (`PlainXcorr`, no escalation) must be **bit-identical**
+//! (`assert_eq!`, not a tolerance) to the pre-bank pipeline: same
+//! results one-shot, same outcomes in a batch at any thread count, same
+//! arrivals from a streaming finish. Enabling escalation must change
+//! nothing on clean input, because a cleanly-`Ok` session never enters
+//! the retry ladder.
+
+use hyperear::batch::BatchEngine;
+use hyperear::config::{EstimatorPolicy, HyperEarConfig, TdoaEstimator};
+use hyperear::pipeline::{SessionEngine, SessionInput, SessionOutcome, SessionResult};
+use hyperear::stream::{StreamConfig, StreamService};
+use hyperear_sim::environment::Environment;
+use hyperear_sim::phone::PhoneModel;
+use hyperear_sim::scenario::{Recording, ScenarioBuilder};
+use hyperear_util::pool::Pool;
+use std::sync::Arc;
+
+fn fleet() -> Vec<Recording> {
+    [Environment::anechoic(), Environment::room_quiet()]
+        .into_iter()
+        .enumerate()
+        .map(|(i, env)| {
+            ScenarioBuilder::new(PhoneModel::galaxy_s4())
+                .environment(env)
+                .speaker_range(2.5 + i as f64)
+                .slides(2)
+                .seed(61_000 + i as u64)
+                .render()
+                .unwrap()
+        })
+        .collect()
+}
+
+fn input(rec: &Recording) -> SessionInput<'_> {
+    SessionInput {
+        audio_sample_rate: rec.audio.sample_rate,
+        left: &rec.audio.left,
+        right: &rec.audio.right,
+        imu_sample_rate: rec.imu.sample_rate,
+        accel: &rec.imu.accel,
+        gyro: &rec.imu.gyro,
+    }
+}
+
+fn escalating() -> HyperEarConfig {
+    let mut config = HyperEarConfig::galaxy_s4();
+    config.estimator.escalation = true;
+    config
+}
+
+/// The default estimator policy IS the pre-bank pipeline: plain xcorr,
+/// no escalation, and an explicit `PlainXcorr` run is the same code
+/// path as `run`.
+#[test]
+fn default_policy_is_plain_xcorr_and_pins_run() {
+    let config = HyperEarConfig::galaxy_s4();
+    assert_eq!(config.estimator, EstimatorPolicy::default());
+    assert_eq!(config.estimator.initial, TdoaEstimator::PlainXcorr);
+    assert!(!config.estimator.escalation);
+
+    for rec in &fleet() {
+        let mut engine = SessionEngine::new(config.clone()).unwrap();
+        let default_run = engine.run(&input(rec)).unwrap();
+        let mut explicit = SessionResult::empty();
+        engine
+            .run_estimated_into(&input(rec), TdoaEstimator::PlainXcorr, &mut explicit)
+            .unwrap();
+        assert_eq!(explicit, default_run);
+        assert_eq!(default_run.estimator, TdoaEstimator::PlainXcorr);
+    }
+}
+
+/// Enabling escalation changes nothing on clean input: every fleet
+/// session grades `Ok`, never enters the retry ladder, and the outcome
+/// (result and absence of diagnostics) is bit-equal to the default
+/// engine's.
+#[test]
+fn escalation_is_inert_on_clean_sessions() {
+    for rec in &fleet() {
+        let baseline = SessionEngine::new(HyperEarConfig::galaxy_s4())
+            .unwrap()
+            .run_monitored(&input(rec));
+        let esc = SessionEngine::new(escalating())
+            .unwrap()
+            .run_monitored(&input(rec));
+        assert!(
+            matches!(baseline, SessionOutcome::Ok(_)),
+            "clean fleet is Ok"
+        );
+        assert_eq!(esc, baseline);
+        let result = esc.result().expect("usable");
+        assert_eq!(result.estimator, TdoaEstimator::PlainXcorr);
+    }
+}
+
+/// Batch engines: the default and escalation-enabled configurations
+/// produce bit-equal outcome vectors on clean input, at 1 and 4 pool
+/// threads, and the vectors are thread-count invariant.
+#[test]
+fn clean_batches_are_identical_with_escalation_at_any_thread_count() {
+    let recs = fleet();
+    let inputs: Vec<SessionInput<'_>> = recs.iter().map(input).collect();
+    let mut reference: Option<Vec<SessionOutcome>> = None;
+    for threads in [1usize, 4] {
+        let pool = Arc::new(Pool::new(threads));
+        let mut default_engine =
+            BatchEngine::new(HyperEarConfig::galaxy_s4(), Arc::clone(&pool)).unwrap();
+        let default_out = default_engine.run_batch(&inputs);
+
+        let mut esc_engine = BatchEngine::new(escalating(), pool).unwrap();
+        let esc_out = esc_engine.run_batch(&inputs);
+
+        assert!(default_out.iter().all(SessionOutcome::is_usable));
+        assert_eq!(
+            esc_out, default_out,
+            "escalating batch at {threads} threads"
+        );
+        match &reference {
+            None => reference = Some(default_out),
+            Some(first) => assert_eq!(&default_out, first, "thread-count invariance"),
+        }
+    }
+}
+
+/// Streaming finish under the default policy equals the one-shot
+/// engine, and the streamed result reports `PlainXcorr`.
+#[test]
+fn streaming_finish_matches_one_shot_under_default_policy() {
+    let rec = &fleet()[1];
+    let reference = SessionEngine::new(HyperEarConfig::galaxy_s4())
+        .unwrap()
+        .run_monitored(&input(rec));
+
+    let mut svc = StreamService::new(
+        HyperEarConfig::galaxy_s4(),
+        StreamConfig {
+            max_sessions: 1,
+            ring_capacity: 8_192,
+            max_samples: rec.audio.left.len(),
+            max_imu_samples: rec.imu.accel.len(),
+        },
+        Arc::new(Pool::new(1)),
+    )
+    .unwrap();
+    let id = svc
+        .open(rec.audio.sample_rate, rec.imu.sample_rate)
+        .unwrap();
+    svc.push_imu(id, &rec.imu.accel, &rec.imu.gyro).unwrap();
+    let n = rec.audio.left.len();
+    let mut pos = 0;
+    while pos < n {
+        let len = (n - pos).min(4_096);
+        match svc.push_audio(
+            id,
+            &rec.audio.left[pos..pos + len],
+            &rec.audio.right[pos..pos + len],
+        ) {
+            Ok(()) => pos += len,
+            Err(hyperear::stream::StreamError::Shed { .. }) => svc.pump(),
+            Err(e) => panic!("unexpected stream error: {e}"),
+        }
+    }
+    let mut out = SessionOutcome::idle();
+    svc.finish(id, &mut out).unwrap();
+    assert_eq!(out, reference);
+    let result = out.result().expect("usable");
+    assert_eq!(result.estimator, TdoaEstimator::PlainXcorr);
+}

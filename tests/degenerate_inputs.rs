@@ -325,6 +325,133 @@ fn streaming_misuse_is_typed_never_a_panic() {
     );
 }
 
+/// Estimator bank: spectrally-degenerate inputs are graceful no-ops or
+/// typed errors at the DSP layer, and typed session failures (or clean
+/// fallbacks) at the pipeline layer — never NaN, never a panic.
+#[test]
+fn degenerate_estimator_inputs_are_typed_or_graceful() {
+    use hyperear_dsp::estimator::{
+        gcc_phat_with, mcci_fuse_channel_into, mcci_offsets_with, subband_coherence_with,
+        EstimatorScratch,
+    };
+
+    let mut scratch = EstimatorScratch::new();
+
+    // All-zero correlation under PHAT whitening: the division floor has
+    // nothing to normalize against, so the sequence passes through
+    // unchanged instead of turning into NaNs.
+    let mut zeros = vec![0.0f64; 1_024];
+    gcc_phat_with(&mut zeros, 0.15, &mut scratch).unwrap();
+    assert!(
+        zeros.iter().all(|&v| v == 0.0),
+        "whitened silence is silence"
+    );
+
+    // Out-of-range whitening floors are typed parameter errors.
+    let mut pulse = vec![0.0f64; 256];
+    pulse[40] = 1.0;
+    assert!(gcc_phat_with(&mut pulse.clone(), 0.0, &mut scratch).is_err());
+    assert!(gcc_phat_with(&mut pulse.clone(), 1.0, &mut scratch).is_err());
+    assert!(gcc_phat_with(&mut Vec::new(), 0.15, &mut scratch).is_err());
+
+    // Single-band coherence collapses to a pure band-pass (the noise
+    // reference degenerates to the band's own power) — finite output,
+    // no NaN, and the all-zero case is again a no-op.
+    let mut band = pulse.clone();
+    subband_coherence_with(&mut band, FS_AUDIO, 1_000.0, 20_000.0, 1, &mut scratch).unwrap();
+    assert!(band.iter().all(|v| v.is_finite()));
+    let mut silent = vec![0.0f64; 512];
+    subband_coherence_with(&mut silent, FS_AUDIO, 1_000.0, 20_000.0, 1, &mut scratch).unwrap();
+    assert!(silent.iter().all(|&v| v == 0.0));
+    // Inverted/over-Nyquist band edges and zero band count are typed.
+    let mut b = pulse.clone();
+    assert!(subband_coherence_with(&mut b, FS_AUDIO, 5_000.0, 1_000.0, 4, &mut scratch).is_err());
+    assert!(subband_coherence_with(&mut b, FS_AUDIO, 1_000.0, 90_000.0, 4, &mut scratch).is_err());
+    assert!(subband_coherence_with(&mut b, FS_AUDIO, 1_000.0, 20_000.0, 0, &mut scratch).is_err());
+
+    // MCCI with a dead channel: the offset solver marks it dead and
+    // reports too few live channels for fusion instead of aligning
+    // against silence; fusing around the dead channel stays finite.
+    let live_corr: Vec<f64> = (0..512).map(|i| if i == 100 { 1.0 } else { 0.0 }).collect();
+    let dead_corr = vec![0.0f64; 512];
+    let mut offsets = Vec::new();
+    let mut live = Vec::new();
+    let n_live = mcci_offsets_with(&[&live_corr, &dead_corr], 32, &mut offsets, &mut live).unwrap();
+    assert_eq!(n_live, 1, "dead channel excluded from the solve");
+    assert_eq!(live, [true, false]);
+    let mut fused = Vec::new();
+    mcci_fuse_channel_into(&[&live_corr, &dead_corr], &offsets, &live, 0, &mut fused).unwrap();
+    assert!(fused.iter().all(|v| v.is_finite()));
+}
+
+/// Estimator bank at the session layer: silence and dead channels flow
+/// through every estimator as typed failures or graceful fallbacks.
+#[test]
+fn degenerate_sessions_fail_typed_under_every_estimator() {
+    use hyperear::config::TdoaEstimator;
+    use hyperear::pipeline::SessionResult;
+
+    let mut engine = SessionEngine::new(HyperEarConfig::galaxy_s4()).unwrap();
+    let (accel, gyro) = resting_imu(600);
+    let silence = vec![0.0f64; 88_200];
+
+    // Silence (all-zero spectra end to end) under every estimator: the
+    // beacon detector finds nothing and the session fails typed.
+    for est in TdoaEstimator::ALL {
+        let mut out = SessionResult::empty();
+        let err = engine
+            .run_estimated_into(&input(&silence, &silence, &accel, &gyro), est, &mut out)
+            .unwrap_err();
+        assert!(
+            !matches!(err, HyperEarError::InvalidParameter { .. }),
+            "{est:?} on silence: data-dependent failure, not a parameter error: {err}"
+        );
+    }
+
+    // A real capture with one dead (all-zero) channel: MCCI cannot fuse
+    // (one live channel) and falls back to per-channel extraction, which
+    // fails typed on the silent side — never a panic.
+    let rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())
+        .environment(Environment::anechoic())
+        .speaker_range(2.0)
+        .slides(1)
+        .seed(33)
+        .render()
+        .unwrap();
+    let dead = vec![0.0f64; rec.audio.right.len()];
+    let mut session = input(&rec.audio.left, &dead, &rec.imu.accel, &rec.imu.gyro);
+    session.audio_sample_rate = rec.audio.sample_rate;
+    session.imu_sample_rate = rec.imu.sample_rate;
+    for est in TdoaEstimator::ALL {
+        let mut out = SessionResult::empty();
+        assert!(
+            engine.run_estimated_into(&session, est, &mut out).is_err(),
+            "{est:?} with a dead channel must fail typed"
+        );
+    }
+
+    // Single-band coherence at the policy level: a degenerate band count
+    // of 1 is a pure band-pass, and a healthy session still localizes.
+    let mut cfg = HyperEarConfig::galaxy_s4();
+    cfg.estimator.coherence_bands = 1;
+    let mut single_band = SessionEngine::new(cfg).unwrap();
+    let healthy = input(
+        &rec.audio.left,
+        &rec.audio.right,
+        &rec.imu.accel,
+        &rec.imu.gyro,
+    );
+    let mut healthy_in = healthy;
+    healthy_in.audio_sample_rate = rec.audio.sample_rate;
+    healthy_in.imu_sample_rate = rec.imu.sample_rate;
+    let mut out = SessionResult::empty();
+    single_band
+        .run_estimated_into(&healthy_in, TdoaEstimator::SubbandCoherence, &mut out)
+        .expect("single-band coherence degrades to a band-pass, not an error");
+    let upper = out.upper.expect("single-band session still localizes");
+    assert!(upper.position.x.is_finite() && upper.position.y.is_finite());
+}
+
 #[test]
 fn invalid_fault_plans_are_typed_sim_errors() {
     let mut rec = ScenarioBuilder::new(PhoneModel::galaxy_s4())

@@ -8,10 +8,10 @@
 //! refined below the sampling grid — without that refinement the TDoA
 //! resolution would be stuck at 7.78 mm per sample (paper §II-C).
 
-use crate::config::{HyperEarConfig, Interpolation, TdoaEstimator};
+use crate::config::{HyperEarConfig, Interpolation, Precision, TdoaEstimator};
 use crate::HyperEarError;
 use hyperear_dsp::chirp::{Chirp, ChirpShape};
-use hyperear_dsp::correlate::{ChunkFeed, StreamingMatchedFilter};
+use hyperear_dsp::correlate::{ChunkFeed, StreamingMatchedFilter, StreamingMatchedFilter32};
 use hyperear_dsp::estimator::{gcc_phat_with, subband_coherence_with, EstimatorScratch};
 use hyperear_dsp::filter::{FirFilter, ZeroPhaseFir};
 use hyperear_dsp::interpolate::{parabolic_peak, sinc_peak};
@@ -44,6 +44,14 @@ pub struct BeaconArrival {
 pub struct DetectorCore {
     filter: StreamingMatchedFilter,
     band_pass: Option<ZeroPhaseFir>,
+    /// Single-precision engine, present iff the config opted into
+    /// [`Precision::F32`]. The configured band-pass is folded into its
+    /// template (one overlap-save pass instead of two); when present,
+    /// [`DetectorCore::correlate_only`] routes correlation through it
+    /// and converts the result back to f64 for the (unchanged)
+    /// threshold/peak stage.
+    filter32: Option<StreamingMatchedFilter32>,
+    precision: Precision,
     sample_rate: f64,
     min_spacing: usize,
     threshold_factor: f64,
@@ -139,6 +147,11 @@ pub struct DetectScratch {
     /// plain matched-filter correlation (see
     /// [`DetectorCore::detect_with_estimator`]).
     weighted: Vec<f64>,
+    /// f32 staging buffers for the [`Precision::F32`] hot path: the
+    /// converted input channel and the raw f32 correlation before
+    /// widening back into `corr`. Empty under [`Precision::F64`].
+    input32: Vec<f32>,
+    corr32: Vec<f32>,
 }
 
 impl DetectScratch {
@@ -158,6 +171,7 @@ impl DetectScratch {
                 + self.mags.capacity()
                 + self.weighted.capacity())
                 * std::mem::size_of::<f64>()
+            + (self.input32.capacity() + self.corr32.capacity()) * std::mem::size_of::<f32>()
             + (self.peaks.capacity() + self.peaks_scratch.capacity()) * std::mem::size_of::<Peak>()
             + self.est.capacity_bytes()
     }
@@ -195,20 +209,37 @@ impl DetectorCore {
             ChirpShape::UpDown,
         )?;
         let filter = StreamingMatchedFilter::new(chirp.samples())?;
-        let band_pass = if config.detection.band_pass {
-            Some(ZeroPhaseFir::new(&FirFilter::band_pass(
+        let bp_design = if config.detection.band_pass {
+            Some(FirFilter::band_pass(
                 config.beacon.f0 * 0.9,
                 config.beacon.f1 * 1.1,
                 sample_rate,
                 config.detection.band_pass_taps,
                 Window::Hamming,
-            )?)?)
+            )?)
+        } else {
+            None
+        };
+        let band_pass = bp_design.as_ref().map(ZeroPhaseFir::new).transpose()?;
+        let filter32 = if config.precision == Precision::F32 {
+            let template32: Vec<f32> = chirp.samples().iter().map(|&x| x as f32).collect();
+            // The f32 path folds the band-pass into the matched-filter
+            // template (exact for LTI correlation), so detection costs
+            // one overlap-save pass instead of two.
+            Some(match &bp_design {
+                Some(design) => {
+                    StreamingMatchedFilter32::with_zero_phase_prefilter(&template32, design.taps())?
+                }
+                None => StreamingMatchedFilter32::new(&template32)?,
+            })
         } else {
             None
         };
         Ok(DetectorCore {
             filter,
             band_pass,
+            filter32,
+            precision: config.precision,
             sample_rate,
             min_spacing: (config.detection.min_spacing_fraction
                 * config.beacon.period
@@ -231,6 +262,12 @@ impl DetectorCore {
     #[must_use]
     pub fn estimator(&self) -> TdoaEstimator {
         self.estimator
+    }
+
+    /// The numeric precision of the filtering/correlation hot path.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// The sample rate this core was built for.
@@ -339,6 +376,9 @@ impl DetectorCore {
         channel: &[f64],
         scratch: &mut DetectScratch,
     ) -> Result<(), HyperEarError> {
+        if let Some(mf32) = &self.filter32 {
+            return self.correlate_only_f32(mf32, channel, scratch);
+        }
         let signal: &[f64] = match &self.band_pass {
             Some(bp) => {
                 bp.filter_into(channel, &mut scratch.scratch, &mut scratch.filtered)?;
@@ -348,6 +388,32 @@ impl DetectorCore {
         };
         self.filter
             .correlate_normalized_into(signal, &mut scratch.scratch, &mut scratch.corr)?;
+        Ok(())
+    }
+
+    /// [`DetectorCore::correlate_only`] through the single-precision
+    /// engine: narrow the channel to f32, correlate through the
+    /// folded-prefilter matched filter (band-pass and template in one
+    /// overlap-save pass), then widen the normalized correlation back
+    /// into `scratch.corr` so every downstream stage (thresholds, peaks,
+    /// estimator weighting, interpolation) runs unchanged in f64.
+    fn correlate_only_f32(
+        &self,
+        mf32: &StreamingMatchedFilter32,
+        channel: &[f64],
+        scratch: &mut DetectScratch,
+    ) -> Result<(), HyperEarError> {
+        scratch.input32.clear();
+        scratch.input32.extend(channel.iter().map(|&x| x as f32));
+        mf32.correlate_normalized_into(
+            &scratch.input32,
+            &mut scratch.scratch,
+            &mut scratch.corr32,
+        )?;
+        scratch.corr.clear();
+        scratch
+            .corr
+            .extend(scratch.corr32.iter().map(|&v| f64::from(v)));
         Ok(())
     }
 
@@ -707,9 +773,18 @@ pub struct StreamingDetector {
     /// Band-pass ingestion state (present iff the core has a band-pass).
     fir_feed: Option<ChunkFeed>,
     mf_feed: ChunkFeed,
+    /// Single-precision ingestion state for cores built with
+    /// [`Precision::F32`] (in which case the f64 feeds above sit
+    /// unused). No band-pass feed: the core folds the band-pass into
+    /// the matched-filter template.
+    mf_feed32: Option<ChunkFeed<f32>>,
     scratch: DspScratch,
     /// Filtered samples emitted by the band-pass for the current chunk.
     filtered_burst: Vec<f64>,
+    /// f32 staging for the [`Precision::F32`] path: the narrowed chunk
+    /// and the correlation burst widened into `corr` after each push.
+    chunk32: Vec<f32>,
+    corr_burst32: Vec<f32>,
     /// The accumulated normalized correlation (capacity `max_samples`).
     corr: Vec<f64>,
     mags: Vec<f64>,
@@ -748,11 +823,18 @@ impl StreamingDetector {
         }
         let fir_feed = core.band_pass.as_ref().map(ZeroPhaseFir::chunk_feed);
         let mf_feed = core.filter.chunk_feed();
+        let mf_feed32 = core
+            .filter32
+            .as_ref()
+            .map(StreamingMatchedFilter32::chunk_feed);
         Ok(StreamingDetector {
             fir_feed,
             mf_feed,
+            mf_feed32,
             scratch: DspScratch::new(),
             filtered_burst: Vec::new(),
+            chunk32: Vec::new(),
+            corr_burst32: Vec::new(),
             corr: Vec::with_capacity(max_samples),
             mags: Vec::with_capacity(max_samples),
             peaks: Vec::new(),
@@ -818,6 +900,21 @@ impl StreamingDetector {
                 capacity: self.max_samples,
             });
         }
+        if let (Some(mf32), Some(feed32)) = (&self.core.filter32, &mut self.mf_feed32) {
+            self.chunk32.clear();
+            self.chunk32.extend(chunk.iter().map(|&x| x as f32));
+            self.corr_burst32.clear();
+            mf32.push_chunk_normalized_into(
+                feed32,
+                &self.chunk32,
+                &mut self.scratch,
+                &mut self.corr_burst32,
+            )?;
+            self.corr
+                .extend(self.corr_burst32.iter().map(|&v| f64::from(v)));
+            self.pushed = needed;
+            return Ok(());
+        }
         match (&self.core.band_pass, &mut self.fir_feed) {
             (Some(bp), Some(feed)) => {
                 self.filtered_burst.clear();
@@ -871,21 +968,28 @@ impl StreamingDetector {
             }
             .into());
         }
-        if let (Some(bp), Some(feed)) = (&self.core.band_pass, &mut self.fir_feed) {
-            self.filtered_burst.clear();
-            bp.finish_chunks_into(feed, &mut self.scratch, &mut self.filtered_burst)?;
-            self.core.filter.push_chunk_normalized_into(
+        if let (Some(mf32), Some(feed32)) = (&self.core.filter32, &mut self.mf_feed32) {
+            self.corr_burst32.clear();
+            mf32.finish_chunks_normalized_into(feed32, &mut self.scratch, &mut self.corr_burst32)?;
+            self.corr
+                .extend(self.corr_burst32.iter().map(|&v| f64::from(v)));
+        } else {
+            if let (Some(bp), Some(feed)) = (&self.core.band_pass, &mut self.fir_feed) {
+                self.filtered_burst.clear();
+                bp.finish_chunks_into(feed, &mut self.scratch, &mut self.filtered_burst)?;
+                self.core.filter.push_chunk_normalized_into(
+                    &mut self.mf_feed,
+                    &self.filtered_burst,
+                    &mut self.scratch,
+                    &mut self.corr,
+                )?;
+            }
+            self.core.filter.finish_chunks_normalized_into(
                 &mut self.mf_feed,
-                &self.filtered_burst,
                 &mut self.scratch,
                 &mut self.corr,
             )?;
         }
-        self.core.filter.finish_chunks_normalized_into(
-            &mut self.mf_feed,
-            &mut self.scratch,
-            &mut self.corr,
-        )?;
         debug_assert_eq!(self.corr.len(), self.pushed);
         self.finished = true;
         // The accumulated correlation is bit-identical to the one-shot
@@ -931,6 +1035,9 @@ impl StreamingDetector {
             feed.reset();
         }
         self.mf_feed.reset();
+        if let Some(feed) = &mut self.mf_feed32 {
+            feed.reset();
+        }
         self.corr.clear();
         self.weighted.clear();
         self.pushed = 0;
@@ -950,9 +1057,11 @@ impl StreamingDetector {
                 + self.weighted.capacity())
                 * std::mem::size_of::<f64>()
             + (self.peaks.capacity() + self.peaks_scratch.capacity()) * std::mem::size_of::<Peak>()
+            + (self.chunk32.capacity() + self.corr_burst32.capacity()) * std::mem::size_of::<f32>()
             + self.est.capacity_bytes()
             + self.fir_feed.as_ref().map_or(0, ChunkFeed::capacity_bytes)
             + self.mf_feed.capacity_bytes()
+            + self.mf_feed32.as_ref().map_or(0, ChunkFeed::capacity_bytes)
     }
 }
 
@@ -1257,6 +1366,67 @@ mod tests {
         assert_eq!(out.len(), 1);
         let err = (out[0].time * FS - truth).abs();
         assert!(err < 0.1, "guided timing error {err}");
+    }
+
+    #[test]
+    fn f32_precision_times_arrivals_within_one_sample() {
+        let truth = 10_000.37;
+        let signal = render(&[truth], 20_000, 0.3);
+        let mut config = HyperEarConfig::galaxy_s4();
+        config.precision = Precision::F32;
+        let mut d = BeaconDetector::new(&config, FS).unwrap();
+        assert_eq!(d.core().precision(), Precision::F32);
+        let arrivals = d.detect(&signal).unwrap();
+        assert_eq!(arrivals.len(), 1);
+        // One TDoA sample (7.78 mm at 44.1 kHz) is the accuracy envelope
+        // the f32 path promises; clean captures sit far inside it.
+        let err = (arrivals[0].time * FS - truth).abs();
+        assert!(err < 1.0, "f32 timing error {err} samples");
+    }
+
+    #[test]
+    fn f32_streaming_is_bit_identical_to_f32_one_shot() {
+        let positions: Vec<f64> = (0..5).map(|k| 2_000.0 + k as f64 * 8_820.0).collect();
+        let signal = render(&positions, 50_000, 0.3);
+        let mut config = HyperEarConfig::galaxy_s4();
+        config.precision = Precision::F32;
+        let mut d = BeaconDetector::new(&config, FS).unwrap();
+        let reference = d.detect(&signal).unwrap();
+        assert_eq!(reference.len(), 5);
+        let mut stream =
+            StreamingDetector::new(std::sync::Arc::clone(d.core()), signal.len()).unwrap();
+        let mut out = Vec::new();
+        for chunk_len in [1usize, 997, 4_096, signal.len()] {
+            for chunk in signal.chunks(chunk_len) {
+                stream.push(chunk).unwrap();
+            }
+            stream.finish_into(&mut out).unwrap();
+            assert_eq!(out, reference, "chunk_len {chunk_len}");
+            stream.reset();
+        }
+    }
+
+    #[test]
+    fn f32_and_f64_precisions_agree_on_clean_captures() {
+        let positions: Vec<f64> = (0..3).map(|k| 3_000.0 + k as f64 * 8_820.0).collect();
+        let signal = render(&positions, 30_000, 0.3);
+        let reference = detector(Interpolation::Parabolic).detect(&signal).unwrap();
+        let mut config = HyperEarConfig::galaxy_s4();
+        config.precision = Precision::F32;
+        let arrivals = BeaconDetector::new(&config, FS)
+            .unwrap()
+            .detect(&signal)
+            .unwrap();
+        assert_eq!(arrivals.len(), reference.len());
+        for (a, r) in arrivals.iter().zip(&reference) {
+            // Within the one-sample TDoA floor of the f64 reference.
+            assert!(
+                ((a.time - r.time) * FS).abs() < 1.0,
+                "f32 {} vs f64 {}",
+                a.time,
+                r.time
+            );
+        }
     }
 
     #[test]

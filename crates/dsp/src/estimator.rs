@@ -42,6 +42,7 @@
 //! gracefully (a no-op leaving the correlation unchanged) on inputs with
 //! no usable spectral mass instead of producing NaNs.
 
+use crate::complex::{axpy, dot_seq};
 use crate::fft::try_next_pow2;
 use crate::plan::shared_real_plan;
 use crate::{Complex, DspError};
@@ -346,10 +347,13 @@ fn best_pair_lag(a: &[f64], b: &[f64], max_lag: usize) -> f64 {
         } else {
             ((-d) as usize, n)
         };
-        let mut acc = 0.0;
-        for t in lo..hi {
-            acc += a[t] * b[(t as isize + d) as usize];
-        }
+        // Sequential MAC through the shared kernel: the accumulation
+        // order is part of the MCCI conformance pins, so this lag sum
+        // must not be reassociated (see `dot_seq`).
+        let acc = dot_seq(
+            &a[lo..hi],
+            &b[(lo as isize + d) as usize..(hi as isize + d) as usize],
+        );
         if acc > best {
             best = acc;
             best_d = d;
@@ -427,8 +431,14 @@ pub fn mcci_fuse_channel_into(
         } else {
             ((-d) as usize, n)
         };
-        for (t, slot) in out.iter_mut().enumerate().take(t_hi).skip(t_lo) {
-            *slot += scale * c[(t as isize + d) as usize];
+        if t_lo < t_hi {
+            // Elementwise shift-and-accumulate through the shared axpy
+            // kernel (bit-identical to the per-sample loop).
+            axpy(
+                &mut out[t_lo..t_hi],
+                scale,
+                &c[(t_lo as isize + d) as usize..(t_hi as isize + d) as usize],
+            );
         }
     }
     Ok(())

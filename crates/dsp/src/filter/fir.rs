@@ -6,7 +6,7 @@
 //! symmetric FIR delays every frequency by exactly `(taps-1)/2` samples,
 //! which [`FirFilter::filter_zero_phase`] compensates.
 
-use crate::correlate::{ChunkFeed, OverlapSave};
+use crate::correlate::{ChunkFeed, OverlapSave, OverlapSave32};
 use crate::fft::try_next_pow2;
 use crate::plan::DspScratch;
 use crate::window::Window;
@@ -204,21 +204,63 @@ impl FirFilter {
             return Err(DspError::EmptyInput { what: "FIR input" });
         }
         let delay = (self.taps.len() - 1) / 2;
+        let t_len = self.taps.len();
         let n = signal.len();
         out.clear();
         out.resize(n, 0.0);
         // out[i] = sum_k taps[k] * signal[i + delay - k]
-        for (i, o) in out.iter_mut().enumerate() {
-            let mut acc = 0.0;
+        //
+        // Interior outputs — those whose every tap lands in bounds
+        // (`t_len - 1 - delay <= i < n - delay`) — are computed four at a
+        // time: one lane per output, each lane still accumulating over
+        // `k` in the original ascending order, so results stay
+        // bit-identical to the historical per-sample loop while the
+        // boundary checks vanish and the k-loop body vectorizes. Edge
+        // outputs keep the checked scalar path.
+        let lo = (t_len - 1 - delay).min(n);
+        let hi = n.saturating_sub(delay).max(lo);
+        for (i, o) in out[..lo].iter_mut().enumerate() {
+            *o = self.zero_phase_edge_sample(signal, i, delay);
+        }
+        let mut blocks = out[lo..hi].chunks_exact_mut(4);
+        let mut i0 = lo;
+        for block in &mut blocks {
+            let mut acc = [0.0f64; 4];
             for (k, &t) in self.taps.iter().enumerate() {
-                let idx = i as isize + delay as isize - k as isize;
-                if idx >= 0 && (idx as usize) < n {
-                    acc += t * signal[idx as usize];
+                let s = &signal[i0 + delay - k..i0 + delay - k + 4];
+                for (a, &x) in acc.iter_mut().zip(s) {
+                    *a += t * x;
                 }
             }
+            block.copy_from_slice(&acc);
+            i0 += 4;
+        }
+        for o in blocks.into_remainder() {
+            let mut acc = 0.0;
+            for (k, &t) in self.taps.iter().enumerate() {
+                acc += t * signal[i0 + delay - k];
+            }
             *o = acc;
+            i0 += 1;
+        }
+        for (off, o) in out[hi..].iter_mut().enumerate() {
+            *o = self.zero_phase_edge_sample(signal, hi + off, delay);
         }
         Ok(())
+    }
+
+    /// One boundary output of the zero-phase convolution, with the full
+    /// per-tap bounds checks of the historical loop.
+    fn zero_phase_edge_sample(&self, signal: &[f64], i: usize, delay: usize) -> f64 {
+        let n = signal.len();
+        let mut acc = 0.0;
+        for (k, &t) in self.taps.iter().enumerate() {
+            let idx = i as isize + delay as isize - k as isize;
+            if idx >= 0 && (idx as usize) < n {
+                acc += t * signal[idx as usize];
+            }
+        }
+        acc
     }
 
     /// Magnitude of the filter's frequency response at `freq_hz`.
@@ -354,6 +396,107 @@ impl ZeroPhaseFir {
         feed: &mut ChunkFeed,
         scratch: &mut DspScratch,
         out: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
+        if !feed.is_finished() && feed.pushed() == 0 {
+            return Err(DspError::EmptyInput { what: "FIR input" });
+        }
+        self.core.feed_finish(feed, self.lead, scratch, out)
+    }
+}
+
+/// Single-precision FFT-accelerated zero-phase FIR — the f32 analogue of
+/// [`ZeroPhaseFir`], built on the split-plane overlap-save engine.
+///
+/// Taps are designed in f64 (via [`FirFilter`]) and rounded once to f32
+/// at engine construction, so design accuracy does not depend on the
+/// execution precision. Used by the opt-in `Precision::F32` pipeline; no
+/// bit-identity contract against the f64 path (see DESIGN.md §11).
+#[derive(Debug, Clone)]
+pub struct ZeroPhaseFir32 {
+    core: OverlapSave32,
+    lead: usize,
+}
+
+impl ZeroPhaseFir32 {
+    /// Builds the single-precision FFT engine for `filter`, with blocks
+    /// of `next_pow2(4 × taps)` samples.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ZeroPhaseFir::new`].
+    pub fn new(filter: &FirFilter) -> Result<Self, DspError> {
+        let taps = filter.taps();
+        let reversed: Vec<f32> = taps.iter().rev().map(|&t| t as f32).collect();
+        let delay = (taps.len() - 1) / 2;
+        let block = try_next_pow2(taps.len().saturating_mul(4))?;
+        Ok(ZeroPhaseFir32 {
+            core: OverlapSave32::new(&reversed, block)?,
+            lead: taps.len() - 1 - delay,
+        })
+    }
+
+    /// The FFT block length — the peak transform size of every call.
+    #[must_use]
+    pub fn block_len(&self) -> usize {
+        self.core.block_len()
+    }
+
+    /// Zero-phase filtering into a caller-owned buffer (cleared and
+    /// reused); f32 analogue of [`ZeroPhaseFir::filter_into`].
+    /// Steady-state calls at warm sizes do not allocate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if `signal` is empty.
+    pub fn filter_into(
+        &self,
+        signal: &[f32],
+        scratch: &mut DspScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<(), DspError> {
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput { what: "FIR input" });
+        }
+        self.core.run(signal, self.lead, signal.len(), scratch, out)
+    }
+
+    /// Creates an online ingestion feed for this engine (see
+    /// [`ChunkFeed`]).
+    #[must_use]
+    pub fn chunk_feed(&self) -> ChunkFeed<f32> {
+        let template_len = self.core.block_len() - self.core.step() + 1;
+        ChunkFeed::new(self.lead, self.core.block_len(), template_len)
+    }
+
+    /// Pushes `chunk` into `feed`, appending every filtered sample whose
+    /// FFT block completed to `out` (f32 analogue of
+    /// [`ZeroPhaseFir::push_chunk_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `feed` was created by a
+    /// different engine or has already been finished.
+    pub fn push_chunk_into(
+        &self,
+        feed: &mut ChunkFeed<f32>,
+        chunk: &[f32],
+        scratch: &mut DspScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<(), DspError> {
+        self.core.feed_push(feed, self.lead, chunk, scratch, out)
+    }
+
+    /// Flushes `feed`, appending the remaining filtered samples to `out`
+    /// (f32 analogue of [`ZeroPhaseFir::finish_chunks_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ZeroPhaseFir::finish_chunks_into`].
+    pub fn finish_chunks_into(
+        &self,
+        feed: &mut ChunkFeed<f32>,
+        scratch: &mut DspScratch,
+        out: &mut Vec<f32>,
     ) -> Result<(), DspError> {
         if !feed.is_finished() && feed.pushed() == 0 {
             return Err(DspError::EmptyInput { what: "FIR input" });
@@ -620,6 +763,117 @@ mod tests {
         ));
         let other = FirFilter::low_pass(5_000.0, 44_100.0, 31, Window::Hamming).unwrap();
         let mut foreign = ZeroPhaseFir::new(&other).unwrap().chunk_feed();
+        assert!(engine
+            .push_chunk_into(&mut foreign, &[1.0], &mut scratch, &mut out)
+            .is_err());
+    }
+
+    #[test]
+    fn blocked_zero_phase_is_bit_identical_to_naive_loop() {
+        // The interior/edge split with 4-wide output blocks must
+        // reproduce the historical per-sample checked loop to the last
+        // ulp, for odd and even tap counts and for signals shorter than
+        // the filter.
+        let naive = |taps: &[f64], signal: &[f64]| -> Vec<f64> {
+            let delay = (taps.len() - 1) / 2;
+            let n = signal.len();
+            (0..n)
+                .map(|i| {
+                    let mut acc = 0.0;
+                    for (k, &t) in taps.iter().enumerate() {
+                        let idx = i as isize + delay as isize - k as isize;
+                        if idx >= 0 && (idx as usize) < n {
+                            acc += t * signal[idx as usize];
+                        }
+                    }
+                    acc
+                })
+                .collect()
+        };
+        let designs = [
+            FirFilter::band_pass(2_000.0, 6_400.0, 44_100.0, 127, Window::Hamming).unwrap(),
+            FirFilter::low_pass(5_000.0, 44_100.0, 61, Window::Hann).unwrap(),
+            FirFilter::from_taps(vec![0.25, -0.5, 1.0, -0.5, 0.25, 0.1]).unwrap(),
+            FirFilter::from_taps(vec![1.0]).unwrap(),
+        ];
+        for fir in &designs {
+            for &len in &[1usize, 3, 60, 61, 62, 200, 1023] {
+                let signal: Vec<f64> = (0..len)
+                    .map(|i| (i as f64 * 0.13).sin() + 0.4 * (i as f64 * 0.031).cos())
+                    .collect();
+                let mut out = Vec::new();
+                fir.filter_zero_phase_into(&signal, &mut out).unwrap();
+                assert_eq!(
+                    out,
+                    naive(fir.taps(), &signal),
+                    "taps {} len {len}",
+                    fir.taps().len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_zero_phase_tracks_f64_engine() {
+        let fs = 44_100.0;
+        let bp = FirFilter::band_pass(2_000.0, 6_400.0, fs, 127, Window::Hamming).unwrap();
+        let signal: Vec<f64> = (0..3000)
+            .map(|i| (i as f64 * 0.13).sin() + 0.4 * (i as f64 * 0.031).cos())
+            .collect();
+        let direct = bp.filter_zero_phase(&signal).unwrap();
+        let engine = ZeroPhaseFir32::new(&bp).unwrap();
+        assert_eq!(engine.block_len(), 512);
+        let signal32: Vec<f32> = signal.iter().map(|&x| x as f32).collect();
+        let mut scratch = DspScratch::new();
+        let mut out = Vec::new();
+        engine
+            .filter_into(&signal32, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), direct.len());
+        let scale = 1.0 + direct.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        for (i, (&x, &y)) in out.iter().zip(&direct).enumerate() {
+            assert!(
+                (x as f64 - y).abs() < 1e-4 * scale,
+                "sample {i}: {x} vs {y}"
+            );
+        }
+        assert!(engine.filter_into(&[], &mut scratch, &mut out).is_err());
+    }
+
+    #[test]
+    fn f32_chunked_fir_is_bit_identical_to_f32_one_shot() {
+        let bp = FirFilter::band_pass(2_000.0, 6_400.0, 44_100.0, 127, Window::Hamming).unwrap();
+        let engine = ZeroPhaseFir32::new(&bp).unwrap();
+        let signal32: Vec<f32> = (0..2345)
+            .map(|i| ((i as f64 * 0.13).sin() + 0.4 * (i as f64 * 0.031).cos()) as f32)
+            .collect();
+        let mut scratch = DspScratch::new();
+        let mut reference = Vec::new();
+        engine
+            .filter_into(&signal32, &mut scratch, &mut reference)
+            .unwrap();
+        for chunk_len in [1usize, 127, 512, signal32.len()] {
+            let mut feed = engine.chunk_feed();
+            let mut out = Vec::new();
+            for chunk in signal32.chunks(chunk_len) {
+                engine
+                    .push_chunk_into(&mut feed, chunk, &mut scratch, &mut out)
+                    .unwrap();
+            }
+            engine
+                .finish_chunks_into(&mut feed, &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(out, reference, "chunk_len {chunk_len}");
+        }
+        // Empty stream and foreign feeds are rejected like the f64 engine.
+        let mut fresh = engine.chunk_feed();
+        let mut out = Vec::new();
+        assert!(matches!(
+            engine.finish_chunks_into(&mut fresh, &mut scratch, &mut out),
+            Err(DspError::EmptyInput { .. })
+        ));
+        let other = FirFilter::low_pass(5_000.0, 44_100.0, 31, Window::Hamming).unwrap();
+        let mut foreign = ZeroPhaseFir32::new(&other).unwrap().chunk_feed();
         assert!(engine
             .push_chunk_into(&mut foreign, &[1.0], &mut scratch, &mut out)
             .is_err());

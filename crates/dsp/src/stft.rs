@@ -110,12 +110,10 @@ pub fn stft_with(
     let mut start = 0;
     while start + frame_len <= signal.len() {
         scratch.r1.clear();
-        scratch.r1.extend(
-            signal[start..start + frame_len]
-                .iter()
-                .zip(&window)
-                .map(|(s, w)| s * w),
-        );
+        scratch
+            .r1
+            .extend_from_slice(&signal[start..start + frame_len]);
+        Window::apply_coefficients(&window, &mut scratch.r1)?;
         // rfft_half_into zero-pads to fft_size and yields exactly the
         // fft_size/2 + 1 one-sided bins each frame stores.
         plan.rfft_half_into(&scratch.r1, &mut scratch.c1)?;

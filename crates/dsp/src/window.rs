@@ -81,6 +81,38 @@ impl Window {
         Ok(())
     }
 
+    /// Multiplies `signal` by precomputed window coefficients in place.
+    ///
+    /// Equivalent to [`Window::apply`] when `coeffs` came from
+    /// [`Window::coefficients`] with `n == signal.len()`, but routes the
+    /// multiply through the shared lane-aware kernel so repeated
+    /// applications (STFT frames, batched periodograms) skip the per-sample
+    /// trigonometry and autovectorize. Bit-identical to the uncached path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty signal and
+    /// [`DspError::InvalidParameter`] on a length mismatch.
+    pub fn apply_coefficients(coeffs: &[f64], signal: &mut [f64]) -> Result<(), DspError> {
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput {
+                what: "window apply",
+            });
+        }
+        if coeffs.len() != signal.len() {
+            return Err(DspError::invalid(
+                "coeffs",
+                format!(
+                    "window has {} coefficients but signal has {} samples",
+                    coeffs.len(),
+                    signal.len()
+                ),
+            ));
+        }
+        crate::complex::mul_assign_real(signal, coeffs);
+        Ok(())
+    }
+
     /// The coherent gain of the window: the mean of its coefficients.
     ///
     /// Needed to correct amplitude estimates taken from windowed spectra.
@@ -144,6 +176,30 @@ mod tests {
         for (s, w) in signal.iter().zip(&c) {
             assert!((s - 2.0 * w).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn cached_apply_is_bit_identical_to_uncached() {
+        for w in [Window::Hann, Window::Hamming, Window::Blackman] {
+            for n in [1usize, 2, 7, 64, 255] {
+                let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.2).collect();
+                let mut direct = signal.clone();
+                w.apply(&mut direct).unwrap();
+                let coeffs = w.coefficients(n).unwrap();
+                let mut cached = signal.clone();
+                Window::apply_coefficients(&coeffs, &mut cached).unwrap();
+                assert_eq!(direct, cached, "{w:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_apply_rejects_mismatch_and_empty() {
+        let coeffs = Window::Hann.coefficients(8).unwrap();
+        let mut signal = vec![1.0; 7];
+        assert!(Window::apply_coefficients(&coeffs, &mut signal).is_err());
+        let mut empty: Vec<f64> = vec![];
+        assert!(Window::apply_coefficients(&coeffs, &mut empty).is_err());
     }
 
     #[test]

@@ -115,6 +115,21 @@ impl BenchResult {
             None
         }
     }
+
+    /// Median time per processed element in nanoseconds — ns per audio
+    /// sample for the DSP kernels, whose `elements` declare the samples
+    /// handled per iteration. Normalizes kernels that run over different
+    /// capture lengths onto one comparable scale; `None` when the
+    /// benchmark declared no element count.
+    #[must_use]
+    pub fn ns_per_sample(&self) -> Option<f64> {
+        let e = self.elements?;
+        if e > 0 {
+            Some(self.median_ns / e as f64)
+        } else {
+            None
+        }
+    }
 }
 
 impl ToJson for BenchResult {
@@ -135,6 +150,9 @@ impl ToJson for BenchResult {
             fields.push(("elements", Json::Number(e as f64)));
             if let Some(t) = self.melem_per_s() {
                 fields.push(("melem_per_s", Json::Number(t)));
+            }
+            if let Some(t) = self.ns_per_sample() {
+                fields.push(("ns_per_sample", Json::Number(t)));
             }
         }
         if let Some(a) = self.allocs_per_iter {
@@ -365,6 +383,9 @@ fn render_row(r: &BenchResult) -> String {
     if let Some(t) = r.melem_per_s() {
         let _ = write!(row, "  {t:.1} Melem/s");
     }
+    if let Some(t) = r.ns_per_sample() {
+        let _ = write!(row, "  {t:.2} ns/sample");
+    }
     if let Some(a) = r.allocs_per_iter {
         let _ = write!(row, "  {a:.1} allocs/iter");
     }
@@ -418,9 +439,21 @@ mod tests {
         });
         let r = &suite.results()[0];
         assert!(r.melem_per_s().unwrap() > 0.0);
+        // ns/sample is exactly median over declared elements.
+        assert_eq!(r.ns_per_sample().unwrap(), r.median_ns / 1_000.0);
         let json = r.to_json();
         assert!(json.get("melem_per_s").is_some());
+        assert!(json.get("ns_per_sample").is_some());
         assert_eq!(json.field::<String>("name").unwrap(), "sum");
+    }
+
+    #[test]
+    fn ns_per_sample_absent_without_elements() {
+        let mut suite = Suite::with_config("selftest3", fast_config());
+        suite.bench("plain", || std::hint::black_box(1u64));
+        let r = &suite.results()[0];
+        assert!(r.ns_per_sample().is_none());
+        assert!(r.to_json().get("ns_per_sample").is_none());
     }
 
     #[test]

@@ -8,10 +8,13 @@
 //! refined below the sampling grid — without that refinement the TDoA
 //! resolution would be stuck at 7.78 mm per sample (paper §II-C).
 
-use crate::config::{HyperEarConfig, Interpolation, Precision, TdoaEstimator};
+use crate::config::{HyperEarConfig, Interpolation, MultiBeaconConfig, Precision, TdoaEstimator};
 use crate::HyperEarError;
-use hyperear_dsp::chirp::{Chirp, ChirpShape};
-use hyperear_dsp::correlate::{ChunkFeed, StreamingMatchedFilter, StreamingMatchedFilter32};
+use hyperear_dsp::chirp::Chirp;
+use hyperear_dsp::correlate::{
+    ChunkFeed, StreamingMatchedFilter, StreamingMatchedFilter32, StreamingMatchedFilterBank,
+    StreamingMatchedFilterBank32,
+};
 use hyperear_dsp::estimator::{gcc_phat_with, subband_coherence_with, EstimatorScratch};
 use hyperear_dsp::filter::{FirFilter, ZeroPhaseFir};
 use hyperear_dsp::interpolate::{parabolic_peak, sinc_peak};
@@ -206,7 +209,7 @@ impl DetectorCore {
             config.beacon.f1,
             config.beacon.duration,
             sample_rate,
-            ChirpShape::UpDown,
+            config.beacon.pattern.shape(),
         )?;
         let filter = StreamingMatchedFilter::new(chirp.samples())?;
         let bp_design = if config.detection.band_pass {
@@ -1065,6 +1068,313 @@ impl StreamingDetector {
     }
 }
 
+/// One beacon arrival tagged with the identity of the beacon whose
+/// template matched it — the multi-beacon analogue of [`BeaconArrival`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaggedArrival {
+    /// Index of the matching signature in the [`MultiBeaconConfig`].
+    pub beacon: usize,
+    /// The arrival itself (time, matched-filter strength).
+    pub arrival: BeaconArrival,
+}
+
+/// The mutable, per-channel half of a [`MultiBeaconDetector`]: the FFT
+/// scratch arena, the K correlation lanes, and the peak/noise buffers
+/// the per-beacon epilogues fill. One scratch must not be shared
+/// between concurrent detections.
+#[derive(Debug, Clone, Default)]
+pub struct MultiBeaconScratch {
+    scratch: DspScratch,
+    /// K normalized correlation lanes — lane `k` is beacon `k`'s
+    /// matched-filter response over the whole capture.
+    lanes: Vec<Vec<f64>>,
+    /// f32 staging for [`Precision::F32`] cores: the narrowed input and
+    /// the K raw f32 lanes before widening into `lanes`.
+    input32: Vec<f32>,
+    lanes32: Vec<Vec<f32>>,
+    mags: Vec<f64>,
+    peaks: Vec<Peak>,
+    peaks_scratch: Vec<Peak>,
+}
+
+impl MultiBeaconScratch {
+    /// An empty scratch; buffers grow to their high-water mark on first
+    /// use and are then reused allocation-free.
+    #[must_use]
+    pub fn new() -> Self {
+        MultiBeaconScratch::default()
+    }
+
+    /// Bytes currently reserved by the scratch buffers.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> usize {
+        self.scratch.capacity_bytes()
+            + (self.lanes.iter().map(Vec::capacity).sum::<usize>() + self.mags.capacity())
+                * std::mem::size_of::<f64>()
+            + (self.lanes32.iter().map(Vec::capacity).sum::<usize>() + self.input32.capacity())
+                * std::mem::size_of::<f32>()
+            + (self.peaks.capacity() + self.peaks_scratch.capacity()) * std::mem::size_of::<Peak>()
+    }
+
+    /// Beacon `k`'s normalized correlation from the last detection pass
+    /// (the conformance surface the bank tests pin against independent
+    /// single-template engines).
+    #[cfg(test)]
+    pub(crate) fn lane(&self, k: usize) -> &[f64] {
+        &self.lanes[k]
+    }
+}
+
+/// K-beacon detection over one shared forward FFT: a
+/// [`StreamingMatchedFilterBank`] whose lanes carry one beacon
+/// signature each, plus the K per-beacon [`DetectorCore`]s that own the
+/// threshold/peak epilogues (and double as the per-beacon session
+/// pipeline cores).
+///
+/// Detection cost per channel is ~one forward transform + K inverse
+/// transforms per block, instead of the K×(band-pass + forward +
+/// inverse) that K independent detectors spend: each signature's
+/// band-pass FIR is folded into its template at construction
+/// (`corr(bp(x), tᵢ) = corr(x, bp⋆tᵢ)`), so the input is never
+/// filtered at all. Each f64 lane is **bit-identical** to an
+/// independent [`StreamingMatchedFilter::with_zero_phase_prefilter`]
+/// engine over the same signature (conformance-pinned); the K-detector
+/// *baseline* path (two-pass band-pass-then-correlate) agrees to
+/// matched-filter rounding, so arrivals match to sub-nanosecond.
+///
+/// The hot methods take `&self` — clone the detector (cheap: template
+/// spectra and cores are `Arc`-shared) or hand out per-worker
+/// [`MultiBeaconScratch`]es to run channels concurrently.
+#[derive(Debug, Clone)]
+pub struct MultiBeaconDetector {
+    cores: Vec<std::sync::Arc<DetectorCore>>,
+    bank: StreamingMatchedFilterBank,
+    /// Single-precision bank, present iff the config opted into
+    /// [`Precision::F32`]; lanes are widened back to f64 for the
+    /// (unchanged) per-beacon threshold/peak epilogues.
+    bank32: Option<StreamingMatchedFilterBank32>,
+    sample_rate: f64,
+}
+
+impl MultiBeaconDetector {
+    /// Builds the shared K-beacon detection front end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] for an invalid config
+    /// or a sample rate that cannot carry any signature's chirp band.
+    pub fn new(config: &MultiBeaconConfig, sample_rate: f64) -> Result<Self, HyperEarError> {
+        config.validate()?;
+        let k = config.beacons();
+        let mut cores = Vec::with_capacity(k);
+        let mut templates: Vec<Vec<f64>> = Vec::with_capacity(k);
+        let mut taps: Vec<Vec<f64>> = Vec::with_capacity(k);
+        let band_pass = config.session.detection.band_pass;
+        for (i, sig) in config.signatures.iter().enumerate() {
+            let per = config.session_config(i);
+            cores.push(std::sync::Arc::new(DetectorCore::new(&per, sample_rate)?));
+            let chirp = Chirp::new(
+                sig.f0,
+                sig.f1,
+                per.beacon.duration,
+                sample_rate,
+                sig.pattern.shape(),
+            )?;
+            templates.push(chirp.samples().to_vec());
+            if band_pass {
+                taps.push(
+                    FirFilter::band_pass(
+                        sig.f0 * 0.9,
+                        sig.f1 * 1.1,
+                        sample_rate,
+                        per.detection.band_pass_taps,
+                        Window::Hamming,
+                    )?
+                    .taps()
+                    .to_vec(),
+                );
+            }
+        }
+        let bank = if band_pass {
+            let entries: Vec<(&[f64], &[f64])> = templates
+                .iter()
+                .zip(&taps)
+                .map(|(t, h)| (t.as_slice(), h.as_slice()))
+                .collect();
+            StreamingMatchedFilterBank::with_zero_phase_prefilters(&entries)?
+        } else {
+            let refs: Vec<&[f64]> = templates.iter().map(Vec::as_slice).collect();
+            StreamingMatchedFilterBank::new(&refs)?
+        };
+        let bank32 = if config.session.precision == Precision::F32 {
+            let templates32: Vec<Vec<f32>> = templates
+                .iter()
+                .map(|t| t.iter().map(|&x| x as f32).collect())
+                .collect();
+            Some(if band_pass {
+                let entries: Vec<(&[f32], &[f64])> = templates32
+                    .iter()
+                    .zip(&taps)
+                    .map(|(t, h)| (t.as_slice(), h.as_slice()))
+                    .collect();
+                StreamingMatchedFilterBank32::with_zero_phase_prefilters(&entries)?
+            } else {
+                let refs: Vec<&[f32]> = templates32.iter().map(Vec::as_slice).collect();
+                StreamingMatchedFilterBank32::new(&refs)?
+            })
+        } else {
+            None
+        };
+        Ok(MultiBeaconDetector {
+            cores,
+            bank,
+            bank32,
+            sample_rate,
+        })
+    }
+
+    /// Number of beacons (bank lanes).
+    #[must_use]
+    pub fn beacons(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The sample rate this detector was built for.
+    #[must_use]
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Beacon `k`'s shared single-beacon detection core — the per-beacon
+    /// session pipelines install these so template spectra and FFT
+    /// tables exist once per process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn core(&self, k: usize) -> &std::sync::Arc<DetectorCore> {
+        &self.cores[k]
+    }
+
+    /// The shared f64 template bank (e.g. for inspecting
+    /// [`StreamingMatchedFilterBank::template_fft_count`]).
+    #[must_use]
+    pub fn bank(&self) -> &StreamingMatchedFilterBank {
+        &self.bank
+    }
+
+    /// The largest FFT a detection pass ever runs, in samples. With the
+    /// band-pass folded into every lane there is no FIR stage: the bound
+    /// is the bank's block length alone.
+    #[must_use]
+    pub fn peak_fft_len(&self) -> usize {
+        self.bank.block_len()
+    }
+
+    /// The pre-threshold half of multi-beacon detection: one banked
+    /// correlation pass filling `scratch`'s K normalized lanes (one
+    /// forward FFT per block, K conjugate-MAC + inverse fan-outs).
+    fn correlate_only(
+        &self,
+        channel: &[f64],
+        scratch: &mut MultiBeaconScratch,
+    ) -> Result<(), HyperEarError> {
+        scratch.lanes.resize_with(self.cores.len(), Vec::new);
+        if let Some(bank32) = &self.bank32 {
+            scratch.lanes32.resize_with(self.cores.len(), Vec::new);
+            scratch.input32.clear();
+            scratch.input32.extend(channel.iter().map(|&x| x as f32));
+            bank32.correlate_normalized_into(
+                &scratch.input32,
+                &mut scratch.scratch,
+                &mut scratch.lanes32,
+            )?;
+            for (lane, lane32) in scratch.lanes.iter_mut().zip(&scratch.lanes32) {
+                lane.clear();
+                lane.extend(lane32.iter().map(|&v| f64::from(v)));
+            }
+            return Ok(());
+        }
+        self.bank
+            .correlate_normalized_into(channel, &mut scratch.scratch, &mut scratch.lanes)?;
+        Ok(())
+    }
+
+    /// Detects every beacon's arrivals in one audio channel: one banked
+    /// correlation pass, then beacon `k`'s own threshold/peak epilogue
+    /// over lane `k` into `out[k]`. Epilogue semantics per lane are
+    /// exactly [`DetectorCore::detect_with`]'s (same thresholds, peak
+    /// spacing, interpolation), so a beacon's arrivals depend only on
+    /// its own lane.
+    ///
+    /// Once warm (same K, same capture length), a detection pass does
+    /// not allocate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] when `out.len()`
+    /// differs from the beacon count, and [`HyperEarError::Dsp`] for an
+    /// empty or too-short channel.
+    pub fn detect_into(
+        &self,
+        channel: &[f64],
+        scratch: &mut MultiBeaconScratch,
+        out: &mut [Vec<BeaconArrival>],
+    ) -> Result<(), HyperEarError> {
+        if out.len() != self.cores.len() {
+            return Err(HyperEarError::invalid(
+                "out",
+                format!(
+                    "detector holds {} beacons but {} output lanes were provided",
+                    self.cores.len(),
+                    out.len()
+                ),
+            ));
+        }
+        self.correlate_only(channel, scratch)?;
+        let MultiBeaconScratch {
+            lanes,
+            mags,
+            peaks,
+            peaks_scratch,
+            ..
+        } = scratch;
+        for ((core, lane), arrivals) in self.cores.iter().zip(lanes.iter()).zip(out.iter_mut()) {
+            core.arrivals_from_corr(lane, mags, peaks_scratch, peaks, arrivals)?;
+        }
+        Ok(())
+    }
+
+    /// [`MultiBeaconDetector::detect_into`] plus a time-sorted merged
+    /// view: `tagged` receives every arrival across all beacons, each
+    /// tagged with its beacon identity, ordered by arrival time. The
+    /// per-beacon lists in `per_beacon` are filled as usual (they are
+    /// what the per-beacon session pipelines consume).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiBeaconDetector::detect_into`].
+    pub fn detect_tagged_into(
+        &self,
+        channel: &[f64],
+        scratch: &mut MultiBeaconScratch,
+        per_beacon: &mut [Vec<BeaconArrival>],
+        tagged: &mut Vec<TaggedArrival>,
+    ) -> Result<(), HyperEarError> {
+        self.detect_into(channel, scratch, per_beacon)?;
+        tagged.clear();
+        for (beacon, lane) in per_beacon.iter().enumerate() {
+            tagged.extend(
+                lane.iter()
+                    .map(|&arrival| TaggedArrival { beacon, arrival }),
+            );
+        }
+        tagged.sort_unstable_by(|a, b| a.arrival.time.total_cmp(&b.arrival.time));
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1445,5 +1755,184 @@ mod tests {
         // The bound is a small multiple of the template, nowhere near the
         // next_pow2(capture + template) a one-shot correlation would need.
         assert!(bound < 20_000, "peak FFT {bound}");
+    }
+
+    fn multi_config(beacons: usize) -> MultiBeaconConfig {
+        MultiBeaconConfig::distinct_bands(HyperEarConfig::galaxy_s4(), beacons)
+    }
+
+    /// Renders each beacon's chirp at its own fractional positions.
+    fn render_multi(multi: &MultiBeaconConfig, positions: &[&[f64]], n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n];
+        for (sig, spots) in multi.signatures.iter().zip(positions) {
+            let chirp = Chirp::new(
+                sig.f0,
+                sig.f1,
+                multi.session.beacon.duration,
+                FS,
+                sig.pattern.shape(),
+            )
+            .unwrap();
+            for &p in *spots {
+                mix_delayed_local(&mut out, chirp.samples(), p, 0.3, 16).unwrap();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn multi_beacon_lanes_are_bit_identical_to_independent_folded_engines() {
+        let multi = multi_config(3);
+        let detector = MultiBeaconDetector::new(&multi, FS).unwrap();
+        let signal = render_multi(&multi, &[&[5_000.0], &[9_000.0], &[13_000.0]], 30_000);
+        let mut scratch = MultiBeaconScratch::new();
+        let mut out = vec![Vec::new(); 3];
+        detector
+            .detect_into(&signal, &mut scratch, &mut out)
+            .unwrap();
+        let mut dsp_scratch = hyperear_dsp::plan::DspScratch::new();
+        let mut reference = Vec::new();
+        for (k, sig) in multi.signatures.iter().enumerate() {
+            let chirp = Chirp::new(
+                sig.f0,
+                sig.f1,
+                multi.session.beacon.duration,
+                FS,
+                sig.pattern.shape(),
+            )
+            .unwrap();
+            let taps = FirFilter::band_pass(
+                sig.f0 * 0.9,
+                sig.f1 * 1.1,
+                FS,
+                multi.session.detection.band_pass_taps,
+                Window::Hamming,
+            )
+            .unwrap();
+            let engine =
+                hyperear_dsp::correlate::StreamingMatchedFilter::with_zero_phase_prefilter(
+                    chirp.samples(),
+                    taps.taps(),
+                )
+                .unwrap();
+            // Same geometry: equal chirp durations and tap counts give every
+            // lane the single-engine default block.
+            assert_eq!(engine.block_len(), detector.bank().block_len());
+            engine
+                .correlate_normalized_into(&signal, &mut dsp_scratch, &mut reference)
+                .unwrap();
+            assert_eq!(scratch.lane(k), reference.as_slice(), "lane {k}");
+        }
+    }
+
+    #[test]
+    fn multi_beacon_arrivals_match_independent_detectors() {
+        let multi = multi_config(4);
+        let detector = MultiBeaconDetector::new(&multi, FS).unwrap();
+        let spots: Vec<Vec<f64>> = (0..4)
+            .map(|k| vec![4_000.0 + 1_500.0 * k as f64, 22_000.0 + 1_500.0 * k as f64])
+            .collect();
+        let refs: Vec<&[f64]> = spots.iter().map(Vec::as_slice).collect();
+        let signal = render_multi(&multi, &refs, 44_100);
+        let mut scratch = MultiBeaconScratch::new();
+        let mut out = vec![Vec::new(); 4];
+        detector
+            .detect_into(&signal, &mut scratch, &mut out)
+            .unwrap();
+        for (k, lane) in out.iter().enumerate() {
+            let mut solo = BeaconDetector::new(&multi.session_config(k), FS).unwrap();
+            let reference = solo.detect(&signal).unwrap();
+            assert_eq!(lane.len(), reference.len(), "beacon {k}");
+            for (a, r) in lane.iter().zip(&reference) {
+                // The solo detector band-passes the capture then correlates;
+                // the bank folds the FIR into the template. Same arithmetic
+                // reordered, so arrivals agree to well under a nanosecond.
+                assert!(
+                    (a.time - r.time).abs() < 1e-9,
+                    "beacon {k}: {} vs {}",
+                    a.time,
+                    r.time
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_beacon_assigns_arrivals_to_their_beacon() {
+        let multi = multi_config(2);
+        let detector = MultiBeaconDetector::new(&multi, FS).unwrap();
+        // Beacon 1 chirps *earlier* than beacon 0 so the tagged merge has
+        // to reorder across lanes.
+        let signal = render_multi(&multi, &[&[20_000.0], &[8_000.0]], 30_000);
+        let mut scratch = MultiBeaconScratch::new();
+        let mut per_beacon = vec![Vec::new(); 2];
+        let mut tagged = Vec::new();
+        detector
+            .detect_tagged_into(&signal, &mut scratch, &mut per_beacon, &mut tagged)
+            .unwrap();
+        assert_eq!(per_beacon[0].len(), 1, "{per_beacon:?}");
+        assert_eq!(per_beacon[1].len(), 1, "{per_beacon:?}");
+        assert!((per_beacon[0][0].time * FS - 20_000.0).abs() < 1.0);
+        assert!((per_beacon[1][0].time * FS - 8_000.0).abs() < 1.0);
+        assert_eq!(tagged.len(), 2);
+        assert_eq!(tagged[0].beacon, 1, "earlier arrival first");
+        assert_eq!(tagged[1].beacon, 0);
+        assert!(tagged[0].arrival.time < tagged[1].arrival.time);
+    }
+
+    #[test]
+    fn multi_beacon_out_len_mismatch_is_error() {
+        let multi = multi_config(2);
+        let detector = MultiBeaconDetector::new(&multi, FS).unwrap();
+        let signal = render_multi(&multi, &[&[8_000.0], &[20_000.0]], 30_000);
+        let mut scratch = MultiBeaconScratch::new();
+        let mut out = vec![Vec::new(); 3];
+        let err = detector
+            .detect_into(&signal, &mut scratch, &mut out)
+            .unwrap_err();
+        assert!(err.to_string().contains("2 beacons"), "{err}");
+        assert_eq!(detector.beacons(), 2);
+        assert_eq!(detector.sample_rate(), FS);
+    }
+
+    #[test]
+    fn multi_beacon_f32_path_stays_within_the_sample_floor() {
+        let mut multi = multi_config(3);
+        let detector64 = MultiBeaconDetector::new(&multi, FS).unwrap();
+        multi.session.precision = Precision::F32;
+        let detector32 = MultiBeaconDetector::new(&multi, FS).unwrap();
+        let signal = render_multi(&multi, &[&[5_000.0], &[12_000.0], &[19_000.0]], 30_000);
+        let mut scratch = MultiBeaconScratch::new();
+        let mut out64 = vec![Vec::new(); 3];
+        let mut out32 = vec![Vec::new(); 3];
+        detector64
+            .detect_into(&signal, &mut scratch, &mut out64)
+            .unwrap();
+        detector32
+            .detect_into(&signal, &mut scratch, &mut out32)
+            .unwrap();
+        for k in 0..3 {
+            assert_eq!(out32[k].len(), out64[k].len(), "beacon {k}");
+            for (a, r) in out32[k].iter().zip(&out64[k]) {
+                assert!(
+                    ((a.time - r.time) * FS).abs() < 1.0,
+                    "beacon {k}: f32 {} vs f64 {}",
+                    a.time,
+                    r.time
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_beacon_clones_share_template_spectra() {
+        let multi = multi_config(4);
+        let detector = MultiBeaconDetector::new(&multi, FS).unwrap();
+        // Construction ran exactly one template FFT per beacon; worker
+        // clones share the Arc'd spectra instead of re-transforming.
+        assert_eq!(detector.bank().template_fft_count(), 4);
+        let clone = detector.clone();
+        assert_eq!(clone.bank().template_fft_count(), 4);
+        assert!(std::sync::Arc::ptr_eq(detector.core(0), clone.core(0)));
     }
 }

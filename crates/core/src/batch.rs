@@ -25,8 +25,8 @@
 //! session that fails records [`SessionOutcome::Failed`] in its own slot
 //! and never poisons the rest of the batch.
 
-use crate::asp::DetectorCore;
-use crate::config::HyperEarConfig;
+use crate::asp::{BeaconArrival, DetectorCore, MultiBeaconDetector, MultiBeaconScratch};
+use crate::config::{HyperEarConfig, MultiBeaconConfig};
 use crate::pipeline::{ArraySessionInput, SessionEngine, SessionInput, SessionOutcome};
 use crate::HyperEarError;
 use hyperear_util::pool::{Pool, PoolStats};
@@ -269,5 +269,243 @@ impl BatchEngine {
                 }
                 worker.engine.run_monitored_into(input, slot);
             });
+    }
+}
+
+/// A K-beacon session processor: one shared [`MultiBeaconDetector`]
+/// front end (one forward FFT per block fanned across every beacon's
+/// template) feeding K warm per-beacon [`SessionEngine`]s.
+///
+/// Detection of the two channels runs pool-parallel via [`Pool::join`]
+/// — one shared read-only detector, one private [`MultiBeaconScratch`]
+/// per channel, the same split the single-beacon [`SessionEngine`]
+/// uses. Each beacon's arrivals then flow through its own session
+/// engine's post-detection chain (inertial analysis, rotation
+/// correction, SFO, TDoA, aggregation) under the monitored grading
+/// contract, producing one [`SessionOutcome`] per beacon.
+///
+/// # Determinism
+///
+/// Outcomes are index-addressed by beacon (`out[k]` is signature `k`'s
+/// outcome) and bit-identical at any thread count: the join's two sides
+/// touch disjoint scratches, and the per-beacon finishes run on this
+/// thread in beacon order.
+#[derive(Debug)]
+pub struct MultiBeaconEngine {
+    pool: Arc<Pool>,
+    config: MultiBeaconConfig,
+    /// One warm session engine per beacon, built from that beacon's
+    /// [`MultiBeaconConfig::session_config`].
+    engines: Vec<SessionEngine>,
+    /// Shared detection front ends by sample rate, like
+    /// [`BatchEngine`]'s core memo.
+    detectors: Mutex<Vec<(f64, Arc<MultiBeaconDetector>)>>,
+    scratch_left: MultiBeaconScratch,
+    scratch_right: MultiBeaconScratch,
+    arrivals_left: Vec<Vec<BeaconArrival>>,
+    arrivals_right: Vec<Vec<BeaconArrival>>,
+}
+
+impl MultiBeaconEngine {
+    /// Creates a K-beacon engine over a shared pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] for an invalid
+    /// configuration.
+    pub fn new(config: MultiBeaconConfig, pool: Arc<Pool>) -> Result<Self, HyperEarError> {
+        config.validate()?;
+        let k = config.beacons();
+        let engines = (0..k)
+            .map(|i| SessionEngine::new(config.session_config(i)))
+            .collect::<Result<Vec<_>, HyperEarError>>()?;
+        Ok(MultiBeaconEngine {
+            pool,
+            config,
+            engines,
+            detectors: Mutex::new(Vec::new()),
+            scratch_left: MultiBeaconScratch::new(),
+            scratch_right: MultiBeaconScratch::new(),
+            arrivals_left: vec![Vec::new(); k],
+            arrivals_right: vec![Vec::new(); k],
+        })
+    }
+
+    /// Creates a K-beacon engine over the process-wide [`Pool::global`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] for an invalid
+    /// configuration.
+    pub fn from_env(config: MultiBeaconConfig) -> Result<Self, HyperEarError> {
+        MultiBeaconEngine::new(config, Arc::clone(Pool::global()))
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &MultiBeaconConfig {
+        &self.config
+    }
+
+    /// Number of beacons (and per-beacon outcomes per session).
+    #[must_use]
+    pub fn beacons(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The shared detection front end for a sample rate, building (and
+    /// memoizing) it on the calling thread the first time that rate is
+    /// seen.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] for a rate that
+    /// cannot carry every signature's chirp band.
+    pub fn detector_for(
+        &self,
+        sample_rate: f64,
+    ) -> Result<Arc<MultiBeaconDetector>, HyperEarError> {
+        let mut detectors = self
+            .detectors
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some((_, det)) = detectors.iter().find(|(rate, _)| *rate == sample_rate) {
+            return Ok(Arc::clone(det));
+        }
+        let det = Arc::new(MultiBeaconDetector::new(&self.config, sample_rate)?);
+        detectors.push((sample_rate, Arc::clone(&det)));
+        Ok(det)
+    }
+
+    /// Bytes currently reserved across the engine's reusable working
+    /// buffers (per-beacon session engines, detection scratches,
+    /// arrival lists).
+    #[must_use]
+    pub fn working_set_bytes(&self) -> usize {
+        self.engines
+            .iter()
+            .map(SessionEngine::working_set_bytes)
+            .sum::<usize>()
+            + self.scratch_left.capacity_bytes()
+            + self.scratch_right.capacity_bytes()
+            + (self
+                .arrivals_left
+                .iter()
+                .chain(&self.arrivals_right)
+                .map(Vec::capacity)
+                .sum::<usize>())
+                * std::mem::size_of::<BeaconArrival>()
+    }
+
+    /// Processes one K-beacon session, returning one monitored outcome
+    /// per configured signature.
+    ///
+    /// Convenience wrapper over [`MultiBeaconEngine::run_session_into`].
+    #[must_use]
+    pub fn run_session(&mut self, input: &SessionInput<'_>) -> Vec<SessionOutcome> {
+        let mut out = Vec::new();
+        self.run_session_into(input, &mut out);
+        out
+    }
+
+    /// Processes one K-beacon session into a caller-owned outcome
+    /// vector (`out[k]` is signature `k`'s outcome; previous contents'
+    /// result storage is scavenged and reused).
+    ///
+    /// One banked detection pass per channel — the two channels run
+    /// concurrently via [`Pool::join`] under an attached multi-thread
+    /// pool — then each beacon's arrivals finish through its own warm
+    /// session engine. A beacon whose session fails (e.g. its band is
+    /// masked by interference) records `Failed` in its own slot without
+    /// affecting the other beacons. After a warm-up session at a given
+    /// sample rate and capture size, processing allocates nothing in
+    /// steady state.
+    pub fn run_session_into(&mut self, input: &SessionInput<'_>, out: &mut Vec<SessionOutcome>) {
+        let k = self.engines.len();
+        if out.len() > k {
+            out.truncate(k);
+        }
+        while out.len() < k {
+            out.push(SessionOutcome::idle());
+        }
+        if input.left.len() != input.right.len() {
+            let reason = HyperEarError::invalid(
+                "left/right",
+                format!(
+                    "channel length mismatch: {} vs {}",
+                    input.left.len(),
+                    input.right.len()
+                ),
+            );
+            for slot in out.iter_mut() {
+                *slot = SessionOutcome::Failed {
+                    reason: reason.clone(),
+                    diagnostics: None,
+                };
+            }
+            return;
+        }
+        let detector = match self.detector_for(input.audio_sample_rate) {
+            Ok(det) => det,
+            Err(reason) => {
+                // The whole front end is unusable at this rate: every
+                // beacon fails with the same typed reason.
+                for slot in out.iter_mut() {
+                    *slot = SessionOutcome::Failed {
+                        reason: reason.clone(),
+                        diagnostics: None,
+                    };
+                }
+                return;
+            }
+        };
+        for lane in self
+            .arrivals_left
+            .iter_mut()
+            .chain(&mut self.arrivals_right)
+        {
+            lane.clear();
+        }
+        // Banked detection, both channels concurrently: the detector is
+        // shared read-only, each side owns its scratch and lanes.
+        let scratch_left = &mut self.scratch_left;
+        let scratch_right = &mut self.scratch_right;
+        let arrivals_left = &mut self.arrivals_left;
+        let arrivals_right = &mut self.arrivals_right;
+        let det = &*detector;
+        let (r_left, r_right) = self.pool.join(
+            || det.detect_into(input.left, scratch_left, arrivals_left),
+            || det.detect_into(input.right, scratch_right, arrivals_right),
+        );
+        if let Err(reason) = r_left.and(r_right) {
+            for slot in out.iter_mut() {
+                *slot = SessionOutcome::Failed {
+                    reason: reason.clone(),
+                    diagnostics: None,
+                };
+            }
+            return;
+        }
+        // Per-beacon session finishes, in beacon order on this thread
+        // (cheap next to detection; deterministic at any thread count).
+        for (k, (engine, slot)) in self.engines.iter_mut().zip(out.iter_mut()).enumerate() {
+            let lane_left = &self.arrivals_left[k];
+            let lane_right = &self.arrivals_right[k];
+            engine.monitored_with(slot, |engine, result| {
+                let (arr_left, arr_right) = engine.arrivals_mut();
+                arr_left.clear();
+                arr_left.extend_from_slice(lane_left);
+                arr_right.clear();
+                arr_right.extend_from_slice(lane_right);
+                engine.finish_from_arrivals(
+                    input.audio_sample_rate,
+                    input.left.len(),
+                    input.imu_sample_rate,
+                    input.accel,
+                    input.gyro,
+                    result,
+                )
+            });
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! exist so the benchmark harness can quantify each design choice.
 
 use crate::HyperEarError;
-use hyperear_dsp::chirp::Chirp;
+use hyperear_dsp::chirp::{Chirp, ChirpShape};
 use hyperear_geom::devices;
 use hyperear_geom::rotation::Side;
 use hyperear_geom::MicArray;
@@ -131,6 +131,57 @@ impl FromJson for Precision {
     }
 }
 
+/// Frequency-sweep pattern of a chirp beacon — the identity dimension
+/// (alongside the band) that lets K concurrent beacons share the air.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChirpPattern {
+    /// Rising linear sweep `f0 → f1`.
+    Up,
+    /// Falling linear sweep `f1 → f0`.
+    Down,
+    /// Symmetric up-then-down sweep (the paper's beacon, default).
+    #[default]
+    UpDown,
+}
+
+impl ChirpPattern {
+    /// The DSP-layer sweep shape this pattern synthesizes.
+    #[must_use]
+    pub fn shape(self) -> ChirpShape {
+        match self {
+            ChirpPattern::Up => ChirpShape::Up,
+            ChirpPattern::Down => ChirpShape::Down,
+            ChirpPattern::UpDown => ChirpShape::UpDown,
+        }
+    }
+}
+
+impl ToJson for ChirpPattern {
+    fn to_json(&self) -> Json {
+        Json::String(
+            match self {
+                ChirpPattern::Up => "up",
+                ChirpPattern::Down => "down",
+                ChirpPattern::UpDown => "up-down",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for ChirpPattern {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.as_str() {
+            Some("up") => Ok(ChirpPattern::Up),
+            Some("down") => Ok(ChirpPattern::Down),
+            Some("up-down") => Ok(ChirpPattern::UpDown),
+            other => Err(JsonError::schema(format!(
+                "chirp pattern must be \"up\", \"down\" or \"up-down\", got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// Beacon (chirp) parameters the pipeline assumes about the speaker.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BeaconConfig {
@@ -143,6 +194,8 @@ pub struct BeaconConfig {
     /// Nominal repetition period, seconds (the true period is recovered
     /// by SFO estimation).
     pub period: f64,
+    /// Frequency-sweep pattern of the reference chirp.
+    pub pattern: ChirpPattern,
 }
 
 impl Default for BeaconConfig {
@@ -152,6 +205,7 @@ impl Default for BeaconConfig {
             f1: Chirp::HYPEREAR_F1,
             duration: Chirp::HYPEREAR_DURATION,
             period: Chirp::HYPEREAR_PERIOD,
+            pattern: ChirpPattern::UpDown,
         }
     }
 }
@@ -163,6 +217,7 @@ impl ToJson for BeaconConfig {
             ("f1", Json::Number(self.f1)),
             ("duration", Json::Number(self.duration)),
             ("period", Json::Number(self.period)),
+            ("pattern", self.pattern.to_json()),
         ])
     }
 }
@@ -174,6 +229,7 @@ impl FromJson for BeaconConfig {
             f1: json.field("f1")?,
             duration: json.field("duration")?,
             period: json.field("period")?,
+            pattern: json.field("pattern")?,
         })
     }
 }
@@ -914,6 +970,201 @@ impl HyperEarConfig {
     }
 }
 
+/// One beacon's acoustic identity in a multi-beacon session: its chirp
+/// band and sweep pattern. Duration and repetition period are shared
+/// session-wide (they come from the base [`BeaconConfig`]) — the paper's
+/// timing chain assumes one beacon cadence, and distinct bands/patterns
+/// are what keep K simultaneous chirps separable at the matched filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeaconSignature {
+    /// Lower chirp band edge, hertz.
+    pub f0: f64,
+    /// Upper chirp band edge, hertz.
+    pub f1: f64,
+    /// Frequency-sweep pattern.
+    pub pattern: ChirpPattern,
+}
+
+impl Default for BeaconSignature {
+    fn default() -> Self {
+        BeaconSignature {
+            f0: Chirp::HYPEREAR_F0,
+            f1: Chirp::HYPEREAR_F1,
+            pattern: ChirpPattern::UpDown,
+        }
+    }
+}
+
+impl ToJson for BeaconSignature {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("f0", Json::Number(self.f0)),
+            ("f1", Json::Number(self.f1)),
+            ("pattern", self.pattern.to_json()),
+        ])
+    }
+}
+
+impl FromJson for BeaconSignature {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(BeaconSignature {
+            f0: json.field("f0")?,
+            f1: json.field("f1")?,
+            pattern: json.field("pattern")?,
+        })
+    }
+}
+
+/// Configuration of a K-beacon session: one shared pipeline
+/// configuration plus K beacon signatures.
+///
+/// Each beacon runs the full single-beacon pipeline under
+/// [`MultiBeaconConfig::session_config`] — the base session config with
+/// that signature's band and pattern substituted — while detection
+/// itself is shared through the template bank (one forward FFT per
+/// block for all K beacons, see
+/// [`crate::asp::MultiBeaconDetector`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiBeaconConfig {
+    /// The shared session configuration (device, thresholds, inertial
+    /// chain, degradation policy, beacon duration/period).
+    pub session: HyperEarConfig,
+    /// The K beacon signatures, indexed by beacon identity.
+    pub signatures: Vec<BeaconSignature>,
+}
+
+impl MultiBeaconConfig {
+    /// A K-beacon configuration whose signatures tile the base beacon
+    /// band with **half-overlapping** sub-bands (width `2·span/(K+1)`,
+    /// hop `span/(K+1)`) and alternating up/down sweep patterns.
+    ///
+    /// Overlap is deliberate: a disjoint K-way partition would shrink
+    /// each chirp's bandwidth `B` until the matched-filter envelope
+    /// (width `1/B`) dwarfs the carrier period `1/fc`, and the peak
+    /// picker starts slipping between correlation ridges — arrival
+    /// times then jump by `1/fc` and the slide-aperture ranging breaks
+    /// down (empirically at `fc/B ≳ 3.5`). Doubling each sub-band keeps
+    /// `fc/B ≤ (K + 1.5)/2` for every beacon, while adjacent (and thus
+    /// overlapping) beacons always sweep in opposite directions, which
+    /// keeps their chirps quasi-orthogonal under matched filtering;
+    /// same-direction beacons never share band. `K = 1` reproduces the
+    /// paper's full-band up-down beacon.
+    #[must_use]
+    pub fn distinct_bands(session: HyperEarConfig, beacons: usize) -> Self {
+        let (f0, f1) = (session.beacon.f0, session.beacon.f1);
+        let hop = (f1 - f0) / (beacons.max(1) + 1) as f64;
+        let signatures = (0..beacons)
+            .map(|k| BeaconSignature {
+                f0: f0 + k as f64 * hop,
+                f1: f0 + (k + 2) as f64 * hop,
+                pattern: if beacons == 1 {
+                    ChirpPattern::UpDown
+                } else if k.is_multiple_of(2) {
+                    ChirpPattern::Up
+                } else {
+                    ChirpPattern::Down
+                },
+            })
+            .collect();
+        MultiBeaconConfig {
+            session,
+            signatures,
+        }
+    }
+
+    /// Number of configured beacons.
+    #[must_use]
+    pub fn beacons(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// The full single-beacon pipeline configuration for beacon `k`:
+    /// the shared session config with the signature's band and pattern
+    /// substituted into [`HyperEarConfig::beacon`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn session_config(&self, k: usize) -> HyperEarConfig {
+        let sig = self.signatures[k];
+        let mut config = self.session.clone();
+        config.beacon.f0 = sig.f0;
+        config.beacon.f1 = sig.f1;
+        config.beacon.pattern = sig.pattern;
+        config
+    }
+
+    /// Validates the shared session configuration and every signature
+    /// (including each derived per-beacon configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperEarError::InvalidParameter`] for an empty
+    /// signature list, an out-of-domain signature band, or an invalid
+    /// derived per-beacon configuration.
+    pub fn validate(&self) -> Result<(), HyperEarError> {
+        self.session.validate()?;
+        if self.signatures.is_empty() {
+            return Err(HyperEarError::invalid(
+                "signatures",
+                "need at least one beacon signature",
+            ));
+        }
+        for (k, sig) in self.signatures.iter().enumerate() {
+            if !(sig.f0 > 0.0 && sig.f1 > sig.f0) {
+                return Err(HyperEarError::invalid(
+                    "signatures",
+                    format!(
+                        "signature {k}: need 0 < f0 < f1, got {} / {}",
+                        sig.f0, sig.f1
+                    ),
+                ));
+            }
+            self.session_config(k).validate()?;
+        }
+        Ok(())
+    }
+
+    /// Renders the configuration as a JSON document.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parses a configuration from a JSON document produced by
+    /// [`MultiBeaconConfig::to_json_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hyperear_util::JsonError`] on malformed JSON or a
+    /// missing / mistyped field.
+    pub fn from_json_str(text: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
+impl ToJson for MultiBeaconConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("session", self.session.to_json()),
+            (
+                "signatures",
+                Json::Array(self.signatures.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for MultiBeaconConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(MultiBeaconConfig {
+            session: json.field("session")?,
+            signatures: json.field("signatures")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1053,6 +1304,7 @@ mod tests {
         c.estimator.coherence_bands = 8;
         c.estimator.mcci_max_lag = 32;
         c.precision = Precision::F32;
+        c.beacon.pattern = ChirpPattern::Down;
         let text = c.to_json_string();
         assert!(text.contains("0.1512"), "{text}");
         let back = HyperEarConfig::from_json_str(&text).unwrap();
@@ -1085,6 +1337,83 @@ mod tests {
             .to_json_string()
             .replace("\"plain-xcorr\"", "\"fancy-xcorr\"");
         assert!(HyperEarConfig::from_json_str(&text).is_err());
+    }
+
+    #[test]
+    fn chirp_pattern_json_names_are_stable() {
+        for (pattern, name) in [
+            (ChirpPattern::Up, "up"),
+            (ChirpPattern::Down, "down"),
+            (ChirpPattern::UpDown, "up-down"),
+        ] {
+            let text = pattern.to_json().render();
+            assert_eq!(text, format!("\"{name}\""));
+            let back = ChirpPattern::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, pattern);
+        }
+        let err = ChirpPattern::from_json(&Json::parse("\"sideways\"").unwrap()).unwrap_err();
+        assert!(err.to_string().contains("chirp pattern"), "{err}");
+        assert_eq!(ChirpPattern::default(), ChirpPattern::UpDown);
+    }
+
+    #[test]
+    fn multi_beacon_distinct_bands_partition_the_beacon_band() {
+        let session = HyperEarConfig::galaxy_s4();
+        let multi = MultiBeaconConfig::distinct_bands(session.clone(), 4);
+        multi.validate().unwrap();
+        assert_eq!(multi.beacons(), 4);
+        // Half-overlapping tiling: hop span/(K+1), width twice the hop.
+        let hop = (session.beacon.f1 - session.beacon.f0) / 5.0;
+        for (k, sig) in multi.signatures.iter().enumerate() {
+            let f0 = session.beacon.f0 + k as f64 * hop;
+            assert!((sig.f0 - f0).abs() < 1e-9, "beacon {k}: {} vs {f0}", sig.f0);
+            assert!((sig.f1 - (f0 + 2.0 * hop)).abs() < 1e-9);
+            // Alternating sweep directions keep the overlapping
+            // neighbours quasi-orthogonal under matched filtering.
+            let expect = if k.is_multiple_of(2) {
+                ChirpPattern::Up
+            } else {
+                ChirpPattern::Down
+            };
+            assert_eq!(sig.pattern, expect);
+        }
+        // Every signature stays inside the calibrated band, and
+        // same-direction beacons never overlap.
+        for sig in &multi.signatures {
+            assert!(sig.f0 >= session.beacon.f0 - 1e-9);
+            assert!(sig.f1 <= session.beacon.f1 + 1e-9);
+        }
+        assert!(multi.signatures[0].f1 <= multi.signatures[2].f0 + 1e-9);
+        assert!(multi.signatures[1].f1 <= multi.signatures[3].f0 + 1e-9);
+        // Per-beacon sessions substitute the signature into the beacon block.
+        let per = multi.session_config(2);
+        assert_eq!(per.beacon.f0, multi.signatures[2].f0);
+        assert_eq!(per.beacon.f1, multi.signatures[2].f1);
+        assert_eq!(per.beacon.pattern, multi.signatures[2].pattern);
+        // A single beacon keeps the full-band up-down chirp.
+        let solo = MultiBeaconConfig::distinct_bands(session, 1);
+        assert_eq!(solo.signatures[0].pattern, ChirpPattern::UpDown);
+    }
+
+    #[test]
+    fn multi_beacon_json_round_trip_and_validation() {
+        let mut multi = MultiBeaconConfig::distinct_bands(HyperEarConfig::galaxy_note3(), 3);
+        multi.session.precision = Precision::F32;
+        multi.signatures[1].pattern = ChirpPattern::UpDown;
+        let text = multi.to_json_string();
+        let back = MultiBeaconConfig::from_json_str(&text).unwrap();
+        assert_eq!(back, multi);
+
+        let mut bad = multi.clone();
+        bad.signatures.clear();
+        assert!(bad.validate().is_err());
+        let mut bad = multi.clone();
+        bad.signatures[0].f1 = bad.signatures[0].f0;
+        assert!(bad.validate().is_err());
+        // A broken shared session fails validation for every beacon.
+        let mut bad = multi;
+        bad.session.beacon.period = 10.0;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -772,6 +772,32 @@ impl OverlapSave32 {
     }
 }
 
+/// Folds a zero-phase FIR prefilter into a correlation template:
+/// `G[u] = Σⱼ h[j]·t[u − (T−1) + j]`, the full cross-correlation of the
+/// template with the taps, accumulated in f64. Correlating a raw signal
+/// against `G` at lead `(T−1)/2` reproduces band-pass-then-correlate
+/// exactly for every full-overlap lag (`corr(bp(x), t) = corr(x, bp⋆t)`
+/// for LTI filtering under zero-extension boundaries) — the algebra
+/// behind [`StreamingMatchedFilter::with_zero_phase_prefilter`] and the
+/// template banks, which pay for the prefilter at construction instead
+/// of once per input pass.
+fn fold_zero_phase_taps(template: &[f64], taps: &[f64]) -> Vec<f64> {
+    let m = template.len();
+    let t = taps.len();
+    (0..m + t - 1)
+        .map(|u| {
+            let mut acc = 0.0f64;
+            for (j, &h) in taps.iter().enumerate() {
+                let idx = u as isize - (t as isize - 1) + j as isize;
+                if (0..m as isize).contains(&idx) {
+                    acc += h * template[idx as usize];
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
 /// The single-precision streaming matched filter behind the opt-in f32
 /// pipeline (`Precision::F32` in the core crate).
 ///
@@ -868,20 +894,11 @@ impl StreamingMatchedFilter32 {
         if energy == 0.0 {
             return Err(DspError::invalid("template", "template has zero energy"));
         }
-        let m = template.len();
-        let t = taps.len();
-        let delay = (t - 1) / 2;
-        let folded: Vec<f32> = (0..m + t - 1)
-            .map(|u| {
-                let mut acc = 0.0f64;
-                for (j, &h) in taps.iter().enumerate() {
-                    let idx = u as isize - (t as isize - 1) + j as isize;
-                    if (0..m as isize).contains(&idx) {
-                        acc += h * f64::from(template[idx as usize]);
-                    }
-                }
-                acc as f32
-            })
+        let delay = (taps.len() - 1) / 2;
+        let template_f64: Vec<f64> = template.iter().map(|&x| f64::from(x)).collect();
+        let folded: Vec<f32> = fold_zero_phase_taps(&template_f64, taps)
+            .into_iter()
+            .map(|v| v as f32)
             .collect();
         let block = try_next_pow2(folded.len().saturating_mul(4))?;
         Ok(StreamingMatchedFilter32 {
@@ -1091,6 +1108,10 @@ impl StreamingMatchedFilter32 {
 pub struct StreamingMatchedFilter {
     core: OverlapSave,
     template_energy: f64,
+    /// Lag-origin offset into the engine's template: nonzero only for
+    /// folded-prefilter templates, whose first `lead` entries reach
+    /// *before* the nominal template start (the zero-phase group delay).
+    lead: usize,
 }
 
 impl StreamingMatchedFilter {
@@ -1121,6 +1142,45 @@ impl StreamingMatchedFilter {
         Ok(StreamingMatchedFilter {
             core: OverlapSave::new(template, block_len)?,
             template_energy: energy,
+            lead: 0,
+        })
+    }
+
+    /// Creates a filter with a zero-phase FIR prefilter **folded into
+    /// the template** — the f64 counterpart of
+    /// [`StreamingMatchedFilter32::with_zero_phase_prefilter`], with the
+    /// identical algebra and boundary caveat (the final
+    /// `template.len() − 1` partial-overlap lags may differ from the
+    /// two-pass pipeline; every full-overlap lag is exact up to
+    /// floating-point summation order). The fold runs entirely in f64,
+    /// and normalization divides by the **original** template's energy
+    /// so peak amplitudes match the unfolded two-pass pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StreamingMatchedFilter::new`], plus
+    /// [`DspError::EmptyInput`] for an empty `taps` slice.
+    pub fn with_zero_phase_prefilter(template: &[f64], taps: &[f64]) -> Result<Self, DspError> {
+        if template.is_empty() {
+            return Err(DspError::EmptyInput {
+                what: "matched-filter template",
+            });
+        }
+        if taps.is_empty() {
+            return Err(DspError::EmptyInput {
+                what: "prefilter taps",
+            });
+        }
+        let energy: f64 = template.iter().map(|x| x * x).sum();
+        if energy == 0.0 {
+            return Err(DspError::invalid("template", "template has zero energy"));
+        }
+        let folded = fold_zero_phase_taps(template, taps);
+        let block = try_next_pow2(folded.len().saturating_mul(4))?;
+        Ok(StreamingMatchedFilter {
+            core: OverlapSave::new(&folded, block)?,
+            template_energy: energy,
+            lead: (taps.len() - 1) / 2,
         })
     }
 
@@ -1180,7 +1240,7 @@ impl StreamingMatchedFilter {
                 ),
             ));
         }
-        self.core.run(signal, 0, signal.len(), scratch, out)
+        self.core.run(signal, self.lead, signal.len(), scratch, out)
     }
 
     /// Blocked template-energy-normalized correlation; same output
@@ -1220,7 +1280,7 @@ impl StreamingMatchedFilter {
     /// feeds; each feed belongs to exactly one logical stream.
     #[must_use]
     pub fn chunk_feed(&self) -> ChunkFeed {
-        ChunkFeed::new(0, self.block_len(), self.template_len())
+        ChunkFeed::new(self.lead, self.block_len(), self.template_len())
     }
 
     /// Pushes `chunk` (any length, empty included) into `feed`, appending
@@ -1244,7 +1304,7 @@ impl StreamingMatchedFilter {
         scratch: &mut DspScratch,
         out: &mut Vec<f64>,
     ) -> Result<(), DspError> {
-        self.core.feed_push(feed, 0, chunk, scratch, out)
+        self.core.feed_push(feed, self.lead, chunk, scratch, out)
     }
 
     /// [`StreamingMatchedFilter::push_chunk_into`] with the emitted lags
@@ -1303,7 +1363,7 @@ impl StreamingMatchedFilter {
                 ),
             ));
         }
-        self.core.feed_finish(feed, 0, scratch, out)
+        self.core.feed_finish(feed, self.lead, scratch, out)
     }
 
     /// [`StreamingMatchedFilter::finish_chunks_into`] with the emitted
@@ -1325,6 +1385,1054 @@ impl StreamingMatchedFilter {
             *v *= k;
         }
         Ok(())
+    }
+}
+
+/// One template's share of a bank: its half-spectrum at the bank's block
+/// length and the energy that normalizes its correlation lane.
+///
+/// The spectrum sits behind an `Arc` so cloning a bank — one clone per
+/// pool worker is the intended sharing pattern — duplicates only the
+/// pointer, never the spectrum. Template FFTs therefore run exactly once
+/// per template per bank family, observable via
+/// [`StreamingMatchedFilterBank::template_fft_count`].
+#[derive(Debug, Clone)]
+struct BankLane {
+    /// Template half-spectrum at the bank block length (not conjugated).
+    spec: Arc<Vec<Complex>>,
+    /// `Σ x²` of the **original** (pre-fold) template.
+    energy: f64,
+}
+
+/// K matched filters sharing one forward FFT per overlap-save block.
+///
+/// A [`StreamingMatchedFilter`] spends each block on one forward
+/// transform of the input, one spectral conjugate-multiply, and one
+/// inverse transform. Correlating the same capture against K templates
+/// through K independent filters repeats the *input* forward transform
+/// K times even though it is template-independent. The bank hoists it:
+/// every template is held at one shared `(block_len, template_len)`
+/// geometry (shorter templates are implicitly zero-padded, which changes
+/// no correlation value), so each block costs **1 forward + K
+/// multiply/inverse** instead of K×(forward + multiply + inverse).
+///
+/// Output goes to K caller-owned correlation lanes (`lanes[k]` receives
+/// template k's lags). Each lane is **bit-identical** to an independent
+/// [`StreamingMatchedFilter::with_block_len`] over template k padded to
+/// the bank's template length at the bank's block length: the shared
+/// forward spectrum is copied before each lane's conjugate multiply, so
+/// per-lane arithmetic is exactly the single-engine sequence
+/// (conformance-pinned by the bank tests).
+///
+/// Band-pass prefilters fold into the templates
+/// ([`StreamingMatchedFilterBank::with_zero_phase_prefilters`]), so a
+/// K-beacon detection pass runs **zero** FIR passes over the input —
+/// `corr(bp(x), tᵢ) = corr(x, bp⋆tᵢ)` moves each beacon's band-pass
+/// into its own lane's template at construction time.
+///
+/// The hot methods take `&self`; clones share template spectra and the
+/// FFT plan by `Arc`, so per-worker state is one [`DspScratch`] plus the
+/// lanes. Steady-state calls at warm sizes do not allocate.
+#[derive(Debug, Clone)]
+pub struct StreamingMatchedFilterBank {
+    /// Shared, read-only FFT tables for the block size (process-wide,
+    /// see [`shared_real_plan`]).
+    plan: Arc<RealFftPlan>,
+    lanes: Vec<BankLane>,
+    /// The shared template length: the longest (folded) template. All
+    /// lanes run at this length so one [`ChunkFeed`] drives them all.
+    template_len: usize,
+    /// Lag-origin offset (the folded prefilters' group delay; 0 without
+    /// prefilters).
+    lead: usize,
+    /// Template FFTs run at construction — stays put across clones,
+    /// which share the spectra instead of recomputing them.
+    template_ffts: usize,
+}
+
+impl StreamingMatchedFilterBank {
+    /// Creates a bank with the default block policy:
+    /// `block_len = next_pow2(4 × longest template)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty template list or an
+    /// empty template, and [`DspError::InvalidParameter`] for an
+    /// all-zero template.
+    pub fn new(templates: &[&[f64]]) -> Result<Self, DspError> {
+        let longest = templates.iter().map(|t| t.len()).max().unwrap_or(0);
+        let block = try_next_pow2(longest.saturating_mul(4))?;
+        Self::with_block_len(templates, block)
+    }
+
+    /// Creates a bank with an explicit FFT block length (power of two,
+    /// at least the longest template's length).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StreamingMatchedFilterBank::new`], plus
+    /// [`DspError::InvalidParameter`] for an invalid `block_len`.
+    pub fn with_block_len(templates: &[&[f64]], block_len: usize) -> Result<Self, DspError> {
+        let energies = Self::validate_templates(templates)?;
+        Self::build(templates, &energies, block_len, 0)
+    }
+
+    /// Creates a bank with a zero-phase FIR prefilter folded into each
+    /// template: entry `k` is `(template_k, taps_k)`, and lane `k`
+    /// reproduces band-pass-with-`taps_k`-then-correlate-with-
+    /// `template_k` under the exact algebra (and partial-overlap caveat)
+    /// of [`StreamingMatchedFilter::with_zero_phase_prefilter`]. Each
+    /// template can carry its *own* band — the fold runs per lane, the
+    /// input is never filtered at all.
+    ///
+    /// All taps must share one group delay `(len − 1) / 2` so every lane
+    /// keeps the shared lag origin (equal odd tap counts, the common
+    /// case of one configured tap budget, always qualify).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StreamingMatchedFilterBank::new`], plus
+    /// [`DspError::EmptyInput`] for an empty taps slice and
+    /// [`DspError::InvalidParameter`] for mismatched group delays.
+    pub fn with_zero_phase_prefilters(entries: &[(&[f64], &[f64])]) -> Result<Self, DspError> {
+        if entries.is_empty() {
+            return Err(DspError::EmptyInput {
+                what: "template bank",
+            });
+        }
+        let mut delay = None;
+        for (template, taps) in entries {
+            if template.is_empty() {
+                return Err(DspError::EmptyInput {
+                    what: "matched-filter template",
+                });
+            }
+            if taps.is_empty() {
+                return Err(DspError::EmptyInput {
+                    what: "prefilter taps",
+                });
+            }
+            let d = (taps.len() - 1) / 2;
+            if *delay.get_or_insert(d) != d {
+                return Err(DspError::invalid(
+                    "taps",
+                    "all prefilters in a bank must share one group delay",
+                ));
+            }
+        }
+        let mut energies = Vec::with_capacity(entries.len());
+        let mut folded = Vec::with_capacity(entries.len());
+        for (template, taps) in entries {
+            let energy: f64 = template.iter().map(|x| x * x).sum();
+            if energy == 0.0 {
+                return Err(DspError::invalid("template", "template has zero energy"));
+            }
+            energies.push(energy);
+            folded.push(fold_zero_phase_taps(template, taps));
+        }
+        let longest = folded.iter().map(Vec::len).max().unwrap_or(0);
+        let block = try_next_pow2(longest.saturating_mul(4))?;
+        let refs: Vec<&[f64]> = folded.iter().map(Vec::as_slice).collect();
+        Self::build(&refs, &energies, block, delay.unwrap_or(0))
+    }
+
+    /// Per-template emptiness/energy validation shared by the unfolded
+    /// constructors; returns the template energies.
+    fn validate_templates(templates: &[&[f64]]) -> Result<Vec<f64>, DspError> {
+        if templates.is_empty() {
+            return Err(DspError::EmptyInput {
+                what: "template bank",
+            });
+        }
+        templates
+            .iter()
+            .map(|template| {
+                if template.is_empty() {
+                    return Err(DspError::EmptyInput {
+                        what: "matched-filter template",
+                    });
+                }
+                let energy: f64 = template.iter().map(|x| x * x).sum();
+                if energy == 0.0 {
+                    return Err(DspError::invalid("template", "template has zero energy"));
+                }
+                Ok(energy)
+            })
+            .collect()
+    }
+
+    fn build(
+        templates: &[&[f64]],
+        energies: &[f64],
+        block_len: usize,
+        lead: usize,
+    ) -> Result<Self, DspError> {
+        let template_len = templates.iter().map(|t| t.len()).max().unwrap_or(0);
+        if block_len < template_len {
+            return Err(DspError::invalid(
+                "block_len",
+                format!("block ({block_len}) shorter than template ({template_len})"),
+            ));
+        }
+        let plan = shared_real_plan(block_len)?;
+        let mut lanes = Vec::with_capacity(templates.len());
+        let mut template_ffts = 0;
+        for (template, &energy) in templates.iter().zip(energies) {
+            // `rfft_half_into` zero-pads to the plan length, so a short
+            // template's spectrum equals its padded twin's exactly.
+            let mut spec = Vec::with_capacity(plan.num_bins());
+            plan.rfft_half_into(template, &mut spec)?;
+            template_ffts += 1;
+            lanes.push(BankLane {
+                spec: Arc::new(spec),
+                energy,
+            });
+        }
+        Ok(StreamingMatchedFilterBank {
+            plan,
+            lanes,
+            template_len,
+            lead,
+            template_ffts,
+        })
+    }
+
+    /// Number of templates (correlation lanes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the bank holds no templates (never true once constructed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// The shared (padded) template length in samples.
+    #[must_use]
+    pub fn template_len(&self) -> usize {
+        self.template_len
+    }
+
+    /// The FFT block length — the peak transform size of every call.
+    #[must_use]
+    pub fn block_len(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Valid correlation lags produced per block
+    /// (`block_len - template_len + 1`).
+    #[must_use]
+    pub fn step(&self) -> usize {
+        self.block_len() - self.template_len + 1
+    }
+
+    /// The lag-origin offset (folded prefilter group delay).
+    #[must_use]
+    pub fn lead(&self) -> usize {
+        self.lead
+    }
+
+    /// Template FFTs run over this bank's lifetime: exactly one per
+    /// template, at construction. Clones share the spectra by `Arc` and
+    /// report the same count — the observable proof that sharing a bank
+    /// across pool workers never recomputes a template spectrum.
+    #[must_use]
+    pub fn template_fft_count(&self) -> usize {
+        self.template_ffts
+    }
+
+    /// Template `k`'s original (pre-fold) energy `Σ x²`, or `None` out
+    /// of range.
+    #[must_use]
+    pub fn template_energy(&self, k: usize) -> Option<f64> {
+        self.lanes.get(k).map(|l| l.energy)
+    }
+
+    fn check_lanes(&self, lanes: &[Vec<f64>]) -> Result<(), DspError> {
+        if lanes.len() != self.lanes.len() {
+            return Err(DspError::invalid(
+                "lanes",
+                format!(
+                    "bank holds {} templates but {} output lanes were provided",
+                    self.lanes.len(),
+                    lanes.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_feed(&self, feed: &ChunkFeed) -> Result<(), DspError> {
+        if feed.block_len != self.block_len()
+            || feed.template_len != self.template_len
+            || feed.lead != self.lead
+        {
+            return Err(DspError::invalid(
+                "feed",
+                "chunk feed was created for a different engine",
+            ));
+        }
+        if feed.finished {
+            return Err(DspError::invalid(
+                "feed",
+                "chunk feed already finished; call reset() before reuse",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Fans the shared input spectrum in `scratch.c1` out across every
+    /// lane: copy, conjugate-multiply with the lane's template spectrum,
+    /// inverse-transform, append the first `take` lags to the lane. The
+    /// copy into `scratch.c2` is what preserves the shared spectrum — the
+    /// half-spectrum inverse transform consumes its input.
+    fn fan_out(
+        &self,
+        scratch: &mut DspScratch,
+        take: usize,
+        lanes: &mut [Vec<f64>],
+    ) -> Result<(), DspError> {
+        for (lane, out) in self.lanes.iter().zip(lanes.iter_mut()) {
+            scratch.c2.clear();
+            scratch.c2.extend_from_slice(&scratch.c1);
+            conj_mul_in_place(&mut scratch.c2, &lane.spec);
+            let DspScratch { c2, r1, .. } = &mut *scratch;
+            self.plan.irfft_half_into(c2, r1)?;
+            out.extend_from_slice(&r1[..take]);
+        }
+        Ok(())
+    }
+
+    /// One-shot banked correlation: lane `k` receives exactly the output
+    /// of an independent [`StreamingMatchedFilter`] for template `k` at
+    /// the bank geometry ([`xcorr`] convention), but the input forward
+    /// FFT runs once per block for all lanes. Each lane is cleared and
+    /// refilled; steady-state calls at warm sizes do not allocate.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`xcorr`], plus
+    /// [`DspError::InvalidParameter`] when `lanes.len()` differs from
+    /// the bank's template count.
+    pub fn correlate_into(
+        &self,
+        signal: &[f64],
+        scratch: &mut DspScratch,
+        lanes: &mut [Vec<f64>],
+    ) -> Result<(), DspError> {
+        self.check_lanes(lanes)?;
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput {
+                what: "xcorr signal",
+            });
+        }
+        if self.template_len > signal.len() {
+            return Err(DspError::invalid(
+                "template",
+                format!(
+                    "template ({}) longer than signal ({})",
+                    self.template_len,
+                    signal.len()
+                ),
+            ));
+        }
+        let out_len = signal.len();
+        for lane in lanes.iter_mut() {
+            lane.clear();
+            lane.reserve(out_len);
+        }
+        let block = self.block_len();
+        let step = self.step();
+        let mut pos = 0;
+        while pos < out_len {
+            scratch.r1.clear();
+            scratch.r1.extend((pos..pos + block).map(|j| {
+                j.checked_sub(self.lead)
+                    .and_then(|i| signal.get(i))
+                    .copied()
+                    .unwrap_or(0.0)
+            }));
+            self.plan.rfft_half_into(&scratch.r1, &mut scratch.c1)?;
+            let take = step.min(out_len - pos);
+            self.fan_out(scratch, take, lanes)?;
+            pos += step;
+        }
+        Ok(())
+    }
+
+    /// [`StreamingMatchedFilterBank::correlate_into`] with each lane
+    /// normalized by its own template's energy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StreamingMatchedFilterBank::correlate_into`].
+    pub fn correlate_normalized_into(
+        &self,
+        signal: &[f64],
+        scratch: &mut DspScratch,
+        lanes: &mut [Vec<f64>],
+    ) -> Result<(), DspError> {
+        self.correlate_into(signal, scratch, lanes)?;
+        for (lane, out) in self.lanes.iter().zip(lanes.iter_mut()) {
+            let k = 1.0 / lane.energy;
+            for v in out.iter_mut() {
+                *v *= k;
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates an online ingestion feed for this bank (see
+    /// [`ChunkFeed`]). One feed drives all K lanes — the shared block
+    /// geometry is the point of the bank.
+    #[must_use]
+    pub fn chunk_feed(&self) -> ChunkFeed {
+        ChunkFeed::new(self.lead, self.block_len(), self.template_len)
+    }
+
+    /// Pushes `chunk` into `feed`, appending every raw correlation lag
+    /// whose FFT block completed to all K lanes (one forward transform
+    /// per completed block, K inverse transforms). Flushed streams are
+    /// bit-identical per lane to
+    /// [`StreamingMatchedFilterBank::correlate_into`] over the
+    /// concatenated chunks, independent of chunking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `feed` was created by a
+    /// different engine, has already been finished, or `lanes` is
+    /// mis-sized.
+    pub fn push_chunk_into(
+        &self,
+        feed: &mut ChunkFeed,
+        chunk: &[f64],
+        scratch: &mut DspScratch,
+        lanes: &mut [Vec<f64>],
+    ) -> Result<(), DspError> {
+        self.check_lanes(lanes)?;
+        self.check_feed(feed)?;
+        let block = self.block_len();
+        let step = self.step();
+        let mut rest = chunk;
+        while !rest.is_empty() {
+            let take = (block - feed.buf.len()).min(rest.len());
+            feed.buf.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if feed.buf.len() == block {
+                self.feed_transform(feed, scratch)?;
+                self.fan_out(scratch, step, lanes)?;
+                feed.emitted += step;
+            }
+        }
+        feed.pushed += chunk.len();
+        debug_assert!(feed.emitted <= feed.pushed);
+        Ok(())
+    }
+
+    /// Forward-transforms the (full) block in `feed.buf` into the shared
+    /// spectrum `scratch.c1` and slides the buffer forward by one step.
+    fn feed_transform(
+        &self,
+        feed: &mut ChunkFeed,
+        scratch: &mut DspScratch,
+    ) -> Result<(), DspError> {
+        debug_assert_eq!(feed.buf.len(), self.block_len());
+        scratch.r1.clear();
+        scratch.r1.extend_from_slice(&feed.buf);
+        self.plan.rfft_half_into(&scratch.r1, &mut scratch.c1)?;
+        let step = self.step();
+        feed.buf.copy_within(step.., 0);
+        feed.buf.truncate(self.block_len() - step);
+        Ok(())
+    }
+
+    /// [`StreamingMatchedFilterBank::push_chunk_into`] with the emitted
+    /// lags normalized per lane.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StreamingMatchedFilterBank::push_chunk_into`].
+    pub fn push_chunk_normalized_into(
+        &self,
+        feed: &mut ChunkFeed,
+        chunk: &[f64],
+        scratch: &mut DspScratch,
+        lanes: &mut [Vec<f64>],
+    ) -> Result<(), DspError> {
+        let before = feed.emitted;
+        self.push_chunk_into(feed, chunk, scratch, lanes)?;
+        self.normalize_tail(feed.emitted - before, lanes);
+        Ok(())
+    }
+
+    /// Flushes `feed`, appending the remaining raw lags to every lane so
+    /// each lane's total output matches the one-shot call exactly (one
+    /// lag per pushed sample). The feed is then finished; call
+    /// [`ChunkFeed::reset`] to reuse it.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`StreamingMatchedFilterBank::correlate_into`] on the
+    /// concatenated input, like
+    /// [`StreamingMatchedFilter::finish_chunks_into`].
+    pub fn finish_chunks_into(
+        &self,
+        feed: &mut ChunkFeed,
+        scratch: &mut DspScratch,
+        lanes: &mut [Vec<f64>],
+    ) -> Result<(), DspError> {
+        self.check_lanes(lanes)?;
+        if !feed.finished && feed.pushed == 0 {
+            return Err(DspError::EmptyInput {
+                what: "xcorr signal",
+            });
+        }
+        if !feed.finished && feed.pushed < self.template_len {
+            return Err(DspError::invalid(
+                "template",
+                format!(
+                    "template ({}) longer than signal ({})",
+                    self.template_len, feed.pushed
+                ),
+            ));
+        }
+        self.check_feed(feed)?;
+        let total = feed.pushed;
+        while feed.emitted < total {
+            feed.buf.resize(self.block_len(), 0.0);
+            self.feed_transform(feed, scratch)?;
+            let take = self.step().min(total - feed.emitted);
+            self.fan_out(scratch, take, lanes)?;
+            feed.emitted += take;
+        }
+        feed.finished = true;
+        Ok(())
+    }
+
+    /// [`StreamingMatchedFilterBank::finish_chunks_into`] with the
+    /// emitted lags normalized per lane.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`StreamingMatchedFilterBank::finish_chunks_into`].
+    pub fn finish_chunks_normalized_into(
+        &self,
+        feed: &mut ChunkFeed,
+        scratch: &mut DspScratch,
+        lanes: &mut [Vec<f64>],
+    ) -> Result<(), DspError> {
+        let before = feed.emitted;
+        self.finish_chunks_into(feed, scratch, lanes)?;
+        self.normalize_tail(feed.emitted - before, lanes);
+        Ok(())
+    }
+
+    /// Scales the last `appended` values of every lane by its template
+    /// energy (every lane receives the same lag count per call, so one
+    /// counter covers them all — no per-lane bookkeeping to allocate).
+    fn normalize_tail(&self, appended: usize, lanes: &mut [Vec<f64>]) {
+        for (lane, out) in self.lanes.iter().zip(lanes.iter_mut()) {
+            let k = 1.0 / lane.energy;
+            let start = out.len() - appended;
+            for v in &mut out[start..] {
+                *v *= k;
+            }
+        }
+    }
+}
+
+/// One f32 lane: split-plane template half-spectrum plus normalization
+/// energy (see [`BankLane`]).
+#[derive(Debug, Clone)]
+struct BankLane32 {
+    spec_re: Arc<Vec<f32>>,
+    spec_im: Arc<Vec<f32>>,
+    energy: f64,
+}
+
+/// The single-precision twin of [`StreamingMatchedFilterBank`], built on
+/// [`RealFft32Plan`]'s split re/im planes so the spectral kernels stay
+/// 8-wide.
+///
+/// Same shared-forward-transform economics and per-lane semantics; like
+/// the rest of the f32 pipeline there is **no bit-identity contract**
+/// against the f64 reference (DESIGN.md §11) — but each lane *is*
+/// bit-identical to an independent [`StreamingMatchedFilter32`] at the
+/// bank geometry, by the same copied-spectrum argument as the f64 bank.
+///
+/// The fan-out stages each lane's conjugate product in the second
+/// scratch plane pair (`DspScratch::f2_re`/`f2_im`), preserving the
+/// shared input spectrum in `f1_re`/`f1_im` across lanes.
+#[derive(Debug, Clone)]
+pub struct StreamingMatchedFilterBank32 {
+    plan: Arc<RealFft32Plan>,
+    lanes: Vec<BankLane32>,
+    template_len: usize,
+    lead: usize,
+    template_ffts: usize,
+}
+
+impl StreamingMatchedFilterBank32 {
+    /// Creates a bank with the default block policy
+    /// (`next_pow2(4 × longest template)`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StreamingMatchedFilterBank::new`].
+    pub fn new(templates: &[&[f32]]) -> Result<Self, DspError> {
+        let longest = templates.iter().map(|t| t.len()).max().unwrap_or(0);
+        let block = try_next_pow2(longest.saturating_mul(4))?;
+        Self::with_block_len(templates, block)
+    }
+
+    /// Creates a bank with an explicit FFT block length.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`StreamingMatchedFilterBank::with_block_len`].
+    pub fn with_block_len(templates: &[&[f32]], block_len: usize) -> Result<Self, DspError> {
+        if templates.is_empty() {
+            return Err(DspError::EmptyInput {
+                what: "template bank",
+            });
+        }
+        let mut energies = Vec::with_capacity(templates.len());
+        for template in templates {
+            if template.is_empty() {
+                return Err(DspError::EmptyInput {
+                    what: "matched-filter template",
+                });
+            }
+            let energy: f64 = template.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+            if energy == 0.0 {
+                return Err(DspError::invalid("template", "template has zero energy"));
+            }
+            energies.push(energy);
+        }
+        Self::build(templates, &energies, block_len, 0)
+    }
+
+    /// Creates a bank with a zero-phase FIR prefilter folded into each
+    /// template (see
+    /// [`StreamingMatchedFilterBank::with_zero_phase_prefilters`]; the
+    /// fold is accumulated in f64 and rounded once per tap, exactly as
+    /// [`StreamingMatchedFilter32::with_zero_phase_prefilter`] does).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`StreamingMatchedFilterBank::with_zero_phase_prefilters`].
+    pub fn with_zero_phase_prefilters(entries: &[(&[f32], &[f64])]) -> Result<Self, DspError> {
+        if entries.is_empty() {
+            return Err(DspError::EmptyInput {
+                what: "template bank",
+            });
+        }
+        let mut delay = None;
+        let mut energies = Vec::with_capacity(entries.len());
+        let mut folded = Vec::with_capacity(entries.len());
+        for (template, taps) in entries {
+            if template.is_empty() {
+                return Err(DspError::EmptyInput {
+                    what: "matched-filter template",
+                });
+            }
+            if taps.is_empty() {
+                return Err(DspError::EmptyInput {
+                    what: "prefilter taps",
+                });
+            }
+            let d = (taps.len() - 1) / 2;
+            if *delay.get_or_insert(d) != d {
+                return Err(DspError::invalid(
+                    "taps",
+                    "all prefilters in a bank must share one group delay",
+                ));
+            }
+            let energy: f64 = template.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+            if energy == 0.0 {
+                return Err(DspError::invalid("template", "template has zero energy"));
+            }
+            energies.push(energy);
+            let template_f64: Vec<f64> = template.iter().map(|&x| f64::from(x)).collect();
+            folded.push(
+                fold_zero_phase_taps(&template_f64, taps)
+                    .into_iter()
+                    .map(|v| v as f32)
+                    .collect::<Vec<f32>>(),
+            );
+        }
+        let longest = folded.iter().map(Vec::len).max().unwrap_or(0);
+        let block = try_next_pow2(longest.saturating_mul(4))?;
+        let refs: Vec<&[f32]> = folded.iter().map(Vec::as_slice).collect();
+        Self::build(&refs, &energies, block, delay.unwrap_or(0))
+    }
+
+    fn build(
+        templates: &[&[f32]],
+        energies: &[f64],
+        block_len: usize,
+        lead: usize,
+    ) -> Result<Self, DspError> {
+        let template_len = templates.iter().map(|t| t.len()).max().unwrap_or(0);
+        if block_len < template_len {
+            return Err(DspError::invalid(
+                "block_len",
+                format!("block ({block_len}) shorter than template ({template_len})"),
+            ));
+        }
+        let plan = shared_real_plan32(block_len)?;
+        let mut lanes = Vec::with_capacity(templates.len());
+        let mut template_ffts = 0;
+        for (template, &energy) in templates.iter().zip(energies) {
+            let mut spec_re = Vec::with_capacity(plan.num_bins());
+            let mut spec_im = Vec::with_capacity(plan.num_bins());
+            plan.rfft_half_into(template, &mut spec_re, &mut spec_im)?;
+            template_ffts += 1;
+            lanes.push(BankLane32 {
+                spec_re: Arc::new(spec_re),
+                spec_im: Arc::new(spec_im),
+                energy,
+            });
+        }
+        Ok(StreamingMatchedFilterBank32 {
+            plan,
+            lanes,
+            template_len,
+            lead,
+            template_ffts,
+        })
+    }
+
+    /// Number of templates (correlation lanes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the bank holds no templates (never true once constructed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// The shared (padded) template length in samples.
+    #[must_use]
+    pub fn template_len(&self) -> usize {
+        self.template_len
+    }
+
+    /// The FFT block length.
+    #[must_use]
+    pub fn block_len(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Valid correlation lags produced per block.
+    #[must_use]
+    pub fn step(&self) -> usize {
+        self.block_len() - self.template_len + 1
+    }
+
+    /// The lag-origin offset (folded prefilter group delay).
+    #[must_use]
+    pub fn lead(&self) -> usize {
+        self.lead
+    }
+
+    /// Template FFTs run over this bank's lifetime (one per template;
+    /// clones share the spectra).
+    #[must_use]
+    pub fn template_fft_count(&self) -> usize {
+        self.template_ffts
+    }
+
+    fn check_lanes(&self, lanes: &[Vec<f32>]) -> Result<(), DspError> {
+        if lanes.len() != self.lanes.len() {
+            return Err(DspError::invalid(
+                "lanes",
+                format!(
+                    "bank holds {} templates but {} output lanes were provided",
+                    self.lanes.len(),
+                    lanes.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_feed(&self, feed: &ChunkFeed<f32>) -> Result<(), DspError> {
+        if feed.block_len != self.block_len()
+            || feed.template_len != self.template_len
+            || feed.lead != self.lead
+        {
+            return Err(DspError::invalid(
+                "feed",
+                "chunk feed was created for a different engine",
+            ));
+        }
+        if feed.finished {
+            return Err(DspError::invalid(
+                "feed",
+                "chunk feed already finished; call reset() before reuse",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Fans the shared input spectrum (`f1_re`/`f1_im`) out across every
+    /// lane via the second plane pair.
+    fn fan_out(
+        &self,
+        scratch: &mut DspScratch,
+        take: usize,
+        lanes: &mut [Vec<f32>],
+    ) -> Result<(), DspError> {
+        for (lane, out) in self.lanes.iter().zip(lanes.iter_mut()) {
+            scratch.f2_re.clear();
+            scratch.f2_re.extend_from_slice(&scratch.f1_re);
+            scratch.f2_im.clear();
+            scratch.f2_im.extend_from_slice(&scratch.f1_im);
+            let DspScratch {
+                f2_re, f2_im, r32, ..
+            } = &mut *scratch;
+            conj_mul_planes(f2_re, f2_im, &lane.spec_re, &lane.spec_im);
+            self.plan.irfft_half_into(f2_re, f2_im, r32)?;
+            out.extend_from_slice(&r32[..take]);
+        }
+        Ok(())
+    }
+
+    /// One-shot banked correlation (f32 twin of
+    /// [`StreamingMatchedFilterBank::correlate_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`StreamingMatchedFilterBank::correlate_into`].
+    pub fn correlate_into(
+        &self,
+        signal: &[f32],
+        scratch: &mut DspScratch,
+        lanes: &mut [Vec<f32>],
+    ) -> Result<(), DspError> {
+        self.check_lanes(lanes)?;
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput {
+                what: "xcorr signal",
+            });
+        }
+        if self.template_len > signal.len() {
+            return Err(DspError::invalid(
+                "template",
+                format!(
+                    "template ({}) longer than signal ({})",
+                    self.template_len,
+                    signal.len()
+                ),
+            ));
+        }
+        let out_len = signal.len();
+        for lane in lanes.iter_mut() {
+            lane.clear();
+            lane.reserve(out_len);
+        }
+        let block = self.block_len();
+        let step = self.step();
+        let mut pos = 0;
+        while pos < out_len {
+            scratch.r32.clear();
+            scratch.r32.extend((pos..pos + block).map(|j| {
+                j.checked_sub(self.lead)
+                    .and_then(|i| signal.get(i))
+                    .copied()
+                    .unwrap_or(0.0)
+            }));
+            let DspScratch {
+                f1_re, f1_im, r32, ..
+            } = &mut *scratch;
+            self.plan.rfft_half_into(r32, f1_re, f1_im)?;
+            let take = step.min(out_len - pos);
+            self.fan_out(scratch, take, lanes)?;
+            pos += step;
+        }
+        Ok(())
+    }
+
+    /// [`StreamingMatchedFilterBank32::correlate_into`] with each lane
+    /// normalized by its own template's energy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`StreamingMatchedFilterBank32::correlate_into`].
+    pub fn correlate_normalized_into(
+        &self,
+        signal: &[f32],
+        scratch: &mut DspScratch,
+        lanes: &mut [Vec<f32>],
+    ) -> Result<(), DspError> {
+        self.correlate_into(signal, scratch, lanes)?;
+        for (lane, out) in self.lanes.iter().zip(lanes.iter_mut()) {
+            let k = (1.0 / lane.energy) as f32;
+            for v in out.iter_mut() {
+                *v *= k;
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates an online ingestion feed for this bank.
+    #[must_use]
+    pub fn chunk_feed(&self) -> ChunkFeed<f32> {
+        ChunkFeed::new(self.lead, self.block_len(), self.template_len)
+    }
+
+    /// Pushes `chunk` into `feed`, appending completed-block lags to all
+    /// K lanes (f32 twin of
+    /// [`StreamingMatchedFilterBank::push_chunk_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`StreamingMatchedFilterBank::push_chunk_into`].
+    pub fn push_chunk_into(
+        &self,
+        feed: &mut ChunkFeed<f32>,
+        chunk: &[f32],
+        scratch: &mut DspScratch,
+        lanes: &mut [Vec<f32>],
+    ) -> Result<(), DspError> {
+        self.check_lanes(lanes)?;
+        self.check_feed(feed)?;
+        let block = self.block_len();
+        let step = self.step();
+        let mut rest = chunk;
+        while !rest.is_empty() {
+            let take = (block - feed.buf.len()).min(rest.len());
+            feed.buf.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if feed.buf.len() == block {
+                self.feed_transform(feed, scratch)?;
+                self.fan_out(scratch, step, lanes)?;
+                feed.emitted += step;
+            }
+        }
+        feed.pushed += chunk.len();
+        debug_assert!(feed.emitted <= feed.pushed);
+        Ok(())
+    }
+
+    fn feed_transform(
+        &self,
+        feed: &mut ChunkFeed<f32>,
+        scratch: &mut DspScratch,
+    ) -> Result<(), DspError> {
+        debug_assert_eq!(feed.buf.len(), self.block_len());
+        scratch.r32.clear();
+        scratch.r32.extend_from_slice(&feed.buf);
+        let DspScratch {
+            f1_re, f1_im, r32, ..
+        } = &mut *scratch;
+        self.plan.rfft_half_into(r32, f1_re, f1_im)?;
+        let step = self.step();
+        feed.buf.copy_within(step.., 0);
+        feed.buf.truncate(self.block_len() - step);
+        Ok(())
+    }
+
+    /// [`StreamingMatchedFilterBank32::push_chunk_into`] with the
+    /// emitted lags normalized per lane.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`StreamingMatchedFilterBank32::push_chunk_into`].
+    pub fn push_chunk_normalized_into(
+        &self,
+        feed: &mut ChunkFeed<f32>,
+        chunk: &[f32],
+        scratch: &mut DspScratch,
+        lanes: &mut [Vec<f32>],
+    ) -> Result<(), DspError> {
+        let before = feed.emitted;
+        self.push_chunk_into(feed, chunk, scratch, lanes)?;
+        self.normalize_tail(feed.emitted - before, lanes);
+        Ok(())
+    }
+
+    /// Flushes `feed`, appending the remaining raw lags to every lane
+    /// (f32 twin of [`StreamingMatchedFilterBank::finish_chunks_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`StreamingMatchedFilterBank::finish_chunks_into`].
+    pub fn finish_chunks_into(
+        &self,
+        feed: &mut ChunkFeed<f32>,
+        scratch: &mut DspScratch,
+        lanes: &mut [Vec<f32>],
+    ) -> Result<(), DspError> {
+        self.check_lanes(lanes)?;
+        if !feed.finished && feed.pushed == 0 {
+            return Err(DspError::EmptyInput {
+                what: "xcorr signal",
+            });
+        }
+        if !feed.finished && feed.pushed < self.template_len {
+            return Err(DspError::invalid(
+                "template",
+                format!(
+                    "template ({}) longer than signal ({})",
+                    self.template_len, feed.pushed
+                ),
+            ));
+        }
+        self.check_feed(feed)?;
+        let total = feed.pushed;
+        while feed.emitted < total {
+            feed.buf.resize(self.block_len(), 0.0);
+            self.feed_transform(feed, scratch)?;
+            let take = self.step().min(total - feed.emitted);
+            self.fan_out(scratch, take, lanes)?;
+            feed.emitted += take;
+        }
+        feed.finished = true;
+        Ok(())
+    }
+
+    /// [`StreamingMatchedFilterBank32::finish_chunks_into`] with the
+    /// emitted lags normalized per lane.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`StreamingMatchedFilterBank32::finish_chunks_into`].
+    pub fn finish_chunks_normalized_into(
+        &self,
+        feed: &mut ChunkFeed<f32>,
+        scratch: &mut DspScratch,
+        lanes: &mut [Vec<f32>],
+    ) -> Result<(), DspError> {
+        let before = feed.emitted;
+        self.finish_chunks_into(feed, scratch, lanes)?;
+        self.normalize_tail(feed.emitted - before, lanes);
+        Ok(())
+    }
+
+    fn normalize_tail(&self, appended: usize, lanes: &mut [Vec<f32>]) {
+        for (lane, out) in self.lanes.iter().zip(lanes.iter_mut()) {
+            let k = (1.0 / lane.energy) as f32;
+            let start = out.len() - appended;
+            for v in &mut out[start..] {
+                *v *= k;
+            }
+        }
     }
 }
 
@@ -1821,5 +2929,409 @@ mod tests {
             .push_chunk_into(&mut foreign, &[1.0], &mut scratch, &mut out)
             .is_err());
         assert!(foreign.capacity_bytes() > 0);
+    }
+
+    /// Three deterministic templates of *different* lengths plus a long
+    /// test capture, shared by the bank conformance tests.
+    fn bank_fixtures() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let templates: Vec<Vec<f64>> = [(37usize, 0.40, 0.09), (29, 0.23, 0.31), (61, 0.57, 0.13)]
+            .iter()
+            .map(|&(n, a, b)| {
+                (0..n)
+                    .map(|i| (i as f64 * a).sin() - 0.3 * (i as f64 * b).cos())
+                    .collect()
+            })
+            .collect();
+        let signal: Vec<f64> = (0..2_111)
+            .map(|i| (i as f64 * 0.021).sin() * (i as f64 * 0.0047).cos())
+            .collect();
+        (templates, signal)
+    }
+
+    /// The bank's conformance contract: every lane is bit-identical to
+    /// an independent `StreamingMatchedFilter` holding the same template
+    /// at the bank's shared geometry (zero-padded to the bank template
+    /// length, same block length) — one-shot, raw and normalized.
+    #[test]
+    fn bank_lanes_bit_identical_to_independent_engines() {
+        let (templates, signal) = bank_fixtures();
+        let refs: Vec<&[f64]> = templates.iter().map(Vec::as_slice).collect();
+        let bank = StreamingMatchedFilterBank::new(&refs).unwrap();
+        assert_eq!(bank.len(), 3);
+        assert!(!bank.is_empty());
+        assert_eq!(bank.template_len(), 61);
+        assert_eq!(bank.block_len(), 256); // next_pow2(4 * 61)
+        assert_eq!(bank.step(), 256 - 61 + 1);
+        assert_eq!(bank.lead(), 0);
+        let mut scratch = DspScratch::new();
+        let mut lanes: Vec<Vec<f64>> = vec![Vec::new(); bank.len()];
+        bank.correlate_into(&signal, &mut scratch, &mut lanes)
+            .unwrap();
+        for (k, template) in templates.iter().enumerate() {
+            let mut padded = template.clone();
+            padded.resize(bank.template_len(), 0.0);
+            let single = StreamingMatchedFilter::with_block_len(&padded, bank.block_len()).unwrap();
+            let mut reference = Vec::new();
+            single
+                .correlate_into(&signal, &mut scratch, &mut reference)
+                .unwrap();
+            assert_eq!(
+                lanes[k], reference,
+                "lane {k} diverged from independent engine"
+            );
+            // Zero-padding leaves the energy untouched, so the
+            // normalized lane is bit-identical too.
+            assert_eq!(
+                bank.template_energy(k).unwrap(),
+                single.template_energy(),
+                "lane {k} energy"
+            );
+        }
+        let raw = lanes.clone();
+        bank.correlate_normalized_into(&signal, &mut scratch, &mut lanes)
+            .unwrap();
+        for (k, template) in templates.iter().enumerate() {
+            let mut padded = template.clone();
+            padded.resize(bank.template_len(), 0.0);
+            let single = StreamingMatchedFilter::with_block_len(&padded, bank.block_len()).unwrap();
+            let mut reference = Vec::new();
+            single
+                .correlate_normalized_into(&signal, &mut scratch, &mut reference)
+                .unwrap();
+            assert_eq!(lanes[k], reference, "normalized lane {k}");
+            assert_ne!(lanes[k], raw[k]);
+        }
+        assert!(bank.template_energy(3).is_none());
+    }
+
+    #[test]
+    fn bank_chunked_feed_is_bit_identical_to_one_shot() {
+        let (templates, signal) = bank_fixtures();
+        let refs: Vec<&[f64]> = templates.iter().map(Vec::as_slice).collect();
+        let bank = StreamingMatchedFilterBank::new(&refs).unwrap();
+        let mut scratch = DspScratch::new();
+        let mut reference: Vec<Vec<f64>> = vec![Vec::new(); bank.len()];
+        bank.correlate_into(&signal, &mut scratch, &mut reference)
+            .unwrap();
+        for sizes in [
+            &[1usize][..],
+            &[3, 7, 11][..],
+            &[256][..],
+            &[signal.len()][..],
+            &[255, 1, 513][..],
+        ] {
+            let mut feed = bank.chunk_feed();
+            let mut lanes: Vec<Vec<f64>> = vec![Vec::new(); bank.len()];
+            let mut pos = 0;
+            let mut i = 0;
+            while pos < signal.len() {
+                let n = sizes[i % sizes.len()].min(signal.len() - pos);
+                bank.push_chunk_into(&mut feed, &signal[pos..pos + n], &mut scratch, &mut lanes)
+                    .unwrap();
+                pos += n;
+                i += 1;
+            }
+            bank.finish_chunks_into(&mut feed, &mut scratch, &mut lanes)
+                .unwrap();
+            assert!(feed.is_finished());
+            assert_eq!(feed.pushed(), signal.len());
+            assert_eq!(feed.emitted(), signal.len());
+            assert_eq!(lanes, reference, "chunk sizes {sizes:?}");
+        }
+        // Normalized chunked flow matches the normalized one-shot.
+        let mut normalized: Vec<Vec<f64>> = vec![Vec::new(); bank.len()];
+        bank.correlate_normalized_into(&signal, &mut scratch, &mut normalized)
+            .unwrap();
+        let mut feed = bank.chunk_feed();
+        let mut lanes: Vec<Vec<f64>> = vec![Vec::new(); bank.len()];
+        for chunk in signal.chunks(97) {
+            bank.push_chunk_normalized_into(&mut feed, chunk, &mut scratch, &mut lanes)
+                .unwrap();
+        }
+        bank.finish_chunks_normalized_into(&mut feed, &mut scratch, &mut lanes)
+            .unwrap();
+        assert_eq!(lanes, normalized);
+    }
+
+    /// Folded-prefilter bank: each lane bit-identical to an independent
+    /// folded engine. Equal-length templates give both paths the same
+    /// geometry automatically.
+    #[test]
+    fn bank_folded_prefilters_match_independent_folded_engines() {
+        let templates: Vec<Vec<f64>> = [(0.40, 0.09), (0.23, 0.31), (0.57, 0.13), (0.71, 0.05)]
+            .iter()
+            .map(|&(a, b)| {
+                (0..48)
+                    .map(|i| (i as f64 * a).sin() - 0.3 * (i as f64 * b).cos())
+                    .collect()
+            })
+            .collect();
+        let signal: Vec<f64> = (0..1_900)
+            .map(|i| (i as f64 * 0.037).sin() * (i as f64 * 0.0011).cos())
+            .collect();
+        // Per-lane band-pass filters with distinct bands but one tap
+        // count (hence one group delay), like K beacon signatures.
+        let bands = [
+            (2_000.0, 3_000.0),
+            (3_200.0, 4_200.0),
+            (4_400.0, 5_400.0),
+            (5_600.0, 6_600.0),
+        ];
+        let taps: Vec<Vec<f64>> = bands
+            .iter()
+            .map(|&(lo, hi)| {
+                crate::filter::FirFilter::band_pass(lo, hi, 44_100.0, 31, Window::Hamming)
+                    .unwrap()
+                    .taps()
+                    .to_vec()
+            })
+            .collect();
+        let entries: Vec<(&[f64], &[f64])> = templates
+            .iter()
+            .zip(&taps)
+            .map(|(t, h)| (t.as_slice(), h.as_slice()))
+            .collect();
+        let bank = StreamingMatchedFilterBank::with_zero_phase_prefilters(&entries).unwrap();
+        assert_eq!(bank.lead(), 15);
+        assert_eq!(bank.template_len(), 48 + 31 - 1);
+        let mut scratch = DspScratch::new();
+        let mut lanes: Vec<Vec<f64>> = vec![Vec::new(); bank.len()];
+        bank.correlate_normalized_into(&signal, &mut scratch, &mut lanes)
+            .unwrap();
+        for (k, (template, tap)) in templates.iter().zip(&taps).enumerate() {
+            let single = StreamingMatchedFilter::with_zero_phase_prefilter(template, tap).unwrap();
+            assert_eq!(single.block_len(), bank.block_len());
+            assert_eq!(single.template_len(), bank.template_len());
+            let mut reference = Vec::new();
+            single
+                .correlate_normalized_into(&signal, &mut scratch, &mut reference)
+                .unwrap();
+            assert_eq!(lanes[k], reference, "folded lane {k}");
+        }
+        // Chunked folded bank honours the shared lead.
+        let mut feed = bank.chunk_feed();
+        let mut chunked: Vec<Vec<f64>> = vec![Vec::new(); bank.len()];
+        for chunk in signal.chunks(113) {
+            bank.push_chunk_normalized_into(&mut feed, chunk, &mut scratch, &mut chunked)
+                .unwrap();
+        }
+        bank.finish_chunks_normalized_into(&mut feed, &mut scratch, &mut chunked)
+            .unwrap();
+        assert_eq!(chunked, lanes);
+    }
+
+    /// The folded f64 single engine itself must reproduce band-pass →
+    /// correlate exactly (not just within f32 rounding): zero-phase
+    /// filter then correlate equals folded correlation at every full-
+    /// overlap lag.
+    #[test]
+    fn f64_folded_prefilter_matches_filter_then_correlate() {
+        let template: Vec<f64> = (0..61)
+            .map(|i| (i as f64 * 0.31).sin() * (1.0 - (i as f64 - 30.0).abs() / 31.0))
+            .collect();
+        let signal: Vec<f64> = (0..2_111)
+            .map(|i| (i as f64 * 0.037).sin() * (i as f64 * 0.0011).cos())
+            .collect();
+        let bp =
+            crate::filter::FirFilter::band_pass(2_000.0, 6_400.0, 44_100.0, 31, Window::Hamming)
+                .unwrap();
+        let filtered = bp.filter_zero_phase(&signal).unwrap();
+        let reference = xcorr(&filtered, &template).unwrap();
+        let folded =
+            StreamingMatchedFilter::with_zero_phase_prefilter(&template, bp.taps()).unwrap();
+        assert_eq!(folded.template_len(), template.len() + bp.taps().len() - 1);
+        let streamed = folded.correlate(&signal).unwrap();
+        assert_eq!(streamed.len(), reference.len());
+        let full = signal.len() - folded.template_len() + 1;
+        assert_bit_close(&streamed[..full], &reference[..full]);
+        // Degenerate folds are rejected.
+        assert!(StreamingMatchedFilter::with_zero_phase_prefilter(&[], bp.taps()).is_err());
+        assert!(StreamingMatchedFilter::with_zero_phase_prefilter(&template, &[]).is_err());
+        assert!(StreamingMatchedFilter::with_zero_phase_prefilter(&[0.0, 0.0], bp.taps()).is_err());
+    }
+
+    #[test]
+    fn bank_clone_shares_template_spectra() {
+        let (templates, _) = bank_fixtures();
+        let refs: Vec<&[f64]> = templates.iter().map(Vec::as_slice).collect();
+        let bank = StreamingMatchedFilterBank::new(&refs).unwrap();
+        assert_eq!(bank.template_fft_count(), 3);
+        let clone = bank.clone();
+        // A clone reuses the Arc'd spectra — no new template FFTs.
+        assert_eq!(clone.template_fft_count(), 3);
+        for (a, b) in bank.lanes.iter().zip(&clone.lanes) {
+            assert!(Arc::ptr_eq(&a.spec, &b.spec));
+        }
+        assert!(Arc::ptr_eq(&bank.plan, &clone.plan));
+    }
+
+    #[test]
+    fn bank_rejects_degenerate_inputs() {
+        assert!(StreamingMatchedFilterBank::new(&[]).is_err());
+        assert!(StreamingMatchedFilterBank::new(&[&[1.0, 2.0][..], &[][..]]).is_err());
+        assert!(StreamingMatchedFilterBank::new(&[&[1.0][..], &[0.0, 0.0][..]]).is_err());
+        assert!(StreamingMatchedFilterBank::with_block_len(&[&[1.0; 8][..]], 4).is_err());
+        assert!(StreamingMatchedFilterBank::with_block_len(&[&[1.0; 8][..]], 12).is_err());
+        // Mismatched prefilter group delays are rejected.
+        assert!(StreamingMatchedFilterBank::with_zero_phase_prefilters(&[
+            (&[1.0, 2.0][..], &[0.2, 0.6, 0.2][..]),
+            (&[1.0, 2.0][..], &[0.1, 0.2, 0.4, 0.2, 0.1][..]),
+        ])
+        .is_err());
+        assert!(StreamingMatchedFilterBank::with_zero_phase_prefilters(&[]).is_err());
+        assert!(
+            StreamingMatchedFilterBank::with_zero_phase_prefilters(&[(&[1.0][..], &[][..])])
+                .is_err()
+        );
+
+        let bank = StreamingMatchedFilterBank::new(&[&[1.0, 2.0][..], &[2.0, -1.0][..]]).unwrap();
+        let mut scratch = DspScratch::new();
+        let mut lanes: Vec<Vec<f64>> = vec![Vec::new(); 2];
+        assert!(bank.correlate_into(&[], &mut scratch, &mut lanes).is_err());
+        assert!(bank
+            .correlate_into(&[1.0], &mut scratch, &mut lanes)
+            .is_err());
+        // Mis-sized lane sets are rejected everywhere.
+        let mut short: Vec<Vec<f64>> = vec![Vec::new(); 1];
+        assert!(bank
+            .correlate_into(&[1.0; 16], &mut scratch, &mut short)
+            .is_err());
+        let mut feed = bank.chunk_feed();
+        assert!(bank
+            .push_chunk_into(&mut feed, &[1.0], &mut scratch, &mut short)
+            .is_err());
+        assert!(bank
+            .finish_chunks_into(&mut feed, &mut scratch, &mut short)
+            .is_err());
+        // Feed error mirroring: nothing pushed, short stream, foreign feed.
+        assert!(matches!(
+            bank.finish_chunks_into(&mut feed, &mut scratch, &mut lanes),
+            Err(DspError::EmptyInput { .. })
+        ));
+        bank.push_chunk_into(&mut feed, &[1.0], &mut scratch, &mut lanes)
+            .unwrap();
+        assert!(bank
+            .finish_chunks_into(&mut feed, &mut scratch, &mut lanes)
+            .is_err());
+        let other = StreamingMatchedFilterBank::new(&[&[1.0; 64][..]]).unwrap();
+        let mut foreign = other.chunk_feed();
+        let mut one: Vec<Vec<f64>> = vec![Vec::new(); 1];
+        assert!(other
+            .push_chunk_into(&mut feed, &[1.0], &mut scratch, &mut one)
+            .is_err());
+        assert!(bank
+            .push_chunk_into(&mut foreign, &[1.0], &mut scratch, &mut lanes)
+            .is_err());
+    }
+
+    #[test]
+    fn f32_bank_lanes_bit_identical_to_independent_f32_engines() {
+        let (templates, signal) = bank_fixtures();
+        let templates32: Vec<Vec<f32>> = templates
+            .iter()
+            .map(|t| t.iter().map(|&x| x as f32).collect())
+            .collect();
+        let signal32: Vec<f32> = signal.iter().map(|&x| x as f32).collect();
+        let refs: Vec<&[f32]> = templates32.iter().map(Vec::as_slice).collect();
+        let bank = StreamingMatchedFilterBank32::new(&refs).unwrap();
+        assert_eq!(bank.len(), 3);
+        assert!(!bank.is_empty());
+        assert_eq!(bank.template_len(), 61);
+        assert_eq!(bank.block_len(), 256);
+        assert_eq!(bank.step(), 196);
+        assert_eq!(bank.lead(), 0);
+        assert_eq!(bank.template_fft_count(), 3);
+        let mut scratch = DspScratch::new();
+        let mut lanes: Vec<Vec<f32>> = vec![Vec::new(); bank.len()];
+        bank.correlate_into(&signal32, &mut scratch, &mut lanes)
+            .unwrap();
+        for (k, template) in templates32.iter().enumerate() {
+            let mut padded = template.clone();
+            padded.resize(bank.template_len(), 0.0);
+            let single =
+                StreamingMatchedFilter32::with_block_len(&padded, bank.block_len()).unwrap();
+            let mut reference = Vec::new();
+            single
+                .correlate_into(&signal32, &mut scratch, &mut reference)
+                .unwrap();
+            assert_eq!(lanes[k], reference, "f32 lane {k}");
+        }
+        // Chunked f32 bank flow is bit-identical to the f32 one-shot.
+        let mut reference = lanes.clone();
+        bank.correlate_normalized_into(&signal32, &mut scratch, &mut reference)
+            .unwrap();
+        let mut feed = bank.chunk_feed();
+        let mut chunked: Vec<Vec<f32>> = vec![Vec::new(); bank.len()];
+        for chunk in signal32.chunks(131) {
+            bank.push_chunk_normalized_into(&mut feed, chunk, &mut scratch, &mut chunked)
+                .unwrap();
+        }
+        bank.finish_chunks_normalized_into(&mut feed, &mut scratch, &mut chunked)
+            .unwrap();
+        assert_eq!(chunked, reference);
+        // Raw chunked flow too.
+        feed.reset();
+        let mut raw: Vec<Vec<f32>> = vec![Vec::new(); bank.len()];
+        bank.push_chunk_into(&mut feed, &signal32, &mut scratch, &mut raw)
+            .unwrap();
+        bank.finish_chunks_into(&mut feed, &mut scratch, &mut raw)
+            .unwrap();
+        assert_eq!(raw, lanes);
+    }
+
+    #[test]
+    fn f32_bank_folded_prefilters_match_independent_folded_engines() {
+        let templates32: Vec<Vec<f32>> = [(0.40, 0.09), (0.23, 0.31)]
+            .iter()
+            .map(|&(a, b)| {
+                (0..48)
+                    .map(|i| ((i as f64 * a).sin() - 0.3 * (i as f64 * b).cos()) as f32)
+                    .collect()
+            })
+            .collect();
+        let signal32: Vec<f32> = (0..1_500)
+            .map(|i| ((i as f64 * 0.037).sin() * (i as f64 * 0.0011).cos()) as f32)
+            .collect();
+        let taps: Vec<Vec<f64>> = [(2_000.0, 3_000.0), (4_400.0, 5_400.0)]
+            .iter()
+            .map(|&(lo, hi)| {
+                crate::filter::FirFilter::band_pass(lo, hi, 44_100.0, 31, Window::Hamming)
+                    .unwrap()
+                    .taps()
+                    .to_vec()
+            })
+            .collect();
+        let entries: Vec<(&[f32], &[f64])> = templates32
+            .iter()
+            .zip(&taps)
+            .map(|(t, h)| (t.as_slice(), h.as_slice()))
+            .collect();
+        let bank = StreamingMatchedFilterBank32::with_zero_phase_prefilters(&entries).unwrap();
+        assert_eq!(bank.lead(), 15);
+        let mut scratch = DspScratch::new();
+        let mut lanes: Vec<Vec<f32>> = vec![Vec::new(); bank.len()];
+        bank.correlate_normalized_into(&signal32, &mut scratch, &mut lanes)
+            .unwrap();
+        for (k, (template, tap)) in templates32.iter().zip(&taps).enumerate() {
+            let single =
+                StreamingMatchedFilter32::with_zero_phase_prefilter(template, tap).unwrap();
+            assert_eq!(single.block_len(), bank.block_len());
+            assert_eq!(single.template_len(), bank.template_len());
+            let mut reference = Vec::new();
+            single
+                .correlate_normalized_into(&signal32, &mut scratch, &mut reference)
+                .unwrap();
+            assert_eq!(lanes[k], reference, "f32 folded lane {k}");
+        }
+        // Degenerate f32 bank inputs are rejected.
+        assert!(StreamingMatchedFilterBank32::new(&[]).is_err());
+        assert!(StreamingMatchedFilterBank32::new(&[&[][..]]).is_err());
+        assert!(StreamingMatchedFilterBank32::new(&[&[0.0, 0.0][..]]).is_err());
+        assert!(StreamingMatchedFilterBank32::with_zero_phase_prefilters(&[]).is_err());
+        assert!(StreamingMatchedFilterBank32::with_zero_phase_prefilters(&[
+            (&[1.0f32, 2.0][..], &[0.2, 0.6, 0.2][..]),
+            (&[1.0f32, 2.0][..], &[0.1, 0.2, 0.4, 0.2, 0.1][..]),
+        ])
+        .is_err());
     }
 }

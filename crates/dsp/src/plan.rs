@@ -1143,6 +1143,13 @@ pub struct DspScratch {
     pub f1_im: Vec<f32>,
     /// Single-precision real workspace (f32 overlap-save block outputs).
     pub r32: Vec<f32>,
+    /// Second single-precision half-spectrum pair, real plane. The f32
+    /// template-bank fan-out keeps the shared input spectrum in
+    /// `f1_re`/`f1_im` and stages each lane's conjugate product here,
+    /// because the split-plane inverse transform consumes its input.
+    pub f2_re: Vec<f32>,
+    /// Second single-precision half-spectrum pair, imaginary plane.
+    pub f2_im: Vec<f32>,
 }
 
 impl DspScratch {
@@ -1158,7 +1165,11 @@ impl DspScratch {
         self.c1.capacity() * std::mem::size_of::<Complex>()
             + self.c2.capacity() * std::mem::size_of::<Complex>()
             + self.r1.capacity() * std::mem::size_of::<f64>()
-            + (self.f1_re.capacity() + self.f1_im.capacity() + self.r32.capacity())
+            + (self.f1_re.capacity()
+                + self.f1_im.capacity()
+                + self.r32.capacity()
+                + self.f2_re.capacity()
+                + self.f2_im.capacity())
                 * std::mem::size_of::<f32>()
     }
 }

@@ -73,6 +73,20 @@ pub enum Fault {
         /// Peak burst amplitude in sample units.
         amplitude: f64,
     },
+    /// A rogue concurrent beacon: another deployment's chirp sweeping
+    /// the given band lands inside beacon slots on both channels —
+    /// exactly the cross-beacon interference a multi-beacon template
+    /// bank must reject by signature.
+    CrossBeaconInterference {
+        /// Per-slot probability of a rogue chirp, in `[0, 1]`.
+        probability: f64,
+        /// Rogue sweep's lower band edge, hertz.
+        f0: f64,
+        /// Rogue sweep's upper band edge, hertz.
+        f1: f64,
+        /// Rogue chirp peak amplitude in sample units.
+        amplitude: f64,
+    },
     /// A slowly growing accelerometer bias on the slide (y) axis — the
     /// uncompensated thermal drift the PDE's zero-velocity correction is
     /// supposed to absorb, here pushed past its design point.
@@ -108,6 +122,7 @@ impl Fault {
             Fault::MicGainImbalance { .. } => "mic-gain-imbalance",
             Fault::ChannelDropout { .. } => "channel-dropout",
             Fault::ImpulsiveBurst { .. } => "impulsive-burst",
+            Fault::CrossBeaconInterference { .. } => "cross-beacon-interference",
             Fault::ImuBiasDrift { .. } => "imu-bias-drift",
             Fault::ImuSaturation { .. } => "imu-saturation",
             Fault::ImuSampleGaps { .. } => "imu-sample-gaps",
@@ -136,6 +151,12 @@ impl Fault {
                 duration_ms,
             } => prob_ok(probability) && duration_ms > 0.0,
             Fault::ImpulsiveBurst { rate_hz, amplitude } => rate_hz >= 0.0 && amplitude > 0.0,
+            Fault::CrossBeaconInterference {
+                probability,
+                f0,
+                f1,
+                amplitude,
+            } => prob_ok(probability) && 0.0 < f0 && f0 < f1 && amplitude > 0.0,
             Fault::ImuBiasDrift { slope } => slope.is_finite(),
             Fault::ImuSaturation { limit } => limit > 0.0,
             Fault::ImuSampleGaps {
@@ -165,6 +186,8 @@ pub struct FaultLog {
     pub channel_dropouts: usize,
     /// Impulsive bursts added.
     pub bursts: usize,
+    /// Rogue cross-beacon chirps injected.
+    pub rogue_chirps: usize,
     /// IMU hold-last-value gaps.
     pub imu_gaps: usize,
     /// Accelerometer samples that hit the saturation clamp.
@@ -404,6 +427,45 @@ fn apply_one(fault: Fault, rec: &mut Recording, rng: &mut SimRng, log: &mut Faul
                 log.bursts += 1;
             }
         }
+        Fault::CrossBeaconInterference {
+            probability,
+            f0,
+            f1,
+            amplitude,
+        } => {
+            let (period, n) = beacon_slots(rec);
+            let fs = rec.audio.sample_rate;
+            // The rogue deployment plays the paper's 40 ms chirp length.
+            let len = (0.04 * fs) as usize;
+            let dur = len as f64 / fs;
+            for k in 0..n {
+                if rng.uniform() >= probability {
+                    continue;
+                }
+                let (s, e) = slot_sample_range(rec, period, k);
+                if e <= s {
+                    continue;
+                }
+                let at = s + rng.index(e - s);
+                let scale = amplitude * rng.uniform_in(0.6, 1.0);
+                // Like a nearby source, the rogue chirp hits both channels
+                // at the same instant — zero TDoA, maximal confusion if a
+                // detector locks onto it.
+                for channel in [&mut rec.audio.left, &mut rec.audio.right] {
+                    for i in 0..len {
+                        let Some(v) = channel.get_mut(at + i) else {
+                            break;
+                        };
+                        let t = i as f64 / fs;
+                        let phase =
+                            2.0 * std::f64::consts::PI * (f0 * t + 0.5 * (f1 - f0) / dur * t * t);
+                        let window = (std::f64::consts::PI * i as f64 / len as f64).sin();
+                        *v += scale * window * phase.sin();
+                    }
+                }
+                log.rogue_chirps += 1;
+            }
+        }
         Fault::ImuBiasDrift { slope } => {
             let fs = rec.imu.sample_rate;
             for (i, a) in rec.imu.accel.iter_mut().enumerate() {
@@ -479,6 +541,12 @@ pub fn matrix(intensity: f64) -> Vec<Fault> {
         Fault::ImpulsiveBurst {
             rate_hz: 3.0 * s,
             amplitude: 0.25,
+        },
+        Fault::CrossBeaconInterference {
+            probability: 0.45 * s,
+            f0: 2_000.0,
+            f1: 6_400.0,
+            amplitude: 0.2,
         },
         Fault::ImuBiasDrift { slope: 0.06 * s },
         Fault::ImuSaturation {
@@ -613,6 +681,7 @@ mod tests {
         assert_eq!(log.beacons_dropped, 0);
         assert_eq!(log.multipath_echoes, 0);
         assert_eq!(log.bursts, 0);
+        assert_eq!(log.rogue_chirps, 0);
         assert_eq!(log.imu_gaps, 0);
         assert_eq!(log.saturated_samples, 0);
         // Gain at 0 dB and drift at slope 0 leave the data bit-identical.
@@ -633,6 +702,28 @@ mod tests {
             for v in rec.audio.left.iter().chain(rec.audio.right.iter()) {
                 assert!(v.is_finite());
             }
+        }
+    }
+
+    #[test]
+    fn cross_beacon_interference_injects_rogue_chirps() {
+        let clean = render();
+        let mut rec = clean.clone();
+        let plan = FaultPlan::new(4).with(Fault::CrossBeaconInterference {
+            probability: 1.0,
+            f0: 3_000.0,
+            f1: 4_000.0,
+            amplitude: 0.3,
+        });
+        let log = plan.apply(&mut rec).unwrap();
+        assert!(log.rogue_chirps > 10, "{log:?}");
+        assert_ne!(rec.audio.left, clean.audio.left);
+        assert_ne!(rec.audio.right, clean.audio.right);
+        // Additive interference only — the beacon underneath survives.
+        let energy = |s: &[f64]| s.iter().map(|v| v * v).sum::<f64>();
+        assert!(energy(&rec.audio.left) > energy(&clean.audio.left));
+        for v in rec.audio.left.iter().chain(rec.audio.right.iter()) {
+            assert!(v.is_finite());
         }
     }
 
@@ -659,6 +750,12 @@ mod tests {
             },
             Fault::ImpulsiveBurst {
                 rate_hz: -1.0,
+                amplitude: 0.2,
+            },
+            Fault::CrossBeaconInterference {
+                probability: 0.5,
+                f0: 4_000.0,
+                f1: 3_000.0,
                 amplitude: 0.2,
             },
             Fault::ImuSaturation { limit: 0.0 },

@@ -89,11 +89,28 @@ pub struct ArrayRecording {
     pub truth: GroundTruth,
 }
 
+/// A concurrent co-speaker: its own beacon source sharing the air with
+/// the primary speaker, placed broadside of the slide line at its own
+/// range. Multi-beacon scenes give each co-speaker a distinct chirp
+/// signature (see [`SpeakerModel::with_signature`]) so the pipeline's
+/// template bank can tell the sources apart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoSpeaker {
+    /// The co-speaker's beacon source configuration.
+    pub speaker: SpeakerModel,
+    /// Horizontal distance from the slide line to this co-speaker,
+    /// metres.
+    pub range: f64,
+}
+
 /// Everything the simulator knows that the pipeline must *estimate*.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GroundTruth {
     /// Speaker position, world frame.
     pub speaker_position: Vec3,
+    /// Co-speaker positions, world frame, in configuration order (empty
+    /// for single-beacon scenes).
+    pub co_speaker_positions: Vec<Vec3>,
     /// The full true phone motion (slide windows, true distances, sway).
     pub motion: PhoneMotion,
     /// Horizontal (floor-map) perpendicular distance from the slide line
@@ -161,6 +178,7 @@ pub struct ScenarioBuilder {
     slide_duration: f64,
     hold_duration: f64,
     direct_path_attenuation_db: f64,
+    co_speakers: Vec<CoSpeaker>,
     seed: u64,
 }
 
@@ -186,6 +204,7 @@ impl ScenarioBuilder {
             slide_duration: 0.8,
             hold_duration: 1.2,
             direct_path_attenuation_db: 0.0,
+            co_speakers: Vec::new(),
             seed: 0,
         }
     }
@@ -299,6 +318,21 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Adds a concurrent co-speaker at its own broadside range: a second
+    /// beacon source sharing the air with the primary speaker, for
+    /// multi-beacon scenes. Call repeatedly for K > 2 beacons; each
+    /// co-speaker gets its own emission phase (an independent RNG fork,
+    /// so single-speaker seeds render bit-identically). Pair with
+    /// [`SpeakerModel::with_signature`] so the sources are separable.
+    #[must_use]
+    pub fn co_speaker(mut self, speaker: SpeakerModel, range_m: f64) -> Self {
+        self.co_speakers.push(CoSpeaker {
+            speaker,
+            range: range_m,
+        });
+        self
+    }
+
     /// Seed for every stochastic element of the render.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
@@ -346,7 +380,12 @@ impl ScenarioBuilder {
         let mut noise_rng_l = rng.fork("noise-left");
         let mut noise_rng_r = rng.fork("noise-right");
         let mut phase_rng = rng.fork("phase");
-        let scene = self.prepare(ctx, &mut motion_rng, &mut phase_rng)?;
+        // Co-speaker phase forks come after the stereo five, so
+        // single-speaker scenes are untouched by this feature existing.
+        let mut co_phase_rngs: Vec<SimRng> = (0..self.co_speakers.len())
+            .map(|k| rng.fork(&format!("phase-co{k}")))
+            .collect();
+        let scene = self.prepare(ctx, &mut motion_rng, &mut phase_rng, &mut co_phase_rngs)?;
         let fs_nominal = self.phone.audio_sample_rate;
         let clean_left = scene.clean_channel(&|t| scene.motion.mic1_position(t))?;
         let clean_right = scene.clean_channel(&|t| scene.motion.mic2_position(t))?;
@@ -371,7 +410,7 @@ impl ScenarioBuilder {
             self.phone.imu_sample_rate,
             &mut imu_rng,
         )?;
-        let truth = self.ground_truth(scene.speaker_position, scene.motion);
+        let truth = self.ground_truth(scene.speaker_position, scene.co_positions, scene.motion);
         Ok(Recording {
             phone: self.phone.clone(),
             speaker: self.speaker.clone(),
@@ -443,13 +482,19 @@ impl ScenarioBuilder {
         let mut noise_rng_l = rng.fork("noise-left");
         let mut noise_rng_r = rng.fork("noise-right");
         let mut phase_rng = rng.fork("phase");
-        // Extra-channel noise forks come after the stereo five, so the
-        // first five streams — and with them channels 0/1 — match the
-        // stereo render bit for bit.
+        // Co-speaker phase forks come after the stereo five — the same
+        // order as the stereo path, so a multi-beacon array render's
+        // channels 0/1 still match the stereo render bit for bit.
+        let mut co_phase_rngs: Vec<SimRng> = (0..self.co_speakers.len())
+            .map(|k| rng.fork(&format!("phase-co{k}")))
+            .collect();
+        // Extra-channel noise forks come last, so the earlier streams —
+        // and with them channels 0/1 — match the stereo render bit for
+        // bit.
         let mut extra_rngs: Vec<SimRng> = (2..array.len())
             .map(|k| rng.fork(&format!("noise-ch{k}")))
             .collect();
-        let scene = self.prepare(ctx, &mut motion_rng, &mut phase_rng)?;
+        let scene = self.prepare(ctx, &mut motion_rng, &mut phase_rng, &mut co_phase_rngs)?;
         let fs_nominal = self.phone.audio_sample_rate;
         let mut channels = Vec::with_capacity(array.len());
         for k in 0..array.len() {
@@ -481,7 +526,7 @@ impl ScenarioBuilder {
             self.phone.imu_sample_rate,
             &mut imu_rng,
         )?;
-        let truth = self.ground_truth(scene.speaker_position, scene.motion);
+        let truth = self.ground_truth(scene.speaker_position, scene.co_positions, scene.motion);
         Ok(ArrayRecording {
             phone: self.phone.clone(),
             array: *array,
@@ -505,6 +550,7 @@ impl ScenarioBuilder {
         ctx: &mut RenderContext,
         motion_rng: &mut SimRng,
         phase_rng: &mut SimRng,
+        co_phase_rngs: &mut [SimRng],
     ) -> Result<PreparedScene, SimError> {
         self.phone.validate()?;
         self.speaker.validate(self.phone.audio_sample_rate)?;
@@ -514,6 +560,19 @@ impl ScenarioBuilder {
                 "speaker_range",
                 format!("must be within [0.2, 30] m, got {}", self.speaker_range),
             ));
+        }
+        debug_assert_eq!(co_phase_rngs.len(), self.co_speakers.len());
+        for (k, co) in self.co_speakers.iter().enumerate() {
+            co.speaker.validate(self.phone.audio_sample_rate)?;
+            if !(0.2..=30.0).contains(&co.range) {
+                return Err(SimError::invalid(
+                    "co_speakers",
+                    format!(
+                        "co-speaker {k} range must be within [0.2, 30] m, got {}",
+                        co.range
+                    ),
+                ));
+            }
         }
 
         // ---- Geometry: place the slide line and the speaker. -----------
@@ -538,6 +597,24 @@ impl ScenarioBuilder {
             room.validate_point(speaker_position, "speaker_position")?;
             room.validate_point(line_start, "phone start")?;
         }
+        // Co-speakers sit broadside of the slide line like the primary,
+        // each at its own range and stature.
+        let co_positions: Vec<Vec3> = self
+            .co_speakers
+            .iter()
+            .map(|co| {
+                Vec3::new(
+                    speaker_position.x,
+                    speaker_y_origin + co.range,
+                    speaker_stature,
+                )
+            })
+            .collect();
+        if let Some(room) = &self.environment.room {
+            for p in &co_positions {
+                room.validate_point(*p, "co_speaker position")?;
+            }
+        }
 
         // ---- Motion. ----------------------------------------------------
         let motion =
@@ -559,19 +636,71 @@ impl ScenarioBuilder {
                 ),
             ));
         }
+        // The primary source first (same RNG draw order as ever), then
+        // each co-speaker against its own phase fork. The obstruction
+        // knob models something between the *user* and the primary
+        // speaker, so it attenuates the primary's direct path only.
+        let mut sources = Vec::with_capacity(1 + self.co_speakers.len());
+        sources.push(self.source_scene(
+            &self.speaker,
+            speaker_position,
+            self.direct_path_attenuation_db,
+            motion.total_duration,
+            ctx,
+            phase_rng,
+        )?);
+        for ((co, position), rng) in self
+            .co_speakers
+            .iter()
+            .zip(&co_positions)
+            .zip(co_phase_rngs.iter_mut())
+        {
+            sources.push(self.source_scene(
+                &co.speaker,
+                *position,
+                0.0,
+                motion.total_duration,
+                ctx,
+                rng,
+            )?);
+        }
+        let fs_effective = self.phone.effective_sample_rate();
+        let out_len = (motion.total_duration * self.phone.audio_sample_rate).ceil() as usize;
+        Ok(PreparedScene {
+            speaker_position,
+            co_positions,
+            motion,
+            sources,
+            fs_effective,
+            out_len,
+        })
+    }
+
+    /// Renders one source's acoustics: its image-source (or free-field)
+    /// propagation paths, the mic-shaped beacon waveform, and the
+    /// emission schedule drawn from `phase_rng`.
+    fn source_scene(
+        &self,
+        speaker: &SpeakerModel,
+        position: Vec3,
+        direct_attenuation_db: f64,
+        total_duration: f64,
+        ctx: &mut RenderContext,
+        phase_rng: &mut SimRng,
+    ) -> Result<SourceScene, SimError> {
         let mut paths: Vec<PropagationPath> = match &self.environment.room {
-            Some(room) => room.image_sources(speaker_position)?,
-            None => free_field(speaker_position),
+            Some(room) => room.image_sources(position)?,
+            None => free_field(position),
         };
-        if self.direct_path_attenuation_db > 0.0 {
-            let k = 10f64.powf(-self.direct_path_attenuation_db / 20.0);
+        if direct_attenuation_db > 0.0 {
+            let k = 10f64.powf(-direct_attenuation_db / 20.0);
             for p in &mut paths {
                 if p.order == 0 {
                     p.gain *= k;
                 }
             }
         }
-        let chirp = self.speaker.reference_chirp(self.phone.audio_sample_rate)?;
+        let chirp = speaker.reference_chirp(self.phone.audio_sample_rate)?;
         // Pre-distort the beacon by the microphone's frequency response
         // (flat for the audible beacon; droops for near-ultrasonic ones).
         let chirp_samples = apply_mic_response_with(
@@ -581,11 +710,11 @@ impl ScenarioBuilder {
             &mut ctx.plans,
             &mut ctx.scratch,
         )?;
-        let phase = phase_rng.uniform_in(0.0, self.speaker.period);
-        let n_beacons = self.speaker.beacons_within(motion.total_duration) + 1;
+        let phase = phase_rng.uniform_in(0.0, speaker.period);
+        let n_beacons = speaker.beacons_within(total_duration) + 1;
         let emissions: Vec<f64> = (0..n_beacons)
-            .map(|k| phase + self.speaker.emission_time(k))
-            .filter(|&t| t + self.speaker.chirp_duration < motion.total_duration)
+            .map(|k| phase + speaker.emission_time(k))
+            .filter(|&t| t + speaker.chirp_duration < total_duration)
             .collect();
         if emissions.is_empty() {
             return Err(SimError::invalid(
@@ -593,27 +722,27 @@ impl ScenarioBuilder {
                 "session too short to contain a single beacon",
             ));
         }
-        let fs_effective = self.phone.effective_sample_rate();
-        let out_len = (motion.total_duration * self.phone.audio_sample_rate).ceil() as usize;
-        Ok(PreparedScene {
-            speaker_position,
-            motion,
+        Ok(SourceScene {
             paths,
             chirp_samples,
             emissions,
-            fs_effective,
-            out_len,
-            amplitude: self.speaker.amplitude_at_1m,
+            amplitude: speaker.amplitude_at_1m,
         })
     }
 
     /// The ground truth for a prepared scene (consumes the motion).
-    fn ground_truth(&self, speaker_position: Vec3, motion: PhoneMotion) -> GroundTruth {
+    fn ground_truth(
+        &self,
+        speaker_position: Vec3,
+        co_speaker_positions: Vec<Vec3>,
+        motion: PhoneMotion,
+    ) -> GroundTruth {
         let dz_upper = speaker_position.z - self.phone_stature;
         let dz_lower = speaker_position.z - (self.phone_stature - self.stature_drop);
         let ground = self.speaker_range;
         GroundTruth {
             speaker_position,
+            co_speaker_positions,
             motion,
             ground_distance: ground,
             slant_distance_upper: (ground * ground + dz_upper * dz_upper).sqrt(),
@@ -631,33 +760,55 @@ impl ScenarioBuilder {
     }
 }
 
-/// Everything a channel render needs, prepared once per scenario and
-/// shared by the stereo and array paths.
-struct PreparedScene {
-    speaker_position: Vec3,
-    motion: PhoneMotion,
+/// One source's share of a prepared scene: propagation paths, the
+/// mic-shaped beacon waveform, and the emission schedule.
+struct SourceScene {
     paths: Vec<PropagationPath>,
     chirp_samples: Vec<f64>,
     emissions: Vec<f64>,
+    amplitude: f64,
+}
+
+/// Everything a channel render needs, prepared once per scenario and
+/// shared by the stereo and array paths. `sources[0]` is the primary
+/// speaker; any co-speakers follow in configuration order.
+struct PreparedScene {
+    speaker_position: Vec3,
+    co_positions: Vec<Vec3>,
+    motion: PhoneMotion,
+    sources: Vec<SourceScene>,
     fs_effective: f64,
     out_len: usize,
-    amplitude: f64,
 }
 
 impl PreparedScene {
     /// Renders one clean (noise-free, unquantized) channel for a
-    /// microphone trajectory.
+    /// microphone trajectory: every source's contribution summed at the
+    /// mic. Single-source scenes take the first render verbatim, so
+    /// existing seeds are bit-identical to the pre-co-speaker renderer.
     fn clean_channel(&self, mic: &dyn Fn(f64) -> Vec3) -> Result<Vec<f64>, SimError> {
-        render_clean_channel(
-            &self.chirp_samples,
-            &self.emissions,
-            &self.paths,
-            mic,
-            self.fs_effective,
-            SPEED_OF_SOUND,
-            self.amplitude,
-            self.out_len,
-        )
+        let mut out: Option<Vec<f64>> = None;
+        for source in &self.sources {
+            let contribution = render_clean_channel(
+                &source.chirp_samples,
+                &source.emissions,
+                &source.paths,
+                mic,
+                self.fs_effective,
+                SPEED_OF_SOUND,
+                source.amplitude,
+                self.out_len,
+            )?;
+            match &mut out {
+                None => out = Some(contribution),
+                Some(acc) => {
+                    for (a, c) in acc.iter_mut().zip(&contribution) {
+                        *a += c;
+                    }
+                }
+            }
+        }
+        Ok(out.expect("prepared scene always holds the primary source"))
     }
 }
 
@@ -877,6 +1028,79 @@ mod tests {
         assert!(ScenarioBuilder::new(PhoneModel::galaxy_s4())
             .direct_path_attenuation_db(-3.0)
             .slides(1)
+            .render()
+            .is_err());
+    }
+
+    #[test]
+    fn co_speaker_adds_a_second_source_without_touching_the_rest() {
+        let solo = quick_builder().render().unwrap();
+        let duet = quick_builder()
+            .co_speaker(SpeakerModel::new().with_signature(1, 2), 4.0)
+            .render()
+            .unwrap();
+        // Motion, IMU and noise draw from forks taken before the
+        // co-speaker phase fork, so only the audio gains energy.
+        assert_eq!(duet.imu, solo.imu);
+        assert_eq!(duet.truth.motion, solo.truth.motion);
+        assert_eq!(duet.audio.left.len(), solo.audio.left.len());
+        assert_ne!(duet.audio.left, solo.audio.left);
+        let energy = |s: &[f64]| s.iter().map(|v| v * v).sum::<f64>();
+        assert!(energy(&duet.audio.left) > energy(&solo.audio.left));
+        // Ground truth records where the co-speaker sits: broadside like
+        // the primary, at its own range (anechoic ⇒ y origin 0).
+        assert_eq!(duet.truth.co_speaker_positions.len(), 1);
+        let co = duet.truth.co_speaker_positions[0];
+        assert_eq!(co.x, duet.truth.speaker_position.x);
+        assert!((co.y - 4.0).abs() < 1e-12);
+        assert_eq!(co.z, duet.truth.speaker_position.z);
+        assert!(solo.truth.co_speaker_positions.is_empty());
+    }
+
+    #[test]
+    fn co_speaker_renders_are_deterministic_and_seed_sensitive() {
+        let build = || {
+            quick_builder()
+                .co_speaker(SpeakerModel::new().with_signature(1, 3), 2.0)
+                .co_speaker(SpeakerModel::new().with_signature(2, 3), 5.0)
+        };
+        let a = build().render().unwrap();
+        let b = build().render().unwrap();
+        assert_eq!(a, b);
+        let c = build().seed(2).render().unwrap();
+        assert_ne!(a.audio.left, c.audio.left);
+        assert_eq!(a.truth.co_speaker_positions.len(), 2);
+    }
+
+    #[test]
+    fn array_channels_still_match_stereo_with_co_speakers() {
+        let builder = quick_builder().co_speaker(SpeakerModel::new().with_signature(1, 2), 3.5);
+        let stereo = builder.render().unwrap();
+        let array = builder
+            .render_array(&MicArray::two_mic(PhoneModel::galaxy_s4().mic_separation))
+            .unwrap();
+        // The co-speaker phase fork sits before the extra-channel noise
+        // forks in both paths, so the stereo compatibility contract
+        // survives multi-beacon scenes.
+        assert_eq!(array.audio.channels[0], stereo.audio.left);
+        assert_eq!(array.audio.channels[1], stereo.audio.right);
+    }
+
+    #[test]
+    fn co_speaker_configuration_is_validated() {
+        assert!(quick_builder()
+            .co_speaker(SpeakerModel::new(), 0.0)
+            .render()
+            .is_err());
+        let mut bad = SpeakerModel::new();
+        bad.chirp_f0 = 0.0;
+        assert!(quick_builder().co_speaker(bad, 3.0).render().is_err());
+        // Inside a room, a co-speaker must also fit in the room.
+        assert!(ScenarioBuilder::new(PhoneModel::galaxy_s4())
+            .environment(Environment::room_quiet())
+            .speaker_range(3.0)
+            .slides(1)
+            .co_speaker(SpeakerModel::new(), 29.9)
             .render()
             .is_err());
     }

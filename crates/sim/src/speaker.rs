@@ -26,6 +26,9 @@ pub struct SpeakerModel {
     pub clock_ppm: f64,
     /// Source amplitude at 1 m, linear full-scale units.
     pub amplitude_at_1m: f64,
+    /// Frequency-sweep shape of the emitted chirp. Multi-beacon scenes
+    /// give each co-located speaker a distinct band/shape signature.
+    pub chirp_shape: ChirpShape,
 }
 
 impl Default for SpeakerModel {
@@ -37,6 +40,7 @@ impl Default for SpeakerModel {
             period: Chirp::HYPEREAR_PERIOD,
             clock_ppm: 23.0,
             amplitude_at_1m: 0.25,
+            chirp_shape: ChirpShape::UpDown,
         }
     }
 }
@@ -153,8 +157,37 @@ impl SpeakerModel {
             self.chirp_f1,
             self.chirp_duration,
             sample_rate,
-            ChirpShape::UpDown,
+            self.chirp_shape,
         )?)
+    }
+
+    /// The speaker for beacon signature `k` of a K-beacon deployment:
+    /// half-overlapping sub-bands of this speaker's chirp band (width
+    /// `2·span/(K+1)`, hop `span/(K+1)`) with alternating up/down sweeps
+    /// — the simulator-side mirror of the pipeline's
+    /// `MultiBeaconConfig::distinct_bands`. The overlap keeps every
+    /// sub-band wide enough that matched-filter peaks don't slip
+    /// between carrier ridges, while the alternating sweep directions
+    /// keep overlapping neighbours quasi-orthogonal. `k = 0` of 1
+    /// returns the speaker unchanged.
+    #[must_use]
+    pub fn with_signature(&self, k: usize, beacons: usize) -> Self {
+        let beacons = beacons.max(1);
+        let k = k.min(beacons - 1);
+        if beacons == 1 {
+            return self.clone();
+        }
+        let hop = (self.chirp_f1 - self.chirp_f0) / (beacons + 1) as f64;
+        SpeakerModel {
+            chirp_f0: self.chirp_f0 + k as f64 * hop,
+            chirp_f1: self.chirp_f0 + (k + 2) as f64 * hop,
+            chirp_shape: if k.is_multiple_of(2) {
+                ChirpShape::Up
+            } else {
+                ChirpShape::Down
+            },
+            ..self.clone()
+        }
     }
 }
 
@@ -204,6 +237,31 @@ mod tests {
         assert!(s.chirp_f1 < 22_050.0);
         let c = s.reference_chirp(44_100.0).unwrap();
         assert_eq!(c.samples().len(), (0.06 * 44_100.0) as usize);
+    }
+
+    #[test]
+    fn with_signature_partitions_the_band_with_alternating_sweeps() {
+        let base = SpeakerModel::new(); // 2000–6400 Hz, hop 880 for K=4
+        assert_eq!(base.with_signature(0, 1), base);
+        let sigs: Vec<SpeakerModel> = (0..4).map(|k| base.with_signature(k, 4)).collect();
+        for (k, s) in sigs.iter().enumerate() {
+            assert!(s.validate(44_100.0).is_ok(), "signature {k}");
+            assert!((s.chirp_f0 - (2_000.0 + k as f64 * 880.0)).abs() < 1e-9);
+            assert!((s.chirp_f1 - s.chirp_f0 - 1_760.0).abs() < 1e-9);
+            assert!(s.chirp_f1 <= base.chirp_f1 + 1e-9);
+            let expect = if k.is_multiple_of(2) {
+                ChirpShape::Up
+            } else {
+                ChirpShape::Down
+            };
+            assert_eq!(s.chirp_shape, expect);
+            // Untouched fields ride along.
+            assert_eq!(s.period, base.period);
+            assert_eq!(s.clock_ppm, base.clock_ppm);
+        }
+        // The signature shape reaches the synthesized chirp.
+        let c = sigs[1].reference_chirp(44_100.0).unwrap();
+        assert_eq!(c.samples().len(), 1764);
     }
 
     #[test]

@@ -61,8 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // buffer so the timed batch below runs allocation-free.
     let mut batch = BatchEngine::from_env(HyperEarConfig::galaxy_s4())?;
     batch.warm(&inputs[..1]);
+    let mut outcomes = Vec::new();
     let batch_start = Instant::now();
-    let outcomes = batch.run_batch(&inputs);
+    batch.run_batch_into(&inputs, &mut outcomes);
     let batch_time = batch_start.elapsed();
 
     println!("seed   outcome    estimated range   true slant    error");

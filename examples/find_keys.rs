@@ -10,7 +10,7 @@
 //! protocol; the pipeline reports where on the floor map the keys are.
 
 use hyperear::config::HyperEarConfig;
-use hyperear::pipeline::{HyperEar, SessionInput};
+use hyperear::pipeline::{HyperEar, SessionInput, SessionResult};
 use hyperear::sdf::{find_crossings, guidance, Guidance, RollObservation};
 use hyperear_sim::environment::Environment;
 use hyperear_sim::phone::PhoneModel;
@@ -69,15 +69,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .stature_drop(0.4)
         .seed(4242)
         .render()?;
-    let engine = HyperEar::new(HyperEarConfig::galaxy_s4())?;
-    let result = engine.run(&SessionInput {
-        audio_sample_rate: recording.audio.sample_rate,
-        left: &recording.audio.left,
-        right: &recording.audio.right,
-        imu_sample_rate: recording.imu.sample_rate,
-        accel: &recording.imu.accel,
-        gyro: &recording.imu.gyro,
-    })?;
+    let mut engine = HyperEar::new(HyperEarConfig::galaxy_s4())?.engine();
+    let mut result = SessionResult::empty();
+    engine.run_into(
+        &SessionInput {
+            audio_sample_rate: recording.audio.sample_rate,
+            left: &recording.audio.left,
+            right: &recording.audio.right,
+            imu_sample_rate: recording.imu.sample_rate,
+            accel: &recording.imu.accel,
+            gyro: &recording.imu.gyro,
+        },
+        &mut result,
+    )?;
 
     let projected = result.projected.ok_or("no projected estimate")?;
     println!(

@@ -14,7 +14,7 @@ use hyperear::config::HyperEarConfig;
 use hyperear::guide::{Instruction, SessionGuide};
 use hyperear::imu::analyze::{analyze_session, SessionConfig, SlideEstimate};
 use hyperear::imu::segment::Segment;
-use hyperear::pipeline::{HyperEar, SessionInput};
+use hyperear::pipeline::{HyperEar, SessionInput, SessionResult};
 use hyperear_sim::environment::Environment;
 use hyperear_sim::phone::PhoneModel;
 use hyperear_sim::scenario::{rotation_sweep, ScenarioBuilder};
@@ -95,14 +95,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- The pipeline crunches the recording. ------------------------------
-    let result = HyperEar::new(HyperEarConfig::galaxy_s4())?.run(&SessionInput {
-        audio_sample_rate: rec.audio.sample_rate,
-        left: &rec.audio.left,
-        right: &rec.audio.right,
-        imu_sample_rate: rec.imu.sample_rate,
-        accel: &rec.imu.accel,
-        gyro: &rec.imu.gyro,
-    })?;
+    let mut engine = HyperEar::new(HyperEarConfig::galaxy_s4())?.engine();
+    let mut result = SessionResult::empty();
+    engine.run_into(
+        &SessionInput {
+            audio_sample_rate: rec.audio.sample_rate,
+            left: &rec.audio.left,
+            right: &rec.audio.right,
+            imu_sample_rate: rec.imu.sample_rate,
+            accel: &rec.imu.accel,
+            gyro: &rec.imu.gyro,
+        },
+        &mut result,
+    )?;
     let estimate = result.upper.ok_or("no estimate")?;
     println!(
         "\nTag located {:.2} m ahead (truth {:.2} m, error {:.1} cm).",

@@ -10,14 +10,17 @@
 //! noise progressively erode accuracy.
 
 use hyperear::config::HyperEarConfig;
-use hyperear::pipeline::{HyperEar, SessionInput};
+use hyperear::pipeline::{HyperEar, SessionInput, SessionResult};
 use hyperear_sim::environment::Environment;
 use hyperear_sim::phone::PhoneModel;
 use hyperear_sim::scenario::ScenarioBuilder;
 use hyperear_sim::volunteer::roster;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let engine = HyperEar::new(HyperEarConfig::galaxy_s4())?;
+    // One warm engine across all four environments, processing into a
+    // reused result whose slide storage is scavenged between sessions.
+    let mut engine = HyperEar::new(HyperEarConfig::galaxy_s4())?.engine();
+    let mut result = SessionResult::empty();
     let user = &roster()[0];
     println!("Localizing a tag 7 m away across environments (3D, in hand):\n");
     for (i, environment) in Environment::fig19_set().into_iter().enumerate() {
@@ -31,16 +34,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .stature_drop(0.4)
             .seed(9_000 + i as u64)
             .render()?;
-        let outcome = engine.run(&SessionInput {
-            audio_sample_rate: recording.audio.sample_rate,
-            left: &recording.audio.left,
-            right: &recording.audio.right,
-            imu_sample_rate: recording.imu.sample_rate,
-            accel: &recording.imu.accel,
-            gyro: &recording.imu.gyro,
-        });
+        let outcome = engine.run_into(
+            &SessionInput {
+                audio_sample_rate: recording.audio.sample_rate,
+                left: &recording.audio.left,
+                right: &recording.audio.right,
+                imu_sample_rate: recording.imu.sample_rate,
+                accel: &recording.imu.accel,
+                gyro: &recording.imu.gyro,
+            },
+            &mut result,
+        );
         match outcome {
-            Ok(result) => {
+            Ok(()) => {
                 let range = result.best_range().unwrap_or(f64::NAN);
                 let usable = result.slides.iter().filter(|s| s.fix.is_some()).count();
                 println!(

@@ -11,7 +11,7 @@
 //! infrastructure.
 
 use hyperear::config::HyperEarConfig;
-use hyperear::pipeline::{HyperEar, SessionInput};
+use hyperear::pipeline::{HyperEar, SessionInput, SessionResult};
 use hyperear_sim::environment::Environment;
 use hyperear_sim::phone::PhoneModel;
 use hyperear_sim::scenario::ScenarioBuilder;
@@ -30,16 +30,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         recording.imu.len()
     );
 
-    // 2. Run the HyperEar pipeline exactly as a phone app would.
-    let engine = HyperEar::new(HyperEarConfig::galaxy_s4())?;
-    let result = engine.run(&SessionInput {
-        audio_sample_rate: recording.audio.sample_rate,
-        left: &recording.audio.left,
-        right: &recording.audio.right,
-        imu_sample_rate: recording.imu.sample_rate,
-        accel: &recording.imu.accel,
-        gyro: &recording.imu.gyro,
-    })?;
+    // 2. Run the HyperEar pipeline exactly as a phone app would: build
+    //    a reusable engine once, then process sessions into a caller-
+    //    owned result (the allocation-free steady state of a real app).
+    let mut engine = HyperEar::new(HyperEarConfig::galaxy_s4())?.engine();
+    let mut result = SessionResult::empty();
+    engine.run_into(
+        &SessionInput {
+            audio_sample_rate: recording.audio.sample_rate,
+            left: &recording.audio.left,
+            right: &recording.audio.right,
+            imu_sample_rate: recording.imu.sample_rate,
+            accel: &recording.imu.accel,
+            gyro: &recording.imu.gyro,
+        },
+        &mut result,
+    )?;
 
     // 3. Report.
     println!(

@@ -10,14 +10,18 @@
 
 use hyperear::baseline::{naive_two_position_error, NaiveConfig};
 use hyperear::config::HyperEarConfig;
-use hyperear::pipeline::{HyperEar, SessionInput};
+use hyperear::pipeline::{HyperEar, SessionInput, SessionResult};
 use hyperear_geom::Vec2;
 use hyperear_sim::environment::Environment;
 use hyperear_sim::phone::PhoneModel;
 use hyperear_sim::scenario::ScenarioBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let engine = HyperEar::new(HyperEarConfig::galaxy_s4())?;
+    // One warm engine for the whole sweep: detector tables, FFT plans
+    // and scratch buffers are built once, and the reused result's slide
+    // storage is scavenged between sessions.
+    let mut engine = HyperEar::new(HyperEarConfig::galaxy_s4())?.engine();
+    let mut result = SessionResult::empty();
     let naive_config = NaiveConfig::galaxy_s4();
     println!("range    naive scheme (quantized)    HyperEar (5 slides, ruler)");
     for range in [1.0, 2.0, 3.0, 5.0, 7.0] {
@@ -40,14 +44,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .slides(5)
             .seed(7_000 + range as u64)
             .render()?;
-        let result = engine.run(&SessionInput {
-            audio_sample_rate: recording.audio.sample_rate,
-            left: &recording.audio.left,
-            right: &recording.audio.right,
-            imu_sample_rate: recording.imu.sample_rate,
-            accel: &recording.imu.accel,
-            gyro: &recording.imu.gyro,
-        })?;
+        engine.run_into(
+            &SessionInput {
+                audio_sample_rate: recording.audio.sample_rate,
+                left: &recording.audio.left,
+                right: &recording.audio.right,
+                imu_sample_rate: recording.imu.sample_rate,
+                accel: &recording.imu.accel,
+                gyro: &recording.imu.gyro,
+            },
+            &mut result,
+        )?;
         let estimate = result.upper.ok_or("no estimate")?;
         let hyperear_err = (estimate.range - recording.truth.slant_distance_upper).abs();
         println!(

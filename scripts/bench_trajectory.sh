@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Per-kernel performance trajectory across the PR sequence.
+#
+#   scripts/bench_trajectory.sh            # table of every kernel
+#   scripts/bench_trajectory.sh matched    # only rows whose name matches
+#
+# Merges every BENCH_pr*.json at the repo root into one table: each row
+# is a benchmark (suite/name), each column a PR that measured it, each
+# cell the PR's "after" median. A kernel's row therefore reads as its
+# optimisation history — PR-to-PR cells were measured on different days
+# of a shared host, so read them as a trajectory, not a ledger (the
+# per-PR files' "method"/"note" fields state each measurement's
+# conditions). Needs python3 (stdlib only).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-}"
+
+python3 - "$FILTER" <<'EOF'
+import glob, json, re, sys
+
+flt = sys.argv[1].lower() if len(sys.argv) > 1 else ""
+
+def fmt_ns(ns):
+    if ns is None:
+        return "-"
+    if ns < 1e3:
+        return f"{ns:.0f}ns"
+    if ns < 1e6:
+        return f"{ns/1e3:.1f}us"
+    if ns < 1e9:
+        return f"{ns/1e6:.2f}ms"
+    return f"{ns/1e9:.2f}s"
+
+files = sorted(glob.glob("BENCH_pr*.json"),
+               key=lambda p: int(re.search(r"pr(\d+)", p).group(1)))
+if not files:
+    sys.exit("no BENCH_pr*.json files at the repo root")
+
+prs = []            # [(pr_number, title)]
+rows = {}           # (suite, name) -> {pr_number: median_ns}
+for path in files:
+    with open(path) as f:
+        doc = json.load(f)
+    pr = doc["pr"]
+    prs.append((pr, doc.get("title", "")))
+    for suite, entries in doc.get("suites", {}).items():
+        for e in entries:
+            after = e.get("after") or {}
+            median = after.get("median_ns")
+            if median is None:
+                continue
+            rows.setdefault((suite, e["name"]), {})[pr] = median
+
+keys = sorted(k for k in rows if not flt or flt in f"{k[0]}/{k[1]}".lower())
+if not keys:
+    sys.exit(f"no benchmarks match filter {flt!r}")
+
+name_w = max(len(f"{s}/{n}") for s, n in keys)
+header = "kernel".ljust(name_w) + "".join(f"  {'pr' + str(p):>10}" for p, _ in prs)
+print(header)
+print("-" * len(header))
+for suite, name in keys:
+    cells = rows[(suite, name)]
+    line = f"{suite}/{name}".ljust(name_w)
+    for p, _ in prs:
+        line += f"  {fmt_ns(cells.get(p)):>10}"
+    # Trajectory summary: first measured -> last measured.
+    measured = [cells[p] for p, _ in prs if p in cells]
+    if len(measured) >= 2 and measured[-1] > 0:
+        line += f"   ({measured[0] / measured[-1]:.2f}x)"
+    print(line)
+print()
+print("columns: per-PR 'after' medians from BENCH_pr*.json; (Nx) = first/last ratio")
+for p, title in prs:
+    print(f"  pr{p}: {title}")
+EOF

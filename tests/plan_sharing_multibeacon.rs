@@ -1,0 +1,112 @@
+//! Plan/template-spectrum sharing gate for the multi-beacon template
+//! bank (part of the `--multibeacon` verify tier).
+//!
+//! A K-template [`StreamingMatchedFilterBank`] must cost exactly **one**
+//! forward-plan build (the process-shared [`plan`] registry) and **one**
+//! template FFT per beacon — and *cloning* the bank across pool workers
+//! must recompute neither: clones share the plan and every template
+//! spectrum by `Arc`. Rebuilding a bank from scratch, by contrast, hits
+//! the shared plan registry (no second plan build) but must re-run its
+//! own K template FFTs — the observable difference between sharing and
+//! rebuilding.
+//!
+//! One `#[test]` on purpose: the shared-plan hit/miss counters are
+//! process-global and cumulative, so a concurrent test in this binary
+//! would race the deltas. As its own integration-test binary this file
+//! is its own process — the counters start at zero.
+
+use hyperear_dsp::chirp::{Chirp, ChirpShape};
+use hyperear_dsp::correlate::StreamingMatchedFilterBank;
+use hyperear_dsp::plan::{shared_plan_hits, shared_plan_misses, DspScratch};
+use hyperear_util::pool::Pool;
+
+const BEACONS: usize = 4;
+const FS: f64 = 44_100.0;
+
+/// The K=4 half-overlapping signature chirps (hop 880 Hz, width 1760 Hz
+/// over the 2000–6400 Hz band — mirrors
+/// `MultiBeaconConfig::distinct_bands`).
+fn templates() -> Vec<Chirp> {
+    (0..BEACONS)
+        .map(|k| {
+            let f0 = 2_000.0 + k as f64 * 880.0;
+            let shape = if k % 2 == 0 {
+                ChirpShape::Up
+            } else {
+                ChirpShape::Down
+            };
+            Chirp::new(f0, f0 + 1_760.0, 0.04, FS, shape).unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn bank_shares_one_plan_and_one_template_fft_per_beacon() {
+    let chirps = templates();
+    let refs: Vec<&[f64]> = chirps.iter().map(|c| c.samples()).collect();
+
+    // A synthetic capture with every beacon present at a distinct lag.
+    let mut signal = vec![0.0f64; 16_384];
+    for (k, c) in chirps.iter().enumerate() {
+        for (i, &s) in c.samples().iter().enumerate() {
+            signal[1_000 + 2_500 * k + i] += 0.4 * s;
+        }
+    }
+
+    // Building the K-template bank costs exactly one forward-plan
+    // build and one template FFT per beacon.
+    let (hits0, misses0) = (shared_plan_hits(), shared_plan_misses());
+    let bank = StreamingMatchedFilterBank::new(&refs).unwrap();
+    assert_eq!(
+        shared_plan_misses() - misses0,
+        1,
+        "one bank == one forward-plan build"
+    );
+    assert_eq!(shared_plan_hits(), hits0, "first build cannot hit");
+    assert_eq!(bank.template_fft_count(), BEACONS);
+
+    // Reference correlation, serially.
+    let mut scratch = DspScratch::new();
+    let mut reference = vec![Vec::new(); BEACONS];
+    bank.correlate_normalized_into(&signal, &mut scratch, &mut reference)
+        .unwrap();
+
+    // Fan the *same* bank across pool workers by clone: no plan-registry
+    // traffic at all, no template FFT re-runs, bit-identical lanes.
+    let (hits1, misses1) = (shared_plan_hits(), shared_plan_misses());
+    let pool = Pool::new(BEACONS);
+    let outputs = pool.parallel_map_with(
+        BEACONS,
+        || (bank.clone(), DspScratch::new(), vec![Vec::new(); BEACONS]),
+        |(worker_bank, scratch, lanes), _i| {
+            assert_eq!(worker_bank.template_fft_count(), BEACONS);
+            worker_bank
+                .correlate_normalized_into(&signal, scratch, lanes)
+                .unwrap();
+            lanes.clone()
+        },
+    );
+    assert_eq!(shared_plan_misses(), misses1, "clones never build plans");
+    assert_eq!(
+        shared_plan_hits(),
+        hits1,
+        "clones never consult the registry"
+    );
+    for lanes in &outputs {
+        assert_eq!(lanes, &reference, "cloned banks are bit-identical");
+    }
+
+    // Rebuilding from scratch *hits* the shared registry (the plan is
+    // reused process-wide, no second build) but pays K fresh template
+    // FFTs — which is exactly why the engine clones instead.
+    let rebuilt = StreamingMatchedFilterBank::new(&refs).unwrap();
+    assert_eq!(shared_plan_misses(), misses1, "plan is shared, not rebuilt");
+    assert_eq!(
+        shared_plan_hits() - hits1,
+        1,
+        "rebuild reuses the shared plan"
+    );
+    assert_eq!(rebuilt.template_fft_count(), BEACONS);
+
+    println!("multibeacon-contract: one plan build + one template FFT per beacon HELD");
+}
